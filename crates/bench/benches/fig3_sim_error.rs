@@ -1,0 +1,21 @@
+//! Bench: regenerate Figure 3 (simulated-data debiased error, three query
+//! widths) at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use longsynth_bench::BENCH_REPS;
+use longsynth_experiments::figures::fig3::{run, Estimator};
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_sim_error");
+    group.sample_size(10);
+    group.bench_function("debiased_n5000_reps5", |b| {
+        b.iter(|| run(5_000, BENCH_REPS, Estimator::Debiased, 6))
+    });
+    group.bench_function("debiased_n25000_reps5", |b| {
+        b.iter(|| run(25_000, BENCH_REPS, Estimator::Debiased, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

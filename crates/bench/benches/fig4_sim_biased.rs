@@ -1,0 +1,17 @@
+//! Bench: regenerate Figure 4 (simulated-data error *without* debiasing).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use longsynth_bench::BENCH_REPS;
+use longsynth_experiments::figures::fig4::run_biased;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_sim_biased");
+    group.sample_size(10);
+    group.bench_function("biased_n5000_reps5", |b| {
+        b.iter(|| run_biased(5_000, BENCH_REPS, 8))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench: regenerate Figures 5–7 (the ρ sweep 0.001 / 0.005 / 0.05) at
+//! reduced scale. Runtime is ρ-independent by design — the sweep verifies
+//! that (noise sampling cost does not depend on the noise magnitude for
+//! the discrete Gaussian's rejection sampler at these scales).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use longsynth_bench::{bench_panel, BENCH_REPS};
+use longsynth_experiments::figures::fig5to7::{run, RHO_SWEEP};
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5to7_privacy_sweep");
+    group.sample_size(10);
+    let panel = bench_panel(10_000, 12);
+    for rho in RHO_SWEEP {
+        group.bench_with_input(BenchmarkId::from_parameter(rho), &rho, |b, &rho| {
+            b.iter(|| run(&panel, rho, BENCH_REPS, 9))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

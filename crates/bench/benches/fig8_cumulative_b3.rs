@@ -1,0 +1,22 @@
+//! Bench: regenerate Figure 8 (the appendix restatement of Figure 2), and
+//! sweep the threshold `b` to show Algorithm 2 answers *all* thresholds
+//! from one release.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use longsynth_bench::{bench_panel, BENCH_REPS};
+use longsynth_experiments::figures::fig2;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_cumulative_b3");
+    group.sample_size(10);
+    let panel = bench_panel(10_000, 12);
+    for b in [1usize, 3, 6] {
+        group.bench_with_input(BenchmarkId::new("threshold", b), &b, |bench, &b| {
+            bench.iter(|| fig2::run(&panel, fig2::RHO, b, BENCH_REPS, 10))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

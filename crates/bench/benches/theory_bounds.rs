@@ -1,0 +1,30 @@
+//! Bench: the theory-vs-measured table T1 (Theorem 3.2 bound checks) at
+//! reduced scale, plus the cost of the bound computations themselves
+//! (they sit on analyst hot paths when choosing npad).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use longsynth_dp::budget::Rho;
+use longsynth_dp::tail::{recommended_npad, theorem_3_2_lambda, FixedWindowParams};
+use longsynth_experiments::figures::theory::table_t1;
+use std::hint::black_box;
+
+fn bench_theory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theory_bounds");
+    group.sample_size(10);
+    group.bench_function("table_t1_n2000_reps5", |b| {
+        b.iter(|| table_t1(2_000, 5, 11))
+    });
+    group.finish();
+
+    c.bench_function("lambda_and_npad_formulas", |b| {
+        let params = FixedWindowParams::new(12, 3, Rho::new(0.005).unwrap()).unwrap();
+        b.iter(|| {
+            let l = theorem_3_2_lambda(black_box(&params), black_box(0.05));
+            let n = recommended_npad(black_box(&params), black_box(0.05));
+            (l, n)
+        })
+    });
+}
+
+criterion_group!(benches, bench_theory);
+criterion_main!(benches);

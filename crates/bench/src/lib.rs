@@ -1,0 +1,39 @@
+//! Shared fixtures for the longsynth benchmark suite.
+//!
+//! Each bench under `benches/` regenerates one of the paper's figures (at
+//! reduced repetition counts — the full 1000-rep regeneration is
+//! `run_experiments`' job) or measures a scaling/ablation dimension
+//! DESIGN.md calls out. Criterion reports wall-times; the accuracy numbers
+//! the figures plot are written by the experiment harness, not here.
+
+use longsynth_data::generators::{two_state_markov, MarkovParams};
+use longsynth_data::LongitudinalDataset;
+use longsynth_dp::rng::rng_from_seed;
+
+/// A SIPP-like Markov panel (persistent poverty process), deterministic.
+pub fn bench_panel(n: usize, horizon: usize) -> LongitudinalDataset {
+    two_state_markov(
+        &mut rng_from_seed(0xBE9C),
+        n,
+        horizon,
+        MarkovParams {
+            initial_one: 0.11,
+            stay_one: 0.82,
+            enter_one: 0.022,
+        },
+    )
+}
+
+/// Repetition counts used by the figure benches (kept small so the whole
+/// suite runs in minutes; the shapes are unchanged).
+pub const BENCH_REPS: usize = 5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_is_deterministic() {
+        assert_eq!(bench_panel(100, 6), bench_panel(100, 6));
+    }
+}

@@ -1,0 +1,537 @@
+//! The categorical extension of Algorithm 1 (`|X| = V > 2`).
+//!
+//! §2 of the paper: "The solutions we develop for fixed time window queries
+//! naturally extend to handle categorical data with more than 2
+//! categories." This module is that extension, spelled out:
+//!
+//! * histograms range over `V^k` patterns (base-`V` encoded);
+//! * the overlap constraint becomes `Σ_c p^{t}_{cz} = Σ_c p^{t+1}_{zc}` for
+//!   every overlap `z ∈ V^{k−1}`;
+//! * the correction term generalises to distributing the integer defect
+//!   `D_z = |I_z| − Σ_c Ĉ_{zc}` as `⌊D_z/V⌋` to every category plus `+1`
+//!   to `D_z mod V` categories chosen uniformly at random — for `V = 2`
+//!   this is exactly the paper's `Δ_z ± ½` randomized rounding.
+//!
+//! Privacy is word-for-word the binary argument: sensitivity 1 per noisy
+//! bin per step, uniform split over `T − k + 1` steps ⇒ ρ-zCDP.
+
+// Threshold loops index by `b` to mirror the paper's S_b / z_b notation.
+#![allow(clippy::needless_range_loop)]
+
+use crate::error::SynthError;
+use longsynth_data::categorical::CategoricalColumn;
+use longsynth_dp::budget::{BudgetLedger, Rho};
+use longsynth_dp::mechanisms::NoiseDistribution;
+use longsynth_dp::rng::StdDpRng;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Configuration of a [`CategoricalSynthesizer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CategoricalConfig {
+    /// Time horizon `T`.
+    pub horizon: usize,
+    /// Window width `k`.
+    pub window: usize,
+    /// Number of categories `V ≥ 2`.
+    pub categories: u8,
+    /// Total zCDP budget.
+    pub rho: Rho,
+    /// Per-bin padding (`None` derives the Theorem 3.2 analogue at β).
+    pub npad_override: Option<u64>,
+    /// Failure probability for the padding rule.
+    pub beta: f64,
+}
+
+impl CategoricalConfig {
+    /// Validated constructor. Requires `V^k ≤ 2^20` bins.
+    pub fn new(horizon: usize, window: usize, categories: u8, rho: Rho) -> Result<Self, SynthError> {
+        if horizon == 0 || window == 0 || window > horizon {
+            return Err(SynthError::InvalidConfig(format!(
+                "need 1 <= k <= T, got k={window}, T={horizon}"
+            )));
+        }
+        if categories < 2 {
+            return Err(SynthError::InvalidConfig(
+                "need at least 2 categories".into(),
+            ));
+        }
+        if rho.value() <= 0.0 {
+            return Err(SynthError::InvalidConfig("rho must be positive".into()));
+        }
+        let bins = (categories as f64).powi(window as i32);
+        if bins > (1 << 20) as f64 {
+            return Err(SynthError::InvalidConfig(format!(
+                "V^k = {bins} bins exceeds the supported 2^20"
+            )));
+        }
+        Ok(Self {
+            horizon,
+            window,
+            categories,
+            rho,
+            npad_override: None,
+            beta: 0.05,
+        })
+    }
+
+    /// Override the padding count.
+    #[must_use]
+    pub fn with_npad(mut self, npad: u64) -> Self {
+        self.npad_override = Some(npad);
+        self
+    }
+
+    /// Number of histogram bins `V^k`.
+    pub fn bins(&self) -> usize {
+        (self.categories as usize).pow(self.window as u32)
+    }
+
+    /// Number of overlap groups `V^(k−1)`.
+    pub fn overlaps(&self) -> usize {
+        (self.categories as usize).pow(self.window as u32 - 1)
+    }
+
+    /// Update steps `R = T − k + 1`.
+    pub fn update_steps(&self) -> usize {
+        self.horizon - self.window + 1
+    }
+
+    /// The Theorem 3.2 analogue over `V^k` bins:
+    /// `λ = (√(R/ρ) + 1/√2)·√(ln(V^k·R/β))`.
+    pub fn lambda(&self) -> f64 {
+        let r = self.update_steps() as f64;
+        ((r / self.rho.value()).sqrt() + std::f64::consts::FRAC_1_SQRT_2)
+            * ((self.bins() as f64) * r / self.beta).ln().sqrt()
+    }
+
+    /// Resolved per-bin padding.
+    pub fn npad(&self) -> u64 {
+        self.npad_override.unwrap_or_else(|| self.lambda().ceil() as u64)
+    }
+}
+
+/// Categorical fixed-window synthesizer. See module docs.
+pub struct CategoricalSynthesizer<R: Rng = StdDpRng> {
+    config: CategoricalConfig,
+    noise: NoiseDistribution,
+    npad: u64,
+    ledger: BudgetLedger,
+    per_step_rho: Rho,
+    n: Option<usize>,
+    buffer: VecDeque<CategoricalColumn>,
+    rounds_fed: usize,
+    /// Synthetic record histories (base-V values).
+    records: Vec<Vec<u8>>,
+    /// Record ids grouped by overlap code (base-V, width k−1).
+    overlap_groups: Vec<Vec<u32>>,
+    /// Released histogram targets per released round.
+    p_history: Vec<Vec<i64>>,
+    /// Clamp events (the β-probability failures).
+    clamps: u64,
+    rng: R,
+}
+
+impl<R: Rng> CategoricalSynthesizer<R> {
+    /// Create a synthesizer drawing all randomness from `rng`.
+    pub fn new(config: CategoricalConfig, rng: R) -> Self {
+        let sigma2 = config.update_steps() as f64 / (2.0 * config.rho.value());
+        let per_step_rho = Rho::new(config.rho.value() / config.update_steps() as f64)
+            .expect("validated rho");
+        Self {
+            noise: NoiseDistribution::DiscreteGaussian { sigma2 },
+            npad: config.npad(),
+            ledger: BudgetLedger::new(config.rho),
+            per_step_rho,
+            n: None,
+            buffer: VecDeque::with_capacity(config.window),
+            rounds_fed: 0,
+            records: Vec::new(),
+            overlap_groups: Vec::new(),
+            p_history: Vec::new(),
+            clamps: 0,
+            rng,
+            config,
+        }
+    }
+
+    /// Feed the next true column.
+    pub fn step(&mut self, column: &CategoricalColumn) -> Result<(), SynthError> {
+        if self.rounds_fed >= self.config.horizon {
+            return Err(SynthError::HorizonExceeded {
+                horizon: self.config.horizon,
+            });
+        }
+        if column.categories() != self.config.categories {
+            return Err(SynthError::InvalidConfig(format!(
+                "column has {} categories, config says {}",
+                column.categories(),
+                self.config.categories
+            )));
+        }
+        match self.n {
+            Some(n) if n != column.len() => {
+                return Err(SynthError::ColumnSizeMismatch {
+                    expected: n,
+                    actual: column.len(),
+                })
+            }
+            None => self.n = Some(column.len()),
+            _ => {}
+        }
+        if self.buffer.len() == self.config.window {
+            self.buffer.pop_front();
+        }
+        self.buffer.push_back(column.clone());
+        self.rounds_fed += 1;
+
+        if self.rounds_fed < self.config.window {
+            return Ok(());
+        }
+        let noisy = self.noisy_histogram();
+        if self.rounds_fed == self.config.window {
+            self.initialize(noisy);
+        } else {
+            self.extend(noisy);
+        }
+        Ok(())
+    }
+
+    fn noisy_histogram(&mut self) -> Vec<i64> {
+        let v = self.config.categories as usize;
+        let n = self.n.expect("set by step");
+        let mut counts = vec![0i64; self.config.bins()];
+        for i in 0..n {
+            let mut code = 0usize;
+            for col in &self.buffer {
+                code = code * v + col.get(i) as usize;
+            }
+            counts[code] += 1;
+        }
+        self.ledger
+            .charge(self.per_step_rho)
+            .expect("per-step charges sum to the configured budget");
+        let npad = self.npad as i64;
+        for c in counts.iter_mut() {
+            *c += npad + self.noise.sample(&mut self.rng);
+        }
+        counts
+    }
+
+    fn initialize(&mut self, mut noisy: Vec<i64>) {
+        let v = self.config.categories as usize;
+        let k = self.config.window;
+        for c in noisy.iter_mut() {
+            if *c < 0 {
+                self.clamps += 1;
+                *c = 0;
+            }
+        }
+        self.overlap_groups = vec![Vec::new(); self.config.overlaps()];
+        let mut next_id = 0u32;
+        for (code, &count) in noisy.iter().enumerate() {
+            // Decode base-V digits, oldest first.
+            let mut digits = vec![0u8; k];
+            let mut rest = code;
+            for d in (0..k).rev() {
+                digits[d] = (rest % v) as u8;
+                rest /= v;
+            }
+            let overlap = code % self.config.overlaps();
+            for _ in 0..count {
+                self.records.push(digits.clone());
+                self.overlap_groups[overlap].push(next_id);
+                next_id += 1;
+            }
+        }
+        self.p_history.push(noisy);
+    }
+
+    fn extend(&mut self, noisy: Vec<i64>) {
+        let v = self.config.categories as usize;
+        let overlaps = self.config.overlaps();
+        let mut new_p = vec![0i64; self.config.bins()];
+        let mut new_groups: Vec<Vec<u32>> = vec![Vec::new(); overlaps];
+
+        for z in 0..overlaps {
+            let group = &mut self.overlap_groups[z];
+            let avail = group.len() as i64;
+            let base_code = z * v;
+            let c_sum: i64 = (0..v).map(|c| noisy[base_code + c]).sum();
+            // Defect D_z distributed as ⌊D/V⌋ everywhere + 1 to D mod V
+            // random categories.
+            let defect = avail - c_sum;
+            let share = defect.div_euclid(v as i64);
+            let remainder = defect.rem_euclid(v as i64) as usize;
+            let mut bonus = vec![0i64; v];
+            // Reservoir-free selection of `remainder` distinct categories.
+            let mut chosen: Vec<usize> = (0..v).collect();
+            for j in 0..remainder {
+                let pick = j + self.rng.gen_range(0..v - j);
+                chosen.swap(j, pick);
+            }
+            for &c in chosen.iter().take(remainder) {
+                bonus[c] = 1;
+            }
+
+            let mut targets: Vec<i64> = (0..v)
+                .map(|c| noisy[base_code + c] + share + bonus[c])
+                .collect();
+            debug_assert_eq!(targets.iter().sum::<i64>(), avail);
+
+            // Feasibility: clamp negatives to zero, absorbing the excess
+            // into the largest bins (keeps the sum exactly |I_z|).
+            let mut deficit = 0i64;
+            for t in targets.iter_mut() {
+                if *t < 0 {
+                    self.clamps += 1;
+                    deficit += -*t;
+                    *t = 0;
+                }
+            }
+            while deficit > 0 {
+                let (idx, _) = targets
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &t)| t)
+                    .expect("v >= 2");
+                let take = deficit.min(targets[idx]);
+                targets[idx] -= take;
+                deficit -= take;
+                if take == 0 {
+                    break; // all-zero targets with avail = 0
+                }
+            }
+
+            // Shuffle the whole group, slice into per-category segments.
+            let len = group.len();
+            for j in 0..len.saturating_sub(1) {
+                let pick = j + self.rng.gen_range(0..len - j);
+                group.swap(j, pick);
+            }
+            let mut cursor = 0usize;
+            for (c, &target) in targets.iter().enumerate() {
+                let target = target as usize;
+                for &id in group.iter().skip(cursor).take(target) {
+                    self.records[id as usize].push(c as u8);
+                    // New window = overlap z extended by c; next overlap is
+                    // its last k−1 digits.
+                    let next_overlap = (z * v + c) % overlaps;
+                    new_groups[next_overlap].push(id);
+                }
+                new_p[base_code + c] = target as i64;
+                cursor += target;
+            }
+            debug_assert_eq!(cursor, len);
+        }
+        self.overlap_groups = new_groups;
+        self.p_history.push(new_p);
+    }
+
+    // ------------------------------------------------------------------
+
+    /// Released histogram targets for 0-based round `t` (first at
+    /// `t = k−1`).
+    pub fn histogram_estimate(&self, t: usize) -> Result<&[i64], SynthError> {
+        let k = self.config.window;
+        if t + 1 < k || t >= self.rounds_fed {
+            return Err(SynthError::RoundNotReleased { round: t });
+        }
+        Ok(&self.p_history[t + 1 - k])
+    }
+
+    /// Debiased fraction of a single width-`k` pattern (base-`V` code).
+    pub fn estimate_debiased_bin(&self, t: usize, code: usize) -> Result<f64, SynthError> {
+        let hist = self.histogram_estimate(t)?;
+        let n = self.n.ok_or(SynthError::RoundNotReleased { round: t })?;
+        Ok((hist[code] as f64 - self.npad as f64) / n as f64)
+    }
+
+    /// Debiased marginal fraction of category `c` at round `t` (sums the
+    /// patterns whose newest digit is `c`).
+    pub fn estimate_category_marginal(&self, t: usize, c: u8) -> Result<f64, SynthError> {
+        let v = self.config.categories as usize;
+        let hist = self.histogram_estimate(t)?;
+        let n = self.n.ok_or(SynthError::RoundNotReleased { round: t })? as f64;
+        let mut total = 0.0;
+        let mut bins = 0usize;
+        for (code, &count) in hist.iter().enumerate() {
+            if code % v == c as usize {
+                total += count as f64;
+                bins += 1;
+            }
+        }
+        Ok((total - bins as f64 * self.npad as f64) / n)
+    }
+
+    /// Number of synthetic records `n*`.
+    pub fn n_star(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Resolved per-bin padding.
+    pub fn npad(&self) -> u64 {
+        self.npad
+    }
+
+    /// Clamp events over the run.
+    pub fn clamps(&self) -> u64 {
+        self.clamps
+    }
+
+    /// The synthetic record histories (base-`V` digit strings).
+    pub fn records(&self) -> &[Vec<u8>] {
+        &self.records
+    }
+
+    /// The privacy ledger.
+    pub fn ledger(&self) -> &BudgetLedger {
+        &self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longsynth_data::generators::categorical_markov;
+    use longsynth_dp::rng::rng_from_seed;
+
+    fn true_histogram(
+        data: &longsynth_data::CategoricalDataset,
+        t: usize,
+        k: usize,
+    ) -> Vec<i64> {
+        let v = data.categories() as usize;
+        let mut hist = vec![0i64; v.pow(k as u32)];
+        for i in 0..data.individuals() {
+            hist[data.suffix_pattern(i, t, k) as usize] += 1;
+        }
+        hist
+    }
+
+    #[test]
+    fn config_validation_and_derived_sizes() {
+        let rho = Rho::new(0.1).unwrap();
+        let config = CategoricalConfig::new(8, 2, 3, rho).unwrap();
+        assert_eq!(config.bins(), 9);
+        assert_eq!(config.overlaps(), 3);
+        assert_eq!(config.update_steps(), 7);
+        assert!(config.npad() > 0);
+        assert!(CategoricalConfig::new(8, 0, 3, rho).is_err());
+        assert!(CategoricalConfig::new(8, 9, 3, rho).is_err());
+        assert!(CategoricalConfig::new(8, 2, 1, rho).is_err());
+        assert!(CategoricalConfig::new(30, 15, 4, rho).is_err()); // 4^15 bins
+    }
+
+    #[test]
+    fn consistency_identity_holds() {
+        // Σ_c p^t_{cz} = Σ_c p^{t+1}_{zc} for every overlap z.
+        let mut rng = rng_from_seed(1);
+        let data = categorical_markov(&mut rng, 400, 8, 3, 0.7);
+        let config = CategoricalConfig::new(8, 2, 3, Rho::new(0.05).unwrap()).unwrap();
+        let mut synth = CategoricalSynthesizer::new(config, rng_from_seed(2));
+        for (_, col) in data.stream() {
+            synth.step(col).unwrap();
+        }
+        let v = 3usize;
+        for t in 2..8 {
+            let prev = synth.histogram_estimate(t - 1).unwrap();
+            let now = synth.histogram_estimate(t).unwrap();
+            for z in 0..v {
+                // "ends in z" at t−1: patterns cz = c·V + z.
+                let ended: i64 = (0..v).map(|c| prev[c * v + z]).sum();
+                // "starts with z" at t: patterns zc = z·V + c.
+                let started: i64 = (0..v).map(|c| now[z * v + c]).sum();
+                assert_eq!(ended, started, "t={t}, z={z}");
+            }
+            let total: i64 = now.iter().sum();
+            assert_eq!(total, synth.n_star() as i64);
+        }
+    }
+
+    #[test]
+    fn records_match_bookkeeping() {
+        let mut rng = rng_from_seed(3);
+        let data = categorical_markov(&mut rng, 300, 6, 4, 0.6);
+        let config = CategoricalConfig::new(6, 2, 4, Rho::new(0.1).unwrap()).unwrap();
+        let mut synth = CategoricalSynthesizer::new(config, rng_from_seed(4));
+        for (_, col) in data.stream() {
+            synth.step(col).unwrap();
+        }
+        let v = 4usize;
+        for t in 1..6 {
+            let mut from_records = vec![0i64; 16];
+            for record in synth.records() {
+                let code = record[t - 1] as usize * v + record[t] as usize;
+                from_records[code] += 1;
+            }
+            assert_eq!(
+                from_records.as_slice(),
+                synth.histogram_estimate(t).unwrap(),
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_track_truth_at_generous_budget() {
+        let mut rng = rng_from_seed(5);
+        let data = categorical_markov(&mut rng, 5_000, 6, 3, 0.8);
+        let config = CategoricalConfig::new(6, 2, 3, Rho::new(1.0).unwrap()).unwrap();
+        let mut synth = CategoricalSynthesizer::new(config, rng_from_seed(6));
+        for (_, col) in data.stream() {
+            synth.step(col).unwrap();
+        }
+        for t in [1usize, 3, 5] {
+            let truth = true_histogram(&data, t, 2);
+            for code in 0..9 {
+                let est = synth.estimate_debiased_bin(t, code).unwrap();
+                let tru = truth[code] as f64 / 5_000.0;
+                assert!(
+                    (est - tru).abs() < 0.02,
+                    "t={t}, code={code}: {est} vs {tru}"
+                );
+            }
+            // Marginals sum to ~1 after debiasing.
+            let marginal_sum: f64 = (0..3)
+                .map(|c| synth.estimate_category_marginal(t, c).unwrap())
+                .sum();
+            assert!((marginal_sum - 1.0).abs() < 0.02, "t={t}: {marginal_sum}");
+        }
+        assert!(synth.ledger().exhausted());
+    }
+
+    #[test]
+    fn binary_case_agrees_with_specialised_synthesizer_statistically() {
+        // V = 2 must behave like Algorithm 1: check the debiased estimates
+        // land near truth with the same magnitude of noise.
+        let mut rng = rng_from_seed(7);
+        let data = categorical_markov(&mut rng, 2_000, 8, 2, 0.7);
+        let config = CategoricalConfig::new(8, 3, 2, Rho::new(0.5).unwrap()).unwrap();
+        let mut synth = CategoricalSynthesizer::new(config, rng_from_seed(8));
+        for (_, col) in data.stream() {
+            synth.step(col).unwrap();
+        }
+        let truth = true_histogram(&data, 7, 3);
+        for code in 0..8 {
+            let est = synth.estimate_debiased_bin(7, code).unwrap();
+            let tru = truth[code] as f64 / 2_000.0;
+            assert!((est - tru).abs() < 0.05, "code={code}: {est} vs {tru}");
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_columns() {
+        let config = CategoricalConfig::new(4, 2, 3, Rho::new(0.1).unwrap()).unwrap();
+        let mut synth = CategoricalSynthesizer::new(config, rng_from_seed(9));
+        let col = CategoricalColumn::new(vec![0, 1, 2], 3).unwrap();
+        synth.step(&col).unwrap();
+        let wrong_v = CategoricalColumn::new(vec![0, 1, 1], 2).unwrap();
+        assert!(synth.step(&wrong_v).is_err());
+        let wrong_n = CategoricalColumn::new(vec![0, 1], 3).unwrap();
+        assert!(matches!(
+            synth.step(&wrong_n),
+            Err(SynthError::ColumnSizeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,569 @@
+//! **Algorithm 2**: private synthetic data preserving cumulative time
+//! queries (paper §4).
+//!
+//! For every Hamming-weight threshold `b = 1..=T` a dedicated stream
+//! counter `M_b` tracks `S_b^t = #{i : weight ≥ b by round t}` via the
+//! increment stream `z_b^t = #{i : weight was b−1 and x_i^t = 1}` — each
+//! individual contributes to `M_b` at most once, so neighbouring datasets
+//! induce neighbouring streams and the composition of the `T` counters is
+//! ρ-zCDP (Theorem 4.1).
+//!
+//! The raw counter outputs `S̃_b^t` are **monotonized** across both time and
+//! thresholds: `Ŝ_b^t = min(max(S̃_b^t, Ŝ_b^{t−1}), Ŝ_{b−1}^{t−1})`. The
+//! lower clamp says weights never decrease; the upper clamp says a weight-`b`
+//! history at `t` had weight ≥ b−1 at `t−1`. Lemma 4.2 shows the clamps
+//! never increase the worst-case error. Feasibility of the synthetic
+//! update is then automatic: exactly `ẑ_b^t = Ŝ_b^t − Ŝ_b^{t−1} ≥ 0`
+//! records of current weight `b−1` get a 1-bit, and
+//! `Ŝ_{b−1}^{t−1} − Ŝ_b^{t−1} ≥ ẑ_b^t` records are available.
+//!
+//! The synthetic population has exactly `m = n` records (as printed in
+//! Algorithm 2), initialized all-zero.
+
+// Threshold loops index by `b` to mirror the paper's S_b / z_b notation.
+#![allow(clippy::needless_range_loop)]
+
+use crate::error::SynthError;
+use crate::synthetic::SyntheticDataset;
+use longsynth_counters::{CounterKind, StreamCounter};
+use longsynth_data::BitColumn;
+use longsynth_data::LongitudinalDataset;
+use longsynth_dp::budget::{BudgetLedger, Rho};
+use longsynth_dp::rng::RngFork;
+use longsynth_queries::cumulative::threshold_increment;
+use rand::Rng;
+
+/// How the total budget is divided across the `T` per-threshold counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetSplit {
+    /// Equal shares `ρ/T`.
+    Uniform,
+    /// The paper's Corollary B.1 weights
+    /// `ρ_b ∝ max(⌈log₂(T−b+1)⌉, 1)³`, equalizing worst-case counter
+    /// errors (the default).
+    CorollaryB1,
+}
+
+/// Configuration of a [`CumulativeSynthesizer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CumulativeConfig {
+    /// Time horizon `T`.
+    pub horizon: usize,
+    /// Total zCDP budget ρ.
+    pub rho: Rho,
+    /// Stream counter family for the `M_b` (default: the paper's tree).
+    pub counter: CounterKind,
+    /// Budget split across thresholds (default: Corollary B.1).
+    pub split: BudgetSplit,
+}
+
+impl CumulativeConfig {
+    /// Validated constructor.
+    pub fn new(horizon: usize, rho: Rho) -> Result<Self, SynthError> {
+        if horizon == 0 {
+            return Err(SynthError::InvalidConfig("horizon must be positive".into()));
+        }
+        if rho.value() <= 0.0 {
+            return Err(SynthError::InvalidConfig(format!(
+                "rho must be positive, got {}",
+                rho.value()
+            )));
+        }
+        Ok(Self {
+            horizon,
+            rho,
+            counter: CounterKind::Tree,
+            split: BudgetSplit::CorollaryB1,
+        })
+    }
+
+    /// Use a different counter family (the §1.1 "swap the counter" knob).
+    #[must_use]
+    pub fn with_counter(mut self, counter: CounterKind) -> Self {
+        self.counter = counter;
+        self
+    }
+
+    /// Use a different budget split.
+    #[must_use]
+    pub fn with_split(mut self, split: BudgetSplit) -> Self {
+        self.split = split;
+        self
+    }
+
+    fn resolve_split(&self) -> Vec<Rho> {
+        match self.split {
+            BudgetSplit::Uniform => self
+                .rho
+                .split_uniform(self.horizon)
+                .expect("horizon validated positive"),
+            BudgetSplit::CorollaryB1 => self
+                .rho
+                .split_corollary_b1(self.horizon)
+                .expect("horizon validated positive"),
+        }
+    }
+}
+
+/// The Algorithm 2 synthesizer. See module docs.
+///
+/// ```
+/// use longsynth::{CumulativeConfig, CumulativeSynthesizer};
+/// use longsynth_data::generators::iid_bernoulli;
+/// use longsynth_dp::{budget::Rho, rng::{rng_from_seed, RngFork}};
+///
+/// let panel = iid_bernoulli(&mut rng_from_seed(1), 2_000, 12, 0.3);
+/// let config = CumulativeConfig::new(12, Rho::new(0.5).unwrap()).unwrap();
+/// let mut synth = CumulativeSynthesizer::new(config, RngFork::new(2), rng_from_seed(3));
+/// for (_, column) in panel.stream() {
+///     synth.step(column).unwrap();
+/// }
+/// // Fraction with at least 4 ones by the final round, ±noise.
+/// let est = synth.estimate_fraction(11, 4).unwrap();
+/// assert!((0.0..=1.0).contains(&est));
+/// ```
+pub struct CumulativeSynthesizer<R: Rng = longsynth_dp::rng::StdDpRng> {
+    config: CumulativeConfig,
+    /// `counters[b-1]` is `M_b`, with horizon `T − b + 1` (it only sees
+    /// rounds `t ≥ b`, the earliest a weight-`b` history can exist).
+    counters: Vec<Box<dyn StreamCounter>>,
+    per_counter_rho: Vec<Rho>,
+    ledger: BudgetLedger,
+    n: Option<usize>,
+    /// Previous round's monotone estimates `Ŝ_b^{t−1}` for `b = 0..=T`.
+    s_prev: Vec<i64>,
+    /// Estimate history: `s_history[t][b] = Ŝ_b` at 0-based round `t`.
+    s_history: Vec<Vec<i64>>,
+    synthetic: SyntheticDataset,
+    /// Record ids grouped by current Hamming weight.
+    weight_groups: Vec<Vec<u32>>,
+    /// True data consumed so far (needed to compute increments `z_b^t`).
+    observed: LongitudinalDataset,
+    rounds_fed: usize,
+    rng: R,
+}
+
+impl<R: Rng> CumulativeSynthesizer<R> {
+    /// Create a synthesizer. `counter_seeds` derives one independent noise
+    /// stream per threshold counter; `rng` drives record selection.
+    pub fn new(config: CumulativeConfig, counter_seeds: RngFork, rng: R) -> Self {
+        let per_counter_rho = config.resolve_split();
+        let counters = per_counter_rho
+            .iter()
+            .enumerate()
+            .map(|(idx, &rho_b)| {
+                let b = idx + 1;
+                let horizon_b = config.horizon - b + 1;
+                config
+                    .counter
+                    .build(horizon_b, rho_b, counter_seeds.child(b as u64))
+            })
+            .collect();
+        Self {
+            counters,
+            per_counter_rho,
+            ledger: BudgetLedger::new(config.rho),
+            n: None,
+            s_prev: Vec::new(),
+            s_history: Vec::new(),
+            synthetic: SyntheticDataset::empty(0),
+            weight_groups: Vec::new(),
+            observed: LongitudinalDataset::empty(0),
+            rounds_fed: 0,
+            rng,
+            config,
+        }
+    }
+
+    /// Feed the next true column; returns the released synthetic column.
+    pub fn step(&mut self, column: &BitColumn) -> Result<BitColumn, SynthError> {
+        if self.rounds_fed >= self.config.horizon {
+            return Err(SynthError::HorizonExceeded {
+                horizon: self.config.horizon,
+            });
+        }
+        match self.n {
+            Some(n) if n != column.len() => {
+                return Err(SynthError::ColumnSizeMismatch {
+                    expected: n,
+                    actual: column.len(),
+                })
+            }
+            None => {
+                let n = column.len();
+                self.n = Some(n);
+                self.observed = LongitudinalDataset::empty(n);
+                self.synthetic = SyntheticDataset::empty(n);
+                // All records start at weight 0; Ŝ_0 ≡ n, Ŝ_b = 0 for b ≥ 1.
+                self.weight_groups = vec![(0..n as u32).collect()];
+                self.s_prev = vec![0i64; self.config.horizon + 1];
+                self.s_prev[0] = n as i64;
+            }
+            _ => {}
+        }
+        self.observed
+            .push_column(column.clone())
+            .expect("column length validated above");
+        self.rounds_fed += 1;
+        let t = self.rounds_fed; // 1-based round
+        let n = self.n.expect("set above");
+
+        // Phase 1 per threshold: counter update and monotonization.
+        let mut s_now = self.s_prev.clone();
+        let mut promotions = vec![0usize; t + 1]; // promotions[b] = ẑ_b^t
+        for b in 1..=t {
+            let z = threshold_increment(&self.observed, t - 1, b);
+            let raw = self.counters[b - 1].feed(z);
+            if self.counters[b - 1].steps() == 1 {
+                // First activation of M_b: charge its share once.
+                self.ledger
+                    .charge(self.per_counter_rho[b - 1])
+                    .expect("per-counter charges sum to the configured budget");
+            }
+            // Ŝ_b^t = min(max(S̃, Ŝ_b^{t−1}), Ŝ_{b−1}^{t−1}).
+            let clamped = raw.max(self.s_prev[b]).min(self.s_prev[b - 1]);
+            s_now[b] = clamped;
+            promotions[b] = (clamped - self.s_prev[b]) as usize;
+        }
+
+        // Phase 2: promote ẑ_b^t randomly chosen records of weight b−1.
+        // Selections read the previous round's weight groups (disjoint
+        // across b), then all bucket moves apply together.
+        let mut bits = vec![false; n];
+        for b in 1..=t {
+            let want = promotions[b];
+            if want == 0 {
+                continue;
+            }
+            let group = &mut self.weight_groups[b - 1];
+            debug_assert!(
+                want <= group.len(),
+                "upper clamp guarantees availability: want {want} of {}",
+                group.len()
+            );
+            // Fisher–Yates prefix: the first `want` entries get promoted.
+            let len = group.len();
+            for j in 0..want {
+                let pick = j + self.rng.gen_range(0..len - j);
+                group.swap(j, pick);
+            }
+            for &id in group.iter().take(want) {
+                bits[id as usize] = true;
+            }
+        }
+        self.weight_groups.push(Vec::new()); // weight t becomes reachable
+        for b in (1..=t).rev() {
+            let want = promotions[b];
+            if want == 0 {
+                continue;
+            }
+            let group = &mut self.weight_groups[b - 1];
+            let promoted: Vec<u32> = group.drain(..want).collect();
+            self.weight_groups[b].extend(promoted);
+        }
+        self.synthetic.append_round(&bits);
+        self.s_history.push(s_now.clone());
+        self.s_prev = s_now;
+
+        Ok(self.synthetic.column(self.synthetic.rounds() - 1))
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors and estimation
+    // ------------------------------------------------------------------
+
+    /// The configuration this synthesizer runs under.
+    pub fn config(&self) -> &CumulativeConfig {
+        &self.config
+    }
+
+    /// True population size `n` (known after the first round).
+    pub fn true_n(&self) -> Option<usize> {
+        self.n
+    }
+
+    /// The persistent synthetic population (`m = n` records).
+    pub fn synthetic(&self) -> &SyntheticDataset {
+        &self.synthetic
+    }
+
+    /// The privacy ledger (fully spent once every counter has activated,
+    /// i.e. after `T` rounds).
+    pub fn ledger(&self) -> &BudgetLedger {
+        &self.ledger
+    }
+
+    /// Rounds fed so far.
+    pub fn rounds_fed(&self) -> usize {
+        self.rounds_fed
+    }
+
+    /// The monotone threshold estimates `Ŝ_b` at 0-based round `t`,
+    /// indexed by `b = 0..=T`.
+    pub fn threshold_estimates(&self, t: usize) -> Result<&[i64], SynthError> {
+        self.s_history
+            .get(t)
+            .map(Vec::as_slice)
+            .ok_or(SynthError::RoundNotReleased { round: t })
+    }
+
+    /// The paper's estimate of `c_b^t`: the fraction of individuals with at
+    /// least `b` ones through round `t` (0-based).
+    pub fn estimate_fraction(&self, t: usize, b: usize) -> Result<f64, SynthError> {
+        let row = self.threshold_estimates(t)?;
+        let n = self.n.ok_or(SynthError::RoundNotReleased { round: t })?;
+        let count = row.get(b).copied().unwrap_or(0);
+        Ok(count as f64 / n as f64)
+    }
+
+    /// Time-window derivative of the cumulative releases (§1.1's
+    /// `CountOcc`-style queries): the fraction of individuals who *crossed*
+    /// threshold `b` during the round interval `(t1, t2]`, estimated as
+    /// `(Ŝ_b^{t2} − Ŝ_b^{t1})/n`. Pure post-processing of already-released
+    /// statistics — no extra privacy cost — and non-negative by the
+    /// monotonization.
+    pub fn estimate_crossings(
+        &self,
+        t1: usize,
+        t2: usize,
+        b: usize,
+    ) -> Result<f64, SynthError> {
+        if t1 >= t2 {
+            return Err(SynthError::InvalidConfig(format!(
+                "crossings need t1 < t2, got {t1} >= {t2}"
+            )));
+        }
+        let early = self.threshold_estimates(t1)?;
+        let late = self.threshold_estimates(t2)?;
+        let n = self.n.ok_or(SynthError::RoundNotReleased { round: t2 })?;
+        let diff = late.get(b).copied().unwrap_or(0) - early.get(b).copied().unwrap_or(0);
+        debug_assert!(diff >= 0, "monotonization guarantees non-negativity");
+        Ok(diff as f64 / n as f64)
+    }
+
+    /// A-priori worst-case error bound (in counts) across all thresholds
+    /// and rounds, at failure probability β per counter — Theorem 4.4's
+    /// `α* · n` with `β* = Σ_b β`.
+    pub fn error_bound_counts(&self, beta: f64) -> f64 {
+        self.counters
+            .iter()
+            .map(|c| c.error_bound(beta))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longsynth_data::generators::{all_zeros, iid_bernoulli, two_state_markov, MarkovParams};
+    use longsynth_dp::rng::rng_from_seed;
+    use longsynth_queries::cumulative::{cumulative_counts, is_valid_threshold_matrix};
+
+    fn run(
+        data: &LongitudinalDataset,
+        config: CumulativeConfig,
+        seed: u64,
+    ) -> CumulativeSynthesizer {
+        let mut synth = CumulativeSynthesizer::new(config, RngFork::new(seed), rng_from_seed(seed));
+        for (_, col) in data.stream() {
+            synth.step(col).unwrap();
+        }
+        synth
+    }
+
+    #[test]
+    fn synthetic_population_matches_estimates() {
+        // The records' actual weight distribution must equal the Ŝ matrix
+        // at every round — the defining consistency of Algorithm 2.
+        let data = iid_bernoulli(&mut rng_from_seed(1), 400, 10, 0.3);
+        let config = CumulativeConfig::new(10, Rho::new(0.05).unwrap()).unwrap();
+        let synth = run(&data, config, 2);
+        for t in 0..10 {
+            let estimates = synth.threshold_estimates(t).unwrap();
+            let from_records = synth.synthetic().cumulative_counts(t);
+            for b in 0..=(t + 1) {
+                assert_eq!(
+                    from_records.get(b).copied().unwrap_or(0),
+                    estimates[b],
+                    "t={t}, b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn estimates_form_valid_threshold_matrix() {
+        let data = iid_bernoulli(&mut rng_from_seed(3), 300, 12, 0.4);
+        let config = CumulativeConfig::new(12, Rho::new(0.01).unwrap()).unwrap();
+        let synth = run(&data, config, 4);
+        let matrix: Vec<Vec<i64>> = (0..12)
+            .map(|t| synth.threshold_estimates(t).unwrap().to_vec())
+            .collect();
+        assert!(is_valid_threshold_matrix(&matrix));
+    }
+
+    #[test]
+    fn estimates_track_truth_at_generous_budget() {
+        let data = two_state_markov(
+            &mut rng_from_seed(5),
+            5_000,
+            12,
+            MarkovParams {
+                initial_one: 0.15,
+                stay_one: 0.8,
+                enter_one: 0.03,
+            },
+        );
+        let config = CumulativeConfig::new(12, Rho::new(1.0).unwrap()).unwrap();
+        let synth = run(&data, config, 6);
+        for t in 0..12 {
+            let truth = cumulative_counts(&data, t);
+            for b in 1..=(t + 1).min(6) {
+                let est = synth.estimate_fraction(t, b).unwrap();
+                let tru = truth[b] as f64 / 5_000.0;
+                assert!((est - tru).abs() < 0.02, "t={t}, b={b}: {est} vs {tru}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_data_stays_near_zero() {
+        // With no signal, the monotone clamps must not let noise accumulate
+        // into runaway counts.
+        let data = all_zeros(1_000, 12);
+        let config = CumulativeConfig::new(12, Rho::new(0.005).unwrap()).unwrap();
+        let synth = run(&data, config, 7);
+        let bound = synth.error_bound_counts(0.01);
+        for t in 0..12 {
+            for b in 1..=t + 1 {
+                let est = synth.threshold_estimates(t).unwrap()[b];
+                assert!(
+                    (est as f64) <= bound,
+                    "t={t}, b={b}: estimate {est} above bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_weights_increase_by_at_most_one_per_round() {
+        let data = iid_bernoulli(&mut rng_from_seed(8), 200, 10, 0.5);
+        let config = CumulativeConfig::new(10, Rho::new(0.02).unwrap()).unwrap();
+        let synth = run(&data, config, 9);
+        for record in synth.synthetic().iter() {
+            let mut prev_weight = 0;
+            for t in 0..record.len() {
+                let w = record.prefix_weight(t + 1);
+                assert!(w == prev_weight || w == prev_weight + 1);
+                prev_weight = w;
+            }
+        }
+    }
+
+    #[test]
+    fn budget_fully_spent_after_horizon() {
+        let data = iid_bernoulli(&mut rng_from_seed(10), 100, 8, 0.5);
+        for split in [BudgetSplit::Uniform, BudgetSplit::CorollaryB1] {
+            let config = CumulativeConfig::new(8, Rho::new(0.01).unwrap())
+                .unwrap()
+                .with_split(split);
+            let synth = run(&data, config, 11);
+            assert!(synth.ledger().exhausted(), "split {split:?}");
+        }
+    }
+
+    #[test]
+    fn all_counter_kinds_work() {
+        let data = iid_bernoulli(&mut rng_from_seed(12), 500, 8, 0.3);
+        for kind in CounterKind::all() {
+            let config = CumulativeConfig::new(8, Rho::new(0.5).unwrap())
+                .unwrap()
+                .with_counter(kind);
+            let synth = run(&data, config, 13);
+            // Valid matrix + rough tracking for every counter family.
+            let matrix: Vec<Vec<i64>> = (0..8)
+                .map(|t| synth.threshold_estimates(t).unwrap().to_vec())
+                .collect();
+            assert!(is_valid_threshold_matrix(&matrix), "{kind}");
+            let truth = cumulative_counts(&data, 7)[1] as f64 / 500.0;
+            let est = synth.estimate_fraction(7, 1).unwrap();
+            assert!((est - truth).abs() < 0.15, "{kind}: {est} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn determinism_and_seed_sensitivity() {
+        let data = iid_bernoulli(&mut rng_from_seed(14), 150, 6, 0.4);
+        let config = CumulativeConfig::new(6, Rho::new(0.05).unwrap()).unwrap();
+        let a = run(&data, config, 15);
+        let b = run(&data, config, 15);
+        assert_eq!(a.synthetic(), b.synthetic());
+        let c = run(&data, config, 16);
+        assert_ne!(a.synthetic(), c.synthetic());
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(CumulativeConfig::new(0, Rho::new(1.0).unwrap()).is_err());
+        assert!(CumulativeConfig::new(5, Rho::new(0.0).unwrap()).is_err());
+        let config = CumulativeConfig::new(2, Rho::new(1.0).unwrap()).unwrap();
+        let mut synth = CumulativeSynthesizer::new(config, RngFork::new(1), rng_from_seed(1));
+        synth.step(&BitColumn::zeros(5)).unwrap();
+        assert!(matches!(
+            synth.step(&BitColumn::zeros(6)),
+            Err(SynthError::ColumnSizeMismatch { .. })
+        ));
+        synth.step(&BitColumn::zeros(5)).unwrap();
+        assert!(matches!(
+            synth.step(&BitColumn::zeros(5)),
+            Err(SynthError::HorizonExceeded { horizon: 2 })
+        ));
+        assert!(matches!(
+            synth.estimate_fraction(5, 1),
+            Err(SynthError::RoundNotReleased { round: 5 })
+        ));
+    }
+
+    #[test]
+    fn crossings_estimates_match_released_differences_and_truth() {
+        use longsynth_queries::cumulative::threshold_crossings;
+        let data = two_state_markov(
+            &mut rng_from_seed(20),
+            5_000,
+            12,
+            MarkovParams {
+                initial_one: 0.15,
+                stay_one: 0.8,
+                enter_one: 0.03,
+            },
+        );
+        let config = CumulativeConfig::new(12, Rho::new(0.5).unwrap()).unwrap();
+        let synth = run(&data, config, 21);
+        for (t1, t2, b) in [(2usize, 5usize, 2usize), (0, 11, 1), (5, 8, 3)] {
+            let est = synth.estimate_crossings(t1, t2, b).unwrap();
+            assert!(est >= 0.0, "monotonization violated");
+            let truth = threshold_crossings(&data, t1, t2, b) as f64 / 5_000.0;
+            assert!(
+                (est - truth).abs() < 0.02,
+                "({t1},{t2},{b}): {est} vs {truth}"
+            );
+        }
+        // Validation.
+        assert!(synth.estimate_crossings(5, 5, 1).is_err());
+        assert!(synth.estimate_crossings(5, 20, 1).is_err());
+    }
+
+    #[test]
+    fn released_columns_match_recorded_population() {
+        let data = iid_bernoulli(&mut rng_from_seed(17), 50, 6, 0.5);
+        let config = CumulativeConfig::new(6, Rho::new(0.5).unwrap()).unwrap();
+        let mut synth = CumulativeSynthesizer::new(config, RngFork::new(18), rng_from_seed(18));
+        let mut released = Vec::new();
+        for (_, col) in data.stream() {
+            released.push(synth.step(col).unwrap());
+        }
+        for (t, col) in released.iter().enumerate() {
+            assert_eq!(col, &synth.synthetic().column(t), "round {t}");
+        }
+    }
+}

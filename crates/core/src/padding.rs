@@ -1,0 +1,135 @@
+//! Padding policies and the paper's executable bounds.
+//!
+//! Algorithm 1 seeds `npad` "fake" records into every histogram bin so that
+//! noisy counts stay non-negative for the whole run (§3.1): with
+//! `npad ≥ λ(ρ, T, k, β)` from Theorem 3.2, all counts remain valid with
+//! probability ≥ 1 − β. The padding is **public**, so analysts can debias
+//! (Corollary 3.3); the `debias` methods on the synthesizer do this
+//! automatically.
+
+use longsynth_dp::budget::Rho;
+use longsynth_dp::tail::{
+    corollary_3_3_debiased_bound, heuristic_npad, recommended_npad, theorem_3_2_lambda,
+    FixedWindowParams,
+};
+
+/// How much padding to inject per histogram bin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PaddingPolicy {
+    /// `⌈λ⌉` from Theorem 3.2 at the given failure probability β —
+    /// the paper's recommendation and the default.
+    Recommended {
+        /// Target failure probability β.
+        beta: f64,
+    },
+    /// The simpler §3.1 display (no rounding-noise term); slightly smaller,
+    /// used by the padding ablation.
+    Heuristic {
+        /// Target failure probability β.
+        beta: f64,
+    },
+    /// An explicit padding count (tests, ablations).
+    Fixed(u64),
+    /// No padding: negative counts become clamp events. Only sensible for
+    /// demonstrating *why* padding exists.
+    None,
+}
+
+impl Default for PaddingPolicy {
+    fn default() -> Self {
+        PaddingPolicy::Recommended { beta: 0.05 }
+    }
+}
+
+impl PaddingPolicy {
+    /// Resolve the policy to a concrete per-bin count.
+    pub fn resolve(&self, horizon: usize, window: usize, rho: Rho) -> u64 {
+        let params = FixedWindowParams::new(horizon, window, rho)
+            .expect("caller validated horizon/window/rho");
+        match *self {
+            PaddingPolicy::Recommended { beta } => recommended_npad(&params, beta),
+            PaddingPolicy::Heuristic { beta } => heuristic_npad(&params, beta),
+            PaddingPolicy::Fixed(npad) => npad,
+            PaddingPolicy::None => 0,
+        }
+    }
+}
+
+/// The Theorem 3.2 bound on `max_{s,t} |p_s^t − (C_s^t + npad)|` at failure
+/// probability β — the dashed line of the paper's Figures 3–4 (after
+/// normalizing by `n` for the debiased variant).
+pub fn theorem_bound_counts(horizon: usize, window: usize, rho: Rho, beta: f64) -> f64 {
+    let params =
+        FixedWindowParams::new(horizon, window, rho).expect("validated parameters");
+    theorem_3_2_lambda(&params, beta)
+}
+
+/// Corollary 3.3's debiased relative-error bound `λ/n`.
+pub fn theorem_bound_debiased(
+    horizon: usize,
+    window: usize,
+    rho: Rho,
+    beta: f64,
+    n: usize,
+) -> f64 {
+    let params =
+        FixedWindowParams::new(horizon, window, rho).expect("validated parameters");
+    corollary_3_3_debiased_bound(&params, beta, n)
+}
+
+/// The biased (no-debias) error bound: reading `p_s/n*` directly carries
+/// the padding offset, which for a support-`m` width-`k` query is
+/// `≈ m·npad/n` plus the `λ/n` noise term (the Corollary 3.3 discussion).
+/// The harness uses this as Figure 4's reference line with `m = 1`.
+pub fn biased_reference_bound(
+    horizon: usize,
+    window: usize,
+    rho: Rho,
+    beta: f64,
+    n: usize,
+) -> f64 {
+    let params =
+        FixedWindowParams::new(horizon, window, rho).expect("validated parameters");
+    let lambda = theorem_3_2_lambda(&params, beta);
+    let npad = recommended_npad(&params, beta) as f64;
+    (lambda + npad) / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rho() -> Rho {
+        Rho::new(0.005).unwrap()
+    }
+
+    #[test]
+    fn default_is_recommended() {
+        let policy = PaddingPolicy::default();
+        assert!(matches!(policy, PaddingPolicy::Recommended { beta } if beta == 0.05));
+    }
+
+    #[test]
+    fn policies_resolve_in_expected_order() {
+        let recommended = PaddingPolicy::Recommended { beta: 0.05 }.resolve(12, 3, rho());
+        let heuristic = PaddingPolicy::Heuristic { beta: 0.05 }.resolve(12, 3, rho());
+        let fixed = PaddingPolicy::Fixed(7).resolve(12, 3, rho());
+        let none = PaddingPolicy::None.resolve(12, 3, rho());
+        assert!(recommended >= heuristic);
+        assert_eq!(fixed, 7);
+        assert_eq!(none, 0);
+        // At the paper's SIPP parameters the padding is ~124 per bin.
+        assert!((100..200).contains(&recommended), "npad {recommended}");
+    }
+
+    #[test]
+    fn bounds_consistent_with_policy() {
+        let lambda = theorem_bound_counts(12, 3, rho(), 0.05);
+        let npad = PaddingPolicy::Recommended { beta: 0.05 }.resolve(12, 3, rho());
+        assert!(npad as f64 >= lambda);
+        let debiased = theorem_bound_debiased(12, 3, rho(), 0.05, 23_374);
+        assert!((debiased - lambda / 23_374.0).abs() < 1e-15);
+        let biased = biased_reference_bound(12, 3, rho(), 0.05, 23_374);
+        assert!(biased > debiased, "bias reference must dominate");
+    }
+}

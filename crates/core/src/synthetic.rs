@@ -1,0 +1,216 @@
+//! [`SyntheticDataset`]: the persistent synthetic population.
+//!
+//! This type embodies the model's defining constraint (§1, "Our model"):
+//! synthetic individuals persist over time and their records are updated
+//! *incrementally* — a released prefix is immutable. The only mutations are
+//! [`SyntheticDataset::append_round`] (one new bit per record) and the
+//! initial [`SyntheticDataset::from_pattern_counts`] seeding.
+
+use longsynth_data::{BitColumn, BitStream, LongitudinalDataset};
+use longsynth_queries::pattern::Pattern;
+
+/// A population of `m` synthetic records, all of equal (growing) length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntheticDataset {
+    records: Vec<BitStream>,
+    rounds: usize,
+}
+
+impl SyntheticDataset {
+    /// `m` empty records (used by the cumulative synthesizer, where
+    /// `m = n`).
+    pub fn empty(m: usize) -> Self {
+        Self {
+            records: (0..m).map(|_| BitStream::new()).collect(),
+            rounds: 0,
+        }
+    }
+
+    /// Seed the population from width-`k` pattern counts: for each pattern
+    /// `s`, create `counts[s]` records whose first `k` bits spell `s` —
+    /// Algorithm 1's initialization "output any dataset such that the
+    /// number of people with string s equals Ĉ_s".
+    ///
+    /// # Panics
+    /// Panics if `counts.len() != 2^k` or any count is negative.
+    pub fn from_pattern_counts(counts: &[i64], k: usize) -> Self {
+        assert_eq!(counts.len(), Pattern::count(k), "counts size mismatch");
+        let mut records = Vec::new();
+        for (code, &count) in counts.iter().enumerate() {
+            assert!(count >= 0, "negative pattern count {count}");
+            let pattern = Pattern::new(code as u32, k);
+            for _ in 0..count {
+                let mut stream = BitStream::with_capacity(k);
+                for i in 0..k {
+                    stream.push(pattern.bit(i));
+                }
+                records.push(stream);
+            }
+        }
+        Self {
+            records,
+            rounds: k,
+        }
+    }
+
+    /// Number of synthetic individuals `m` (the paper's `n*` for
+    /// Algorithm 1).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Rounds released so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// One synthetic individual's history.
+    pub fn record(&self, i: usize) -> &BitStream {
+        &self.records[i]
+    }
+
+    /// Append one round: `bits[i]` becomes record `i`'s next bit.
+    ///
+    /// # Panics
+    /// Panics if `bits.len() != len()`.
+    pub fn append_round(&mut self, bits: &[bool]) {
+        assert_eq!(bits.len(), self.records.len(), "round size mismatch");
+        for (record, &bit) in self.records.iter_mut().zip(bits) {
+            record.push(bit);
+        }
+        self.rounds += 1;
+    }
+
+    /// The released bits of round `t` as a column (e.g. to hand to a
+    /// downstream consumer of the synthetic stream).
+    pub fn column(&self, t: usize) -> BitColumn {
+        assert!(t < self.rounds, "round {t} not released");
+        BitColumn::from_iter_bits(self.records.iter().map(|r| r.get(t)))
+    }
+
+    /// View as a [`LongitudinalDataset`] so ground-truth query code applies
+    /// verbatim to the synthetic population.
+    pub fn as_panel(&self) -> LongitudinalDataset {
+        LongitudinalDataset::from_rows(&self.records)
+            .expect("records kept equal-length by construction")
+    }
+
+    /// Width-`k` window histogram of the synthetic population at round `t`
+    /// (counts per pattern code) — the `p_s^t` of the paper.
+    pub fn window_histogram(&self, t: usize, k: usize) -> Vec<i64> {
+        assert!(t < self.rounds, "round {t} not released");
+        assert!(t + 1 >= k, "window underflows");
+        let mut histogram = vec![0i64; Pattern::count(k)];
+        for record in &self.records {
+            histogram[record.suffix_pattern(t, k) as usize] += 1;
+        }
+        histogram
+    }
+
+    /// Threshold counts `#{records with ≥ b ones through round t}` for
+    /// `b = 0..=t+1`.
+    pub fn cumulative_counts(&self, t: usize) -> Vec<i64> {
+        assert!(t < self.rounds, "round {t} not released");
+        let mut by_weight = vec![0i64; t + 2];
+        for record in &self.records {
+            by_weight[record.prefix_weight(t + 1)] += 1;
+        }
+        let mut counts = vec![0i64; t + 2];
+        let mut acc = 0;
+        for b in (0..=t + 1).rev() {
+            acc += by_weight[b];
+            counts[b] = acc;
+        }
+        counts
+    }
+
+    /// Iterate over records.
+    pub fn iter(&self) -> impl Iterator<Item = &BitStream> {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_from_pattern_counts() {
+        // counts over width-2 patterns: 00→1, 01→2, 10→0, 11→3.
+        let s = SyntheticDataset::from_pattern_counts(&[1, 2, 0, 3], 2);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.rounds(), 2);
+        let hist = s.window_histogram(1, 2);
+        assert_eq!(hist, vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn append_extends_all_records() {
+        let mut s = SyntheticDataset::from_pattern_counts(&[2, 2], 1);
+        s.append_round(&[true, true, false, false]);
+        assert_eq!(s.rounds(), 2);
+        // Records 0-1 spelled "0", 2-3 spelled "1"; now histories are
+        // 01, 01, 10, 10.
+        let hist = s.window_histogram(1, 2);
+        assert_eq!(hist, vec![0, 2, 2, 0]);
+    }
+
+    #[test]
+    fn prefixes_are_immutable_across_appends() {
+        let mut s = SyntheticDataset::from_pattern_counts(&[1, 1, 1, 1], 2);
+        let before: Vec<Vec<bool>> = s.iter().map(|r| r.iter().collect()).collect();
+        s.append_round(&[true, false, true, false]);
+        s.append_round(&[false, false, true, true]);
+        for (i, record) in s.iter().enumerate() {
+            let now: Vec<bool> = record.iter().take(2).collect();
+            assert_eq!(now, before[i], "record {i} prefix changed");
+        }
+    }
+
+    #[test]
+    fn column_view_matches_records() {
+        let mut s = SyntheticDataset::from_pattern_counts(&[1, 1], 1);
+        s.append_round(&[true, false]);
+        let col = s.column(1);
+        assert!(col.get(0));
+        assert!(!col.get(1));
+    }
+
+    #[test]
+    fn panel_view_enables_query_reuse() {
+        let s = SyntheticDataset::from_pattern_counts(&[0, 1, 1, 0, 0, 0, 0, 2], 3);
+        let panel = s.as_panel();
+        assert_eq!(panel.individuals(), 4);
+        assert_eq!(panel.rounds(), 3);
+        let hist = longsynth_queries::window::window_histogram(&panel, 2, 3);
+        assert_eq!(hist[7], 2);
+        assert_eq!(hist[1], 1);
+        assert_eq!(hist[2], 1);
+    }
+
+    #[test]
+    fn cumulative_counts_from_records() {
+        let mut s = SyntheticDataset::empty(3);
+        s.append_round(&[true, false, true]);
+        s.append_round(&[true, false, false]);
+        // weights: 2, 0, 1 → S_0=3, S_1=2, S_2=1.
+        assert_eq!(s.cumulative_counts(1), vec![3, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "round size mismatch")]
+    fn wrong_round_size_panics() {
+        SyntheticDataset::empty(2).append_round(&[true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative pattern count")]
+    fn negative_count_panics() {
+        SyntheticDataset::from_pattern_counts(&[1, -1], 1);
+    }
+}

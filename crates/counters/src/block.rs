@@ -1,0 +1,190 @@
+//! The two-level `√T`-block counter.
+//!
+//! Partition time into blocks of length `B = ⌈√T⌉`. Release (i) a noisy
+//! value for every increment and (ii) a noisy total for every completed
+//! block. A prefix sum is then estimated from the ≤ `√T` completed block
+//! totals plus the ≤ `B` noisy increments of the current partial block —
+//! `O(√T)` noisy terms, i.e. error `O(T^{1/4} σ)`.
+//!
+//! Each stream element appears in exactly **2** released values (its own
+//! increment and its block's total), so ρ-zCDP needs per-node noise
+//! `σ² = 2/(2ρ) = 1/ρ`. This is the classic intermediate point between the
+//! simple counter and the tree, useful as an ablation baseline.
+
+use crate::StreamCounter;
+use longsynth_dp::budget::Rho;
+use longsynth_dp::mechanisms::NoiseDistribution;
+use longsynth_dp::rng::StdDpRng;
+use rand::Rng;
+
+/// Two-level block counter. See module docs.
+pub struct BlockCounter<R: Rng = StdDpRng> {
+    horizon: usize,
+    block_len: usize,
+    noise: NoiseDistribution,
+    /// Sum of noisy totals of completed blocks.
+    completed_noisy: i64,
+    /// Exact running total of the current partial block.
+    block_exact: u64,
+    /// Sum of noisy increments within the current partial block.
+    block_noisy: i64,
+    /// Steps taken within the current block.
+    block_steps: usize,
+    steps: usize,
+    rng: R,
+}
+
+impl<R: Rng> BlockCounter<R> {
+    /// A counter with explicit per-node noise and block length `⌈√T⌉`.
+    pub fn new(horizon: usize, noise: NoiseDistribution, rng: R) -> Self {
+        assert!(horizon >= 1, "horizon must be at least 1");
+        Self {
+            horizon,
+            block_len: (horizon as f64).sqrt().ceil() as usize,
+            noise,
+            completed_noisy: 0,
+            block_exact: 0,
+            block_noisy: 0,
+            block_steps: 0,
+            steps: 0,
+            rng,
+        }
+    }
+
+    /// ρ-zCDP calibration: 2 released values per element ⇒ `σ² = 1/ρ`.
+    pub fn for_zcdp(horizon: usize, rho: Rho, rng: R) -> Self {
+        assert!(rho.value() > 0.0);
+        Self::new(
+            horizon,
+            NoiseDistribution::DiscreteGaussian {
+                sigma2: 1.0 / rho.value(),
+            },
+            rng,
+        )
+    }
+
+    /// The block length `B` in use.
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+}
+
+impl<R: Rng> StreamCounter for BlockCounter<R> {
+    fn feed(&mut self, z: u64) -> i64 {
+        assert!(
+            self.steps < self.horizon,
+            "counter fed beyond its horizon {}",
+            self.horizon
+        );
+        self.steps += 1;
+        self.block_steps += 1;
+        self.block_exact += z;
+        self.block_noisy += z as i64 + self.noise.sample(&mut self.rng);
+        let estimate = self.completed_noisy + self.block_noisy;
+        if self.block_steps == self.block_len {
+            // Close the block: release one fresh-noise total for it and
+            // discard the per-increment noise.
+            self.completed_noisy += self.block_exact as i64 + self.noise.sample(&mut self.rng);
+            self.block_exact = 0;
+            self.block_noisy = 0;
+            self.block_steps = 0;
+        }
+        estimate
+    }
+
+    fn steps(&self) -> usize {
+        self.steps
+    }
+
+    fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    fn error_bound(&self, beta: f64) -> f64 {
+        // At most ⌈T/B⌉ block totals + B in-block increments contribute.
+        let blocks = self.horizon.div_ceil(self.block_len) as f64;
+        let terms = blocks + self.block_len as f64;
+        let variance = terms * self.noise.variance();
+        (2.0 * variance * (2.0 * self.horizon as f64 / beta).ln()).sqrt()
+    }
+
+    fn kind(&self) -> &'static str {
+        "block"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longsynth_dp::rng::rng_from_seed;
+
+    #[test]
+    fn noiseless_counter_is_exact_across_block_boundaries() {
+        let mut c = BlockCounter::new(17, NoiseDistribution::None, rng_from_seed(1));
+        assert_eq!(c.block_len(), 5); // ⌈√17⌉
+        let mut truth = 0i64;
+        for t in 1..=17u64 {
+            truth += t as i64;
+            assert_eq!(c.feed(t), truth, "step {t}");
+        }
+    }
+
+    #[test]
+    fn block_error_beats_simple_on_long_streams() {
+        // Same ρ, T = 4096: block's √T terms vs simple's T terms. Compare
+        // the worst error over the run, averaged over seeds.
+        let rho = Rho::new(0.5).unwrap();
+        let horizon = 4096;
+        let mut simple_err = 0.0;
+        let mut block_err = 0.0;
+        for seed in 0..10 {
+            let mut simple =
+                crate::simple::SimpleCounter::for_zcdp(horizon, rho, rng_from_seed(seed));
+            let mut block = BlockCounter::for_zcdp(horizon, rho, rng_from_seed(1000 + seed));
+            let mut truth = 0i64;
+            let mut worst_simple = 0.0f64;
+            let mut worst_block = 0.0f64;
+            for _ in 0..horizon {
+                truth += 1;
+                worst_simple = worst_simple.max((simple.feed(1) - truth).abs() as f64);
+                worst_block = worst_block.max((block.feed(1) - truth).abs() as f64);
+            }
+            simple_err += worst_simple;
+            block_err += worst_block;
+        }
+        assert!(
+            block_err * 2.0 < simple_err,
+            "block {block_err} not clearly better than simple {simple_err}"
+        );
+    }
+
+    #[test]
+    fn empirical_error_within_bound() {
+        let rho = Rho::new(0.2).unwrap();
+        let bound = BlockCounter::for_zcdp(100, rho, rng_from_seed(0)).error_bound(0.01);
+        let mut worst = 0.0f64;
+        for seed in 0..50 {
+            let mut c = BlockCounter::for_zcdp(100, rho, rng_from_seed(300 + seed));
+            let mut truth = 0i64;
+            for _ in 0..100 {
+                truth += 2;
+                worst = worst.max((c.feed(2) - truth).abs() as f64);
+            }
+        }
+        assert!(worst <= bound, "worst {worst} above bound {bound}");
+    }
+
+    #[test]
+    fn horizon_one_degenerates_gracefully() {
+        let mut c = BlockCounter::new(1, NoiseDistribution::None, rng_from_seed(2));
+        assert_eq!(c.feed(7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond its horizon")]
+    fn overfeeding_panics() {
+        let mut c = BlockCounter::new(1, NoiseDistribution::None, rng_from_seed(3));
+        c.feed(1);
+        c.feed(1);
+    }
+}

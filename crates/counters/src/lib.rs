@@ -1,0 +1,192 @@
+//! Differentially private stream counters under continual observation.
+//!
+//! A *stream counter* (paper, Appendix A) receives a stream `z¹, z², …, z^T`
+//! of natural numbers and must release an estimate `S̃ᵗ` of every prefix sum
+//! `Sᵗ = Σ_{j≤t} z^j` as it goes. Neighbouring streams differ by at most 1
+//! in a single entry; a counter is ρ-zCDP when its whole output sequence is
+//! insensitive to such a change.
+//!
+//! Algorithm 2 of the paper consumes one counter per Hamming-weight
+//! threshold `b`, and §1.1 explicitly notes that *any* counter can be
+//! plugged in ("using them in place of the tree counter in our work may
+//! yield improved practical results"). This crate provides four:
+//!
+//! | Counter | Released noise per element | Error at time `t` |
+//! |---|---|---|
+//! | [`simple::SimpleCounter`]   | 1 node  | `Θ(√t · σ)` |
+//! | [`block::BlockCounter`]     | 2 nodes | `Θ(T^{1/4} · σ)` |
+//! | [`tree::TreeCounter`]       | `L = ⌊log₂T⌋+1` nodes | `O(√(log T) · σ)` |
+//! | [`honaker::HonakerCounter`] | `L` nodes | tree, improved constants |
+//!
+//! plus the [`monotone::MonotoneCounter`] wrapper implementing the
+//! Chan–Shi–Song running-max post-processing that the paper's §4
+//! monotonization generalises.
+//!
+//! All counters emit *integer* estimates (the noise is integer-valued), so
+//! downstream consistency arithmetic stays exact.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod block;
+pub mod honaker;
+pub mod monotone;
+pub mod simple;
+pub mod tree;
+
+use longsynth_dp::budget::Rho;
+use longsynth_dp::mechanisms::NoiseDistribution;
+
+/// Number of binary-counter registers (tree levels) a length-`horizon`
+/// stream needs: `L = ⌊log₂ T⌋ + 1`, the number of bits of `T`.
+///
+/// `L` is the zCDP sensitivity multiplier of the tree mechanism: one stream
+/// element enters at most `L` released node values over the run.
+pub fn tree_levels(horizon: usize) -> usize {
+    assert!(horizon >= 1, "horizon must be at least 1");
+    (usize::BITS - horizon.leading_zeros()) as usize
+}
+
+/// The per-node discrete Gaussian noise for a ρ-zCDP tree counter over a
+/// length-`horizon` stream: `σ² = L / (2ρ)` (paper Appendix A, with
+/// `L ≈ log T`).
+pub fn tree_node_noise(horizon: usize, rho: Rho) -> NoiseDistribution {
+    let levels = tree_levels(horizon) as f64;
+    NoiseDistribution::DiscreteGaussian {
+        sigma2: levels / (2.0 * rho.value()),
+    }
+}
+
+/// An online differentially private prefix-sum estimator.
+///
+/// The object-safety of this trait is what lets the cumulative synthesizer
+/// hold `T` heterogeneous counters behind `Box<dyn StreamCounter>`.
+pub trait StreamCounter {
+    /// Feed the increment for the next time step and return the noisy
+    /// estimate `S̃ᵗ` of the running total.
+    ///
+    /// # Panics
+    /// Implementations panic when fed more than `horizon()` steps.
+    fn feed(&mut self, z: u64) -> i64;
+
+    /// Steps fed so far.
+    fn steps(&self) -> usize;
+
+    /// The stream length this counter was configured for.
+    fn horizon(&self) -> usize;
+
+    /// A deviation `λ` such that, with probability ≥ 1 − β,
+    /// `|S̃ᵗ − Sᵗ| ≤ λ` *simultaneously for every* `t ≤ horizon` (the
+    /// `(α, β)`-accuracy of Definition A.1, union-bounded over the run).
+    fn error_bound(&self, beta: f64) -> f64;
+
+    /// Short identifier for reports ("tree", "simple", …).
+    fn kind(&self) -> &'static str;
+}
+
+/// Which counter family to instantiate — used by the cumulative
+/// synthesizer's configuration and the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterKind {
+    /// Independent noise per increment.
+    Simple,
+    /// Two-level `√T`-block decomposition.
+    Block,
+    /// Binary-tree aggregation (the paper's Algorithm 3).
+    Tree,
+    /// Tree with Honaker-style variance-optimal node combination.
+    Honaker,
+}
+
+impl CounterKind {
+    /// Instantiate a ρ-zCDP counter of this kind over `horizon` steps,
+    /// drawing noise from `rng`.
+    pub fn build(
+        self,
+        horizon: usize,
+        rho: Rho,
+        rng: longsynth_dp::rng::StdDpRng,
+    ) -> Box<dyn StreamCounter> {
+        match self {
+            CounterKind::Simple => Box::new(simple::SimpleCounter::for_zcdp(horizon, rho, rng)),
+            CounterKind::Block => Box::new(block::BlockCounter::for_zcdp(horizon, rho, rng)),
+            CounterKind::Tree => Box::new(tree::TreeCounter::for_zcdp(horizon, rho, rng)),
+            CounterKind::Honaker => {
+                Box::new(honaker::HonakerCounter::for_zcdp(horizon, rho, rng))
+            }
+        }
+    }
+
+    /// All kinds, for sweep-style benches.
+    pub fn all() -> [CounterKind; 4] {
+        [
+            CounterKind::Simple,
+            CounterKind::Block,
+            CounterKind::Tree,
+            CounterKind::Honaker,
+        ]
+    }
+}
+
+impl std::fmt::Display for CounterKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            CounterKind::Simple => "simple",
+            CounterKind::Block => "block",
+            CounterKind::Tree => "tree",
+            CounterKind::Honaker => "honaker",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longsynth_dp::rng::rng_from_seed;
+
+    #[test]
+    fn levels_are_bit_lengths() {
+        assert_eq!(tree_levels(1), 1);
+        assert_eq!(tree_levels(2), 2);
+        assert_eq!(tree_levels(3), 2);
+        assert_eq!(tree_levels(4), 3);
+        assert_eq!(tree_levels(12), 4);
+        assert_eq!(tree_levels(16), 5);
+        assert_eq!(tree_levels(1 << 20), 21);
+    }
+
+    #[test]
+    fn node_noise_calibration() {
+        // T = 12, ρ = 0.005: L = 4, σ² = 4 / 0.01 = 400.
+        let noise = tree_node_noise(12, Rho::new(0.005).unwrap());
+        match noise {
+            NoiseDistribution::DiscreteGaussian { sigma2 } => {
+                assert!((sigma2 - 400.0).abs() < 1e-9)
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn kinds_build_working_counters() {
+        for kind in CounterKind::all() {
+            let mut counter = kind.build(8, Rho::new(1.0).unwrap(), rng_from_seed(1));
+            assert_eq!(counter.horizon(), 8);
+            assert_eq!(counter.steps(), 0);
+            for _ in 0..8 {
+                counter.feed(1);
+            }
+            assert_eq!(counter.steps(), 8);
+            assert!(counter.error_bound(0.05) > 0.0);
+            assert_eq!(format!("{kind}"), counter.kind());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn zero_horizon_rejected() {
+        tree_levels(0);
+    }
+}

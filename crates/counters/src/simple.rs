@@ -1,0 +1,146 @@
+//! The baseline counter: independent noise on every increment.
+//!
+//! Release `z̃ᵗ = zᵗ + noise` and report `S̃ᵗ = Σ_{j≤t} z̃ʲ`. Each stream
+//! element appears in exactly one released value, so per-increment noise
+//! `N_Z(0, 1/(2ρ))` suffices for ρ-zCDP — the cheapest privacy analysis and
+//! the worst accuracy: the error at time `t` is a sum of `t` independent
+//! noises, growing as `√t · σ`.
+
+use crate::StreamCounter;
+use longsynth_dp::budget::Rho;
+use longsynth_dp::mechanisms::NoiseDistribution;
+use longsynth_dp::rng::StdDpRng;
+use rand::Rng;
+
+/// Per-increment-noise counter. See module docs.
+pub struct SimpleCounter<R: Rng = StdDpRng> {
+    horizon: usize,
+    noise: NoiseDistribution,
+    running: i64,
+    steps: usize,
+    rng: R,
+}
+
+impl<R: Rng> SimpleCounter<R> {
+    /// A counter with explicit per-increment noise.
+    pub fn new(horizon: usize, noise: NoiseDistribution, rng: R) -> Self {
+        assert!(horizon >= 1, "horizon must be at least 1");
+        Self {
+            horizon,
+            noise,
+            running: 0,
+            steps: 0,
+            rng,
+        }
+    }
+
+    /// ρ-zCDP calibration: one released value per element ⇒
+    /// `σ² = 1/(2ρ)`.
+    pub fn for_zcdp(horizon: usize, rho: Rho, rng: R) -> Self {
+        Self::new(horizon, NoiseDistribution::gaussian_for_zcdp(rho, 1.0), rng)
+    }
+}
+
+impl<R: Rng> StreamCounter for SimpleCounter<R> {
+    fn feed(&mut self, z: u64) -> i64 {
+        assert!(
+            self.steps < self.horizon,
+            "counter fed beyond its horizon {}",
+            self.horizon
+        );
+        self.steps += 1;
+        self.running += z as i64 + self.noise.sample(&mut self.rng);
+        self.running
+    }
+
+    fn steps(&self) -> usize {
+        self.steps
+    }
+
+    fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    fn error_bound(&self, beta: f64) -> f64 {
+        // At time t the error is a sum of t independent draws: variance
+        // ≤ T·σ². Union bound over the T released prefixes.
+        let variance = self.horizon as f64 * self.noise.variance();
+        (2.0 * variance * (2.0 * self.horizon as f64 / beta).ln()).sqrt()
+    }
+
+    fn kind(&self) -> &'static str {
+        "simple"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longsynth_dp::rng::rng_from_seed;
+
+    #[test]
+    fn noiseless_counter_is_exact() {
+        let mut c = SimpleCounter::new(10, NoiseDistribution::None, rng_from_seed(1));
+        let mut truth = 0i64;
+        for t in 0..10u64 {
+            truth += t as i64;
+            assert_eq!(c.feed(t), truth);
+        }
+    }
+
+    #[test]
+    fn error_grows_with_time() {
+        // With σ² = 100 over T = 1024 steps, compare average |error| in the
+        // first 32 steps vs the last 32: the random walk must visibly widen.
+        let mut early = 0.0;
+        let mut late = 0.0;
+        for seed in 0..40 {
+            let mut c = SimpleCounter::new(
+                1024,
+                NoiseDistribution::DiscreteGaussian { sigma2: 100.0 },
+                rng_from_seed(seed),
+            );
+            let mut truth = 0i64;
+            for t in 0..1024 {
+                truth += 1;
+                let est = c.feed(1);
+                let err = (est - truth).abs() as f64;
+                if t < 32 {
+                    early += err;
+                } else if t >= 992 {
+                    late += err;
+                }
+            }
+        }
+        assert!(
+            late > 2.0 * early,
+            "random-walk error did not grow: early {early}, late {late}"
+        );
+    }
+
+    #[test]
+    fn empirical_error_within_bound() {
+        let rho = Rho::new(0.5).unwrap();
+        let mut worst = 0.0f64;
+        for seed in 0..50 {
+            let mut c = SimpleCounter::for_zcdp(64, rho, rng_from_seed(100 + seed));
+            let mut truth = 0i64;
+            for _ in 0..64 {
+                truth += 3;
+                let est = c.feed(3);
+                worst = worst.max((est - truth).abs() as f64);
+            }
+        }
+        let bound = SimpleCounter::for_zcdp(64, rho, rng_from_seed(0)).error_bound(0.01);
+        assert!(worst <= bound, "worst {worst} above bound {bound}");
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond its horizon")]
+    fn overfeeding_panics() {
+        let mut c = SimpleCounter::new(2, NoiseDistribution::None, rng_from_seed(2));
+        c.feed(1);
+        c.feed(1);
+        c.feed(1);
+    }
+}

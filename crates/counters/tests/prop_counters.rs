@@ -1,0 +1,122 @@
+//! Property-based tests for the stream counters.
+
+use longsynth_counters::monotone::MonotoneCounter;
+use longsynth_counters::tree::TreeCounter;
+use longsynth_counters::{tree_levels, CounterKind, StreamCounter};
+use longsynth_dp::budget::Rho;
+use longsynth_dp::mechanisms::NoiseDistribution;
+use longsynth_dp::rng::rng_from_seed;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every counter kind, fed a noiseless... — counters are private, so
+    /// instead: with any seed, every counter's outputs stay within its own
+    /// a-priori β = 1e-6 bound on moderate streams (a smoke-level
+    /// statistical check that would catch calibration mistakes of ~3x).
+    #[test]
+    fn outputs_within_self_reported_bound(
+        seed in any::<u64>(),
+        horizon in 1usize..200,
+    ) {
+        let rho = Rho::new(1.0).unwrap();
+        for kind in CounterKind::all() {
+            let mut c = kind.build(horizon, rho, rng_from_seed(seed));
+            let bound = c.error_bound(1e-6);
+            let mut truth = 0i64;
+            for t in 0..horizon as u64 {
+                let z = t % 3;
+                truth += z as i64;
+                let est = c.feed(z);
+                prop_assert!(
+                    ((est - truth).abs() as f64) <= bound,
+                    "{} at t={}: |{} - {}| > {}", kind, t, est, truth, bound
+                );
+            }
+        }
+    }
+
+    /// Noiseless counters are exact prefix summers for arbitrary streams.
+    #[test]
+    fn noiseless_counters_are_exact(
+        stream in proptest::collection::vec(0u64..20, 1..300),
+    ) {
+        let horizon = stream.len();
+        let mut counters: Vec<Box<dyn StreamCounter>> = vec![
+            Box::new(longsynth_counters::simple::SimpleCounter::new(
+                horizon, NoiseDistribution::None, rng_from_seed(1))),
+            Box::new(longsynth_counters::block::BlockCounter::new(
+                horizon, NoiseDistribution::None, rng_from_seed(2))),
+            Box::new(TreeCounter::new(horizon, NoiseDistribution::None, rng_from_seed(3))),
+            Box::new(longsynth_counters::honaker::HonakerCounter::new(
+                horizon, NoiseDistribution::None, rng_from_seed(4))),
+        ];
+        let mut truth = 0i64;
+        for &z in &stream {
+            truth += z as i64;
+            for c in counters.iter_mut() {
+                prop_assert_eq!(c.feed(z), truth, "counter {}", c.kind());
+            }
+        }
+    }
+
+    /// Counters are deterministic in their seed.
+    #[test]
+    fn counters_are_deterministic(seed in any::<u64>(), horizon in 1usize..100) {
+        let rho = Rho::new(0.5).unwrap();
+        for kind in CounterKind::all() {
+            let mut a = kind.build(horizon, rho, rng_from_seed(seed));
+            let mut b = kind.build(horizon, rho, rng_from_seed(seed));
+            for t in 0..horizon as u64 {
+                prop_assert_eq!(a.feed(t % 2), b.feed(t % 2));
+            }
+        }
+    }
+
+    /// Monotone wrapper: outputs non-decreasing, and error dominated by the
+    /// raw counter's running worst error (Lemma 4.2, single-stream case).
+    #[test]
+    fn monotone_wrapper_contract(seed in any::<u64>(), horizon in 1usize..150) {
+        let noise = NoiseDistribution::DiscreteGaussian { sigma2: 250.0 };
+        let mut raw = TreeCounter::new(horizon, noise, rng_from_seed(seed));
+        let mut mono = MonotoneCounter::new(TreeCounter::new(horizon, noise, rng_from_seed(seed)));
+        let mut truth = 0i64;
+        let mut prev = i64::MIN;
+        let mut worst_raw = 0i64;
+        for t in 0..horizon as u64 {
+            let z = u64::from(t % 5 == 0);
+            truth += z as i64;
+            let r = raw.feed(z);
+            let m = mono.feed(z);
+            worst_raw = worst_raw.max((r - truth).abs());
+            prop_assert!(m >= prev);
+            prop_assert!((m - truth).abs() <= worst_raw);
+            prev = m;
+        }
+    }
+
+    /// tree_levels is the bit length: 2^(L-1) ≤ T < 2^L.
+    #[test]
+    fn levels_bracket_horizon(horizon in 1usize..1_000_000) {
+        let levels = tree_levels(horizon);
+        prop_assert!(1usize << (levels - 1) <= horizon);
+        prop_assert!(horizon < (1usize << levels));
+    }
+
+    /// Feeding an all-zero stream keeps every estimate near zero: counters
+    /// must not leak systematic bias.
+    #[test]
+    fn zero_stream_estimates_centered(seed in any::<u64>()) {
+        let rho = Rho::new(1.0).unwrap();
+        let horizon = 64;
+        for kind in CounterKind::all() {
+            let mut c = kind.build(horizon, rho, rng_from_seed(seed));
+            let mut sum = 0i64;
+            for _ in 0..horizon {
+                sum += c.feed(0);
+            }
+            let mean = sum as f64 / horizon as f64;
+            let bound = c.error_bound(1e-6);
+            prop_assert!(mean.abs() <= bound, "{}: mean {} vs bound {}", kind, mean, bound);
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Categorical panels: the `|X| = V > 2` generalisation.
+//!
+//! §2 of the paper: "The solutions we develop for fixed time window queries
+//! naturally extend to handle categorical data with more than 2 categories."
+//! The categorical fixed-window synthesizer (in the core crate) consumes
+//! these panels; the histogram simply ranges over `V^k` patterns instead of
+//! `2^k`.
+
+use std::fmt;
+
+/// One round of categorical reports; each value lies in `0..V`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct CategoricalColumn {
+    values: Vec<u8>,
+    categories: u8,
+}
+
+impl CategoricalColumn {
+    /// Build from raw values, validating each lies in `0..categories`.
+    ///
+    /// # Errors
+    /// Returns the index and value of the first out-of-range entry.
+    pub fn new(values: Vec<u8>, categories: u8) -> Result<Self, CategoricalError> {
+        if categories == 0 {
+            return Err(CategoricalError::ZeroCategories);
+        }
+        for (i, &v) in values.iter().enumerate() {
+            if v >= categories {
+                return Err(CategoricalError::OutOfRange {
+                    individual: i,
+                    value: v,
+                    categories,
+                });
+            }
+        }
+        Ok(Self { values, categories })
+    }
+
+    /// Number of individuals.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the column covers zero individuals.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of categories `V`.
+    pub fn categories(&self) -> u8 {
+        self.categories
+    }
+
+    /// Value for individual `i`.
+    pub fn get(&self, i: usize) -> u8 {
+        self.values[i]
+    }
+
+    /// Iterate values in individual order.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        self.values.iter().copied()
+    }
+}
+
+impl fmt::Debug for CategoricalColumn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CategoricalColumn[len={}, V={}]",
+            self.values.len(),
+            self.categories
+        )
+    }
+}
+
+/// An `n × T` categorical panel with a fixed category count `V`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct CategoricalDataset {
+    individuals: usize,
+    categories: u8,
+    columns: Vec<CategoricalColumn>,
+}
+
+impl CategoricalDataset {
+    /// Create an empty panel.
+    pub fn empty(individuals: usize, categories: u8) -> Self {
+        Self {
+            individuals,
+            categories,
+            columns: Vec::new(),
+        }
+    }
+
+    /// Build from per-round columns, validating shape and category counts.
+    pub fn from_columns(columns: Vec<CategoricalColumn>) -> Result<Self, CategoricalError> {
+        let individuals = columns.first().map_or(0, CategoricalColumn::len);
+        let categories = columns.first().map_or(1, CategoricalColumn::categories);
+        for (t, col) in columns.iter().enumerate() {
+            if col.len() != individuals || col.categories() != categories {
+                return Err(CategoricalError::RaggedColumns { round: t });
+            }
+        }
+        Ok(Self {
+            individuals,
+            categories,
+            columns,
+        })
+    }
+
+    /// Append one round.
+    pub fn push_column(&mut self, column: CategoricalColumn) -> Result<(), CategoricalError> {
+        if column.len() != self.individuals || column.categories() != self.categories {
+            return Err(CategoricalError::RaggedColumns {
+                round: self.columns.len(),
+            });
+        }
+        self.columns.push(column);
+        Ok(())
+    }
+
+    /// Number of individuals `n`.
+    pub fn individuals(&self) -> usize {
+        self.individuals
+    }
+
+    /// Number of categories `V`.
+    pub fn categories(&self) -> u8 {
+        self.categories
+    }
+
+    /// Number of recorded rounds.
+    pub fn rounds(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The reports of round `t`.
+    pub fn column(&self, t: usize) -> &CategoricalColumn {
+        &self.columns[t]
+    }
+
+    /// Iterate rounds in arrival order.
+    pub fn stream(&self) -> impl Iterator<Item = (usize, &CategoricalColumn)> + '_ {
+        self.columns.iter().enumerate()
+    }
+
+    /// Value of individual `i` at round `t`.
+    pub fn value(&self, i: usize, t: usize) -> u8 {
+        self.columns[t].get(i)
+    }
+
+    /// The `k`-wide suffix pattern of individual `i` at round `t`, encoded
+    /// base-`V` with the oldest report most significant.
+    pub fn suffix_pattern(&self, i: usize, t: usize, k: usize) -> u32 {
+        assert!(k >= 1, "pattern width must be positive");
+        assert!(t < self.rounds(), "round out of range");
+        assert!(t + 1 >= k, "window underflows");
+        let v = u32::from(self.categories);
+        assert!(
+            (v as f64).powi(k as i32) <= u32::MAX as f64,
+            "V^k overflows pattern encoding"
+        );
+        let mut pattern = 0u32;
+        for round in (t + 1 - k)..=t {
+            pattern = pattern * v + u32::from(self.value(i, round));
+        }
+        pattern
+    }
+}
+
+impl fmt::Debug for CategoricalDataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CategoricalDataset[n={}, T={}, V={}]",
+            self.individuals,
+            self.rounds(),
+            self.categories
+        )
+    }
+}
+
+/// Errors from categorical panel construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CategoricalError {
+    /// `V = 0` categories requested.
+    ZeroCategories,
+    /// A value outside `0..V`.
+    OutOfRange {
+        /// Individual index.
+        individual: usize,
+        /// Offending value.
+        value: u8,
+        /// Category count.
+        categories: u8,
+    },
+    /// Columns disagree in length or category count.
+    RaggedColumns {
+        /// Round index of the offending column.
+        round: usize,
+    },
+}
+
+impl fmt::Display for CategoricalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CategoricalError::ZeroCategories => write!(f, "category count must be at least 1"),
+            CategoricalError::OutOfRange {
+                individual,
+                value,
+                categories,
+            } => write!(
+                f,
+                "individual {individual} reported {value}, outside 0..{categories}"
+            ),
+            CategoricalError::RaggedColumns { round } => {
+                write!(f, "column at round {round} has mismatched shape")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CategoricalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CategoricalDataset {
+        // 3 people, 3 rounds, V = 3:
+        //   p0: 0 1 2
+        //   p1: 2 2 2
+        //   p2: 1 0 1
+        let cols = vec![
+            CategoricalColumn::new(vec![0, 2, 1], 3).unwrap(),
+            CategoricalColumn::new(vec![1, 2, 0], 3).unwrap(),
+            CategoricalColumn::new(vec![2, 2, 1], 3).unwrap(),
+        ];
+        CategoricalDataset::from_columns(cols).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_values() {
+        assert!(CategoricalColumn::new(vec![0, 1, 2], 3).is_ok());
+        assert!(matches!(
+            CategoricalColumn::new(vec![0, 3], 3),
+            Err(CategoricalError::OutOfRange {
+                individual: 1,
+                value: 3,
+                ..
+            })
+        ));
+        assert!(matches!(
+            CategoricalColumn::new(vec![], 0),
+            Err(CategoricalError::ZeroCategories)
+        ));
+    }
+
+    #[test]
+    fn panel_shape() {
+        let d = sample();
+        assert_eq!(d.individuals(), 3);
+        assert_eq!(d.rounds(), 3);
+        assert_eq!(d.categories(), 3);
+        assert_eq!(d.value(0, 2), 2);
+        assert_eq!(d.value(1, 0), 2);
+    }
+
+    #[test]
+    fn base_v_suffix_patterns() {
+        let d = sample();
+        // p0 at t=2, k=2: (1, 2) base 3 → 1·3 + 2 = 5.
+        assert_eq!(d.suffix_pattern(0, 2, 2), 5);
+        // p1 full history (2,2,2) → 2·9 + 2·3 + 2 = 26 = 3³-1.
+        assert_eq!(d.suffix_pattern(1, 2, 3), 26);
+        // Width 1 = the value itself.
+        assert_eq!(d.suffix_pattern(2, 1, 1), 0);
+    }
+
+    #[test]
+    fn ragged_columns_rejected() {
+        let cols = vec![
+            CategoricalColumn::new(vec![0, 1], 2).unwrap(),
+            CategoricalColumn::new(vec![0, 1, 1], 2).unwrap(),
+        ];
+        assert!(matches!(
+            CategoricalDataset::from_columns(cols),
+            Err(CategoricalError::RaggedColumns { round: 1 })
+        ));
+        // Mismatched V also rejected.
+        let cols = vec![
+            CategoricalColumn::new(vec![0, 1], 2).unwrap(),
+            CategoricalColumn::new(vec![0, 1], 3).unwrap(),
+        ];
+        assert!(CategoricalDataset::from_columns(cols).is_err());
+    }
+
+    #[test]
+    fn binary_special_case_matches_bit_encoding() {
+        // V = 2 must reproduce the binary pattern encoding.
+        let cols = vec![
+            CategoricalColumn::new(vec![1, 0], 2).unwrap(),
+            CategoricalColumn::new(vec![1, 1], 2).unwrap(),
+            CategoricalColumn::new(vec![0, 1], 2).unwrap(),
+        ];
+        let d = CategoricalDataset::from_columns(cols).unwrap();
+        // p0 history 110 → pattern at t=2,k=3 = 0b110 = 6.
+        assert_eq!(d.suffix_pattern(0, 2, 3), 6);
+        // p1 history 011 → 3.
+        assert_eq!(d.suffix_pattern(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn push_column_validates() {
+        let mut d = CategoricalDataset::empty(2, 4);
+        assert!(d
+            .push_column(CategoricalColumn::new(vec![3, 0], 4).unwrap())
+            .is_ok());
+        assert!(d
+            .push_column(CategoricalColumn::new(vec![1], 4).unwrap())
+            .is_err());
+        assert!(d
+            .push_column(CategoricalColumn::new(vec![1, 1], 3).unwrap())
+            .is_err());
+    }
+}

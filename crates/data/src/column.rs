@@ -1,0 +1,164 @@
+//! [`BitColumn`]: the vector of reports arriving in one round.
+//!
+//! A column is the unit of the continual-release interface: in round `t`
+//! the synthesizer receives `D_t`, one bit per individual. Bits are packed
+//! 64-per-word; at the paper's scale (n ≈ 23 000, T = 12) a full panel is a
+//! few kilobytes, and packed storage keeps the per-round histogram updates
+//! cache-friendly.
+
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// One round of boolean reports, bit-packed.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitColumn {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitColumn {
+    /// An all-zero column for `len` individuals.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// An all-one column for `len` individuals.
+    pub fn ones(len: usize) -> Self {
+        let mut col = Self::zeros(len);
+        for i in 0..len {
+            col.set(i, true);
+        }
+        col
+    }
+
+    /// Build from a slice of booleans.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut col = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                col.set(i, true);
+            }
+        }
+        col
+    }
+
+    /// Build from an iterator of booleans.
+    pub fn from_iter_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let bits: Vec<bool> = bits.into_iter().collect();
+        Self::from_bools(&bits)
+    }
+
+    /// Number of individuals in the column.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the column covers zero individuals.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit for individual `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "individual index {i} out of range {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Set the bit for individual `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "individual index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            self.words[i / WORD_BITS] |= mask;
+        } else {
+            self.words[i / WORD_BITS] &= !mask;
+        }
+    }
+
+    /// Number of 1-bits (e.g. "households in poverty this month").
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate over the bits in individual order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+impl fmt::Debug for BitColumn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitColumn[len={}, ones={}]", self.len, self.count_ones())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitColumn::zeros(100);
+        assert_eq!(z.len(), 100);
+        assert_eq!(z.count_ones(), 0);
+        let o = BitColumn::ones(100);
+        assert_eq!(o.count_ones(), 100);
+        assert!(!z.is_empty());
+        assert!(BitColumn::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundaries() {
+        let mut col = BitColumn::zeros(130);
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 129] {
+            col.set(i, true);
+            assert!(col.get(i), "bit {i}");
+        }
+        assert_eq!(col.count_ones(), 8);
+        col.set(64, false);
+        assert!(!col.get(64));
+        assert_eq!(col.count_ones(), 7);
+    }
+
+    #[test]
+    fn from_bools_matches_iter() {
+        let bits = [true, false, true, true, false];
+        let col = BitColumn::from_bools(&bits);
+        let back: Vec<bool> = col.iter().collect();
+        assert_eq!(back, bits);
+        let col2 = BitColumn::from_iter_bits(bits.iter().copied());
+        assert_eq!(col, col2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitColumn::zeros(5).get(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        BitColumn::zeros(5).set(6, true);
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let col = BitColumn::from_bools(&[true, true, false]);
+        assert_eq!(format!("{col:?}"), "BitColumn[len=3, ones=2]");
+    }
+}

@@ -1,0 +1,272 @@
+//! Plain CSV panel I/O: one row per individual, one 0/1 column per round.
+//!
+//! This is the interchange format of the `longsynth-cli` tool: anything
+//! that can produce a rectangular 0/1 CSV (R, pandas, Stata exports) can be
+//! synthesized, and the released synthetic panel round-trips through the
+//! same format. An optional header row is detected and skipped; an
+//! optional leading `id` column (any non-0/1 first field) is detected and
+//! dropped.
+
+use crate::bitstream::BitStream;
+use crate::dataset::LongitudinalDataset;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors from panel CSV parsing.
+#[derive(Debug)]
+pub enum PanelCsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A cell was neither `0` nor `1`.
+    BadCell {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column number.
+        column: usize,
+        /// Offending text.
+        value: String,
+    },
+    /// Rows have differing numbers of rounds.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// Expected round count.
+        expected: usize,
+        /// Found round count.
+        actual: usize,
+    },
+    /// The file contained no data rows.
+    Empty,
+}
+
+impl fmt::Display for PanelCsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PanelCsvError::Io(e) => write!(f, "I/O error reading panel CSV: {e}"),
+            PanelCsvError::BadCell {
+                line,
+                column,
+                value,
+            } => write!(
+                f,
+                "line {line}, column {column}: expected 0 or 1, found {value:?}"
+            ),
+            PanelCsvError::RaggedRow {
+                line,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "line {line}: {actual} rounds, expected {expected} (ragged panel)"
+            ),
+            PanelCsvError::Empty => write!(f, "panel CSV contained no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for PanelCsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PanelCsvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PanelCsvError {
+    fn from(e: std::io::Error) -> Self {
+        PanelCsvError::Io(e)
+    }
+}
+
+fn parse_bit(field: &str) -> Option<bool> {
+    match field.trim() {
+        "0" => Some(false),
+        "1" => Some(true),
+        _ => None,
+    }
+}
+
+/// Read a 0/1 panel CSV. Detects and skips a header row (any row whose
+/// data cells are not all 0/1) and a leading id column (a first field that
+/// is not 0/1 on every row).
+pub fn read_panel_csv<R: BufRead>(reader: R) -> Result<LongitudinalDataset, PanelCsvError> {
+    let mut raw_rows: Vec<(usize, Vec<String>)> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        raw_rows.push((
+            idx + 1,
+            trimmed.split(',').map(|f| f.trim().to_string()).collect(),
+        ));
+    }
+    // Header detection: first row with any non-bit cell beyond what an id
+    // column explains.
+    if let Some((_, first)) = raw_rows.first() {
+        let non_bits = first.iter().filter(|f| parse_bit(f).is_none()).count();
+        if non_bits > 1 || (non_bits == 1 && parse_bit(&first[0]).is_some()) {
+            raw_rows.remove(0);
+        }
+    }
+    if raw_rows.is_empty() {
+        return Err(PanelCsvError::Empty);
+    }
+    // Id-column detection: first field non-bit on every remaining row.
+    let drop_first = raw_rows
+        .iter()
+        .all(|(_, fields)| !fields.is_empty() && parse_bit(&fields[0]).is_none());
+
+    let mut rows: Vec<BitStream> = Vec::with_capacity(raw_rows.len());
+    let mut expected = None;
+    for (line, fields) in &raw_rows {
+        let data = if drop_first { &fields[1..] } else { &fields[..] };
+        match expected {
+            None => expected = Some(data.len()),
+            Some(e) if e != data.len() => {
+                return Err(PanelCsvError::RaggedRow {
+                    line: *line,
+                    expected: e,
+                    actual: data.len(),
+                })
+            }
+            _ => {}
+        }
+        let mut stream = BitStream::with_capacity(data.len());
+        for (col, field) in data.iter().enumerate() {
+            match parse_bit(field) {
+                Some(bit) => stream.push(bit),
+                None => {
+                    return Err(PanelCsvError::BadCell {
+                        line: *line,
+                        column: col + 1 + usize::from(drop_first),
+                        value: field.clone(),
+                    })
+                }
+            }
+        }
+        rows.push(stream);
+    }
+    LongitudinalDataset::from_rows(&rows).map_err(|_| PanelCsvError::Empty)
+}
+
+/// Write a panel as 0/1 CSV with a `round_1..round_T` header. When
+/// `flags` is provided (one per individual, e.g. padding labels), a
+/// trailing `padding` column is emitted.
+pub fn write_panel_csv<W: Write>(
+    mut writer: W,
+    rows: impl Iterator<Item = BitStream>,
+    rounds: usize,
+    flags: Option<&[bool]>,
+) -> std::io::Result<()> {
+    let mut header: Vec<String> = (1..=rounds).map(|t| format!("round_{t}")).collect();
+    if flags.is_some() {
+        header.push("padding".to_string());
+    }
+    writeln!(writer, "{}", header.join(","))?;
+    for (i, row) in rows.enumerate() {
+        debug_assert_eq!(row.len(), rounds);
+        let mut cells: Vec<String> = row.iter().map(|b| u8::from(b).to_string()).collect();
+        if let Some(flags) = flags {
+            cells.push(u8::from(flags[i]).to_string());
+        }
+        writeln!(writer, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn plain_panel_roundtrip() {
+        let csv = "1,0,1\n0,0,0\n1,1,1\n";
+        let panel = read_panel_csv(Cursor::new(csv)).unwrap();
+        assert_eq!(panel.individuals(), 3);
+        assert_eq!(panel.rounds(), 3);
+        assert!(panel.value(0, 0));
+        assert!(!panel.value(1, 2));
+
+        let mut out = Vec::new();
+        write_panel_csv(
+            &mut out,
+            (0..3).map(|i| panel.row(i, 2)),
+            3,
+            None,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("round_1,round_2,round_3\n"));
+        let reparsed = read_panel_csv(Cursor::new(text)).unwrap();
+        assert_eq!(reparsed, panel);
+    }
+
+    #[test]
+    fn header_and_id_column_detected() {
+        let csv = "id,month1,month2\nhh1,1,0\nhh2,0,1\n";
+        let panel = read_panel_csv(Cursor::new(csv)).unwrap();
+        assert_eq!(panel.individuals(), 2);
+        assert_eq!(panel.rounds(), 2);
+        assert!(panel.value(0, 0));
+        assert!(panel.value(1, 1));
+    }
+
+    #[test]
+    fn header_without_id_column() {
+        let csv = "m1,m2\n1,0\n0,1\n";
+        let panel = read_panel_csv(Cursor::new(csv)).unwrap();
+        assert_eq!(panel.individuals(), 2);
+        assert_eq!(panel.rounds(), 2);
+    }
+
+    #[test]
+    fn bad_cell_reported_with_position() {
+        let csv = "1,0\n1,2\n";
+        match read_panel_csv(Cursor::new(csv)) {
+            Err(PanelCsvError::BadCell { line, column, value }) => {
+                assert_eq!((line, column), (2, 2));
+                assert_eq!(value, "2");
+            }
+            other => panic!("expected BadCell, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let csv = "1,0\n1\n";
+        assert!(matches!(
+            read_panel_csv(Cursor::new(csv)),
+            Err(PanelCsvError::RaggedRow { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert!(matches!(
+            read_panel_csv(Cursor::new("")),
+            Err(PanelCsvError::Empty)
+        ));
+        assert!(matches!(
+            read_panel_csv(Cursor::new("id,m1\n")),
+            Err(PanelCsvError::Empty)
+        ));
+    }
+
+    #[test]
+    fn padding_flag_column() {
+        let rows = vec![
+            [true, false].iter().copied().collect::<BitStream>(),
+            [false, true].iter().copied().collect::<BitStream>(),
+        ];
+        let mut out = Vec::new();
+        write_panel_csv(&mut out, rows.into_iter(), 2, Some(&[true, false])).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("padding"));
+        assert!(text.contains("1,0,1\n"));
+        assert!(text.contains("0,1,0\n"));
+    }
+}

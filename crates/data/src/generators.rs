@@ -1,0 +1,312 @@
+//! Ground-truth panel generators for experiments and tests.
+//!
+//! These produce the *non-private* datasets the paper's evaluation feeds to
+//! the synthesizers:
+//!
+//! * [`all_ones`] — the "rather extreme simulated data" of Appendix C.1
+//!   (every update is 1; used for Figures 3–4).
+//! * [`iid_bernoulli`] — independent bits, the simplest stochastic panel.
+//! * [`two_state_markov`] — persistent binary states (poverty, employment);
+//!   the SIPP simulator in [`crate::sipp`] is a calibrated instance.
+//! * [`subpopulation_mixture`] — individuals drawn from a small number of
+//!   per-round Bernoulli profiles, the evolving-data model of Joseph, Roth,
+//!   Ullman & Waggoner (referenced in the paper's §1.1).
+//! * [`categorical_markov`] — a `V`-state Markov panel for the categorical
+//!   extension.
+
+use crate::categorical::{CategoricalColumn, CategoricalDataset};
+use crate::column::BitColumn;
+use crate::dataset::LongitudinalDataset;
+use rand::Rng;
+
+/// The Appendix C.1 extreme panel: all `n × T` updates are 1.
+pub fn all_ones(individuals: usize, horizon: usize) -> LongitudinalDataset {
+    let columns = (0..horizon)
+        .map(|_| BitColumn::ones(individuals))
+        .collect();
+    LongitudinalDataset::from_columns(columns).expect("uniform columns are never ragged")
+}
+
+/// The all-zeros panel (useful for edge-case tests).
+pub fn all_zeros(individuals: usize, horizon: usize) -> LongitudinalDataset {
+    let columns = (0..horizon)
+        .map(|_| BitColumn::zeros(individuals))
+        .collect();
+    LongitudinalDataset::from_columns(columns).expect("uniform columns are never ragged")
+}
+
+/// Independent `Bernoulli(p)` bits for every individual and round.
+pub fn iid_bernoulli<R: Rng + ?Sized>(
+    rng: &mut R,
+    individuals: usize,
+    horizon: usize,
+    p: f64,
+) -> LongitudinalDataset {
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    let columns = (0..horizon)
+        .map(|_| BitColumn::from_iter_bits((0..individuals).map(|_| rng.gen_bool(p))))
+        .collect();
+    LongitudinalDataset::from_columns(columns).expect("generated columns are never ragged")
+}
+
+/// Parameters of a two-state Markov panel.
+///
+/// State 1 ("in poverty" / "unemployed") persists with probability
+/// `stay_one`; state 0 transitions into state 1 with probability
+/// `enter_one`; the initial column is `Bernoulli(initial_one)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarkovParams {
+    /// `Pr[x¹ = 1]`.
+    pub initial_one: f64,
+    /// `Pr[xᵗ⁺¹ = 1 | xᵗ = 1]`.
+    pub stay_one: f64,
+    /// `Pr[xᵗ⁺¹ = 1 | xᵗ = 0]`.
+    pub enter_one: f64,
+}
+
+impl MarkovParams {
+    /// Validate all three probabilities lie in `[0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("initial_one", self.initial_one),
+            ("stay_one", self.stay_one),
+            ("enter_one", self.enter_one),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} = {p} outside [0, 1]"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The stationary probability of state 1:
+    /// `enter / (enter + 1 − stay)` (when the chain is ergodic).
+    pub fn stationary_one(&self) -> f64 {
+        let leave = 1.0 - self.stay_one;
+        if self.enter_one + leave == 0.0 {
+            self.initial_one
+        } else {
+            self.enter_one / (self.enter_one + leave)
+        }
+    }
+}
+
+/// A two-state Markov panel: each individual evolves independently.
+pub fn two_state_markov<R: Rng + ?Sized>(
+    rng: &mut R,
+    individuals: usize,
+    horizon: usize,
+    params: MarkovParams,
+) -> LongitudinalDataset {
+    params.validate().expect("invalid Markov parameters");
+    let mut state: Vec<bool> = (0..individuals)
+        .map(|_| rng.gen_bool(params.initial_one))
+        .collect();
+    let mut columns = Vec::with_capacity(horizon);
+    for t in 0..horizon {
+        if t > 0 {
+            for s in state.iter_mut() {
+                let p = if *s { params.stay_one } else { params.enter_one };
+                *s = rng.gen_bool(p);
+            }
+        }
+        columns.push(BitColumn::from_bools(&state));
+    }
+    LongitudinalDataset::from_columns(columns).expect("generated columns are never ragged")
+}
+
+/// A mixture panel: individual `i` belongs to subpopulation `i mod
+/// profiles.len()`, and in round `t` draws an independent
+/// `Bernoulli(profiles[g][t])` bit — the evolving-data model of Joseph et
+/// al. (§1.1 of the paper).
+///
+/// # Panics
+/// Panics if profiles are empty, ragged, or contain invalid probabilities.
+pub fn subpopulation_mixture<R: Rng + ?Sized>(
+    rng: &mut R,
+    individuals: usize,
+    profiles: &[Vec<f64>],
+) -> LongitudinalDataset {
+    assert!(!profiles.is_empty(), "need at least one subpopulation");
+    let horizon = profiles[0].len();
+    for profile in profiles {
+        assert_eq!(profile.len(), horizon, "ragged subpopulation profiles");
+        for &p in profile {
+            assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        }
+    }
+    let columns = (0..horizon)
+        .map(|t| {
+            BitColumn::from_iter_bits(
+                (0..individuals).map(|i| rng.gen_bool(profiles[i % profiles.len()][t])),
+            )
+        })
+        .collect();
+    LongitudinalDataset::from_columns(columns).expect("generated columns are never ragged")
+}
+
+/// A `V`-state Markov panel for the categorical extension: with probability
+/// `stay` an individual repeats last round's category, otherwise it draws a
+/// fresh uniform category.
+pub fn categorical_markov<R: Rng + ?Sized>(
+    rng: &mut R,
+    individuals: usize,
+    horizon: usize,
+    categories: u8,
+    stay: f64,
+) -> CategoricalDataset {
+    assert!(categories >= 1);
+    assert!((0.0..=1.0).contains(&stay));
+    let mut state: Vec<u8> = (0..individuals)
+        .map(|_| rng.gen_range(0..categories))
+        .collect();
+    let mut dataset = CategoricalDataset::empty(individuals, categories);
+    for t in 0..horizon {
+        if t > 0 {
+            for s in state.iter_mut() {
+                if !rng.gen_bool(stay) {
+                    *s = rng.gen_range(0..categories);
+                }
+            }
+        }
+        dataset
+            .push_column(
+                CategoricalColumn::new(state.clone(), categories)
+                    .expect("states drawn in range by construction"),
+            )
+            .expect("generated columns are never ragged");
+    }
+    dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longsynth_dp::rng::rng_from_seed;
+
+    #[test]
+    fn all_ones_is_extreme() {
+        let d = all_ones(100, 12);
+        assert_eq!(d.individuals(), 100);
+        assert_eq!(d.rounds(), 12);
+        for (_, col) in d.stream() {
+            assert_eq!(col.count_ones(), 100);
+        }
+    }
+
+    #[test]
+    fn all_zeros_is_empty_signal() {
+        let d = all_zeros(50, 6);
+        for (_, col) in d.stream() {
+            assert_eq!(col.count_ones(), 0);
+        }
+    }
+
+    #[test]
+    fn iid_bernoulli_rate_matches_p() {
+        let mut rng = rng_from_seed(1);
+        let d = iid_bernoulli(&mut rng, 20_000, 4, 0.3);
+        for (t, col) in d.stream() {
+            let rate = col.count_ones() as f64 / 20_000.0;
+            assert!((rate - 0.3).abs() < 0.02, "round {t}: rate {rate}");
+        }
+    }
+
+    #[test]
+    fn markov_marginals_track_transition_structure() {
+        let mut rng = rng_from_seed(2);
+        let params = MarkovParams {
+            initial_one: 0.5,
+            stay_one: 0.9,
+            enter_one: 0.05,
+        };
+        // Stationary rate = 0.05 / (0.05 + 0.1) = 1/3.
+        assert!((params.stationary_one() - 1.0 / 3.0).abs() < 1e-12);
+        let d = two_state_markov(&mut rng, 30_000, 30, params);
+        // Initial rate ~0.5, decaying toward 1/3 over rounds.
+        let first = d.column(0).count_ones() as f64 / 30_000.0;
+        let last = d.column(29).count_ones() as f64 / 30_000.0;
+        assert!((first - 0.5).abs() < 0.02, "initial rate {first}");
+        assert!((last - 1.0 / 3.0).abs() < 0.03, "late rate {last}");
+    }
+
+    #[test]
+    fn markov_persistence_is_visible() {
+        let mut rng = rng_from_seed(3);
+        let params = MarkovParams {
+            initial_one: 0.2,
+            stay_one: 0.95,
+            enter_one: 0.01,
+        };
+        let d = two_state_markov(&mut rng, 10_000, 2, params);
+        // Among round-0 ones, ~95% remain one at round 1.
+        let mut stayed = 0usize;
+        let mut ones = 0usize;
+        for i in 0..10_000 {
+            if d.value(i, 0) {
+                ones += 1;
+                if d.value(i, 1) {
+                    stayed += 1;
+                }
+            }
+        }
+        let rate = stayed as f64 / ones as f64;
+        assert!((rate - 0.95).abs() < 0.03, "persistence {rate}");
+    }
+
+    #[test]
+    fn markov_params_validation() {
+        assert!(MarkovParams {
+            initial_one: 1.1,
+            stay_one: 0.5,
+            enter_one: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(MarkovParams {
+            initial_one: 0.5,
+            stay_one: 0.5,
+            enter_one: 0.5
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn mixture_tracks_profiles() {
+        let mut rng = rng_from_seed(4);
+        let profiles = vec![vec![0.9, 0.1], vec![0.1, 0.9]];
+        let d = subpopulation_mixture(&mut rng, 20_000, &profiles);
+        // Round 0: half at 0.9, half at 0.1 → overall 0.5.
+        let rate0 = d.column(0).count_ones() as f64 / 20_000.0;
+        assert!((rate0 - 0.5).abs() < 0.02, "rate {rate0}");
+        // Even individuals (group 0) are mostly 1 at round 0.
+        let even_ones = (0..20_000)
+            .step_by(2)
+            .filter(|&i| d.value(i, 0))
+            .count() as f64
+            / 10_000.0;
+        assert!((even_ones - 0.9).abs() < 0.02, "group-0 rate {even_ones}");
+    }
+
+    #[test]
+    fn categorical_markov_shape_and_stickiness() {
+        let mut rng = rng_from_seed(5);
+        let d = categorical_markov(&mut rng, 5_000, 3, 4, 1.0);
+        // stay = 1.0: every individual keeps its initial category.
+        for i in 0..5_000 {
+            let c = d.value(i, 0);
+            assert_eq!(d.value(i, 1), c);
+            assert_eq!(d.value(i, 2), c);
+        }
+        assert_eq!(d.categories(), 4);
+        assert_eq!(d.rounds(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn iid_rejects_bad_probability() {
+        let mut rng = rng_from_seed(6);
+        iid_bernoulli(&mut rng, 10, 2, 1.5);
+    }
+}

@@ -1,0 +1,40 @@
+//! Longitudinal data model and workload substrates for `longsynth`.
+//!
+//! The paper's data model (§2.1): a data universe `X`, a known horizon `T`,
+//! and `n` individuals each contributing one universe element per round, so
+//! the dataset is a sequence of *columns* `D_t = (x_t^1, …, x_t^n)`. For the
+//! two query classes studied, `X = {0, 1}`; the fixed-window machinery also
+//! extends to categorical `X` (§2, "naturally extend to handle categorical
+//! data"), which [`categorical`] implements.
+//!
+//! # Contents
+//!
+//! * [`column`](mod@column) — [`column::BitColumn`]: one round of reports, bit-packed.
+//! * [`bitstream`] — [`bitstream::BitStream`]: one individual's growing
+//!   history.
+//! * [`dataset`] — [`dataset::LongitudinalDataset`]: the `n × T` panel, with
+//!   a streaming-round iterator matching the continual-release interface.
+//! * [`categorical`] — the `|X| = V` generalisation.
+//! * [`generators`] — synthetic ground-truth panels: iid Bernoulli, two-state
+//!   Markov, the all-ones "extreme" panel of Appendix C.1, and subpopulation
+//!   mixtures.
+//! * [`sipp`] — the SIPP substrate: a calibrated simulator for the paper's
+//!   Survey of Income and Program Participation experiment, and a loader
+//!   implementing the paper's §5 pre-processing for the real Census CSV.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod bitstream;
+pub mod categorical;
+pub mod column;
+pub mod csvio;
+pub mod dataset;
+pub mod generators;
+pub mod sipp;
+
+pub use bitstream::BitStream;
+pub use categorical::{CategoricalColumn, CategoricalDataset};
+pub use column::BitColumn;
+pub use dataset::LongitudinalDataset;

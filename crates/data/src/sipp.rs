@@ -1,0 +1,396 @@
+//! The SIPP substrate: the paper's real-data workload.
+//!
+//! The paper's §5 experiment uses the U.S. Census Bureau's **Survey of
+//! Income and Program Participation** 2021 public-use file: 23 374
+//! households observed over 12 months of 2021, binarized to a monthly
+//! poverty indicator (`THINCPOVT2 < 1`, i.e. household income below the
+//! poverty threshold).
+//!
+//! Two entry points:
+//!
+//! * [`SippConfig::simulate`] — a **calibrated simulator** (see DESIGN.md §5:
+//!   the multi-gigabyte Census download is not available offline). It draws
+//!   a two-state Markov poverty panel whose marginal monthly poverty rate,
+//!   persistence, and resulting quarterly/cumulative statistics land in the
+//!   ranges visible in the paper's Figures 1–2.
+//! * [`load_sipp_csv`] — a loader for the *real* `pu2021.csv`, implementing
+//!   exactly the paper's pre-processing: keep one longitudinal series per
+//!   household, binarize the income-to-poverty ratio, and drop households
+//!   with any missing month. If you have the Census file, this reproduces
+//!   the paper's exact ground truth.
+
+use crate::dataset::LongitudinalDataset;
+use crate::generators::{two_state_markov, MarkovParams};
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::BufRead;
+use std::path::Path;
+
+/// Number of households in the paper's 2021 SIPP sample.
+pub const SIPP_2021_HOUSEHOLDS: usize = 23_374;
+
+/// Number of monthly measurements in the paper's 2021 SIPP sample.
+pub const SIPP_2021_MONTHS: usize = 12;
+
+/// Configuration of the calibrated SIPP simulator.
+///
+/// Defaults reproduce the paper's panel shape (`n = 23 374`, `T = 12`) and
+/// a poverty process consistent with the magnitudes in Figures 1–2:
+/// monthly poverty ≈ 11 %, strong month-to-month persistence (poverty
+/// spells are long), which yields quarterly "in poverty at least one month"
+/// ≈ 0.14 and "all three months" ≈ 0.08–0.09, and "≥ 3 cumulative months"
+/// reaching ≈ 0.10–0.12 by December.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SippConfig {
+    /// Number of households `n`.
+    pub households: usize,
+    /// Number of months `T`.
+    pub months: usize,
+    /// Markov process for the monthly poverty indicator.
+    pub poverty_process: MarkovParams,
+}
+
+impl Default for SippConfig {
+    fn default() -> Self {
+        Self {
+            households: SIPP_2021_HOUSEHOLDS,
+            months: SIPP_2021_MONTHS,
+            poverty_process: MarkovParams {
+                initial_one: 0.11,
+                stay_one: 0.82,
+                enter_one: 0.022,
+            },
+        }
+    }
+}
+
+impl SippConfig {
+    /// A small-scale configuration for fast tests (same process, fewer
+    /// households).
+    pub fn small(households: usize) -> Self {
+        Self {
+            households,
+            ..Self::default()
+        }
+    }
+
+    /// Draw a simulated SIPP poverty panel.
+    pub fn simulate<R: Rng + ?Sized>(&self, rng: &mut R) -> LongitudinalDataset {
+        two_state_markov(rng, self.households, self.months, self.poverty_process)
+    }
+}
+
+/// Errors from parsing a real SIPP CSV file.
+#[derive(Debug)]
+pub enum SippLoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The header row is missing a required column.
+    MissingColumn(&'static str),
+    /// The file contained no usable households.
+    NoHouseholds,
+    /// A malformed data row (wrong field count).
+    MalformedRow {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for SippLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SippLoadError::Io(e) => write!(f, "I/O error reading SIPP file: {e}"),
+            SippLoadError::MissingColumn(c) => write!(f, "SIPP header missing column {c}"),
+            SippLoadError::NoHouseholds => write!(f, "no complete households found in SIPP file"),
+            SippLoadError::MalformedRow { line } => write!(f, "malformed SIPP row at line {line}"),
+        }
+    }
+}
+
+impl std::error::Error for SippLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SippLoadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SippLoadError {
+    fn from(e: std::io::Error) -> Self {
+        SippLoadError::Io(e)
+    }
+}
+
+/// Load and pre-process a real SIPP public-use CSV (e.g. `pu2021.csv`),
+/// reproducing the paper's §5 steps:
+///
+/// 1. keep **one longitudinal series per household** (the person with the
+///    smallest `PNUM` within each `SSUID`);
+/// 2. binarize `THINCPOVT2` — the household income-to-poverty ratio — to 1
+///    when the ratio is `< 1` (household in poverty that month);
+/// 3. **delete every household** with fewer than `months` observed months
+///    or with any missing `THINCPOVT2` value.
+///
+/// The Census distributes the file pipe-delimited; comma-delimited exports
+/// are detected automatically from the header row.
+pub fn load_sipp_csv<P: AsRef<Path>>(
+    path: P,
+    months: usize,
+) -> Result<LongitudinalDataset, SippLoadError> {
+    let file = std::fs::File::open(path)?;
+    load_sipp_reader(std::io::BufReader::new(file), months)
+}
+
+/// [`load_sipp_csv`] over any reader (unit-testable without a file).
+pub fn load_sipp_reader<R: BufRead>(
+    mut reader: R,
+    months: usize,
+) -> Result<LongitudinalDataset, SippLoadError> {
+    let mut header = String::new();
+    reader.read_line(&mut header)?;
+    let delim = if header.contains('|') { '|' } else { ',' };
+    let names: Vec<&str> = header.trim_end().split(delim).collect();
+    let col = |name: &'static str| -> Result<usize, SippLoadError> {
+        names
+            .iter()
+            .position(|&c| c.eq_ignore_ascii_case(name))
+            .ok_or(SippLoadError::MissingColumn(name))
+    };
+    let ssuid_col = col("SSUID")?;
+    let pnum_col = col("PNUM")?;
+    let month_col = col("MONTHCODE")?;
+    let ratio_col = col("THINCPOVT2")?;
+    let needed = 1 + ssuid_col.max(pnum_col).max(month_col).max(ratio_col);
+
+    /// Per-household accumulator: the smallest PNUM seen and that person's
+    /// month → poverty map (None marks a missing ratio).
+    struct Household {
+        pnum: u32,
+        by_month: BTreeMap<usize, Option<bool>>,
+    }
+
+    let mut households: BTreeMap<String, Household> = BTreeMap::new();
+    let mut line_no = 1usize;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        line_no += 1;
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(delim).collect();
+        if fields.len() < needed {
+            return Err(SippLoadError::MalformedRow { line: line_no });
+        }
+        let ssuid = fields[ssuid_col];
+        let pnum: u32 = fields[pnum_col].trim().parse().unwrap_or(u32::MAX);
+        let month: usize = match fields[month_col].trim().parse() {
+            Ok(m) => m,
+            Err(_) => continue, // non-monthly record types are skipped
+        };
+        if month == 0 || month > months {
+            continue;
+        }
+        let ratio_field = fields[ratio_col].trim();
+        let poverty = if ratio_field.is_empty() {
+            None
+        } else {
+            ratio_field.parse::<f64>().ok().map(|r| r < 1.0)
+        };
+
+        let entry = households.entry(ssuid.to_string()).or_insert(Household {
+            pnum,
+            by_month: BTreeMap::new(),
+        });
+        // Keep only the series of the smallest PNUM in the household.
+        if pnum < entry.pnum {
+            entry.pnum = pnum;
+            entry.by_month.clear();
+        }
+        if pnum == entry.pnum {
+            entry.by_month.insert(month - 1, poverty);
+        }
+    }
+
+    // Paper step 3: drop households that are incomplete or have a missing
+    // value in any month.
+    let mut rows: Vec<Vec<bool>> = Vec::new();
+    for household in households.values() {
+        if household.by_month.len() != months {
+            continue;
+        }
+        let mut bits = Vec::with_capacity(months);
+        let mut complete = true;
+        for m in 0..months {
+            match household.by_month.get(&m) {
+                Some(Some(b)) => bits.push(*b),
+                _ => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if complete {
+            rows.push(bits);
+        }
+    }
+    if rows.is_empty() {
+        return Err(SippLoadError::NoHouseholds);
+    }
+
+    let streams: Vec<crate::bitstream::BitStream> = rows
+        .iter()
+        .map(|bits| bits.iter().copied().collect())
+        .collect();
+    LongitudinalDataset::from_rows(&streams).map_err(|_| SippLoadError::NoHouseholds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longsynth_dp::rng::rng_from_seed;
+    use std::io::Cursor;
+
+    #[test]
+    fn default_config_matches_paper_shape() {
+        let cfg = SippConfig::default();
+        assert_eq!(cfg.households, 23_374);
+        assert_eq!(cfg.months, 12);
+    }
+
+    #[test]
+    fn simulated_panel_has_calibrated_marginals() {
+        let mut rng = rng_from_seed(99);
+        let panel = SippConfig::default().simulate(&mut rng);
+        assert_eq!(panel.individuals(), 23_374);
+        assert_eq!(panel.rounds(), 12);
+        // Monthly poverty rate ≈ 11% throughout the year.
+        for (t, col) in panel.stream() {
+            let rate = col.count_ones() as f64 / panel.individuals() as f64;
+            assert!(
+                (0.08..=0.14).contains(&rate),
+                "month {t}: poverty rate {rate}"
+            );
+        }
+        // Quarterly "at least one month in poverty" ≈ 0.12-0.18 (Fig. 1's
+        // topmost series sits below 0.20).
+        let mut in_q1 = 0usize;
+        let mut all_q1 = 0usize;
+        for i in 0..panel.individuals() {
+            let months_poor = (0..3).filter(|&t| panel.value(i, t)).count();
+            if months_poor >= 1 {
+                in_q1 += 1;
+            }
+            if months_poor == 3 {
+                all_q1 += 1;
+            }
+        }
+        let any_rate = in_q1 as f64 / panel.individuals() as f64;
+        let all_rate = all_q1 as f64 / panel.individuals() as f64;
+        assert!((0.10..=0.20).contains(&any_rate), "any-month rate {any_rate}");
+        assert!((0.05..=0.12).contains(&all_rate), "all-months rate {all_rate}");
+        assert!(any_rate > all_rate);
+    }
+
+    #[test]
+    fn simulation_is_reproducible() {
+        let cfg = SippConfig::small(500);
+        let a = cfg.simulate(&mut rng_from_seed(7));
+        let b = cfg.simulate(&mut rng_from_seed(7));
+        assert_eq!(a, b);
+    }
+
+    /// A tiny synthetic SIPP file exercising every pre-processing rule.
+    fn toy_sipp() -> String {
+        let mut s = String::from("SSUID|PNUM|MONTHCODE|THINCPOVT2|OTHER\n");
+        // Household A: two persons; person 1 complete, in poverty months 1-2.
+        for m in 1..=4 {
+            let ratio = if m <= 2 { 0.5 } else { 2.0 };
+            s.push_str(&format!("A|1|{m}|{ratio}|x\n"));
+            s.push_str(&format!("A|2|{m}|9.9|x\n")); // must be ignored
+        }
+        // Household B: complete, never in poverty.
+        for m in 1..=4 {
+            s.push_str(&format!("B|1|{m}|1.0|x\n")); // ratio exactly 1 → not poverty
+        }
+        // Household C: missing month 3 → dropped.
+        for m in [1usize, 2, 4] {
+            s.push_str(&format!("C|1|{m}|0.2|x\n"));
+        }
+        // Household D: month 2 ratio missing → dropped.
+        for m in 1..=4 {
+            let ratio = if m == 2 { "" } else { "0.9" };
+            s.push_str(&format!("D|1|{m}|{ratio}|x\n"));
+        }
+        s
+    }
+
+    #[test]
+    fn loader_applies_paper_preprocessing() {
+        let panel = load_sipp_reader(Cursor::new(toy_sipp()), 4).unwrap();
+        // Only households A and B survive.
+        assert_eq!(panel.individuals(), 2);
+        assert_eq!(panel.rounds(), 4);
+        // BTreeMap ordering: A before B.
+        // A (person 1): poverty months 1-2.
+        assert!(panel.value(0, 0));
+        assert!(panel.value(0, 1));
+        assert!(!panel.value(0, 2));
+        assert!(!panel.value(0, 3));
+        // B: never in poverty (ratio 1.0 is not < 1).
+        for t in 0..4 {
+            assert!(!panel.value(1, t));
+        }
+    }
+
+    #[test]
+    fn loader_detects_comma_delimiter() {
+        let csv = "SSUID,PNUM,MONTHCODE,THINCPOVT2\nX,1,1,0.5\nX,1,2,1.5\n";
+        let panel = load_sipp_reader(Cursor::new(csv), 2).unwrap();
+        assert_eq!(panel.individuals(), 1);
+        assert!(panel.value(0, 0));
+        assert!(!panel.value(0, 1));
+    }
+
+    #[test]
+    fn loader_errors_on_missing_column() {
+        let csv = "SSUID|PNUM|MONTHCODE\nA|1|1\n";
+        match load_sipp_reader(Cursor::new(csv), 12) {
+            Err(SippLoadError::MissingColumn(c)) => assert_eq!(c, "THINCPOVT2"),
+            other => panic!("expected MissingColumn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loader_errors_when_everything_dropped() {
+        let csv = "SSUID|PNUM|MONTHCODE|THINCPOVT2\nA|1|1|0.5\n";
+        assert!(matches!(
+            load_sipp_reader(Cursor::new(csv), 12),
+            Err(SippLoadError::NoHouseholds)
+        ));
+    }
+
+    #[test]
+    fn loader_errors_on_malformed_row() {
+        let csv = "SSUID|PNUM|MONTHCODE|THINCPOVT2\nA|1\n";
+        assert!(matches!(
+            load_sipp_reader(Cursor::new(csv), 12),
+            Err(SippLoadError::MalformedRow { line: 2 })
+        ));
+    }
+
+    #[test]
+    fn non_monthly_records_are_skipped() {
+        // MONTHCODE outside 1..=months or non-numeric rows are tolerated.
+        let csv = "SSUID|PNUM|MONTHCODE|THINCPOVT2\nA|1|1|0.5\nA|1|2|0.5\nA|1|13|0.5\nA|1|XX|0.5\n";
+        let panel = load_sipp_reader(Cursor::new(csv), 2).unwrap();
+        assert_eq!(panel.individuals(), 1);
+        assert_eq!(panel.rounds(), 2);
+    }
+}

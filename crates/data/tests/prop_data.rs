@@ -1,0 +1,109 @@
+//! Property-based tests for the longitudinal data model.
+
+use longsynth_data::bitstream::BitStream;
+use longsynth_data::column::BitColumn;
+use longsynth_data::dataset::LongitudinalDataset;
+use longsynth_data::generators::{two_state_markov, MarkovParams};
+use longsynth_dp::rng::rng_from_seed;
+use proptest::prelude::*;
+
+proptest! {
+    /// BitColumn round-trips any boolean vector.
+    #[test]
+    fn column_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+        let col = BitColumn::from_bools(&bits);
+        prop_assert_eq!(col.len(), bits.len());
+        let back: Vec<bool> = col.iter().collect();
+        prop_assert_eq!(back, bits.clone());
+        prop_assert_eq!(col.count_ones(), bits.iter().filter(|&&b| b).count());
+    }
+
+    /// BitStream: push-only construction preserves every prefix, and
+    /// prefix_weight agrees with a naive recount at every cut.
+    #[test]
+    fn bitstream_prefix_immutability(bits in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let mut stream = BitStream::new();
+        let mut snapshots: Vec<Vec<bool>> = Vec::new();
+        for &b in &bits {
+            stream.push(b);
+            snapshots.push(stream.iter().collect());
+        }
+        // Every snapshot is a prefix of the final history.
+        let full: Vec<bool> = stream.iter().collect();
+        for (i, snap) in snapshots.iter().enumerate() {
+            prop_assert_eq!(&full[..=i], snap.as_slice());
+        }
+        for t in 0..=bits.len() {
+            let naive = bits[..t].iter().filter(|&&b| b).count();
+            prop_assert_eq!(stream.prefix_weight(t), naive);
+        }
+        prop_assert_eq!(stream.weight(), stream.prefix_weight(bits.len()));
+    }
+
+    /// suffix_pattern equals the hand-rolled big-endian encoding for every
+    /// valid (t, k).
+    #[test]
+    fn suffix_pattern_matches_reference(bits in proptest::collection::vec(any::<bool>(), 1..64)) {
+        let stream: BitStream = bits.iter().copied().collect();
+        for t in 0..bits.len() {
+            for k in 1..=(t + 1).min(16) {
+                let mut expect = 0u32;
+                for &b in &bits[t + 1 - k..=t] {
+                    expect = (expect << 1) | u32::from(b);
+                }
+                prop_assert_eq!(stream.suffix_pattern(t, k), expect);
+            }
+        }
+    }
+
+    /// Rows → dataset → rows is the identity; columns agree with rows.
+    #[test]
+    fn dataset_row_column_duality(
+        n in 1usize..20,
+        t in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rng_from_seed(seed);
+        use rand::Rng;
+        let rows: Vec<BitStream> = (0..n)
+            .map(|_| (0..t).map(|_| rng.gen_bool(0.5)).collect())
+            .collect();
+        let d = LongitudinalDataset::from_rows(&rows).unwrap();
+        prop_assert_eq!(d.individuals(), n);
+        prop_assert_eq!(d.rounds(), t);
+        for (i, row) in rows.iter().enumerate() {
+            let rebuilt = d.row(i, t - 1);
+            prop_assert_eq!(&rebuilt, row);
+            for round in 0..t {
+                prop_assert_eq!(d.value(i, round), row.get(round));
+            }
+        }
+    }
+
+    /// Markov panels: every individual's trajectory is a valid history and
+    /// the panel is deterministic in the seed.
+    #[test]
+    fn markov_deterministic(seed in any::<u64>(), n in 1usize..50, t in 1usize..10) {
+        let params = MarkovParams { initial_one: 0.3, stay_one: 0.7, enter_one: 0.1 };
+        let a = two_state_markov(&mut rng_from_seed(seed), n, t, params);
+        let b = two_state_markov(&mut rng_from_seed(seed), n, t, params);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Truncation commutes with streaming: replaying a prefix gives the
+    /// truncated panel.
+    #[test]
+    fn truncation_is_prefix(seed in any::<u64>(), n in 1usize..30, t in 2usize..12) {
+        let params = MarkovParams { initial_one: 0.5, stay_one: 0.5, enter_one: 0.5 };
+        let d = two_state_markov(&mut rng_from_seed(seed), n, t, params);
+        let cut = t / 2;
+        let p = d.truncated(cut);
+        let mut rebuilt = LongitudinalDataset::empty(n);
+        for (round, col) in d.stream() {
+            if round < cut {
+                rebuilt.push_column(col.clone()).unwrap();
+            }
+        }
+        prop_assert_eq!(p, rebuilt);
+    }
+}

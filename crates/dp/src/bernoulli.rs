@@ -1,0 +1,161 @@
+//! Exact sampling from `Bernoulli(exp(-γ))`.
+//!
+//! This is the base primitive of the Canonne–Kamath–Steinke (2020) discrete
+//! Gaussian sampling stack: both the discrete Laplace sampler
+//! ([`crate::geometric`]) and the discrete Gaussian rejection step
+//! ([`crate::discrete_gaussian`]) reduce to it.
+//!
+//! The construction avoids evaluating `exp` and then flipping a biased coin
+//! against a floating-point threshold for *large* γ; instead it uses the
+//! alternating-series trick: for γ ∈ [0, 1], sample `A_k ~ Bernoulli(γ/k)`
+//! until the first failure at index `K`, and accept iff `K` is odd. A short
+//! telescoping argument shows `Pr[K odd] = exp(-γ)`. For γ > 1 the sample
+//! factors through `exp(-γ) = exp(-1)^⌊γ⌋ · exp(-(γ-⌊γ⌋))`.
+//!
+//! The individual coin probabilities `γ/k` are represented as `f64`; see
+//! DESIGN.md §4 for why this engineering concession (relative to exact
+//! rational arithmetic) is statistically irrelevant here.
+
+use rand::Rng;
+
+/// Sample `Bernoulli(p)` for `p ∈ [0, 1]`, clamping tiny numerical overshoot.
+///
+/// # Panics
+/// Panics if `p` is NaN or outside `[-1e-12, 1 + 1e-12]`.
+#[inline]
+pub fn sample_bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    assert!(!p.is_nan(), "Bernoulli probability must not be NaN");
+    assert!(
+        (-1e-12..=1.0 + 1e-12).contains(&p),
+        "Bernoulli probability {p} out of range"
+    );
+    rng.gen_bool(p.clamp(0.0, 1.0))
+}
+
+/// Sample `Bernoulli(exp(-γ))` exactly for any `γ ≥ 0`.
+///
+/// # Panics
+/// Panics if `γ` is negative or NaN.
+pub fn sample_bernoulli_exp_neg<R: Rng + ?Sized>(rng: &mut R, gamma: f64) -> bool {
+    assert!(
+        gamma.is_finite() && gamma >= 0.0,
+        "gamma must be finite and non-negative, got {gamma}"
+    );
+    if gamma <= 1.0 {
+        return sample_bernoulli_exp_neg_le1(rng, gamma);
+    }
+    // exp(-γ) = exp(-1)^⌊γ⌋ · exp(-frac(γ)). Short-circuit on first failure.
+    let whole = gamma.floor();
+    let mut i = 0.0;
+    while i < whole {
+        if !sample_bernoulli_exp_neg_le1(rng, 1.0) {
+            return false;
+        }
+        i += 1.0;
+    }
+    sample_bernoulli_exp_neg_le1(rng, gamma - whole)
+}
+
+/// The γ ∈ [0, 1] case of [`sample_bernoulli_exp_neg`] (CKS Algorithm 1).
+fn sample_bernoulli_exp_neg_le1<R: Rng + ?Sized>(rng: &mut R, gamma: f64) -> bool {
+    debug_assert!((0.0..=1.0).contains(&gamma));
+    let mut k = 1.0f64;
+    loop {
+        if !sample_bernoulli(rng, gamma / k) {
+            // First failure at index K = k; accept iff K is odd.
+            // `k` counts 1, 2, 3, … and stays exactly representable.
+            return (k as u64) % 2 == 1;
+        }
+        k += 1.0;
+        // For γ ≤ 1 the loop terminates quickly w.h.p.; by k = 64 the
+        // continuation probability is below 2^-250, so this is unreachable
+        // in practice but keeps the worst case bounded.
+        if k > 1e6 {
+            unreachable!("Bernoulli(exp(-gamma)) sampler failed to terminate");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    /// Empirical mean of `iters` draws of Bernoulli(exp(-gamma)).
+    fn empirical_rate(gamma: f64, iters: u32, seed: u64) -> f64 {
+        let mut rng = rng_from_seed(seed);
+        let mut hits = 0u32;
+        for _ in 0..iters {
+            if sample_bernoulli_exp_neg(&mut rng, gamma) {
+                hits += 1;
+            }
+        }
+        f64::from(hits) / f64::from(iters)
+    }
+
+    #[test]
+    fn gamma_zero_is_always_true() {
+        let mut rng = rng_from_seed(1);
+        for _ in 0..100 {
+            assert!(sample_bernoulli_exp_neg(&mut rng, 0.0));
+        }
+    }
+
+    #[test]
+    fn matches_exp_for_small_gamma() {
+        // 200k draws: std-err ≈ 0.0011, assert within 5 sigma.
+        for (i, &gamma) in [0.1, 0.5, 0.9, 1.0].iter().enumerate() {
+            let rate = empirical_rate(gamma, 200_000, 10 + i as u64);
+            let expect = (-gamma).exp();
+            assert!(
+                (rate - expect).abs() < 0.006,
+                "gamma={gamma}: rate {rate} vs exp(-gamma) {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_exp_for_large_gamma() {
+        for (i, &gamma) in [1.5, 2.0, 3.7, 6.0].iter().enumerate() {
+            let rate = empirical_rate(gamma, 200_000, 20 + i as u64);
+            let expect = (-gamma).exp();
+            assert!(
+                (rate - expect).abs() < 0.006,
+                "gamma={gamma}: rate {rate} vs exp(-gamma) {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn very_large_gamma_is_almost_never_true() {
+        let mut rng = rng_from_seed(3);
+        let hits = (0..10_000)
+            .filter(|_| sample_bernoulli_exp_neg(&mut rng, 40.0))
+            .count();
+        assert_eq!(hits, 0, "exp(-40) ~ 4e-18 should never fire in 1e4 draws");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_gamma_panics() {
+        let mut rng = rng_from_seed(4);
+        sample_bernoulli_exp_neg(&mut rng, -0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bernoulli_out_of_range_panics() {
+        let mut rng = rng_from_seed(5);
+        sample_bernoulli(&mut rng, 1.5);
+    }
+
+    #[test]
+    fn bernoulli_edge_probabilities() {
+        let mut rng = rng_from_seed(6);
+        assert!(!sample_bernoulli(&mut rng, 0.0));
+        assert!(sample_bernoulli(&mut rng, 1.0));
+        // Tiny negative / >1 within tolerance are clamped, not panicking.
+        assert!(!sample_bernoulli(&mut rng, -1e-15));
+        assert!(sample_bernoulli(&mut rng, 1.0 + 1e-15));
+    }
+}

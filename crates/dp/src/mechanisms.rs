@@ -1,0 +1,189 @@
+//! Noisy-count mechanisms: the "stage 1" building block of both algorithms.
+//!
+//! [`NoiseDistribution`] abstracts over the two integer noise families used
+//! in the continual-release literature — the discrete Gaussian (zCDP; what
+//! the paper uses everywhere) and the discrete Laplace (pure ε-DP; what the
+//! original Dwork et al. / Chan et al. tree counters used). Stream counters
+//! and synthesizers are generic over it, which is what makes the
+//! "swap in a different counter/noise" ablations of EXPERIMENTS.md possible
+//! without touching algorithm code.
+
+use crate::budget::{BudgetError, Rho};
+use crate::discrete_gaussian::{sample_discrete_gaussian, tail_quantile};
+use crate::geometric::{discrete_laplace_variance, sample_discrete_laplace};
+use rand::Rng;
+
+/// An integer-valued, symmetric, zero-mean noise distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseDistribution {
+    /// Discrete Gaussian `N_Z(0, σ²)`.
+    DiscreteGaussian {
+        /// Variance parameter σ².
+        sigma2: f64,
+    },
+    /// Discrete Laplace with `Pr[X = x] ∝ exp(-|x|/scale)`.
+    DiscreteLaplace {
+        /// Scale parameter (larger = noisier).
+        scale: f64,
+    },
+    /// No noise: the identity mechanism. Used by tests and by non-private
+    /// baseline runs; never by a private synthesizer.
+    None,
+}
+
+impl NoiseDistribution {
+    /// Discrete Gaussian noise calibrated so one release of a
+    /// sensitivity-`Δ` statistic satisfies ρ-zCDP: `σ² = Δ²/(2ρ)`.
+    pub fn gaussian_for_zcdp(rho: Rho, sensitivity: f64) -> Self {
+        let sigma2 = rho
+            .gaussian_sigma2(sensitivity)
+            .expect("calibration requires positive rho and sensitivity");
+        NoiseDistribution::DiscreteGaussian { sigma2 }
+    }
+
+    /// Fallible variant of [`Self::gaussian_for_zcdp`].
+    pub fn try_gaussian_for_zcdp(rho: Rho, sensitivity: f64) -> Result<Self, BudgetError> {
+        Ok(NoiseDistribution::DiscreteGaussian {
+            sigma2: rho.gaussian_sigma2(sensitivity)?,
+        })
+    }
+
+    /// Discrete Laplace noise calibrated so one release of a
+    /// sensitivity-`Δ` statistic satisfies ε-DP: `scale = Δ/ε`.
+    pub fn laplace_for_pure_dp(epsilon: f64, sensitivity: f64) -> Self {
+        assert!(epsilon > 0.0 && sensitivity > 0.0);
+        NoiseDistribution::DiscreteLaplace {
+            scale: sensitivity / epsilon,
+        }
+    }
+
+    /// Draw one noise value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        match *self {
+            NoiseDistribution::DiscreteGaussian { sigma2 } => {
+                sample_discrete_gaussian(rng, sigma2)
+            }
+            NoiseDistribution::DiscreteLaplace { scale } => sample_discrete_laplace(rng, scale),
+            NoiseDistribution::None => 0,
+        }
+    }
+
+    /// (An upper bound on) the variance of one draw.
+    pub fn variance(&self) -> f64 {
+        match *self {
+            NoiseDistribution::DiscreteGaussian { sigma2 } => sigma2,
+            NoiseDistribution::DiscreteLaplace { scale } => discrete_laplace_variance(scale),
+            NoiseDistribution::None => 0.0,
+        }
+    }
+
+    /// A deviation `λ` such that `Pr[|X| ≥ λ] ≤ β` for one draw.
+    ///
+    /// Gaussian: the sub-Gaussian quantile; Laplace: the exponential-tail
+    /// quantile `scale·ln(1/β)` (up to the discrete +1 slack, absorbed by
+    /// using `ln(2/β)`); `None`: 0.
+    pub fn tail_quantile(&self, beta: f64) -> f64 {
+        assert!(beta > 0.0 && beta < 1.0);
+        match *self {
+            NoiseDistribution::DiscreteGaussian { sigma2 } => tail_quantile(sigma2, beta),
+            NoiseDistribution::DiscreteLaplace { scale } => scale * (2.0 / beta).ln(),
+            NoiseDistribution::None => 0.0,
+        }
+    }
+
+    /// True when this distribution injects no randomness.
+    pub fn is_none(&self) -> bool {
+        matches!(self, NoiseDistribution::None)
+    }
+}
+
+/// Release a vector of sensitivity-`1` counts under independent noise: the
+/// DP histogram primitive of Algorithm 1 stage 1.
+///
+/// Returns `counts[i] + noiseᵢ` with independent draws.
+pub fn noisy_counts<R: Rng + ?Sized>(
+    rng: &mut R,
+    counts: &[i64],
+    noise: NoiseDistribution,
+) -> Vec<i64> {
+    counts.iter().map(|&c| c + noise.sample(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn gaussian_calibration() {
+        let rho = Rho::new(0.5).unwrap();
+        let noise = NoiseDistribution::gaussian_for_zcdp(rho, 1.0);
+        match noise {
+            NoiseDistribution::DiscreteGaussian { sigma2 } => {
+                assert!((sigma2 - 1.0).abs() < 1e-12)
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn laplace_calibration() {
+        let noise = NoiseDistribution::laplace_for_pure_dp(0.5, 1.0);
+        match noise {
+            NoiseDistribution::DiscreteLaplace { scale } => assert!((scale - 2.0).abs() < 1e-12),
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let mut rng = rng_from_seed(1);
+        let counts = vec![5, -3, 0, 100];
+        let out = noisy_counts(&mut rng, &counts, NoiseDistribution::None);
+        assert_eq!(out, counts);
+        assert_eq!(NoiseDistribution::None.variance(), 0.0);
+        assert_eq!(NoiseDistribution::None.tail_quantile(0.1), 0.0);
+        assert!(NoiseDistribution::None.is_none());
+    }
+
+    #[test]
+    fn noisy_counts_perturb_each_entry_independently() {
+        let mut rng = rng_from_seed(2);
+        let counts = vec![0i64; 1000];
+        let noise = NoiseDistribution::DiscreteGaussian { sigma2: 100.0 };
+        let out = noisy_counts(&mut rng, &counts, noise);
+        let mean: f64 = out.iter().map(|&x| x as f64).sum::<f64>() / 1000.0;
+        let var: f64 = out
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / 1000.0;
+        assert!(mean.abs() < 1.5, "mean {mean}");
+        assert!((var - 100.0).abs() < 20.0, "var {var}");
+    }
+
+    #[test]
+    fn tail_quantiles_are_monotone_in_beta() {
+        let g = NoiseDistribution::DiscreteGaussian { sigma2: 4.0 };
+        let l = NoiseDistribution::DiscreteLaplace { scale: 2.0 };
+        for d in [g, l] {
+            assert!(d.tail_quantile(0.001) > d.tail_quantile(0.1));
+        }
+    }
+
+    #[test]
+    fn laplace_empirical_tail_within_quantile() {
+        let d = NoiseDistribution::DiscreteLaplace { scale: 3.0 };
+        let lambda = d.tail_quantile(0.05);
+        let mut rng = rng_from_seed(3);
+        let n = 50_000;
+        let exceed = (0..n)
+            .filter(|_| d.sample(&mut rng).unsigned_abs() as f64 >= lambda)
+            .count();
+        assert!(
+            (exceed as f64) / (n as f64) <= 0.055,
+            "rate {}",
+            exceed as f64 / n as f64
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! Regenerate every figure and table of the paper.
+//!
+//! ```text
+//! run_experiments [--reps N] [--out DIR] [--households N] [--sipp-csv PATH] [EXPERIMENT...]
+//!
+//! EXPERIMENT ∈ { fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8,
+//!                theory, ablations, all }        (default: all)
+//! --reps N        repetitions per experiment     (default: 1000, as in the paper)
+//! --out DIR       output directory               (default: results)
+//! --households N  SIPP panel size                (default: 23374, the paper's n)
+//! --sipp-csv P    use a real SIPP public-use CSV instead of the simulator
+//! ```
+//!
+//! Writes `<out>/<experiment>.csv` (+ `.json`) and appends Markdown to
+//! `<out>/summary.md`; prints ASCII previews to stdout.
+
+use longsynth_experiments::figures::{fig1, fig2, fig3, fig4, fig5to7, sipp_panel_small, theory};
+use longsynth_experiments::report::{ascii_chart, markdown_table, write_csv, Series};
+use longsynth_experiments::EXPERIMENT_MASTER_SEED;
+use longsynth_data::LongitudinalDataset;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+struct Options {
+    reps: usize,
+    out: PathBuf,
+    households: usize,
+    sipp_csv: Option<PathBuf>,
+    experiments: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        reps: 1000,
+        out: PathBuf::from("results"),
+        households: longsynth_data::sipp::SIPP_2021_HOUSEHOLDS,
+        sipp_csv: None,
+        experiments: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--reps" => {
+                opts.reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--reps needs a positive integer"))
+            }
+            "--out" => {
+                opts.out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")))
+            }
+            "--households" => {
+                opts.households = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--households needs a positive integer"))
+            }
+            "--sipp-csv" => {
+                opts.sipp_csv = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| die("--sipp-csv needs a path")),
+                ))
+            }
+            "--help" | "-h" => {
+                println!("see module docs: run_experiments [--reps N] [--out DIR] [EXPERIMENT...]");
+                std::process::exit(0);
+            }
+            other if other.starts_with("--") => die(&format!("unknown flag {other}")),
+            name => opts.experiments.push(name.to_string()),
+        }
+    }
+    if opts.experiments.is_empty() || opts.experiments.iter().any(|e| e == "all") {
+        opts.experiments = [
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "theory", "ablations",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    opts
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn load_panel(opts: &Options) -> LongitudinalDataset {
+    match &opts.sipp_csv {
+        Some(path) => {
+            println!("loading real SIPP file {}", path.display());
+            longsynth_data::sipp::load_sipp_csv(path, 12)
+                .unwrap_or_else(|e| die(&format!("failed to load SIPP CSV: {e}")))
+        }
+        None => sipp_panel_small(opts.households),
+    }
+}
+
+fn emit(
+    out_dir: &Path,
+    summary: &mut String,
+    name: &str,
+    title: &str,
+    series: &[Series],
+) {
+    write_csv(&out_dir.join(format!("{name}.csv")), series)
+        .unwrap_or_else(|e| die(&format!("writing {name}.csv: {e}")));
+    let json = serde_json::to_string_pretty(series).expect("series serialize");
+    std::fs::write(out_dir.join(format!("{name}.json")), json)
+        .unwrap_or_else(|e| die(&format!("writing {name}.json: {e}")));
+    summary.push_str(&markdown_table(title, series));
+    summary.push('\n');
+    println!("{}", ascii_chart(title, series, 56));
+}
+
+fn main() {
+    let opts = parse_args();
+    std::fs::create_dir_all(&opts.out).unwrap_or_else(|e| die(&format!("mkdir out: {e}")));
+    let mut summary = String::from("# longsynth experiment summary\n\n");
+    summary.push_str(&format!(
+        "reps = {}, households = {}, seed = {EXPERIMENT_MASTER_SEED:#x}\n\n",
+        opts.reps, opts.households
+    ));
+    let panel = load_panel(&opts);
+    println!(
+        "SIPP panel: {} households x {} months\n",
+        panel.individuals(),
+        panel.rounds()
+    );
+    let seed = EXPERIMENT_MASTER_SEED;
+
+    for experiment in &opts.experiments {
+        let start = Instant::now();
+        match experiment.as_str() {
+            "fig1" => {
+                let series = fig1::run(&panel, opts.reps, seed ^ 1);
+                emit(
+                    &opts.out,
+                    &mut summary,
+                    "fig1",
+                    "Figure 1 — SIPP poverty per quarter, synthetic-data answers (ρ=0.005)",
+                    &series,
+                );
+            }
+            "fig2" | "fig8" => {
+                let series = fig2::run(&panel, fig2::RHO, fig2::THRESHOLD_B, opts.reps, seed ^ 2);
+                emit(
+                    &opts.out,
+                    &mut summary,
+                    experiment,
+                    &format!(
+                        "Figure {} — SIPP households ≥3 months in poverty (cumulative, ρ=0.005)",
+                        if experiment == "fig2" { 2 } else { 8 }
+                    ),
+                    &[series],
+                );
+            }
+            "fig3" | "fig4" => {
+                let estimator = if experiment == "fig3" {
+                    fig3::Estimator::Debiased
+                } else {
+                    fig3::Estimator::Biased
+                };
+                let n = if opts.households == longsynth_data::sipp::SIPP_2021_HOUSEHOLDS {
+                    fig3::N // the paper's simulated n = 25 000
+                } else {
+                    opts.households
+                };
+                let result = fig3::run(n, opts.reps, estimator, seed ^ 3);
+                let _ = fig4::run_biased; // fig4 is the same harness, biased
+                let title = format!(
+                    "Figure {} — simulated-data max pattern error ({}), bound = {:.5}",
+                    if experiment == "fig3" { 3 } else { 4 },
+                    if experiment == "fig3" { "debiased" } else { "no debiasing" },
+                    result.bound
+                );
+                emit(&opts.out, &mut summary, experiment, &title, &result.series);
+            }
+            "fig5" | "fig6" | "fig7" => {
+                let rho = match experiment.as_str() {
+                    "fig5" => fig5to7::RHO_SWEEP[0],
+                    "fig6" => fig5to7::RHO_SWEEP[1],
+                    _ => fig5to7::RHO_SWEEP[2],
+                };
+                let panels = fig5to7::run(&panel, rho, opts.reps, seed ^ 5);
+                emit(
+                    &opts.out,
+                    &mut summary,
+                    &format!("{experiment}_biased"),
+                    &format!("Figure {experiment} left — synthetic-data results (ρ={rho})"),
+                    &panels.biased,
+                );
+                emit(
+                    &opts.out,
+                    &mut summary,
+                    &format!("{experiment}_debiased"),
+                    &format!("Figure {experiment} right — debiased results (ρ={rho})"),
+                    &panels.debiased,
+                );
+            }
+            "theory" => {
+                let t1 = theory::table_t1(10_000, opts.reps.min(200), seed ^ 7);
+                let md = theory::markdown_rows(
+                    "Table T1 — Theorem 3.2 bound vs measured (count error)",
+                    &t1,
+                );
+                println!("{md}");
+                summary.push_str(&md);
+                summary.push('\n');
+                let json = serde_json::to_string_pretty(&t1).expect("serialize");
+                std::fs::write(opts.out.join("theory_t1.json"), json)
+                    .unwrap_or_else(|e| die(&format!("writing theory_t1.json: {e}")));
+            }
+            "ablations" => {
+                let reps = opts.reps.min(200);
+                let panel10k = theory::table_panel(10_000, 12);
+                let t2 = theory::table_t2(&panel10k, 0.005, reps, seed ^ 8);
+                let md2 = theory::markdown_rows(
+                    "Table T2 — Algorithm 2 counter/split ablations (count error, ρ=0.005)",
+                    &t2,
+                );
+                let panel_small = theory::table_panel(10_000, 8);
+                let gap = theory::reduction_gap(&panel_small, 0.05, reps.min(50), seed ^ 9);
+                let md3 = theory::markdown_rows(
+                    "Reduction gap — Algorithm 2 vs §2.1 k=T reduction (fraction error, T=8)",
+                    &gap,
+                );
+                let incon =
+                    theory::baseline_inconsistency(&theory::table_panel(2_000, 12), 0.01, reps.min(50), seed ^ 10);
+                let md4 = theory::markdown_rows(
+                    "Baseline inconsistency — monotone-statistic violation mass",
+                    &incon,
+                );
+                for md in [&md2, &md3, &md4] {
+                    println!("{md}");
+                    summary.push_str(md);
+                    summary.push('\n');
+                }
+                let json = serde_json::to_string_pretty(&(t2, gap, incon)).expect("serialize");
+                std::fs::write(opts.out.join("ablations.json"), json)
+                    .unwrap_or_else(|e| die(&format!("writing ablations.json: {e}")));
+            }
+            other => die(&format!("unknown experiment {other}")),
+        }
+        println!(
+            "[{experiment}] done in {:.1}s\n",
+            start.elapsed().as_secs_f64()
+        );
+    }
+
+    std::fs::write(opts.out.join("summary.md"), &summary)
+        .unwrap_or_else(|e| die(&format!("writing summary.md: {e}")));
+    println!("wrote {}", opts.out.join("summary.md").display());
+}

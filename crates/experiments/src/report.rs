@@ -1,0 +1,179 @@
+//! Output emitters: CSV, Markdown tables, and terminal-friendly ASCII
+//! charts for the figure reproductions.
+
+use crate::stats::Summary;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A labelled series of per-time-point summaries plus its ground truth —
+/// the unit every figure module produces.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Series {
+    /// Series label (e.g. "in at least one month").
+    pub label: String,
+    /// X-axis labels (e.g. quarter or month indices).
+    pub x: Vec<String>,
+    /// Ground-truth values per point.
+    pub truth: Vec<f64>,
+    /// Empirical summaries per point.
+    pub summaries: Vec<Summary>,
+}
+
+impl Series {
+    /// Validate internal lengths agree.
+    pub fn check(&self) {
+        assert_eq!(self.x.len(), self.truth.len(), "{}: x/truth", self.label);
+        assert_eq!(
+            self.x.len(),
+            self.summaries.len(),
+            "{}: x/summaries",
+            self.label
+        );
+    }
+}
+
+/// Write series as a tidy CSV: one row per (series, point).
+pub fn write_csv(path: &Path, series: &[Series]) -> io::Result<()> {
+    let mut out = String::from("series,x,truth,mean,median,q025,q975,min,max\n");
+    for s in series {
+        s.check();
+        for i in 0..s.x.len() {
+            let m = &s.summaries[i];
+            writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{}",
+                escape_csv(&s.label),
+                escape_csv(&s.x[i]),
+                s.truth[i],
+                m.mean,
+                m.median,
+                m.q025,
+                m.q975,
+                m.min,
+                m.max
+            )
+            .expect("writing to String cannot fail");
+        }
+    }
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, out)
+}
+
+fn escape_csv(field: &str) -> String {
+    if field.contains(',') || field.contains('"') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Render series as a Markdown table (median [q2.5, q97.5] vs truth).
+pub fn markdown_table(title: &str, series: &[Series]) -> String {
+    let mut out = format!("### {title}\n\n");
+    out.push_str("| series | x | truth | median | [2.5%, 97.5%] | mean |\n");
+    out.push_str("|---|---|---|---|---|---|\n");
+    for s in series {
+        s.check();
+        for i in 0..s.x.len() {
+            let m = &s.summaries[i];
+            writeln!(
+                out,
+                "| {} | {} | {:.4} | {:.4} | [{:.4}, {:.4}] | {:.4} |",
+                s.label, s.x[i], s.truth[i], m.median, m.q025, m.q975, m.mean
+            )
+            .expect("writing to String cannot fail");
+        }
+    }
+    out
+}
+
+/// A minimal ASCII chart: per point, truth (×) and median (●) on a shared
+/// horizontal scale — enough to eyeball the figures in a terminal.
+pub fn ascii_chart(title: &str, series: &[Series], width: usize) -> String {
+    let mut out = format!("{title}\n");
+    let max_val = series
+        .iter()
+        .flat_map(|s| {
+            s.truth
+                .iter()
+                .chain(s.summaries.iter().map(|m| &m.q975))
+                .cloned()
+        })
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    for s in series {
+        s.check();
+        out.push_str(&format!("  {}\n", s.label));
+        for i in 0..s.x.len() {
+            let m = &s.summaries[i];
+            let pos = |v: f64| ((v / max_val) * (width as f64 - 1.0)).round().max(0.0) as usize;
+            let mut line = vec![b' '; width];
+            let (lo, hi) = (pos(m.q025), pos(m.q975));
+            for cell in line.iter_mut().take(hi.min(width - 1) + 1).skip(lo) {
+                *cell = b'-';
+            }
+            line[pos(m.median).min(width - 1)] = b'o';
+            line[pos(s.truth[i]).min(width - 1)] = b'x';
+            out.push_str(&format!(
+                "    {:>4} |{}| {:.4}\n",
+                s.x[i],
+                String::from_utf8_lossy(&line),
+                m.median
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "  scale: 0 .. {max_val:.4}   (x = truth, o = median, --- = 95% band)\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+
+    fn demo_series() -> Vec<Series> {
+        vec![Series {
+            label: "demo, with comma".into(),
+            x: vec!["1".into(), "2".into()],
+            truth: vec![0.1, 0.2],
+            summaries: vec![
+                Summary::from_samples(&[0.09, 0.1, 0.11]),
+                Summary::from_samples(&[0.19, 0.2, 0.21]),
+            ],
+        }]
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let dir = std::env::temp_dir().join("longsynth_report_test");
+        let path = dir.join("demo.csv");
+        write_csv(&path, &demo_series()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 points
+        assert!(lines[0].starts_with("series,x,truth"));
+        assert!(lines[1].starts_with("\"demo, with comma\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn markdown_contains_all_points() {
+        let md = markdown_table("Demo", &demo_series());
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| demo, with comma | 1 |"));
+        assert!(md.contains("| demo, with comma | 2 |"));
+    }
+
+    #[test]
+    fn ascii_chart_renders_markers() {
+        let chart = ascii_chart("Demo", &demo_series(), 40);
+        assert!(chart.contains('x'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("scale: 0"));
+    }
+}

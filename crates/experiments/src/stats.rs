@@ -1,0 +1,98 @@
+//! Summary statistics over repetitions.
+
+use longsynth_queries::accuracy::quantile;
+use serde::Serialize;
+
+/// Quantile summary of one scalar across repetitions — one "density strip"
+/// in the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Summary {
+    /// Mean across repetitions.
+    pub mean: f64,
+    /// Median (the solid line in Figs. 3–4).
+    pub median: f64,
+    /// 2.5th percentile (lower dotted line).
+    pub q025: f64,
+    /// 97.5th percentile (upper dotted line).
+    pub q975: f64,
+    /// Minimum observed.
+    pub min: f64,
+    /// Maximum observed.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarise a sample of repetition values.
+    ///
+    /// # Panics
+    /// Panics on an empty sample.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarise zero repetitions");
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        Self {
+            mean,
+            median: quantile(samples, 0.5),
+            q025: quantile(samples, 0.025),
+            q975: quantile(samples, 0.975),
+            min: samples.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Half-width of the central 95% interval — a scalar "spread" used by
+    /// shape checks (spread shrinks as ρ grows).
+    pub fn spread95(&self) -> f64 {
+        (self.q975 - self.q025) / 2.0
+    }
+}
+
+/// Summarise a matrix of repetition × time-point values into one
+/// [`Summary`] per time point.
+///
+/// # Panics
+/// Panics if rows are ragged or empty.
+pub fn summarise_series(per_rep: &[Vec<f64>]) -> Vec<Summary> {
+    assert!(!per_rep.is_empty(), "no repetitions");
+    let points = per_rep[0].len();
+    assert!(
+        per_rep.iter().all(|row| row.len() == points),
+        "ragged repetition rows"
+    );
+    (0..points)
+        .map(|i| {
+            let column: Vec<f64> = per_rep.iter().map(|row| row[i]).collect();
+            Summary::from_samples(&column)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!(s.q025 < s.median && s.median < s.q975);
+        assert!(s.spread95() > 0.0);
+    }
+
+    #[test]
+    fn series_summaries_are_per_timepoint() {
+        let reps = vec![vec![1.0, 10.0], vec![3.0, 30.0], vec![2.0, 20.0]];
+        let summaries = summarise_series(&reps);
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].median, 2.0);
+        assert_eq!(summaries[1].median, 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        summarise_series(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

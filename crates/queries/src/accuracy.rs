@@ -1,0 +1,134 @@
+//! `(α, β)`-accuracy bookkeeping (paper §2.1).
+//!
+//! A synthetic data generator is `(α, β)`-accurate for a query class when,
+//! with probability ≥ 1 − β over its coins, *every* query at *every* round
+//! is within additive error α. The experiment harness measures the
+//! empirical counterpart: per-repetition worst-case errors, then quantiles
+//! across repetitions.
+
+/// Summary statistics of a set of absolute errors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorSummary {
+    /// Maximum absolute error (the α in `(α, β)`-accuracy).
+    pub max: f64,
+    /// Mean absolute error.
+    pub mean: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+}
+
+impl ErrorSummary {
+    /// Summarise absolute errors of `estimates` against `truth`.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length or are empty.
+    pub fn from_pairs(estimates: &[f64], truth: &[f64]) -> Self {
+        assert_eq!(estimates.len(), truth.len(), "length mismatch");
+        assert!(!estimates.is_empty(), "cannot summarise zero errors");
+        let abs: Vec<f64> = estimates
+            .iter()
+            .zip(truth)
+            .map(|(e, t)| (e - t).abs())
+            .collect();
+        Self::from_abs_errors(&abs)
+    }
+
+    /// Summarise a slice of already-absolute errors.
+    pub fn from_abs_errors(abs: &[f64]) -> Self {
+        assert!(!abs.is_empty(), "cannot summarise zero errors");
+        let n = abs.len() as f64;
+        let max = abs.iter().cloned().fold(0.0, f64::max);
+        let mean = abs.iter().sum::<f64>() / n;
+        let rmse = (abs.iter().map(|e| e * e).sum::<f64>() / n).sqrt();
+        Self { max, mean, rmse }
+    }
+
+    /// True when the worst-case error is within `alpha`.
+    pub fn within(&self, alpha: f64) -> bool {
+        self.max <= alpha
+    }
+}
+
+/// Empirical `(α, β)` check: given per-repetition worst-case errors, the
+/// fraction of repetitions exceeding `alpha` — an estimate of β.
+pub fn empirical_failure_rate(worst_case_errors: &[f64], alpha: f64) -> f64 {
+    assert!(!worst_case_errors.is_empty());
+    worst_case_errors.iter().filter(|&&e| e > alpha).count() as f64
+        / worst_case_errors.len() as f64
+}
+
+/// The `q`-th quantile (0 ≤ q ≤ 1) of a sample, by linear interpolation —
+/// the experiment harness plots medians and the 2.5/97.5 percentiles, as the
+/// paper's Figures 3–4 do.
+pub fn quantile(samples: &[f64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile order out of range");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let idx = q * (sorted.len() - 1) as f64;
+    let lo = idx.floor() as usize;
+    let hi = idx.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = idx - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_from_pairs() {
+        let s = ErrorSummary::from_pairs(&[1.0, 2.0, 3.5], &[1.5, 2.0, 3.0]);
+        assert!((s.max - 0.5).abs() < 1e-12);
+        assert!((s.mean - (0.5 + 0.0 + 0.5) / 3.0).abs() < 1e-12);
+        let expected_rmse = ((0.25 + 0.0 + 0.25) / 3.0f64).sqrt();
+        assert!((s.rmse - expected_rmse).abs() < 1e-12);
+        assert!(s.within(0.5));
+        assert!(!s.within(0.49));
+    }
+
+    #[test]
+    fn rmse_at_least_mean_at_most_max() {
+        let abs = [0.1, 0.4, 0.9, 0.2];
+        let s = ErrorSummary::from_abs_errors(&abs);
+        assert!(s.mean <= s.rmse + 1e-12);
+        assert!(s.rmse <= s.max + 1e-12);
+    }
+
+    #[test]
+    fn failure_rate_counts_exceedances() {
+        let worst = [0.1, 0.2, 0.3, 0.4];
+        assert_eq!(empirical_failure_rate(&worst, 0.25), 0.5);
+        assert_eq!(empirical_failure_rate(&worst, 1.0), 0.0);
+        assert_eq!(empirical_failure_rate(&worst, 0.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        // Unsorted input is handled.
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        // Single element.
+        assert_eq!(quantile(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn pairs_require_equal_lengths() {
+        ErrorSummary::from_pairs(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_rejects_empty() {
+        quantile(&[], 0.5);
+    }
+}

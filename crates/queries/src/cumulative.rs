@@ -1,0 +1,237 @@
+//! Cumulative time queries (paper §2.1, §4).
+//!
+//! The primitive statistic is the vector of **threshold counts**
+//! `S_b^t = #{i : x_i^1 + … + x_i^t ≥ b}` for every `b = 0..=t` — e.g.
+//! "households in poverty for at least `b` of the first `t` months".
+//! Algorithm 2 preserves all of them simultaneously.
+
+use longsynth_data::LongitudinalDataset;
+
+/// All threshold counts `(S_0^t, …, S_t^t)` at round `t` (0-based round:
+/// `t` rounds have elapsed after index `t`, so `b` ranges to `t + 1` bits of
+/// history — we report `b = 0..=t+1` exclusive upper `t+1`).
+///
+/// Returned vector has length `t + 2`: entry `b` is `S_b`, with `S_0 = n`
+/// always and `S_{t+1} = #{all-ones histories}` included for convenience.
+pub fn cumulative_counts(data: &LongitudinalDataset, t: usize) -> Vec<u64> {
+    assert!(t < data.rounds(), "round {t} not yet recorded");
+    let rounds_elapsed = t + 1;
+    let mut by_weight = vec![0u64; rounds_elapsed + 1];
+    for i in 0..data.individuals() {
+        by_weight[data.prefix_weight(i, t)] += 1;
+    }
+    // Suffix-sum: S_b = Σ_{w ≥ b} #{weight = w}.
+    let mut counts = vec![0u64; rounds_elapsed + 1];
+    let mut acc = 0u64;
+    for b in (0..=rounds_elapsed).rev() {
+        acc += by_weight[b];
+        counts[b] = acc;
+    }
+    counts
+}
+
+/// The paper's query `c_b^t`: the *fraction* of individuals with Hamming
+/// weight at least `b` after round `t`.
+pub fn cumulative_fraction(data: &LongitudinalDataset, t: usize, b: usize) -> f64 {
+    let counts = cumulative_counts(data, t);
+    let count = counts.get(b).copied().unwrap_or(0);
+    count as f64 / data.individuals() as f64
+}
+
+/// Exact-weight counts `#{i : weight = b}` at round `t`, derived as
+/// `S_b − S_{b+1}` (the identity Algorithm 2's record-extension step relies
+/// on).
+pub fn exact_weight_counts(data: &LongitudinalDataset, t: usize) -> Vec<u64> {
+    let counts = cumulative_counts(data, t);
+    counts
+        .windows(2)
+        .map(|w| w[0] - w[1])
+        .chain(std::iter::once(*counts.last().expect("non-empty")))
+        .collect()
+}
+
+/// The per-round increment stream fed to stream counter `b` (Algorithm 2):
+/// `z_b^t = #{i : weight before round t is b−1, and x_i^t = 1}` — the
+/// number of individuals *crossing* threshold `b` at round `t`.
+///
+/// Rounds are 0-based; `b ≥ 1`.
+pub fn threshold_increment(data: &LongitudinalDataset, t: usize, b: usize) -> u64 {
+    assert!(b >= 1, "threshold increments are defined for b >= 1");
+    assert!(t < data.rounds());
+    let mut z = 0u64;
+    for i in 0..data.individuals() {
+        if !data.value(i, t) {
+            continue;
+        }
+        let before = if t == 0 { 0 } else { data.prefix_weight(i, t - 1) };
+        if before == b - 1 {
+            z += 1;
+        }
+    }
+    z
+}
+
+/// How many individuals crossed threshold `b` during the round interval
+/// `(t1, t2]` (0-based, `t1 < t2`): `S_b^{t2} − S_b^{t1}`.
+///
+/// This is the time-window statistic our cumulative machinery answers
+/// exactly (each term is a cumulative query); the paper's §1.1 sketches a
+/// related reduction for the `CountOcc` queries of Ghazi et al. — see
+/// DESIGN.md for how our formulation differs from that shorthand.
+pub fn threshold_crossings(data: &LongitudinalDataset, t1: usize, t2: usize, b: usize) -> u64 {
+    assert!(t1 < t2, "need t1 < t2");
+    let s2 = cumulative_counts(data, t2);
+    let s1 = cumulative_counts(data, t1);
+    let at_t2 = s2.get(b).copied().unwrap_or(0);
+    let at_t1 = s1.get(b).copied().unwrap_or(0);
+    at_t2 - at_t1
+}
+
+/// Validity predicate for a (possibly privatized) threshold-count matrix:
+/// entry `[t][b]` must be non-increasing in `b` (weights ≥ b+1 imply ≥ b),
+/// non-decreasing in `t` (weights only grow), and satisfy the Lipschitz
+/// cross-constraint `S_b^t ≤ S_{b-1}^{t-1}` (a weight-`b` history at `t`
+/// had weight ≥ b−1 at `t−1`). These are the two monotonicity constraints
+/// §4.1 enforces.
+pub fn is_valid_threshold_matrix(matrix: &[Vec<i64>]) -> bool {
+    for (t, row) in matrix.iter().enumerate() {
+        for b in 1..row.len() {
+            if row[b] > row[b - 1] {
+                return false; // increasing in b
+            }
+        }
+        if t > 0 {
+            let prev = &matrix[t - 1];
+            for b in 0..row.len().min(prev.len()) {
+                if row[b] < prev[b] {
+                    return false; // decreasing in t
+                }
+            }
+            for b in 1..row.len() {
+                if b - 1 < prev.len() && row[b] > prev[b - 1] {
+                    return false; // Lipschitz cross-constraint
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longsynth_data::BitStream;
+
+    /// 4 people, 3 rounds:
+    ///   p0: 1 1 1   (weights 1,2,3)
+    ///   p1: 0 1 0   (weights 0,1,1)
+    ///   p2: 0 0 0   (weights 0,0,0)
+    ///   p3: 1 0 1   (weights 1,1,2)
+    fn sample() -> LongitudinalDataset {
+        let rows: Vec<BitStream> = [
+            [true, true, true],
+            [false, true, false],
+            [false, false, false],
+            [true, false, true],
+        ]
+        .iter()
+        .map(|bits| bits.iter().copied().collect())
+        .collect();
+        LongitudinalDataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn counts_at_each_round() {
+        let d = sample();
+        // t=0: weights (1,0,0,1) → S_0=4, S_1=2.
+        assert_eq!(cumulative_counts(&d, 0), vec![4, 2]);
+        // t=1: weights (2,1,0,1) → S_0=4, S_1=3, S_2=1.
+        assert_eq!(cumulative_counts(&d, 1), vec![4, 3, 1]);
+        // t=2: weights (3,1,0,2) → S_0=4, S_1=3, S_2=2, S_3=1.
+        assert_eq!(cumulative_counts(&d, 2), vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn fractions_normalise() {
+        let d = sample();
+        assert_eq!(cumulative_fraction(&d, 2, 2), 0.5);
+        assert_eq!(cumulative_fraction(&d, 2, 0), 1.0);
+        // Threshold beyond history length: zero.
+        assert_eq!(cumulative_fraction(&d, 2, 7), 0.0);
+    }
+
+    #[test]
+    fn exact_weights_partition_population() {
+        let d = sample();
+        // t=2 weights (3,1,0,2): counts by weight 0..=3 = [1,1,1,1].
+        let exact = exact_weight_counts(&d, 2);
+        assert_eq!(exact, vec![1, 1, 1, 1]);
+        assert_eq!(exact.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn increments_telescope_to_counts() {
+        let d = sample();
+        // S_b^t must equal Σ_{r ≤ t} z_b^r for every b ≥ 1 (the stream
+        // representation Algorithm 2 relies on).
+        for b in 1..=3usize {
+            let mut acc = 0u64;
+            for t in 0..3 {
+                acc += threshold_increment(&d, t, b);
+                let s = cumulative_counts(&d, t);
+                assert_eq!(
+                    acc,
+                    s.get(b).copied().unwrap_or(0),
+                    "b={b}, t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn each_individual_contributes_at_most_one_increment_per_threshold() {
+        // The sensitivity argument: per b, an individual crosses b at most
+        // once over the whole horizon.
+        let d = sample();
+        for b in 1..=3usize {
+            let total: u64 = (0..3).map(|t| threshold_increment(&d, t, b)).sum();
+            assert!(total <= 4, "b={b}: total {total} exceeds population");
+        }
+    }
+
+    #[test]
+    fn crossings_between_rounds() {
+        let d = sample();
+        // S_2 went 0 (t=0) → 1 (t=1) → 2 (t=2).
+        assert_eq!(threshold_crossings(&d, 0, 1, 2), 1);
+        assert_eq!(threshold_crossings(&d, 0, 2, 2), 2);
+        assert_eq!(threshold_crossings(&d, 1, 2, 2), 1);
+    }
+
+    #[test]
+    fn true_matrix_is_valid() {
+        let d = sample();
+        let matrix: Vec<Vec<i64>> = (0..3)
+            .map(|t| cumulative_counts(&d, t).iter().map(|&c| c as i64).collect())
+            .collect();
+        assert!(is_valid_threshold_matrix(&matrix));
+    }
+
+    #[test]
+    fn validity_detects_violations() {
+        // Increasing in b.
+        assert!(!is_valid_threshold_matrix(&[vec![4, 5]]));
+        // Decreasing in t.
+        assert!(!is_valid_threshold_matrix(&[vec![4, 3], vec![4, 2]]));
+        // Lipschitz: S_2^1 > S_1^0.
+        assert!(!is_valid_threshold_matrix(&[vec![4, 1, 0], vec![4, 2, 2]]));
+        // A conforming matrix passes.
+        assert!(is_valid_threshold_matrix(&[vec![4, 1, 0], vec![4, 2, 1]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "b >= 1")]
+    fn increment_rejects_b0() {
+        threshold_increment(&sample(), 0, 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! The paper's two query classes, as executable objects.
+//!
+//! §2.1 of the paper defines counting queries `q : X^t → {0,1}` extended to
+//! datasets by averaging. `longsynth` works with two families:
+//!
+//! * **Fixed time window queries** ([`window`]): for a window width `k` and
+//!   pattern `s ∈ {0,1}^k`, `q_s^t(x) = 1[(x_{t-k+1}, …, x_t) = s]`. The
+//!   per-`t` histogram over all `2^k` patterns is the object Algorithm 1
+//!   preserves; arbitrary *linear combinations* of patterns (e.g. "in
+//!   poverty at least two consecutive months this quarter") come for free.
+//! * **Cumulative time queries** ([`cumulative`]): `c_b^t(x) =
+//!   1[x_1 + … + x_t ≥ b]` — the fraction of individuals with Hamming
+//!   weight at least `b`, for every threshold `b` simultaneously, which
+//!   Algorithm 2 preserves.
+//!
+//! [`pattern`] provides the bit-pattern index type shared by both, and
+//! [`accuracy`] the `(α, β)`-accuracy bookkeeping used by tests and the
+//! experiment harness.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod accuracy;
+pub mod cumulative;
+pub mod pattern;
+pub mod window;
+
+pub use accuracy::ErrorSummary;
+pub use pattern::Pattern;
+pub use window::{window_histogram, WindowQuery};

@@ -1,0 +1,98 @@
+//! The continual-release interface itself: what a downstream consumer of
+//! the synthetic data stream actually receives, round by round, and why
+//! consistency matters to them.
+//!
+//! A "publisher" runs Algorithm 1; a "subscriber" receives only the
+//! released columns (never the real data), maintains its own copy of the
+//! synthetic population, and tracks a longitudinal statistic across
+//! releases — verifying that already-published history never changes.
+//!
+//! ```sh
+//! cargo run --release --example streaming_release
+//! ```
+
+use longsynth::{FixedWindowConfig, FixedWindowSynthesizer, Release};
+use longsynth_data::generators::{two_state_markov, MarkovParams};
+use longsynth_data::{BitColumn, BitStream};
+use longsynth_dp::budget::Rho;
+use longsynth_dp::rng::rng_from_seed;
+
+/// The analyst side: sees only released columns.
+struct Subscriber {
+    histories: Vec<BitStream>,
+}
+
+impl Subscriber {
+    fn new() -> Self {
+        Self {
+            histories: Vec::new(),
+        }
+    }
+
+    fn receive(&mut self, column: &BitColumn) {
+        if self.histories.is_empty() {
+            self.histories = (0..column.len()).map(|_| BitStream::new()).collect();
+        }
+        assert_eq!(column.len(), self.histories.len(), "population changed!");
+        for (i, history) in self.histories.iter_mut().enumerate() {
+            history.push(column.get(i));
+        }
+    }
+
+    /// A longitudinal statistic: fraction ever exposed ≥2 consecutive
+    /// rounds.
+    fn ever_spell2(&self) -> f64 {
+        let hits = self.histories.iter().filter(|h| h.has_ones_run(2)).count();
+        hits as f64 / self.histories.len() as f64
+    }
+}
+
+fn main() {
+    let params = MarkovParams {
+        initial_one: 0.1,
+        stay_one: 0.7,
+        enter_one: 0.05,
+    };
+    let panel = two_state_markov(&mut rng_from_seed(21), 8_000, 12, params);
+    let config = FixedWindowConfig::new(12, 3, Rho::new(0.01).unwrap()).unwrap();
+    let mut publisher = FixedWindowSynthesizer::new(config, rng_from_seed(22));
+    let mut subscriber = Subscriber::new();
+
+    let mut last_statistic = 0.0;
+    for (month, column) in panel.stream() {
+        match publisher.step(column).expect("stream matches config") {
+            Release::Buffered => {
+                println!("month {:>2}: buffering (first window incomplete)", month + 1);
+            }
+            Release::Initial(columns) => {
+                println!(
+                    "month {:>2}: initial release — {} columns x {} synthetic records",
+                    month + 1,
+                    columns.len(),
+                    columns[0].len()
+                );
+                for col in &columns {
+                    subscriber.receive(col);
+                }
+            }
+            Release::Update(column) => {
+                subscriber.receive(&column);
+            }
+        }
+        if subscriber.histories.is_empty() {
+            continue;
+        }
+        let statistic = subscriber.ever_spell2();
+        // The whole point of the model: this can never decrease.
+        assert!(
+            statistic >= last_statistic,
+            "longitudinal statistic regressed across releases"
+        );
+        last_statistic = statistic;
+        println!(
+            "month {:>2}: subscriber sees 'ever ≥2-round spell' = {statistic:.4} (monotone ✓)",
+            month + 1
+        );
+    }
+    println!("\nevery release extended the same records — no history was rewritten.");
+}
