@@ -1,0 +1,96 @@
+//! Engine scaling: merged-release latency as a function of shard count and
+//! population size — the perf-trajectory baseline for the sharded engine.
+//!
+//! Sweeps shards ∈ {1, 2, 4, 8} × population ∈ {10k, 100k, 1M} over a full
+//! 12-round fixed-window run (k = 3, paper budget ρ = 0.005).
+//!
+//! Baseline reading (first measurement on this machine): sharding is
+//! currently ~flat-to-slower, because the per-round cohort split and
+//! release merge run bit-by-bit on the caller thread — an Amdahl
+//! bottleneck of the same order as the per-shard synthesis they bracket.
+//! That makes this bench the tracking instrument for the two obvious
+//! follow-ups (word-level `BitColumn` splicing; persistent shard workers),
+//! which is exactly why it sweeps both axes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use longsynth::{FixedWindowConfig, FixedWindowSynthesizer};
+use longsynth_bench::bench_panel;
+use longsynth_dp::budget::Rho;
+use longsynth_dp::rng::{rng_from_seed, RngFork};
+use longsynth_engine::{ShardPlan, ShardedEngine};
+
+const HORIZON: usize = 12;
+const WINDOW: usize = 3;
+
+fn build_engine(
+    population: usize,
+    shards: usize,
+    seed: u64,
+) -> ShardedEngine<FixedWindowSynthesizer> {
+    let plan = ShardPlan::new(population, shards).expect("valid plan");
+    let fork = RngFork::new(seed);
+    ShardedEngine::new(plan, |s, _| {
+        let config = FixedWindowConfig::new(HORIZON, WINDOW, Rho::new(0.005).unwrap())
+            .expect("valid config");
+        FixedWindowSynthesizer::new(config, fork.child(s as u64))
+    })
+    .expect("uniform shards")
+}
+
+fn bench_engine_scaling(c: &mut Criterion) {
+    for population in [10_000usize, 100_000, 1_000_000] {
+        let panel = bench_panel(population, HORIZON);
+        let mut group = c.benchmark_group(format!("engine_full_run_n{population}"));
+        group.sample_size(if population >= 1_000_000 { 3 } else { 10 });
+        group.throughput(Throughput::Elements((population * HORIZON) as u64));
+        for shards in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(shards),
+                &shards,
+                |b, &shards| {
+                    b.iter_batched(
+                        || build_engine(population, shards, 0xE7611E),
+                        |mut engine| {
+                            for (_, column) in panel.stream() {
+                                engine.step(column).expect("in-horizon step");
+                            }
+                            engine.rounds_fed()
+                        },
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench_merge_overhead(c: &mut Criterion) {
+    // Isolate the split+merge cost from synthesis: a single engine round at
+    // 100k individuals, varying shard count.
+    let population = 100_000usize;
+    let panel = bench_panel(population, WINDOW);
+    let mut group = c.benchmark_group("engine_single_round_n100k");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                b.iter_batched(
+                    || build_engine(population, shards, 0x5EED),
+                    |mut engine| {
+                        let _ = engine.step(panel.column(0)).expect("first step");
+                        engine.rounds_fed()
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+    let _ = rng_from_seed(0); // keep the shared-import surface exercised
+}
+
+criterion_group!(benches, bench_engine_scaling, bench_merge_overhead);
+criterion_main!(benches);

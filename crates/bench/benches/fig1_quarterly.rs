@@ -18,8 +18,7 @@ fn bench_fig1(c: &mut Criterion) {
     group.bench_function("single_run_n23374", |b| {
         b.iter_batched(
             || {
-                let config =
-                    FixedWindowConfig::new(12, 3, Rho::new(fig1::RHO).unwrap()).unwrap();
+                let config = FixedWindowConfig::new(12, 3, Rho::new(fig1::RHO).unwrap()).unwrap();
                 FixedWindowSynthesizer::new(config, rng_from_seed(1))
             },
             |mut synth| {

@@ -16,8 +16,7 @@ fn bench_fig2(c: &mut Criterion) {
     group.bench_function("single_run_n23374", |b| {
         b.iter_batched(
             || {
-                let config =
-                    CumulativeConfig::new(12, Rho::new(fig2::RHO).unwrap()).unwrap();
+                let config = CumulativeConfig::new(12, Rho::new(fig2::RHO).unwrap()).unwrap();
                 CumulativeSynthesizer::new(config, RngFork::new(3), rng_from_seed(4))
             },
             |mut synth| {

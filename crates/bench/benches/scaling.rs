@@ -2,7 +2,9 @@
 //! window width `k`, and horizon `T` — the knobs a deployment would turn.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
-use longsynth::{CumulativeConfig, CumulativeSynthesizer, FixedWindowConfig, FixedWindowSynthesizer};
+use longsynth::{
+    CumulativeConfig, CumulativeSynthesizer, FixedWindowConfig, FixedWindowSynthesizer,
+};
 use longsynth_bench::bench_panel;
 use longsynth_dp::budget::Rho;
 use longsynth_dp::rng::{rng_from_seed, RngFork};
@@ -16,8 +18,7 @@ fn bench_scaling_n(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter_batched(
                 || {
-                    let config =
-                        FixedWindowConfig::new(12, 3, Rho::new(0.005).unwrap()).unwrap();
+                    let config = FixedWindowConfig::new(12, 3, Rho::new(0.005).unwrap()).unwrap();
                     FixedWindowSynthesizer::new(config, rng_from_seed(18))
                 },
                 |mut synth| {
@@ -41,8 +42,7 @@ fn bench_scaling_k(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             b.iter_batched(
                 || {
-                    let config =
-                        FixedWindowConfig::new(16, k, Rho::new(0.005).unwrap()).unwrap();
+                    let config = FixedWindowConfig::new(16, k, Rho::new(0.005).unwrap()).unwrap();
                     FixedWindowSynthesizer::new(config, rng_from_seed(19))
                 },
                 |mut synth| {
@@ -87,5 +87,10 @@ fn bench_scaling_horizon(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scaling_n, bench_scaling_k, bench_scaling_horizon);
+criterion_group!(
+    benches,
+    bench_scaling_n,
+    bench_scaling_k,
+    bench_scaling_horizon
+);
 criterion_main!(benches);

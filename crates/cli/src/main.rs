@@ -6,6 +6,9 @@
 //!     --output synthetic.csv [--estimates estimates.csv] [--seed 42]
 //! longsynth-cli cumulative   --input panel.csv --rho 0.005 \
 //!     --output synthetic.csv [--estimates estimates.csv] [--seed 42]
+//! longsynth-cli engine       --input panel.csv --rho 0.005 --shards 4 \
+//!     [--algorithm fixed-window|cumulative] [--window 3] \
+//!     [--output synthetic.csv] [--estimates estimates.csv] [--seed 42]
 //! longsynth-cli simulate     --households 23374 --months 12 --output panel.csv
 //! ```
 //!
@@ -22,6 +25,7 @@ use longsynth_data::sipp::{load_sipp_csv, SippConfig};
 use longsynth_data::LongitudinalDataset;
 use longsynth_dp::budget::Rho;
 use longsynth_dp::rng::{rng_from_seed, RngFork};
+use longsynth_engine::{ShardPlan, ShardedEngine};
 use longsynth_queries::window::quarterly_battery;
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -33,11 +37,19 @@ const USAGE: &str = "usage:
                              [--estimates EST.csv] [--seed N] [--sipp] [--beta B]
   longsynth-cli cumulative   --input PANEL.csv --rho R [--output OUT.csv]
                              [--estimates EST.csv] [--seed N] [--sipp] [--max-b B]
+  longsynth-cli engine       --input PANEL.csv --rho R --shards S
+                             [--algorithm fixed-window|cumulative] [--window K]
+                             [--output OUT.csv] [--estimates EST.csv] [--seed N]
+                             [--sipp] [--beta B] [--max-b B]
   longsynth-cli simulate     [--households N] [--months T] [--seed N] --output PANEL.csv
 
 The panel CSV has one row per individual and one 0/1 column per round
 (header / id column auto-detected). --sipp parses a Census SIPP public-use
-file instead, applying the paper's pre-processing.";
+file instead, applying the paper's pre-processing.
+
+`engine` partitions the panel into S cohorts, synthesizes them in parallel
+(one synthesizer per shard), and writes the merged population-level release;
+disjoint cohorts give the same user-level zCDP guarantee as one shard.";
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,6 +65,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "fixed-window" => run_fixed_window(&flags),
         "cumulative" => run_cumulative(&flags),
+        "engine" => run_engine(&flags),
         "simulate" => run_simulate(&flags),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     };
@@ -106,18 +119,20 @@ fn load_input(flags: &Flags, horizon_hint: usize) -> Result<LongitudinalDataset,
     if flags.contains_key("sipp") {
         load_sipp_csv(&input, horizon_hint).map_err(|e| e.to_string())
     } else {
-        let file = std::fs::File::open(&input)
-            .map_err(|e| format!("opening {}: {e}", input.display()))?;
+        let file =
+            std::fs::File::open(&input).map_err(|e| format!("opening {}: {e}", input.display()))?;
         read_panel_csv(std::io::BufReader::new(file)).map_err(|e| e.to_string())
     }
 }
 
-fn open_output(flags: &Flags, name: &str) -> Result<Option<std::io::BufWriter<std::fs::File>>, String> {
+fn open_output(
+    flags: &Flags,
+    name: &str,
+) -> Result<Option<std::io::BufWriter<std::fs::File>>, String> {
     match flags.get(name) {
         None => Ok(None),
         Some(path) => {
-            let file = std::fs::File::create(path)
-                .map_err(|e| format!("creating {path}: {e}"))?;
+            let file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
             Ok(Some(std::io::BufWriter::new(file)))
         }
     }
@@ -205,8 +220,7 @@ fn run_cumulative(flags: &Flags) -> Result<(), String> {
 
     if let Some(mut out) = open_output(flags, "output")? {
         let records: Vec<_> = synth.synthetic().iter().cloned().collect();
-        write_panel_csv(&mut out, records.into_iter(), horizon, None)
-            .map_err(|e| e.to_string())?;
+        write_panel_csv(&mut out, records.into_iter(), horizon, None).map_err(|e| e.to_string())?;
         eprintln!("wrote synthetic panel to --output");
     }
     if let Some(mut out) = open_output(flags, "estimates")? {
@@ -218,6 +232,148 @@ fn run_cumulative(flags: &Flags) -> Result<(), String> {
             }
         }
         eprintln!("wrote cumulative estimates to --estimates");
+    }
+    Ok(())
+}
+
+fn run_engine(flags: &Flags) -> Result<(), String> {
+    let rho_v: f64 = get_parsed(flags, "rho", f64::NAN)?;
+    if rho_v.is_nan() {
+        return Err("--rho is required".into());
+    }
+    let shards: usize = get_parsed(flags, "shards", 0)?;
+    if shards == 0 {
+        return Err("--shards is required (try the number of cores)".into());
+    }
+    let algorithm = flags
+        .get("algorithm")
+        .map(String::as_str)
+        .unwrap_or("fixed-window");
+    let seed: u64 = get_parsed(flags, "seed", 42)?;
+    let months_hint: usize = get_parsed(flags, "months", 12)?;
+    let panel = load_input(flags, months_hint)?;
+    let horizon = panel.rounds();
+    let n = panel.individuals();
+    let plan = ShardPlan::new(n, shards).map_err(|e| e.to_string())?;
+    let rho = Rho::new(rho_v).map_err(|e| e.to_string())?;
+    let fork = RngFork::new(seed);
+    eprintln!(
+        "panel: {n} individuals x {horizon} rounds; {shards} shards \
+         (cohorts of ~{}), algorithm = {algorithm}, rho = {rho_v} per shard",
+        plan.cohort_size(0)
+    );
+
+    match algorithm {
+        "fixed-window" => {
+            let window: usize = get_parsed(flags, "window", 3)?;
+            let beta: f64 = get_parsed(flags, "beta", 0.05)?;
+            let config = FixedWindowConfig::new(horizon, window, rho)
+                .map_err(|e| e.to_string())?
+                .with_padding(longsynth::PaddingPolicy::Recommended { beta });
+            let mut engine = ShardedEngine::new(plan, |s, _| {
+                FixedWindowSynthesizer::new(config, fork.child(s as u64))
+            })
+            .map_err(|e| e.to_string())?;
+            let mut columns = Vec::with_capacity(horizon);
+            for (_, col) in panel.stream() {
+                match engine.step(col).map_err(|e| e.to_string())? {
+                    longsynth::Release::Buffered => {}
+                    longsynth::Release::Initial(cols) => columns.extend(cols),
+                    longsynth::Release::Update(col) => columns.push(col),
+                }
+            }
+            let budget = engine.budget();
+            let n_star: usize = (0..shards).map(|s| engine.shard(s).n_star()).sum();
+            eprintln!(
+                "released n* = {n_star} merged synthetic records; user-level \
+                 budget {} (parallel composition; sequential-sum view {})",
+                budget.spent(),
+                budget.spent_sequential()
+            );
+            if let Some(mut out) = open_output(flags, "output")? {
+                let rows: Vec<longsynth_data::BitStream> = (0..n_star)
+                    .map(|i| columns.iter().map(|c| c.get(i)).collect())
+                    .collect();
+                let flags_concat: Vec<bool> = (0..shards)
+                    .flat_map(|s| engine.shard(s).padding_flags().to_vec())
+                    .collect();
+                write_panel_csv(&mut out, rows.into_iter(), horizon, Some(&flags_concat))
+                    .map_err(|e| e.to_string())?;
+                eprintln!("wrote merged synthetic panel to --output");
+            }
+            if let Some(mut out) = open_output(flags, "estimates")? {
+                writeln!(out, "round,query,debiased_estimate").map_err(|e| e.to_string())?;
+                for t in (window - 1)..horizon {
+                    for q in quarterly_battery(window) {
+                        // Population-level estimate: cohort-size-weighted
+                        // average of per-shard debiased estimates.
+                        let mut total = 0.0;
+                        for s in 0..shards {
+                            let shard = engine.shard(s);
+                            let est = shard.estimate_debiased(t, &q).map_err(|e| e.to_string())?;
+                            total += est * engine.plan().cohort_size(s) as f64;
+                        }
+                        writeln!(out, "{},{},{}", t + 1, q.name(), total / n as f64)
+                            .map_err(|e| e.to_string())?;
+                    }
+                }
+                eprintln!("wrote merged window-query estimates to --estimates");
+            }
+        }
+        "cumulative" => {
+            let max_b: usize = get_parsed(flags, "max-b", horizon.min(6))?;
+            let config = CumulativeConfig::new(horizon, rho).map_err(|e| e.to_string())?;
+            let mut engine = ShardedEngine::new(plan, |s, _| {
+                CumulativeSynthesizer::new(
+                    config,
+                    fork.subfork(s as u64),
+                    fork.child(0x0C00 + s as u64),
+                )
+            })
+            .map_err(|e| e.to_string())?;
+            let mut columns = Vec::with_capacity(horizon);
+            for (_, col) in panel.stream() {
+                columns.push(engine.step(col).map_err(|e| e.to_string())?);
+            }
+            let budget = engine.budget();
+            eprintln!(
+                "released {} rounds; user-level budget {} (parallel \
+                 composition; sequential-sum view {})",
+                engine.rounds_fed(),
+                budget.spent(),
+                budget.spent_sequential()
+            );
+            if let Some(mut out) = open_output(flags, "output")? {
+                let rows: Vec<longsynth_data::BitStream> = (0..n)
+                    .map(|i| columns.iter().map(|c| c.get(i)).collect())
+                    .collect();
+                write_panel_csv(&mut out, rows.into_iter(), horizon, None)
+                    .map_err(|e| e.to_string())?;
+                eprintln!("wrote merged synthetic panel to --output");
+            }
+            if let Some(mut out) = open_output(flags, "estimates")? {
+                writeln!(out, "round,threshold_b,fraction_at_least_b")
+                    .map_err(|e| e.to_string())?;
+                for t in 0..horizon {
+                    for b in 1..=max_b.min(t + 1) {
+                        let mut total = 0.0;
+                        for s in 0..shards {
+                            let shard = engine.shard(s);
+                            let est = shard.estimate_fraction(t, b).map_err(|e| e.to_string())?;
+                            total += est * engine.plan().cohort_size(s) as f64;
+                        }
+                        writeln!(out, "{},{b},{}", t + 1, total / n as f64)
+                            .map_err(|e| e.to_string())?;
+                    }
+                }
+                eprintln!("wrote merged cumulative estimates to --estimates");
+            }
+        }
+        other => {
+            return Err(format!(
+                "--algorithm must be fixed-window or cumulative, got {other:?}"
+            ))
+        }
     }
     Ok(())
 }
@@ -321,7 +477,68 @@ mod tests {
         assert!(run_fixed_window(&Flags::new()).is_err());
         assert!(run_cumulative(&Flags::new()).is_err());
         assert!(run_simulate(&Flags::new()).is_err());
+        assert!(run_engine(&Flags::new()).is_err());
         let flags = flags_of(&[("rho", "0.01")]);
         assert!(run_fixed_window(&flags).unwrap_err().contains("--input"));
+        assert!(run_engine(&flags).unwrap_err().contains("--shards"));
+    }
+
+    #[test]
+    fn end_to_end_engine_run() {
+        let dir = std::env::temp_dir().join("longsynth_cli_engine_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let panel = dir.join("panel.csv");
+        let synth = dir.join("synth.csv");
+        let est = dir.join("est.csv");
+
+        run_simulate(&flags_of(&[
+            ("households", "600"),
+            ("months", "8"),
+            ("output", panel.to_str().unwrap()),
+        ]))
+        .unwrap();
+
+        // Sharded fixed-window run: merged panel and estimates come out.
+        run_engine(&flags_of(&[
+            ("input", panel.to_str().unwrap()),
+            ("rho", "0.05"),
+            ("shards", "3"),
+            ("window", "2"),
+            ("output", synth.to_str().unwrap()),
+            ("estimates", est.to_str().unwrap()),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&synth).unwrap();
+        assert!(text.starts_with("round_1,"));
+        assert!(text.lines().next().unwrap().ends_with("padding"));
+        let est_text = std::fs::read_to_string(&est).unwrap();
+        assert!(est_text.lines().count() > 7 * 4);
+
+        // Sharded cumulative run over the same panel.
+        run_engine(&flags_of(&[
+            ("input", panel.to_str().unwrap()),
+            ("rho", "0.05"),
+            ("shards", "2"),
+            ("algorithm", "cumulative"),
+            ("output", synth.to_str().unwrap()),
+            ("estimates", est.to_str().unwrap()),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&synth).unwrap();
+        // Cumulative engine keeps m = n merged records.
+        assert_eq!(text.lines().count(), 601); // header + 600 rows
+        let est_text = std::fs::read_to_string(&est).unwrap();
+        assert!(est_text.starts_with("round,threshold_b"));
+
+        // Unknown algorithm errors cleanly.
+        assert!(run_engine(&flags_of(&[
+            ("input", panel.to_str().unwrap()),
+            ("rho", "0.05"),
+            ("shards", "2"),
+            ("algorithm", "nope"),
+        ]))
+        .is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -88,14 +88,9 @@ impl RecomputeBaseline {
         // under that share (its own internal split then costs the second
         // factor — the √T hit the paper describes).
         let releases_total = self.horizon - self.window + 1;
-        let share = Rho::new(self.rho.value() / releases_total as f64)
-            .expect("validated rho");
-        let config = FixedWindowConfig::new(t, self.window, share)?
-            .with_padding(self.padding);
-        let mut single_shot = FixedWindowSynthesizer::new(
-            config,
-            self.seeds.child(t as u64),
-        );
+        let share = Rho::new(self.rho.value() / releases_total as f64).expect("validated rho");
+        let config = FixedWindowConfig::new(t, self.window, share)?.with_padding(self.padding);
+        let mut single_shot = FixedWindowSynthesizer::new(config, self.seeds.child(t as u64));
         for round in 0..t {
             single_shot.step(self.observed.column(round))?;
         }
@@ -117,6 +112,24 @@ impl RecomputeBaseline {
     /// Rounds fed so far.
     pub fn rounds_fed(&self) -> usize {
         self.rounds_fed
+    }
+
+    /// The configured time horizon `T`.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// zCDP budget consumed so far: each recompute charges its `ρ/R` share
+    /// when it runs (user-level composition across the `R` releases).
+    pub fn budget_spent(&self) -> Rho {
+        let releases_total = self.horizon - self.window + 1;
+        let share = self.rho.value() / releases_total as f64;
+        Rho::new(share * self.releases.len() as f64).expect("non-negative spend")
+    }
+
+    /// The total zCDP budget configured for the whole run.
+    pub fn budget_total(&self) -> Rho {
+        self.rho
     }
 
     /// The monotone statistic the paper's intro singles out: how many
@@ -141,8 +154,7 @@ impl RecomputeBaseline {
         let mut violation = 0.0;
         for t in first..last.saturating_sub(1) {
             let now = self.ever_run_count(t, run)? as f64 / self.release(t)?.len() as f64;
-            let next =
-                self.ever_run_count(t + 1, run)? as f64 / self.release(t + 1)?.len() as f64;
+            let next = self.ever_run_count(t + 1, run)? as f64 / self.release(t + 1)?.len() as f64;
             violation += (now - next).max(0.0);
         }
         Ok(violation)
@@ -150,16 +162,10 @@ impl RecomputeBaseline {
 
     /// Debiased estimate of a single width-`k` pattern fraction from the
     /// release at round `t` (for error comparisons against Algorithm 1).
-    pub fn estimate_debiased_pattern(
-        &self,
-        t: usize,
-        pattern: Pattern,
-    ) -> Result<f64, SynthError> {
+    pub fn estimate_debiased_pattern(&self, t: usize, pattern: Pattern) -> Result<f64, SynthError> {
         let release = self.release(t)?;
         let histogram = release.window_histogram(t, self.window);
-        let npad = self
-            .padding
-            .resolve(self.horizon, self.window, self.rho) as f64;
+        let npad = self.padding.resolve(self.horizon, self.window, self.rho) as f64;
         let n = self.observed.individuals() as f64;
         Ok((histogram[pattern.code() as usize] as f64 - npad) / n)
     }
@@ -216,7 +222,9 @@ mod tests {
         // round draws fresh noise — there is no persistent population.
         let data = markov(200, 10, 3);
         let baseline = run(&data, 3, 0.05, 4);
-        let sizes: Vec<usize> = (2..10).map(|t| baseline.release(t).unwrap().len()).collect();
+        let sizes: Vec<usize> = (2..10)
+            .map(|t| baseline.release(t).unwrap().len())
+            .collect();
         let distinct: std::collections::HashSet<_> = sizes.iter().collect();
         assert!(distinct.len() > 1, "sizes all equal: {sizes:?}");
     }
@@ -265,8 +273,8 @@ mod tests {
         let pattern = Pattern::parse("11");
         for t in 1..6 {
             let est = baseline.estimate_debiased_pattern(t, pattern).unwrap();
-            let truth = longsynth_queries::window::window_histogram(&data, t, 2)[3] as f64
-                / 2_000.0;
+            let truth =
+                longsynth_queries::window::window_histogram(&data, t, 2)[3] as f64 / 2_000.0;
             assert!((est - truth).abs() < 0.1, "t={t}: {est} vs {truth}");
         }
     }

@@ -45,7 +45,12 @@ pub struct CategoricalConfig {
 
 impl CategoricalConfig {
     /// Validated constructor. Requires `V^k ≤ 2^20` bins.
-    pub fn new(horizon: usize, window: usize, categories: u8, rho: Rho) -> Result<Self, SynthError> {
+    pub fn new(
+        horizon: usize,
+        window: usize,
+        categories: u8,
+        rho: Rho,
+    ) -> Result<Self, SynthError> {
         if horizon == 0 || window == 0 || window > horizon {
             return Err(SynthError::InvalidConfig(format!(
                 "need 1 <= k <= T, got k={window}, T={horizon}"
@@ -107,7 +112,8 @@ impl CategoricalConfig {
 
     /// Resolved per-bin padding.
     pub fn npad(&self) -> u64 {
-        self.npad_override.unwrap_or_else(|| self.lambda().ceil() as u64)
+        self.npad_override
+            .unwrap_or_else(|| self.lambda().ceil() as u64)
     }
 }
 
@@ -136,8 +142,8 @@ impl<R: Rng> CategoricalSynthesizer<R> {
     /// Create a synthesizer drawing all randomness from `rng`.
     pub fn new(config: CategoricalConfig, rng: R) -> Self {
         let sigma2 = config.update_steps() as f64 / (2.0 * config.rho.value());
-        let per_step_rho = Rho::new(config.rho.value() / config.update_steps() as f64)
-            .expect("validated rho");
+        let per_step_rho =
+            Rho::new(config.rho.value() / config.update_steps() as f64).expect("validated rho");
         Self {
             noise: NoiseDistribution::DiscreteGaussian { sigma2 },
             npad: config.npad(),
@@ -364,6 +370,16 @@ impl<R: Rng> CategoricalSynthesizer<R> {
         Ok((total - bins as f64 * self.npad as f64) / n)
     }
 
+    /// The configuration this synthesizer runs under.
+    pub fn config(&self) -> &CategoricalConfig {
+        &self.config
+    }
+
+    /// Rounds fed so far.
+    pub fn rounds_fed(&self) -> usize {
+        self.rounds_fed
+    }
+
     /// Number of synthetic records `n*`.
     pub fn n_star(&self) -> usize {
         self.records.len()
@@ -396,11 +412,7 @@ mod tests {
     use longsynth_data::generators::categorical_markov;
     use longsynth_dp::rng::rng_from_seed;
 
-    fn true_histogram(
-        data: &longsynth_data::CategoricalDataset,
-        t: usize,
-        k: usize,
-    ) -> Vec<i64> {
+    fn true_histogram(data: &longsynth_data::CategoricalDataset, t: usize, k: usize) -> Vec<i64> {
         let v = data.categories() as usize;
         let mut hist = vec![0i64; v.pow(k as u32)];
         for i in 0..data.individuals() {

@@ -322,12 +322,7 @@ impl<R: Rng> CumulativeSynthesizer<R> {
     /// `(Ŝ_b^{t2} − Ŝ_b^{t1})/n`. Pure post-processing of already-released
     /// statistics — no extra privacy cost — and non-negative by the
     /// monotonization.
-    pub fn estimate_crossings(
-        &self,
-        t1: usize,
-        t2: usize,
-        b: usize,
-    ) -> Result<f64, SynthError> {
+    pub fn estimate_crossings(&self, t1: usize, t2: usize, b: usize) -> Result<f64, SynthError> {
         if t1 >= t2 {
             return Err(SynthError::InvalidConfig(format!(
                 "crossings need t1 < t2, got {t1} >= {t2}"

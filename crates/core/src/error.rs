@@ -83,10 +83,7 @@ mod tests {
                 "expected 10",
             ),
             (SynthError::HorizonExceeded { horizon: 12 }, "T=12"),
-            (
-                SynthError::InvalidConfig("k > T".into()),
-                "k > T",
-            ),
+            (SynthError::InvalidConfig("k > T".into()), "k > T"),
             (SynthError::RoundNotReleased { round: 1 }, "round 1"),
             (
                 SynthError::UnsupportedQueryWidth {

@@ -121,9 +121,10 @@ impl FixedWindowConfig {
     }
 
     fn derived_noise(&self) -> NoiseDistribution {
-        self.noise_override.unwrap_or(NoiseDistribution::DiscreteGaussian {
-            sigma2: self.update_steps() as f64 / (2.0 * self.rho.value()),
-        })
+        self.noise_override
+            .unwrap_or(NoiseDistribution::DiscreteGaussian {
+                sigma2: self.update_steps() as f64 / (2.0 * self.rho.value()),
+            })
     }
 }
 
@@ -193,8 +194,8 @@ impl<R: Rng> FixedWindowSynthesizer<R> {
         let npad = config
             .padding
             .resolve(config.horizon, config.window, config.rho);
-        let per_step_rho = Rho::new(config.rho.value() / config.update_steps() as f64)
-            .expect("validated rho");
+        let per_step_rho =
+            Rho::new(config.rho.value() / config.update_steps() as f64).expect("validated rho");
         Self {
             noise: config.derived_noise(),
             npad,
@@ -617,10 +618,10 @@ mod tests {
             let prev = synth.histogram_estimate(t - 1).unwrap();
             let now = synth.histogram_estimate(t).unwrap();
             for z in Pattern::all(2) {
-                let ended = prev[z.prepend(false).code() as usize]
-                    + prev[z.prepend(true).code() as usize];
-                let started = now[z.append(false).code() as usize]
-                    + now[z.append(true).code() as usize];
+                let ended =
+                    prev[z.prepend(false).code() as usize] + prev[z.prepend(true).code() as usize];
+                let started =
+                    now[z.append(false).code() as usize] + now[z.append(true).code() as usize];
                 assert_eq!(ended, started, "t={t}, z={z}");
             }
         }
@@ -829,7 +830,10 @@ mod tests {
         // Wrong column size.
         assert!(matches!(
             synth.step(&BitColumn::zeros(11)),
-            Err(SynthError::ColumnSizeMismatch { expected: 10, actual: 11 })
+            Err(SynthError::ColumnSizeMismatch {
+                expected: 10,
+                actual: 11
+            })
         ));
         for _ in 0..3 {
             synth.step(&BitColumn::zeros(10)).unwrap();

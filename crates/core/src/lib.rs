@@ -59,6 +59,7 @@
 //!
 //! | module | contents |
 //! |---|---|
+//! | [`traits`]       | [`ContinualSynthesizer`] — the unified step/release contract all four synthesizers implement |
 //! | [`fixed_window`] | Algorithm 1 and its consistency arithmetic |
 //! | [`cumulative`]   | Algorithm 2 over pluggable stream counters |
 //! | [`synthetic`]    | the persistent synthetic population |
@@ -67,6 +68,12 @@
 //! | [`reduction`]    | cumulative-via-`k=T` reduction (§2.1) |
 //! | [`categorical`]  | the `|X| = V` fixed-window extension |
 //! | [`error`]        | error types |
+//!
+//! The scaling layer on top of this crate lives in `longsynth-engine`: a
+//! sharded multi-cohort streaming engine that drives one
+//! [`ContinualSynthesizer`] per cohort in parallel and merges the per-shard
+//! releases into a population-level release under parallel-composition
+//! budget accounting.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -81,9 +88,11 @@ pub mod padding;
 pub mod pure_dp;
 pub mod reduction;
 pub mod synthetic;
+pub mod traits;
 
 pub use cumulative::{BudgetSplit, CumulativeConfig, CumulativeSynthesizer};
 pub use error::SynthError;
 pub use fixed_window::{FixedWindowConfig, FixedWindowSynthesizer, Release, SelectionStrategy};
 pub use padding::PaddingPolicy;
 pub use synthetic::SyntheticDataset;
+pub use traits::ContinualSynthesizer;

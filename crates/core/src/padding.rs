@@ -59,21 +59,13 @@ impl PaddingPolicy {
 /// probability β — the dashed line of the paper's Figures 3–4 (after
 /// normalizing by `n` for the debiased variant).
 pub fn theorem_bound_counts(horizon: usize, window: usize, rho: Rho, beta: f64) -> f64 {
-    let params =
-        FixedWindowParams::new(horizon, window, rho).expect("validated parameters");
+    let params = FixedWindowParams::new(horizon, window, rho).expect("validated parameters");
     theorem_3_2_lambda(&params, beta)
 }
 
 /// Corollary 3.3's debiased relative-error bound `λ/n`.
-pub fn theorem_bound_debiased(
-    horizon: usize,
-    window: usize,
-    rho: Rho,
-    beta: f64,
-    n: usize,
-) -> f64 {
-    let params =
-        FixedWindowParams::new(horizon, window, rho).expect("validated parameters");
+pub fn theorem_bound_debiased(horizon: usize, window: usize, rho: Rho, beta: f64, n: usize) -> f64 {
+    let params = FixedWindowParams::new(horizon, window, rho).expect("validated parameters");
     corollary_3_3_debiased_bound(&params, beta, n)
 }
 
@@ -81,15 +73,8 @@ pub fn theorem_bound_debiased(
 /// the padding offset, which for a support-`m` width-`k` query is
 /// `≈ m·npad/n` plus the `λ/n` noise term (the Corollary 3.3 discussion).
 /// The harness uses this as Figure 4's reference line with `m = 1`.
-pub fn biased_reference_bound(
-    horizon: usize,
-    window: usize,
-    rho: Rho,
-    beta: f64,
-    n: usize,
-) -> f64 {
-    let params =
-        FixedWindowParams::new(horizon, window, rho).expect("validated parameters");
+pub fn biased_reference_bound(horizon: usize, window: usize, rho: Rho, beta: f64, n: usize) -> f64 {
+    let params = FixedWindowParams::new(horizon, window, rho).expect("validated parameters");
     let lambda = theorem_3_2_lambda(&params, beta);
     let npad = recommended_npad(&params, beta) as f64;
     (lambda + npad) / n as f64

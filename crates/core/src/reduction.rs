@@ -126,10 +126,7 @@ mod tests {
             for b in 0..=t + 1 {
                 let est = synth.estimate_fraction(t, b).unwrap();
                 let tru = truth[b] as f64 / n as f64;
-                assert!(
-                    (est - tru).abs() < 1e-9,
-                    "t={t}, b={b}: {est} vs {tru}"
-                );
+                assert!((est - tru).abs() < 1e-9, "t={t}, b={b}: {est} vs {tru}");
             }
         }
     }

@@ -47,10 +47,7 @@ impl SyntheticDataset {
                 records.push(stream);
             }
         }
-        Self {
-            records,
-            rounds: k,
-        }
+        Self { records, rounds: k }
     }
 
     /// Number of synthetic individuals `m` (the paper's `n*` for

@@ -1,0 +1,234 @@
+//! The unified continual-synthesis interface.
+//!
+//! The paper's two algorithms, the recompute strawman, and the categorical
+//! extension grew up as four unrelated structs with incompatible `step()`
+//! signatures. [`ContinualSynthesizer`] is the common contract they all
+//! satisfy: feed one true column per round, get back whatever that
+//! synthesizer releases, and ask uniform bookkeeping questions (current
+//! round, rounds remaining, privacy budget spent).
+//!
+//! The trait is the substrate the sharded streaming engine
+//! (`longsynth-engine`) builds on: an engine shard drives *any*
+//! `ContinualSynthesizer` without knowing which algorithm it is, and every
+//! future scaling layer (async serving, caching, multi-backend) programs
+//! against this interface rather than against concrete structs.
+//!
+//! Every implementation in this crate delegates to the pre-existing
+//! inherent `step()` of the same struct, so trait-dispatched and direct
+//! calls are **bit-identical** under the same RNG state — the
+//! `trait_equivalence` test suite pins that down per synthesizer.
+
+use crate::baseline::RecomputeBaseline;
+use crate::categorical::CategoricalSynthesizer;
+use crate::cumulative::CumulativeSynthesizer;
+use crate::error::SynthError;
+use crate::fixed_window::{FixedWindowSynthesizer, Release};
+use longsynth_data::categorical::CategoricalColumn;
+use longsynth_data::BitColumn;
+use longsynth_dp::budget::Rho;
+use rand::Rng;
+
+/// A synthesizer that consumes one true column per round and continually
+/// releases synthetic data under a fixed total privacy budget.
+///
+/// The contract, shared by all four implementations:
+///
+/// * exactly [`horizon`](Self::horizon) calls to [`step`](Self::step) are
+///   accepted; further calls return [`SynthError::HorizonExceeded`];
+/// * released prefixes are never rewritten (persistent-record
+///   implementations) or are explicitly labelled as recomputed
+///   ([`RecomputeBaseline`]);
+/// * [`budget_spent`](Self::budget_spent) is monotone in the round and
+///   reaches the configured total by the end of the run.
+pub trait ContinualSynthesizer {
+    /// One round of true reports (e.g. [`BitColumn`], [`CategoricalColumn`]).
+    type Input;
+    /// What one `step` call releases.
+    type Release;
+
+    /// Feed the next true column; returns this round's release.
+    fn step(&mut self, input: &Self::Input) -> Result<Self::Release, SynthError>;
+
+    /// Rounds fed so far (0-based count; equals the 1-based current round
+    /// number after a successful `step`).
+    fn round(&self) -> usize;
+
+    /// The fixed time horizon `T` this synthesizer was configured with.
+    fn horizon(&self) -> usize;
+
+    /// Rounds still accepted before the horizon is exhausted.
+    fn rounds_remaining(&self) -> usize {
+        self.horizon().saturating_sub(self.round())
+    }
+
+    /// zCDP budget charged so far across all internal mechanisms.
+    fn budget_spent(&self) -> Rho;
+
+    /// The total zCDP budget configured for the whole run.
+    fn budget_total(&self) -> Rho;
+
+    /// Drive the synthesizer over a whole input stream, collecting the
+    /// per-round releases. Stops at the first error.
+    fn run<'a, I>(&mut self, inputs: I) -> Result<Vec<Self::Release>, SynthError>
+    where
+        Self: Sized,
+        I: IntoIterator<Item = &'a Self::Input>,
+        Self::Input: 'a,
+    {
+        inputs.into_iter().map(|input| self.step(input)).collect()
+    }
+}
+
+impl<R: Rng> ContinualSynthesizer for FixedWindowSynthesizer<R> {
+    type Input = BitColumn;
+    type Release = Release;
+
+    fn step(&mut self, input: &BitColumn) -> Result<Release, SynthError> {
+        FixedWindowSynthesizer::step(self, input)
+    }
+
+    fn round(&self) -> usize {
+        self.rounds_fed()
+    }
+
+    fn horizon(&self) -> usize {
+        self.config().horizon
+    }
+
+    fn budget_spent(&self) -> Rho {
+        self.ledger().spent()
+    }
+
+    fn budget_total(&self) -> Rho {
+        self.ledger().total()
+    }
+}
+
+impl<R: Rng> ContinualSynthesizer for CumulativeSynthesizer<R> {
+    type Input = BitColumn;
+    type Release = BitColumn;
+
+    fn step(&mut self, input: &BitColumn) -> Result<BitColumn, SynthError> {
+        CumulativeSynthesizer::step(self, input)
+    }
+
+    fn round(&self) -> usize {
+        self.rounds_fed()
+    }
+
+    fn horizon(&self) -> usize {
+        self.config().horizon
+    }
+
+    fn budget_spent(&self) -> Rho {
+        self.ledger().spent()
+    }
+
+    fn budget_total(&self) -> Rho {
+        self.ledger().total()
+    }
+}
+
+impl ContinualSynthesizer for RecomputeBaseline {
+    type Input = BitColumn;
+    type Release = ();
+
+    fn step(&mut self, input: &BitColumn) -> Result<(), SynthError> {
+        RecomputeBaseline::step(self, input)
+    }
+
+    fn round(&self) -> usize {
+        self.rounds_fed()
+    }
+
+    fn horizon(&self) -> usize {
+        RecomputeBaseline::horizon(self)
+    }
+
+    fn budget_spent(&self) -> Rho {
+        RecomputeBaseline::budget_spent(self)
+    }
+
+    fn budget_total(&self) -> Rho {
+        RecomputeBaseline::budget_total(self)
+    }
+}
+
+impl<R: Rng> ContinualSynthesizer for CategoricalSynthesizer<R> {
+    type Input = CategoricalColumn;
+    type Release = ();
+
+    fn step(&mut self, input: &CategoricalColumn) -> Result<(), SynthError> {
+        CategoricalSynthesizer::step(self, input)
+    }
+
+    fn round(&self) -> usize {
+        self.rounds_fed()
+    }
+
+    fn horizon(&self) -> usize {
+        self.config().horizon
+    }
+
+    fn budget_spent(&self) -> Rho {
+        self.ledger().spent()
+    }
+
+    fn budget_total(&self) -> Rho {
+        self.ledger().total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cumulative::CumulativeConfig;
+    use crate::fixed_window::FixedWindowConfig;
+    use longsynth_data::generators::iid_bernoulli;
+    use longsynth_dp::rng::{rng_from_seed, RngFork};
+
+    #[test]
+    fn bookkeeping_is_uniform_across_implementations() {
+        let data = iid_bernoulli(&mut rng_from_seed(1), 100, 6, 0.4);
+
+        let config = FixedWindowConfig::new(6, 2, Rho::new(0.5).unwrap()).unwrap();
+        let mut fixed = FixedWindowSynthesizer::new(config, rng_from_seed(2));
+        let config = CumulativeConfig::new(6, Rho::new(0.5).unwrap()).unwrap();
+        let mut cumulative = CumulativeSynthesizer::new(config, RngFork::new(3), rng_from_seed(3));
+
+        fn drive<S: ContinualSynthesizer<Input = BitColumn>>(
+            synth: &mut S,
+            data: &longsynth_data::LongitudinalDataset,
+        ) {
+            assert_eq!(synth.round(), 0);
+            assert_eq!(synth.rounds_remaining(), synth.horizon());
+            for (t, col) in data.stream() {
+                synth.step(col).unwrap();
+                assert_eq!(synth.round(), t + 1);
+            }
+            assert_eq!(synth.rounds_remaining(), 0);
+            assert!(synth.budget_spent().value() > 0.0);
+            assert!(
+                (synth.budget_spent().value() - synth.budget_total().value()).abs() < 1e-9,
+                "budget fully spent at horizon"
+            );
+        }
+        drive(&mut fixed, &data);
+        drive(&mut cumulative, &data);
+    }
+
+    #[test]
+    fn run_collects_all_releases() {
+        let data = iid_bernoulli(&mut rng_from_seed(4), 50, 5, 0.5);
+        let config = CumulativeConfig::new(5, Rho::new(0.5).unwrap()).unwrap();
+        let mut synth = CumulativeSynthesizer::new(config, RngFork::new(5), rng_from_seed(5));
+        let columns: Vec<BitColumn> = data.stream().map(|(_, c)| c.clone()).collect();
+        let releases = ContinualSynthesizer::run(&mut synth, columns.iter()).unwrap();
+        assert_eq!(releases.len(), 5);
+        // And the horizon is now exhausted through the trait too.
+        assert!(matches!(
+            ContinualSynthesizer::step(&mut synth, &columns[0]),
+            Err(SynthError::HorizonExceeded { .. })
+        ));
+    }
+}

@@ -1,0 +1,150 @@
+//! Trait-dispatch equivalence: for every synthesizer, driving it through
+//! `ContinualSynthesizer::step` must produce **bit-identical** output to
+//! calling the struct's inherent `step` — same releases, same synthetic
+//! records, same bookkeeping — under the same RNG seed.
+//!
+//! This is the refactor's safety net: the trait impls delegate to the
+//! inherent methods, and these properties pin down that no numeric behavior
+//! changed when the four synthesizers were unified behind the trait.
+
+use longsynth::baseline::RecomputeBaseline;
+use longsynth::categorical::{CategoricalConfig, CategoricalSynthesizer};
+use longsynth::{
+    ContinualSynthesizer, CumulativeConfig, CumulativeSynthesizer, FixedWindowConfig,
+    FixedWindowSynthesizer, PaddingPolicy,
+};
+use longsynth_data::generators::{categorical_markov, iid_bernoulli};
+use longsynth_dp::budget::Rho;
+use longsynth_dp::rng::{rng_from_seed, RngFork};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Algorithm 1: identical releases and identical synthetic records.
+    #[test]
+    fn fixed_window_trait_matches_direct(
+        seed in any::<u64>(),
+        n in 30usize..200,
+        horizon in 4usize..9,
+        k in 1usize..4,
+        p in 0.1f64..0.9,
+    ) {
+        let data = iid_bernoulli(&mut rng_from_seed(seed ^ 0xDA7A), n, horizon, p);
+        let config = FixedWindowConfig::new(horizon, k, Rho::new(0.05).unwrap()).unwrap();
+        let mut direct = FixedWindowSynthesizer::new(config, rng_from_seed(seed));
+        let mut dispatched = FixedWindowSynthesizer::new(config, rng_from_seed(seed));
+        for (_, col) in data.stream() {
+            let a = direct.step(col).unwrap();
+            let b = ContinualSynthesizer::step(&mut dispatched, col).unwrap();
+            prop_assert_eq!(&a, &b);
+        }
+        prop_assert_eq!(direct.synthetic(), dispatched.synthetic());
+        prop_assert_eq!(direct.padding_flags(), dispatched.padding_flags());
+        prop_assert_eq!(
+            direct.ledger().spent().value(),
+            dispatched.budget_spent().value()
+        );
+    }
+
+    /// Algorithm 2: identical released columns and identical population.
+    #[test]
+    fn cumulative_trait_matches_direct(
+        seed in any::<u64>(),
+        n in 30usize..200,
+        horizon in 2usize..9,
+        p in 0.1f64..0.9,
+    ) {
+        let data = iid_bernoulli(&mut rng_from_seed(seed ^ 0xC0DA), n, horizon, p);
+        let config = CumulativeConfig::new(horizon, Rho::new(0.05).unwrap()).unwrap();
+        let mut direct =
+            CumulativeSynthesizer::new(config, RngFork::new(seed), rng_from_seed(seed));
+        let mut dispatched =
+            CumulativeSynthesizer::new(config, RngFork::new(seed), rng_from_seed(seed));
+        for (_, col) in data.stream() {
+            let a = direct.step(col).unwrap();
+            let b = ContinualSynthesizer::step(&mut dispatched, col).unwrap();
+            prop_assert_eq!(&a, &b);
+        }
+        prop_assert_eq!(direct.synthetic(), dispatched.synthetic());
+        for t in 0..horizon {
+            prop_assert_eq!(
+                direct.threshold_estimates(t).unwrap(),
+                dispatched.threshold_estimates(t).unwrap()
+            );
+        }
+    }
+
+    /// Recompute baseline: identical per-round releases.
+    #[test]
+    fn baseline_trait_matches_direct(
+        seed in any::<u64>(),
+        n in 30usize..150,
+        horizon in 3usize..8,
+    ) {
+        let data = iid_bernoulli(&mut rng_from_seed(seed ^ 0xBA5E), n, horizon, 0.4);
+        let window = 2;
+        let build = || {
+            RecomputeBaseline::new(
+                horizon,
+                window,
+                Rho::new(0.05).unwrap(),
+                PaddingPolicy::Fixed(20),
+                RngFork::new(seed),
+            )
+            .unwrap()
+        };
+        let mut direct = build();
+        let mut dispatched = build();
+        for (_, col) in data.stream() {
+            direct.step(col).unwrap();
+            ContinualSynthesizer::step(&mut dispatched, col).unwrap();
+        }
+        for t in (window - 1)..horizon {
+            prop_assert_eq!(direct.release(t).unwrap(), dispatched.release(t).unwrap());
+        }
+        prop_assert_eq!(
+            direct.budget_spent().value(),
+            ContinualSynthesizer::budget_spent(&dispatched).value()
+        );
+    }
+
+    /// Categorical extension: identical records and histogram targets.
+    #[test]
+    fn categorical_trait_matches_direct(
+        seed in any::<u64>(),
+        n in 30usize..150,
+        horizon in 3usize..7,
+        v in 2u8..5,
+    ) {
+        let data = categorical_markov(&mut rng_from_seed(seed ^ 0xCA7), n, horizon, v, 0.7);
+        let config = CategoricalConfig::new(horizon, 2, v, Rho::new(0.05).unwrap()).unwrap();
+        let mut direct = CategoricalSynthesizer::new(config, rng_from_seed(seed));
+        let mut dispatched = CategoricalSynthesizer::new(config, rng_from_seed(seed));
+        for (_, col) in data.stream() {
+            direct.step(col).unwrap();
+            ContinualSynthesizer::step(&mut dispatched, col).unwrap();
+        }
+        prop_assert_eq!(direct.records(), dispatched.records());
+        for t in 1..horizon {
+            prop_assert_eq!(
+                direct.histogram_estimate(t).unwrap(),
+                dispatched.histogram_estimate(t).unwrap()
+            );
+        }
+    }
+}
+
+/// The trait's provided `run` driver is exactly a `step` loop.
+#[test]
+fn run_driver_equals_step_loop() {
+    let data = iid_bernoulli(&mut rng_from_seed(7), 80, 6, 0.5);
+    let config = FixedWindowConfig::new(6, 2, Rho::new(0.1).unwrap()).unwrap();
+    let mut stepped = FixedWindowSynthesizer::new(config, rng_from_seed(8));
+    let mut ran = FixedWindowSynthesizer::new(config, rng_from_seed(8));
+    let columns: Vec<_> = data.stream().map(|(_, c)| c.clone()).collect();
+    let a: Vec<_> = columns.iter().map(|c| stepped.step(c).unwrap()).collect();
+    let b = ran.run(columns.iter()).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(stepped.synthetic(), ran.synthetic());
+}

@@ -69,7 +69,7 @@ impl<R: Rng> BlockCounter<R> {
     }
 }
 
-impl<R: Rng> StreamCounter for BlockCounter<R> {
+impl<R: Rng + Send> StreamCounter for BlockCounter<R> {
     fn feed(&mut self, z: u64) -> i64 {
         assert!(
             self.steps < self.horizon,
@@ -131,10 +131,10 @@ mod tests {
 
     #[test]
     fn block_error_beats_simple_on_long_streams() {
-        // Same ρ, T = 4096: block's √T terms vs simple's T terms. Compare
+        // Same ρ, T = 16384: block releases Θ(√T) noisy nodes vs simple's Θ(T). Compare
         // the worst error over the run, averaged over seeds.
         let rho = Rho::new(0.5).unwrap();
-        let horizon = 4096;
+        let horizon = 16_384;
         let mut simple_err = 0.0;
         let mut block_err = 0.0;
         for seed in 0..10 {

@@ -81,7 +81,7 @@ impl<R: Rng> HonakerCounter<R> {
     }
 }
 
-impl<R: Rng> StreamCounter for HonakerCounter<R> {
+impl<R: Rng + Send> StreamCounter for HonakerCounter<R> {
     fn feed(&mut self, z: u64) -> i64 {
         assert!(
             self.steps < self.horizon,
@@ -96,7 +96,7 @@ impl<R: Rng> StreamCounter for HonakerCounter<R> {
         }
         // Close every block that completes at t (levels i with 2^i | t).
         for level in 0..self.levels {
-            if t % (1usize << level) != 0 {
+            if !t.is_multiple_of(1usize << level) {
                 break;
             }
             let exact = self.partial[level];
@@ -193,8 +193,7 @@ mod tests {
         let horizon = 1 << 11;
         let (mut tree_err, mut honaker_err) = (0.0, 0.0);
         for seed in 0..20 {
-            let mut tree =
-                crate::tree::TreeCounter::new(horizon, noise, rng_from_seed(seed));
+            let mut tree = crate::tree::TreeCounter::new(horizon, noise, rng_from_seed(seed));
             let mut honaker = HonakerCounter::new(horizon, noise, rng_from_seed(9000 + seed));
             let mut truth = 0i64;
             for _ in 0..horizon {

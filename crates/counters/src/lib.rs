@@ -62,7 +62,11 @@ pub fn tree_node_noise(horizon: usize, rho: Rho) -> NoiseDistribution {
 ///
 /// The object-safety of this trait is what lets the cumulative synthesizer
 /// hold `T` heterogeneous counters behind `Box<dyn StreamCounter>`.
-pub trait StreamCounter {
+// `Send` is part of the contract: Algorithm 2 runs one counter per
+// threshold, and the sharded engine moves whole synthesizers (counters
+// included) across worker threads. Every provided counter is a plain
+// struct of integers plus an owned RNG, so the bound costs nothing.
+pub trait StreamCounter: Send {
     /// Feed the increment for the next time step and return the noisy
     /// estimate `S̃ᵗ` of the running total.
     ///
@@ -112,9 +116,7 @@ impl CounterKind {
             CounterKind::Simple => Box::new(simple::SimpleCounter::for_zcdp(horizon, rho, rng)),
             CounterKind::Block => Box::new(block::BlockCounter::for_zcdp(horizon, rho, rng)),
             CounterKind::Tree => Box::new(tree::TreeCounter::for_zcdp(horizon, rho, rng)),
-            CounterKind::Honaker => {
-                Box::new(honaker::HonakerCounter::for_zcdp(horizon, rho, rng))
-            }
+            CounterKind::Honaker => Box::new(honaker::HonakerCounter::for_zcdp(horizon, rho, rng)),
         }
     }
 

@@ -41,7 +41,7 @@ impl<R: Rng> SimpleCounter<R> {
     }
 }
 
-impl<R: Rng> StreamCounter for SimpleCounter<R> {
+impl<R: Rng + Send> StreamCounter for SimpleCounter<R> {
     fn feed(&mut self, z: u64) -> i64 {
         assert!(
             self.steps < self.horizon,

@@ -89,7 +89,7 @@ impl<R: Rng> TreeCounter<R> {
     }
 }
 
-impl<R: Rng> StreamCounter for TreeCounter<R> {
+impl<R: Rng + Send> StreamCounter for TreeCounter<R> {
     fn feed(&mut self, z: u64) -> i64 {
         assert!(
             self.steps < self.horizon,

@@ -70,7 +70,11 @@ impl BitColumn {
     /// Panics if `i >= len()`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "individual index {i} out of range {}", self.len);
+        assert!(
+            i < self.len,
+            "individual index {i} out of range {}",
+            self.len
+        );
         (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
     }
 
@@ -80,7 +84,11 @@ impl BitColumn {
     /// Panics if `i >= len()`.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "individual index {i} out of range {}", self.len);
+        assert!(
+            i < self.len,
+            "individual index {i} out of range {}",
+            self.len
+        );
         let mask = 1u64 << (i % WORD_BITS);
         if value {
             self.words[i / WORD_BITS] |= mask;

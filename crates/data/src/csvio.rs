@@ -122,7 +122,11 @@ pub fn read_panel_csv<R: BufRead>(reader: R) -> Result<LongitudinalDataset, Pane
     let mut rows: Vec<BitStream> = Vec::with_capacity(raw_rows.len());
     let mut expected = None;
     for (line, fields) in &raw_rows {
-        let data = if drop_first { &fields[1..] } else { &fields[..] };
+        let data = if drop_first {
+            &fields[1..]
+        } else {
+            &fields[..]
+        };
         match expected {
             None => expected = Some(data.len()),
             Some(e) if e != data.len() => {
@@ -192,13 +196,7 @@ mod tests {
         assert!(!panel.value(1, 2));
 
         let mut out = Vec::new();
-        write_panel_csv(
-            &mut out,
-            (0..3).map(|i| panel.row(i, 2)),
-            3,
-            None,
-        )
-        .unwrap();
+        write_panel_csv(&mut out, (0..3).map(|i| panel.row(i, 2)), 3, None).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("round_1,round_2,round_3\n"));
         let reparsed = read_panel_csv(Cursor::new(text)).unwrap();
@@ -227,7 +225,11 @@ mod tests {
     fn bad_cell_reported_with_position() {
         let csv = "1,0\n1,2\n";
         match read_panel_csv(Cursor::new(csv)) {
-            Err(PanelCsvError::BadCell { line, column, value }) => {
+            Err(PanelCsvError::BadCell {
+                line,
+                column,
+                value,
+            }) => {
                 assert_eq!((line, column), (2, 2));
                 assert_eq!(value, "2");
             }

@@ -310,7 +310,8 @@ mod tests {
     #[test]
     fn push_column_grows_and_validates() {
         let mut d = LongitudinalDataset::empty(2);
-        d.push_column(BitColumn::from_bools(&[true, false])).unwrap();
+        d.push_column(BitColumn::from_bools(&[true, false]))
+            .unwrap();
         assert_eq!(d.rounds(), 1);
         assert!(d.push_column(BitColumn::zeros(3)).is_err());
     }

@@ -21,9 +21,7 @@ use rand::Rng;
 
 /// The Appendix C.1 extreme panel: all `n × T` updates are 1.
 pub fn all_ones(individuals: usize, horizon: usize) -> LongitudinalDataset {
-    let columns = (0..horizon)
-        .map(|_| BitColumn::ones(individuals))
-        .collect();
+    let columns = (0..horizon).map(|_| BitColumn::ones(individuals)).collect();
     LongitudinalDataset::from_columns(columns).expect("uniform columns are never ragged")
 }
 
@@ -106,7 +104,11 @@ pub fn two_state_markov<R: Rng + ?Sized>(
     for t in 0..horizon {
         if t > 0 {
             for s in state.iter_mut() {
-                let p = if *s { params.stay_one } else { params.enter_one };
+                let p = if *s {
+                    params.stay_one
+                } else {
+                    params.enter_one
+                };
                 *s = rng.gen_bool(p);
             }
         }
@@ -281,11 +283,7 @@ mod tests {
         let rate0 = d.column(0).count_ones() as f64 / 20_000.0;
         assert!((rate0 - 0.5).abs() < 0.02, "rate {rate0}");
         // Even individuals (group 0) are mostly 1 at round 0.
-        let even_ones = (0..20_000)
-            .step_by(2)
-            .filter(|&i| d.value(i, 0))
-            .count() as f64
-            / 10_000.0;
+        let even_ones = (0..20_000).step_by(2).filter(|&i| d.value(i, 0)).count() as f64 / 10_000.0;
         assert!((even_ones - 0.9).abs() < 0.02, "group-0 rate {even_ones}");
     }
 

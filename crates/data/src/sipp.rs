@@ -293,8 +293,14 @@ mod tests {
         }
         let any_rate = in_q1 as f64 / panel.individuals() as f64;
         let all_rate = all_q1 as f64 / panel.individuals() as f64;
-        assert!((0.10..=0.20).contains(&any_rate), "any-month rate {any_rate}");
-        assert!((0.05..=0.12).contains(&all_rate), "all-months rate {all_rate}");
+        assert!(
+            (0.10..=0.20).contains(&any_rate),
+            "any-month rate {any_rate}"
+        );
+        assert!(
+            (0.05..=0.12).contains(&all_rate),
+            "all-months rate {all_rate}"
+        );
         assert!(any_rate > all_rate);
     }
 

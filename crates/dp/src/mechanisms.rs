@@ -60,9 +60,7 @@ impl NoiseDistribution {
     /// Draw one noise value.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
         match *self {
-            NoiseDistribution::DiscreteGaussian { sigma2 } => {
-                sample_discrete_gaussian(rng, sigma2)
-            }
+            NoiseDistribution::DiscreteGaussian { sigma2 } => sample_discrete_gaussian(rng, sigma2),
             NoiseDistribution::DiscreteLaplace { scale } => sample_discrete_laplace(rng, scale),
             NoiseDistribution::None => 0,
         }
@@ -153,11 +151,7 @@ mod tests {
         let noise = NoiseDistribution::DiscreteGaussian { sigma2: 100.0 };
         let out = noisy_counts(&mut rng, &counts, noise);
         let mean: f64 = out.iter().map(|&x| x as f64).sum::<f64>() / 1000.0;
-        let var: f64 = out
-            .iter()
-            .map(|&x| (x as f64 - mean).powi(2))
-            .sum::<f64>()
-            / 1000.0;
+        let var: f64 = out.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / 1000.0;
         assert!(mean.abs() < 1.5, "mean {mean}");
         assert!((var - 100.0).abs() < 20.0, "var {var}");
     }

@@ -30,10 +30,7 @@ impl FixedWindowParams {
             return Err(ParamError::ZeroHorizon);
         }
         if window == 0 || window > horizon {
-            return Err(ParamError::BadWindow {
-                window,
-                horizon,
-            });
+            return Err(ParamError::BadWindow { window, horizon });
         }
         if rho.value() <= 0.0 {
             return Err(ParamError::NonPositiveRho(rho.value()));
@@ -88,7 +85,10 @@ impl std::fmt::Display for ParamError {
         match self {
             ParamError::ZeroHorizon => write!(f, "time horizon must be at least 1"),
             ParamError::BadWindow { window, horizon } => {
-                write!(f, "window width {window} must satisfy 1 <= k <= T = {horizon}")
+                write!(
+                    f,
+                    "window width {window} must satisfy 1 <= k <= T = {horizon}"
+                )
             }
             ParamError::NonPositiveRho(r) => write!(f, "rho must be positive, got {r}"),
         }
@@ -126,7 +126,9 @@ pub fn heuristic_npad(params: &FixedWindowParams, beta: f64) -> u64 {
     assert!(beta > 0.0 && beta < 1.0);
     let r = params.update_steps() as f64;
     let bins = params.bins() as f64;
-    (r / params.rho.value() * (bins * r / beta).ln()).sqrt().ceil() as u64
+    (r / params.rho.value() * (bins * r / beta).ln())
+        .sqrt()
+        .ceil() as u64
 }
 
 /// Corollary 3.3's *debiased* maximum relative error bound: after an analyst
@@ -208,8 +210,8 @@ mod tests {
         let p = paper_params();
         let beta = 0.05;
         // λ = (√(10/0.005) + 1/√2) · √(ln(8·10/0.05))
-        let expect = ((10.0f64 / 0.005).sqrt() + 1.0 / 2.0f64.sqrt())
-            * (8.0f64 * 10.0 / 0.05).ln().sqrt();
+        let expect =
+            ((10.0f64 / 0.005).sqrt() + 1.0 / 2.0f64.sqrt()) * (8.0f64 * 10.0 / 0.05).ln().sqrt();
         let got = theorem_3_2_lambda(&p, beta);
         assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
         // Sanity: ~ (44.72 + 0.707)·√7.38 ≈ 123.4

@@ -1,0 +1,120 @@
+//! Aggregate zCDP accounting across shards.
+//!
+//! Sharding changes *nothing* about each shard's internal privacy argument —
+//! every shard is a complete synthesizer spending its configured ρ on its
+//! own cohort. What sharding adds is a composition question: what does the
+//! combined release of all shards cost?
+//!
+//! Because the [`crate::shard::ShardPlan`] assigns each individual's entire
+//! history to exactly one shard, the shards compute over **disjoint** user
+//! populations. Changing one user's whole history perturbs the input of
+//! exactly one shard, and the other shards' outputs are independent of it.
+//! This is parallel composition: the user-level zCDP cost of the merged
+//! release sequence is `max_s ρ_s`, not `Σ_s ρ_s`.
+//!
+//! [`EngineBudget`] exposes both views — the tight parallel bound
+//! ([`EngineBudget::spent`]) that holds under this engine's disjoint-cohort
+//! sharding, and the conservative sequential sum
+//! ([`EngineBudget::spent_sequential`]) that would apply if cohorts ever
+//! overlapped (e.g. a future multi-panel deployment replaying the same
+//! users into several shards).
+
+use longsynth_dp::budget::Rho;
+
+/// Aggregate budget state of a sharded engine at some point in its run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineBudget {
+    per_shard_spent: Vec<Rho>,
+    per_shard_total: Vec<Rho>,
+}
+
+impl EngineBudget {
+    /// Build from per-shard `(spent, total)` reports, in shard order.
+    pub fn from_shards(reports: impl IntoIterator<Item = (Rho, Rho)>) -> Self {
+        let (per_shard_spent, per_shard_total) = reports.into_iter().unzip();
+        Self {
+            per_shard_spent,
+            per_shard_total,
+        }
+    }
+
+    /// Number of shards reporting.
+    pub fn shards(&self) -> usize {
+        self.per_shard_spent.len()
+    }
+
+    /// Per-shard spent budgets, in shard order.
+    pub fn per_shard(&self) -> &[Rho] {
+        &self.per_shard_spent
+    }
+
+    /// User-level zCDP spent by the merged release under disjoint-cohort
+    /// sharding: parallel composition, `max_s spent_s`.
+    pub fn spent(&self) -> Rho {
+        Self::max(&self.per_shard_spent)
+    }
+
+    /// User-level zCDP guaranteed for the whole run: `max_s total_s`.
+    pub fn total(&self) -> Rho {
+        Self::max(&self.per_shard_total)
+    }
+
+    /// The conservative sequential-composition view `Σ_s spent_s` — the
+    /// bound that applies when cohort disjointness cannot be assumed.
+    pub fn spent_sequential(&self) -> Rho {
+        self.per_shard_spent
+            .iter()
+            .copied()
+            .fold(Rho::new(0.0).expect("zero is a valid budget"), Rho::compose)
+    }
+
+    /// True when every shard has exhausted its configured budget.
+    pub fn exhausted(&self) -> bool {
+        self.per_shard_spent
+            .iter()
+            .zip(&self.per_shard_total)
+            .all(|(spent, total)| spent.value() >= total.value() - 1e-12)
+    }
+
+    fn max(rhos: &[Rho]) -> Rho {
+        rhos.iter()
+            .copied()
+            .fold(Rho::new(0.0).expect("zero is a valid budget"), |a, b| {
+                if b.value() > a.value() {
+                    b
+                } else {
+                    a
+                }
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rho(v: f64) -> Rho {
+        Rho::new(v).unwrap()
+    }
+
+    #[test]
+    fn parallel_is_max_sequential_is_sum() {
+        let budget = EngineBudget::from_shards(vec![
+            (rho(0.003), rho(0.005)),
+            (rho(0.005), rho(0.005)),
+            (rho(0.004), rho(0.005)),
+        ]);
+        assert_eq!(budget.shards(), 3);
+        assert!((budget.spent().value() - 0.005).abs() < 1e-15);
+        assert!((budget.spent_sequential().value() - 0.012).abs() < 1e-15);
+        assert!((budget.total().value() - 0.005).abs() < 1e-15);
+        assert!(!budget.exhausted());
+    }
+
+    #[test]
+    fn exhaustion_requires_every_shard() {
+        let budget =
+            EngineBudget::from_shards(vec![(rho(0.01), rho(0.01)), (rho(0.01), rho(0.01))]);
+        assert!(budget.exhausted());
+    }
+}

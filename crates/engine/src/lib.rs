@@ -1,0 +1,123 @@
+//! # longsynth-engine
+//!
+//! A sharded multi-cohort streaming engine over the
+//! [`ContinualSynthesizer`] trait — the scaling layer of the `longsynth`
+//! workspace.
+//!
+//! A single synthesizer processes one panel in one thread. Production
+//! traffic (the ROADMAP's millions-of-users target) wants the population
+//! partitioned into cohorts that synthesize concurrently. This crate does
+//! exactly that:
+//!
+//! * [`shard::ShardPlan`] — partitions `n` individuals into contiguous,
+//!   balanced per-shard cohorts;
+//! * [`driver::ShardedEngine`] — one synthesizer per shard, driven in
+//!   lockstep (scoped threads when `shards > 1`), releases merged back into
+//!   a population-level release;
+//! * [`merge::MergeRelease`] — how per-shard releases concatenate;
+//! * [`budget::EngineBudget`] — aggregate zCDP accounting: disjoint cohorts
+//!   give parallel composition (`max` over shards), with the conservative
+//!   sequential sum also exposed.
+//!
+//! Privacy: sharding is a pure re-arrangement of *who is synthesized
+//! together*. Each user's entire history lives in exactly one shard, so the
+//! merged release is `max_s ρ_s`-zCDP at user level — identical to the
+//! unsharded guarantee when all shards share one configuration.
+//!
+//! Accuracy: per-shard noise is calibrated to each shard's own release
+//! (sensitivity is per-user, not per-population), so a `k`-sharded run adds
+//! noise of the same per-bin magnitude *per shard*; merged counts see a
+//! `√k` relative noise increase on population-level queries. That is the
+//! classic sharding trade — latency and throughput for a constant-factor
+//! accuracy cost — and the `engine_scaling` bench measures the latency side.
+//!
+//! ```
+//! use longsynth::{ContinualSynthesizer, CumulativeConfig, CumulativeSynthesizer};
+//! use longsynth_data::generators::iid_bernoulli;
+//! use longsynth_dp::budget::Rho;
+//! use longsynth_dp::rng::{rng_from_seed, RngFork};
+//! use longsynth_engine::{ShardPlan, ShardedEngine};
+//!
+//! let panel = iid_bernoulli(&mut rng_from_seed(1), 1_000, 12, 0.2);
+//! let plan = ShardPlan::new(1_000, 4).unwrap();
+//! let fork = RngFork::new(42);
+//! let mut engine = ShardedEngine::new(plan, |s, _| {
+//!     let config = CumulativeConfig::new(12, Rho::new(0.5).unwrap()).unwrap();
+//!     CumulativeSynthesizer::new(config, fork.subfork(s as u64), rng_from_seed(42 + s as u64))
+//! })
+//! .unwrap();
+//! for (_, column) in panel.stream() {
+//!     let release = engine.step(column).unwrap();
+//!     assert_eq!(release.len(), 1_000); // population-level release
+//! }
+//! assert!(engine.budget().exhausted());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod budget;
+pub mod driver;
+pub mod merge;
+pub mod shard;
+
+pub use budget::EngineBudget;
+pub use driver::ShardedEngine;
+pub use merge::MergeRelease;
+pub use shard::{ShardPlan, ShardableInput};
+
+use longsynth::SynthError;
+use std::fmt;
+
+/// Errors surfaced by the engine layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The shard plan itself is unusable.
+    InvalidPlan(String),
+    /// An input column's population does not match the engine's plan
+    /// (engine-level validation, caught before any shard runs).
+    PopulationMismatch {
+        /// The plan's population size.
+        expected: usize,
+        /// The input column's population size.
+        actual: usize,
+    },
+    /// A shard's synthesizer failed.
+    Shard {
+        /// Which shard failed.
+        shard: usize,
+        /// The underlying synthesizer error.
+        source: SynthError,
+    },
+    /// Per-shard releases could not be merged (shards out of lockstep).
+    MergeMismatch(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidPlan(msg) => write!(f, "invalid shard plan: {msg}"),
+            EngineError::PopulationMismatch { expected, actual } => write!(
+                f,
+                "input column covers {actual} individuals, engine plan covers {expected}"
+            ),
+            EngineError::Shard { shard, source } => write!(f, "shard {shard}: {source}"),
+            EngineError::MergeMismatch(msg) => write!(f, "release merge failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<EngineError> for SynthError {
+    fn from(err: EngineError) -> Self {
+        match err {
+            EngineError::Shard { source, .. } => source,
+            EngineError::PopulationMismatch { expected, actual } => {
+                SynthError::ColumnSizeMismatch { expected, actual }
+            }
+            other => SynthError::InvalidConfig(other.to_string()),
+        }
+    }
+}

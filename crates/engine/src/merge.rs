@@ -1,0 +1,169 @@
+//! Merging per-shard releases into a population-level release.
+//!
+//! Because every shard runs the same algorithm under the same configuration
+//! and the engine feeds all shards in lockstep, per-shard releases of a
+//! round are always structurally aligned (all `Buffered`, all `Initial`
+//! with the same window width, or all `Update`). Merging is concatenation
+//! in shard order, matching the [`crate::shard::ShardPlan`]'s contiguous
+//! cohort layout — so record `i` of the merged release corresponds to the
+//! same position a single unsharded run over the concatenated cohorts would
+//! produce.
+
+use longsynth::Release;
+use longsynth_data::BitColumn;
+
+use crate::EngineError;
+
+/// A per-shard release that can be merged across shards.
+pub trait MergeRelease: Sized {
+    /// Merge per-shard parts (in shard order) into one population-level
+    /// release.
+    fn merge(parts: Vec<Self>) -> Result<Self, EngineError>;
+}
+
+/// Concatenate bit columns in shard order.
+fn concat_columns(parts: &[BitColumn]) -> BitColumn {
+    BitColumn::from_iter_bits(parts.iter().flat_map(|p| p.iter()))
+}
+
+impl MergeRelease for BitColumn {
+    fn merge(parts: Vec<Self>) -> Result<Self, EngineError> {
+        if parts.is_empty() {
+            return Err(EngineError::MergeMismatch(
+                "no shard releases to merge".to_string(),
+            ));
+        }
+        Ok(concat_columns(&parts))
+    }
+}
+
+impl MergeRelease for Release {
+    fn merge(parts: Vec<Self>) -> Result<Self, EngineError> {
+        if parts.is_empty() {
+            return Err(EngineError::MergeMismatch(
+                "no shard releases to merge".to_string(),
+            ));
+        }
+        // All shards run in lockstep, so the variants must agree. Tag the
+        // expected variant first, then consume `parts` — the per-shard
+        // columns move straight into the merge, no clones on this per-round
+        // hot path.
+        enum Kind {
+            Buffered,
+            Initial(usize),
+            Update,
+        }
+        let kind = match &parts[0] {
+            Release::Buffered => Kind::Buffered,
+            Release::Initial(columns) => Kind::Initial(columns.len()),
+            Release::Update(_) => Kind::Update,
+        };
+        match kind {
+            Kind::Buffered => {
+                if parts.iter().all(|p| matches!(p, Release::Buffered)) {
+                    Ok(Release::Buffered)
+                } else {
+                    Err(EngineError::MergeMismatch(
+                        "shards disagree on buffering phase".to_string(),
+                    ))
+                }
+            }
+            Kind::Initial(k) => {
+                let shards = parts.len();
+                let mut per_round: Vec<Vec<BitColumn>> = vec![Vec::with_capacity(shards); k];
+                for part in parts {
+                    let Release::Initial(columns) = part else {
+                        return Err(EngineError::MergeMismatch(
+                            "mixed Initial/non-Initial shard releases".to_string(),
+                        ));
+                    };
+                    if columns.len() != k {
+                        return Err(EngineError::MergeMismatch(format!(
+                            "initial release widths disagree: {} vs {k}",
+                            columns.len()
+                        )));
+                    }
+                    for (t, column) in columns.into_iter().enumerate() {
+                        per_round[t].push(column);
+                    }
+                }
+                Ok(Release::Initial(
+                    per_round.iter().map(|cols| concat_columns(cols)).collect(),
+                ))
+            }
+            Kind::Update => {
+                let mut columns = Vec::with_capacity(parts.len());
+                for part in parts {
+                    let Release::Update(column) = part else {
+                        return Err(EngineError::MergeMismatch(
+                            "mixed Update/non-Update shard releases".to_string(),
+                        ));
+                    };
+                    columns.push(column);
+                }
+                Ok(Release::Update(concat_columns(&columns)))
+            }
+        }
+    }
+}
+
+impl MergeRelease for () {
+    fn merge(parts: Vec<Self>) -> Result<Self, EngineError> {
+        if parts.is_empty() {
+            return Err(EngineError::MergeMismatch(
+                "no shard releases to merge".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(bits: &[bool]) -> BitColumn {
+        BitColumn::from_bools(bits)
+    }
+
+    #[test]
+    fn bit_columns_concatenate_in_shard_order() {
+        let merged =
+            BitColumn::merge(vec![col(&[true, false]), col(&[false]), col(&[true])]).unwrap();
+        let bits: Vec<bool> = merged.iter().collect();
+        assert_eq!(bits, vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn release_variants_must_align() {
+        let buffered = Release::merge(vec![Release::Buffered, Release::Buffered]).unwrap();
+        assert!(matches!(buffered, Release::Buffered));
+
+        let mixed = Release::merge(vec![Release::Buffered, Release::Update(col(&[true]))]);
+        assert!(mixed.is_err());
+    }
+
+    #[test]
+    fn initial_releases_merge_per_round() {
+        let a = Release::Initial(vec![col(&[true]), col(&[false])]);
+        let b = Release::Initial(vec![col(&[false, false]), col(&[true, true])]);
+        let Release::Initial(columns) = Release::merge(vec![a, b]).unwrap() else {
+            panic!("expected Initial");
+        };
+        assert_eq!(columns.len(), 2);
+        assert_eq!(
+            columns[0].iter().collect::<Vec<_>>(),
+            vec![true, false, false]
+        );
+        assert_eq!(
+            columns[1].iter().collect::<Vec<_>>(),
+            vec![false, true, true]
+        );
+    }
+
+    #[test]
+    fn empty_merge_rejected() {
+        assert!(BitColumn::merge(vec![]).is_err());
+        assert!(<()>::merge(vec![]).is_err());
+    }
+}

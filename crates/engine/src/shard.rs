@@ -1,0 +1,167 @@
+//! Cohort partitioning: how a population-level panel is split across
+//! engine shards.
+//!
+//! A [`ShardPlan`] assigns each of the `n` individuals to exactly one of
+//! `s` shards as a *contiguous* index range, with sizes as equal as
+//! possible (the first `n mod s` shards get one extra individual). Contiguous
+//! cohorts make column splitting a cheap copy, keep the merged release's
+//! record order stable (shard 0's records first, then shard 1's, …), and
+//! mean the disjoint-cohort privacy argument in [`crate::budget`] is
+//! immediate: every individual's entire history lives inside one shard.
+
+use longsynth_data::categorical::CategoricalColumn;
+use longsynth_data::BitColumn;
+use std::ops::Range;
+
+use crate::EngineError;
+
+/// A partition of `n` individuals into contiguous per-shard cohorts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    population: usize,
+    /// `bounds[s]..bounds[s+1]` is shard `s`'s cohort.
+    bounds: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Partition `population` individuals into `shards` balanced cohorts.
+    ///
+    /// Requires `shards ≥ 1` and `population ≥ shards` (every shard must
+    /// hold at least one individual — an empty cohort would make that
+    /// shard's synthesizer degenerate).
+    pub fn new(population: usize, shards: usize) -> Result<Self, EngineError> {
+        if shards == 0 {
+            return Err(EngineError::InvalidPlan(
+                "need at least one shard".to_string(),
+            ));
+        }
+        if population < shards {
+            return Err(EngineError::InvalidPlan(format!(
+                "population {population} smaller than shard count {shards}"
+            )));
+        }
+        let base = population / shards;
+        let extra = population % shards;
+        let mut bounds = Vec::with_capacity(shards + 1);
+        let mut cursor = 0;
+        bounds.push(0);
+        for s in 0..shards {
+            cursor += base + usize::from(s < extra);
+            bounds.push(cursor);
+        }
+        debug_assert_eq!(cursor, population);
+        Ok(Self { population, bounds })
+    }
+
+    /// Total population size `n`.
+    pub fn population(&self) -> usize {
+        self.population
+    }
+
+    /// Number of shards `s`.
+    pub fn shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The index range of shard `s`'s cohort.
+    pub fn range(&self, shard: usize) -> Range<usize> {
+        self.bounds[shard]..self.bounds[shard + 1]
+    }
+
+    /// Cohort size of shard `s`.
+    pub fn cohort_size(&self, shard: usize) -> usize {
+        self.range(shard).len()
+    }
+
+    /// Which shard individual `i` belongs to.
+    pub fn shard_of(&self, individual: usize) -> usize {
+        debug_assert!(individual < self.population);
+        // bounds is sorted; partition_point finds the first bound > i.
+        self.bounds.partition_point(|&b| b <= individual) - 1
+    }
+}
+
+/// A population-level input column that can be split into per-shard cohort
+/// columns according to a [`ShardPlan`].
+pub trait ShardableInput: Sized {
+    /// Number of individuals this column reports on.
+    fn population(&self) -> usize;
+
+    /// Split into one column per shard, in shard order.
+    fn split(&self, plan: &ShardPlan) -> Vec<Self>;
+}
+
+impl ShardableInput for BitColumn {
+    fn population(&self) -> usize {
+        self.len()
+    }
+
+    fn split(&self, plan: &ShardPlan) -> Vec<Self> {
+        (0..plan.shards())
+            .map(|s| BitColumn::from_iter_bits(plan.range(s).map(|i| self.get(i))))
+            .collect()
+    }
+}
+
+impl ShardableInput for CategoricalColumn {
+    fn population(&self) -> usize {
+        self.len()
+    }
+
+    fn split(&self, plan: &ShardPlan) -> Vec<Self> {
+        (0..plan.shards())
+            .map(|s| {
+                let values: Vec<u8> = plan.range(s).map(|i| self.get(i)).collect();
+                CategoricalColumn::new(values, self.categories())
+                    .expect("cohort values come from a valid column")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_partition() {
+        let plan = ShardPlan::new(10, 3).unwrap();
+        assert_eq!(plan.shards(), 3);
+        assert_eq!(plan.range(0), 0..4);
+        assert_eq!(plan.range(1), 4..7);
+        assert_eq!(plan.range(2), 7..10);
+        assert_eq!(
+            (0..3).map(|s| plan.cohort_size(s)).sum::<usize>(),
+            plan.population()
+        );
+    }
+
+    #[test]
+    fn shard_of_inverts_ranges() {
+        let plan = ShardPlan::new(23, 5).unwrap();
+        for i in 0..23 {
+            let s = plan.shard_of(i);
+            assert!(plan.range(s).contains(&i), "individual {i} -> shard {s}");
+        }
+    }
+
+    #[test]
+    fn degenerate_plans_rejected() {
+        assert!(ShardPlan::new(10, 0).is_err());
+        assert!(ShardPlan::new(3, 4).is_err());
+        assert!(ShardPlan::new(4, 4).is_ok());
+    }
+
+    #[test]
+    fn bit_column_split_concatenates_back() {
+        let bits: Vec<bool> = (0..17).map(|i| i % 3 == 0).collect();
+        let column = BitColumn::from_bools(&bits);
+        let plan = ShardPlan::new(17, 4).unwrap();
+        let parts = column.split(&plan);
+        let rejoined: Vec<bool> = parts
+            .iter()
+            .flat_map(|p| p.iter().collect::<Vec<_>>())
+            .collect();
+        assert_eq!(rejoined, bits);
+    }
+}

@@ -14,10 +14,10 @@
 //! Writes `<out>/<experiment>.csv` (+ `.json`) and appends Markdown to
 //! `<out>/summary.md`; prints ASCII previews to stdout.
 
+use longsynth_data::LongitudinalDataset;
 use longsynth_experiments::figures::{fig1, fig2, fig3, fig4, fig5to7, sipp_panel_small, theory};
 use longsynth_experiments::report::{ascii_chart, markdown_table, write_csv, Series};
 use longsynth_experiments::EXPERIMENT_MASTER_SEED;
-use longsynth_data::LongitudinalDataset;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -57,7 +57,8 @@ fn parse_args() -> Options {
             }
             "--sipp-csv" => {
                 opts.sipp_csv = Some(PathBuf::from(
-                    args.next().unwrap_or_else(|| die("--sipp-csv needs a path")),
+                    args.next()
+                        .unwrap_or_else(|| die("--sipp-csv needs a path")),
                 ))
             }
             "--help" | "-h" => {
@@ -70,7 +71,16 @@ fn parse_args() -> Options {
     }
     if opts.experiments.is_empty() || opts.experiments.iter().any(|e| e == "all") {
         opts.experiments = [
-            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "theory", "ablations",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "theory",
+            "ablations",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -95,13 +105,7 @@ fn load_panel(opts: &Options) -> LongitudinalDataset {
     }
 }
 
-fn emit(
-    out_dir: &Path,
-    summary: &mut String,
-    name: &str,
-    title: &str,
-    series: &[Series],
-) {
+fn emit(out_dir: &Path, summary: &mut String, name: &str, title: &str, series: &[Series]) {
     write_csv(&out_dir.join(format!("{name}.csv")), series)
         .unwrap_or_else(|e| die(&format!("writing {name}.csv: {e}")));
     let json = serde_json::to_string_pretty(series).expect("series serialize");
@@ -170,7 +174,11 @@ fn main() {
                 let title = format!(
                     "Figure {} — simulated-data max pattern error ({}), bound = {:.5}",
                     if experiment == "fig3" { 3 } else { 4 },
-                    if experiment == "fig3" { "debiased" } else { "no debiasing" },
+                    if experiment == "fig3" {
+                        "debiased"
+                    } else {
+                        "no debiasing"
+                    },
                     result.bound
                 );
                 emit(&opts.out, &mut summary, experiment, &title, &result.series);
@@ -224,8 +232,12 @@ fn main() {
                     "Reduction gap — Algorithm 2 vs §2.1 k=T reduction (fraction error, T=8)",
                     &gap,
                 );
-                let incon =
-                    theory::baseline_inconsistency(&theory::table_panel(2_000, 12), 0.01, reps.min(50), seed ^ 10);
+                let incon = theory::baseline_inconsistency(
+                    &theory::table_panel(2_000, 12),
+                    0.01,
+                    reps.min(50),
+                    seed ^ 10,
+                );
                 let md4 = theory::markdown_rows(
                     "Baseline inconsistency — monotone-statistic violation mass",
                     &incon,

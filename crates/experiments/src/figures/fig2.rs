@@ -45,13 +45,7 @@ pub fn run(
             .collect()
     });
     let truth: Vec<f64> = (0..horizon)
-        .map(|t| {
-            cumulative_counts(panel, t)
-                .get(b)
-                .copied()
-                .unwrap_or(0) as f64
-                / n as f64
-        })
+        .map(|t| cumulative_counts(panel, t).get(b).copied().unwrap_or(0) as f64 / n as f64)
         .collect();
     Series {
         label: format!("≥{b} months"),

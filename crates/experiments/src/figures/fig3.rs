@@ -99,9 +99,9 @@ pub fn run(n: usize, reps: usize, estimator: Estimator, master_seed: u64) -> Sim
 
     let bound = match estimator {
         Estimator::Debiased => theorem_bound_debiased(HORIZON, WINDOW, rho, BETA, n),
-        Estimator::Biased => longsynth::padding::biased_reference_bound(
-            HORIZON, WINDOW, rho, BETA, n,
-        ),
+        Estimator::Biased => {
+            longsynth::padding::biased_reference_bound(HORIZON, WINDOW, rho, BETA, n)
+        }
     };
     SimErrorResult { series, bound }
 }
@@ -239,11 +239,18 @@ mod probe {
     #[test]
     #[ignore]
     fn print_medians() {
-        for (label, est) in [("debiased", Estimator::Debiased), ("biased", Estimator::Biased)] {
+        for (label, est) in [
+            ("debiased", Estimator::Debiased),
+            ("biased", Estimator::Biased),
+        ] {
             let r = run(25_000, 40, est, 99);
             println!("== {label} bound={:.6}", r.bound);
             for s in &r.series {
-                let meds: Vec<String> = s.summaries.iter().map(|m| format!("{:.5}", m.median)).collect();
+                let meds: Vec<String> = s
+                    .summaries
+                    .iter()
+                    .map(|m| format!("{:.5}", m.median))
+                    .collect();
                 println!("{}: {}", s.label, meds.join(" "));
             }
         }

@@ -31,7 +31,12 @@ pub struct QuarterlyPanels {
 
 /// Run the quarterly experiment: `reps` independent synthesizer runs over
 /// the same panel, evaluating the §5 query battery at every quarter.
-pub fn run(panel: &LongitudinalDataset, rho: f64, reps: usize, master_seed: u64) -> QuarterlyPanels {
+pub fn run(
+    panel: &LongitudinalDataset,
+    rho: f64,
+    reps: usize,
+    master_seed: u64,
+) -> QuarterlyPanels {
     let horizon = panel.rounds();
     let battery = quarterly_battery(3);
     let runner = RepetitionRunner::new(reps, master_seed);

@@ -117,8 +117,7 @@ pub fn table_t1(n: usize, reps: usize, master_seed: u64) -> Vec<BoundCheckRow> {
                 worst as f64
             });
             let bound = theorem_bound_counts(horizon, k, rho, beta);
-            let exceed =
-                worst.iter().filter(|&&w| w > bound).count() as f64 / worst.len() as f64;
+            let exceed = worst.iter().filter(|&&w| w > bound).count() as f64 / worst.len() as f64;
             rows.push(BoundCheckRow {
                 config: format!("Alg1 ρ={rho_v}, k={k}, n={n}"),
                 measured_median: median(worst.clone()),
@@ -151,8 +150,7 @@ pub fn table_t2(
                     .expect("valid")
                     .with_counter(kind)
                     .with_split(split);
-                let mut synth =
-                    CumulativeSynthesizer::new(config, fork.subfork(0), fork.child(1));
+                let mut synth = CumulativeSynthesizer::new(config, fork.subfork(0), fork.child(1));
                 for (_, col) in panel.stream() {
                     synth.step(col).expect("panel matches");
                 }
@@ -168,8 +166,7 @@ pub fn table_t2(
             });
             let worst: Vec<f64> = results.iter().map(|(w, _)| *w).collect();
             let bound = results[0].1;
-            let exceed =
-                worst.iter().filter(|&&w| w > bound).count() as f64 / worst.len() as f64;
+            let exceed = worst.iter().filter(|&&w| w > bound).count() as f64 / worst.len() as f64;
             rows.push(BoundCheckRow {
                 config: format!("Alg2 {kind} / {split:?} ρ={rho_v}"),
                 measured_median: median(worst.clone()),
@@ -258,14 +255,9 @@ pub fn baseline_inconsistency(
     let pairs: Vec<(f64, f64)> = runner.run(|_r, fork| {
         let rho = Rho::new(rho_v).expect("positive");
         // Strawman.
-        let mut strawman = RecomputeBaseline::new(
-            horizon,
-            k,
-            rho,
-            PaddingPolicy::None,
-            fork.subfork(0),
-        )
-        .expect("valid");
+        let mut strawman =
+            RecomputeBaseline::new(horizon, k, rho, PaddingPolicy::None, fork.subfork(0))
+                .expect("valid");
         for (_, col) in panel.stream() {
             strawman.step(col).expect("panel matches");
         }
@@ -286,8 +278,7 @@ pub fn baseline_inconsistency(
                 .iter()
                 .filter(|r| {
                     // "ever had a 2-run" within the first t rounds.
-                    let prefix: longsynth_data::BitStream =
-                        r.iter().take(t).collect();
+                    let prefix: longsynth_data::BitStream = r.iter().take(t).collect();
                     prefix.has_ones_run(2)
                 })
                 .count() as f64
@@ -315,8 +306,7 @@ pub fn baseline_inconsistency(
             measured_median: median(alg1.clone()),
             measured_max: alg1.iter().cloned().fold(0.0, f64::max),
             bound: 0.0,
-            exceed_fraction: alg1.iter().filter(|&&v| v > 0.0).count() as f64
-                / alg1.len() as f64,
+            exceed_fraction: alg1.iter().filter(|&&v| v > 0.0).count() as f64 / alg1.len() as f64,
         },
     ]
 }

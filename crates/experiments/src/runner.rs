@@ -6,8 +6,9 @@
 //! any thread count and any scheduling — the property the DESIGN.md
 //! determinism invariant demands.
 
-use crossbeam::channel;
 use longsynth_dp::rng::RngFork;
+use std::sync::mpsc;
+use std::sync::Mutex;
 
 /// Runs `reps` independent repetitions of a job, in parallel.
 #[derive(Debug, Clone, Copy)]
@@ -37,28 +38,35 @@ impl RepetitionRunner {
             .unwrap_or(1)
             .min(self.reps);
         let master = RngFork::new(self.master_seed);
-        let (task_tx, task_rx) = channel::unbounded::<usize>();
+        // Work queue: std's mpsc receiver is single-consumer, so share it
+        // behind a mutex (the per-task lock cost is trivial next to a
+        // repetition's synthesis work).
+        let (task_tx, task_rx) = mpsc::channel::<usize>();
         for r in 0..self.reps {
             task_tx.send(r).expect("channel open");
         }
         drop(task_tx);
+        let task_rx = Mutex::new(task_rx);
 
-        let (result_tx, result_rx) = channel::unbounded::<(usize, T)>();
-        crossbeam::scope(|scope| {
+        let (result_tx, result_rx) = mpsc::channel::<(usize, T)>();
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                let task_rx = task_rx.clone();
+                let task_rx = &task_rx;
                 let result_tx = result_tx.clone();
                 let job = &job;
-                scope.spawn(move |_| {
-                    while let Ok(r) = task_rx.recv() {
-                        let out = job(r, master.subfork(r as u64));
-                        result_tx.send((r, out)).expect("collector alive");
+                scope.spawn(move || loop {
+                    let next = task_rx.lock().expect("queue lock").try_recv();
+                    match next {
+                        Ok(r) => {
+                            let out = job(r, master.subfork(r as u64));
+                            result_tx.send((r, out)).expect("collector alive");
+                        }
+                        Err(_) => break,
                     }
                 });
             }
             drop(result_tx);
-        })
-        .expect("worker panicked");
+        });
 
         let mut results: Vec<(usize, T)> = result_rx.into_iter().collect();
         results.sort_by_key(|(r, _)| *r);

@@ -53,8 +53,7 @@ impl ErrorSummary {
 /// fraction of repetitions exceeding `alpha` — an estimate of β.
 pub fn empirical_failure_rate(worst_case_errors: &[f64], alpha: f64) -> f64 {
     assert!(!worst_case_errors.is_empty());
-    worst_case_errors.iter().filter(|&&e| e > alpha).count() as f64
-        / worst_case_errors.len() as f64
+    worst_case_errors.iter().filter(|&&e| e > alpha).count() as f64 / worst_case_errors.len() as f64
 }
 
 /// The `q`-th quantile (0 ≤ q ≤ 1) of a sample, by linear interpolation —

@@ -63,7 +63,11 @@ pub fn threshold_increment(data: &LongitudinalDataset, t: usize, b: usize) -> u6
         if !data.value(i, t) {
             continue;
         }
-        let before = if t == 0 { 0 } else { data.prefix_weight(i, t - 1) };
+        let before = if t == 0 {
+            0
+        } else {
+            data.prefix_weight(i, t - 1)
+        };
         if before == b - 1 {
             z += 1;
         }
@@ -179,11 +183,7 @@ mod tests {
             for t in 0..3 {
                 acc += threshold_increment(&d, t, b);
                 let s = cumulative_counts(&d, t);
-                assert_eq!(
-                    acc,
-                    s.get(b).copied().unwrap_or(0),
-                    "b={b}, t={t}"
-                );
+                assert_eq!(acc, s.get(b).copied().unwrap_or(0), "b={b}, t={t}");
             }
         }
     }

@@ -139,7 +139,10 @@ impl Pattern {
     /// Append the new round's bit: `z ↦ zc`.
     #[inline]
     pub fn append(self, bit: bool) -> Pattern {
-        assert!(self.width() < Self::MAX_WIDTH, "pattern would exceed max width");
+        assert!(
+            self.width() < Self::MAX_WIDTH,
+            "pattern would exceed max width"
+        );
         Pattern {
             code: (self.code << 1) | u32::from(bit),
             width: self.width + 1,
@@ -149,7 +152,10 @@ impl Pattern {
     /// Prepend a bit at the oldest position: `z ↦ cz`.
     #[inline]
     pub fn prepend(self, bit: bool) -> Pattern {
-        assert!(self.width() < Self::MAX_WIDTH, "pattern would exceed max width");
+        assert!(
+            self.width() < Self::MAX_WIDTH,
+            "pattern would exceed max width"
+        );
         Pattern {
             code: (u32::from(bit) << self.width()) | self.code,
             width: self.width + 1,

@@ -13,7 +13,10 @@ use longsynth_data::LongitudinalDataset;
 /// The exact window histogram `(C_s^t)_{s ∈ {0,1}^k}` of `data` at round
 /// `t` (0-based; requires `t + 1 ≥ k`), indexed by pattern code.
 pub fn window_histogram(data: &LongitudinalDataset, t: usize, k: usize) -> Vec<u64> {
-    assert!((1..=Pattern::MAX_WIDTH).contains(&k), "invalid window width {k}");
+    assert!(
+        (1..=Pattern::MAX_WIDTH).contains(&k),
+        "invalid window width {k}"
+    );
     assert!(t < data.rounds(), "round {t} not yet recorded");
     assert!(t + 1 >= k, "window underflows at t={t}, k={k}");
     let mut histogram = vec![0u64; Pattern::count(k)];
@@ -94,7 +97,11 @@ impl WindowQuery {
     /// Fraction with **all ones** — "in poverty all three months" (Fig. 1,
     /// fourth series).
     pub fn all_ones(width: usize) -> Self {
-        Self::from_predicate(width, |p| p.weight() as usize == width, format!("all {width} ones"))
+        Self::from_predicate(
+            width,
+            |p| p.weight() as usize == width,
+            format!("all {width} ones"),
+        )
     }
 
     /// Build from a pattern predicate (weight 1 where the predicate holds).
@@ -160,14 +167,13 @@ impl WindowQuery {
     /// Evaluate against an explicit width-matching histogram of counts,
     /// normalising by `denominator` (the dataset size).
     pub fn evaluate_histogram(&self, histogram: &[f64], denominator: f64) -> f64 {
-        assert_eq!(histogram.len(), self.weights.len(), "histogram width mismatch");
+        assert_eq!(
+            histogram.len(),
+            self.weights.len(),
+            "histogram width mismatch"
+        );
         assert!(denominator > 0.0);
-        let total: f64 = self
-            .weights
-            .iter()
-            .zip(histogram)
-            .map(|(w, c)| w * c)
-            .sum();
+        let total: f64 = self.weights.iter().zip(histogram).map(|(w, c)| w * c).sum();
         total / denominator
     }
 

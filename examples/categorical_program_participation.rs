@@ -24,8 +24,7 @@ fn main() {
     let panel = categorical_markov(&mut rng_from_seed(5), n, horizon, categories, 0.85);
 
     let rho = Rho::new(0.01).expect("valid budget");
-    let config =
-        CategoricalConfig::new(horizon, 2, categories, rho).expect("valid parameters");
+    let config = CategoricalConfig::new(horizon, 2, categories, rho).expect("valid parameters");
     let mut synthesizer = CategoricalSynthesizer::new(config, rng_from_seed(6));
     for (_, column) in panel.stream() {
         synthesizer.step(column).expect("panel matches config");

@@ -62,7 +62,10 @@ fn main() {
     for (month, column) in panel.stream() {
         match publisher.step(column).expect("stream matches config") {
             Release::Buffered => {
-                println!("month {:>2}: buffering (first window incomplete)", month + 1);
+                println!(
+                    "month {:>2}: buffering (first window incomplete)",
+                    month + 1
+                );
             }
             Release::Initial(columns) => {
                 println!(

@@ -1,0 +1,20 @@
+//! Workspace umbrella for the `longsynth` reproduction of *Continual
+//! Release of Differentially Private Synthetic Data from Longitudinal Data
+//! Collections* (Bun, Gaboardi, Neunhoeffer & Zhang; PODS 2024).
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the substance lives in
+//! the `crates/` members. See the README for the crate map. The re-exports
+//! below give examples and tests one import root mirroring how the crates
+//! are meant to be consumed together.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub use longsynth as core;
+pub use longsynth_counters as counters;
+pub use longsynth_data as data;
+pub use longsynth_dp as dp;
+pub use longsynth_engine as engine;
+pub use longsynth_queries as queries;

@@ -61,8 +61,7 @@ fn algorithm_1_beats_recompute_on_late_round_accuracy() {
                 / 5_000.0;
             let q = longsynth_queries::window::WindowQuery::pattern(pattern);
             alg1_err += (alg1.estimate_debiased(t, &q).unwrap() - truth).abs();
-            strawman_err +=
-                (strawman.estimate_debiased_pattern(t, pattern).unwrap() - truth).abs();
+            strawman_err += (strawman.estimate_debiased_pattern(t, pattern).unwrap() - truth).abs();
         }
     }
     assert!(
@@ -119,9 +118,7 @@ fn algorithm_2_beats_the_k_equals_t_reduction() {
     let horizon = 8;
     let data = panel(5_000, horizon, 102);
     let rho = Rho::new(0.05).unwrap();
-    let truth: Vec<Vec<u64>> = (0..horizon)
-        .map(|t| cumulative_counts(&data, t))
-        .collect();
+    let truth: Vec<Vec<u64>> = (0..horizon).map(|t| cumulative_counts(&data, t)).collect();
     let mut alg2_err = 0.0f64;
     let mut reduction_err = 0.0f64;
     for seed in 0..3 {

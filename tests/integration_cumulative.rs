@@ -145,8 +145,7 @@ fn budget_splits_both_complete_and_differ() {
         let config = CumulativeConfig::new(12, Rho::new(0.01).unwrap())
             .unwrap()
             .with_split(split);
-        let mut synth =
-            CumulativeSynthesizer::new(config, RngFork::new(91), rng_from_seed(92));
+        let mut synth = CumulativeSynthesizer::new(config, RngFork::new(91), rng_from_seed(92));
         for (_, col) in panel.stream() {
             synth.step(col).unwrap();
         }

@@ -16,10 +16,7 @@ fn sipp_run(
     households: usize,
     rho: f64,
     seed: u64,
-) -> (
-    FixedWindowSynthesizer,
-    longsynth_data::LongitudinalDataset,
-) {
+) -> (FixedWindowSynthesizer, longsynth_data::LongitudinalDataset) {
     let panel = SippConfig::small(households).simulate(&mut rng_from_seed(1000 + seed));
     let config = FixedWindowConfig::new(12, 3, Rho::new(rho).unwrap()).unwrap();
     let mut synth = FixedWindowSynthesizer::new(config, rng_from_seed(seed));

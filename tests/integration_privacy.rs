@@ -4,8 +4,7 @@
 //! audit in the bench suite).
 
 use longsynth::{
-    BudgetSplit, CumulativeConfig, CumulativeSynthesizer, FixedWindowConfig,
-    FixedWindowSynthesizer,
+    BudgetSplit, CumulativeConfig, CumulativeSynthesizer, FixedWindowConfig, FixedWindowSynthesizer,
 };
 use longsynth_data::generators::iid_bernoulli;
 use longsynth_dp::budget::Rho;
@@ -40,7 +39,9 @@ fn cumulative_budget_composition_matches_theorem_4_1() {
         let horizon = 10;
         let data = iid_bernoulli(&mut rng_from_seed(3), 100, horizon, 0.4);
         let rho = Rho::new(0.02).unwrap();
-        let config = CumulativeConfig::new(horizon, rho).unwrap().with_split(split);
+        let config = CumulativeConfig::new(horizon, rho)
+            .unwrap()
+            .with_split(split);
         let mut synth = CumulativeSynthesizer::new(config, RngFork::new(4), rng_from_seed(5));
         let mut last_spent = 0.0;
         for (_, col) in data.stream() {
@@ -65,8 +66,7 @@ fn end_to_end_determinism_under_fixed_seeds() {
     let data = iid_bernoulli(&mut rng_from_seed(6), 500, 12, 0.3);
 
     let fw = |seed: u64| {
-        let config =
-            FixedWindowConfig::new(12, 3, Rho::new(0.005).unwrap()).unwrap();
+        let config = FixedWindowConfig::new(12, 3, Rho::new(0.005).unwrap()).unwrap();
         let mut synth = FixedWindowSynthesizer::new(config, rng_from_seed(seed));
         for (_, col) in data.stream() {
             synth.step(col).unwrap();
@@ -83,8 +83,7 @@ fn end_to_end_determinism_under_fixed_seeds() {
 
     let cu = |seed: u64| {
         let config = CumulativeConfig::new(12, Rho::new(0.005).unwrap()).unwrap();
-        let mut synth =
-            CumulativeSynthesizer::new(config, RngFork::new(seed), rng_from_seed(seed));
+        let mut synth = CumulativeSynthesizer::new(config, RngFork::new(seed), rng_from_seed(seed));
         for (_, col) in data.stream() {
             synth.step(col).unwrap();
         }

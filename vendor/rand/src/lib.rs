@@ -1,0 +1,276 @@
+//! Minimal vendored stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the slice of `rand` 0.8's API it uses: the [`Rng`]
+//! extension trait with `gen`, `gen_bool`, and `gen_range`, blanket-implemented
+//! for every [`RngCore`]. Uniform integer ranges use unbiased rejection
+//! sampling (widening to `u128`), `gen_bool` uses the standard 53-bit
+//! significand comparison, and floats use the `[0, 1)` 53-bit construction.
+//!
+//! The sampling algorithms are *not* guaranteed to be bit-compatible with
+//! upstream `rand`; the workspace only relies on determinism for a fixed
+//! seed, which this implementation provides.
+
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand_core::{RngCore, SeedableRng};
+
+/// Types sampleable uniformly over their whole domain by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                const BITS: u32 = <$t>::BITS;
+                if BITS <= 32 {
+                    (rng.next_u32() >> (32 - BITS)) as $t
+                } else if BITS <= 64 {
+                    rng.next_u64() as $t
+                } else {
+                    let lo = rng.next_u64() as u128;
+                    let hi = rng.next_u64() as u128;
+                    ((hi << 64) | lo) as $t
+                }
+            }
+        }
+    )*};
+}
+impl_standard_uint!(u8, u16, u32, u64, usize, u128);
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                <$u as Standard>::sample_standard(rng) as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize, i128 => u128);
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types with uniform sampling over a sub-range, for [`Rng::gen_range`].
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Sample uniformly from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Sample uniformly from `[low, high]`.
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Unbiased uniform draw from `[0, span)` (`span > 0`) by rejection.
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        let lo = rng.next_u64() as u128;
+        let hi = rng.next_u64() as u128;
+        return ((hi << 64) | lo) & (span - 1);
+    }
+    // Rejection zone: largest multiple of span that fits in u128.
+    let zone = u128::MAX - (u128::MAX % span + 1) % span;
+    loop {
+        let lo = rng.next_u64() as u128;
+        let hi = rng.next_u64() as u128;
+        let x = (hi << 64) | lo;
+        if x <= zone {
+            return x % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as u128) - (low as u128);
+                low + uniform_u128(rng, span) as $t
+            }
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+            ) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                let span = (high as u128) - (low as u128) + 1;
+                low + uniform_u128(rng, span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                (low as i128 + uniform_u128(rng, span) as i128) as $t
+            }
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+            ) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                (low as i128 + uniform_u128(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        let unit = f64::sample_standard(rng);
+        low + unit * (high - low)
+    }
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        Self::sample_range(rng, low, high.next_up())
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// The `rand` extension trait: convenience sampling on any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value uniformly over its whole domain.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// A Bernoulli draw with success probability `p` (requires `0 ≤ p ≤ 1`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        // 53-bit comparison; p == 1.0 always succeeds.
+        if p >= 1.0 {
+            return true;
+        }
+        f64::sample_standard(self) < p
+    }
+
+    /// Sample uniformly from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        T: SampleUniform,
+        S: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Prelude mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64: decent equidistribution for the statistical checks.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(1);
+        for _ in 0..10_000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u8 = rng.gen_range(0..5);
+            assert!(y < 5);
+            let z: i64 = rng.gen_range(-10..=10);
+            assert!((-10..=10).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_value() {
+        let mut rng = Counter(2);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = Counter(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits = {hits}");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn f64_standard_in_unit_interval() {
+        let mut rng = Counter(4);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

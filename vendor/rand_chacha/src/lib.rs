@@ -1,0 +1,198 @@
+//! Minimal vendored stand-in for the `rand_chacha` crate.
+//!
+//! Implements the ChaCha stream cipher (Bernstein 2008) as a deterministic,
+//! seedable random number generator, exposing [`ChaCha8Rng`],
+//! [`ChaCha12Rng`], and [`ChaCha20Rng`] with the `rand_core` 0.6 trait
+//! shapes the workspace compiles against.
+//!
+//! The keystream follows RFC 8439's state layout (constants, 256-bit key,
+//! 64-bit block counter + 64-bit nonce, little-endian words), so output for
+//! a given seed is stable forever — the property the workspace's
+//! reproducibility tests rely on. Word-level output order matches the
+//! natural block order (word 0, 1, …, 15 of block 0, then block 1, …).
+//!
+//! This vendored copy is *not* guaranteed to be stream-compatible with the
+//! upstream `rand_chacha` crate (which consumes blocks in a different
+//! order); the workspace only requires per-seed determinism.
+
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub use rand_core;
+use rand_core::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: `rounds` must be even (8, 12, or 20).
+fn chacha_block(key: &[u32; 8], counter: u64, nonce: u64, rounds: u32) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&CONSTANTS);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    state[14] = nonce as u32;
+    state[15] = (nonce >> 32) as u32;
+    let initial = state;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (word, &init) in state.iter_mut().zip(&initial) {
+        *word = word.wrapping_add(init);
+    }
+    state
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buffer: [u32; 16],
+            /// Next unconsumed word in `buffer`; 16 means "refill".
+            index: usize,
+        }
+
+        impl $name {
+            #[inline]
+            fn refill(&mut self) {
+                self.buffer = chacha_block(&self.key, self.counter, 0, $rounds);
+                self.counter = self.counter.wrapping_add(1);
+                self.index = 0;
+            }
+
+            #[inline]
+            fn next_word(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.refill();
+                }
+                let word = self.buffer[self.index];
+                self.index += 1;
+                word
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+                }
+                Self {
+                    key,
+                    counter: 0,
+                    buffer: [0u32; 16],
+                    index: 16,
+                }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                self.next_word()
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_word() as u64;
+                let hi = self.next_word() as u64;
+                (hi << 32) | lo
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, 8, "ChaCha with 8 rounds.");
+chacha_rng!(
+    ChaCha12Rng,
+    12,
+    "ChaCha with 12 rounds (the workspace default)."
+);
+chacha_rng!(ChaCha20Rng, 20, "ChaCha with 20 rounds.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc8439_block_function_vector() {
+        // RFC 8439 §2.3.2 test vector, adapted: key 00..1f, 20 rounds,
+        // counter word = 1, nonce words 09000000:4a000000:00000000.
+        // Our layout packs counter into words 12..13 and nonce into 14..15,
+        // so reproduce the vector state manually through chacha_block's
+        // internals by checking determinism + avalanche instead, and pin the
+        // first word of the simple (counter=0, nonce=0) block for seed 0.
+        let key = [0u32; 8];
+        let block_a = chacha_block(&key, 0, 0, 20);
+        let block_b = chacha_block(&key, 0, 0, 20);
+        assert_eq!(block_a, block_b);
+        let block_c = chacha_block(&key, 1, 0, 20);
+        assert_ne!(block_a, block_c);
+        // ChaCha20 keystream for the all-zero key/counter/nonce is a known
+        // constant: first word 0xade0b876 (block 0 of the zero-key stream).
+        assert_eq!(block_a[0], 0xade0_b876);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha12Rng::from_seed([7u8; 32]);
+        let mut b = ChaCha12Rng::from_seed([7u8; 32]);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha12Rng::from_seed([8u8; 32]);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn seed_from_u64_differs_by_seed() {
+        let mut a = ChaCha12Rng::seed_from_u64(0);
+        let mut b = ChaCha12Rng::seed_from_u64(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_matches_words() {
+        let mut a = ChaCha12Rng::from_seed([3u8; 32]);
+        let mut b = ChaCha12Rng::from_seed([3u8; 32]);
+        let mut buf = [0u8; 16];
+        a.fill_bytes(&mut buf);
+        let w0 = b.next_u64().to_le_bytes();
+        let w1 = b.next_u64().to_le_bytes();
+        assert_eq!(&buf[..8], &w0);
+        assert_eq!(&buf[8..], &w1);
+    }
+
+    #[test]
+    fn rounds_variants_disagree() {
+        let mut a = ChaCha8Rng::from_seed([1u8; 32]);
+        let mut b = ChaCha12Rng::from_seed([1u8; 32]);
+        let mut c = ChaCha20Rng::from_seed([1u8; 32]);
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_ne!(x, y);
+        assert_ne!(y, z);
+    }
+}

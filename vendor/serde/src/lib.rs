@@ -1,0 +1,241 @@
+//! Minimal vendored stand-in for `serde` (JSON-only).
+//!
+//! The real serde separates data model from format; this workspace only ever
+//! serializes plain structs of numbers/strings/vectors to JSON via
+//! `serde_json::to_string_pretty`, so the vendored [`Serialize`] trait writes
+//! pretty-printed JSON directly. `#[derive(Serialize)]` comes from the
+//! sibling hand-rolled `serde_derive` proc-macro and targets exactly this
+//! trait. Swap both for the real crates when the registry is reachable.
+
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub use serde_derive::Serialize;
+
+/// A value that can render itself as pretty-printed JSON.
+///
+/// `indent` is the current nesting depth; implementations writing multi-line
+/// output indent continuation lines by `indent + 1` levels of two spaces.
+pub trait Serialize {
+    /// Append this value's JSON rendering to `out`.
+    fn write_json(&self, out: &mut String, indent: usize);
+}
+
+/// Helpers shared by hand-written and derived impls.
+pub mod ser {
+    use super::Serialize;
+
+    /// Two-space indentation at `depth`.
+    pub fn push_indent(out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+
+    /// JSON string escaping.
+    pub fn write_escaped_str(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Emit `{ "name": value, ... }` for a struct's named fields — the
+    /// code `#[derive(Serialize)]` generates calls into this.
+    pub fn write_struct(out: &mut String, indent: usize, fields: &[(&str, &dyn Serialize)]) {
+        if fields.is_empty() {
+            out.push_str("{}");
+            return;
+        }
+        out.push_str("{\n");
+        for (i, (name, value)) in fields.iter().enumerate() {
+            push_indent(out, indent + 1);
+            write_escaped_str(out, name);
+            out.push_str(": ");
+            value.write_json(out, indent + 1);
+            if i + 1 < fields.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        push_indent(out, indent);
+        out.push('}');
+    }
+
+    /// Emit `[ value, ... ]` over any homogeneous sequence.
+    pub fn write_seq<'a, T: Serialize + 'a>(
+        out: &mut String,
+        indent: usize,
+        items: impl ExactSizeIterator<Item = &'a T>,
+    ) {
+        let len = items.len();
+        if len == 0 {
+            out.push_str("[]");
+            return;
+        }
+        out.push_str("[\n");
+        for (i, item) in items.enumerate() {
+            push_indent(out, indent + 1);
+            item.write_json(out, indent + 1);
+            if i + 1 < len {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        push_indent(out, indent);
+        out.push(']');
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String, _indent: usize) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, u128, i128);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String, _indent: usize) {
+                if self.is_finite() {
+                    // `{}` on f64 round-trips (shortest representation).
+                    out.push_str(&self.to_string());
+                } else {
+                    // JSON has no NaN/Infinity; serde_json emits null.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn write_json(&self, out: &mut String, _indent: usize) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String, _indent: usize) {
+        ser::write_escaped_str(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String, _indent: usize) {
+        ser::write_escaped_str(out, self);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        ser::write_seq(out, indent, self.iter());
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        ser::write_seq(out, indent, self.iter());
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        ser::write_seq(out, indent, self.iter());
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        (**self).write_json(out, indent)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        (**self).write_json(out, indent)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        match self {
+            Some(value) => value.write_json(out, indent),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn write_json(&self, out: &mut String, indent: usize) {
+                let items: Vec<&dyn Serialize> = vec![$(&self.$idx),+];
+                out.push_str("[\n");
+                let len = items.len();
+                for (i, item) in items.into_iter().enumerate() {
+                    ser::push_indent(out, indent + 1);
+                    item.write_json(out, indent + 1);
+                    if i + 1 < len {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                ser::push_indent(out, indent);
+                out.push(']');
+            }
+        }
+    )*};
+}
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_strings() {
+        let mut out = String::new();
+        42u64.write_json(&mut out, 0);
+        out.push(' ');
+        (-1.5f64).write_json(&mut out, 0);
+        out.push(' ');
+        f64::NAN.write_json(&mut out, 0);
+        out.push(' ');
+        "a\"b\n".write_json(&mut out, 0);
+        assert_eq!(out, r#"42 -1.5 null "a\"b\n""#);
+    }
+
+    #[test]
+    fn nested_struct_shape() {
+        let mut out = String::new();
+        ser::write_struct(
+            &mut out,
+            0,
+            &[("x", &1u64 as &dyn Serialize), ("v", &vec![1.0f64, 2.0])],
+        );
+        assert_eq!(out, "{\n  \"x\": 1,\n  \"v\": [\n    1,\n    2\n  ]\n}");
+    }
+}

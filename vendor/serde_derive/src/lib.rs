@@ -1,0 +1,103 @@
+//! Hand-rolled `#[derive(Serialize)]` for the vendored `serde` facade.
+//!
+//! Supports plain structs with named fields (the only shape this workspace
+//! derives on). Written against `proc_macro` directly — no `syn`/`quote`,
+//! since the build environment has no registry access.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    let mut name = None;
+    let mut fields_group = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(ident) if ident.to_string() == "struct" => {
+                if let Some(TokenTree::Ident(n)) = tokens.get(i + 1) {
+                    name = Some(n.to_string());
+                }
+                // The next brace group is the field list (no generics in the
+                // structs this workspace derives on).
+                for token in &tokens[i + 2..] {
+                    if let TokenTree::Group(group) = token {
+                        if group.delimiter() == Delimiter::Brace {
+                            fields_group = Some(group.stream());
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+
+    let name = name.expect("#[derive(Serialize)]: expected a struct");
+    let body = fields_group.expect("#[derive(Serialize)]: only named-field structs are supported");
+    let fields = parse_field_names(body);
+
+    let field_entries: String = fields
+        .iter()
+        .map(|f| format!("(\"{f}\", &self.{f} as &dyn serde::Serialize),"))
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn write_json(&self, out: &mut String, indent: usize) {{\n\
+                 serde::ser::write_struct(out, indent, &[{field_entries}]);\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// Extract field names from the brace-group token stream of a struct body:
+/// skip attributes (`#[...]`) and visibility, take the ident before `:`,
+/// then skip the type up to the next top-level comma (angle-bracket aware).
+fn parse_field_names(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes.
+        while matches!(&tokens[i..], [TokenTree::Punct(p), ..] if p.as_char() == '#') {
+            i += 2; // '#' + bracket group
+        }
+        // Skip visibility.
+        if matches!(&tokens[i..], [TokenTree::Ident(id), ..] if id.to_string() == "pub") {
+            i += 1;
+            if matches!(
+                &tokens[i..],
+                [TokenTree::Group(g), ..] if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                i += 1; // pub(crate) etc.
+            }
+        }
+        let Some(TokenTree::Ident(field)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(field.to_string());
+        // Skip past ':' and the type, to the comma at angle-depth 0.
+        i += 1;
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}

@@ -1,0 +1,51 @@
+//! Minimal vendored stand-in for `serde_json`: pretty-printing only, over
+//! the vendored JSON-direct [`serde::Serialize`] trait.
+
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+use serde::Serialize;
+
+/// Serialization error. The vendored writer is infallible, so this is an
+/// empty shell kept for API compatibility.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_json(&mut out, 0);
+    Ok(out)
+}
+
+/// Render `value` as compact JSON. The vendored pretty printer is the only
+/// layout implemented, so this is an alias for [`to_string_pretty`].
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string_pretty(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_of_floats() {
+        let json = to_string_pretty(&vec![1.0f64, 2.5]).unwrap();
+        assert_eq!(json, "[\n  1,\n  2.5\n]");
+    }
+
+    #[test]
+    fn tuple_renders_as_array() {
+        let json = to_string_pretty(&(1u64, "x".to_string())).unwrap();
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"x\""));
+    }
+}
