@@ -9,6 +9,9 @@
 //! longsynth-cli engine       --input panel.csv --rho 0.005 --shards 4 \
 //!     [--algorithm fixed-window|cumulative] [--window 3] \
 //!     [--output synthetic.csv] [--estimates estimates.csv] [--seed 42]
+//! longsynth-cli serve        --input panel.csv --rho 0.005 --shards 4 \
+//!     [--algorithm fixed-window|cumulative] [--queries 1000] \
+//!     [--pool-threads 4] [--snapshot store.json] [--seed 42]
 //! longsynth-cli simulate     --households 23374 --months 12 --output panel.csv
 //! ```
 //!
@@ -26,7 +29,9 @@ use longsynth_data::LongitudinalDataset;
 use longsynth_dp::budget::Rho;
 use longsynth_dp::rng::{rng_from_seed, RngFork};
 use longsynth_engine::{ShardPlan, ShardedEngine};
+use longsynth_pool::WorkerPool;
 use longsynth_queries::window::quarterly_battery;
+use longsynth_serve::{QueryService, ServeQuery};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -41,6 +46,10 @@ const USAGE: &str = "usage:
                              [--algorithm fixed-window|cumulative] [--window K]
                              [--output OUT.csv] [--estimates EST.csv] [--seed N]
                              [--sipp] [--beta B] [--max-b B]
+  longsynth-cli serve        --input PANEL.csv --rho R --shards S
+                             [--algorithm fixed-window|cumulative] [--window K]
+                             [--queries N] [--pool-threads P] [--snapshot OUT.json]
+                             [--seed N] [--sipp] [--beta B] [--max-b B]
   longsynth-cli simulate     [--households N] [--months T] [--seed N] --output PANEL.csv
 
 The panel CSV has one row per individual and one 0/1 column per round
@@ -49,7 +58,13 @@ file instead, applying the paper's pre-processing.
 
 `engine` partitions the panel into S cohorts, synthesizes them in parallel
 (one synthesizer per shard), and writes the merged population-level release;
-disjoint cohorts give the same user-level zCDP guarantee as one shard.";
+disjoint cohorts give the same user-level zCDP guarantee as one shard.
+
+`serve` runs the engine with the release store attached, then drives a batch
+of concurrent window/cumulative queries against the stored releases through
+the shared worker pool — cold (empty cache) and cached — and reports
+queries/sec for both. --snapshot additionally writes the store as JSON,
+restores it, and verifies the restored answers are bit-identical.";
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -66,6 +81,7 @@ fn main() -> ExitCode {
         "fixed-window" => run_fixed_window(&flags),
         "cumulative" => run_cumulative(&flags),
         "engine" => run_engine(&flags),
+        "serve" => run_serve(&flags),
         "simulate" => run_simulate(&flags),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     };
@@ -378,6 +394,157 @@ fn run_engine(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// The serve subcommand: engine run with the release store attached, then
+/// a concurrent query batch over the stored releases — the whole serving
+/// subsystem end to end, with throughput numbers on stderr.
+fn run_serve(flags: &Flags) -> Result<(), String> {
+    let rho_v: f64 = get_parsed(flags, "rho", f64::NAN)?;
+    if rho_v.is_nan() {
+        return Err("--rho is required".into());
+    }
+    let shards: usize = get_parsed(flags, "shards", 0)?;
+    if shards == 0 {
+        return Err("--shards is required (try the number of cores)".into());
+    }
+    let algorithm = flags
+        .get("algorithm")
+        .map(String::as_str)
+        .unwrap_or("cumulative");
+    let seed: u64 = get_parsed(flags, "seed", 42)?;
+    let months_hint: usize = get_parsed(flags, "months", 12)?;
+    let query_target: usize = get_parsed(flags, "queries", 1_000)?;
+    let pool_threads: usize = get_parsed(flags, "pool-threads", 4)?;
+    let panel = load_input(flags, months_hint)?;
+    let horizon = panel.rounds();
+    let n = panel.individuals();
+    let plan = ShardPlan::new(n, shards).map_err(|e| e.to_string())?;
+    let rho = Rho::new(rho_v).map_err(|e| e.to_string())?;
+    let fork = RngFork::new(seed);
+    let pool = std::sync::Arc::new(WorkerPool::new(pool_threads.max(1)));
+    let service = QueryService::new();
+    eprintln!(
+        "panel: {n} individuals x {horizon} rounds; {shards} shards, \
+         {} pool threads, algorithm = {algorithm}, rho = {rho_v} per shard",
+        pool.threads()
+    );
+
+    // Engine run with the serving sink attached: every release lands in
+    // the store the moment its round completes.
+    let ingest_start = std::time::Instant::now();
+    let window: usize = get_parsed(flags, "window", 3)?;
+    match algorithm {
+        "fixed-window" => {
+            let beta: f64 = get_parsed(flags, "beta", 0.05)?;
+            let config = FixedWindowConfig::new(horizon, window, rho)
+                .map_err(|e| e.to_string())?
+                .with_padding(longsynth::PaddingPolicy::Recommended { beta });
+            let mut engine = ShardedEngine::with_pool(
+                plan,
+                |s, _| FixedWindowSynthesizer::new(config, fork.child(s as u64)),
+                std::sync::Arc::clone(&pool),
+            )
+            .map_err(|e| e.to_string())?;
+            engine.set_sink(service.release_sink());
+            for (_, col) in panel.stream() {
+                engine.step(col).map_err(|e| e.to_string())?;
+            }
+        }
+        "cumulative" => {
+            let config = CumulativeConfig::new(horizon, rho).map_err(|e| e.to_string())?;
+            let mut engine = ShardedEngine::with_pool(
+                plan,
+                |s, _| {
+                    CumulativeSynthesizer::new(
+                        config,
+                        fork.subfork(s as u64),
+                        fork.child(0x0C00 + s as u64),
+                    )
+                },
+                std::sync::Arc::clone(&pool),
+            )
+            .map_err(|e| e.to_string())?;
+            engine.set_sink(service.column_sink());
+            for (_, col) in panel.stream() {
+                engine.step(col).map_err(|e| e.to_string())?;
+            }
+        }
+        other => {
+            return Err(format!(
+                "--algorithm must be fixed-window or cumulative, got {other:?}"
+            ))
+        }
+    }
+    let (rounds, records) = service.with_store(|s| (s.rounds(), s.records()));
+    eprintln!(
+        "ingested {rounds} released rounds ({} records) in {:?}",
+        records.unwrap_or(0),
+        ingest_start.elapsed()
+    );
+
+    // Build the query batch: cycle the canonical mixed battery until the
+    // requested batch size — the read traffic a deployment sees.
+    let max_b: usize = get_parsed(flags, "max-b", horizon.min(6))?;
+    let distinct = longsynth_serve::mixed_battery(rounds, shards, max_b, window);
+    if distinct.is_empty() {
+        return Err("no answerable queries (panel too short?)".into());
+    }
+    let batch: Vec<ServeQuery> = distinct
+        .iter()
+        .cycle()
+        .take(query_target)
+        .cloned()
+        .collect();
+
+    // Cold pass: every distinct query computed from the store. Cached
+    // pass: same batch, all hits.
+    let run_batch = |label: &str| {
+        let start = std::time::Instant::now();
+        let answers = service.answer_batch(&pool, batch.clone());
+        let elapsed = start.elapsed();
+        let failures = answers.iter().filter(|a| a.is_err()).count();
+        let qps = batch.len() as f64 / elapsed.as_secs_f64();
+        let (hits, misses) = service.cache_stats();
+        eprintln!(
+            "{label}: {} queries in {elapsed:?} ({qps:.0} queries/sec; \
+             {hits} hits, {misses} misses, {failures} failures)",
+            batch.len()
+        );
+        qps
+    };
+    service.clear_cache();
+    let cold_qps = run_batch("cold  ");
+    let cached_qps = run_batch("cached");
+    eprintln!(
+        "cache speedup: {:.1}x ({} distinct queries memoized)",
+        cached_qps / cold_qps,
+        service.cache_len()
+    );
+
+    if let Some(path) = flags.get("snapshot") {
+        let json = service.snapshot_json();
+        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        let restored_json =
+            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let restored = QueryService::restore_json(&restored_json).map_err(|e| e.to_string())?;
+        for query in &distinct {
+            let original = service.answer(query).map_err(|e| e.to_string())?;
+            let recovered = restored.answer(query).map_err(|e| e.to_string())?;
+            if original.to_bits() != recovered.to_bits() {
+                return Err(format!(
+                    "snapshot restore diverged on {query:?}: {original} vs {recovered}"
+                ));
+            }
+        }
+        eprintln!(
+            "snapshot: wrote {} bytes to {path}; restore verified bit-identical \
+             on {} distinct queries",
+            json.len(),
+            distinct.len()
+        );
+    }
+    Ok(())
+}
+
 fn run_simulate(flags: &Flags) -> Result<(), String> {
     let households: usize = get_parsed(flags, "households", 23_374)?;
     let months: usize = get_parsed(flags, "months", 12)?;
@@ -478,9 +645,61 @@ mod tests {
         assert!(run_cumulative(&Flags::new()).is_err());
         assert!(run_simulate(&Flags::new()).is_err());
         assert!(run_engine(&Flags::new()).is_err());
+        assert!(run_serve(&Flags::new()).is_err());
         let flags = flags_of(&[("rho", "0.01")]);
         assert!(run_fixed_window(&flags).unwrap_err().contains("--input"));
         assert!(run_engine(&flags).unwrap_err().contains("--shards"));
+        assert!(run_serve(&flags).unwrap_err().contains("--shards"));
+    }
+
+    #[test]
+    fn end_to_end_serve_run() {
+        let dir = std::env::temp_dir().join("longsynth_cli_serve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let panel = dir.join("panel.csv");
+        let snapshot = dir.join("store.json");
+
+        run_simulate(&flags_of(&[
+            ("households", "400"),
+            ("months", "6"),
+            ("output", panel.to_str().unwrap()),
+        ]))
+        .unwrap();
+
+        // Cumulative serving run with snapshot verification.
+        run_serve(&flags_of(&[
+            ("input", panel.to_str().unwrap()),
+            ("rho", "0.05"),
+            ("shards", "2"),
+            ("queries", "200"),
+            ("pool-threads", "2"),
+            ("snapshot", snapshot.to_str().unwrap()),
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&snapshot).unwrap();
+        assert!(json.contains("longsynth-release-store/v1"));
+
+        // Fixed-window serving run.
+        run_serve(&flags_of(&[
+            ("input", panel.to_str().unwrap()),
+            ("rho", "0.05"),
+            ("shards", "2"),
+            ("algorithm", "fixed-window"),
+            ("window", "2"),
+            ("queries", "100"),
+        ]))
+        .unwrap();
+
+        // Unknown algorithm errors cleanly.
+        assert!(run_serve(&flags_of(&[
+            ("input", panel.to_str().unwrap()),
+            ("rho", "0.05"),
+            ("shards", "2"),
+            ("algorithm", "nope"),
+        ]))
+        .is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -106,6 +106,101 @@ impl BitColumn {
     pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
         (0..self.len).map(move |i| self.get(i))
     }
+
+    /// The packed 64-bit words backing this column, least-significant bit
+    /// first. Bits at positions `>= len()` in the final word are always
+    /// zero (the invariant every mutator maintains).
+    #[inline]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild a column from packed words (the inverse of
+    /// [`as_words`](Self::as_words)). Bits beyond `len` in the final word
+    /// are masked off, so any word source round-trips safely.
+    ///
+    /// # Panics
+    /// Panics if `words.len() != len.div_ceil(64)`.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(WORD_BITS),
+            "word count does not match bit length {len}"
+        );
+        if let Some(last) = words.last_mut() {
+            let tail = len % WORD_BITS;
+            if tail != 0 {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+        Self { words, len }
+    }
+
+    /// Extract the contiguous bit range `range` as a new column — the
+    /// word-level splice behind the engine's cohort split.
+    ///
+    /// Works 64 bits at a time: an aligned start is a straight word copy;
+    /// an unaligned start stitches each output word from two input words.
+    /// Only the final word needs bit-level masking.
+    ///
+    /// # Panics
+    /// Panics if `range.end > len()` or `range.start > range.end`.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
+        assert!(range.start <= range.end, "inverted range");
+        assert!(
+            range.end <= self.len,
+            "range end {} out of range {}",
+            range.end,
+            self.len
+        );
+        let len = range.end - range.start;
+        let out_words = len.div_ceil(WORD_BITS);
+        let start_word = range.start / WORD_BITS;
+        let offset = range.start % WORD_BITS;
+        let mut words = Vec::with_capacity(out_words);
+        if offset == 0 {
+            words.extend_from_slice(&self.words[start_word..start_word + out_words]);
+        } else {
+            for i in 0..out_words {
+                let mut w = self.words[start_word + i] >> offset;
+                if let Some(&next) = self.words.get(start_word + i + 1) {
+                    w |= next << (WORD_BITS - offset);
+                }
+                words.push(w);
+            }
+        }
+        // Re-establish the zero-tail invariant on the (only) unaligned tail.
+        Self::from_words(words, len)
+    }
+
+    /// Append all of `other`'s bits after this column's — the word-level
+    /// concatenation behind the engine's release merge.
+    ///
+    /// When this column ends on a word boundary the other column's words
+    /// copy straight in; otherwise each incoming word is split across two
+    /// output words. `other`'s zero tail guarantees no stray bits.
+    pub fn extend_bits(&mut self, other: &Self) {
+        let offset = self.len % WORD_BITS;
+        if offset == 0 {
+            self.words.extend_from_slice(&other.words);
+        } else if other.len > 0 {
+            for &w in &other.words {
+                *self.words.last_mut().expect("offset != 0 implies a word") |= w << offset;
+                self.words.push(w >> (WORD_BITS - offset));
+            }
+        }
+        self.len += other.len;
+        self.words.truncate(self.len.div_ceil(WORD_BITS));
+    }
+
+    /// Concatenate columns in order (word-level).
+    pub fn concat<'a, I: IntoIterator<Item = &'a Self>>(parts: I) -> Self {
+        let mut out = Self::zeros(0);
+        for part in parts {
+            out.extend_bits(part);
+        }
+        out
+    }
 }
 
 impl fmt::Debug for BitColumn {
@@ -168,5 +263,79 @@ mod tests {
     fn debug_is_compact() {
         let col = BitColumn::from_bools(&[true, true, false]);
         assert_eq!(format!("{col:?}"), "BitColumn[len=3, ones=2]");
+    }
+
+    fn reference_slice(col: &BitColumn, range: std::ops::Range<usize>) -> BitColumn {
+        BitColumn::from_iter_bits(range.map(|i| col.get(i)))
+    }
+
+    #[test]
+    fn slice_matches_bit_reference_across_boundaries() {
+        let bits: Vec<bool> = (0..200).map(|i| (i * 7) % 3 == 0).collect();
+        let col = BitColumn::from_bools(&bits);
+        for range in [
+            0..0,
+            0..64,
+            0..65,
+            1..64,
+            63..129,
+            64..128,
+            5..200,
+            199..200,
+        ] {
+            assert_eq!(
+                col.slice(range.clone()),
+                reference_slice(&col, range.clone()),
+                "range {range:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn extend_bits_matches_bit_reference() {
+        for (a_len, b_len) in [(0, 70), (64, 64), (63, 66), (1, 1), (65, 0), (37, 91)] {
+            let a_bits: Vec<bool> = (0..a_len).map(|i| i % 2 == 0).collect();
+            let b_bits: Vec<bool> = (0..b_len).map(|i| i % 5 != 0).collect();
+            let mut joined = BitColumn::from_bools(&a_bits);
+            joined.extend_bits(&BitColumn::from_bools(&b_bits));
+            let expected: Vec<bool> = a_bits.iter().chain(&b_bits).copied().collect();
+            assert_eq!(joined, BitColumn::from_bools(&expected), "{a_len}+{b_len}");
+        }
+    }
+
+    #[test]
+    fn concat_joins_in_order() {
+        let parts = [
+            BitColumn::from_bools(&[true, false, true]),
+            BitColumn::zeros(0),
+            BitColumn::ones(70),
+        ];
+        let joined = BitColumn::concat(parts.iter());
+        assert_eq!(joined.len(), 73);
+        assert_eq!(joined.count_ones(), 72);
+        assert!(!joined.get(1));
+        assert!(joined.get(72));
+    }
+
+    #[test]
+    fn words_roundtrip_and_mask_tail() {
+        let col = BitColumn::from_bools(&(0..67).map(|i| i % 2 == 1).collect::<Vec<_>>());
+        let back = BitColumn::from_words(col.as_words().to_vec(), col.len());
+        assert_eq!(back, col);
+        // Dirty tail bits beyond len are masked off on construction.
+        let dirty = BitColumn::from_words(vec![u64::MAX], 3);
+        assert_eq!(dirty.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "word count")]
+    fn from_words_rejects_wrong_word_count() {
+        BitColumn::from_words(vec![0, 0], 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_rejects_overrun() {
+        BitColumn::zeros(10).slice(5..11);
     }
 }

@@ -107,3 +107,56 @@ proptest! {
         prop_assert_eq!(p, rebuilt);
     }
 }
+
+// Word-level splice/concat equivalence: the u64-block fast paths in
+// `BitColumn::slice` / `extend_bits` must agree bit-for-bit with the naive
+// bit-at-a-time reference on arbitrary lengths, offsets, and alignments.
+proptest! {
+    /// `slice` equals the bit-by-bit reference on every sub-range.
+    #[test]
+    fn slice_equals_bit_reference(
+        bits in proptest::collection::vec(any::<bool>(), 0..400),
+        start_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+    ) {
+        let col = BitColumn::from_bools(&bits);
+        let start = ((bits.len() as f64) * start_frac) as usize;
+        let len = (((bits.len() - start) as f64) * len_frac) as usize;
+        let range = start..start + len;
+        let fast = col.slice(range.clone());
+        let slow = BitColumn::from_iter_bits(range.map(|i| col.get(i)));
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// `concat` of an arbitrary partition reconstructs the original column,
+    /// and every unused tail bit stays zero (count_ones sees no stray bits).
+    #[test]
+    fn concat_inverts_partition(
+        bits in proptest::collection::vec(any::<bool>(), 1..400),
+        cut_a in 0.0f64..1.0,
+        cut_b in 0.0f64..1.0,
+    ) {
+        let col = BitColumn::from_bools(&bits);
+        let mut cuts = [
+            ((bits.len() as f64) * cut_a) as usize,
+            ((bits.len() as f64) * cut_b) as usize,
+        ];
+        cuts.sort_unstable();
+        let parts = [
+            col.slice(0..cuts[0]),
+            col.slice(cuts[0]..cuts[1]),
+            col.slice(cuts[1]..bits.len()),
+        ];
+        let rejoined = BitColumn::concat(parts.iter());
+        prop_assert_eq!(&rejoined, &col);
+        prop_assert_eq!(rejoined.count_ones(), bits.iter().filter(|&&b| b).count());
+    }
+
+    /// `as_words`/`from_words` round-trip preserves equality.
+    #[test]
+    fn words_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+        let col = BitColumn::from_bools(&bits);
+        let back = BitColumn::from_words(col.as_words().to_vec(), col.len());
+        prop_assert_eq!(back, col);
+    }
+}

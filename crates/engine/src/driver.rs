@@ -4,42 +4,51 @@
 //! every [`step`](ShardedEngine::step):
 //!
 //! 1. splits the population-level input column into per-shard cohort
-//!    columns ([`ShardableInput`]),
-//! 2. drives every shard's synthesizer on its cohort column — in parallel
-//!    with scoped OS threads when there is more than one shard,
+//!    columns ([`ShardableInput`] — a word-level splice),
+//! 2. drives every shard's synthesizer on its cohort column — through the
+//!    persistent [`WorkerPool`] when there is more than one shard,
 //! 3. merges the per-shard releases back into one population-level release
-//!    ([`MergeRelease`]), and
-//! 4. refreshes the aggregate [`EngineBudget`].
+//!    ([`MergeRelease`] — a word-level concatenation),
+//! 4. hands the round to the attached [`ReleaseSink`], if any, and
+//! 5. refreshes the aggregate [`EngineBudget`].
 //!
-//! Parallelism note: the engine uses `std::thread::scope`, spawning one
-//! worker per shard per round. The build environment has no registry access,
-//! so `rayon`'s work-stealing pool is not available; for shard counts in the
-//! tens (the design target — one shard per core) the per-round spawn cost is
-//! tens of microseconds, far below the per-round synthesis cost the sharding
-//! amortizes. Swapping in a persistent pool is a localized change inside
-//! `parallel_step` if profiling ever demands it.
+//! Parallelism note: the engine owns (or shares) a `longsynth-pool`
+//! [`WorkerPool`] — threads are created once at construction and fed jobs
+//! every round, replacing the previous per-round `std::thread::scope`
+//! spawns. Each round, shard synthesizers are *moved* into pool jobs and
+//! moved back out with their results (the pool's ordered-batch contract),
+//! so no `unsafe` borrowing is involved and shard order is preserved.
+//! Construct with [`ShardedEngine::with_pool`] to share one pool between
+//! several engines or with a serving front-end.
 //!
 //! The engine keeps shard synthesizers by value and in order, so between
 //! rounds callers can inspect any shard (e.g. per-shard estimates, clamp
 //! counters) through [`ShardedEngine::shard`].
 
 use longsynth::{ContinualSynthesizer, SynthError};
+use longsynth_pool::WorkerPool;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 use crate::budget::EngineBudget;
 use crate::merge::MergeRelease;
 use crate::shard::{ShardPlan, ShardableInput};
+use crate::sink::ReleaseSink;
 use crate::EngineError;
 
 /// A sharded multi-cohort streaming engine over any synthesizer family.
 ///
-/// All shards must be configured identically (same horizon, same algorithm
-/// parameters) — the engine feeds them in lockstep and merges their
-/// releases positionally. Constructors take a factory so per-shard RNG
-/// streams stay independent.
-pub struct ShardedEngine<S> {
+/// All shards must be configured identically (same horizon, same total
+/// budget) — the engine feeds them in lockstep and merges their releases
+/// positionally; construction fails with
+/// [`EngineError::HeterogeneousShards`] otherwise. Constructors take a
+/// factory so per-shard RNG streams stay independent.
+pub struct ShardedEngine<S: ContinualSynthesizer> {
     plan: ShardPlan,
     shards: Vec<S>,
     rounds_fed: usize,
+    pool: Option<Arc<WorkerPool>>,
+    sink: Option<Box<dyn ReleaseSink<S::Release>>>,
 }
 
 impl<S> ShardedEngine<S>
@@ -48,24 +57,49 @@ where
 {
     /// Build an engine over `plan`, creating one synthesizer per shard with
     /// `factory(shard_index, cohort_size)`.
+    ///
+    /// A multi-shard engine creates its own [`WorkerPool`] sized to the
+    /// machine (at most one worker per shard); a 1-shard engine steps
+    /// inline and spawns no threads. Use [`with_pool`](Self::with_pool) to
+    /// share an existing pool instead.
     pub fn new(
         plan: ShardPlan,
+        factory: impl FnMut(usize, usize) -> S,
+    ) -> Result<Self, EngineError> {
+        let pool = if plan.shards() > 1 {
+            Some(Arc::new(WorkerPool::with_capacity_hint(plan.shards())))
+        } else {
+            None
+        };
+        Self::build(plan, factory, pool)
+    }
+
+    /// Build an engine that runs its per-shard steps on `pool` — the
+    /// deployment shape where one persistent pool backs both the engine
+    /// and the serving front-end.
+    pub fn with_pool(
+        plan: ShardPlan,
+        factory: impl FnMut(usize, usize) -> S,
+        pool: Arc<WorkerPool>,
+    ) -> Result<Self, EngineError> {
+        Self::build(plan, factory, Some(pool))
+    }
+
+    fn build(
+        plan: ShardPlan,
         mut factory: impl FnMut(usize, usize) -> S,
+        pool: Option<Arc<WorkerPool>>,
     ) -> Result<Self, EngineError> {
         let shards: Vec<S> = (0..plan.shards())
             .map(|s| factory(s, plan.cohort_size(s)))
             .collect();
-        let horizon = shards[0].horizon();
-        if let Some(bad) = shards.iter().position(|s| s.horizon() != horizon) {
-            return Err(EngineError::InvalidPlan(format!(
-                "shard {bad} has horizon {}, shard 0 has {horizon}; shards must be configured identically",
-                shards[bad].horizon()
-            )));
-        }
+        validate_homogeneous(&shards)?;
         Ok(Self {
             plan,
             shards,
             rounds_fed: 0,
+            pool,
+            sink: None,
         })
     }
 
@@ -94,6 +128,23 @@ where
         self.shards[0].horizon()
     }
 
+    /// The worker pool driving multi-shard steps (`None` for a 1-shard
+    /// engine constructed without one).
+    pub fn pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.as_ref()
+    }
+
+    /// Attach a [`ReleaseSink`] observing every completed round (replaces
+    /// any previous sink). See the `sink` module docs for the contract.
+    pub fn set_sink(&mut self, sink: Box<dyn ReleaseSink<S::Release>>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detach and return the current sink, if any.
+    pub fn take_sink(&mut self) -> Option<Box<dyn ReleaseSink<S::Release>>> {
+        self.sink.take()
+    }
+
     /// Aggregate zCDP budget state across shards.
     pub fn budget(&self) -> EngineBudget {
         EngineBudget::from_shards(
@@ -104,11 +155,55 @@ where
     }
 }
 
+impl<S: ContinualSynthesizer> std::fmt::Debug for ShardedEngine<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ShardedEngine[shards={}, population={}, rounds_fed={}, pooled={}, sink={}]",
+            self.shards.len(),
+            self.plan.population(),
+            self.rounds_fed,
+            self.pool.is_some(),
+            self.sink.is_some(),
+        )
+    }
+}
+
+/// Reject factories that produce differently-configured shards: the engine
+/// feeds shards in lockstep and merges positionally, which is only sound
+/// when every shard runs the same algorithm configuration. Checks the two
+/// trait-visible invariants (horizon and total budget); a mismatch gets a
+/// descriptive [`EngineError::HeterogeneousShards`] naming the first
+/// offending shard.
+fn validate_homogeneous<S: ContinualSynthesizer>(shards: &[S]) -> Result<(), EngineError> {
+    let horizon = shards[0].horizon();
+    let budget = shards[0].budget_total();
+    for (index, shard) in shards.iter().enumerate().skip(1) {
+        if shard.horizon() != horizon {
+            return Err(EngineError::HeterogeneousShards {
+                shard: index,
+                field: "horizon",
+                expected: horizon.to_string(),
+                actual: shard.horizon().to_string(),
+            });
+        }
+        if (shard.budget_total().value() - budget.value()).abs() > f64::EPSILON {
+            return Err(EngineError::HeterogeneousShards {
+                shard: index,
+                field: "total budget",
+                expected: budget.to_string(),
+                actual: shard.budget_total().to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
 impl<S> ShardedEngine<S>
 where
-    S: ContinualSynthesizer + Send,
-    S::Input: ShardableInput + Send,
-    S::Release: MergeRelease + Send,
+    S: ContinualSynthesizer + Send + 'static,
+    S::Input: ShardableInput + Send + 'static,
+    S::Release: MergeRelease + Clone + Send + 'static,
 {
     /// Feed one population-level column; returns the merged release.
     pub fn step(&mut self, column: &S::Input) -> Result<S::Release, EngineError> {
@@ -120,14 +215,25 @@ where
         }
         let parts = column.split(&self.plan);
         let releases = if self.shards.len() == 1 {
+            let mut parts = parts;
             vec![self.shards[0]
-                .step(&parts[0])
+                .step(&parts.remove(0))
                 .map_err(|source| EngineError::Shard { shard: 0, source })?]
         } else {
             self.parallel_step(parts)?
         };
+        // Merge consumes the per-shard releases; only a live sink pays for
+        // keeping them around one call longer.
+        let merged = match &mut self.sink {
+            None => S::Release::merge(releases)?,
+            Some(sink) => {
+                let merged = S::Release::merge(releases.clone())?;
+                sink.on_round(self.rounds_fed, &releases, &merged);
+                merged
+            }
+        };
         self.rounds_fed += 1;
-        S::Release::merge(releases)
+        Ok(merged)
     }
 
     /// Drive the whole panel stream, returning every merged release.
@@ -139,24 +245,54 @@ where
         columns.into_iter().map(|c| self.step(c)).collect()
     }
 
+    /// Step every shard on the persistent pool. Synthesizers are moved into
+    /// the jobs and moved back with their results in shard order, so the
+    /// engine's `shards` vector is identical (modulo stepped state) on
+    /// return — including when a shard reports an error.
     fn parallel_step(&mut self, parts: Vec<S::Input>) -> Result<Vec<S::Release>, EngineError> {
-        let results: Vec<Result<S::Release, SynthError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter_mut()
-                .zip(parts)
-                .map(|(shard, part)| scope.spawn(move || shard.step(&part)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
-        });
-        results
-            .into_iter()
-            .enumerate()
-            .map(|(shard, result)| result.map_err(|source| EngineError::Shard { shard, source }))
-            .collect()
+        let pool = Arc::clone(
+            self.pool
+                .as_ref()
+                .expect("multi-shard engines always hold a pool"),
+        );
+        let shards = std::mem::take(&mut self.shards);
+        // Each job catches a panicking `step` around a *borrow* of the
+        // shard, so the shard itself survives and is returned either way;
+        // a panic is re-raised here only after every shard is back in
+        // place — matching the old `thread::scope` semantics, where
+        // borrowed shards survived a propagated panic and the engine
+        // stayed structurally intact.
+        let outcomes = pool.run_batch(shards.into_iter().zip(parts).map(|(mut shard, part)| {
+            move || {
+                let result = catch_unwind(AssertUnwindSafe(|| shard.step(&part)));
+                (shard, result)
+            }
+        }));
+        let mut releases = Vec::with_capacity(outcomes.len());
+        let mut first_error = None;
+        let mut first_panic = None;
+        for (index, (shard, result)) in outcomes.into_iter().enumerate() {
+            self.shards.push(shard);
+            match result {
+                Ok(Ok(release)) => releases.push(release),
+                Ok(Err(source)) if first_error.is_none() => {
+                    first_error = Some(EngineError::Shard {
+                        shard: index,
+                        source,
+                    });
+                }
+                Ok(Err(_)) => {}
+                Err(payload) if first_panic.is_none() => first_panic = Some(payload),
+                Err(_) => {}
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        match first_error {
+            Some(error) => Err(error),
+            None => Ok(releases),
+        }
     }
 }
 
@@ -167,9 +303,9 @@ where
 /// engine).
 impl<S> ContinualSynthesizer for ShardedEngine<S>
 where
-    S: ContinualSynthesizer + Send,
-    S::Input: ShardableInput + Send,
-    S::Release: MergeRelease + Send,
+    S: ContinualSynthesizer + Send + 'static,
+    S::Input: ShardableInput + Send + 'static,
+    S::Release: MergeRelease + Clone + Send + 'static,
 {
     type Input = S::Input;
     type Release = S::Release;
@@ -281,5 +417,202 @@ mod tests {
         };
         assert_eq!(run(11), run(11));
         assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn multi_shard_engines_hold_a_pool_and_single_shard_engines_do_not() {
+        let engine = cumulative_engine(60, 3, 4, 5);
+        assert!(engine.pool().is_some());
+        let single = cumulative_engine(60, 1, 4, 5);
+        assert!(single.pool().is_none());
+    }
+
+    #[test]
+    fn engines_can_share_one_pool() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let data = iid_bernoulli(&mut rng_from_seed(4), 90, 4, 0.4);
+        let build = |seed: u64| {
+            let plan = ShardPlan::new(90, 3).unwrap();
+            let fork = RngFork::new(seed);
+            ShardedEngine::with_pool(
+                plan,
+                |s, _| {
+                    let config = CumulativeConfig::new(4, Rho::new(0.5).unwrap()).unwrap();
+                    CumulativeSynthesizer::new(
+                        config,
+                        fork.subfork(s as u64),
+                        rng_from_seed(seed ^ s as u64),
+                    )
+                },
+                Arc::clone(&pool),
+            )
+            .unwrap()
+        };
+        let mut a = build(21);
+        let mut b = build(22);
+        for (_, col) in data.stream() {
+            assert_eq!(a.step(col).unwrap().len(), 90);
+            assert_eq!(b.step(col).unwrap().len(), 90);
+        }
+        // Both engines ran on the same two workers.
+        assert_eq!(Arc::strong_count(&pool), 3);
+    }
+
+    #[test]
+    fn heterogeneous_horizons_rejected_with_descriptive_error() {
+        let plan = ShardPlan::new(40, 2).unwrap();
+        let fork = RngFork::new(1);
+        let err = ShardedEngine::new(plan, |s, _| {
+            // Shard 1 gets a different horizon — a config bug the engine
+            // must name, not silently mis-merge.
+            let horizon = if s == 0 { 6 } else { 5 };
+            let config = CumulativeConfig::new(horizon, Rho::new(0.5).unwrap()).unwrap();
+            CumulativeSynthesizer::new(config, fork.subfork(s as u64), rng_from_seed(s as u64))
+        })
+        .unwrap_err();
+        match &err {
+            EngineError::HeterogeneousShards {
+                shard,
+                field,
+                expected,
+                actual,
+            } => {
+                assert_eq!(*shard, 1);
+                assert_eq!(*field, "horizon");
+                assert_eq!(expected, "6");
+                assert_eq!(actual, "5");
+            }
+            other => panic!("expected HeterogeneousShards, got {other:?}"),
+        }
+        let message = err.to_string();
+        assert!(message.contains("shard 1"), "{message}");
+        assert!(message.contains("horizon"), "{message}");
+        assert!(message.contains("identically"), "{message}");
+    }
+
+    #[test]
+    fn heterogeneous_budgets_rejected_with_descriptive_error() {
+        let plan = ShardPlan::new(40, 3).unwrap();
+        let fork = RngFork::new(2);
+        let err = ShardedEngine::new(plan, |s, _| {
+            let rho = Rho::new(if s == 2 { 0.25 } else { 0.5 }).unwrap();
+            let config = CumulativeConfig::new(4, rho).unwrap();
+            CumulativeSynthesizer::new(config, fork.subfork(s as u64), rng_from_seed(s as u64))
+        })
+        .unwrap_err();
+        assert!(matches!(
+            &err,
+            EngineError::HeterogeneousShards {
+                shard: 2,
+                field: "total budget",
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("total budget"));
+    }
+
+    #[test]
+    fn sink_observes_every_round_with_merged_and_per_shard_releases() {
+        use std::sync::{Arc as StdArc, Mutex};
+        let data = iid_bernoulli(&mut rng_from_seed(6), 50, 4, 0.3);
+        let mut engine = cumulative_engine(50, 2, 4, 13);
+        let seen: StdArc<Mutex<Vec<(usize, usize, usize)>>> = StdArc::default();
+        let handle = StdArc::clone(&seen);
+        engine.set_sink(Box::new(
+            move |round: usize, parts: &[BitColumn], merged: &BitColumn| {
+                handle
+                    .lock()
+                    .unwrap()
+                    .push((round, parts.len(), merged.len()));
+            },
+        ));
+        let mut merged_rounds = Vec::new();
+        for (_, col) in data.stream() {
+            merged_rounds.push(engine.step(col).unwrap());
+        }
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 4);
+        for (round, entry) in seen.iter().enumerate() {
+            assert_eq!(*entry, (round, 2, 50));
+        }
+        drop(seen);
+        // Detaching restores the clone-free path.
+        assert!(engine.take_sink().is_some());
+        assert!(engine.take_sink().is_none());
+    }
+
+    /// A minimal synthesizer that panics on demand — for pinning down the
+    /// engine's panic-containment contract.
+    struct FragileSynth {
+        panic_at_round: Option<usize>,
+        round: usize,
+    }
+
+    impl ContinualSynthesizer for FragileSynth {
+        type Input = BitColumn;
+        type Release = BitColumn;
+
+        fn step(&mut self, input: &BitColumn) -> Result<BitColumn, SynthError> {
+            if self.panic_at_round == Some(self.round) {
+                self.panic_at_round = None; // one-shot failure
+                panic!("synthetic shard failure");
+            }
+            self.round += 1;
+            Ok(input.clone())
+        }
+
+        fn round(&self) -> usize {
+            self.round
+        }
+
+        fn horizon(&self) -> usize {
+            10
+        }
+
+        fn budget_spent(&self) -> Rho {
+            Rho::new(0.0).unwrap()
+        }
+
+        fn budget_total(&self) -> Rho {
+            Rho::new(1.0).unwrap()
+        }
+    }
+
+    #[test]
+    fn engine_survives_a_panicking_shard_structurally_intact() {
+        let mut engine = ShardedEngine::new(ShardPlan::new(30, 3).unwrap(), |s, _| FragileSynth {
+            // Shard 1 blows up on its second round.
+            panic_at_round: (s == 1).then_some(1),
+            round: 0,
+        })
+        .unwrap();
+        let column = BitColumn::ones(30);
+        engine.step(&column).unwrap();
+        let unwound =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.step(&column)));
+        assert!(unwound.is_err(), "shard panic propagates to the caller");
+        // Every shard (including the panicked one) is back in place: the
+        // engine is structurally intact, inspectable, and steppable.
+        assert_eq!(engine.shards(), 3);
+        assert_eq!(engine.horizon(), 10);
+        assert_eq!(engine.shard(0).round(), 2);
+        assert_eq!(engine.shard(1).round(), 1); // its step never completed
+        let release = engine.step(&column).unwrap();
+        assert_eq!(release.len(), 30);
+    }
+
+    #[test]
+    fn sink_does_not_change_released_output() {
+        let data = iid_bernoulli(&mut rng_from_seed(7), 64, 5, 0.4);
+        let run = |attach_sink: bool| {
+            let mut engine = cumulative_engine(64, 2, 5, 31);
+            if attach_sink {
+                engine.set_sink(Box::new(|_: usize, _: &[BitColumn], _: &BitColumn| {}));
+            }
+            data.stream()
+                .map(|(_, col)| engine.step(col).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
     }
 }

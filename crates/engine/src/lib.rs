@@ -1,7 +1,8 @@
 //! # longsynth-engine
 //!
 //! A sharded multi-cohort streaming engine over the
-//! [`ContinualSynthesizer`] trait — the scaling layer of the `longsynth`
+//! [`ContinualSynthesizer`](longsynth::ContinualSynthesizer) trait — the
+//! scaling layer of the `longsynth`
 //! workspace.
 //!
 //! A single synthesizer processes one panel in one thread. Production
@@ -61,11 +62,13 @@ pub mod budget;
 pub mod driver;
 pub mod merge;
 pub mod shard;
+pub mod sink;
 
 pub use budget::EngineBudget;
 pub use driver::ShardedEngine;
 pub use merge::MergeRelease;
 pub use shard::{ShardPlan, ShardableInput};
+pub use sink::ReleaseSink;
 
 use longsynth::SynthError;
 use std::fmt;
@@ -90,6 +93,20 @@ pub enum EngineError {
         /// The underlying synthesizer error.
         source: SynthError,
     },
+    /// The shard factory produced differently-configured synthesizers.
+    /// Lockstep stepping and positional merging silently require identical
+    /// per-shard configurations, so the engine names the first mismatch
+    /// instead of mis-merging later.
+    HeterogeneousShards {
+        /// First shard whose configuration disagrees with shard 0.
+        shard: usize,
+        /// Which configuration field disagrees (e.g. `horizon`).
+        field: &'static str,
+        /// Shard 0's value.
+        expected: String,
+        /// The offending shard's value.
+        actual: String,
+    },
     /// Per-shard releases could not be merged (shards out of lockstep).
     MergeMismatch(String),
 }
@@ -103,6 +120,17 @@ impl fmt::Display for EngineError {
                 "input column covers {actual} individuals, engine plan covers {expected}"
             ),
             EngineError::Shard { shard, source } => write!(f, "shard {shard}: {source}"),
+            EngineError::HeterogeneousShards {
+                shard,
+                field,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "shard {shard} has {field} {actual} but shard 0 has {expected}; \
+                 all shards must be configured identically (heterogeneous \
+                 per-cohort panels are not yet supported)"
+            ),
             EngineError::MergeMismatch(msg) => write!(f, "release merge failed: {msg}"),
         }
     }

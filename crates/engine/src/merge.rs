@@ -21,9 +21,9 @@ pub trait MergeRelease: Sized {
     fn merge(parts: Vec<Self>) -> Result<Self, EngineError>;
 }
 
-/// Concatenate bit columns in shard order.
+/// Concatenate bit columns in shard order (word-level — 64 bits at a time).
 fn concat_columns(parts: &[BitColumn]) -> BitColumn {
-    BitColumn::from_iter_bits(parts.iter().flat_map(|p| p.iter()))
+    BitColumn::concat(parts.iter())
 }
 
 impl MergeRelease for BitColumn {

@@ -1,0 +1,36 @@
+//! Release sinks: the engine's hook for downstream consumers.
+//!
+//! A continual-release deployment does not stop at producing releases — it
+//! *serves* them (the `longsynth-serve` crate stores every round and
+//! answers queries from the store). [`ReleaseSink`] is the engine-side
+//! half of that contract: attach a sink with
+//! [`ShardedEngine::set_sink`](crate::ShardedEngine::set_sink) and the
+//! engine calls [`on_round`](ReleaseSink::on_round) once per successful
+//! step, handing over both the per-shard (per-cohort) releases and the
+//! merged population-level release.
+//!
+//! The hook observes borrows only; a sink that wants to keep the data
+//! clones it (releases are compact bit-packed columns). When no sink is
+//! attached the engine's hot path pays nothing — the per-shard releases
+//! move straight into the merge, exactly as before.
+
+/// A consumer of per-round engine releases.
+///
+/// `round` is the 0-based index of the round that just completed. The
+/// engine guarantees `per_shard` is in shard order and `merged` is the
+/// concatenation the caller of `step` receives.
+pub trait ReleaseSink<R>: Send {
+    /// Observe one completed round.
+    fn on_round(&mut self, round: usize, per_shard: &[R], merged: &R);
+}
+
+/// Closures are sinks: `engine.set_sink(Box::new(|round, parts, merged| …))`
+/// works via this blanket impl.
+impl<R, F> ReleaseSink<R> for F
+where
+    F: FnMut(usize, &[R], &R) + Send,
+{
+    fn on_round(&mut self, round: usize, per_shard: &[R], merged: &R) {
+        self(round, per_shard, merged)
+    }
+}

@@ -1,0 +1,450 @@
+//! The serving front-end: [`ServeQuery`] requests, the memoizing
+//! [`QueryService`], and its engine-facing sinks.
+//!
+//! ## Why memoization is sound
+//!
+//! The store is append-only and every query names the round it reads
+//! (`t`): once round `t` is released, the window/cumulative statistics of
+//! rounds `0..=t` are frozen forever. So `(query, round)` answers are
+//! immutable, the cache never needs invalidation, and a cache hit is
+//! bit-identical to recomputation — the property the
+//! `serve_throughput` bench and the snapshot tests pin down.
+//!
+//! ## Cache keys
+//!
+//! [`WindowQuery`] carries `f64` weights, which are not `Hash`/`Eq`; the
+//! cache keys them by their exact IEEE-754 bit patterns
+//! (`f64::to_bits`), so two queries share an entry iff they are
+//! bit-identical — never merely "close".
+
+use longsynth::Release;
+use longsynth_data::BitColumn;
+use longsynth_engine::ReleaseSink;
+use longsynth_pool::WorkerPool;
+use longsynth_queries::{Pattern, WindowQuery};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::store::{ReleaseStore, ServeError, StoreScope};
+
+/// What a consumer can ask of the serving layer, against one scope.
+#[derive(Debug, Clone)]
+pub struct ServeQuery {
+    /// Which stored panel to read.
+    pub scope: StoreScope,
+    /// The query itself.
+    pub kind: QueryKind,
+}
+
+/// The supported query families — exactly the workloads of
+/// `longsynth-queries`, addressed at a released round.
+#[derive(Debug, Clone)]
+pub enum QueryKind {
+    /// A linear window query evaluated at round `t` (0-based).
+    Window {
+        /// Round to evaluate at.
+        t: usize,
+        /// The window query (any width `<= t+1`).
+        query: WindowQuery,
+    },
+    /// Single-pattern indicator at round `t` — sugar for the corresponding
+    /// [`WindowQuery::pattern`], with a cheaper cache key.
+    Pattern {
+        /// Round to evaluate at.
+        t: usize,
+        /// The window pattern.
+        pattern: Pattern,
+    },
+    /// The paper's cumulative query `c_b^t`: fraction of records with
+    /// Hamming weight `>= b` after round `t`.
+    CumulativeFraction {
+        /// Round to evaluate at.
+        t: usize,
+        /// Weight threshold.
+        b: usize,
+    },
+}
+
+/// The standard mixed read battery over a store's released rounds: for
+/// every round `t < rounds` and every scope (merged plus each cohort),
+/// the cumulative thresholds `1..=min(max_b, t+1)` and — once the round
+/// supports the width — the paper's quarterly window battery at `window`.
+///
+/// This is the canonical serving workload; the CLI `serve` subcommand,
+/// the `serve_throughput` bench, and the serving example all drive it so
+/// their traffic stays comparable.
+pub fn mixed_battery(
+    rounds: usize,
+    cohorts: usize,
+    max_b: usize,
+    window: usize,
+) -> Vec<ServeQuery> {
+    let mut queries = Vec::new();
+    for t in 0..rounds {
+        for scope in std::iter::once(StoreScope::Merged).chain((0..cohorts).map(StoreScope::Cohort))
+        {
+            for b in 1..=max_b.min(t + 1) {
+                queries.push(ServeQuery {
+                    scope,
+                    kind: QueryKind::CumulativeFraction { t, b },
+                });
+            }
+            if t + 1 >= window {
+                for query in longsynth_queries::window::quarterly_battery(window) {
+                    queries.push(ServeQuery {
+                        scope,
+                        kind: QueryKind::Window { t, query },
+                    });
+                }
+            }
+        }
+    }
+    queries
+}
+
+/// The memoization key: scope + round + the query's exact identity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum KeyKind {
+    Window {
+        t: usize,
+        width: usize,
+        weight_bits: Vec<u64>,
+    },
+    Pattern {
+        t: usize,
+        code: u32,
+        width: usize,
+    },
+    Cumulative {
+        t: usize,
+        b: usize,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct QueryKey {
+    scope: StoreScope,
+    kind: KeyKind,
+}
+
+impl QueryKey {
+    fn of(query: &ServeQuery) -> Self {
+        let kind = match &query.kind {
+            QueryKind::Window { t, query } => KeyKind::Window {
+                t: *t,
+                width: query.width(),
+                weight_bits: query.weights().iter().map(|w| w.to_bits()).collect(),
+            },
+            QueryKind::Pattern { t, pattern } => KeyKind::Pattern {
+                t: *t,
+                code: pattern.code(),
+                width: pattern.width(),
+            },
+            QueryKind::CumulativeFraction { t, b } => KeyKind::Cumulative { t: *t, b: *b },
+        };
+        Self {
+            scope: query.scope,
+            kind,
+        }
+    }
+}
+
+struct ServiceInner {
+    store: RwLock<ReleaseStore>,
+    cache: Mutex<HashMap<QueryKey, f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// The cloneable, thread-safe serving front-end.
+///
+/// Clones share one store and one cache (`Arc` inside), so an engine can
+/// ingest through a sink handle while consumers answer queries through
+/// other clones — including concurrently from pool workers.
+///
+/// The memo cache is **unbounded**: every distinct `(query, round)` keeps
+/// its entry forever (entries are small — a key plus one `f64` — but a
+/// front-end serving adversarially varied window weights should bound its
+/// exposure by calling [`clear_cache`](Self::clear_cache) periodically;
+/// a size-capped/LRU policy is tracked as ROADMAP follow-up work).
+#[derive(Clone)]
+pub struct QueryService {
+    inner: Arc<ServiceInner>,
+}
+
+impl Default for QueryService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QueryService {
+    /// A service over an empty store.
+    pub fn new() -> Self {
+        Self::from_store(ReleaseStore::new())
+    }
+
+    /// A service over an existing store (e.g. restored from a snapshot).
+    pub fn from_store(store: ReleaseStore) -> Self {
+        Self {
+            inner: Arc::new(ServiceInner {
+                store: RwLock::new(store),
+                cache: Mutex::new(HashMap::new()),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Answer one query, consulting the memoizing cache first.
+    ///
+    /// Errors (round not yet released, unknown cohort, …) are **not**
+    /// cached: a continual release may make the same query answerable one
+    /// round later.
+    pub fn answer(&self, query: &ServeQuery) -> Result<f64, ServeError> {
+        let key = QueryKey::of(query);
+        if let Some(&value) = self
+            .inner
+            .cache
+            .lock()
+            .expect("cache lock never poisoned")
+            .get(&key)
+        {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(value);
+        }
+        let value = self
+            .inner
+            .store
+            .read()
+            .expect("store lock never poisoned")
+            .answer(query)?;
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .cache
+            .lock()
+            .expect("cache lock never poisoned")
+            .insert(key, value);
+        Ok(value)
+    }
+
+    /// Answer a batch of queries concurrently on `pool`, preserving order.
+    ///
+    /// Each job is a service clone answering one query, so batch traffic
+    /// shares the cache: duplicates inside one batch may race to compute
+    /// the same entry (both write the identical immutable value — benign),
+    /// and later batches hit outright.
+    pub fn answer_batch(
+        &self,
+        pool: &WorkerPool,
+        queries: Vec<ServeQuery>,
+    ) -> Vec<Result<f64, ServeError>> {
+        pool.run_batch(queries.into_iter().map(|query| {
+            let service = self.clone();
+            move || service.answer(&query)
+        }))
+    }
+
+    /// `(hits, misses)` since construction (restores start at zero).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.inner.hits.load(Ordering::Relaxed),
+            self.inner.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of memoized answers.
+    pub fn cache_len(&self) -> usize {
+        self.inner
+            .cache
+            .lock()
+            .expect("cache lock never poisoned")
+            .len()
+    }
+
+    /// Drop every memoized answer (the `serve_throughput` bench uses this
+    /// to measure cold serving on a warm store).
+    pub fn clear_cache(&self) {
+        self.inner
+            .cache
+            .lock()
+            .expect("cache lock never poisoned")
+            .clear();
+        self.inner.hits.store(0, Ordering::Relaxed);
+        self.inner.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Run `f` against the underlying store (read lock held for the call).
+    pub fn with_store<T>(&self, f: impl FnOnce(&ReleaseStore) -> T) -> T {
+        f(&self.inner.store.read().expect("store lock never poisoned"))
+    }
+
+    /// A sink for engines whose release type is a plain [`BitColumn`]
+    /// (the cumulative family): every completed round lands in the store.
+    ///
+    /// # Panics
+    /// The engine guarantees a stable shard count and record layout; if a
+    /// round nevertheless mismatches the store shape, the sink panics
+    /// rather than silently dropping released data.
+    pub fn column_sink(&self) -> Box<dyn ReleaseSink<BitColumn>> {
+        let service = self.clone();
+        Box::new(
+            move |_round: usize, per_shard: &[BitColumn], merged: &BitColumn| {
+                service
+                    .inner
+                    .store
+                    .write()
+                    .expect("store lock never poisoned")
+                    .ingest_columns(per_shard, merged)
+                    .expect("engine rounds always match the store shape");
+            },
+        )
+    }
+
+    /// A sink for fixed-window engines (release type [`Release`]).
+    ///
+    /// # Panics
+    /// As [`column_sink`](Self::column_sink).
+    pub fn release_sink(&self) -> Box<dyn ReleaseSink<Release>> {
+        let service = self.clone();
+        Box::new(
+            move |_round: usize, per_shard: &[Release], merged: &Release| {
+                service
+                    .inner
+                    .store
+                    .write()
+                    .expect("store lock never poisoned")
+                    .ingest_releases(per_shard, merged)
+                    .expect("engine rounds always match the store shape");
+            },
+        )
+    }
+}
+
+impl std::fmt::Debug for QueryService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let store = self.inner.store.read().expect("store lock never poisoned");
+        let (hits, misses) = self.cache_stats();
+        write!(
+            f,
+            "QueryService[rounds={}, cohorts={}, cached={}, hits={hits}, misses={misses}]",
+            store.rounds(),
+            store.cohorts(),
+            self.cache_len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_rounds(rounds: usize) -> ReleaseStore {
+        let mut store = ReleaseStore::new();
+        for round in 0..rounds {
+            let a = BitColumn::from_bools(&[round % 2 == 0, true]);
+            let b = BitColumn::from_bools(&[false, round % 3 == 0]);
+            let merged = BitColumn::concat([&a, &b]);
+            store.ingest_columns(&[a, b], &merged).unwrap();
+        }
+        store
+    }
+
+    fn cumulative(t: usize, b: usize) -> ServeQuery {
+        ServeQuery {
+            scope: StoreScope::Merged,
+            kind: QueryKind::CumulativeFraction { t, b },
+        }
+    }
+
+    #[test]
+    fn cache_hits_return_identical_answers() {
+        let service = QueryService::from_store(store_with_rounds(5));
+        let q = cumulative(4, 2);
+        let cold = service.answer(&q).unwrap();
+        let warm = service.answer(&q).unwrap();
+        assert_eq!(cold.to_bits(), warm.to_bits());
+        assert_eq!(service.cache_stats(), (1, 1));
+        assert_eq!(service.cache_len(), 1);
+        service.clear_cache();
+        assert_eq!(service.cache_stats(), (0, 0));
+        assert_eq!(service.cache_len(), 0);
+    }
+
+    #[test]
+    fn distinct_rounds_and_scopes_get_distinct_entries() {
+        let service = QueryService::from_store(store_with_rounds(4));
+        service.answer(&cumulative(1, 1)).unwrap();
+        service.answer(&cumulative(2, 1)).unwrap();
+        let mut cohort_query = cumulative(1, 1);
+        cohort_query.scope = StoreScope::Cohort(0);
+        service.answer(&cohort_query).unwrap();
+        assert_eq!(service.cache_len(), 3);
+        assert_eq!(service.cache_stats(), (0, 3));
+    }
+
+    #[test]
+    fn window_queries_key_by_exact_weights() {
+        let service = QueryService::from_store(store_with_rounds(4));
+        let ask = |query: WindowQuery| {
+            service
+                .answer(&ServeQuery {
+                    scope: StoreScope::Merged,
+                    kind: QueryKind::Window { t: 3, query },
+                })
+                .unwrap()
+        };
+        ask(WindowQuery::at_least_m_ones(2, 1));
+        ask(WindowQuery::at_least_m_ones(2, 1)); // same weights: hit
+        ask(WindowQuery::at_least_m_ones(2, 2)); // different weights: miss
+        assert_eq!(service.cache_stats(), (1, 2));
+    }
+
+    #[test]
+    fn errors_are_not_cached_so_later_rounds_can_answer() {
+        let service = QueryService::from_store(store_with_rounds(1));
+        let q = cumulative(1, 1);
+        assert!(service.answer(&q).is_err());
+        // A new round arrives (clone shares the store).
+        let sink_side = service.clone();
+        sink_side.with_store(|s| assert_eq!(s.rounds(), 1));
+        {
+            let a = BitColumn::from_bools(&[true, true]);
+            let b = BitColumn::from_bools(&[true, false]);
+            let merged = BitColumn::concat([&a, &b]);
+            sink_side
+                .inner
+                .store
+                .write()
+                .unwrap()
+                .ingest_columns(&[a, b], &merged)
+                .unwrap();
+        }
+        assert!(service.answer(&q).is_ok());
+    }
+
+    #[test]
+    fn batches_fan_out_and_preserve_order() {
+        let service = QueryService::from_store(store_with_rounds(6));
+        let pool = WorkerPool::new(4);
+        let queries: Vec<ServeQuery> = (0..6).map(|t| cumulative(t, 1)).collect();
+        let batch = service.answer_batch(&pool, queries.clone());
+        assert_eq!(batch.len(), 6);
+        let sequential: Vec<f64> = queries.iter().map(|q| service.answer(q).unwrap()).collect();
+        for (got, want) in batch.into_iter().zip(sequential) {
+            assert_eq!(got.unwrap().to_bits(), want.to_bits());
+        }
+        // The second (sequential) pass was pure hits.
+        let (hits, misses) = service.cache_stats();
+        assert_eq!(misses, 6);
+        assert_eq!(hits, 6);
+    }
+
+    #[test]
+    fn debug_summarizes_state() {
+        let service = QueryService::from_store(store_with_rounds(2));
+        let text = format!("{service:?}");
+        assert!(text.contains("rounds=2"), "{text}");
+    }
+}

@@ -1,0 +1,278 @@
+//! JSON snapshot/restore of a [`ReleaseStore`].
+//!
+//! A continual release runs for months; the serving process must not lose
+//! the archive on restart. [`snapshot_json`] renders the whole store —
+//! merged panel, every cohort panel, cohort count — as a self-describing
+//! JSON document, and [`restore_json`] rebuilds a store whose query
+//! answers are **bit-identical** (the property-based tests in
+//! `tests/prop_store.rs` pin this down over random release sequences).
+//!
+//! Bit columns travel as hex strings of their packed little-endian `u64`
+//! words (16 hex digits per word) rather than JSON numbers: lossless at
+//! any width, compact, and independent of JSON number precision.
+
+use longsynth_data::{BitColumn, LongitudinalDataset};
+use serde::Serialize;
+
+use crate::store::{GrowingPanel, ReleaseStore, ServeError};
+
+/// Format tag embedded in every snapshot; bump on layout changes.
+const FORMAT: &str = "longsynth-release-store/v1";
+
+#[derive(Serialize)]
+struct PanelDto {
+    records: u64,
+    columns: Vec<String>,
+}
+
+#[derive(Serialize)]
+struct SnapshotDto {
+    format: String,
+    merged: Option<PanelDto>,
+    cohorts: Vec<Option<PanelDto>>,
+}
+
+fn column_to_hex(column: &BitColumn) -> String {
+    let mut out = String::with_capacity(column.as_words().len() * 16);
+    for word in column.as_words() {
+        out.push_str(&format!("{word:016x}"));
+    }
+    out
+}
+
+fn column_from_hex(hex: &str, records: usize) -> Result<BitColumn, ServeError> {
+    let expected_words = records.div_ceil(64);
+    if hex.len() != expected_words * 16 {
+        return Err(ServeError::Snapshot(format!(
+            "column hex has {} digits, expected {} for {records} records",
+            hex.len(),
+            expected_words * 16
+        )));
+    }
+    let mut words = Vec::with_capacity(expected_words);
+    for chunk in 0..expected_words {
+        let digits = &hex[chunk * 16..(chunk + 1) * 16];
+        let word = u64::from_str_radix(digits, 16)
+            .map_err(|_| ServeError::Snapshot(format!("invalid hex word {digits:?}")))?;
+        words.push(word);
+    }
+    Ok(BitColumn::from_words(words, records))
+}
+
+fn panel_to_dto(panel: &GrowingPanel) -> Option<PanelDto> {
+    panel.panel().map(|dataset| PanelDto {
+        records: dataset.individuals() as u64,
+        columns: (0..dataset.rounds())
+            .map(|t| column_to_hex(dataset.column(t)))
+            .collect(),
+    })
+}
+
+fn panel_from_value(value: &serde_json::Value) -> Result<GrowingPanel, ServeError> {
+    if *value == serde_json::Value::Null {
+        return Ok(GrowingPanel::default());
+    }
+    let records = value
+        .get("records")
+        .and_then(serde_json::Value::as_usize)
+        .ok_or_else(|| ServeError::Snapshot("panel missing `records`".to_string()))?;
+    let columns = value
+        .get("columns")
+        .and_then(serde_json::Value::as_array)
+        .ok_or_else(|| ServeError::Snapshot("panel missing `columns`".to_string()))?;
+    if columns.is_empty() {
+        return Err(ServeError::Snapshot(
+            "stored panels always hold at least one column".to_string(),
+        ));
+    }
+    let columns: Vec<BitColumn> = columns
+        .iter()
+        .map(|col| {
+            col.as_str()
+                .ok_or_else(|| ServeError::Snapshot("column is not a hex string".to_string()))
+                .and_then(|hex| column_from_hex(hex, records))
+        })
+        .collect::<Result<_, _>>()?;
+    let dataset = LongitudinalDataset::from_columns(columns)
+        .map_err(|e| ServeError::Snapshot(format!("inconsistent panel: {e}")))?;
+    Ok(GrowingPanel::from_dataset(Some(dataset)))
+}
+
+/// Render the store as a JSON snapshot.
+pub fn snapshot_json(store: &ReleaseStore) -> String {
+    let (merged, cohorts) = store.parts();
+    let dto = SnapshotDto {
+        format: FORMAT.to_string(),
+        merged: panel_to_dto(merged),
+        cohorts: cohorts.iter().map(panel_to_dto).collect(),
+    };
+    serde_json::to_string_pretty(&dto).expect("vendored JSON writer is infallible")
+}
+
+/// Rebuild a store from a snapshot produced by [`snapshot_json`].
+pub fn restore_json(json: &str) -> Result<ReleaseStore, ServeError> {
+    let value = serde_json::from_str(json).map_err(|e| ServeError::Snapshot(e.to_string()))?;
+    let format = value
+        .get("format")
+        .and_then(serde_json::Value::as_str)
+        .ok_or_else(|| ServeError::Snapshot("missing `format` tag".to_string()))?;
+    if format != FORMAT {
+        return Err(ServeError::Snapshot(format!(
+            "unsupported snapshot format {format:?} (expected {FORMAT:?})"
+        )));
+    }
+    let merged = panel_from_value(
+        value
+            .get("merged")
+            .ok_or_else(|| ServeError::Snapshot("missing `merged`".to_string()))?,
+    )?;
+    let cohorts: Vec<GrowingPanel> = value
+        .get("cohorts")
+        .and_then(serde_json::Value::as_array)
+        .ok_or_else(|| ServeError::Snapshot("missing `cohorts`".to_string()))?
+        .iter()
+        .map(panel_from_value)
+        .collect::<Result<_, _>>()?;
+    // Lockstep invariant: every non-empty cohort panel has exactly the
+    // merged panel's round count, and cohort records sum to merged records.
+    let rounds = merged.rounds();
+    for (index, cohort) in cohorts.iter().enumerate() {
+        if cohort.panel().is_some() && cohort.rounds() != rounds {
+            return Err(ServeError::Snapshot(format!(
+                "cohort {index} has {} rounds, merged has {rounds}",
+                cohort.rounds()
+            )));
+        }
+    }
+    if let Some(records) = merged.records() {
+        let cohort_records: usize = cohorts.iter().filter_map(GrowingPanel::records).sum();
+        if cohort_records != records {
+            return Err(ServeError::Snapshot(format!(
+                "cohort records sum to {cohort_records}, merged has {records}"
+            )));
+        }
+    }
+    Ok(ReleaseStore::from_parts(merged, cohorts))
+}
+
+impl ReleaseStore {
+    /// Render this store as a JSON snapshot (see [`snapshot_json`]).
+    pub fn to_snapshot_json(&self) -> String {
+        snapshot_json(self)
+    }
+
+    /// Rebuild a store from a snapshot (see [`restore_json`]).
+    pub fn from_snapshot_json(json: &str) -> Result<Self, ServeError> {
+        restore_json(json)
+    }
+}
+
+impl crate::QueryService {
+    /// Snapshot the underlying store as JSON (read lock held briefly; the
+    /// cache is derived data and deliberately not serialized).
+    pub fn snapshot_json(&self) -> String {
+        self.with_store(snapshot_json)
+    }
+
+    /// A fresh service over a store restored from `json` (empty cache —
+    /// answers refill it and are bit-identical by construction).
+    pub fn restore_json(json: &str) -> Result<Self, ServeError> {
+        Ok(Self::from_store(restore_json(json)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ReleaseStore {
+        let mut store = ReleaseStore::new();
+        for round in 0..5 {
+            let a =
+                BitColumn::from_bools(&(0..67).map(|i| (i + round) % 3 == 0).collect::<Vec<_>>());
+            let b =
+                BitColumn::from_bools(&(0..41).map(|i| (i * round) % 5 == 1).collect::<Vec<_>>());
+            let merged = BitColumn::concat([&a, &b]);
+            store.ingest_columns(&[a, b], &merged).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn snapshot_roundtrips_exactly() {
+        let store = sample_store();
+        let json = store.to_snapshot_json();
+        assert!(json.contains(FORMAT));
+        let restored = ReleaseStore::from_snapshot_json(&json).unwrap();
+        assert_eq!(restored, store);
+        // Snapshot of the restore is byte-identical (canonical form).
+        assert_eq!(restored.to_snapshot_json(), json);
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let store = ReleaseStore::new();
+        let restored = ReleaseStore::from_snapshot_json(&store.to_snapshot_json()).unwrap();
+        assert_eq!(restored, store);
+        assert_eq!(restored.rounds(), 0);
+    }
+
+    #[test]
+    fn hex_encoding_is_lossless_at_odd_widths() {
+        for len in [1usize, 63, 64, 65, 127, 130] {
+            let col = BitColumn::from_bools(&(0..len).map(|i| i % 7 == 0).collect::<Vec<_>>());
+            let back = column_from_hex(&column_to_hex(&col), len).unwrap();
+            assert_eq!(back, col, "len {len}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_corruption() {
+        let store = sample_store();
+        let json = store.to_snapshot_json();
+        // Unknown format tag.
+        let bad = json.replace(FORMAT, "longsynth-release-store/v999");
+        assert!(matches!(
+            ReleaseStore::from_snapshot_json(&bad),
+            Err(ServeError::Snapshot(_))
+        ));
+        // Truncated document.
+        assert!(ReleaseStore::from_snapshot_json(&json[..json.len() / 2]).is_err());
+        // Non-hex column data.
+        let bad = json.replacen("00", "zz", 1);
+        assert!(ReleaseStore::from_snapshot_json(&bad).is_err());
+        // Not JSON at all.
+        assert!(ReleaseStore::from_snapshot_json("hello").is_err());
+    }
+
+    #[test]
+    fn restore_validates_lockstep_invariants() {
+        // Handcraft a snapshot whose cohort record counts cannot sum to the
+        // merged count.
+        let json = format!(
+            r#"{{
+  "format": "{FORMAT}",
+  "merged": {{ "records": 3, "columns": ["0000000000000007"] }},
+  "cohorts": [ {{ "records": 1, "columns": ["0000000000000001"] }} ]
+}}"#
+        );
+        let err = ReleaseStore::from_snapshot_json(&json).unwrap_err();
+        assert!(err.to_string().contains("sum"), "{err}");
+    }
+
+    #[test]
+    fn service_snapshot_restores_with_identical_answers() {
+        use crate::{QueryKind, QueryService, ServeQuery, StoreScope};
+        let service = QueryService::from_store(sample_store());
+        let query = ServeQuery {
+            scope: StoreScope::Cohort(1),
+            kind: QueryKind::CumulativeFraction { t: 4, b: 2 },
+        };
+        let before = service.answer(&query).unwrap();
+        let restored = QueryService::restore_json(&service.snapshot_json()).unwrap();
+        let after = restored.answer(&query).unwrap();
+        assert_eq!(before.to_bits(), after.to_bits());
+        // Restored cache starts cold.
+        assert_eq!(restored.cache_stats(), (0, 1));
+    }
+}

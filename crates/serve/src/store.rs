@@ -1,0 +1,613 @@
+//! [`ReleaseStore`]: the append-only archive of everything the engine has
+//! released.
+//!
+//! The store keeps one growing synthetic panel per scope: the merged
+//! population-level release, plus one panel per cohort (shard). Panels grow
+//! strictly by appending columns — released prefixes are never rewritten,
+//! mirroring the persistent-record guarantee of the synthesizers themselves.
+//! That immutability is what makes the serving cache sound and the snapshot
+//! format trivial.
+//!
+//! Ingestion accepts the two release shapes the engine produces:
+//! [`BitColumn`] rounds (cumulative family) via
+//! [`ingest_columns`](ReleaseStore::ingest_columns), and fixed-window
+//! [`Release`] rounds via
+//! [`ingest_releases`](ReleaseStore::ingest_releases) (`Buffered` stores
+//! nothing, `Initial` stores its k seed columns, `Update` stores one).
+//!
+//! Note on semantics: the store serves the *released synthetic data*, so a
+//! fixed-window panel contains the n\* padded records the synthesizer
+//! published; estimates computed from it are the plain synthetic-data
+//! estimator (the debiased estimator needs the synthesizer's private
+//! bookkeeping and is not a function of the release alone).
+
+use longsynth::Release;
+use longsynth_data::{BitColumn, LongitudinalDataset};
+use longsynth_queries::cumulative::cumulative_fraction;
+use longsynth_queries::WindowQuery;
+use std::fmt;
+
+use crate::query::{QueryKind, ServeQuery};
+
+/// Which stored panel a query targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreScope {
+    /// The merged population-level release.
+    Merged,
+    /// One cohort's (shard's) release, by shard index.
+    Cohort(usize),
+}
+
+impl fmt::Display for StoreScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreScope::Merged => write!(f, "merged"),
+            StoreScope::Cohort(c) => write!(f, "cohort {c}"),
+        }
+    }
+}
+
+/// Errors from the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The queried scope has no released rounds at all yet.
+    NothingReleased(StoreScope),
+    /// The queried round has not been released yet in that scope.
+    RoundNotReleased {
+        /// The scope queried.
+        scope: StoreScope,
+        /// The 0-based round asked for.
+        round: usize,
+        /// Rounds currently available (`0..available`).
+        available: usize,
+    },
+    /// The cohort index is out of range.
+    UnknownCohort {
+        /// The cohort asked for.
+        cohort: usize,
+        /// Number of cohorts the store holds.
+        cohorts: usize,
+    },
+    /// A window query of width `k` was asked at a round `t` with `t+1 < k`.
+    WindowUnderflow {
+        /// The 0-based round asked for.
+        round: usize,
+        /// The query's window width.
+        width: usize,
+    },
+    /// An ingested round disagreed with the store's shape.
+    IngestMismatch(String),
+    /// A snapshot could not be parsed or failed validation.
+    Snapshot(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::NothingReleased(scope) => {
+                write!(f, "no rounds released yet in scope {scope}")
+            }
+            ServeError::RoundNotReleased {
+                scope,
+                round,
+                available,
+            } => write!(
+                f,
+                "round {round} not yet released in scope {scope} ({available} rounds available)"
+            ),
+            ServeError::UnknownCohort { cohort, cohorts } => {
+                write!(f, "cohort {cohort} does not exist (store has {cohorts})")
+            }
+            ServeError::WindowUnderflow { round, width } => write!(
+                f,
+                "width-{width} window query underflows at round {round} (needs t+1 >= k)"
+            ),
+            ServeError::IngestMismatch(msg) => write!(f, "ingest mismatch: {msg}"),
+            ServeError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A synthetic panel that grows by appending released columns. The record
+/// count is pinned by the first column and every later append must match.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct GrowingPanel {
+    panel: Option<LongitudinalDataset>,
+}
+
+impl GrowingPanel {
+    pub(crate) fn push(&mut self, column: &BitColumn) -> Result<(), ServeError> {
+        match &mut self.panel {
+            None => {
+                let mut panel = LongitudinalDataset::empty(column.len());
+                panel
+                    .push_column(column.clone())
+                    .expect("first column always matches");
+                self.panel = Some(panel);
+                Ok(())
+            }
+            Some(panel) => panel.push_column(column.clone()).map_err(|e| {
+                ServeError::IngestMismatch(format!("released column has wrong record count: {e}"))
+            }),
+        }
+    }
+
+    pub(crate) fn rounds(&self) -> usize {
+        self.panel.as_ref().map_or(0, LongitudinalDataset::rounds)
+    }
+
+    pub(crate) fn records(&self) -> Option<usize> {
+        self.panel.as_ref().map(LongitudinalDataset::individuals)
+    }
+
+    pub(crate) fn panel(&self) -> Option<&LongitudinalDataset> {
+        self.panel.as_ref()
+    }
+
+    pub(crate) fn from_dataset(panel: Option<LongitudinalDataset>) -> Self {
+        Self { panel }
+    }
+}
+
+/// The append-only store of merged and per-cohort releases.
+///
+/// See the module docs for semantics. Equality compares full contents,
+/// which the snapshot/restore tests use to pin bit-identity.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReleaseStore {
+    merged: GrowingPanel,
+    cohorts: Vec<GrowingPanel>,
+}
+
+impl ReleaseStore {
+    /// An empty store; the first ingested round fixes the cohort count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one cumulative-family round: per-cohort released columns (in
+    /// shard order) plus the merged population-level column.
+    ///
+    /// Ingestion is atomic: every column of the round is validated against
+    /// the store's shape *before* anything is appended, so a rejected round
+    /// leaves the store exactly as it was (merged and cohort panels can
+    /// never drift out of lockstep).
+    pub fn ingest_columns(
+        &mut self,
+        per_cohort: &[BitColumn],
+        merged: &BitColumn,
+    ) -> Result<(), ServeError> {
+        let parts: Vec<&BitColumn> = per_cohort.iter().collect();
+        self.ingest_validated_rounds(per_cohort.len(), &[(&parts, merged)])
+    }
+
+    /// Ingest one fixed-window round: per-cohort [`Release`]s (in shard
+    /// order) plus the merged release. All shards run in lockstep, so the
+    /// variants agree; `Buffered` rounds store nothing. Atomic, like
+    /// [`ingest_columns`](Self::ingest_columns) — a multi-column `Initial`
+    /// release lands entirely or not at all.
+    pub fn ingest_releases(
+        &mut self,
+        per_cohort: &[Release],
+        merged: &Release,
+    ) -> Result<(), ServeError> {
+        match merged {
+            Release::Buffered => {
+                if per_cohort
+                    .iter()
+                    .any(|release| !matches!(release, Release::Buffered))
+                {
+                    return Err(ServeError::IngestMismatch(
+                        "cohort/merged release variants disagree".to_string(),
+                    ));
+                }
+                self.ingest_validated_rounds(per_cohort.len(), &[])
+            }
+            Release::Initial(columns) => {
+                let mut rounds = Vec::with_capacity(columns.len());
+                for (round_offset, column) in columns.iter().enumerate() {
+                    let parts: Vec<&BitColumn> = per_cohort
+                        .iter()
+                        .map(|release| match release {
+                            Release::Initial(cols) => cols.get(round_offset).ok_or_else(|| {
+                                ServeError::IngestMismatch(
+                                    "cohort initial release narrower than merged".to_string(),
+                                )
+                            }),
+                            _ => Err(ServeError::IngestMismatch(
+                                "cohort/merged release variants disagree".to_string(),
+                            )),
+                        })
+                        .collect::<Result<_, _>>()?;
+                    rounds.push((parts, column));
+                }
+                let rounds: Vec<(&[&BitColumn], &BitColumn)> = rounds
+                    .iter()
+                    .map(|(parts, column)| (parts.as_slice(), *column))
+                    .collect();
+                self.ingest_validated_rounds(per_cohort.len(), &rounds)
+            }
+            Release::Update(column) => {
+                let parts: Vec<&BitColumn> = per_cohort
+                    .iter()
+                    .map(|release| match release {
+                        Release::Update(col) => Ok(col),
+                        _ => Err(ServeError::IngestMismatch(
+                            "cohort/merged release variants disagree".to_string(),
+                        )),
+                    })
+                    .collect::<Result<_, _>>()?;
+                self.ingest_validated_rounds(per_cohort.len(), &[(&parts, column)])
+            }
+        }
+    }
+
+    /// The single mutation path: check the cohort count, validate every
+    /// column of every round against the store's shape, and only then
+    /// append — so any error leaves the store untouched.
+    fn ingest_validated_rounds(
+        &mut self,
+        incoming_cohorts: usize,
+        rounds: &[(&[&BitColumn], &BitColumn)],
+    ) -> Result<(), ServeError> {
+        let fresh = self.cohorts.is_empty() && self.merged.rounds() == 0;
+        if !fresh && self.cohorts.len() != incoming_cohorts {
+            return Err(ServeError::IngestMismatch(format!(
+                "round carries {incoming_cohorts} cohort releases, store tracks {}",
+                self.cohorts.len()
+            )));
+        }
+        // Validation pass — no mutation yet. Expected record counts come
+        // from the store if it has them, else from the first round of this
+        // very batch (a multi-column Initial release must self-agree).
+        let mut expected_merged = self.merged.records();
+        let mut expected_cohorts: Vec<Option<usize>> = if fresh {
+            vec![None; incoming_cohorts]
+        } else {
+            self.cohorts.iter().map(GrowingPanel::records).collect()
+        };
+        for (parts, merged) in rounds {
+            let total: usize = parts.iter().map(|c| c.len()).sum();
+            if total != merged.len() {
+                return Err(ServeError::IngestMismatch(format!(
+                    "cohort columns cover {total} records, merged column {}",
+                    merged.len()
+                )));
+            }
+            match expected_merged {
+                Some(records) if records != merged.len() => {
+                    return Err(ServeError::IngestMismatch(format!(
+                        "merged column has {} records, store holds {records}",
+                        merged.len()
+                    )));
+                }
+                _ => expected_merged = Some(merged.len()),
+            }
+            for (cohort, (expected, column)) in
+                expected_cohorts.iter_mut().zip(parts.iter()).enumerate()
+            {
+                match *expected {
+                    Some(records) if records != column.len() => {
+                        return Err(ServeError::IngestMismatch(format!(
+                            "cohort {cohort} column has {} records, panel holds {records}",
+                            column.len()
+                        )));
+                    }
+                    _ => *expected = Some(column.len()),
+                }
+            }
+        }
+        // Commit pass — every push is now guaranteed to succeed.
+        if fresh {
+            self.cohorts = vec![GrowingPanel::default(); incoming_cohorts];
+        }
+        for (parts, merged) in rounds {
+            self.merged
+                .push(merged)
+                .expect("validated against store shape");
+            for (panel, column) in self.cohorts.iter_mut().zip(parts.iter()) {
+                panel.push(column).expect("validated against store shape");
+            }
+        }
+        Ok(())
+    }
+
+    /// Released rounds in the merged panel (cohort panels always agree —
+    /// lockstep ingestion).
+    pub fn rounds(&self) -> usize {
+        self.merged.rounds()
+    }
+
+    /// Number of cohorts tracked (0 until the first round arrives).
+    pub fn cohorts(&self) -> usize {
+        self.cohorts.len()
+    }
+
+    /// Records in the merged release (`None` until the first round).
+    pub fn records(&self) -> Option<usize> {
+        self.merged.records()
+    }
+
+    /// Borrow the stored panel for `scope`, if any rounds exist there.
+    pub fn panel(&self, scope: StoreScope) -> Result<&LongitudinalDataset, ServeError> {
+        let growing = match scope {
+            StoreScope::Merged => &self.merged,
+            StoreScope::Cohort(c) => self.cohorts.get(c).ok_or(ServeError::UnknownCohort {
+                cohort: c,
+                cohorts: self.cohorts.len(),
+            })?,
+        };
+        growing.panel().ok_or(ServeError::NothingReleased(scope))
+    }
+
+    /// Answer one query directly from stored releases — no synthesis, no
+    /// caching (the [`QueryService`](crate::QueryService) layers the cache
+    /// on top of this).
+    pub fn answer(&self, query: &ServeQuery) -> Result<f64, ServeError> {
+        let panel = self.panel(query.scope)?;
+        let check_round = |t: usize| {
+            if t >= panel.rounds() {
+                Err(ServeError::RoundNotReleased {
+                    scope: query.scope,
+                    round: t,
+                    available: panel.rounds(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        match &query.kind {
+            QueryKind::Window { t, query: window } => {
+                check_round(*t)?;
+                if *t + 1 < window.width() {
+                    return Err(ServeError::WindowUnderflow {
+                        round: *t,
+                        width: window.width(),
+                    });
+                }
+                Ok(window.evaluate_true(panel, *t))
+            }
+            QueryKind::Pattern { t, pattern } => {
+                check_round(*t)?;
+                if *t + 1 < pattern.width() {
+                    return Err(ServeError::WindowUnderflow {
+                        round: *t,
+                        width: pattern.width(),
+                    });
+                }
+                Ok(WindowQuery::pattern(*pattern).evaluate_true(panel, *t))
+            }
+            QueryKind::CumulativeFraction { t, b } => {
+                check_round(*t)?;
+                Ok(cumulative_fraction(panel, *t, *b))
+            }
+        }
+    }
+
+    pub(crate) fn from_parts(merged: GrowingPanel, cohorts: Vec<GrowingPanel>) -> Self {
+        Self { merged, cohorts }
+    }
+
+    pub(crate) fn parts(&self) -> (&GrowingPanel, &[GrowingPanel]) {
+        (&self.merged, &self.cohorts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longsynth_queries::Pattern;
+
+    fn col(bits: &[bool]) -> BitColumn {
+        BitColumn::from_bools(bits)
+    }
+
+    fn two_cohort_round(a: &[bool], b: &[bool]) -> (Vec<BitColumn>, BitColumn) {
+        let merged: Vec<bool> = a.iter().chain(b).copied().collect();
+        (vec![col(a), col(b)], col(&merged))
+    }
+
+    #[test]
+    fn ingest_columns_grows_all_scopes_in_lockstep() {
+        let mut store = ReleaseStore::new();
+        let (parts, merged) = two_cohort_round(&[true, false], &[false, true, true]);
+        store.ingest_columns(&parts, &merged).unwrap();
+        let (parts, merged) = two_cohort_round(&[false, false], &[true, true, false]);
+        store.ingest_columns(&parts, &merged).unwrap();
+
+        assert_eq!(store.rounds(), 2);
+        assert_eq!(store.cohorts(), 2);
+        assert_eq!(store.records(), Some(5));
+        assert_eq!(store.panel(StoreScope::Merged).unwrap().rounds(), 2);
+        assert_eq!(store.panel(StoreScope::Cohort(1)).unwrap().individuals(), 3);
+    }
+
+    #[test]
+    fn ingest_rejects_shape_changes() {
+        let mut store = ReleaseStore::new();
+        let (parts, merged) = two_cohort_round(&[true], &[false]);
+        store.ingest_columns(&parts, &merged).unwrap();
+        // Wrong cohort count.
+        assert!(matches!(
+            store.ingest_columns(&[col(&[true])], &col(&[true])),
+            Err(ServeError::IngestMismatch(_))
+        ));
+        // Wrong record count.
+        let (parts, _) = two_cohort_round(&[true], &[false]);
+        assert!(matches!(
+            store.ingest_columns(&parts, &col(&[true, false, true])),
+            Err(ServeError::IngestMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn rejected_rounds_leave_the_store_untouched() {
+        let mut store = ReleaseStore::new();
+        let (parts, merged) = two_cohort_round(&[true, false], &[false, true]);
+        store.ingest_columns(&parts, &merged).unwrap();
+        let before = store.clone();
+
+        // Merged column consistent with the store, but cohort 1's column
+        // has the wrong record count: the round must be rejected *whole*
+        // (previously the merged panel kept the push, silently breaking
+        // lockstep and making every later snapshot unrestorable).
+        let bad_parts = vec![col(&[true, false]), col(&[true, false, false])];
+        let bad_merged = col(&[true, false, true, false]);
+        assert!(matches!(
+            store.ingest_columns(&bad_parts, &bad_merged),
+            Err(ServeError::IngestMismatch(_))
+        ));
+        assert_eq!(store, before, "failed ingest must not mutate the store");
+        // The store still works and still snapshots/restores.
+        let (parts, merged) = two_cohort_round(&[false, false], &[true, true]);
+        store.ingest_columns(&parts, &merged).unwrap();
+        assert_eq!(store.rounds(), 2);
+        let restored = ReleaseStore::from_snapshot_json(&store.to_snapshot_json()).unwrap();
+        assert_eq!(restored, store);
+
+        // Same atomicity for a multi-column Initial release: one bad
+        // column in round 2-of-2 rejects both columns.
+        let mut store = ReleaseStore::new();
+        let good = Release::Initial(vec![col(&[true]), col(&[false])]);
+        let ragged = Release::Initial(vec![col(&[true]), col(&[false, true])]);
+        let merged = Release::Initial(vec![col(&[true, true]), col(&[false, false])]);
+        let before = store.clone();
+        assert!(store.ingest_releases(&[good, ragged], &merged).is_err());
+        assert_eq!(store, before);
+    }
+
+    #[test]
+    fn window_releases_expand_variants() {
+        let mut store = ReleaseStore::new();
+        // Buffered round: nothing stored.
+        store
+            .ingest_releases(&[Release::Buffered, Release::Buffered], &Release::Buffered)
+            .unwrap();
+        assert_eq!(store.rounds(), 0);
+        // Initial round: both seed columns land.
+        let merged = Release::Initial(vec![col(&[true, false, true]), col(&[false, false, true])]);
+        let parts = vec![
+            Release::Initial(vec![col(&[true, false]), col(&[false, false])]),
+            Release::Initial(vec![col(&[true]), col(&[true])]),
+        ];
+        store.ingest_releases(&parts, &merged).unwrap();
+        assert_eq!(store.rounds(), 2);
+        // Update round.
+        let merged = Release::Update(col(&[true, true, false]));
+        let parts = vec![
+            Release::Update(col(&[true, true])),
+            Release::Update(col(&[false])),
+        ];
+        store.ingest_releases(&parts, &merged).unwrap();
+        assert_eq!(store.rounds(), 3);
+        assert_eq!(store.panel(StoreScope::Cohort(0)).unwrap().rounds(), 3);
+        // Mismatched variants error.
+        assert!(store
+            .ingest_releases(
+                &[Release::Buffered, Release::Buffered],
+                &Release::Update(col(&[true, true, false]))
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn answers_cover_all_query_kinds_and_scopes() {
+        let mut store = ReleaseStore::new();
+        for round in 0..4 {
+            let (parts, merged) =
+                two_cohort_round(&[round % 2 == 0, true], &[false, round >= 1, true]);
+            store.ingest_columns(&parts, &merged).unwrap();
+        }
+        let ask = |scope, kind| store.answer(&ServeQuery { scope, kind }).unwrap();
+        // Cumulative: every record of cohort 0 has weight >= 1 by t=1.
+        assert_eq!(
+            ask(
+                StoreScope::Cohort(0),
+                QueryKind::CumulativeFraction { t: 1, b: 1 }
+            ),
+            1.0
+        );
+        // Window query on the merged panel.
+        let battery = WindowQuery::at_least_m_ones(2, 1);
+        let v = ask(
+            StoreScope::Merged,
+            QueryKind::Window {
+                t: 3,
+                query: battery,
+            },
+        );
+        assert!((0.0..=1.0).contains(&v));
+        // Pattern indicator.
+        let v = ask(
+            StoreScope::Merged,
+            QueryKind::Pattern {
+                t: 2,
+                pattern: Pattern::parse("11"),
+            },
+        );
+        assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn answer_errors_are_descriptive() {
+        let store = ReleaseStore::new();
+        let q = ServeQuery {
+            scope: StoreScope::Merged,
+            kind: QueryKind::CumulativeFraction { t: 0, b: 1 },
+        };
+        assert!(matches!(
+            store.answer(&q),
+            Err(ServeError::NothingReleased(StoreScope::Merged))
+        ));
+
+        let mut store = ReleaseStore::new();
+        let (parts, merged) = two_cohort_round(&[true], &[false]);
+        store.ingest_columns(&parts, &merged).unwrap();
+        // Round too far ahead.
+        let q = ServeQuery {
+            scope: StoreScope::Merged,
+            kind: QueryKind::CumulativeFraction { t: 5, b: 1 },
+        };
+        assert!(matches!(
+            store.answer(&q),
+            Err(ServeError::RoundNotReleased {
+                round: 5,
+                available: 1,
+                ..
+            })
+        ));
+        // Unknown cohort.
+        let q = ServeQuery {
+            scope: StoreScope::Cohort(7),
+            kind: QueryKind::CumulativeFraction { t: 0, b: 1 },
+        };
+        assert!(matches!(
+            store.answer(&q),
+            Err(ServeError::UnknownCohort {
+                cohort: 7,
+                cohorts: 2
+            })
+        ));
+        // Window underflow.
+        let q = ServeQuery {
+            scope: StoreScope::Merged,
+            kind: QueryKind::Window {
+                t: 0,
+                query: WindowQuery::all_ones(3),
+            },
+        };
+        assert!(matches!(
+            store.answer(&q),
+            Err(ServeError::WindowUnderflow { round: 0, width: 3 })
+        ));
+        // Display impls mention the key facts.
+        let msg = ServeError::UnknownCohort {
+            cohort: 7,
+            cohorts: 2,
+        }
+        .to_string();
+        assert!(msg.contains('7') && msg.contains('2'));
+    }
+}

@@ -1,0 +1,179 @@
+//! End-to-end serving: a live sharded engine run feeding the store through
+//! the release sink, queried during and after the run — the full
+//! deployment shape of the serving subsystem.
+
+use longsynth::{
+    CumulativeConfig, CumulativeSynthesizer, FixedWindowConfig, FixedWindowSynthesizer,
+};
+use longsynth_data::generators::iid_bernoulli;
+use longsynth_dp::budget::Rho;
+use longsynth_dp::rng::{rng_from_seed, RngFork};
+use longsynth_engine::{ShardPlan, ShardedEngine};
+use longsynth_pool::WorkerPool;
+use longsynth_serve::{QueryKind, QueryService, ServeQuery, StoreScope};
+use std::sync::Arc;
+
+#[test]
+fn cumulative_engine_feeds_store_and_queries_serve_during_run() {
+    let n = 240;
+    let horizon = 6;
+    let panel = iid_bernoulli(&mut rng_from_seed(11), n, horizon, 0.25);
+    let fork = RngFork::new(5);
+    let mut engine = ShardedEngine::new(ShardPlan::new(n, 3).unwrap(), |s, _| {
+        let config = CumulativeConfig::new(horizon, Rho::new(0.4).unwrap()).unwrap();
+        CumulativeSynthesizer::new(
+            config,
+            fork.subfork(s as u64),
+            rng_from_seed(100 + s as u64),
+        )
+    })
+    .unwrap();
+
+    let service = QueryService::new();
+    engine.set_sink(service.column_sink());
+
+    for (t, column) in panel.stream() {
+        let merged = engine.step(column).unwrap();
+        assert_eq!(merged.len(), n);
+        // The round is queryable the moment step returns.
+        service.with_store(|store| assert_eq!(store.rounds(), t + 1));
+        let fresh = service
+            .answer(&ServeQuery {
+                scope: StoreScope::Merged,
+                kind: QueryKind::CumulativeFraction { t, b: 1 },
+            })
+            .unwrap();
+        assert!((0.0..=1.0).contains(&fresh));
+    }
+
+    // Stored merged rounds equal the releases the caller saw; per-cohort
+    // panels partition the records.
+    service.with_store(|store| {
+        assert_eq!(store.rounds(), horizon);
+        assert_eq!(store.cohorts(), 3);
+        assert_eq!(store.records(), Some(n));
+        let sizes: usize = (0..3)
+            .map(|c| store.panel(StoreScope::Cohort(c)).unwrap().individuals())
+            .sum();
+        assert_eq!(sizes, n);
+    });
+}
+
+#[test]
+fn fixed_window_engine_feeds_store_through_release_variants() {
+    let n = 180;
+    let horizon = 7;
+    let window = 3;
+    let panel = iid_bernoulli(&mut rng_from_seed(21), n, horizon, 0.3);
+    let fork = RngFork::new(8);
+    let config = FixedWindowConfig::new(horizon, window, Rho::new(0.1).unwrap()).unwrap();
+    let mut engine = ShardedEngine::new(ShardPlan::new(n, 2).unwrap(), |s, _| {
+        FixedWindowSynthesizer::new(config, fork.child(s as u64))
+    })
+    .unwrap();
+
+    let service = QueryService::new();
+    engine.set_sink(service.release_sink());
+
+    for (_, column) in panel.stream() {
+        engine.step(column).unwrap();
+    }
+
+    // Buffered rounds stored nothing; Initial seeded `window` columns at
+    // once; each later Update appended one — horizon columns in total.
+    service.with_store(|store| {
+        assert_eq!(store.rounds(), horizon);
+        // Fixed-window releases carry n* >= n padded records.
+        assert!(store.records().unwrap() >= n);
+    });
+
+    // Window queries answer from the stored release at full width.
+    let value = service
+        .answer(&ServeQuery {
+            scope: StoreScope::Merged,
+            kind: QueryKind::Window {
+                t: horizon - 1,
+                query: longsynth_queries::WindowQuery::at_least_m_ones(window, 1),
+            },
+        })
+        .unwrap();
+    assert!((0.0..=1.0).contains(&value));
+}
+
+#[test]
+fn one_pool_serves_engine_and_query_traffic() {
+    let n = 300;
+    let horizon = 5;
+    let pool = Arc::new(WorkerPool::new(2));
+    let panel = iid_bernoulli(&mut rng_from_seed(31), n, horizon, 0.2);
+    let fork = RngFork::new(3);
+    let mut engine = ShardedEngine::with_pool(
+        ShardPlan::new(n, 4).unwrap(),
+        |s, _| {
+            let config = CumulativeConfig::new(horizon, Rho::new(0.4).unwrap()).unwrap();
+            CumulativeSynthesizer::new(config, fork.subfork(s as u64), rng_from_seed(s as u64))
+        },
+        Arc::clone(&pool),
+    )
+    .unwrap();
+    let service = QueryService::new();
+    engine.set_sink(service.column_sink());
+
+    for (t, column) in panel.stream() {
+        engine.step(column).unwrap();
+        // Interleave serving batches on the same pool the engine steps on.
+        let queries: Vec<ServeQuery> = (0..=t)
+            .map(|round| ServeQuery {
+                scope: StoreScope::Merged,
+                kind: QueryKind::CumulativeFraction { t: round, b: 1 },
+            })
+            .collect();
+        let answers = service.answer_batch(&pool, queries);
+        assert!(answers.into_iter().all(|a| a.is_ok()));
+    }
+    let (hits, misses) = service.cache_stats();
+    // Round t's query was a miss once and a hit in every later batch.
+    assert_eq!(misses as usize, horizon);
+    assert_eq!(hits as usize, (horizon * (horizon + 1)) / 2 - horizon);
+}
+
+#[test]
+fn snapshot_survives_a_restart_mid_run() {
+    let n = 120;
+    let horizon = 6;
+    let panel = iid_bernoulli(&mut rng_from_seed(41), n, horizon, 0.35);
+    let fork = RngFork::new(17);
+    let mut engine = ShardedEngine::new(ShardPlan::new(n, 2).unwrap(), |s, _| {
+        let config = CumulativeConfig::new(horizon, Rho::new(0.4).unwrap()).unwrap();
+        CumulativeSynthesizer::new(config, fork.subfork(s as u64), rng_from_seed(s as u64))
+    })
+    .unwrap();
+    let service = QueryService::new();
+    engine.set_sink(service.column_sink());
+
+    // Run half the horizon, snapshot ("process dies"), restore, continue
+    // serving history from the restored store.
+    let columns: Vec<_> = panel.stream().map(|(_, c)| c.clone()).collect();
+    for column in &columns[..3] {
+        engine.step(column).unwrap();
+    }
+    let snapshot = service.snapshot_json();
+    let restored = QueryService::restore_json(&snapshot).unwrap();
+    for t in 0..3 {
+        let q = ServeQuery {
+            scope: StoreScope::Merged,
+            kind: QueryKind::CumulativeFraction { t, b: 2 },
+        };
+        assert_eq!(
+            service.answer(&q).unwrap().to_bits(),
+            restored.answer(&q).unwrap().to_bits()
+        );
+    }
+    // The restored store refuses queries for rounds it never saw.
+    assert!(restored
+        .answer(&ServeQuery {
+            scope: StoreScope::Merged,
+            kind: QueryKind::CumulativeFraction { t: 5, b: 1 },
+        })
+        .is_err());
+}

@@ -1,0 +1,154 @@
+//! Property tests for the serving layer.
+//!
+//! The load-bearing one (an ISSUE acceptance criterion): over **random
+//! release sequences**, snapshot → restore → re-query yields answers
+//! bit-identical to the original store's, across every query kind, scope,
+//! round, and parameter. Alongside it: the memoizing cache returns
+//! bit-identical answers to recomputation, and ingestion keeps all scopes
+//! in lockstep.
+
+use longsynth_data::BitColumn;
+use longsynth_pool::WorkerPool;
+use longsynth_queries::{Pattern, WindowQuery};
+use longsynth_serve::{QueryKind, QueryService, ReleaseStore, ServeQuery, StoreScope};
+use proptest::prelude::*;
+
+/// Deterministically expand compact random parameters into a full release
+/// sequence: `cohort_sizes` fixes the shape, `seed` the bits.
+fn random_store(seed: u64, cohort_sizes: &[usize], rounds: usize) -> ReleaseStore {
+    let mut store = ReleaseStore::new();
+    let mut state = seed | 1;
+    let mut next_bit = move || {
+        // SplitMix-ish scramble; the distribution hardly matters, only
+        // that the sequence is deterministic in the seed.
+        state = state
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(17)
+            .wrapping_add(0xD1B5_4A32_D192_ED03);
+        state & 4 == 0
+    };
+    for _ in 0..rounds {
+        let parts: Vec<BitColumn> = cohort_sizes
+            .iter()
+            .map(|&size| BitColumn::from_iter_bits((0..size).map(|_| next_bit())))
+            .collect();
+        let merged = BitColumn::concat(parts.iter());
+        store.ingest_columns(&parts, &merged).unwrap();
+    }
+    store
+}
+
+/// Every answerable query in the store, across kinds, scopes, rounds, and
+/// parameters — the battery both sides of an equivalence must agree on.
+fn query_battery(store: &ReleaseStore) -> Vec<ServeQuery> {
+    let mut scopes = vec![StoreScope::Merged];
+    scopes.extend((0..store.cohorts()).map(StoreScope::Cohort));
+    let mut queries = Vec::new();
+    for &scope in &scopes {
+        for t in 0..store.rounds() {
+            for b in 0..=(t + 1) {
+                queries.push(ServeQuery {
+                    scope,
+                    kind: QueryKind::CumulativeFraction { t, b },
+                });
+            }
+            for width in 1..=2.min(t + 1) {
+                queries.push(ServeQuery {
+                    scope,
+                    kind: QueryKind::Window {
+                        t,
+                        query: WindowQuery::at_least_m_ones(width, 1),
+                    },
+                });
+                queries.push(ServeQuery {
+                    scope,
+                    kind: QueryKind::Pattern {
+                        t,
+                        pattern: Pattern::new((t as u32) & ((1 << width) - 1), width),
+                    },
+                });
+            }
+        }
+    }
+    queries
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Snapshot → restore → identical query answers (bit-for-bit), over
+    /// random release sequences of random shapes.
+    #[test]
+    fn snapshot_restore_preserves_every_answer(
+        seed in any::<u64>(),
+        cohort_a in 1usize..40,
+        cohort_b in 1usize..90,
+        cohort_c in 1usize..150,
+        rounds in 1usize..8,
+    ) {
+        let store = random_store(seed, &[cohort_a, cohort_b, cohort_c], rounds);
+        let restored = ReleaseStore::from_snapshot_json(&store.to_snapshot_json()).unwrap();
+        prop_assert_eq!(&restored, &store);
+        for query in query_battery(&store) {
+            let original = store.answer(&query).unwrap();
+            let recovered = restored.answer(&query).unwrap();
+            prop_assert_eq!(
+                original.to_bits(),
+                recovered.to_bits(),
+                "query {:?} diverged after restore",
+                query
+            );
+        }
+    }
+
+    /// Cached answers are bit-identical to fresh computation, sequentially
+    /// and through a concurrent pool batch.
+    #[test]
+    fn cache_and_pool_answers_match_direct_evaluation(
+        seed in any::<u64>(),
+        cohort_a in 1usize..60,
+        cohort_b in 1usize..60,
+        rounds in 1usize..6,
+    ) {
+        let store = random_store(seed, &[cohort_a, cohort_b], rounds);
+        let service = QueryService::from_store(store.clone());
+        let battery = query_battery(&store);
+        let direct: Vec<f64> = battery.iter().map(|q| store.answer(q).unwrap()).collect();
+        // First pass: all misses. Second pass: all hits. Both identical.
+        for pass in 0..2 {
+            for (query, want) in battery.iter().zip(&direct) {
+                let got = service.answer(query).unwrap();
+                prop_assert_eq!(got.to_bits(), want.to_bits(), "pass {}", pass);
+            }
+        }
+        let (hits, misses) = service.cache_stats();
+        prop_assert_eq!(misses as usize, battery.len());
+        prop_assert_eq!(hits as usize, battery.len());
+        // Pool batch (warm cache) agrees too.
+        let pool = WorkerPool::new(3);
+        let batch = service.answer_batch(&pool, battery.clone());
+        for (got, want) in batch.into_iter().zip(&direct) {
+            prop_assert_eq!(got.unwrap().to_bits(), want.to_bits());
+        }
+    }
+
+    /// Ingestion keeps every scope in lockstep: rounds agree everywhere,
+    /// and the merged panel is the shard-order concatenation of cohorts.
+    #[test]
+    fn scopes_stay_in_lockstep(
+        seed in any::<u64>(),
+        cohort_a in 1usize..50,
+        cohort_b in 1usize..50,
+        rounds in 1usize..6,
+    ) {
+        let store = random_store(seed, &[cohort_a, cohort_b], rounds);
+        prop_assert_eq!(store.rounds(), rounds);
+        let merged = store.panel(StoreScope::Merged).unwrap();
+        prop_assert_eq!(merged.individuals(), cohort_a + cohort_b);
+        for t in 0..rounds {
+            let a = store.panel(StoreScope::Cohort(0)).unwrap().column(t);
+            let b = store.panel(StoreScope::Cohort(1)).unwrap().column(t);
+            prop_assert_eq!(&BitColumn::concat([a, b]), merged.column(t));
+        }
+    }
+}

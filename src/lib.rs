@@ -17,4 +17,6 @@ pub use longsynth_counters as counters;
 pub use longsynth_data as data;
 pub use longsynth_dp as dp;
 pub use longsynth_engine as engine;
+pub use longsynth_pool as pool;
 pub use longsynth_queries as queries;
+pub use longsynth_serve as serve;

@@ -114,6 +114,14 @@ impl Bencher {
     }
 }
 
+/// True when the harness was invoked as `cargo bench -- --test`: run every
+/// benchmark exactly once as a smoke test (real criterion's test mode).
+/// Keeps CI able to execute the whole suite in seconds, so benches can't
+/// rot into code that compiles but panics at runtime.
+fn test_mode() -> bool {
+    std::env::args().any(|arg| arg == "--test")
+}
+
 fn run_one(
     label: &str,
     sample_size: usize,
@@ -126,6 +134,10 @@ fn run_one(
         total: Duration::ZERO,
     };
     f(&mut bencher);
+    if test_mode() {
+        println!("bench: {label:<55} ok (--test mode, 1 iteration)");
+        return;
+    }
     let per_iter = bencher.total.max(Duration::from_nanos(1));
     // Fill ~200ms, but never more than `sample_size` iterations (the knob
     // benches use to keep expensive cases cheap).

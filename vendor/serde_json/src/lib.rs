@@ -1,23 +1,315 @@
-//! Minimal vendored stand-in for `serde_json`: pretty-printing only, over
-//! the vendored JSON-direct [`serde::Serialize`] trait.
+//! Minimal vendored stand-in for `serde_json`: pretty-printing over the
+//! vendored JSON-direct [`serde::Serialize`] trait, plus a small
+//! recursive-descent parser into a dynamic [`Value`] (the slice of
+//! `serde_json::Value` / `from_str` the workspace's snapshot/restore paths
+//! need).
 
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
 use serde::Serialize;
 
-/// Serialization error. The vendored writer is infallible, so this is an
-/// empty shell kept for API compatibility.
+/// Serialization/deserialization error, carrying a human-readable message
+/// (and byte offset for parse errors).
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
+
+impl Error {
+    fn parse(offset: usize, message: impl Into<String>) -> Self {
+        Self(format!("at byte {offset}: {}", message.into()))
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "JSON serialization error")
+        write!(f, "JSON error: {}", self.0)
     }
 }
 
 impl std::error::Error for Error {}
+
+/// A dynamically-typed JSON document.
+///
+/// Numbers are stored as `f64` (integers round-trip exactly up to 2^53 —
+/// plenty for the counts/lengths the workspace serializes; bulk binary data
+/// travels as hex strings). Object member order is preserved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string (escapes decoded).
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in document order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on an object (first match); `None` on other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `usize`, if it is a non-negative integral number.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().map(|n| n as usize)
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Rejects trailing non-whitespace input.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value(0)?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::parse(parser.pos, "trailing characters"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Maximum container nesting. A corrupted or hostile document must come
+/// back as `Err`, not abort the process via recursion-driven stack
+/// overflow; 128 levels is far beyond anything the workspace writes.
+const MAX_DEPTH: usize = 128;
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(
+                self.pos,
+                format!("expected {:?}", byte as char),
+            ))
+        }
+    }
+
+    fn expect_literal(&mut self, literal: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(Error::parse(self.pos, format!("expected `{literal}`")))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(Error::parse(
+                self.pos,
+                format!("nesting deeper than {MAX_DEPTH} levels"),
+            ));
+        }
+        match self.peek() {
+            Some(b'n') => self.expect_literal("null", Value::Null),
+            Some(b't') => self.expect_literal("true", Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(Error::parse(
+                self.pos,
+                format!("unexpected character {:?}", other as char),
+            )),
+            None => Err(Error::parse(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| Error::parse(start, format!("invalid number {text:?}")))
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::parse(self.pos, "unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error::parse(self.pos, "truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| {
+                                Error::parse(self.pos, format!("invalid \\u escape {hex:?}"))
+                            })?;
+                            // Surrogate pairs are not needed by the
+                            // workspace's own writer (it never splits
+                            // astral-plane chars); map lone surrogates to
+                            // the replacement char like lossy decoders do.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error::parse(self.pos, format!("invalid escape {other:?}")))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through untouched;
+                    // find the char boundary via str slicing.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::parse(self.pos, "invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::parse(self.pos, "expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value(depth + 1)?;
+            members.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(Error::parse(self.pos, "expected `,` or `}`")),
+            }
+        }
+    }
+}
 
 /// Render `value` as pretty-printed JSON (two-space indent).
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
@@ -47,5 +339,78 @@ mod tests {
         let json = to_string_pretty(&(1u64, "x".to_string())).unwrap();
         assert!(json.starts_with("[\n"));
         assert!(json.contains("\"x\""));
+    }
+
+    #[test]
+    fn parser_handles_all_value_kinds() {
+        let doc = r#"{
+          "null": null, "flag": true, "n": -2.5e1,
+          "text": "a\"b\nA",
+          "list": [1, 2, []],
+          "nested": {"k": "v"}
+        }"#;
+        let value = from_str(doc).unwrap();
+        assert_eq!(value.get("null"), Some(&Value::Null));
+        assert_eq!(value.get("flag").and_then(Value::as_bool), Some(true));
+        assert_eq!(value.get("n").and_then(Value::as_f64), Some(-25.0));
+        assert_eq!(value.get("text").and_then(Value::as_str), Some("a\"b\nA"));
+        assert_eq!(
+            value.get("list").and_then(Value::as_array).map(<[_]>::len),
+            Some(3)
+        );
+        assert_eq!(
+            value
+                .get("nested")
+                .and_then(|n| n.get("k"))
+                .and_then(Value::as_str),
+            Some("v")
+        );
+        // Non-object lookup misses.
+        assert_eq!(Value::Null.get("x"), None);
+    }
+
+    #[test]
+    fn parser_roundtrips_writer_output() {
+        let json = to_string_pretty(&vec![vec![1u64, 2], vec![3]]).unwrap();
+        let value = from_str(&json).unwrap();
+        assert_eq!(
+            value,
+            Value::Array(vec![
+                Value::Array(vec![Value::Number(1.0), Value::Number(2.0)]),
+                Value::Array(vec![Value::Number(3.0)]),
+            ])
+        );
+    }
+
+    #[test]
+    fn integral_accessors_validate() {
+        assert_eq!(from_str("7").unwrap().as_u64(), Some(7));
+        assert_eq!(from_str("7.5").unwrap().as_u64(), None);
+        assert_eq!(from_str("-1").unwrap().as_u64(), None);
+        assert_eq!(from_str("12").unwrap().as_usize(), Some(12));
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        for bad in ["{", "[1,", "\"unterminated", "nul", "1 2", "{'k':1}"] {
+            let err = from_str(bad).unwrap_err();
+            assert!(err.to_string().contains("at byte"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let deep = "[".repeat(100_000);
+        let err = from_str(&deep).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+        // Exactly at the limit still parses.
+        let ok = format!("{}null{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(from_str(&ok).is_ok());
+    }
+
+    #[test]
+    fn whitespace_and_empty_containers() {
+        assert_eq!(from_str(" [ ] ").unwrap(), Value::Array(vec![]));
+        assert_eq!(from_str("\t{ }\n").unwrap(), Value::Object(vec![]));
     }
 }
