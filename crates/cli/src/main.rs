@@ -28,9 +28,11 @@ use longsynth_data::sipp::{load_sipp_csv, SippConfig};
 use longsynth_data::LongitudinalDataset;
 use longsynth_dp::budget::Rho;
 use longsynth_dp::rng::{rng_from_seed, RngFork};
-use longsynth_engine::{ShardPlan, ShardedEngine};
+use longsynth_engine::{AggregationPolicy, ShardPlan, ShardedEngine, SlotRole};
 use longsynth_pool::WorkerPool;
+use longsynth_queries::cumulative::cumulative_counts;
 use longsynth_queries::window::quarterly_battery;
+use longsynth_queries::{AccuracyComparison, ErrorSummary};
 use longsynth_serve::{QueryService, ServeQuery};
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -44,10 +46,12 @@ const USAGE: &str = "usage:
                              [--estimates EST.csv] [--seed N] [--sipp] [--max-b B]
   longsynth-cli engine       --input PANEL.csv --rho R --shards S
                              [--algorithm fixed-window|cumulative] [--window K]
+                             [--aggregation per-shard|shared|shared:P]
                              [--output OUT.csv] [--estimates EST.csv] [--seed N]
                              [--sipp] [--beta B] [--max-b B]
   longsynth-cli serve        --input PANEL.csv --rho R --shards S
                              [--algorithm fixed-window|cumulative] [--window K]
+                             [--aggregation per-shard|shared|shared:P]
                              [--queries N] [--pool-threads P] [--snapshot OUT.json]
                              [--seed N] [--sipp] [--beta B] [--max-b B]
   longsynth-cli simulate     [--households N] [--months T] [--seed N] --output PANEL.csv
@@ -59,6 +63,12 @@ file instead, applying the paper's pre-processing.
 `engine` partitions the panel into S cohorts, synthesizes them in parallel
 (one synthesizer per shard), and writes the merged population-level release;
 disjoint cohorts give the same user-level zCDP guarantee as one shard.
+--aggregation picks where noise goes: per-shard (default; cohort releases
+concatenate, population queries pay ~sqrt(S) extra noise) or shared (one
+population-level noise draw over summed cohort aggregates, recovering
+unsharded population accuracy; P is the population budget share, default
+0.8). Both engine runs print a per-policy population-query error summary
+against the true panel.
 
 `serve` runs the engine with the release store attached, then drives a batch
 of concurrent window/cumulative queries against the stored releases through
@@ -252,6 +262,24 @@ fn run_cumulative(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse `--aggregation` (default: per-shard noise, the pre-policy
+/// semantics).
+fn parse_aggregation(flags: &Flags) -> Result<AggregationPolicy, String> {
+    match flags.get("aggregation") {
+        None => Ok(AggregationPolicy::PerShardNoise),
+        Some(raw) => raw.parse().map_err(|e| format!("--aggregation: {e}")),
+    }
+}
+
+/// Independent RNG stream index per synthesizer slot (shards keep their
+/// pre-policy streams; the population synthesizer gets its own).
+fn slot_stream(role: SlotRole) -> u64 {
+    match role {
+        SlotRole::Shard(s) => s as u64,
+        SlotRole::Population => 0xA110,
+    }
+}
+
 fn run_engine(flags: &Flags) -> Result<(), String> {
     let rho_v: f64 = get_parsed(flags, "rho", f64::NAN)?;
     if rho_v.is_nan() {
@@ -265,6 +293,7 @@ fn run_engine(flags: &Flags) -> Result<(), String> {
         .get("algorithm")
         .map(String::as_str)
         .unwrap_or("fixed-window");
+    let policy = parse_aggregation(flags)?;
     let seed: u64 = get_parsed(flags, "seed", 42)?;
     let months_hint: usize = get_parsed(flags, "months", 12)?;
     let panel = load_input(flags, months_hint)?;
@@ -275,7 +304,8 @@ fn run_engine(flags: &Flags) -> Result<(), String> {
     let fork = RngFork::new(seed);
     eprintln!(
         "panel: {n} individuals x {horizon} rounds; {shards} shards \
-         (cohorts of ~{}), algorithm = {algorithm}, rho = {rho_v} per shard",
+         (cohorts of ~{}), algorithm = {algorithm}, aggregation = {policy}, \
+         total rho = {rho_v}",
         plan.cohort_size(0)
     );
 
@@ -283,11 +313,15 @@ fn run_engine(flags: &Flags) -> Result<(), String> {
         "fixed-window" => {
             let window: usize = get_parsed(flags, "window", 3)?;
             let beta: f64 = get_parsed(flags, "beta", 0.05)?;
-            let config = FixedWindowConfig::new(horizon, window, rho)
-                .map_err(|e| e.to_string())?
-                .with_padding(longsynth::PaddingPolicy::Recommended { beta });
-            let mut engine = ShardedEngine::new(plan, |s, _| {
-                FixedWindowSynthesizer::new(config, fork.child(s as u64))
+            // Validate the parameters once at the full budget; slot
+            // configs below only rescale rho.
+            FixedWindowConfig::new(horizon, window, rho).map_err(|e| e.to_string())?;
+            let mut engine = ShardedEngine::with_aggregation(plan, policy, |slot| {
+                let slot_rho = Rho::new(rho_v * slot.budget_share).expect("positive share");
+                let config = FixedWindowConfig::new(horizon, window, slot_rho)
+                    .expect("parameters validated above")
+                    .with_padding(longsynth::PaddingPolicy::Recommended { beta });
+                FixedWindowSynthesizer::new(config, fork.child(slot_stream(slot.role)))
             })
             .map_err(|e| e.to_string())?;
             let mut columns = Vec::with_capacity(horizon);
@@ -299,51 +333,104 @@ fn run_engine(flags: &Flags) -> Result<(), String> {
                 }
             }
             let budget = engine.budget();
-            let n_star: usize = (0..shards).map(|s| engine.shard(s).n_star()).sum();
+            // The released population: the population synthesizer's under
+            // shared noise, the cohort concatenation otherwise.
+            let (n_star, padding): (usize, Vec<bool>) = match engine.population_synthesizer() {
+                Some(population) => (population.n_star(), population.padding_flags().to_vec()),
+                None => (
+                    (0..shards).map(|s| engine.shard(s).n_star()).sum(),
+                    (0..shards)
+                        .flat_map(|s| engine.shard(s).padding_flags().to_vec())
+                        .collect(),
+                ),
+            };
             eprintln!(
-                "released n* = {n_star} merged synthetic records; user-level \
-                 budget {} (parallel composition; sequential-sum view {})",
+                "released n* = {n_star} population-level synthetic records; \
+                 user-level budget {} (cohort level {} + population level {}; \
+                 sequential-sum view {})",
                 budget.spent(),
+                budget.cohort_spent(),
+                budget.population_spent(),
                 budget.spent_sequential()
             );
+            // The cohort-size-weighted average of per-shard debiased
+            // estimates — the population estimator of the per-shard
+            // policy, and the cohort-level comparison row under shared.
+            let cohort_average =
+                |t: usize, q: &longsynth_queries::WindowQuery| -> Result<f64, String> {
+                    let mut total = 0.0;
+                    for s in 0..shards {
+                        let est = engine
+                            .shard(s)
+                            .estimate_debiased(t, q)
+                            .map_err(|e| e.to_string())?;
+                        total += est * engine.plan().cohort_size(s) as f64;
+                    }
+                    Ok(total / n as f64)
+                };
+            // Evaluate the battery once; the summary and the --estimates
+            // CSV both read from these vectors.
+            let battery: Vec<(usize, longsynth_queries::WindowQuery)> = ((window - 1)..horizon)
+                .flat_map(|t| quarterly_battery(window).into_iter().map(move |q| (t, q)))
+                .collect();
+            let mut estimates = Vec::with_capacity(battery.len());
+            let mut truths = Vec::with_capacity(battery.len());
+            for (t, q) in &battery {
+                let estimate = match engine.population_synthesizer() {
+                    Some(population) => population
+                        .estimate_debiased(*t, q)
+                        .map_err(|e| e.to_string())?,
+                    None => cohort_average(*t, q)?,
+                };
+                estimates.push(estimate);
+                truths.push(q.evaluate_true(&panel, *t));
+            }
+            let mut comparison = AccuracyComparison::against(
+                format!("{policy} population estimates"),
+                ErrorSummary::from_pairs(&estimates, &truths),
+            );
+            if engine.population_synthesizer().is_some() {
+                // Under shared noise the cohort releases still exist at
+                // the cohort budget share — show both levels side by side.
+                let cohort_estimates = battery
+                    .iter()
+                    .map(|(t, q)| cohort_average(*t, q))
+                    .collect::<Result<Vec<f64>, String>>()?;
+                comparison.add(
+                    "per-cohort average (cohort budget share)",
+                    ErrorSummary::from_pairs(&cohort_estimates, &truths),
+                );
+            }
+            eprintln!("population-query error vs truth:\n{comparison}");
             if let Some(mut out) = open_output(flags, "output")? {
                 let rows: Vec<longsynth_data::BitStream> = (0..n_star)
                     .map(|i| columns.iter().map(|c| c.get(i)).collect())
                     .collect();
-                let flags_concat: Vec<bool> = (0..shards)
-                    .flat_map(|s| engine.shard(s).padding_flags().to_vec())
-                    .collect();
-                write_panel_csv(&mut out, rows.into_iter(), horizon, Some(&flags_concat))
+                write_panel_csv(&mut out, rows.into_iter(), horizon, Some(&padding))
                     .map_err(|e| e.to_string())?;
                 eprintln!("wrote merged synthetic panel to --output");
             }
             if let Some(mut out) = open_output(flags, "estimates")? {
                 writeln!(out, "round,query,debiased_estimate").map_err(|e| e.to_string())?;
-                for t in (window - 1)..horizon {
-                    for q in quarterly_battery(window) {
-                        // Population-level estimate: cohort-size-weighted
-                        // average of per-shard debiased estimates.
-                        let mut total = 0.0;
-                        for s in 0..shards {
-                            let shard = engine.shard(s);
-                            let est = shard.estimate_debiased(t, &q).map_err(|e| e.to_string())?;
-                            total += est * engine.plan().cohort_size(s) as f64;
-                        }
-                        writeln!(out, "{},{},{}", t + 1, q.name(), total / n as f64)
-                            .map_err(|e| e.to_string())?;
-                    }
+                for ((t, q), estimate) in battery.iter().zip(&estimates) {
+                    writeln!(out, "{},{},{estimate}", t + 1, q.name())
+                        .map_err(|e| e.to_string())?;
                 }
                 eprintln!("wrote merged window-query estimates to --estimates");
             }
         }
         "cumulative" => {
             let max_b: usize = get_parsed(flags, "max-b", horizon.min(6))?;
-            let config = CumulativeConfig::new(horizon, rho).map_err(|e| e.to_string())?;
-            let mut engine = ShardedEngine::new(plan, |s, _| {
+            CumulativeConfig::new(horizon, rho).map_err(|e| e.to_string())?;
+            let mut engine = ShardedEngine::with_aggregation(plan, policy, |slot| {
+                let slot_rho = Rho::new(rho_v * slot.budget_share).expect("positive share");
+                let config =
+                    CumulativeConfig::new(horizon, slot_rho).expect("parameters validated above");
+                let stream = slot_stream(slot.role);
                 CumulativeSynthesizer::new(
                     config,
-                    fork.subfork(s as u64),
-                    fork.child(0x0C00 + s as u64),
+                    fork.subfork(stream),
+                    fork.child(0x0C00 + stream),
                 )
             })
             .map_err(|e| e.to_string())?;
@@ -353,14 +440,55 @@ fn run_engine(flags: &Flags) -> Result<(), String> {
             }
             let budget = engine.budget();
             eprintln!(
-                "released {} rounds; user-level budget {} (parallel \
-                 composition; sequential-sum view {})",
+                "released {} rounds; user-level budget {} (cohort level {} + \
+                 population level {}; sequential-sum view {})",
                 engine.rounds_fed(),
                 budget.spent(),
+                budget.cohort_spent(),
+                budget.population_spent(),
                 budget.spent_sequential()
             );
+            let population_estimate = |t: usize, b: usize| -> Result<f64, String> {
+                match engine.population_synthesizer() {
+                    Some(population) => population
+                        .estimate_fraction(t, b)
+                        .map_err(|e| e.to_string()),
+                    None => {
+                        let mut total = 0.0;
+                        for s in 0..shards {
+                            let est = engine
+                                .shard(s)
+                                .estimate_fraction(t, b)
+                                .map_err(|e| e.to_string())?;
+                            total += est * engine.plan().cohort_size(s) as f64;
+                        }
+                        Ok(total / n as f64)
+                    }
+                }
+            };
+            // Evaluate the battery once; the summary and the --estimates
+            // CSV both read from these vectors.
+            let battery: Vec<(usize, usize)> = (0..horizon)
+                .flat_map(|t| (1..=max_b.min(t + 1)).map(move |b| (t, b)))
+                .collect();
+            let mut estimates = Vec::with_capacity(battery.len());
+            let mut truths = Vec::with_capacity(battery.len());
+            let mut truth_row = (usize::MAX, Vec::new());
+            for &(t, b) in &battery {
+                if truth_row.0 != t {
+                    truth_row = (t, cumulative_counts(&panel, t));
+                }
+                estimates.push(population_estimate(t, b)?);
+                truths.push(truth_row.1[b] as f64 / n as f64);
+            }
+            let comparison = AccuracyComparison::against(
+                format!("{policy} population estimates"),
+                ErrorSummary::from_pairs(&estimates, &truths),
+            );
+            eprintln!("population-query error vs truth:\n{comparison}");
             if let Some(mut out) = open_output(flags, "output")? {
-                let rows: Vec<longsynth_data::BitStream> = (0..n)
+                let records = columns.first().map_or(0, longsynth_data::BitColumn::len);
+                let rows: Vec<longsynth_data::BitStream> = (0..records)
                     .map(|i| columns.iter().map(|c| c.get(i)).collect())
                     .collect();
                 write_panel_csv(&mut out, rows.into_iter(), horizon, None)
@@ -370,17 +498,8 @@ fn run_engine(flags: &Flags) -> Result<(), String> {
             if let Some(mut out) = open_output(flags, "estimates")? {
                 writeln!(out, "round,threshold_b,fraction_at_least_b")
                     .map_err(|e| e.to_string())?;
-                for t in 0..horizon {
-                    for b in 1..=max_b.min(t + 1) {
-                        let mut total = 0.0;
-                        for s in 0..shards {
-                            let shard = engine.shard(s);
-                            let est = shard.estimate_fraction(t, b).map_err(|e| e.to_string())?;
-                            total += est * engine.plan().cohort_size(s) as f64;
-                        }
-                        writeln!(out, "{},{b},{}", t + 1, total / n as f64)
-                            .map_err(|e| e.to_string())?;
-                    }
+                for ((t, b), estimate) in battery.iter().zip(&estimates) {
+                    writeln!(out, "{},{b},{estimate}", t + 1).map_err(|e| e.to_string())?;
                 }
                 eprintln!("wrote merged cumulative estimates to --estimates");
             }
@@ -410,6 +529,7 @@ fn run_serve(flags: &Flags) -> Result<(), String> {
         .get("algorithm")
         .map(String::as_str)
         .unwrap_or("cumulative");
+    let policy = parse_aggregation(flags)?;
     let seed: u64 = get_parsed(flags, "seed", 42)?;
     let months_hint: usize = get_parsed(flags, "months", 12)?;
     let query_target: usize = get_parsed(flags, "queries", 1_000)?;
@@ -424,23 +544,29 @@ fn run_serve(flags: &Flags) -> Result<(), String> {
     let service = QueryService::new();
     eprintln!(
         "panel: {n} individuals x {horizon} rounds; {shards} shards, \
-         {} pool threads, algorithm = {algorithm}, rho = {rho_v} per shard",
+         {} pool threads, algorithm = {algorithm}, aggregation = {policy}, \
+         total rho = {rho_v}",
         pool.threads()
     );
 
     // Engine run with the serving sink attached: every release lands in
-    // the store the moment its round completes.
+    // the store the moment its round completes, tagged with the policy.
     let ingest_start = std::time::Instant::now();
     let window: usize = get_parsed(flags, "window", 3)?;
     match algorithm {
         "fixed-window" => {
             let beta: f64 = get_parsed(flags, "beta", 0.05)?;
-            let config = FixedWindowConfig::new(horizon, window, rho)
-                .map_err(|e| e.to_string())?
-                .with_padding(longsynth::PaddingPolicy::Recommended { beta });
-            let mut engine = ShardedEngine::with_pool(
+            FixedWindowConfig::new(horizon, window, rho).map_err(|e| e.to_string())?;
+            let mut engine = ShardedEngine::with_aggregation_and_pool(
                 plan,
-                |s, _| FixedWindowSynthesizer::new(config, fork.child(s as u64)),
+                policy,
+                |slot| {
+                    let slot_rho = Rho::new(rho_v * slot.budget_share).expect("positive share");
+                    let config = FixedWindowConfig::new(horizon, window, slot_rho)
+                        .expect("parameters validated above")
+                        .with_padding(longsynth::PaddingPolicy::Recommended { beta });
+                    FixedWindowSynthesizer::new(config, fork.child(slot_stream(slot.role)))
+                },
                 std::sync::Arc::clone(&pool),
             )
             .map_err(|e| e.to_string())?;
@@ -450,14 +576,19 @@ fn run_serve(flags: &Flags) -> Result<(), String> {
             }
         }
         "cumulative" => {
-            let config = CumulativeConfig::new(horizon, rho).map_err(|e| e.to_string())?;
-            let mut engine = ShardedEngine::with_pool(
+            CumulativeConfig::new(horizon, rho).map_err(|e| e.to_string())?;
+            let mut engine = ShardedEngine::with_aggregation_and_pool(
                 plan,
-                |s, _| {
+                policy,
+                |slot| {
+                    let slot_rho = Rho::new(rho_v * slot.budget_share).expect("positive share");
+                    let config = CumulativeConfig::new(horizon, slot_rho)
+                        .expect("parameters validated above");
+                    let stream = slot_stream(slot.role);
                     CumulativeSynthesizer::new(
                         config,
-                        fork.subfork(s as u64),
-                        fork.child(0x0C00 + s as u64),
+                        fork.subfork(stream),
+                        fork.child(0x0C00 + stream),
                     )
                 },
                 std::sync::Arc::clone(&pool),
@@ -474,10 +605,12 @@ fn run_serve(flags: &Flags) -> Result<(), String> {
             ))
         }
     }
-    let (rounds, records) = service.with_store(|s| (s.rounds(), s.records()));
+    let (rounds, records, stored_policy) =
+        service.with_store(|s| (s.rounds(), s.records(), s.policy()));
     eprintln!(
-        "ingested {rounds} released rounds ({} records) in {:?}",
+        "ingested {rounds} released rounds ({} records, policy tag {}) in {:?}",
         records.unwrap_or(0),
+        stored_policy.map_or("none".to_string(), |tag| tag.to_string()),
         ingest_start.elapsed()
     );
 
@@ -677,9 +810,11 @@ mod tests {
         ]))
         .unwrap();
         let json = std::fs::read_to_string(&snapshot).unwrap();
-        assert!(json.contains("longsynth-release-store/v1"));
+        assert!(json.contains("longsynth-release-store/v2"));
+        assert!(json.contains("per-shard"));
 
-        // Fixed-window serving run.
+        // Fixed-window serving run under shared-noise aggregation: the
+        // snapshot carries the shared tag.
         run_serve(&flags_of(&[
             ("input", panel.to_str().unwrap()),
             ("rho", "0.05"),
@@ -687,8 +822,21 @@ mod tests {
             ("algorithm", "fixed-window"),
             ("window", "2"),
             ("queries", "100"),
+            ("aggregation", "shared"),
+            ("snapshot", snapshot.to_str().unwrap()),
         ]))
         .unwrap();
+        let json = std::fs::read_to_string(&snapshot).unwrap();
+        assert!(json.contains("\"shared\""));
+
+        // Unknown aggregation policy errors cleanly.
+        assert!(run_serve(&flags_of(&[
+            ("input", panel.to_str().unwrap()),
+            ("rho", "0.05"),
+            ("shards", "2"),
+            ("aggregation", "nope"),
+        ]))
+        .is_err());
 
         // Unknown algorithm errors cleanly.
         assert!(run_serve(&flags_of(&[
@@ -748,6 +896,40 @@ mod tests {
         assert_eq!(text.lines().count(), 601); // header + 600 rows
         let est_text = std::fs::read_to_string(&est).unwrap();
         assert!(est_text.starts_with("round,threshold_b"));
+
+        // Shared-noise runs for both algorithms.
+        run_engine(&flags_of(&[
+            ("input", panel.to_str().unwrap()),
+            ("rho", "0.05"),
+            ("shards", "3"),
+            ("window", "2"),
+            ("aggregation", "shared"),
+            ("output", synth.to_str().unwrap()),
+            ("estimates", est.to_str().unwrap()),
+        ]))
+        .unwrap();
+        let est_text = std::fs::read_to_string(&est).unwrap();
+        assert!(est_text.lines().count() > 7 * 4);
+        run_engine(&flags_of(&[
+            ("input", panel.to_str().unwrap()),
+            ("rho", "0.05"),
+            ("shards", "2"),
+            ("algorithm", "cumulative"),
+            ("aggregation", "shared:0.9"),
+            ("output", synth.to_str().unwrap()),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&synth).unwrap();
+        assert_eq!(text.lines().count(), 601);
+
+        // Unknown aggregation policy errors cleanly.
+        assert!(run_engine(&flags_of(&[
+            ("input", panel.to_str().unwrap()),
+            ("rho", "0.05"),
+            ("shards", "2"),
+            ("aggregation", "nope"),
+        ]))
+        .is_err());
 
         // Unknown algorithm errors cleanly.
         assert!(run_engine(&flags_of(&[

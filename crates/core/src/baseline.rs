@@ -34,7 +34,10 @@ pub struct RecomputeBaseline {
     /// One released population per round `t ≥ k−1`, in round order.
     releases: Vec<SyntheticDataset>,
     seeds: RngFork,
+    /// Completed (finalized) rounds so far.
     rounds_fed: usize,
+    /// Rounds consumed by `prepare` (the two-phase bookkeeping).
+    rounds_prepared: usize,
 }
 
 impl RecomputeBaseline {
@@ -57,12 +60,50 @@ impl RecomputeBaseline {
             releases: Vec::new(),
             seeds,
             rounds_fed: 0,
+            rounds_prepared: 0,
         })
     }
 
     /// Feed the next true column; recomputes a fresh synthetic dataset from
     /// scratch when at least one full window is available.
+    ///
+    /// Exactly [`prepare`](Self::prepare) followed by
+    /// [`finalize`](Self::finalize).
     pub fn step(&mut self, column: &BitColumn) -> Result<(), SynthError> {
+        let aggregate = self.prepare(column)?;
+        self.finalize(aggregate)
+    }
+
+    /// Phase 1 of the two-phase path. The strawman has no compact
+    /// sufficient statistic — it recomputes from the raw prefix — so its
+    /// "aggregate" is the validated input column itself (which is exactly
+    /// what an unsharded recompute over concatenated cohorts consumes).
+    pub fn prepare(&mut self, column: &BitColumn) -> Result<BitColumn, SynthError> {
+        if self.rounds_prepared > self.rounds_fed {
+            return Err(SynthError::OutOfPhase(format!(
+                "round {} awaits finalize before the next prepare",
+                self.rounds_prepared
+            )));
+        }
+        if self.rounds_prepared >= self.horizon {
+            return Err(SynthError::HorizonExceeded {
+                horizon: self.horizon,
+            });
+        }
+        if self.rounds_prepared > 0 && column.len() != self.observed.individuals() {
+            return Err(SynthError::ColumnSizeMismatch {
+                expected: self.observed.individuals(),
+                actual: column.len(),
+            });
+        }
+        self.rounds_prepared += 1;
+        Ok(column.clone())
+    }
+
+    /// Phase 2: observe the (possibly cross-cohort concatenated) column
+    /// and recompute the round's release under the budget share.
+    pub fn finalize(&mut self, column: BitColumn) -> Result<(), SynthError> {
+        let column = &column;
         if self.rounds_fed >= self.horizon {
             return Err(SynthError::HorizonExceeded {
                 horizon: self.horizon,

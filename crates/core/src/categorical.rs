@@ -18,6 +18,7 @@
 // Threshold loops index by `b` to mirror the paper's S_b / z_b notation.
 #![allow(clippy::needless_range_loop)]
 
+use crate::aggregate::HistogramAggregate;
 use crate::error::SynthError;
 use longsynth_data::categorical::CategoricalColumn;
 use longsynth_dp::budget::{BudgetLedger, Rho};
@@ -126,7 +127,11 @@ pub struct CategoricalSynthesizer<R: Rng = StdDpRng> {
     per_step_rho: Rho,
     n: Option<usize>,
     buffer: VecDeque<CategoricalColumn>,
+    /// Completed (finalized) rounds so far.
     rounds_fed: usize,
+    /// Rounds consumed by `prepare` (see the fixed-window synthesizer's
+    /// field of the same name).
+    rounds_prepared: usize,
     /// Synthetic record histories (base-V values).
     records: Vec<Vec<u8>>,
     /// Record ids grouped by overlap code (base-V, width k−1).
@@ -152,6 +157,7 @@ impl<R: Rng> CategoricalSynthesizer<R> {
             n: None,
             buffer: VecDeque::with_capacity(config.window),
             rounds_fed: 0,
+            rounds_prepared: 0,
             records: Vec::new(),
             overlap_groups: Vec::new(),
             p_history: Vec::new(),
@@ -162,8 +168,28 @@ impl<R: Rng> CategoricalSynthesizer<R> {
     }
 
     /// Feed the next true column.
+    ///
+    /// Exactly [`prepare`](Self::prepare) followed by
+    /// [`finalize`](Self::finalize).
     pub fn step(&mut self, column: &CategoricalColumn) -> Result<(), SynthError> {
-        if self.rounds_fed >= self.config.horizon {
+        let aggregate = self.prepare(column)?;
+        self.finalize(aggregate)
+    }
+
+    /// Phase 1: consume the next true column and return the round's
+    /// **unnoised** `V^k`-bin window histogram (no padding, no noise, no
+    /// budget charged).
+    pub fn prepare(
+        &mut self,
+        column: &CategoricalColumn,
+    ) -> Result<HistogramAggregate, SynthError> {
+        if self.rounds_prepared > self.rounds_fed {
+            return Err(SynthError::OutOfPhase(format!(
+                "round {} awaits finalize before the next prepare",
+                self.rounds_prepared
+            )));
+        }
+        if self.rounds_prepared >= self.config.horizon {
             return Err(SynthError::HorizonExceeded {
                 horizon: self.config.horizon,
             });
@@ -189,23 +215,13 @@ impl<R: Rng> CategoricalSynthesizer<R> {
             self.buffer.pop_front();
         }
         self.buffer.push_back(column.clone());
-        self.rounds_fed += 1;
+        self.rounds_prepared += 1;
 
-        if self.rounds_fed < self.config.window {
-            return Ok(());
+        let n = column.len();
+        if self.rounds_prepared < self.config.window {
+            return Ok(HistogramAggregate::Buffered { n });
         }
-        let noisy = self.noisy_histogram();
-        if self.rounds_fed == self.config.window {
-            self.initialize(noisy);
-        } else {
-            self.extend(noisy);
-        }
-        Ok(())
-    }
-
-    fn noisy_histogram(&mut self) -> Vec<i64> {
         let v = self.config.categories as usize;
-        let n = self.n.expect("set by step");
         let mut counts = vec![0i64; self.config.bins()];
         for i in 0..n {
             let mut code = 0usize;
@@ -214,6 +230,70 @@ impl<R: Rng> CategoricalSynthesizer<R> {
             }
             counts[code] += 1;
         }
+        Ok(HistogramAggregate::Counts { n, counts })
+    }
+
+    /// Phase 2: privatize an aggregate and extend the synthetic records;
+    /// works standalone on summed cross-cohort aggregates (shared-noise
+    /// population path).
+    pub fn finalize(&mut self, aggregate: HistogramAggregate) -> Result<(), SynthError> {
+        if self.rounds_fed >= self.config.horizon {
+            return Err(SynthError::HorizonExceeded {
+                horizon: self.config.horizon,
+            });
+        }
+        // Validate the aggregate's shape *before* touching any state (see
+        // the fixed-window finalize).
+        let t = self.rounds_fed + 1;
+        let k = self.config.window;
+        match &aggregate {
+            HistogramAggregate::Buffered { .. } => {
+                if t >= k {
+                    return Err(SynthError::OutOfPhase(format!(
+                        "buffered aggregate at round {t}, but releases start at round {k}"
+                    )));
+                }
+            }
+            HistogramAggregate::Counts { counts, .. } => {
+                if t < k {
+                    return Err(SynthError::OutOfPhase(format!(
+                        "histogram aggregate at buffering round {t} (< k = {k})"
+                    )));
+                }
+                if counts.len() != self.config.bins() {
+                    return Err(SynthError::OutOfPhase(format!(
+                        "aggregate has {} bins, V^k synthesis needs {}",
+                        counts.len(),
+                        self.config.bins()
+                    )));
+                }
+            }
+        }
+        match self.n {
+            Some(n) if n != aggregate.population() => {
+                return Err(SynthError::ColumnSizeMismatch {
+                    expected: n,
+                    actual: aggregate.population(),
+                })
+            }
+            None => self.n = Some(aggregate.population()),
+            _ => {}
+        }
+        self.rounds_fed += 1;
+        let counts = match aggregate {
+            HistogramAggregate::Buffered { .. } => return Ok(()),
+            HistogramAggregate::Counts { counts, .. } => counts,
+        };
+        let noisy = self.noisy_histogram(counts);
+        if self.rounds_fed == k {
+            self.initialize(noisy);
+        } else {
+            self.extend(noisy);
+        }
+        Ok(())
+    }
+
+    fn noisy_histogram(&mut self, mut counts: Vec<i64>) -> Vec<i64> {
         self.ledger
             .charge(self.per_step_rho)
             .expect("per-step charges sum to the configured budget");

@@ -23,6 +23,7 @@
 // Threshold loops index by `b` to mirror the paper's S_b / z_b notation.
 #![allow(clippy::needless_range_loop)]
 
+use crate::aggregate::CumulativeAggregate;
 use crate::error::SynthError;
 use crate::synthetic::SyntheticDataset;
 use longsynth_counters::{CounterKind, StreamCounter};
@@ -139,7 +140,11 @@ pub struct CumulativeSynthesizer<R: Rng = longsynth_dp::rng::StdDpRng> {
     weight_groups: Vec<Vec<u32>>,
     /// True data consumed so far (needed to compute increments `z_b^t`).
     observed: LongitudinalDataset,
+    /// Completed (finalized) rounds so far.
     rounds_fed: usize,
+    /// Rounds consumed by `prepare` (see the fixed-window synthesizer's
+    /// field of the same name).
+    rounds_prepared: usize,
     rng: R,
 }
 
@@ -170,14 +175,33 @@ impl<R: Rng> CumulativeSynthesizer<R> {
             weight_groups: Vec::new(),
             observed: LongitudinalDataset::empty(0),
             rounds_fed: 0,
+            rounds_prepared: 0,
             rng,
             config,
         }
     }
 
     /// Feed the next true column; returns the released synthetic column.
+    ///
+    /// Exactly [`prepare`](Self::prepare) followed by
+    /// [`finalize`](Self::finalize).
     pub fn step(&mut self, column: &BitColumn) -> Result<BitColumn, SynthError> {
-        if self.rounds_fed >= self.config.horizon {
+        let aggregate = self.prepare(column)?;
+        self.finalize(aggregate)
+    }
+
+    /// Phase 1: consume the next true column and return the round's
+    /// **unnoised** threshold increments `z_b^t` for `b = 1..=t` — the
+    /// exact statistics the stream counters would be fed, before any
+    /// counter noise or budget charge.
+    pub fn prepare(&mut self, column: &BitColumn) -> Result<CumulativeAggregate, SynthError> {
+        if self.rounds_prepared > self.rounds_fed {
+            return Err(SynthError::OutOfPhase(format!(
+                "round {} awaits finalize before the next prepare",
+                self.rounds_prepared
+            )));
+        }
+        if self.rounds_prepared >= self.config.horizon {
             return Err(SynthError::HorizonExceeded {
                 horizon: self.config.horizon,
             });
@@ -190,20 +214,67 @@ impl<R: Rng> CumulativeSynthesizer<R> {
                 })
             }
             None => {
-                let n = column.len();
-                self.n = Some(n);
-                self.observed = LongitudinalDataset::empty(n);
-                self.synthetic = SyntheticDataset::empty(n);
-                // All records start at weight 0; Ŝ_0 ≡ n, Ŝ_b = 0 for b ≥ 1.
-                self.weight_groups = vec![(0..n as u32).collect()];
-                self.s_prev = vec![0i64; self.config.horizon + 1];
-                self.s_prev[0] = n as i64;
+                self.n = Some(column.len());
+                self.observed = LongitudinalDataset::empty(column.len());
             }
             _ => {}
         }
         self.observed
             .push_column(column.clone())
             .expect("column length validated above");
+        self.rounds_prepared += 1;
+        let t = self.rounds_prepared; // 1-based round
+        let increments = (1..=t)
+            .map(|b| threshold_increment(&self.observed, t - 1, b))
+            .collect();
+        Ok(CumulativeAggregate {
+            n: column.len(),
+            increments,
+        })
+    }
+
+    /// Phase 2: feed an aggregate's increments through the noisy stream
+    /// counters (charging the ledger), monotonize, and promote synthetic
+    /// records; returns the released synthetic column.
+    ///
+    /// Like the fixed-window synthesizer, this works standalone on summed
+    /// cross-cohort aggregates — the shared-noise population path.
+    pub fn finalize(&mut self, aggregate: CumulativeAggregate) -> Result<BitColumn, SynthError> {
+        if self.rounds_fed >= self.config.horizon {
+            return Err(SynthError::HorizonExceeded {
+                horizon: self.config.horizon,
+            });
+        }
+        // Validate the aggregate's shape *before* touching any state, so a
+        // rejected finalize leaves the synthesizer exactly as it was (in
+        // particular, a malformed first aggregate must not pin `n` or
+        // size the synthetic population).
+        if aggregate.increments.len() != self.rounds_fed + 1 {
+            return Err(SynthError::OutOfPhase(format!(
+                "aggregate carries {} increments, round {} needs exactly {}",
+                aggregate.increments.len(),
+                self.rounds_fed + 1,
+                self.rounds_fed + 1
+            )));
+        }
+        match self.n {
+            Some(n) if n != aggregate.n => {
+                return Err(SynthError::ColumnSizeMismatch {
+                    expected: n,
+                    actual: aggregate.n,
+                })
+            }
+            None => self.n = Some(aggregate.n),
+            _ => {}
+        }
+        if self.rounds_fed == 0 {
+            let n = aggregate.n;
+            self.synthetic = SyntheticDataset::empty(n);
+            // All records start at weight 0; Ŝ_0 ≡ n, Ŝ_b = 0 for b ≥ 1.
+            self.weight_groups = vec![(0..n as u32).collect()];
+            self.s_prev = vec![0i64; self.config.horizon + 1];
+            self.s_prev[0] = n as i64;
+        }
         self.rounds_fed += 1;
         let t = self.rounds_fed; // 1-based round
         let n = self.n.expect("set above");
@@ -212,8 +283,7 @@ impl<R: Rng> CumulativeSynthesizer<R> {
         let mut s_now = self.s_prev.clone();
         let mut promotions = vec![0usize; t + 1]; // promotions[b] = ẑ_b^t
         for b in 1..=t {
-            let z = threshold_increment(&self.observed, t - 1, b);
-            let raw = self.counters[b - 1].feed(z);
+            let raw = self.counters[b - 1].feed(aggregate.increments[b - 1]);
             if self.counters[b - 1].steps() == 1 {
                 // First activation of M_b: charge its share once.
                 self.ledger

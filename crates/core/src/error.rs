@@ -40,6 +40,10 @@ pub enum SynthError {
         /// Window width `k` of the synthesizer.
         window: usize,
     },
+    /// Two-phase misuse: `prepare`/`finalize` were called out of order
+    /// (e.g. a second `prepare` while a round's aggregate still awaits
+    /// `finalize`, or an engine `finalize` with no prepared round).
+    OutOfPhase(String),
 }
 
 impl fmt::Display for SynthError {
@@ -62,6 +66,9 @@ impl fmt::Display for SynthError {
                 f,
                 "query width {query_width} not answerable from width-{window} histograms"
             ),
+            SynthError::OutOfPhase(msg) => {
+                write!(f, "two-phase step out of order: {msg}")
+            }
         }
     }
 }
@@ -91,6 +98,10 @@ mod tests {
                     window: 3,
                 },
                 "width-3",
+            ),
+            (
+                SynthError::OutOfPhase("round 3 awaits finalize".into()),
+                "awaits finalize",
             ),
         ];
         for (err, needle) in errors {

@@ -19,6 +19,7 @@
 //! All arithmetic is exact over `i64`; the half-integer case is handled by
 //! splitting the *doubled* correction `2Δ_z` into two integer parts.
 
+use crate::aggregate::HistogramAggregate;
 use crate::error::SynthError;
 use crate::padding::PaddingPolicy;
 use crate::synthetic::SyntheticDataset;
@@ -170,8 +171,13 @@ pub struct FixedWindowSynthesizer<R: Rng = StdDpRng> {
     n: Option<usize>,
     /// Ring buffer of the last `k` true columns.
     buffer: VecDeque<BitColumn>,
-    /// Rounds fed so far.
+    /// Completed (finalized) rounds so far.
     rounds_fed: usize,
+    /// Rounds whose input has been consumed by `prepare` (equals
+    /// `rounds_fed` between rounds, `rounds_fed + 1` while an aggregate
+    /// awaits `finalize`; stays 0 on a finalize-only population
+    /// synthesizer).
+    rounds_prepared: usize,
     synthetic: SyntheticDataset,
     /// Record ids grouped by current (k−1)-bit overlap code.
     overlap_groups: Vec<Vec<u32>>,
@@ -204,6 +210,7 @@ impl<R: Rng> FixedWindowSynthesizer<R> {
             n: None,
             buffer: VecDeque::with_capacity(config.window),
             rounds_fed: 0,
+            rounds_prepared: 0,
             synthetic: SyntheticDataset::empty(0),
             overlap_groups: Vec::new(),
             p_history: Vec::new(),
@@ -215,8 +222,32 @@ impl<R: Rng> FixedWindowSynthesizer<R> {
     }
 
     /// Feed the next true column; returns what was released.
+    ///
+    /// Exactly [`prepare`](Self::prepare) followed by
+    /// [`finalize`](Self::finalize) — the two-phase path split out so a
+    /// scaling layer can privatize summed cross-cohort aggregates with a
+    /// single noise draw.
     pub fn step(&mut self, column: &BitColumn) -> Result<Release, SynthError> {
-        if self.rounds_fed >= self.config.horizon {
+        let aggregate = self.prepare(column)?;
+        self.finalize(aggregate)
+    }
+
+    /// Phase 1: consume the next true column and return the round's
+    /// **unnoised** sufficient statistics (the exact width-`k` window
+    /// histogram; [`HistogramAggregate::Buffered`] while `t < k`).
+    ///
+    /// No noise is drawn and no budget is charged — the aggregate is a raw
+    /// function of true data and must only ever flow into a
+    /// [`finalize`](Self::finalize) call (this synthesizer's, or a
+    /// population-level one fed the sum of cohort aggregates).
+    pub fn prepare(&mut self, column: &BitColumn) -> Result<HistogramAggregate, SynthError> {
+        if self.rounds_prepared > self.rounds_fed {
+            return Err(SynthError::OutOfPhase(format!(
+                "round {} awaits finalize before the next prepare",
+                self.rounds_prepared
+            )));
+        }
+        if self.rounds_prepared >= self.config.horizon {
             return Err(SynthError::HorizonExceeded {
                 horizon: self.config.horizon,
             });
@@ -236,25 +267,13 @@ impl<R: Rng> FixedWindowSynthesizer<R> {
             self.buffer.pop_front();
         }
         self.buffer.push_back(column.clone());
-        self.rounds_fed += 1;
+        self.rounds_prepared += 1;
 
         let k = self.config.window;
-        if self.rounds_fed < k {
-            return Ok(Release::Buffered);
+        let n = column.len();
+        if self.rounds_prepared < k {
+            return Ok(HistogramAggregate::Buffered { n });
         }
-
-        let noisy = self.noisy_histogram();
-        if self.rounds_fed == k {
-            Ok(self.initialize(noisy))
-        } else {
-            Ok(self.extend(noisy))
-        }
-    }
-
-    /// Phase 1: `Ĉ_s = C_s + npad + noise`, charged to the ledger.
-    fn noisy_histogram(&mut self) -> Vec<i64> {
-        let k = self.config.window;
-        let n = self.n.expect("set by step");
         debug_assert_eq!(self.buffer.len(), k);
         let mut counts = vec![0i64; Pattern::count(k)];
         for i in 0..n {
@@ -264,6 +283,76 @@ impl<R: Rng> FixedWindowSynthesizer<R> {
             }
             counts[code] += 1;
         }
+        Ok(HistogramAggregate::Counts { n, counts })
+    }
+
+    /// Phase 2: privatize an aggregate (ledger charge + padding + noise)
+    /// and extend the synthetic population; returns the round's release.
+    ///
+    /// Standalone use — an aggregate the synthesizer did not `prepare`
+    /// itself — is exactly how a population-level synthesizer works under
+    /// the engine's shared-noise policy: it is fed the *sum* of per-cohort
+    /// aggregates and never sees raw data.
+    pub fn finalize(&mut self, aggregate: HistogramAggregate) -> Result<Release, SynthError> {
+        if self.rounds_fed >= self.config.horizon {
+            return Err(SynthError::HorizonExceeded {
+                horizon: self.config.horizon,
+            });
+        }
+        // Validate the aggregate's shape *before* touching any state, so a
+        // rejected finalize leaves the synthesizer exactly as it was (in
+        // particular, a malformed first aggregate must not pin `n`).
+        let t = self.rounds_fed + 1; // 1-based round this finalize covers
+        let k = self.config.window;
+        match &aggregate {
+            HistogramAggregate::Buffered { .. } => {
+                if t >= k {
+                    return Err(SynthError::OutOfPhase(format!(
+                        "buffered aggregate at round {t}, but releases start at round {k}"
+                    )));
+                }
+            }
+            HistogramAggregate::Counts { counts, .. } => {
+                if t < k {
+                    return Err(SynthError::OutOfPhase(format!(
+                        "histogram aggregate at buffering round {t} (< k = {k})"
+                    )));
+                }
+                if counts.len() != Pattern::count(k) {
+                    return Err(SynthError::OutOfPhase(format!(
+                        "aggregate has {} bins, width-{k} synthesis needs {}",
+                        counts.len(),
+                        Pattern::count(k)
+                    )));
+                }
+            }
+        }
+        match self.n {
+            Some(n) if n != aggregate.population() => {
+                return Err(SynthError::ColumnSizeMismatch {
+                    expected: n,
+                    actual: aggregate.population(),
+                })
+            }
+            None => self.n = Some(aggregate.population()),
+            _ => {}
+        }
+        self.rounds_fed += 1;
+
+        let counts = match aggregate {
+            HistogramAggregate::Buffered { .. } => return Ok(Release::Buffered),
+            HistogramAggregate::Counts { counts, .. } => counts,
+        };
+        let noisy = self.noisy_histogram(counts);
+        if self.rounds_fed == k {
+            Ok(self.initialize(noisy))
+        } else {
+            Ok(self.extend(noisy))
+        }
+    }
+
+    /// `Ĉ_s = C_s + npad + noise`, charged to the ledger.
+    fn noisy_histogram(&mut self, mut counts: Vec<i64>) -> Vec<i64> {
         self.ledger
             .charge(self.per_step_rho)
             .expect("per-step charges sum to the configured budget");

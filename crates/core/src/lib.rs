@@ -60,6 +60,7 @@
 //! | module | contents |
 //! |---|---|
 //! | [`traits`]       | [`ContinualSynthesizer`] — the unified step/release contract all four synthesizers implement |
+//! | [`aggregate`]    | unnoised per-round sufficient statistics (the two-phase `prepare` outputs) |
 //! | [`fixed_window`] | Algorithm 1 and its consistency arithmetic |
 //! | [`cumulative`]   | Algorithm 2 over pluggable stream counters |
 //! | [`synthetic`]    | the persistent synthetic population |
@@ -79,6 +80,7 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod aggregate;
 pub mod baseline;
 pub mod categorical;
 pub mod cumulative;
@@ -90,6 +92,7 @@ pub mod reduction;
 pub mod synthetic;
 pub mod traits;
 
+pub use aggregate::{CumulativeAggregate, HistogramAggregate};
 pub use cumulative::{BudgetSplit, CumulativeConfig, CumulativeSynthesizer};
 pub use error::SynthError;
 pub use fixed_window::{FixedWindowConfig, FixedWindowSynthesizer, Release, SelectionStrategy};

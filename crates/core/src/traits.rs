@@ -14,10 +14,33 @@
 //! against this interface rather than against concrete structs.
 //!
 //! Every implementation in this crate delegates to the pre-existing
-//! inherent `step()` of the same struct, so trait-dispatched and direct
+//! inherent methods of the same struct, so trait-dispatched and direct
 //! calls are **bit-identical** under the same RNG state — the
 //! `trait_equivalence` test suite pins that down per synthesizer.
+//!
+//! ## The two-phase path
+//!
+//! Each round is really two separable phases, and the trait exposes both:
+//!
+//! 1. [`prepare`](ContinualSynthesizer::prepare) consumes the round's true
+//!    column and returns its **unnoised sufficient statistics** (the
+//!    [`Aggregate`](ContinualSynthesizer::Aggregate) — a window histogram,
+//!    threshold increments, …). No noise, no budget charge.
+//! 2. [`finalize`](ContinualSynthesizer::finalize) privatizes an aggregate
+//!    (noise + ledger charge) and extends the synthetic population,
+//!    returning the round's release.
+//!
+//! [`step`](ContinualSynthesizer::step) is exactly `prepare` then
+//! `finalize`, so single-synthesizer behavior is unchanged. The split
+//! exists for aggregation layers: because aggregates of **disjoint cohorts
+//! sum**, a sharded engine can add per-shard `prepare` outputs into one
+//! population aggregate and `finalize` it on a dedicated population
+//! synthesizer with a *single* noise draw — the `SharedNoise` aggregation
+//! policy in `longsynth-engine`, which recovers unsharded population
+//! accuracy. A finalize-only synthesizer never sees raw data, only summed
+//! aggregates.
 
+use crate::aggregate::{CumulativeAggregate, HistogramAggregate};
 use crate::baseline::RecomputeBaseline;
 use crate::categorical::CategoricalSynthesizer;
 use crate::cumulative::CumulativeSynthesizer;
@@ -45,9 +68,33 @@ pub trait ContinualSynthesizer {
     type Input;
     /// What one `step` call releases.
     type Release;
+    /// The round's unnoised sufficient statistics (the phase-1 output of
+    /// the two-phase path). Aggregates of disjoint cohorts are designed to
+    /// sum; the engine's `MergeAggregate` impls define how.
+    type Aggregate;
+
+    /// Phase 1: consume the next true column and return the round's
+    /// **unnoised** aggregate. Draws no noise and charges no budget — the
+    /// aggregate is raw true-data statistics and must only ever flow into
+    /// a [`finalize`](Self::finalize) call, never be released.
+    fn prepare(&mut self, input: &Self::Input) -> Result<Self::Aggregate, SynthError>;
+
+    /// Phase 2: privatize an aggregate (noise + ledger charge) and extend
+    /// the synthetic population; returns the round's release. Works
+    /// standalone on aggregates the synthesizer did not `prepare` itself —
+    /// e.g. the sum of per-cohort aggregates, the shared-noise population
+    /// path.
+    fn finalize(&mut self, aggregate: Self::Aggregate) -> Result<Self::Release, SynthError>;
 
     /// Feed the next true column; returns this round's release.
-    fn step(&mut self, input: &Self::Input) -> Result<Self::Release, SynthError>;
+    ///
+    /// Equivalent to [`prepare`](Self::prepare) followed by
+    /// [`finalize`](Self::finalize) (implementations that override it keep
+    /// that equivalence bit-exact).
+    fn step(&mut self, input: &Self::Input) -> Result<Self::Release, SynthError> {
+        let aggregate = self.prepare(input)?;
+        self.finalize(aggregate)
+    }
 
     /// Rounds fed so far (0-based count; equals the 1-based current round
     /// number after a successful `step`).
@@ -82,6 +129,15 @@ pub trait ContinualSynthesizer {
 impl<R: Rng> ContinualSynthesizer for FixedWindowSynthesizer<R> {
     type Input = BitColumn;
     type Release = Release;
+    type Aggregate = HistogramAggregate;
+
+    fn prepare(&mut self, input: &BitColumn) -> Result<HistogramAggregate, SynthError> {
+        FixedWindowSynthesizer::prepare(self, input)
+    }
+
+    fn finalize(&mut self, aggregate: HistogramAggregate) -> Result<Release, SynthError> {
+        FixedWindowSynthesizer::finalize(self, aggregate)
+    }
 
     fn step(&mut self, input: &BitColumn) -> Result<Release, SynthError> {
         FixedWindowSynthesizer::step(self, input)
@@ -107,6 +163,15 @@ impl<R: Rng> ContinualSynthesizer for FixedWindowSynthesizer<R> {
 impl<R: Rng> ContinualSynthesizer for CumulativeSynthesizer<R> {
     type Input = BitColumn;
     type Release = BitColumn;
+    type Aggregate = CumulativeAggregate;
+
+    fn prepare(&mut self, input: &BitColumn) -> Result<CumulativeAggregate, SynthError> {
+        CumulativeSynthesizer::prepare(self, input)
+    }
+
+    fn finalize(&mut self, aggregate: CumulativeAggregate) -> Result<BitColumn, SynthError> {
+        CumulativeSynthesizer::finalize(self, aggregate)
+    }
 
     fn step(&mut self, input: &BitColumn) -> Result<BitColumn, SynthError> {
         CumulativeSynthesizer::step(self, input)
@@ -132,6 +197,15 @@ impl<R: Rng> ContinualSynthesizer for CumulativeSynthesizer<R> {
 impl ContinualSynthesizer for RecomputeBaseline {
     type Input = BitColumn;
     type Release = ();
+    type Aggregate = BitColumn;
+
+    fn prepare(&mut self, input: &BitColumn) -> Result<BitColumn, SynthError> {
+        RecomputeBaseline::prepare(self, input)
+    }
+
+    fn finalize(&mut self, aggregate: BitColumn) -> Result<(), SynthError> {
+        RecomputeBaseline::finalize(self, aggregate)
+    }
 
     fn step(&mut self, input: &BitColumn) -> Result<(), SynthError> {
         RecomputeBaseline::step(self, input)
@@ -157,6 +231,15 @@ impl ContinualSynthesizer for RecomputeBaseline {
 impl<R: Rng> ContinualSynthesizer for CategoricalSynthesizer<R> {
     type Input = CategoricalColumn;
     type Release = ();
+    type Aggregate = HistogramAggregate;
+
+    fn prepare(&mut self, input: &CategoricalColumn) -> Result<HistogramAggregate, SynthError> {
+        CategoricalSynthesizer::prepare(self, input)
+    }
+
+    fn finalize(&mut self, aggregate: HistogramAggregate) -> Result<(), SynthError> {
+        CategoricalSynthesizer::finalize(self, aggregate)
+    }
 
     fn step(&mut self, input: &CategoricalColumn) -> Result<(), SynthError> {
         CategoricalSynthesizer::step(self, input)
@@ -215,6 +298,144 @@ mod tests {
         }
         drive(&mut fixed, &data);
         drive(&mut cumulative, &data);
+    }
+
+    /// `step` and `prepare`+`finalize` are the same computation: two
+    /// instances under the same seed, one stepped and one driven through
+    /// the explicit two-phase path, release bit-identical sequences.
+    #[test]
+    fn step_equals_prepare_then_finalize() {
+        let data = iid_bernoulli(&mut rng_from_seed(11), 120, 8, 0.4);
+        let config = FixedWindowConfig::new(8, 3, Rho::new(0.02).unwrap()).unwrap();
+        let mut stepped = FixedWindowSynthesizer::new(config, rng_from_seed(12));
+        let mut phased = FixedWindowSynthesizer::new(config, rng_from_seed(12));
+        for (_, col) in data.stream() {
+            let via_step = stepped.step(col).unwrap();
+            let aggregate = phased.prepare(col).unwrap();
+            let via_phases = phased.finalize(aggregate).unwrap();
+            assert_eq!(via_step, via_phases);
+        }
+        assert_eq!(stepped.synthetic(), phased.synthetic());
+
+        let config = CumulativeConfig::new(8, Rho::new(0.02).unwrap()).unwrap();
+        let mut stepped = CumulativeSynthesizer::new(config, RngFork::new(13), rng_from_seed(13));
+        let mut phased = CumulativeSynthesizer::new(config, RngFork::new(13), rng_from_seed(13));
+        for (_, col) in data.stream() {
+            let via_step = stepped.step(col).unwrap();
+            let aggregate = phased.prepare(col).unwrap();
+            let via_phases = phased.finalize(aggregate).unwrap();
+            assert_eq!(via_step, via_phases);
+        }
+        assert_eq!(stepped.synthetic(), phased.synthetic());
+    }
+
+    /// A **finalize-only** synthesizer fed another instance's prepared
+    /// aggregates is bit-identical to a stepped run under the same seed —
+    /// the property the engine's shared-noise population synthesizer
+    /// relies on (it only ever sees summed aggregates, never raw data).
+    #[test]
+    fn finalize_only_drive_matches_stepped_run() {
+        let data = iid_bernoulli(&mut rng_from_seed(21), 90, 7, 0.35);
+        let config = FixedWindowConfig::new(7, 2, Rho::new(0.05).unwrap()).unwrap();
+        let mut stepped = FixedWindowSynthesizer::new(config, rng_from_seed(22));
+        // The preparer's own seed is irrelevant: prepare draws no noise.
+        let mut preparer = FixedWindowSynthesizer::new(config, rng_from_seed(999));
+        let mut population = FixedWindowSynthesizer::new(config, rng_from_seed(22));
+        for (_, col) in data.stream() {
+            let via_step = stepped.step(col).unwrap();
+            let aggregate = preparer.prepare(col).unwrap();
+            // Keep the preparer phase-consistent for the next round.
+            let _ = preparer.finalize(aggregate.clone()).unwrap();
+            let via_finalize = population.finalize(aggregate).unwrap();
+            assert_eq!(via_step, via_finalize);
+        }
+        assert_eq!(stepped.synthetic(), population.synthetic());
+        assert_eq!(stepped.rounds_fed(), population.rounds_fed());
+        assert!((population.ledger().spent().value() - 0.05).abs() < 1e-12);
+    }
+
+    /// Double-prepare is rejected; so is an aggregate of the wrong phase.
+    #[test]
+    fn two_phase_misuse_is_caught() {
+        let data = iid_bernoulli(&mut rng_from_seed(31), 40, 5, 0.5);
+        let config = FixedWindowConfig::new(5, 2, Rho::new(0.1).unwrap()).unwrap();
+        let mut synth = FixedWindowSynthesizer::new(config, rng_from_seed(32));
+        let col = data.column(0);
+        let aggregate = synth.prepare(col).unwrap();
+        assert!(matches!(synth.prepare(col), Err(SynthError::OutOfPhase(_))));
+        synth.finalize(aggregate).unwrap();
+        // A buffered aggregate once releases have begun is out of phase.
+        synth.step(col).unwrap(); // round 2: first release (k = 2)
+        assert!(matches!(
+            synth.finalize(crate::aggregate::HistogramAggregate::Buffered { n: 40 }),
+            Err(SynthError::OutOfPhase(_))
+        ));
+        // A histogram with the wrong bin count is out of phase too.
+        assert!(matches!(
+            synth.finalize(crate::aggregate::HistogramAggregate::Counts {
+                n: 40,
+                counts: vec![0; 8],
+            }),
+            Err(SynthError::OutOfPhase(_))
+        ));
+        // The failed finalizes did not consume the round: stepping resumes.
+        assert_eq!(synth.rounds_fed(), 2);
+        synth.step(col).unwrap();
+        assert_eq!(synth.rounds_fed(), 3);
+    }
+
+    /// A rejected finalize leaves a *fresh* synthesizer untouched — in
+    /// particular it must not pin the population size (or, for the
+    /// cumulative family, size the synthetic population) from a malformed
+    /// aggregate.
+    #[test]
+    fn rejected_first_finalize_does_not_pin_state() {
+        // Fixed-window, finalize-only (the population-synthesizer shape):
+        // a wrong-bin-count aggregate at n = 40 is rejected; the real
+        // n = 100 stream must still be accepted afterwards.
+        let config = FixedWindowConfig::new(5, 2, Rho::new(0.1).unwrap()).unwrap();
+        let mut population = FixedWindowSynthesizer::new(config, rng_from_seed(61));
+        // Wrong phase for round 1 (k = 2 buffers it), and wrong bin count —
+        // both rejected before any state changes.
+        assert!(matches!(
+            population.finalize(crate::aggregate::HistogramAggregate::Counts {
+                n: 40,
+                counts: vec![0; 4],
+            }),
+            Err(SynthError::OutOfPhase(_))
+        ));
+        assert!(population.true_n().is_none());
+        assert_eq!(population.rounds_fed(), 0);
+        let data = iid_bernoulli(&mut rng_from_seed(62), 100, 5, 0.5);
+        let mut preparer = FixedWindowSynthesizer::new(config, rng_from_seed(63));
+        for (_, col) in data.stream() {
+            let aggregate = preparer.prepare(col).unwrap();
+            preparer.finalize(aggregate.clone()).unwrap();
+            population.finalize(aggregate).unwrap();
+        }
+        assert_eq!(population.true_n(), Some(100));
+
+        // Cumulative: a wrong-length increment vector must not size the
+        // synthetic population or pin n.
+        let config = CumulativeConfig::new(4, Rho::new(0.1).unwrap()).unwrap();
+        let mut population =
+            CumulativeSynthesizer::new(config, RngFork::new(64), rng_from_seed(64));
+        assert!(matches!(
+            population.finalize(crate::aggregate::CumulativeAggregate {
+                n: 40,
+                increments: vec![1, 2],
+            }),
+            Err(SynthError::OutOfPhase(_))
+        ));
+        assert_eq!(population.rounds_fed(), 0);
+        population
+            .finalize(crate::aggregate::CumulativeAggregate {
+                n: 100,
+                increments: vec![7],
+            })
+            .unwrap();
+        assert_eq!(population.true_n(), Some(100));
+        assert_eq!(population.synthetic().len(), 100);
     }
 
     #[test]

@@ -1,16 +1,24 @@
 //! The sharded engine driver.
 //!
-//! [`ShardedEngine`] holds one [`ContinualSynthesizer`] per shard and, on
-//! every [`step`](ShardedEngine::step):
+//! [`ShardedEngine`] holds one [`ContinualSynthesizer`] per shard — plus,
+//! under the shared-noise aggregation policy, one **population-level**
+//! synthesizer — and, on every [`step`](ShardedEngine::step):
 //!
 //! 1. splits the population-level input column into per-shard cohort
 //!    columns ([`ShardableInput`] — a word-level splice),
 //! 2. drives every shard's synthesizer on its cohort column — through the
 //!    persistent [`WorkerPool`] when there is more than one shard,
-//! 3. merges the per-shard releases back into one population-level release
-//!    ([`MergeRelease`] — a word-level concatenation),
-//! 4. hands the round to the attached [`ReleaseSink`], if any, and
-//! 5. refreshes the aggregate [`EngineBudget`].
+//! 3. produces the population-level release according to the engine's
+//!    [`AggregationPolicy`]:
+//!    * **per-shard noise** — merges the per-shard releases back into one
+//!      population-level release ([`MergeRelease`] — a word-level
+//!      concatenation), bit-exact with the pre-policy engine;
+//!    * **shared noise** — sums the shards' *unnoised* two-phase
+//!      aggregates ([`MergeAggregate`]) and has the population
+//!      synthesizer privatize the sum with a single noise draw,
+//! 4. hands the round (tagged with the policy) to the attached
+//!    [`ReleaseSink`], if any, and
+//! 5. refreshes the aggregate two-level [`EngineBudget`].
 //!
 //! Parallelism note: the engine owns (or shares) a `longsynth-pool`
 //! [`WorkerPool`] — threads are created once at construction and fed jobs
@@ -23,7 +31,8 @@
 //!
 //! The engine keeps shard synthesizers by value and in order, so between
 //! rounds callers can inspect any shard (e.g. per-shard estimates, clamp
-//! counters) through [`ShardedEngine::shard`].
+//! counters) through [`ShardedEngine::shard`] — and the population
+//! synthesizer through [`ShardedEngine::population_synthesizer`].
 
 use longsynth::{ContinualSynthesizer, SynthError};
 use longsynth_pool::WorkerPool;
@@ -31,21 +40,52 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use crate::budget::EngineBudget;
-use crate::merge::MergeRelease;
-use crate::shard::{ShardPlan, ShardableInput};
+use crate::merge::{MergeAggregate, MergeRelease};
+use crate::policy::{AggregationPolicy, PolicyTag};
+use crate::shard::{ShardPlan, ShardableInput, SlotRole, SynthSlot};
 use crate::sink::ReleaseSink;
 use crate::EngineError;
+
+/// Whether an engine consumes raw data (stepped) or only summed
+/// aggregates (finalize-only, the population slot of an outer engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DriveMode {
+    /// `step`/`prepare` rounds: shards advance on raw cohort data.
+    Stepped,
+    /// Standalone `finalize` rounds: only the population route advances.
+    FinalizeOnly,
+}
 
 /// A sharded multi-cohort streaming engine over any synthesizer family.
 ///
 /// All shards must be configured identically (same horizon, same total
-/// budget) — the engine feeds them in lockstep and merges their releases
-/// positionally; construction fails with
+/// budget) — the engine feeds them in lockstep and aggregates their
+/// releases positionally; construction fails with
 /// [`EngineError::HeterogeneousShards`] otherwise. Constructors take a
 /// factory so per-shard RNG streams stay independent.
+///
+/// Where the noise goes is a pluggable [`AggregationPolicy`]:
+/// [`new`](Self::new)/[`with_pool`](Self::with_pool) keep the default
+/// per-shard noise (bit-exact with the pre-policy engine), while
+/// [`with_aggregation`](Self::with_aggregation) selects the policy
+/// explicitly and — for shared noise — asks the factory for one extra
+/// population-level synthesizer carrying the population budget share.
 pub struct ShardedEngine<S: ContinualSynthesizer> {
     plan: ShardPlan,
+    policy: AggregationPolicy,
     shards: Vec<S>,
+    /// The finalize-only population synthesizer (shared-noise policy with
+    /// more than one shard).
+    population: Option<S>,
+    /// Per-shard aggregates of a round started via the two-phase
+    /// [`prepare`](Self::prepare) and awaiting [`finalize`](Self::finalize).
+    pending: Option<Vec<S::Aggregate>>,
+    /// How this engine has been driven so far. `step`/`prepare` (raw-data
+    /// rounds advancing the shards) and standalone `finalize` (population
+    /// rounds that never touch the shards) are mutually exclusive over an
+    /// engine's lifetime — mixing them would desynchronize the population
+    /// synthesizer from the shards, so the first use pins the mode.
+    mode: Option<DriveMode>,
     rounds_fed: usize,
     pool: Option<Arc<WorkerPool>>,
     sink: Option<Box<dyn ReleaseSink<S::Release>>>,
@@ -56,7 +96,8 @@ where
     S: ContinualSynthesizer,
 {
     /// Build an engine over `plan`, creating one synthesizer per shard with
-    /// `factory(shard_index, cohort_size)`.
+    /// `factory(shard_index, cohort_size)`, under the default
+    /// [`AggregationPolicy::PerShardNoise`].
     ///
     /// A multi-shard engine creates its own [`WorkerPool`] sized to the
     /// machine (at most one worker per shard); a 1-shard engine steps
@@ -64,39 +105,116 @@ where
     /// share an existing pool instead.
     pub fn new(
         plan: ShardPlan,
-        factory: impl FnMut(usize, usize) -> S,
+        mut factory: impl FnMut(usize, usize) -> S,
     ) -> Result<Self, EngineError> {
-        let pool = if plan.shards() > 1 {
-            Some(Arc::new(WorkerPool::with_capacity_hint(plan.shards())))
-        } else {
-            None
-        };
-        Self::build(plan, factory, pool)
+        let pool = Self::own_pool(&plan);
+        Self::build(
+            plan,
+            AggregationPolicy::PerShardNoise,
+            Self::adapt_shard_factory(&mut factory),
+            pool,
+        )
     }
 
     /// Build an engine that runs its per-shard steps on `pool` — the
     /// deployment shape where one persistent pool backs both the engine
-    /// and the serving front-end.
+    /// and the serving front-end. Default per-shard noise policy.
     pub fn with_pool(
         plan: ShardPlan,
-        factory: impl FnMut(usize, usize) -> S,
+        mut factory: impl FnMut(usize, usize) -> S,
         pool: Arc<WorkerPool>,
     ) -> Result<Self, EngineError> {
-        Self::build(plan, factory, Some(pool))
+        Self::build(
+            plan,
+            AggregationPolicy::PerShardNoise,
+            Self::adapt_shard_factory(&mut factory),
+            Some(pool),
+        )
+    }
+
+    /// Build an engine under an explicit [`AggregationPolicy`].
+    ///
+    /// The factory is called once per [`SynthSlot`]: every shard (with the
+    /// cohort-level budget share), and — for shared noise with more than
+    /// one shard — once with [`SlotRole::Population`] and the population
+    /// budget share. Configure each synthesizer with
+    /// `total_rho * slot.budget_share`; construction verifies the split
+    /// was honored.
+    pub fn with_aggregation(
+        plan: ShardPlan,
+        policy: AggregationPolicy,
+        factory: impl FnMut(SynthSlot) -> S,
+    ) -> Result<Self, EngineError> {
+        let pool = Self::own_pool(&plan);
+        Self::build(plan, policy, factory, pool)
+    }
+
+    /// [`with_aggregation`](Self::with_aggregation) on a shared pool.
+    pub fn with_aggregation_and_pool(
+        plan: ShardPlan,
+        policy: AggregationPolicy,
+        factory: impl FnMut(SynthSlot) -> S,
+        pool: Arc<WorkerPool>,
+    ) -> Result<Self, EngineError> {
+        Self::build(plan, policy, factory, Some(pool))
+    }
+
+    fn own_pool(plan: &ShardPlan) -> Option<Arc<WorkerPool>> {
+        if plan.shards() > 1 {
+            Some(Arc::new(WorkerPool::with_capacity_hint(plan.shards())))
+        } else {
+            None
+        }
+    }
+
+    /// Adapt the legacy `(shard_index, cohort_size)` factory to the slot
+    /// factory (per-shard noise never asks for a population slot).
+    fn adapt_shard_factory(
+        factory: &mut impl FnMut(usize, usize) -> S,
+    ) -> impl FnMut(SynthSlot) -> S + '_ {
+        move |slot| match slot.role {
+            SlotRole::Shard(s) => factory(s, slot.size),
+            SlotRole::Population => {
+                unreachable!("per-shard noise never builds a population synthesizer")
+            }
+        }
     }
 
     fn build(
         plan: ShardPlan,
-        mut factory: impl FnMut(usize, usize) -> S,
+        policy: AggregationPolicy,
+        mut factory: impl FnMut(SynthSlot) -> S,
         pool: Option<Arc<WorkerPool>>,
     ) -> Result<Self, EngineError> {
+        policy.validate()?;
+        let (shard_share, population_share) = policy.budget_shares(plan.shards());
         let shards: Vec<S> = (0..plan.shards())
-            .map(|s| factory(s, plan.cohort_size(s)))
+            .map(|s| {
+                factory(SynthSlot {
+                    role: SlotRole::Shard(s),
+                    size: plan.cohort_size(s),
+                    budget_share: shard_share,
+                })
+            })
             .collect();
         validate_homogeneous(&shards)?;
+        let population = population_share.map(|share| {
+            factory(SynthSlot {
+                role: SlotRole::Population,
+                size: plan.population(),
+                budget_share: share,
+            })
+        });
+        if let (Some(population), Some(share)) = (&population, population_share) {
+            validate_population(&shards[0], population, shard_share, share)?;
+        }
         Ok(Self {
             plan,
+            policy,
             shards,
+            population,
+            pending: None,
+            mode: None,
             rounds_fed: 0,
             pool,
             sink: None,
@@ -108,6 +226,11 @@ where
         &self.plan
     }
 
+    /// The aggregation policy this engine runs under.
+    pub fn policy(&self) -> AggregationPolicy {
+        self.policy
+    }
+
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.shards.len()
@@ -116,6 +239,13 @@ where
     /// Borrow shard `s`'s synthesizer (for between-round inspection).
     pub fn shard(&self, s: usize) -> &S {
         &self.shards[s]
+    }
+
+    /// Borrow the population-level synthesizer, when the engine runs one
+    /// (shared-noise policy with more than one shard). Its estimates are
+    /// the population-accuracy product the policy exists for.
+    pub fn population_synthesizer(&self) -> Option<&S> {
+        self.population.as_ref()
     }
 
     /// Rounds fed so far.
@@ -145,12 +275,16 @@ where
         self.sink.take()
     }
 
-    /// Aggregate zCDP budget state across shards.
+    /// Aggregate zCDP budget state: per-shard cohort level plus, when the
+    /// engine runs a population synthesizer, the population level.
     pub fn budget(&self) -> EngineBudget {
-        EngineBudget::from_shards(
+        EngineBudget::from_levels(
             self.shards
                 .iter()
                 .map(|s| (s.budget_spent(), s.budget_total())),
+            self.population
+                .as_ref()
+                .map(|p| (p.budget_spent(), p.budget_total())),
         )
     }
 }
@@ -159,10 +293,11 @@ impl<S: ContinualSynthesizer> std::fmt::Debug for ShardedEngine<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "ShardedEngine[shards={}, population={}, rounds_fed={}, pooled={}, sink={}]",
+            "ShardedEngine[shards={}, population={}, rounds_fed={}, policy={}, pooled={}, sink={}]",
             self.shards.len(),
             self.plan.population(),
             self.rounds_fed,
+            self.policy,
             self.pool.is_some(),
             self.sink.is_some(),
         )
@@ -199,20 +334,104 @@ fn validate_homogeneous<S: ContinualSynthesizer>(shards: &[S]) -> Result<(), Eng
     Ok(())
 }
 
+/// The population synthesizer must run the same horizon as the shards, and
+/// the factory must have honored the policy's budget split: the total ρ
+/// implied by the shard budgets (`shard_total / shard_share`) and by the
+/// population budget (`population_total / population_share`) must agree.
+fn validate_population<S: ContinualSynthesizer>(
+    shard: &S,
+    population: &S,
+    shard_share: f64,
+    population_share: f64,
+) -> Result<(), EngineError> {
+    if population.horizon() != shard.horizon() {
+        return Err(EngineError::InvalidPolicy(format!(
+            "population synthesizer has horizon {}, shards have {}",
+            population.horizon(),
+            shard.horizon()
+        )));
+    }
+    let implied_by_shards = shard.budget_total().value() / shard_share;
+    let implied_by_population = population.budget_total().value() / population_share;
+    let scale = implied_by_shards.abs().max(implied_by_population.abs());
+    if (implied_by_shards - implied_by_population).abs() > 1e-9 * scale.max(1.0) {
+        return Err(EngineError::InvalidPolicy(format!(
+            "factory did not honor the shared-noise budget split: shard budgets imply \
+             total ρ={implied_by_shards}, population budget implies ρ={implied_by_population} \
+             (shard share {shard_share}, population share {population_share})"
+        )));
+    }
+    Ok(())
+}
+
 impl<S> ShardedEngine<S>
 where
     S: ContinualSynthesizer + Send + 'static,
     S::Input: ShardableInput + Send + 'static,
     S::Release: MergeRelease + Clone + Send + 'static,
+    S::Aggregate: MergeAggregate + Clone + Send + 'static,
 {
-    /// Feed one population-level column; returns the merged release.
+    /// Feed one population-level column; returns the population-level
+    /// release (policy-dependent: concatenated cohort releases, or the
+    /// shared-noise population synthesis).
     pub fn step(&mut self, column: &S::Input) -> Result<S::Release, EngineError> {
+        if self.pending.is_some() {
+            return Err(EngineError::OutOfPhase(
+                "step during a prepared round awaiting finalize".to_string(),
+            ));
+        }
         if column.population() != self.plan.population() {
             return Err(EngineError::PopulationMismatch {
                 expected: self.plan.population(),
                 actual: column.population(),
             });
         }
+        self.enter_stepped_mode()?;
+        if self.population.is_some() {
+            self.shared_step(column)
+        } else {
+            self.concat_step(column)
+        }
+    }
+
+    /// Pin the engine as a raw-data (stepped) engine: stepped rounds and
+    /// standalone finalize-only rounds must not mix on one instance — a
+    /// standalone finalize advances only the population route, so a later
+    /// raw-data round would feed the population synthesizer an aggregate
+    /// one round out of phase (and burn shard budget before failing).
+    /// Pinned *before* shards run, because even a failed round may have
+    /// advanced shard state.
+    fn enter_stepped_mode(&mut self) -> Result<(), EngineError> {
+        match self.mode {
+            Some(DriveMode::FinalizeOnly) => Err(EngineError::OutOfPhase(
+                "raw-data round on an engine driven finalize-only (the two modes \
+                 must not mix: the shards never saw the finalized rounds)"
+                    .to_string(),
+            )),
+            _ => {
+                self.mode = Some(DriveMode::Stepped);
+                Ok(())
+            }
+        }
+    }
+
+    /// The tag describing what this engine's merged releases *actually*
+    /// are: `Shared` only when a population synthesizer exists. A
+    /// shared-noise policy collapsed at one shard emits `PerShard` — its
+    /// merged release is the (single-)cohort release at full budget, and
+    /// downstream consumers must treat it as a concatenation.
+    fn effective_tag(&self) -> PolicyTag {
+        if self.population.is_some() {
+            PolicyTag::Shared
+        } else {
+            PolicyTag::PerShard
+        }
+    }
+
+    /// Per-shard-noise round (also shared noise collapsed at one shard):
+    /// every shard runs a full `step`, releases concatenate. Bit-exact
+    /// with the pre-policy engine.
+    fn concat_step(&mut self, column: &S::Input) -> Result<S::Release, EngineError> {
         let parts = column.split(&self.plan);
         let releases = if self.shards.len() == 1 {
             let mut parts = parts;
@@ -228,7 +447,7 @@ where
             None => S::Release::merge(releases)?,
             Some(sink) => {
                 let merged = S::Release::merge(releases.clone())?;
-                sink.on_round(self.rounds_fed, &releases, &merged);
+                sink.on_round(self.rounds_fed, &releases, &merged, PolicyTag::PerShard);
                 merged
             }
         };
@@ -236,13 +455,204 @@ where
         Ok(merged)
     }
 
-    /// Drive the whole panel stream, returning every merged release.
+    /// Shared-noise round: shards `prepare` (unnoised aggregates) and
+    /// `finalize` their own cohort releases on the pool; the aggregates
+    /// sum into one population aggregate, privatized by the population
+    /// synthesizer with a single noise draw.
+    fn shared_step(&mut self, column: &S::Input) -> Result<S::Release, EngineError> {
+        let parts = column.split(&self.plan);
+        let pool = Arc::clone(
+            self.pool
+                .as_ref()
+                .expect("multi-shard engines always hold a pool"),
+        );
+        let shards = std::mem::take(&mut self.shards);
+        let outcomes = pool.run_batch(shards.into_iter().zip(parts).map(|(mut shard, part)| {
+            move || {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let aggregate = shard.prepare(&part)?;
+                    let release = shard.finalize(aggregate.clone())?;
+                    Ok::<_, SynthError>((aggregate, release))
+                }));
+                (shard, result)
+            }
+        }));
+        let mut aggregates = Vec::with_capacity(outcomes.len());
+        let mut releases = Vec::with_capacity(outcomes.len());
+        let mut first_error = None;
+        let mut first_panic = None;
+        for (index, (shard, result)) in outcomes.into_iter().enumerate() {
+            self.shards.push(shard);
+            match result {
+                Ok(Ok((aggregate, release))) => {
+                    aggregates.push(aggregate);
+                    releases.push(release);
+                }
+                Ok(Err(source)) if first_error.is_none() => {
+                    first_error = Some(EngineError::Shard {
+                        shard: index,
+                        source,
+                    });
+                }
+                Ok(Err(_)) => {}
+                Err(payload) if first_panic.is_none() => first_panic = Some(payload),
+                Err(_) => {}
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        if let Some(error) = first_error {
+            return Err(error);
+        }
+        let merged_aggregate = S::Aggregate::merge(aggregates)?;
+        let population = self
+            .population
+            .as_mut()
+            .expect("shared_step only runs with a population synthesizer");
+        let merged = population
+            .finalize(merged_aggregate)
+            .map_err(|source| EngineError::Population { source })?;
+        if let Some(sink) = &mut self.sink {
+            sink.on_round(self.rounds_fed, &releases, &merged, PolicyTag::Shared);
+        }
+        self.rounds_fed += 1;
+        Ok(merged)
+    }
+
+    /// Drive the whole panel stream, returning every population release.
     pub fn run<'a, I>(&mut self, columns: I) -> Result<Vec<S::Release>, EngineError>
     where
         I: IntoIterator<Item = &'a S::Input>,
         S::Input: 'a,
     {
         columns.into_iter().map(|c| self.step(c)).collect()
+    }
+
+    /// Phase 1 of the engine as a two-phase synthesizer: split the column,
+    /// run every shard's `prepare` inline, stash the per-shard aggregates
+    /// for [`finalize`](Self::finalize), and return their population-level
+    /// sum. (The hot path is [`step`](Self::step), which pools the
+    /// per-shard work; this explicit path exists so engines compose as
+    /// synthesizers — e.g. as a shard of a larger engine.)
+    pub fn prepare(&mut self, column: &S::Input) -> Result<S::Aggregate, EngineError> {
+        if self.pending.is_some() {
+            return Err(EngineError::OutOfPhase(
+                "prepare during a prepared round awaiting finalize".to_string(),
+            ));
+        }
+        if column.population() != self.plan.population() {
+            return Err(EngineError::PopulationMismatch {
+                expected: self.plan.population(),
+                actual: column.population(),
+            });
+        }
+        self.enter_stepped_mode()?;
+        let parts = column.split(&self.plan);
+        let mut aggregates = Vec::with_capacity(self.shards.len());
+        for (index, (shard, part)) in self.shards.iter_mut().zip(&parts).enumerate() {
+            aggregates.push(shard.prepare(part).map_err(|source| EngineError::Shard {
+                shard: index,
+                source,
+            })?);
+        }
+        let merged = S::Aggregate::merge(aggregates.clone())?;
+        self.pending = Some(aggregates);
+        Ok(merged)
+    }
+
+    /// Phase 2 of the engine as a two-phase synthesizer.
+    ///
+    /// After a [`prepare`](Self::prepare): finalizes every shard's pending
+    /// aggregate into cohort releases and produces the population release
+    /// per the policy. Under per-shard noise the passed population
+    /// aggregate is not consumed (privatization happens inside each
+    /// shard); under shared noise it is privatized by the population
+    /// synthesizer — exactly what [`step`](Self::step) does in one call.
+    ///
+    /// **Standalone** (no prior `prepare` — the finalize-only population
+    /// role of an *outer* engine): the engine never saw raw data this
+    /// round, so there are no cohort releases. The aggregate is privatized
+    /// by the population synthesizer (shared noise) or, for a 1-shard
+    /// engine, by the single shard it is the aggregate of. A multi-shard
+    /// per-shard-noise engine cannot privatize a population aggregate
+    /// standalone (it cannot be un-summed into cohorts) and errors.
+    /// Standalone rounds are not forwarded to this engine's sink — there
+    /// is no cohort level to observe; attach sinks to the outer engine.
+    pub fn finalize(&mut self, aggregate: S::Aggregate) -> Result<S::Release, EngineError> {
+        let Some(pending) = self.pending.take() else {
+            if self.mode == Some(DriveMode::Stepped) {
+                return Err(EngineError::OutOfPhase(
+                    "standalone finalize on an engine that has stepped raw data (the \
+                     two modes must not mix: the shards would fall out of phase)"
+                        .to_string(),
+                ));
+            }
+            let merged = match (&mut self.population, self.shards.len()) {
+                (Some(population), _) => population
+                    .finalize(aggregate)
+                    .map_err(|source| EngineError::Population { source })?,
+                (None, 1) => self.shards[0]
+                    .finalize(aggregate)
+                    .map_err(|source| EngineError::Shard { shard: 0, source })?,
+                (None, _) => {
+                    return Err(EngineError::OutOfPhase(
+                        "finalize without a prepared round: a multi-shard per-shard-noise \
+                         engine cannot privatize a population aggregate standalone"
+                            .to_string(),
+                    ))
+                }
+            };
+            // Pin finalize-only mode only after a *successful* standalone
+            // round (a rejected aggregate changed nothing).
+            self.mode = Some(DriveMode::FinalizeOnly);
+            self.rounds_fed += 1;
+            return Ok(merged);
+        };
+        // Finalize *every* shard before reporting the first error: each
+        // shard must consume its pending aggregate to stay in phase for
+        // the next round (only a shard whose own finalize failed remains
+        // out of phase — its synthesizer rejected the round and a custom
+        // implementation owns its recovery).
+        let mut releases = Vec::with_capacity(pending.len());
+        let mut first_error = None;
+        for (index, (shard, part)) in self.shards.iter_mut().zip(pending).enumerate() {
+            match shard.finalize(part) {
+                Ok(release) => releases.push(release),
+                Err(source) if first_error.is_none() => {
+                    first_error = Some(EngineError::Shard {
+                        shard: index,
+                        source,
+                    });
+                }
+                Err(_) => {}
+            }
+        }
+        if let Some(error) = first_error {
+            return Err(error);
+        }
+        let tag = self.effective_tag();
+        let merged = match &mut self.population {
+            Some(population) => {
+                let merged = population
+                    .finalize(aggregate)
+                    .map_err(|source| EngineError::Population { source })?;
+                if let Some(sink) = &mut self.sink {
+                    sink.on_round(self.rounds_fed, &releases, &merged, tag);
+                }
+                merged
+            }
+            None => match &mut self.sink {
+                None => S::Release::merge(releases)?,
+                Some(sink) => {
+                    let merged = S::Release::merge(releases.clone())?;
+                    sink.on_round(self.rounds_fed, &releases, &merged, tag);
+                    merged
+                }
+            },
+        };
+        self.rounds_fed += 1;
+        Ok(merged)
     }
 
     /// Step every shard on the persistent pool. Synthesizers are moved into
@@ -296,19 +706,29 @@ where
     }
 }
 
-/// The engine is itself a [`ContinualSynthesizer`]: population-level input
-/// in, merged release out, parallel-composition budget accounting. This is
-/// what makes the layer compose — an engine can sit anywhere a plain
-/// synthesizer can (including, in principle, as a shard of a larger
-/// engine).
+/// The engine is itself a [`ContinualSynthesizer`] — including the
+/// two-phase path: population-level input in, population release out,
+/// two-level budget accounting. This is what makes the layer compose — an
+/// engine can sit anywhere a plain synthesizer can (including, in
+/// principle, as a shard of a larger engine).
 impl<S> ContinualSynthesizer for ShardedEngine<S>
 where
     S: ContinualSynthesizer + Send + 'static,
     S::Input: ShardableInput + Send + 'static,
     S::Release: MergeRelease + Clone + Send + 'static,
+    S::Aggregate: MergeAggregate + Clone + Send + 'static,
 {
     type Input = S::Input;
     type Release = S::Release;
+    type Aggregate = S::Aggregate;
+
+    fn prepare(&mut self, input: &S::Input) -> Result<S::Aggregate, SynthError> {
+        ShardedEngine::prepare(self, input).map_err(SynthError::from)
+    }
+
+    fn finalize(&mut self, aggregate: S::Aggregate) -> Result<S::Release, SynthError> {
+        ShardedEngine::finalize(self, aggregate).map_err(SynthError::from)
+    }
 
     fn step(&mut self, input: &S::Input) -> Result<S::Release, SynthError> {
         ShardedEngine::step(self, input).map_err(SynthError::from)
@@ -334,7 +754,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use longsynth::{CumulativeConfig, CumulativeSynthesizer};
+    use longsynth::{CumulativeAggregate, CumulativeConfig, CumulativeSynthesizer};
     use longsynth_data::generators::iid_bernoulli;
     use longsynth_data::BitColumn;
     use longsynth_dp::budget::Rho;
@@ -359,6 +779,26 @@ mod tests {
         .unwrap()
     }
 
+    fn shared_cumulative_engine(
+        population: usize,
+        shards: usize,
+        horizon: usize,
+        seed: u64,
+    ) -> ShardedEngine<CumulativeSynthesizer> {
+        let plan = ShardPlan::new(population, shards).unwrap();
+        let fork = RngFork::new(seed);
+        ShardedEngine::with_aggregation(plan, AggregationPolicy::shared(), |slot| {
+            let rho = Rho::new(0.5 * slot.budget_share).unwrap();
+            let config = CumulativeConfig::new(horizon, rho).unwrap();
+            let stream = match slot.role {
+                SlotRole::Shard(s) => s as u64,
+                SlotRole::Population => 0xB0B,
+            };
+            CumulativeSynthesizer::new(config, fork.subfork(stream), rng_from_seed(seed ^ stream))
+        })
+        .unwrap()
+    }
+
     #[test]
     fn merged_release_covers_whole_population() {
         let data = iid_bernoulli(&mut rng_from_seed(1), 103, 6, 0.3);
@@ -369,6 +809,163 @@ mod tests {
         }
         assert_eq!(engine.rounds_fed(), 6);
         assert!(engine.budget().exhausted());
+    }
+
+    #[test]
+    fn shared_noise_release_covers_whole_population() {
+        let data = iid_bernoulli(&mut rng_from_seed(2), 103, 6, 0.3);
+        let mut engine = shared_cumulative_engine(103, 4, 6, 7);
+        assert!(engine.population_synthesizer().is_some());
+        assert_eq!(engine.policy(), AggregationPolicy::shared());
+        for (_, col) in data.stream() {
+            let release = engine.step(col).unwrap();
+            assert_eq!(release.len(), 103);
+        }
+        assert_eq!(engine.rounds_fed(), 6);
+        let budget = engine.budget();
+        assert!(budget.exhausted());
+        assert!(budget.has_population_level());
+        // Two-level accounting recomposes the configured total.
+        assert!((budget.total().value() - 0.5).abs() < 1e-9);
+        assert!((budget.population_total().value() - 0.4).abs() < 1e-9);
+        assert!((budget.cohort_total().value() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_noise_collapses_at_one_shard() {
+        let mut engine = shared_cumulative_engine(50, 1, 4, 3);
+        assert!(engine.population_synthesizer().is_none());
+        // The single shard carries the full budget.
+        assert!((engine.budget().total().value() - 0.5).abs() < 1e-12);
+        // The collapsed engine's merged release *is* the cohort release at
+        // full budget — a concatenation — so its rounds carry the
+        // per-shard tag, whatever the configured policy says.
+        use std::sync::{Arc as StdArc, Mutex};
+        let seen: StdArc<Mutex<Vec<PolicyTag>>> = StdArc::default();
+        let handle = StdArc::clone(&seen);
+        engine.set_sink(Box::new(
+            move |_: usize, _: &[BitColumn], _: &BitColumn, policy: PolicyTag| {
+                handle.lock().unwrap().push(policy);
+            },
+        ));
+        let data = iid_bernoulli(&mut rng_from_seed(9), 50, 4, 0.3);
+        for (_, col) in data.stream() {
+            engine.step(col).unwrap();
+        }
+        assert_eq!(*seen.lock().unwrap(), vec![PolicyTag::PerShard; 4]);
+    }
+
+    /// Engines compose hierarchically: an outer shared-noise engine whose
+    /// slots are themselves engines works end to end — in particular the
+    /// population slot is driven **finalize-only** (it never sees raw
+    /// data), which the standalone-finalize path supports.
+    #[test]
+    fn engines_compose_as_finalize_only_population_synthesizers() {
+        let n = 80;
+        let horizon = 4;
+        let rho = 0.04;
+        let data = iid_bernoulli(&mut rng_from_seed(0xC0), n, horizon, 0.3);
+        let outer_plan = ShardPlan::new(n, 2).unwrap();
+        let mut outer =
+            ShardedEngine::with_aggregation(outer_plan, AggregationPolicy::shared(), |slot| {
+                let slot_rho = Rho::new(rho * slot.budget_share).unwrap();
+                let config = CumulativeConfig::new(horizon, slot_rho).unwrap();
+                let stream = match slot.role {
+                    SlotRole::Shard(s) => 1 + s as u64,
+                    SlotRole::Population => 0,
+                };
+                ShardedEngine::new(ShardPlan::new(slot.size, 1).unwrap(), |_, _| {
+                    CumulativeSynthesizer::new(config, RngFork::new(stream), rng_from_seed(stream))
+                })
+                .unwrap()
+            })
+            .unwrap();
+        for (_, col) in data.stream() {
+            let release = outer.step(col).unwrap();
+            assert_eq!(release.len(), n);
+        }
+        assert_eq!(outer.rounds_fed(), horizon);
+        let inner_population = outer.population_synthesizer().unwrap();
+        assert_eq!(inner_population.rounds_fed(), horizon);
+        let budget = outer.budget();
+        assert!(budget.exhausted());
+        assert!((budget.total().value() - rho).abs() < 1e-9);
+    }
+
+    /// Raw-data (stepped) rounds and standalone finalize-only rounds must
+    /// not mix on one engine: the first use pins the mode, and the other
+    /// mode is refused before any budget is spent.
+    #[test]
+    fn stepped_and_finalize_only_modes_do_not_mix() {
+        let data = iid_bernoulli(&mut rng_from_seed(19), 60, 3, 0.3);
+        // Stepped first: a later standalone finalize is refused with the
+        // shards' budget untouched.
+        let mut engine = shared_cumulative_engine(60, 3, 3, 41);
+        engine.step(data.column(0)).unwrap();
+        let spent_before = engine.budget().spent().value();
+        let err = engine
+            .finalize(CumulativeAggregate {
+                n: 60,
+                increments: vec![1, 2],
+            })
+            .unwrap_err();
+        assert!(matches!(err, EngineError::OutOfPhase(_)));
+        assert!((engine.budget().spent().value() - spent_before).abs() < 1e-15);
+        engine.step(data.column(1)).unwrap(); // stepping still works
+
+        // Finalize-only first: a later raw-data round is refused.
+        let mut population = shared_cumulative_engine(60, 3, 3, 42);
+        population
+            .finalize(CumulativeAggregate {
+                n: 60,
+                increments: vec![4],
+            })
+            .unwrap();
+        let spent_before = population.budget().spent().value();
+        assert!(matches!(
+            population.step(data.column(1)),
+            Err(EngineError::OutOfPhase(_))
+        ));
+        assert!(matches!(
+            population.prepare(data.column(1)),
+            Err(EngineError::OutOfPhase(_))
+        ));
+        assert!((population.budget().spent().value() - spent_before).abs() < 1e-15);
+        // Finalize-only driving continues fine.
+        population
+            .finalize(CumulativeAggregate {
+                n: 60,
+                increments: vec![3, 1],
+            })
+            .unwrap();
+        assert_eq!(population.rounds_fed(), 2);
+    }
+
+    #[test]
+    fn standalone_finalize_requires_a_population_route() {
+        // Multi-shard per-shard-noise: a population aggregate cannot be
+        // un-summed, so standalone finalize is refused.
+        let mut engine = cumulative_engine(40, 2, 4, 21);
+        assert!(matches!(
+            engine.finalize(CumulativeAggregate {
+                n: 40,
+                increments: vec![3],
+            }),
+            Err(EngineError::OutOfPhase(_))
+        ));
+        // A 1-shard engine routes the aggregate to its single shard:
+        // finalize-only drive matches a stepped run bit for bit.
+        let data = iid_bernoulli(&mut rng_from_seed(23), 40, 4, 0.4);
+        let mut stepped = cumulative_engine(40, 1, 4, 22);
+        let mut finalize_only = cumulative_engine(40, 1, 4, 22);
+        let mut preparer = cumulative_engine(40, 1, 4, 77);
+        for (_, col) in data.stream() {
+            let via_step = stepped.step(col).unwrap();
+            let aggregate = preparer.prepare(col).unwrap();
+            let _ = preparer.finalize(aggregate.clone()).unwrap();
+            let via_finalize = finalize_only.finalize(aggregate).unwrap();
+            assert_eq!(via_step, via_finalize);
+        }
     }
 
     #[test]
@@ -396,8 +993,11 @@ mod tests {
     fn engine_implements_continual_synthesizer() {
         let data = iid_bernoulli(&mut rng_from_seed(2), 64, 5, 0.5);
         let mut engine = cumulative_engine(64, 2, 5, 9);
-        let synth: &mut dyn ContinualSynthesizer<Input = BitColumn, Release = BitColumn> =
-            &mut engine;
+        let synth: &mut dyn ContinualSynthesizer<
+            Input = BitColumn,
+            Release = BitColumn,
+            Aggregate = CumulativeAggregate,
+        > = &mut engine;
         for (t, col) in data.stream() {
             synth.step(col).unwrap();
             assert_eq!(synth.round(), t + 1);
@@ -406,17 +1006,105 @@ mod tests {
         assert!(synth.budget_spent().value() > 0.0);
     }
 
+    /// The engine's own two-phase path matches its `step` exactly, for
+    /// both policies.
+    #[test]
+    fn engine_step_equals_prepare_then_finalize() {
+        let data = iid_bernoulli(&mut rng_from_seed(5), 80, 5, 0.4);
+        for shared in [false, true] {
+            let build = |seed| {
+                if shared {
+                    shared_cumulative_engine(80, 3, 5, seed)
+                } else {
+                    cumulative_engine(80, 3, 5, seed)
+                }
+            };
+            let mut stepped = build(41);
+            let mut phased = build(41);
+            for (_, col) in data.stream() {
+                let via_step = stepped.step(col).unwrap();
+                let aggregate = phased.prepare(col).unwrap();
+                let via_phases = phased.finalize(aggregate).unwrap();
+                assert_eq!(via_step, via_phases, "shared={shared}");
+            }
+            assert_eq!(stepped.rounds_fed(), phased.rounds_fed());
+        }
+    }
+
+    #[test]
+    fn engine_two_phase_misuse_is_caught() {
+        let mut engine = cumulative_engine(40, 2, 4, 11);
+        let column = BitColumn::ones(40);
+        assert!(matches!(
+            engine.finalize(CumulativeAggregate {
+                n: 40,
+                increments: vec![0],
+            }),
+            Err(EngineError::OutOfPhase(_))
+        ));
+        let aggregate = engine.prepare(&column).unwrap();
+        assert!(matches!(
+            engine.prepare(&column),
+            Err(EngineError::OutOfPhase(_))
+        ));
+        assert!(matches!(
+            engine.step(&column),
+            Err(EngineError::OutOfPhase(_))
+        ));
+        engine.finalize(aggregate).unwrap();
+        engine.step(&column).unwrap();
+        assert_eq!(engine.rounds_fed(), 2);
+    }
+
+    #[test]
+    fn population_budget_split_is_verified() {
+        let plan = ShardPlan::new(40, 2).unwrap();
+        let fork = RngFork::new(1);
+        // A factory that ignores the slot's budget share entirely.
+        let err = ShardedEngine::with_aggregation(plan, AggregationPolicy::shared(), |slot| {
+            let config = CumulativeConfig::new(4, Rho::new(0.5).unwrap()).unwrap();
+            let stream = match slot.role {
+                SlotRole::Shard(s) => s as u64,
+                SlotRole::Population => 99,
+            };
+            CumulativeSynthesizer::new(config, fork.subfork(stream), rng_from_seed(stream))
+        })
+        .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidPolicy(_)));
+        assert!(err.to_string().contains("budget split"), "{err}");
+    }
+
+    #[test]
+    fn degenerate_policy_shares_are_rejected() {
+        let plan = ShardPlan::new(40, 2).unwrap();
+        let err = ShardedEngine::<CumulativeSynthesizer>::with_aggregation(
+            plan,
+            AggregationPolicy::SharedNoise {
+                population_share: 1.5,
+            },
+            |_| unreachable!("factory must not run for an invalid policy"),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidPolicy(_)));
+    }
+
     #[test]
     fn determinism_across_runs() {
         let data = iid_bernoulli(&mut rng_from_seed(3), 80, 5, 0.4);
-        let run = |seed| {
-            let mut engine = cumulative_engine(80, 4, 5, seed);
-            data.stream()
-                .map(|(_, col)| engine.step(col).unwrap())
-                .collect::<Vec<_>>()
-        };
-        assert_eq!(run(11), run(11));
-        assert_ne!(run(11), run(12));
+        for shared in [false, true] {
+            let run = |seed| {
+                let mut engine = if shared {
+                    shared_cumulative_engine(80, 4, 5, seed)
+                } else {
+                    cumulative_engine(80, 4, 5, seed)
+                };
+                data.stream()
+                    .map(|(_, col)| engine.step(col).unwrap())
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(run(11), run(11), "shared={shared}");
+            assert_ne!(run(11), run(12), "shared={shared}");
+        }
     }
 
     #[test]
@@ -514,16 +1202,17 @@ mod tests {
     #[test]
     fn sink_observes_every_round_with_merged_and_per_shard_releases() {
         use std::sync::{Arc as StdArc, Mutex};
+        type SeenRound = (usize, usize, usize, PolicyTag);
         let data = iid_bernoulli(&mut rng_from_seed(6), 50, 4, 0.3);
         let mut engine = cumulative_engine(50, 2, 4, 13);
-        let seen: StdArc<Mutex<Vec<(usize, usize, usize)>>> = StdArc::default();
+        let seen: StdArc<Mutex<Vec<SeenRound>>> = StdArc::default();
         let handle = StdArc::clone(&seen);
         engine.set_sink(Box::new(
-            move |round: usize, parts: &[BitColumn], merged: &BitColumn| {
+            move |round: usize, parts: &[BitColumn], merged: &BitColumn, policy: PolicyTag| {
                 handle
                     .lock()
                     .unwrap()
-                    .push((round, parts.len(), merged.len()));
+                    .push((round, parts.len(), merged.len(), policy));
             },
         ));
         let mut merged_rounds = Vec::new();
@@ -533,12 +1222,32 @@ mod tests {
         let seen = seen.lock().unwrap();
         assert_eq!(seen.len(), 4);
         for (round, entry) in seen.iter().enumerate() {
-            assert_eq!(*entry, (round, 2, 50));
+            assert_eq!(*entry, (round, 2, 50, PolicyTag::PerShard));
         }
         drop(seen);
         // Detaching restores the clone-free path.
         assert!(engine.take_sink().is_some());
         assert!(engine.take_sink().is_none());
+    }
+
+    #[test]
+    fn shared_sink_rounds_carry_the_shared_tag() {
+        use std::sync::{Arc as StdArc, Mutex};
+        let data = iid_bernoulli(&mut rng_from_seed(8), 60, 3, 0.3);
+        let mut engine = shared_cumulative_engine(60, 3, 3, 17);
+        let seen: StdArc<Mutex<Vec<PolicyTag>>> = StdArc::default();
+        let handle = StdArc::clone(&seen);
+        engine.set_sink(Box::new(
+            move |_round: usize, parts: &[BitColumn], merged: &BitColumn, policy: PolicyTag| {
+                assert_eq!(parts.len(), 3);
+                assert_eq!(merged.len(), 60);
+                handle.lock().unwrap().push(policy);
+            },
+        ));
+        for (_, col) in data.stream() {
+            engine.step(col).unwrap();
+        }
+        assert_eq!(*seen.lock().unwrap(), vec![PolicyTag::Shared; 3]);
     }
 
     /// A minimal synthesizer that panics on demand — for pinning down the
@@ -551,14 +1260,19 @@ mod tests {
     impl ContinualSynthesizer for FragileSynth {
         type Input = BitColumn;
         type Release = BitColumn;
+        type Aggregate = BitColumn;
 
-        fn step(&mut self, input: &BitColumn) -> Result<BitColumn, SynthError> {
+        fn prepare(&mut self, input: &BitColumn) -> Result<BitColumn, SynthError> {
+            Ok(input.clone())
+        }
+
+        fn finalize(&mut self, aggregate: BitColumn) -> Result<BitColumn, SynthError> {
             if self.panic_at_round == Some(self.round) {
                 self.panic_at_round = None; // one-shot failure
                 panic!("synthetic shard failure");
             }
             self.round += 1;
-            Ok(input.clone())
+            Ok(aggregate)
         }
 
         fn round(&self) -> usize {
@@ -604,15 +1318,23 @@ mod tests {
     #[test]
     fn sink_does_not_change_released_output() {
         let data = iid_bernoulli(&mut rng_from_seed(7), 64, 5, 0.4);
-        let run = |attach_sink: bool| {
-            let mut engine = cumulative_engine(64, 2, 5, 31);
-            if attach_sink {
-                engine.set_sink(Box::new(|_: usize, _: &[BitColumn], _: &BitColumn| {}));
-            }
-            data.stream()
-                .map(|(_, col)| engine.step(col).unwrap())
-                .collect::<Vec<_>>()
-        };
-        assert_eq!(run(false), run(true));
+        for shared in [false, true] {
+            let run = |attach_sink: bool| {
+                let mut engine = if shared {
+                    shared_cumulative_engine(64, 2, 5, 31)
+                } else {
+                    cumulative_engine(64, 2, 5, 31)
+                };
+                if attach_sink {
+                    engine.set_sink(Box::new(
+                        |_: usize, _: &[BitColumn], _: &BitColumn, _: PolicyTag| {},
+                    ));
+                }
+                data.stream()
+                    .map(|(_, col)| engine.step(col).unwrap())
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(run(false), run(true), "shared={shared}");
+        }
     }
 }

@@ -13,24 +13,36 @@
 //! * [`shard::ShardPlan`] — partitions `n` individuals into contiguous,
 //!   balanced per-shard cohorts;
 //! * [`driver::ShardedEngine`] — one synthesizer per shard, driven in
-//!   lockstep (scoped threads when `shards > 1`), releases merged back into
-//!   a population-level release;
-//! * [`merge::MergeRelease`] — how per-shard releases concatenate;
+//!   lockstep (pooled workers when `shards > 1`), aggregated into a
+//!   population-level release;
+//! * [`policy::AggregationPolicy`] — **where the noise goes**: per-shard
+//!   noise (cohort releases concatenate; the pre-policy semantics, still
+//!   the default and bit-exact) or shared noise (unnoised per-shard
+//!   aggregates sum into one population aggregate, privatized once by a
+//!   dedicated population synthesizer);
+//! * [`merge::MergeRelease`] / [`merge::MergeAggregate`] — how per-shard
+//!   releases concatenate and how per-shard aggregates sum;
 //! * [`budget::EngineBudget`] — aggregate zCDP accounting: disjoint cohorts
-//!   give parallel composition (`max` over shards), with the conservative
-//!   sequential sum also exposed.
+//!   give parallel composition (`max` over shards) at the cohort level,
+//!   composed sequentially with the population level under shared noise,
+//!   with the conservative sequential sum also exposed.
 //!
 //! Privacy: sharding is a pure re-arrangement of *who is synthesized
 //! together*. Each user's entire history lives in exactly one shard, so the
-//! merged release is `max_s ρ_s`-zCDP at user level — identical to the
-//! unsharded guarantee when all shards share one configuration.
+//! cohort release level is `max_s ρ_s`-zCDP at user level — identical to
+//! the unsharded guarantee when all shards share one configuration. Under
+//! shared noise the user's data additionally enters the population-level
+//! release, and the two levels compose sequentially to the configured
+//! total (see the [`policy`] module docs).
 //!
-//! Accuracy: per-shard noise is calibrated to each shard's own release
-//! (sensitivity is per-user, not per-population), so a `k`-sharded run adds
-//! noise of the same per-bin magnitude *per shard*; merged counts see a
-//! `√k` relative noise increase on population-level queries. That is the
-//! classic sharding trade — latency and throughput for a constant-factor
-//! accuracy cost — and the `engine_scaling` bench measures the latency side.
+//! Accuracy: under per-shard noise, each shard's noise is calibrated to
+//! its own release, so merged counts see a `√shards` relative noise
+//! increase on population-level queries. Under shared noise the population
+//! release carries **one** noise draw at the population budget share `p`,
+//! so population-query error is within `√(1/p)` of an unsharded run
+//! regardless of the shard count — sharding becomes a pure throughput
+//! knob. The `aggregation_accuracy` bench measures both sides;
+//! `engine_scaling` measures latency.
 //!
 //! ```
 //! use longsynth::{ContinualSynthesizer, CumulativeConfig, CumulativeSynthesizer};
@@ -61,13 +73,15 @@
 pub mod budget;
 pub mod driver;
 pub mod merge;
+pub mod policy;
 pub mod shard;
 pub mod sink;
 
 pub use budget::EngineBudget;
 pub use driver::ShardedEngine;
-pub use merge::MergeRelease;
-pub use shard::{ShardPlan, ShardableInput};
+pub use merge::{MergeAggregate, MergeRelease};
+pub use policy::{AggregationPolicy, PolicyTag};
+pub use shard::{ShardPlan, ShardableInput, SlotRole, SynthSlot};
 pub use sink::ReleaseSink;
 
 use longsynth::SynthError;
@@ -109,6 +123,18 @@ pub enum EngineError {
     },
     /// Per-shard releases could not be merged (shards out of lockstep).
     MergeMismatch(String),
+    /// An aggregation policy was mis-parameterized, or the slot factory
+    /// did not honor its budget split.
+    InvalidPolicy(String),
+    /// The shared-noise population synthesizer failed to finalize the
+    /// summed aggregate.
+    Population {
+        /// The underlying synthesizer error.
+        source: SynthError,
+    },
+    /// Two-phase misuse at the engine level (`prepare`/`finalize`/`step`
+    /// interleaved out of order).
+    OutOfPhase(String),
 }
 
 impl fmt::Display for EngineError {
@@ -132,6 +158,11 @@ impl fmt::Display for EngineError {
                  per-cohort panels are not yet supported)"
             ),
             EngineError::MergeMismatch(msg) => write!(f, "release merge failed: {msg}"),
+            EngineError::InvalidPolicy(msg) => write!(f, "invalid aggregation policy: {msg}"),
+            EngineError::Population { source } => {
+                write!(f, "population-level synthesizer: {source}")
+            }
+            EngineError::OutOfPhase(msg) => write!(f, "two-phase step out of order: {msg}"),
         }
     }
 }
@@ -141,10 +172,11 @@ impl std::error::Error for EngineError {}
 impl From<EngineError> for SynthError {
     fn from(err: EngineError) -> Self {
         match err {
-            EngineError::Shard { source, .. } => source,
+            EngineError::Shard { source, .. } | EngineError::Population { source } => source,
             EngineError::PopulationMismatch { expected, actual } => {
                 SynthError::ColumnSizeMismatch { expected, actual }
             }
+            EngineError::OutOfPhase(msg) => SynthError::OutOfPhase(msg),
             other => SynthError::InvalidConfig(other.to_string()),
         }
     }

@@ -1,4 +1,5 @@
-//! Merging per-shard releases into a population-level release.
+//! Merging per-shard releases (and per-shard aggregates) into
+//! population-level objects.
 //!
 //! Because every shard runs the same algorithm under the same configuration
 //! and the engine feeds all shards in lockstep, per-shard releases of a
@@ -8,8 +9,15 @@
 //! cohort layout — so record `i` of the merged release corresponds to the
 //! same position a single unsharded run over the concatenated cohorts would
 //! produce.
+//!
+//! [`MergeAggregate`] is the second half of the story: the two-phase
+//! `prepare` outputs (unnoised sufficient statistics) of **disjoint
+//! cohorts sum** — window histograms add bin-wise, threshold increments
+//! add element-wise — so the shared-noise aggregation policy can combine
+//! them into one population aggregate and privatize it with a single
+//! noise draw.
 
-use longsynth::Release;
+use longsynth::{CumulativeAggregate, HistogramAggregate, Release};
 use longsynth_data::BitColumn;
 
 use crate::EngineError;
@@ -118,6 +126,107 @@ impl MergeRelease for () {
     }
 }
 
+/// A per-shard **unnoised** aggregate (two-phase `prepare` output) that
+/// can be combined across disjoint cohorts into one population-level
+/// aggregate — the input to the shared-noise policy's single
+/// population-level `finalize`.
+pub trait MergeAggregate: Sized {
+    /// Combine per-shard aggregates (in shard order) into one
+    /// population-level aggregate.
+    fn merge(parts: Vec<Self>) -> Result<Self, EngineError>;
+}
+
+/// Window histograms of disjoint cohorts add bin-wise (populations sum).
+impl MergeAggregate for HistogramAggregate {
+    fn merge(parts: Vec<Self>) -> Result<Self, EngineError> {
+        let mut parts = parts.into_iter();
+        let Some(first) = parts.next() else {
+            return Err(EngineError::MergeMismatch(
+                "no shard aggregates to merge".to_string(),
+            ));
+        };
+        match first {
+            HistogramAggregate::Buffered { mut n } => {
+                for part in parts {
+                    let HistogramAggregate::Buffered { n: part_n } = part else {
+                        return Err(EngineError::MergeMismatch(
+                            "mixed buffered/histogram shard aggregates".to_string(),
+                        ));
+                    };
+                    n += part_n;
+                }
+                Ok(HistogramAggregate::Buffered { n })
+            }
+            HistogramAggregate::Counts { mut n, mut counts } => {
+                for part in parts {
+                    let HistogramAggregate::Counts {
+                        n: part_n,
+                        counts: part_counts,
+                    } = part
+                    else {
+                        return Err(EngineError::MergeMismatch(
+                            "mixed buffered/histogram shard aggregates".to_string(),
+                        ));
+                    };
+                    if part_counts.len() != counts.len() {
+                        return Err(EngineError::MergeMismatch(format!(
+                            "histogram widths disagree: {} vs {} bins",
+                            counts.len(),
+                            part_counts.len()
+                        )));
+                    }
+                    n += part_n;
+                    for (total, part) in counts.iter_mut().zip(part_counts) {
+                        *total += part;
+                    }
+                }
+                Ok(HistogramAggregate::Counts { n, counts })
+            }
+        }
+    }
+}
+
+/// Threshold increments of disjoint cohorts add element-wise: each
+/// individual crosses threshold `b` at most once regardless of which
+/// cohort counts it, so the summed stream keeps per-counter sensitivity 1.
+impl MergeAggregate for CumulativeAggregate {
+    fn merge(parts: Vec<Self>) -> Result<Self, EngineError> {
+        let mut parts = parts.into_iter();
+        let Some(mut merged) = parts.next() else {
+            return Err(EngineError::MergeMismatch(
+                "no shard aggregates to merge".to_string(),
+            ));
+        };
+        for part in parts {
+            if part.increments.len() != merged.increments.len() {
+                return Err(EngineError::MergeMismatch(format!(
+                    "increment vectors disagree: {} vs {} thresholds",
+                    merged.increments.len(),
+                    part.increments.len()
+                )));
+            }
+            merged.n += part.n;
+            for (total, part) in merged.increments.iter_mut().zip(part.increments) {
+                *total += part;
+            }
+        }
+        Ok(merged)
+    }
+}
+
+/// The recompute baseline's "aggregate" is the raw column; disjoint
+/// cohorts concatenate back into the population column (shard order).
+impl MergeAggregate for BitColumn {
+    fn merge(parts: Vec<Self>) -> Result<Self, EngineError> {
+        if parts.is_empty() {
+            return Err(EngineError::MergeMismatch(
+                "no shard aggregates to merge".to_string(),
+            ));
+        }
+        Ok(concat_columns(&parts))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,8 +237,8 @@ mod tests {
 
     #[test]
     fn bit_columns_concatenate_in_shard_order() {
-        let merged =
-            BitColumn::merge(vec![col(&[true, false]), col(&[false]), col(&[true])]).unwrap();
+        let merged: BitColumn =
+            MergeRelease::merge(vec![col(&[true, false]), col(&[false]), col(&[true])]).unwrap();
         let bits: Vec<bool> = merged.iter().collect();
         assert_eq!(bits, vec![true, false, false, true]);
     }
@@ -163,7 +272,91 @@ mod tests {
 
     #[test]
     fn empty_merge_rejected() {
-        assert!(BitColumn::merge(vec![]).is_err());
-        assert!(<()>::merge(vec![]).is_err());
+        assert!(MergeRelease::merge(Vec::<BitColumn>::new()).is_err());
+        assert!(MergeRelease::merge(Vec::<()>::new()).is_err());
+        assert!(MergeAggregate::merge(Vec::<HistogramAggregate>::new()).is_err());
+        assert!(MergeAggregate::merge(Vec::<CumulativeAggregate>::new()).is_err());
+        assert!(MergeAggregate::merge(Vec::<BitColumn>::new()).is_err());
+    }
+
+    #[test]
+    fn histogram_aggregates_sum_binwise() {
+        let a = HistogramAggregate::Counts {
+            n: 3,
+            counts: vec![1, 2, 0, 0],
+        };
+        let b = HistogramAggregate::Counts {
+            n: 5,
+            counts: vec![0, 1, 4, 0],
+        };
+        let merged = MergeAggregate::merge(vec![a, b]).unwrap();
+        assert_eq!(
+            merged,
+            HistogramAggregate::Counts {
+                n: 8,
+                counts: vec![1, 3, 4, 0],
+            }
+        );
+        // Buffered rounds sum populations.
+        let merged = MergeAggregate::merge(vec![
+            HistogramAggregate::Buffered { n: 2 },
+            HistogramAggregate::Buffered { n: 7 },
+        ])
+        .unwrap();
+        assert_eq!(merged, HistogramAggregate::Buffered { n: 9 });
+        // Mixed phases and ragged widths are rejected.
+        assert!(MergeAggregate::merge(vec![
+            HistogramAggregate::Buffered { n: 2 },
+            HistogramAggregate::Counts {
+                n: 1,
+                counts: vec![1]
+            },
+        ])
+        .is_err());
+        assert!(MergeAggregate::merge(vec![
+            HistogramAggregate::Counts {
+                n: 1,
+                counts: vec![1]
+            },
+            HistogramAggregate::Counts {
+                n: 1,
+                counts: vec![1, 0]
+            },
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn cumulative_aggregates_sum_elementwise() {
+        let a = CumulativeAggregate {
+            n: 4,
+            increments: vec![2, 1],
+        };
+        let b = CumulativeAggregate {
+            n: 6,
+            increments: vec![3, 0],
+        };
+        let merged = MergeAggregate::merge(vec![a, b]).unwrap();
+        assert_eq!(merged.n, 10);
+        assert_eq!(merged.increments, vec![5, 1]);
+        // Ragged rounds rejected.
+        assert!(MergeAggregate::merge(vec![
+            CumulativeAggregate {
+                n: 1,
+                increments: vec![1]
+            },
+            CumulativeAggregate {
+                n: 1,
+                increments: vec![1, 0]
+            },
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn bit_column_aggregates_concatenate() {
+        let merged: BitColumn =
+            MergeAggregate::merge(vec![col(&[true, false]), col(&[true])]).unwrap();
+        assert_eq!(merged.iter().collect::<Vec<_>>(), vec![true, false, true]);
     }
 }

@@ -81,6 +81,42 @@ impl ShardPlan {
     }
 }
 
+/// Which synthesizer a factory is being asked to build.
+///
+/// Every engine holds one synthesizer per shard; under the shared-noise
+/// aggregation policy it additionally holds one **population-level**
+/// synthesizer that only ever consumes summed cohort aggregates (never raw
+/// data) and carries the population-level budget share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotRole {
+    /// The synthesizer for shard `s`'s cohort.
+    Shard(usize),
+    /// The finalize-only population synthesizer (shared-noise policy).
+    Population,
+}
+
+/// One synthesizer slot an engine factory must fill: who it is, how many
+/// individuals it covers, and what fraction of the caller's total privacy
+/// budget it must be configured with.
+///
+/// The engine derives `budget_share` from the
+/// [`AggregationPolicy`](crate::AggregationPolicy) — per-shard noise gives
+/// every shard the full budget (parallel composition over disjoint
+/// cohorts); shared noise splits it between the cohort level and the
+/// population level — and verifies after construction that the factory
+/// honored the split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthSlot {
+    /// Which synthesizer this slot is.
+    pub role: SlotRole,
+    /// Individuals this synthesizer covers (cohort size, or the whole
+    /// population for [`SlotRole::Population`]).
+    pub size: usize,
+    /// Fraction of the run's total zCDP budget this synthesizer must be
+    /// configured with (multiply your total ρ by this).
+    pub budget_share: f64,
+}
+
 /// A population-level input column that can be split into per-shard cohort
 /// columns according to a [`ShardPlan`].
 pub trait ShardableInput: Sized {

@@ -49,6 +49,108 @@ impl ErrorSummary {
     }
 }
 
+/// One labelled configuration's accuracy in a side-by-side comparison —
+/// typically an aggregation policy (`per-shard`, `shared`) at some shard
+/// count, summarised over a battery of population-level queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledAccuracy {
+    /// What produced these errors (e.g. `"shared, 4 shards"`).
+    pub label: String,
+    /// The error summary over the query battery.
+    pub summary: ErrorSummary,
+}
+
+/// A policy-aware accuracy comparison: one named baseline (canonically the
+/// unsharded / 1-shard run) and any number of alternatives, each reported
+/// with its mean-absolute-error ratio to the baseline.
+///
+/// This is how the aggregation-policy claim is made measurable: per-shard
+/// noise sits near `√shards ×` the baseline's population-query error,
+/// shared noise near `√(1/population_share) ×` regardless of shard count.
+/// The CLI's per-policy error summaries, the `aggregation_accuracy` bench,
+/// and the engine's statistical acceptance test all render one of these.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyComparison {
+    baseline: LabeledAccuracy,
+    alternatives: Vec<LabeledAccuracy>,
+}
+
+impl AccuracyComparison {
+    /// Start a comparison against `baseline`.
+    pub fn against(label: impl Into<String>, summary: ErrorSummary) -> Self {
+        Self {
+            baseline: LabeledAccuracy {
+                label: label.into(),
+                summary,
+            },
+            alternatives: Vec::new(),
+        }
+    }
+
+    /// Add one alternative configuration.
+    pub fn add(&mut self, label: impl Into<String>, summary: ErrorSummary) {
+        self.alternatives.push(LabeledAccuracy {
+            label: label.into(),
+            summary,
+        });
+    }
+
+    /// The baseline row.
+    pub fn baseline(&self) -> &LabeledAccuracy {
+        &self.baseline
+    }
+
+    /// The alternative rows, in insertion order.
+    pub fn alternatives(&self) -> &[LabeledAccuracy] {
+        &self.alternatives
+    }
+
+    /// Mean-absolute-error ratio of the alternative at `label` to the
+    /// baseline (`None` if no such row).
+    pub fn mean_ratio(&self, label: &str) -> Option<f64> {
+        self.alternatives
+            .iter()
+            .find(|row| row.label == label)
+            .map(|row| row.summary.mean / self.baseline.summary.mean)
+    }
+
+    /// Every row as `(label, summary, mean-ratio-to-baseline)` — baseline
+    /// first with ratio 1.
+    pub fn rows(&self) -> Vec<(&str, &ErrorSummary, f64)> {
+        let mut rows = vec![(self.baseline.label.as_str(), &self.baseline.summary, 1.0)];
+        rows.extend(self.alternatives.iter().map(|row| {
+            (
+                row.label.as_str(),
+                &row.summary,
+                row.summary.mean / self.baseline.summary.mean,
+            )
+        }));
+        rows
+    }
+}
+
+impl std::fmt::Display for AccuracyComparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let width = self
+            .rows()
+            .iter()
+            .map(|(label, _, _)| label.len())
+            .max()
+            .unwrap_or(0);
+        for (index, (label, summary, ratio)) in self.rows().into_iter().enumerate() {
+            if index > 0 {
+                writeln!(f)?;
+            }
+            write!(
+                f,
+                "{label:width$}  mae={:.6}  max={:.6}  x{ratio:.3} vs baseline",
+                summary.mean, summary.max
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// Empirical `(α, β)` check: given per-repetition worst-case errors, the
 /// fraction of repetitions exceeding `alpha` — an estimate of β.
 pub fn empirical_failure_rate(worst_case_errors: &[f64], alpha: f64) -> f64 {
@@ -117,6 +219,32 @@ mod tests {
         assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
         // Single element.
         assert_eq!(quantile(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    fn comparison_reports_ratios_against_the_baseline() {
+        let baseline = ErrorSummary::from_abs_errors(&[0.01, 0.03]);
+        let mut comparison = AccuracyComparison::against("1 shard", baseline);
+        comparison.add(
+            "per-shard, 4 shards",
+            ErrorSummary::from_abs_errors(&[0.02, 0.06]),
+        );
+        comparison.add(
+            "shared, 4 shards",
+            ErrorSummary::from_abs_errors(&[0.011, 0.033]),
+        );
+        assert!((comparison.mean_ratio("per-shard, 4 shards").unwrap() - 2.0).abs() < 1e-12);
+        assert!((comparison.mean_ratio("shared, 4 shards").unwrap() - 1.1).abs() < 1e-12);
+        assert!(comparison.mean_ratio("nonexistent").is_none());
+        let rows = comparison.rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].0, "1 shard");
+        assert!((rows[0].2 - 1.0).abs() < 1e-12);
+        let text = comparison.to_string();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("x2.000 vs baseline"), "{text}");
+        assert_eq!(comparison.baseline().label, "1 shard");
+        assert_eq!(comparison.alternatives().len(), 2);
     }
 
     #[test]

@@ -66,8 +66,12 @@ pub mod query;
 pub mod snapshot;
 pub mod store;
 
-pub use query::{mixed_battery, QueryKind, QueryService, ServeQuery};
+pub use query::{mixed_battery, QueryKind, QueryService, ServeQuery, DEFAULT_CACHE_CAPACITY};
 pub use store::{ReleaseStore, ServeError, StoreScope};
+
+// Re-exported so sinks and stores can be policy-tagged without a direct
+// `longsynth-engine` dependency at the call site.
+pub use longsynth_engine::PolicyTag;
 
 // Re-exported so `serve` users can size and share pools without a direct
 // `longsynth-pool` dependency.

@@ -16,17 +16,31 @@
 //! cache keys them by their exact IEEE-754 bit patterns
 //! (`f64::to_bits`), so two queries share an entry iff they are
 //! bit-identical — never merely "close".
+//!
+//! ## Cache bounds
+//!
+//! The memo cache is **bounded**: at most
+//! [`cache_capacity`](QueryService::cache_capacity) entries live at once
+//! (default [`DEFAULT_CACHE_CAPACITY`], generous — a front-end serving
+//! adversarially varied window weights can no longer grow it without
+//! limit). Eviction is insertion-order (FIFO): entries are immutable and
+//! equally cheap to recompute, so the simplest policy that bounds memory
+//! wins; evictions are counted alongside hits and misses.
 
 use longsynth::Release;
 use longsynth_data::BitColumn;
-use longsynth_engine::ReleaseSink;
+use longsynth_engine::{PolicyTag, ReleaseSink};
 use longsynth_pool::WorkerPool;
 use longsynth_queries::{Pattern, WindowQuery};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use crate::store::{ReleaseStore, ServeError, StoreScope};
+
+/// Default bound on memoized answers — generous (a key plus one `f64`
+/// each), but finite.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 20;
 
 /// What a consumer can ask of the serving layer, against one scope.
 #[derive(Debug, Clone)]
@@ -150,11 +164,54 @@ impl QueryKey {
     }
 }
 
+/// The bounded memo map plus its FIFO eviction order. Every map entry
+/// appears exactly once in `order`, so popping the front always names a
+/// live entry.
+struct BoundedCache {
+    map: HashMap<QueryKey, f64>,
+    order: VecDeque<QueryKey>,
+    capacity: usize,
+}
+
+impl BoundedCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Insert a fresh answer, evicting oldest entries past the capacity;
+    /// returns how many entries were evicted.
+    fn insert(&mut self, key: QueryKey, value: f64) -> u64 {
+        if self.capacity == 0 {
+            return 0;
+        }
+        if self.map.insert(key.clone(), value).is_none() {
+            self.order.push_back(key);
+        }
+        let mut evicted = 0;
+        while self.map.len() > self.capacity {
+            let oldest = self.order.pop_front().expect("order tracks every entry");
+            self.map.remove(&oldest);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
 struct ServiceInner {
     store: RwLock<ReleaseStore>,
-    cache: Mutex<HashMap<QueryKey, f64>>,
+    cache: Mutex<BoundedCache>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// The cloneable, thread-safe serving front-end.
@@ -163,11 +220,10 @@ struct ServiceInner {
 /// ingest through a sink handle while consumers answer queries through
 /// other clones — including concurrently from pool workers.
 ///
-/// The memo cache is **unbounded**: every distinct `(query, round)` keeps
-/// its entry forever (entries are small — a key plus one `f64` — but a
-/// front-end serving adversarially varied window weights should bound its
-/// exposure by calling [`clear_cache`](Self::clear_cache) periodically;
-/// a size-capped/LRU policy is tracked as ROADMAP follow-up work).
+/// The memo cache holds at most
+/// [`cache_capacity`](Self::cache_capacity) entries (FIFO eviction; see
+/// the module docs). Construct with
+/// [`with_cache_capacity`](Self::with_cache_capacity) to tune the bound.
 #[derive(Clone)]
 pub struct QueryService {
     inner: Arc<ServiceInner>,
@@ -185,14 +241,22 @@ impl QueryService {
         Self::from_store(ReleaseStore::new())
     }
 
-    /// A service over an existing store (e.g. restored from a snapshot).
+    /// A service over an existing store (e.g. restored from a snapshot),
+    /// at the default cache capacity.
     pub fn from_store(store: ReleaseStore) -> Self {
+        Self::with_cache_capacity(store, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// A service whose memo cache holds at most `capacity` entries
+    /// (0 disables memoization entirely — every answer recomputes).
+    pub fn with_cache_capacity(store: ReleaseStore, capacity: usize) -> Self {
         Self {
             inner: Arc::new(ServiceInner {
                 store: RwLock::new(store),
-                cache: Mutex::new(HashMap::new()),
+                cache: Mutex::new(BoundedCache::new(capacity)),
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
             }),
         }
     }
@@ -209,6 +273,7 @@ impl QueryService {
             .cache
             .lock()
             .expect("cache lock never poisoned")
+            .map
             .get(&key)
         {
             self.inner.hits.fetch_add(1, Ordering::Relaxed);
@@ -221,11 +286,15 @@ impl QueryService {
             .expect("store lock never poisoned")
             .answer(query)?;
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
-        self.inner
+        let evicted = self
+            .inner
             .cache
             .lock()
             .expect("cache lock never poisoned")
             .insert(key, value);
+        if evicted > 0 {
+            self.inner.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
         Ok(value)
     }
 
@@ -254,12 +323,30 @@ impl QueryService {
         )
     }
 
-    /// Number of memoized answers.
+    /// Entries evicted to keep the cache under its capacity, since
+    /// construction or the last [`clear_cache`](Self::clear_cache) (the
+    /// hit/miss counters reset on the same events).
+    pub fn cache_evictions(&self) -> u64 {
+        self.inner.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The configured bound on memoized answers.
+    pub fn cache_capacity(&self) -> usize {
+        self.inner
+            .cache
+            .lock()
+            .expect("cache lock never poisoned")
+            .capacity
+    }
+
+    /// Number of memoized answers (always ≤
+    /// [`cache_capacity`](Self::cache_capacity)).
     pub fn cache_len(&self) -> usize {
         self.inner
             .cache
             .lock()
             .expect("cache lock never poisoned")
+            .map
             .len()
     }
 
@@ -273,11 +360,18 @@ impl QueryService {
             .clear();
         self.inner.hits.store(0, Ordering::Relaxed);
         self.inner.misses.store(0, Ordering::Relaxed);
+        self.inner.evictions.store(0, Ordering::Relaxed);
     }
 
     /// Run `f` against the underlying store (read lock held for the call).
     pub fn with_store<T>(&self, f: impl FnOnce(&ReleaseStore) -> T) -> T {
         f(&self.inner.store.read().expect("store lock never poisoned"))
+    }
+
+    /// Run `f` against the underlying store mutably (write lock held for
+    /// the call) — the snapshot layer's delta application uses this.
+    pub(crate) fn with_store_mut<T>(&self, f: impl FnOnce(&mut ReleaseStore) -> T) -> T {
+        f(&mut self.inner.store.write().expect("store lock never poisoned"))
     }
 
     /// A sink for engines whose release type is a plain [`BitColumn`]
@@ -290,13 +384,13 @@ impl QueryService {
     pub fn column_sink(&self) -> Box<dyn ReleaseSink<BitColumn>> {
         let service = self.clone();
         Box::new(
-            move |_round: usize, per_shard: &[BitColumn], merged: &BitColumn| {
+            move |_round: usize, per_shard: &[BitColumn], merged: &BitColumn, policy: PolicyTag| {
                 service
                     .inner
                     .store
                     .write()
                     .expect("store lock never poisoned")
-                    .ingest_columns(per_shard, merged)
+                    .ingest_columns_with(policy, per_shard, merged)
                     .expect("engine rounds always match the store shape");
             },
         )
@@ -309,13 +403,13 @@ impl QueryService {
     pub fn release_sink(&self) -> Box<dyn ReleaseSink<Release>> {
         let service = self.clone();
         Box::new(
-            move |_round: usize, per_shard: &[Release], merged: &Release| {
+            move |_round: usize, per_shard: &[Release], merged: &Release, policy: PolicyTag| {
                 service
                     .inner
                     .store
                     .write()
                     .expect("store lock never poisoned")
-                    .ingest_releases(per_shard, merged)
+                    .ingest_releases_with(policy, per_shard, merged)
                     .expect("engine rounds always match the store shape");
             },
         )
@@ -422,6 +516,61 @@ mod tests {
                 .unwrap();
         }
         assert!(service.answer(&q).is_ok());
+    }
+
+    #[test]
+    fn cache_bound_holds_under_churn() {
+        let service = QueryService::with_cache_capacity(store_with_rounds(8), 5);
+        assert_eq!(service.cache_capacity(), 5);
+        // 8 rounds × 2 thresholds = 16 distinct queries through a
+        // 5-entry cache.
+        let queries: Vec<ServeQuery> = (0..8)
+            .flat_map(|t| (1..=2).map(move |b| cumulative(t, b)))
+            .collect();
+        for query in &queries {
+            service.answer(query).unwrap();
+            assert!(service.cache_len() <= 5, "bound violated");
+        }
+        assert_eq!(service.cache_len(), 5);
+        assert_eq!(service.cache_evictions(), 16 - 5);
+        assert_eq!(service.cache_stats(), (0, 16));
+        // The five most recent entries are live (hits); the oldest were
+        // evicted and recompute as misses.
+        for query in &queries[16 - 5..] {
+            service.answer(query).unwrap();
+        }
+        assert_eq!(service.cache_stats(), (5, 16));
+        service.answer(&queries[0]).unwrap();
+        assert_eq!(service.cache_stats(), (5, 17));
+        assert!(service.cache_len() <= 5);
+        // Answers remain bit-identical across eviction and recompute.
+        let direct = QueryService::from_store(store_with_rounds(8));
+        for query in &queries {
+            assert_eq!(
+                service.answer(query).unwrap().to_bits(),
+                direct.answer(query).unwrap().to_bits()
+            );
+        }
+        service.clear_cache();
+        assert_eq!(service.cache_evictions(), 0);
+        assert_eq!(service.cache_len(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_memoization() {
+        let service = QueryService::with_cache_capacity(store_with_rounds(3), 0);
+        let q = cumulative(2, 1);
+        service.answer(&q).unwrap();
+        service.answer(&q).unwrap();
+        assert_eq!(service.cache_len(), 0);
+        assert_eq!(service.cache_stats(), (0, 2));
+        assert_eq!(service.cache_evictions(), 0);
+    }
+
+    #[test]
+    fn default_capacity_is_generous() {
+        let service = QueryService::new();
+        assert_eq!(service.cache_capacity(), DEFAULT_CACHE_CAPACITY);
     }
 
     #[test]

@@ -1,23 +1,38 @@
-//! JSON snapshot/restore of a [`ReleaseStore`].
+//! JSON snapshot/restore of a [`ReleaseStore`] — full and incremental.
 //!
 //! A continual release runs for months; the serving process must not lose
 //! the archive on restart. [`snapshot_json`] renders the whole store —
-//! merged panel, every cohort panel, cohort count — as a self-describing
-//! JSON document, and [`restore_json`] rebuilds a store whose query
-//! answers are **bit-identical** (the property-based tests in
-//! `tests/prop_store.rs` pin this down over random release sequences).
+//! merged panel, every cohort panel, cohort count, aggregation-policy tag —
+//! as a self-describing JSON document, and [`restore_json`] rebuilds a
+//! store whose query answers are **bit-identical** (the property-based
+//! tests in `tests/prop_store.rs` pin this down over random release
+//! sequences).
+//!
+//! Full snapshots are O(store), which is the wrong cost for *periodic*
+//! checkpoints of an append-only archive. [`snapshot_since_json`] exports
+//! only the rounds released after a known base round — O(delta) — and
+//! [`apply_delta_json`] replays such a delta onto a store holding exactly
+//! that base. Restoring a base snapshot and chaining deltas is equivalent,
+//! bit for bit, to restoring one full snapshot (property-tested).
 //!
 //! Bit columns travel as hex strings of their packed little-endian `u64`
 //! words (16 hex digits per word) rather than JSON numbers: lossless at
 //! any width, compact, and independent of JSON number precision.
 
 use longsynth_data::{BitColumn, LongitudinalDataset};
+use longsynth_engine::PolicyTag;
 use serde::Serialize;
 
 use crate::store::{GrowingPanel, ReleaseStore, ServeError};
 
-/// Format tag embedded in every snapshot; bump on layout changes.
-const FORMAT: &str = "longsynth-release-store/v1";
+/// Format tag embedded in every full snapshot; bump on layout changes.
+/// v2 added the aggregation-policy tag; v1 documents restore as
+/// per-shard-era stores (no tag recorded).
+const FORMAT: &str = "longsynth-release-store/v2";
+/// The pre-policy format, still restorable.
+const FORMAT_V1: &str = "longsynth-release-store/v1";
+/// Format tag of incremental (delta) snapshots.
+const DELTA_FORMAT: &str = "longsynth-release-store-delta/v1";
 
 #[derive(Serialize)]
 struct PanelDto {
@@ -28,6 +43,19 @@ struct PanelDto {
 #[derive(Serialize)]
 struct SnapshotDto {
     format: String,
+    policy: Option<String>,
+    merged: Option<PanelDto>,
+    cohorts: Vec<Option<PanelDto>>,
+}
+
+#[derive(Serialize)]
+struct DeltaDto {
+    format: String,
+    policy: Option<String>,
+    /// Rounds the receiving store must already hold.
+    base_rounds: u64,
+    /// Rounds this delta appends.
+    delta_rounds: u64,
     merged: Option<PanelDto>,
     cohorts: Vec<Option<PanelDto>>,
 }
@@ -68,9 +96,46 @@ fn panel_to_dto(panel: &GrowingPanel) -> Option<PanelDto> {
     })
 }
 
-fn panel_from_value(value: &serde_json::Value) -> Result<GrowingPanel, ServeError> {
+/// Like [`panel_to_dto`], but carrying only the columns of rounds
+/// `since..` (possibly none — the record count still travels so the
+/// receiver can validate shape).
+fn panel_to_delta_dto(panel: &GrowingPanel, since: usize) -> Option<PanelDto> {
+    panel.panel().map(|dataset| PanelDto {
+        records: dataset.individuals() as u64,
+        columns: (since..dataset.rounds())
+            .map(|t| column_to_hex(dataset.column(t)))
+            .collect(),
+    })
+}
+
+fn policy_to_dto(policy: Option<PolicyTag>) -> Option<String> {
+    policy.map(|tag| tag.to_string())
+}
+
+fn policy_from_value(value: &serde_json::Value) -> Result<Option<PolicyTag>, ServeError> {
+    match value.get("policy") {
+        None => Ok(None),
+        Some(serde_json::Value::Null) => Ok(None),
+        Some(raw) => {
+            let text = raw
+                .as_str()
+                .ok_or_else(|| ServeError::Snapshot("policy is not a string".to_string()))?;
+            text.parse()
+                .map(Some)
+                .map_err(|e: String| ServeError::Snapshot(e))
+        }
+    }
+}
+
+/// Decode a panel value into `(records, columns)`; `require_columns`
+/// distinguishes full snapshots (a stored panel always has ≥ 1 column)
+/// from deltas (zero new rounds is legal).
+fn panel_columns_from_value(
+    value: &serde_json::Value,
+    require_columns: bool,
+) -> Result<Option<(usize, Vec<BitColumn>)>, ServeError> {
     if *value == serde_json::Value::Null {
-        return Ok(GrowingPanel::default());
+        return Ok(None);
     }
     let records = value
         .get("records")
@@ -80,7 +145,7 @@ fn panel_from_value(value: &serde_json::Value) -> Result<GrowingPanel, ServeErro
         .get("columns")
         .and_then(serde_json::Value::as_array)
         .ok_or_else(|| ServeError::Snapshot("panel missing `columns`".to_string()))?;
-    if columns.is_empty() {
+    if columns.is_empty() && require_columns {
         return Err(ServeError::Snapshot(
             "stored panels always hold at least one column".to_string(),
         ));
@@ -93,34 +158,46 @@ fn panel_from_value(value: &serde_json::Value) -> Result<GrowingPanel, ServeErro
                 .and_then(|hex| column_from_hex(hex, records))
         })
         .collect::<Result<_, _>>()?;
-    let dataset = LongitudinalDataset::from_columns(columns)
-        .map_err(|e| ServeError::Snapshot(format!("inconsistent panel: {e}")))?;
-    Ok(GrowingPanel::from_dataset(Some(dataset)))
+    Ok(Some((records, columns)))
 }
 
-/// Render the store as a JSON snapshot.
+fn panel_from_value(value: &serde_json::Value) -> Result<GrowingPanel, ServeError> {
+    match panel_columns_from_value(value, true)? {
+        None => Ok(GrowingPanel::default()),
+        Some((_, columns)) => {
+            let dataset = LongitudinalDataset::from_columns(columns)
+                .map_err(|e| ServeError::Snapshot(format!("inconsistent panel: {e}")))?;
+            Ok(GrowingPanel::from_dataset(Some(dataset)))
+        }
+    }
+}
+
+/// Render the store as a full JSON snapshot.
 pub fn snapshot_json(store: &ReleaseStore) -> String {
     let (merged, cohorts) = store.parts();
     let dto = SnapshotDto {
         format: FORMAT.to_string(),
+        policy: policy_to_dto(store.policy()),
         merged: panel_to_dto(merged),
         cohorts: cohorts.iter().map(panel_to_dto).collect(),
     };
     serde_json::to_string_pretty(&dto).expect("vendored JSON writer is infallible")
 }
 
-/// Rebuild a store from a snapshot produced by [`snapshot_json`].
+/// Rebuild a store from a snapshot produced by [`snapshot_json`] (or by
+/// the pre-policy v1 writer, whose stores restore as untagged).
 pub fn restore_json(json: &str) -> Result<ReleaseStore, ServeError> {
     let value = serde_json::from_str(json).map_err(|e| ServeError::Snapshot(e.to_string()))?;
     let format = value
         .get("format")
         .and_then(serde_json::Value::as_str)
         .ok_or_else(|| ServeError::Snapshot("missing `format` tag".to_string()))?;
-    if format != FORMAT {
+    if format != FORMAT && format != FORMAT_V1 {
         return Err(ServeError::Snapshot(format!(
-            "unsupported snapshot format {format:?} (expected {FORMAT:?})"
+            "unsupported snapshot format {format:?} (expected {FORMAT:?} or {FORMAT_V1:?})"
         )));
     }
+    let policy = policy_from_value(&value)?;
     let merged = panel_from_value(
         value
             .get("merged")
@@ -134,7 +211,10 @@ pub fn restore_json(json: &str) -> Result<ReleaseStore, ServeError> {
         .map(panel_from_value)
         .collect::<Result<_, _>>()?;
     // Lockstep invariant: every non-empty cohort panel has exactly the
-    // merged panel's round count, and cohort records sum to merged records.
+    // merged panel's round count, and — for per-shard stores, where the
+    // merged panel is the cohort concatenation — cohort records sum to
+    // merged records (a shared-noise merged panel is an independent
+    // synthesis, so no sum constraint applies).
     let rounds = merged.rounds();
     for (index, cohort) in cohorts.iter().enumerate() {
         if cohort.panel().is_some() && cohort.rounds() != rounds {
@@ -144,19 +224,132 @@ pub fn restore_json(json: &str) -> Result<ReleaseStore, ServeError> {
             )));
         }
     }
-    if let Some(records) = merged.records() {
-        let cohort_records: usize = cohorts.iter().filter_map(GrowingPanel::records).sum();
-        if cohort_records != records {
-            return Err(ServeError::Snapshot(format!(
-                "cohort records sum to {cohort_records}, merged has {records}"
-            )));
+    if policy != Some(PolicyTag::Shared) {
+        if let Some(records) = merged.records() {
+            let cohort_records: usize = cohorts.iter().filter_map(GrowingPanel::records).sum();
+            if cohort_records != records {
+                return Err(ServeError::Snapshot(format!(
+                    "cohort records sum to {cohort_records}, merged has {records}"
+                )));
+            }
         }
     }
-    Ok(ReleaseStore::from_parts(merged, cohorts))
+    // An untagged snapshot with rounds can only be a pre-policy (v1)
+    // store, which by construction held per-shard concatenation rounds
+    // (the sum check above just enforced exactly that). Pin the tag so a
+    // later shared-noise ingest cannot retroactively relabel the history.
+    let policy = match policy {
+        None if merged.rounds() > 0 => Some(PolicyTag::PerShard),
+        other => other,
+    };
+    Ok(ReleaseStore::from_parts(merged, cohorts, policy))
+}
+
+/// Render the rounds released **after** `base_rounds` as an incremental
+/// snapshot — O(delta), not O(store). The receiver must hold exactly
+/// `base_rounds` rounds when applying ([`apply_delta_json`]).
+///
+/// Errors if the store holds fewer than `base_rounds` rounds.
+pub fn snapshot_since_json(store: &ReleaseStore, base_rounds: usize) -> Result<String, ServeError> {
+    if base_rounds > store.rounds() {
+        return Err(ServeError::Snapshot(format!(
+            "delta base {base_rounds} exceeds the store's {} rounds",
+            store.rounds()
+        )));
+    }
+    let (merged, cohorts) = store.parts();
+    let dto = DeltaDto {
+        format: DELTA_FORMAT.to_string(),
+        policy: policy_to_dto(store.policy()),
+        base_rounds: base_rounds as u64,
+        delta_rounds: (store.rounds() - base_rounds) as u64,
+        merged: panel_to_delta_dto(merged, base_rounds),
+        cohorts: cohorts
+            .iter()
+            .map(|panel| panel_to_delta_dto(panel, base_rounds))
+            .collect(),
+    };
+    Ok(serde_json::to_string_pretty(&dto).expect("vendored JSON writer is infallible"))
+}
+
+/// Apply an incremental snapshot produced by [`snapshot_since_json`] to a
+/// store holding exactly the delta's base rounds. Appended rounds pass the
+/// same validation as live ingestion, so a rejected delta leaves the store
+/// untouched round-atomically.
+pub fn apply_delta_json(store: &mut ReleaseStore, json: &str) -> Result<(), ServeError> {
+    let value = serde_json::from_str(json).map_err(|e| ServeError::Snapshot(e.to_string()))?;
+    let format = value
+        .get("format")
+        .and_then(serde_json::Value::as_str)
+        .ok_or_else(|| ServeError::Snapshot("missing `format` tag".to_string()))?;
+    if format != DELTA_FORMAT {
+        return Err(ServeError::Snapshot(format!(
+            "unsupported delta format {format:?} (expected {DELTA_FORMAT:?})"
+        )));
+    }
+    let base_rounds = value
+        .get("base_rounds")
+        .and_then(serde_json::Value::as_usize)
+        .ok_or_else(|| ServeError::Snapshot("missing `base_rounds`".to_string()))?;
+    if store.rounds() != base_rounds {
+        return Err(ServeError::Snapshot(format!(
+            "delta expects a store at {base_rounds} rounds, this one holds {}",
+            store.rounds()
+        )));
+    }
+    let policy = policy_from_value(&value)?;
+    let delta_rounds = value
+        .get("delta_rounds")
+        .and_then(serde_json::Value::as_usize)
+        .ok_or_else(|| ServeError::Snapshot("missing `delta_rounds`".to_string()))?;
+    if delta_rounds == 0 {
+        return Ok(());
+    }
+    let policy = policy.ok_or_else(|| {
+        ServeError::Snapshot("delta with rounds carries no policy tag".to_string())
+    })?;
+    let merged = panel_columns_from_value(
+        value
+            .get("merged")
+            .ok_or_else(|| ServeError::Snapshot("missing `merged`".to_string()))?,
+        false,
+    )?
+    .ok_or_else(|| ServeError::Snapshot("delta with rounds has a null merged panel".to_string()))?;
+    let cohorts: Vec<(usize, Vec<BitColumn>)> = value
+        .get("cohorts")
+        .and_then(serde_json::Value::as_array)
+        .ok_or_else(|| ServeError::Snapshot("missing `cohorts`".to_string()))?
+        .iter()
+        .map(|panel| {
+            panel_columns_from_value(panel, false)?.ok_or_else(|| {
+                ServeError::Snapshot("delta with rounds has a null cohort panel".to_string())
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let (_, merged_columns) = merged;
+    if merged_columns.len() != delta_rounds
+        || cohorts
+            .iter()
+            .any(|(_, columns)| columns.len() != delta_rounds)
+    {
+        return Err(ServeError::Snapshot(format!(
+            "delta declares {delta_rounds} rounds but panels disagree"
+        )));
+    }
+    // Replay through the live ingestion path: same validation, same
+    // atomicity per round, policy consistency included.
+    for round in 0..delta_rounds {
+        let parts: Vec<BitColumn> = cohorts
+            .iter()
+            .map(|(_, columns)| columns[round].clone())
+            .collect();
+        store.ingest_columns_with(policy, &parts, &merged_columns[round])?;
+    }
+    Ok(())
 }
 
 impl ReleaseStore {
-    /// Render this store as a JSON snapshot (see [`snapshot_json`]).
+    /// Render this store as a full JSON snapshot (see [`snapshot_json`]).
     pub fn to_snapshot_json(&self) -> String {
         snapshot_json(self)
     }
@@ -165,6 +358,17 @@ impl ReleaseStore {
     pub fn from_snapshot_json(json: &str) -> Result<Self, ServeError> {
         restore_json(json)
     }
+
+    /// Render the rounds after `base_rounds` as an incremental snapshot
+    /// (see [`snapshot_since_json`]).
+    pub fn to_delta_json(&self, base_rounds: usize) -> Result<String, ServeError> {
+        snapshot_since_json(self, base_rounds)
+    }
+
+    /// Append an incremental snapshot's rounds (see [`apply_delta_json`]).
+    pub fn apply_delta_json(&mut self, json: &str) -> Result<(), ServeError> {
+        apply_delta_json(self, json)
+    }
 }
 
 impl crate::QueryService {
@@ -172,6 +376,21 @@ impl crate::QueryService {
     /// cache is derived data and deliberately not serialized).
     pub fn snapshot_json(&self) -> String {
         self.with_store(snapshot_json)
+    }
+
+    /// Incremental snapshot of the rounds after `base_rounds` (read lock
+    /// held briefly). Periodic checkpointing pairs this with
+    /// [`apply_delta_json`](Self::apply_delta_json) at restore time:
+    /// O(delta) per checkpoint instead of O(store).
+    pub fn snapshot_since_json(&self, base_rounds: usize) -> Result<String, ServeError> {
+        self.with_store(|store| snapshot_since_json(store, base_rounds))
+    }
+
+    /// Apply an incremental snapshot to the underlying store (write lock
+    /// held for the call). Sound with a warm cache: the store is
+    /// append-only, so every memoized `(query, round)` answer stays valid.
+    pub fn apply_delta_json(&self, json: &str) -> Result<(), ServeError> {
+        self.with_store_mut(|store| apply_delta_json(store, json))
     }
 
     /// A fresh service over a store restored from `json` (empty cache —
@@ -186,8 +405,12 @@ mod tests {
     use super::*;
 
     fn sample_store() -> ReleaseStore {
+        sample_store_rounds(5)
+    }
+
+    fn sample_store_rounds(rounds: usize) -> ReleaseStore {
         let mut store = ReleaseStore::new();
-        for round in 0..5 {
+        for round in 0..rounds {
             let a =
                 BitColumn::from_bools(&(0..67).map(|i| (i + round) % 3 == 0).collect::<Vec<_>>());
             let b =
@@ -198,15 +421,47 @@ mod tests {
         store
     }
 
+    fn shared_store(rounds: usize) -> ReleaseStore {
+        let mut store = ReleaseStore::new();
+        for round in 0..rounds {
+            let a =
+                BitColumn::from_bools(&(0..13).map(|i| (i + round) % 2 == 0).collect::<Vec<_>>());
+            let b =
+                BitColumn::from_bools(&(0..9).map(|i| (i * round) % 3 == 1).collect::<Vec<_>>());
+            // Independent population panel with its own record count.
+            let merged =
+                BitColumn::from_bools(&(0..29).map(|i| (i ^ round) % 4 == 0).collect::<Vec<_>>());
+            store
+                .ingest_columns_with(PolicyTag::Shared, &[a, b], &merged)
+                .unwrap();
+        }
+        store
+    }
+
     #[test]
     fn snapshot_roundtrips_exactly() {
         let store = sample_store();
         let json = store.to_snapshot_json();
         assert!(json.contains(FORMAT));
+        assert!(json.contains("per-shard"));
         let restored = ReleaseStore::from_snapshot_json(&json).unwrap();
         assert_eq!(restored, store);
+        assert_eq!(restored.policy(), Some(PolicyTag::PerShard));
         // Snapshot of the restore is byte-identical (canonical form).
         assert_eq!(restored.to_snapshot_json(), json);
+    }
+
+    #[test]
+    fn shared_store_snapshot_keeps_tag_and_shape() {
+        let store = shared_store(4);
+        let json = store.to_snapshot_json();
+        assert!(json.contains("\"shared\""));
+        let restored = ReleaseStore::from_snapshot_json(&json).unwrap();
+        assert_eq!(restored, store);
+        assert_eq!(restored.policy(), Some(PolicyTag::Shared));
+        // The merged panel's independent record count survived the
+        // restore-time validation (no concatenation sum applies).
+        assert_eq!(restored.records(), Some(29));
     }
 
     #[test]
@@ -215,6 +470,33 @@ mod tests {
         let restored = ReleaseStore::from_snapshot_json(&store.to_snapshot_json()).unwrap();
         assert_eq!(restored, store);
         assert_eq!(restored.rounds(), 0);
+        assert_eq!(restored.policy(), None);
+    }
+
+    #[test]
+    fn v1_snapshots_still_restore() {
+        // A pre-policy snapshot: v1 tag, no policy key. Its rounds are
+        // per-shard concatenation rounds by construction, and the restore
+        // pins that tag — so a later shared-noise ingest cannot relabel
+        // the history.
+        let json = format!(
+            r#"{{
+  "format": "{FORMAT_V1}",
+  "merged": {{ "records": 2, "columns": ["0000000000000003"] }},
+  "cohorts": [ {{ "records": 2, "columns": ["0000000000000003"] }} ]
+}}"#
+        );
+        let mut restored = ReleaseStore::from_snapshot_json(&json).unwrap();
+        assert_eq!(restored.rounds(), 1);
+        assert_eq!(restored.policy(), Some(PolicyTag::PerShard));
+        let err = restored
+            .ingest_columns_with(
+                PolicyTag::Shared,
+                &[BitColumn::from_bools(&[true, false])],
+                &BitColumn::from_bools(&[true, true, true]),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("per-shard"), "{err}");
     }
 
     #[test]
@@ -241,6 +523,9 @@ mod tests {
         // Non-hex column data.
         let bad = json.replacen("00", "zz", 1);
         assert!(ReleaseStore::from_snapshot_json(&bad).is_err());
+        // Unknown policy tag.
+        let bad = json.replace("per-shard", "maximal");
+        assert!(ReleaseStore::from_snapshot_json(&bad).is_err());
         // Not JSON at all.
         assert!(ReleaseStore::from_snapshot_json("hello").is_err());
     }
@@ -252,12 +537,79 @@ mod tests {
         let json = format!(
             r#"{{
   "format": "{FORMAT}",
+  "policy": "per-shard",
   "merged": {{ "records": 3, "columns": ["0000000000000007"] }},
   "cohorts": [ {{ "records": 1, "columns": ["0000000000000001"] }} ]
 }}"#
         );
         let err = ReleaseStore::from_snapshot_json(&json).unwrap_err();
         assert!(err.to_string().contains("sum"), "{err}");
+        // The same shape is legal when tagged shared (independent merged
+        // synthesis).
+        let json = json.replace("per-shard", "shared");
+        let restored = ReleaseStore::from_snapshot_json(&json).unwrap();
+        assert_eq!(restored.policy(), Some(PolicyTag::Shared));
+    }
+
+    #[test]
+    fn delta_snapshots_chain_to_the_full_snapshot() {
+        for shared in [false, true] {
+            let build = |rounds: usize| {
+                if shared {
+                    shared_store(rounds)
+                } else {
+                    let mut store = ReleaseStore::new();
+                    let full = sample_store();
+                    for _ in 0..rounds {
+                        let round = store.rounds();
+                        let a = full
+                            .panel(crate::StoreScope::Cohort(0))
+                            .unwrap()
+                            .column(round);
+                        let b = full
+                            .panel(crate::StoreScope::Cohort(1))
+                            .unwrap()
+                            .column(round);
+                        let merged = full.panel(crate::StoreScope::Merged).unwrap().column(round);
+                        store
+                            .ingest_columns(&[a.clone(), b.clone()], merged)
+                            .unwrap();
+                    }
+                    store
+                }
+            };
+            let full = build(5);
+            // Base snapshot at round 2, then deltas 2→4 and 4→5.
+            let base = build(2);
+            let mut chained = ReleaseStore::from_snapshot_json(&base.to_snapshot_json()).unwrap();
+            chained
+                .apply_delta_json(&build(4).to_delta_json(2).unwrap())
+                .unwrap();
+            chained
+                .apply_delta_json(&full.to_delta_json(4).unwrap())
+                .unwrap();
+            assert_eq!(chained, full, "shared={shared}");
+            // An empty delta is a no-op.
+            chained
+                .apply_delta_json(&full.to_delta_json(5).unwrap())
+                .unwrap();
+            assert_eq!(chained, full, "shared={shared}");
+        }
+    }
+
+    #[test]
+    fn delta_validation_catches_mismatched_bases() {
+        let full = sample_store();
+        // Base beyond the store's rounds.
+        assert!(full.to_delta_json(9).is_err());
+        // Applying a delta to the wrong base round count.
+        let delta = full.to_delta_json(3).unwrap();
+        let mut wrong_base = ReleaseStore::from_snapshot_json(&full.to_snapshot_json()).unwrap();
+        let err = wrong_base.apply_delta_json(&delta).unwrap_err();
+        assert!(err.to_string().contains("3 rounds"), "{err}");
+        // A full snapshot is not a delta.
+        let mut store = sample_store();
+        assert!(store.apply_delta_json(&full.to_snapshot_json()).is_err());
     }
 
     #[test]
@@ -274,5 +626,25 @@ mod tests {
         assert_eq!(before.to_bits(), after.to_bits());
         // Restored cache starts cold.
         assert_eq!(restored.cache_stats(), (0, 1));
+    }
+
+    #[test]
+    fn service_deltas_apply_under_a_warm_cache() {
+        use crate::{QueryKind, QueryService, ServeQuery, StoreScope};
+        let full = sample_store();
+        let base = QueryService::restore_json(&sample_store_rounds(3).to_snapshot_json()).unwrap();
+        let query = |t| ServeQuery {
+            scope: StoreScope::Merged,
+            kind: QueryKind::CumulativeFraction { t, b: 1 },
+        };
+        // Warm the cache on the base rounds.
+        let warm = base.answer(&query(2)).unwrap();
+        // Round 4 is not answerable yet.
+        assert!(base.answer(&query(4)).is_err());
+        base.apply_delta_json(&full.to_delta_json(3).unwrap())
+            .unwrap();
+        // New round answerable; warm entry still bit-identical.
+        assert!(base.answer(&query(4)).is_ok());
+        assert_eq!(base.answer(&query(2)).unwrap().to_bits(), warm.to_bits());
     }
 }

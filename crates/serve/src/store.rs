@@ -20,9 +20,19 @@
 //! published; estimates computed from it are the plain synthetic-data
 //! estimator (the debiased estimator needs the synthesizer's private
 //! bookkeeping and is not a function of the release alone).
+//!
+//! Every round arrives tagged with the engine's [`PolicyTag`]: under
+//! `PerShard` the merged panel is the shard-order concatenation of the
+//! cohort panels (and ingestion enforces that cohort record counts sum to
+//! the merged count); under `Shared` the merged panel is an *independent*
+//! population-level synthesis whose record count need not match the
+//! cohort sum, so that cross-check is relaxed (per-panel consistency and
+//! round lockstep still hold). The tag is recorded on first ingest, must
+//! stay constant for the store's lifetime, and travels with snapshots.
 
 use longsynth::Release;
 use longsynth_data::{BitColumn, LongitudinalDataset};
+use longsynth_engine::PolicyTag;
 use longsynth_queries::cumulative::cumulative_fraction;
 use longsynth_queries::WindowQuery;
 use std::fmt;
@@ -159,37 +169,67 @@ impl GrowingPanel {
 pub struct ReleaseStore {
     merged: GrowingPanel,
     cohorts: Vec<GrowingPanel>,
+    /// The aggregation policy that produced every ingested round (fixed by
+    /// the first ingest; `None` while the store is empty).
+    policy: Option<PolicyTag>,
 }
 
 impl ReleaseStore {
-    /// An empty store; the first ingested round fixes the cohort count.
+    /// An empty store; the first ingested round fixes the cohort count and
+    /// the policy tag.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Ingest one cumulative-family round: per-cohort released columns (in
-    /// shard order) plus the merged population-level column.
-    ///
-    /// Ingestion is atomic: every column of the round is validated against
-    /// the store's shape *before* anything is appended, so a rejected round
-    /// leaves the store exactly as it was (merged and cohort panels can
-    /// never drift out of lockstep).
+    /// Ingest one cumulative-family round under the default
+    /// [`PolicyTag::PerShard`] semantics (merged = cohort concatenation).
+    /// See [`ingest_columns_with`](Self::ingest_columns_with).
     pub fn ingest_columns(
         &mut self,
         per_cohort: &[BitColumn],
         merged: &BitColumn,
     ) -> Result<(), ServeError> {
+        self.ingest_columns_with(PolicyTag::PerShard, per_cohort, merged)
+    }
+
+    /// Ingest one cumulative-family round: per-cohort released columns (in
+    /// shard order) plus the merged population-level column, tagged with
+    /// the aggregation policy that produced them.
+    ///
+    /// Ingestion is atomic: every column of the round is validated against
+    /// the store's shape *before* anything is appended, so a rejected round
+    /// leaves the store exactly as it was (merged and cohort panels can
+    /// never drift out of lockstep).
+    pub fn ingest_columns_with(
+        &mut self,
+        policy: PolicyTag,
+        per_cohort: &[BitColumn],
+        merged: &BitColumn,
+    ) -> Result<(), ServeError> {
         let parts: Vec<&BitColumn> = per_cohort.iter().collect();
-        self.ingest_validated_rounds(per_cohort.len(), &[(&parts, merged)])
+        self.ingest_validated_rounds(policy, per_cohort.len(), &[(&parts, merged)])
+    }
+
+    /// Ingest one fixed-window round under the default
+    /// [`PolicyTag::PerShard`] semantics. See
+    /// [`ingest_releases_with`](Self::ingest_releases_with).
+    pub fn ingest_releases(
+        &mut self,
+        per_cohort: &[Release],
+        merged: &Release,
+    ) -> Result<(), ServeError> {
+        self.ingest_releases_with(PolicyTag::PerShard, per_cohort, merged)
     }
 
     /// Ingest one fixed-window round: per-cohort [`Release`]s (in shard
-    /// order) plus the merged release. All shards run in lockstep, so the
-    /// variants agree; `Buffered` rounds store nothing. Atomic, like
-    /// [`ingest_columns`](Self::ingest_columns) — a multi-column `Initial`
-    /// release lands entirely or not at all.
-    pub fn ingest_releases(
+    /// order) plus the merged release, tagged with the aggregation policy
+    /// that produced them. All shards run in lockstep, so the variants
+    /// agree; `Buffered` rounds store nothing. Atomic, like
+    /// [`ingest_columns_with`](Self::ingest_columns_with) — a multi-column
+    /// `Initial` release lands entirely or not at all.
+    pub fn ingest_releases_with(
         &mut self,
+        policy: PolicyTag,
         per_cohort: &[Release],
         merged: &Release,
     ) -> Result<(), ServeError> {
@@ -203,7 +243,7 @@ impl ReleaseStore {
                         "cohort/merged release variants disagree".to_string(),
                     ));
                 }
-                self.ingest_validated_rounds(per_cohort.len(), &[])
+                self.ingest_validated_rounds(policy, per_cohort.len(), &[])
             }
             Release::Initial(columns) => {
                 let mut rounds = Vec::with_capacity(columns.len());
@@ -227,7 +267,7 @@ impl ReleaseStore {
                     .iter()
                     .map(|(parts, column)| (parts.as_slice(), *column))
                     .collect();
-                self.ingest_validated_rounds(per_cohort.len(), &rounds)
+                self.ingest_validated_rounds(policy, per_cohort.len(), &rounds)
             }
             Release::Update(column) => {
                 let parts: Vec<&BitColumn> = per_cohort
@@ -239,19 +279,27 @@ impl ReleaseStore {
                         )),
                     })
                     .collect::<Result<_, _>>()?;
-                self.ingest_validated_rounds(per_cohort.len(), &[(&parts, column)])
+                self.ingest_validated_rounds(policy, per_cohort.len(), &[(&parts, column)])
             }
         }
     }
 
-    /// The single mutation path: check the cohort count, validate every
-    /// column of every round against the store's shape, and only then
-    /// append — so any error leaves the store untouched.
+    /// The single mutation path: check the policy tag and cohort count,
+    /// validate every column of every round against the store's shape, and
+    /// only then append — so any error leaves the store untouched.
     fn ingest_validated_rounds(
         &mut self,
+        policy: PolicyTag,
         incoming_cohorts: usize,
         rounds: &[(&[&BitColumn], &BitColumn)],
     ) -> Result<(), ServeError> {
+        if let Some(existing) = self.policy {
+            if existing != policy {
+                return Err(ServeError::IngestMismatch(format!(
+                    "round tagged {policy}, store holds {existing} releases"
+                )));
+            }
+        }
         let fresh = self.cohorts.is_empty() && self.merged.rounds() == 0;
         if !fresh && self.cohorts.len() != incoming_cohorts {
             return Err(ServeError::IngestMismatch(format!(
@@ -269,12 +317,18 @@ impl ReleaseStore {
             self.cohorts.iter().map(GrowingPanel::records).collect()
         };
         for (parts, merged) in rounds {
-            let total: usize = parts.iter().map(|c| c.len()).sum();
-            if total != merged.len() {
-                return Err(ServeError::IngestMismatch(format!(
-                    "cohort columns cover {total} records, merged column {}",
-                    merged.len()
-                )));
+            // Under per-shard noise the merged column is the cohort
+            // concatenation, so record counts must sum; a shared-noise
+            // merged column is an independent population synthesis whose
+            // n* is free to differ.
+            if policy == PolicyTag::PerShard {
+                let total: usize = parts.iter().map(|c| c.len()).sum();
+                if total != merged.len() {
+                    return Err(ServeError::IngestMismatch(format!(
+                        "cohort columns cover {total} records, merged column {}",
+                        merged.len()
+                    )));
+                }
             }
             match expected_merged {
                 Some(records) if records != merged.len() => {
@@ -303,6 +357,7 @@ impl ReleaseStore {
         if fresh {
             self.cohorts = vec![GrowingPanel::default(); incoming_cohorts];
         }
+        self.policy = Some(policy);
         for (parts, merged) in rounds {
             self.merged
                 .push(merged)
@@ -312,6 +367,14 @@ impl ReleaseStore {
             }
         }
         Ok(())
+    }
+
+    /// The aggregation policy tag of every ingested round (`None` while
+    /// the store is empty). Consumers use it to decide whether the merged
+    /// panel is the cohort concatenation ([`PolicyTag::PerShard`]) or an
+    /// independent population synthesis ([`PolicyTag::Shared`]).
+    pub fn policy(&self) -> Option<PolicyTag> {
+        self.policy
     }
 
     /// Released rounds in the merged panel (cohort panels always agree —
@@ -386,8 +449,16 @@ impl ReleaseStore {
         }
     }
 
-    pub(crate) fn from_parts(merged: GrowingPanel, cohorts: Vec<GrowingPanel>) -> Self {
-        Self { merged, cohorts }
+    pub(crate) fn from_parts(
+        merged: GrowingPanel,
+        cohorts: Vec<GrowingPanel>,
+        policy: Option<PolicyTag>,
+    ) -> Self {
+        Self {
+            merged,
+            cohorts,
+            policy,
+        }
     }
 
     pub(crate) fn parts(&self) -> (&GrowingPanel, &[GrowingPanel]) {
@@ -510,6 +581,44 @@ mod tests {
                 &Release::Update(col(&[true, true, false]))
             )
             .is_err());
+    }
+
+    #[test]
+    fn shared_rounds_relax_the_concatenation_check() {
+        // A shared-noise merged release is an independent population
+        // synthesis: its record count need not equal the cohort sum.
+        let mut store = ReleaseStore::new();
+        let parts = vec![col(&[true, false]), col(&[false])];
+        let merged = col(&[true, false, true, true, false]); // 5 != 2 + 1
+        store
+            .ingest_columns_with(PolicyTag::Shared, &parts, &merged)
+            .unwrap();
+        assert_eq!(store.policy(), Some(PolicyTag::Shared));
+        assert_eq!(store.records(), Some(5));
+        assert_eq!(store.panel(StoreScope::Cohort(0)).unwrap().individuals(), 2);
+        // The same round is rejected under per-shard semantics...
+        let mut strict = ReleaseStore::new();
+        assert!(matches!(
+            strict.ingest_columns_with(PolicyTag::PerShard, &parts, &merged),
+            Err(ServeError::IngestMismatch(_))
+        ));
+        // ...and a store never changes policy mid-stream.
+        let err = store
+            .ingest_columns_with(PolicyTag::PerShard, &parts, &merged)
+            .unwrap_err();
+        assert!(err.to_string().contains("per-shard"), "{err}");
+        // Per-panel record consistency still holds under shared.
+        assert!(store
+            .ingest_columns_with(PolicyTag::Shared, &parts, &col(&[true, true]))
+            .is_err());
+    }
+
+    #[test]
+    fn untagged_ingest_defaults_to_per_shard() {
+        let mut store = ReleaseStore::new();
+        let (parts, merged) = two_cohort_round(&[true], &[false]);
+        store.ingest_columns(&parts, &merged).unwrap();
+        assert_eq!(store.policy(), Some(PolicyTag::PerShard));
     }
 
     #[test]

@@ -8,7 +8,7 @@ use longsynth::{
 use longsynth_data::generators::iid_bernoulli;
 use longsynth_dp::budget::Rho;
 use longsynth_dp::rng::{rng_from_seed, RngFork};
-use longsynth_engine::{ShardPlan, ShardedEngine};
+use longsynth_engine::{AggregationPolicy, PolicyTag, ShardPlan, ShardedEngine, SlotRole};
 use longsynth_pool::WorkerPool;
 use longsynth_serve::{QueryKind, QueryService, ServeQuery, StoreScope};
 use std::sync::Arc;
@@ -98,6 +98,72 @@ fn fixed_window_engine_feeds_store_through_release_variants() {
         })
         .unwrap();
     assert!((0.0..=1.0).contains(&value));
+}
+
+#[test]
+fn shared_noise_engine_feeds_store_with_the_shared_tag() {
+    let n = 200;
+    let horizon = 7;
+    let window = 3;
+    let panel = iid_bernoulli(&mut rng_from_seed(51), n, horizon, 0.3);
+    let fork = RngFork::new(9);
+    let mut engine = ShardedEngine::with_aggregation(
+        ShardPlan::new(n, 4).unwrap(),
+        AggregationPolicy::shared(),
+        |slot| {
+            let rho = Rho::new(0.1 * slot.budget_share).unwrap();
+            let config = FixedWindowConfig::new(horizon, window, rho).unwrap();
+            let stream = match slot.role {
+                SlotRole::Shard(s) => s as u64,
+                SlotRole::Population => 0xA110,
+            };
+            FixedWindowSynthesizer::new(config, fork.child(stream))
+        },
+    )
+    .unwrap();
+
+    let service = QueryService::new();
+    engine.set_sink(service.release_sink());
+    for (_, column) in panel.stream() {
+        engine.step(column).unwrap();
+    }
+
+    // The store recorded the shared tag; the merged panel is the
+    // population synthesis (its n* is independent of the cohort sum),
+    // and every scope stays queryable.
+    let population_n_star = engine.population_synthesizer().unwrap().n_star();
+    service.with_store(|store| {
+        assert_eq!(store.policy(), Some(PolicyTag::Shared));
+        assert_eq!(store.rounds(), horizon);
+        assert_eq!(store.cohorts(), 4);
+        assert_eq!(store.records(), Some(population_n_star));
+        let cohort_sum: usize = (0..4)
+            .map(|c| store.panel(StoreScope::Cohort(c)).unwrap().individuals())
+            .sum();
+        assert_ne!(cohort_sum, population_n_star, "independent n* expected");
+    });
+    for scope in [
+        StoreScope::Merged,
+        StoreScope::Cohort(0),
+        StoreScope::Cohort(3),
+    ] {
+        let value = service
+            .answer(&ServeQuery {
+                scope,
+                kind: QueryKind::Window {
+                    t: horizon - 1,
+                    query: longsynth_queries::WindowQuery::at_least_m_ones(window, 2),
+                },
+            })
+            .unwrap();
+        assert!((0.0..=1.0).contains(&value));
+    }
+
+    // Snapshot / restore keeps the tag and every answer; deltas apply.
+    let restored = QueryService::restore_json(&service.snapshot_json()).unwrap();
+    restored.with_store(|store| assert_eq!(store.policy(), Some(PolicyTag::Shared)));
+    let delta = service.snapshot_since_json(horizon).unwrap();
+    restored.apply_delta_json(&delta).unwrap(); // empty delta applies cleanly
 }
 
 #[test]

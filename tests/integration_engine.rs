@@ -95,7 +95,11 @@ fn engine_behind_trait_object() {
         FixedWindowSynthesizer::new(config, fork.child(s as u64))
     })
     .unwrap();
-    let synth: &mut dyn ContinualSynthesizer<Input = BitColumn, Release = Release> = &mut engine;
+    let synth: &mut dyn ContinualSynthesizer<
+        Input = BitColumn,
+        Release = Release,
+        Aggregate = longsynth::HistogramAggregate,
+    > = &mut engine;
     assert_eq!(synth.horizon(), horizon);
     for (t, col) in panel.stream() {
         synth.step(col).unwrap();
