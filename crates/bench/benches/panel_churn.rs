@@ -1,0 +1,206 @@
+//! Bench: dynamic-panel round latency and population accuracy under
+//! cohort churn.
+//!
+//! Three regimes over the same active population (cumulative family,
+//! T = 12): a static lockstep panel (0% churn), a 4-wave rotating panel
+//! (25% of the active set replaced each round), and a 2-wave rotating
+//! panel (50% per-round churn). For each, the table on stderr reports the
+//! **mean absolute error of active-set population cumulative queries**
+//! (thresholds 1..=3, every round, estimates vs the cohorts' true
+//! observed panels, size-weighted) relative to the static baseline;
+//! criterion times the full 12-round engine run per regime — what a
+//! round of panel churn costs in wall-clock and in accuracy.
+//!
+//! Expected shape: latency stays flat (the active set is the same size —
+//! churn only changes *which* cohorts step), while MAE *drops* with
+//! churn: a rotating cohort's horizon is its short membership window, so
+//! its fixed per-individual budget splits across fewer counters (less
+//! noise each) and only low thresholds are ever reachable. The flip side,
+//! not visible in this table, is scope: high-churn panels can only answer
+//! cumulative/window questions within each cohort's short window — the
+//! accuracy-vs-history-length trade of rotating panel designs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use longsynth::{CumulativeConfig, CumulativeSynthesizer};
+use longsynth_data::generators::iid_bernoulli;
+use longsynth_data::{BitColumn, LongitudinalDataset};
+use longsynth_dp::budget::Rho;
+use longsynth_dp::rng::{rng_from_seed, RngFork};
+use longsynth_engine::{AggregationPolicy, PanelSchedule, ShardedEngine, SlotRole};
+use longsynth_queries::cumulative::cumulative_counts;
+use longsynth_queries::{active_weighted_mean, AccuracyComparison, ErrorSummary};
+
+const HORIZON: usize = 12;
+const ACTIVE: usize = 24_000;
+const RHO: f64 = 0.02;
+const MAX_B: usize = 3;
+
+/// `(label, per-round churn fraction, schedule)` for one regime.
+fn regimes() -> Vec<(&'static str, PanelSchedule)> {
+    let rho = Rho::new(RHO).unwrap();
+    let static_schedule = PanelSchedule::uniform(ACTIVE, 4, HORIZON, rho, rho).unwrap();
+    let rotating = |waves: usize| {
+        let wave_size = ACTIVE / waves;
+        let population = wave_size * (waves + HORIZON - 1);
+        PanelSchedule::rotating(population, HORIZON, waves, rho, rho).unwrap()
+    };
+    vec![
+        ("churn  0% (static, 4 cohorts)", static_schedule),
+        ("churn 25% (rotating, 4 waves)", rotating(4)),
+        ("churn 50% (rotating, 2 waves)", rotating(2)),
+    ]
+}
+
+/// One true sub-panel per cohort, spanning the cohort's own window.
+fn cohort_panels(schedule: &PanelSchedule, seed: u64) -> Vec<LongitudinalDataset> {
+    (0..schedule.cohorts())
+        .map(|c| {
+            iid_bernoulli(
+                &mut rng_from_seed(seed ^ (0xDA7A + c as u64)),
+                schedule.cohort_size(c),
+                schedule.cohort(c).horizon,
+                0.25,
+            )
+        })
+        .collect()
+}
+
+fn build_engine(schedule: &PanelSchedule, seed: u64) -> ShardedEngine<CumulativeSynthesizer> {
+    let fork = RngFork::new(seed);
+    ShardedEngine::with_schedule(schedule.clone(), AggregationPolicy::PerShardNoise, |slot| {
+        let config = CumulativeConfig::new(slot.horizon, slot.budget).expect("scheduled slot");
+        let SlotRole::Shard(s) = slot.role else {
+            unreachable!("per-shard noise never builds a population slot");
+        };
+        CumulativeSynthesizer::new(
+            config,
+            fork.subfork(s as u64),
+            rng_from_seed(seed ^ s as u64),
+        )
+    })
+    .expect("schedule-validated engine")
+}
+
+/// Drive a full run; returns the engine for estimation.
+fn run(
+    schedule: &PanelSchedule,
+    panels: &[LongitudinalDataset],
+    seed: u64,
+) -> ShardedEngine<CumulativeSynthesizer> {
+    let mut engine = build_engine(schedule, seed);
+    for round in 0..HORIZON {
+        let columns: Vec<&BitColumn> = schedule
+            .active(round)
+            .into_iter()
+            .map(|c| panels[c].column(round - schedule.cohort(c).entry_round))
+            .collect();
+        let column = BitColumn::concat(columns);
+        engine.step(&column).expect("in-horizon step");
+        assert!(
+            engine.budget().within_cap(schedule.total_budget()),
+            "budget invariant at round {round}"
+        );
+    }
+    engine
+}
+
+/// Active-set population MAE over the cumulative battery.
+fn population_error(
+    schedule: &PanelSchedule,
+    panels: &[LongitudinalDataset],
+    engine: &ShardedEngine<CumulativeSynthesizer>,
+) -> ErrorSummary {
+    let mut estimates = Vec::new();
+    let mut truths = Vec::new();
+    for t in 0..HORIZON {
+        for b in 1..=MAX_B.min(t + 1) {
+            let covering = (0..schedule.cohorts()).filter(|&c| schedule.cohort(c).is_active(t));
+            let estimate = active_weighted_mean(covering.clone().map(|c| {
+                let local = t - schedule.cohort(c).entry_round;
+                (
+                    engine.shard(c).estimate_fraction(local, b).unwrap(),
+                    schedule.cohort_size(c),
+                )
+            }))
+            .expect("every round has covering cohorts");
+            let truth = active_weighted_mean(covering.map(|c| {
+                let local = t - schedule.cohort(c).entry_round;
+                let count = cumulative_counts(&panels[c], local)
+                    .get(b)
+                    .copied()
+                    .unwrap_or(0);
+                (
+                    count as f64 / schedule.cohort_size(c) as f64,
+                    schedule.cohort_size(c),
+                )
+            }))
+            .expect("every round has covering cohorts");
+            estimates.push(estimate);
+            truths.push(truth);
+        }
+    }
+    ErrorSummary::from_pairs(&estimates, &truths)
+}
+
+fn bench_panel_churn(c: &mut Criterion) {
+    // Accuracy table, computed once outside criterion timing.
+    let mut comparison: Option<AccuracyComparison> = None;
+    let prepared: Vec<(&'static str, PanelSchedule, Vec<LongitudinalDataset>)> = regimes()
+        .into_iter()
+        .map(|(label, schedule)| {
+            let panels = cohort_panels(&schedule, 0xC0DE);
+            (label, schedule, panels)
+        })
+        .collect();
+    for (label, schedule, panels) in &prepared {
+        let engine = run(schedule, panels, 0xBEEF);
+        let summary = population_error(schedule, panels, &engine);
+        match &mut comparison {
+            None => comparison = Some(AccuracyComparison::against(*label, summary)),
+            Some(comparison) => comparison.add(*label, summary),
+        }
+    }
+    eprintln!(
+        "panel_churn: active-set population cumulative MAE \
+         (active n = {ACTIVE}, T = {HORIZON}, b <= {MAX_B}, rho = {RHO}):\n{}",
+        comparison.expect("at least one regime")
+    );
+
+    // Timed side: the full 12-round run per churn regime — the cost of a
+    // rotating active set at constant active population.
+    let mut group = c.benchmark_group("panel_churn");
+    group.sample_size(10);
+    for (label, schedule, panels) in &prepared {
+        let churn = match *label {
+            l if l.contains("50%") => "50",
+            l if l.contains("25%") => "25",
+            _ => "0",
+        };
+        group.bench_with_input(
+            BenchmarkId::new("full_run", churn),
+            &(schedule, panels),
+            |b, (schedule, panels)| {
+                b.iter_batched(
+                    || build_engine(schedule, 0xBEEF),
+                    |mut engine| {
+                        for round in 0..HORIZON {
+                            let columns: Vec<&BitColumn> = schedule
+                                .active(round)
+                                .into_iter()
+                                .map(|c| panels[c].column(round - schedule.cohort(c).entry_round))
+                                .collect();
+                            let column = BitColumn::concat(columns);
+                            engine.step(&column).expect("in-horizon step");
+                        }
+                        engine.rounds_fed()
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_panel_churn);
+criterion_main!(benches);

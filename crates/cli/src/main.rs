@@ -28,12 +28,12 @@ use longsynth_data::sipp::{load_sipp_csv, SippConfig};
 use longsynth_data::LongitudinalDataset;
 use longsynth_dp::budget::Rho;
 use longsynth_dp::rng::{rng_from_seed, RngFork};
-use longsynth_engine::{AggregationPolicy, ShardPlan, ShardedEngine, SlotRole};
+use longsynth_engine::{AggregationPolicy, PanelSchedule, ShardPlan, ShardedEngine, SlotRole};
 use longsynth_pool::WorkerPool;
 use longsynth_queries::cumulative::cumulative_counts;
 use longsynth_queries::window::quarterly_battery;
-use longsynth_queries::{AccuracyComparison, ErrorSummary};
-use longsynth_serve::{QueryService, ServeQuery};
+use longsynth_queries::{active_weighted_mean, AccuracyComparison, ErrorSummary};
+use longsynth_serve::{EvictionPolicy, QueryService, ServeQuery};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -47,11 +47,13 @@ const USAGE: &str = "usage:
   longsynth-cli engine       --input PANEL.csv --rho R --shards S
                              [--algorithm fixed-window|cumulative] [--window K]
                              [--aggregation per-shard|shared|shared:P]
+                             [--panel rotating:W]
                              [--output OUT.csv] [--estimates EST.csv] [--seed N]
                              [--sipp] [--beta B] [--max-b B]
   longsynth-cli serve        --input PANEL.csv --rho R --shards S
                              [--algorithm fixed-window|cumulative] [--window K]
                              [--aggregation per-shard|shared|shared:P]
+                             [--panel rotating:W] [--eviction fifo|lru]
                              [--queries N] [--pool-threads P] [--snapshot OUT.json]
                              [--seed N] [--sipp] [--beta B] [--max-b B]
   longsynth-cli simulate     [--households N] [--months T] [--seed N] --output PANEL.csv
@@ -70,11 +72,22 @@ unsharded population accuracy; P is the population budget share, default
 0.8). Both engine runs print a per-policy population-query error summary
 against the true panel.
 
+--panel rotating:W runs a **dynamic panel** instead of a static one
+(cumulative algorithm only): W overlapping waves are active at every round,
+one wave retires and a fresh one enters each round (SIPP/CPS-style
+rotation), the panel's rows are divided across the W+T-1 wave cohorts, and
+population answers pool the cohorts covering each round. The per-individual
+budget cap still holds: each individual lives in exactly one wave. Rotating
+panels run per-shard noise; --aggregation shared needs a static panel (its
+single population synthesizer cannot track a rotating membership).
+
 `serve` runs the engine with the release store attached, then drives a batch
 of concurrent window/cumulative queries against the stored releases through
 the shared worker pool — cold (empty cache) and cached — and reports
-queries/sec for both. --snapshot additionally writes the store as JSON,
-restores it, and verifies the restored answers are bit-identical.";
+queries/sec for both. --eviction picks the memo-cache eviction policy
+(fifo default, lru for skewed traffic). --snapshot additionally writes the
+store as JSON, restores it, and verifies the restored answers are
+bit-identical.";
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -280,6 +293,153 @@ fn slot_stream(role: SlotRole) -> u64 {
     }
 }
 
+/// Parse `--panel` (default: static lockstep; `rotating:W` = W overlapping
+/// waves, one rotating out per round).
+fn parse_panel(flags: &Flags) -> Result<Option<usize>, String> {
+    match flags.get("panel").map(String::as_str) {
+        None | Some("static") => Ok(None),
+        Some(raw) => match raw.strip_prefix("rotating:") {
+            Some(waves) => {
+                let waves: usize = waves
+                    .parse()
+                    .map_err(|_| format!("--panel: cannot parse wave count {waves:?}"))?;
+                if waves == 0 {
+                    return Err("--panel rotating needs at least one wave".to_string());
+                }
+                Ok(Some(waves))
+            }
+            None => Err(format!("--panel must be static or rotating:W, got {raw:?}")),
+        },
+    }
+}
+
+/// Parse `--eviction` (default: fifo).
+fn parse_eviction(flags: &Flags) -> Result<EvictionPolicy, String> {
+    match flags.get("eviction").map(String::as_str) {
+        None | Some("fifo") => Ok(EvictionPolicy::Fifo),
+        Some("lru") => Ok(EvictionPolicy::Lru),
+        Some(other) => Err(format!("--eviction must be fifo or lru, got {other:?}")),
+    }
+}
+
+/// Build the rotating-panel schedule for a rectangular input panel: the
+/// panel's rows are divided across the `waves + horizon − 1` wave cohorts
+/// and each cohort streams the panel's columns during its own window.
+fn rotating_schedule(
+    n: usize,
+    horizon: usize,
+    waves: usize,
+    rho_v: f64,
+    policy: AggregationPolicy,
+) -> Result<(PanelSchedule, ShardPlan), String> {
+    // The cohort budget share depends on whether the engine will actually
+    // run a population synthesizer, which depends on the panel's cohort
+    // count — mirror the generator's arithmetic rather than guessing.
+    let cohort_count = waves.min(horizon) + horizon - 1;
+    let (cohort_share, _) = policy.budget_shares(cohort_count);
+    let cohort_rho = Rho::new(rho_v * cohort_share).map_err(|e| e.to_string())?;
+    let total = Rho::new(rho_v).map_err(|e| e.to_string())?;
+    let schedule =
+        PanelSchedule::rotating(n, horizon, waves, cohort_rho, total).map_err(|e| e.to_string())?;
+    debug_assert_eq!(schedule.cohorts(), cohort_count);
+    let sizes: Vec<usize> = (0..schedule.cohorts())
+        .map(|c| schedule.cohort_size(c))
+        .collect();
+    let layout = ShardPlan::from_sizes(&sizes).map_err(|e| e.to_string())?;
+    Ok((schedule, layout))
+}
+
+/// Step a scheduled cumulative engine over the panel: each round feeds the
+/// active cohorts' slices of that round's column.
+fn drive_rotating_cumulative(
+    engine: &mut ShardedEngine<longsynth::CumulativeSynthesizer>,
+    schedule: &PanelSchedule,
+    layout: &ShardPlan,
+    panel: &LongitudinalDataset,
+) -> Result<(), String> {
+    for round in 0..schedule.global_horizon() {
+        let parts: Vec<longsynth_data::BitColumn> = schedule
+            .active(round)
+            .into_iter()
+            .map(|c| panel.column(round).slice(layout.range(c)))
+            .collect();
+        let column = longsynth_data::BitColumn::concat(parts.iter());
+        engine.step(&column).map_err(|e| e.to_string())?;
+        if !engine.budget().within_cap(schedule.total_budget()) {
+            return Err(format!(
+                "budget invariant violated at round {round}: {} over cap {}",
+                engine.budget().max_lifetime_spend(),
+                schedule.total_budget()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The engine factory for a rotating cumulative run.
+fn rotating_cumulative_factory(
+    seed: u64,
+) -> impl FnMut(longsynth_engine::PanelSlot) -> longsynth::CumulativeSynthesizer {
+    let fork = RngFork::new(seed);
+    move |slot| {
+        let config =
+            CumulativeConfig::new(slot.horizon, slot.budget).expect("schedule-validated slot");
+        let stream = slot_stream(slot.role);
+        CumulativeSynthesizer::new(config, fork.subfork(stream), fork.child(0x0C00 + stream))
+    }
+}
+
+/// Population cumulative estimate over the active set at global round `t`:
+/// the size-weighted pool of the covering cohorts' released estimates.
+fn rotating_population_estimate(
+    engine: &ShardedEngine<longsynth::CumulativeSynthesizer>,
+    schedule: &PanelSchedule,
+    t: usize,
+    b: usize,
+) -> Result<f64, String> {
+    let parts = (0..schedule.cohorts())
+        .filter(|&c| schedule.cohort(c).is_active(t))
+        .map(|c| {
+            let local = t - schedule.cohort(c).entry_round;
+            engine
+                .shard(c)
+                .estimate_fraction(local, b)
+                .map(|est| (est, schedule.cohort_size(c)))
+                .map_err(|e| e.to_string())
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    active_weighted_mean(parts).ok_or_else(|| format!("no cohort covers round {t}"))
+}
+
+/// The matching ground truth: each covering cohort's true cumulative
+/// fraction over *its observed columns*, size-weighted.
+fn rotating_population_truth(
+    schedule: &PanelSchedule,
+    layout: &ShardPlan,
+    panel: &LongitudinalDataset,
+    t: usize,
+    b: usize,
+) -> f64 {
+    let parts = (0..schedule.cohorts())
+        .filter(|&c| schedule.cohort(c).is_active(t))
+        .map(|c| {
+            let entry = schedule.cohort(c).entry_round;
+            let observed = LongitudinalDataset::from_columns(
+                (entry..=t)
+                    .map(|round| panel.column(round).slice(layout.range(c)))
+                    .collect(),
+            )
+            .expect("cohort slices are rectangular");
+            let counts = cumulative_counts(&observed, t - entry);
+            let count = counts.get(b).copied().unwrap_or(0);
+            (
+                count as f64 / schedule.cohort_size(c) as f64,
+                schedule.cohort_size(c),
+            )
+        });
+    active_weighted_mean(parts).expect("every round has a covering cohort")
+}
+
 fn run_engine(flags: &Flags) -> Result<(), String> {
     let rho_v: f64 = get_parsed(flags, "rho", f64::NAN)?;
     if rho_v.is_nan() {
@@ -294,11 +454,74 @@ fn run_engine(flags: &Flags) -> Result<(), String> {
         .map(String::as_str)
         .unwrap_or("fixed-window");
     let policy = parse_aggregation(flags)?;
+    let rotating = parse_panel(flags)?;
     let seed: u64 = get_parsed(flags, "seed", 42)?;
     let months_hint: usize = get_parsed(flags, "months", 12)?;
     let panel = load_input(flags, months_hint)?;
     let horizon = panel.rounds();
     let n = panel.individuals();
+    if let Some(waves) = rotating {
+        if algorithm != "cumulative" {
+            return Err(
+                "--panel rotating requires --algorithm cumulative (fixed-window cohorts \
+                 at different buffering phases cannot merge)"
+                    .to_string(),
+            );
+        }
+        if flags.contains_key("output") {
+            return Err(
+                "--output is not available under a rotating panel: the merged release \
+                 is ragged (the active set changes each round); use --estimates"
+                    .to_string(),
+            );
+        }
+        let max_b: usize = get_parsed(flags, "max-b", horizon.min(6))?;
+        let (schedule, layout) = rotating_schedule(n, horizon, waves, rho_v, policy)?;
+        eprintln!(
+            "panel: {n} individuals x {horizon} rounds; rotating panel of {waves} waves \
+             ({} cohorts, ~{} active per round), aggregation = {policy}, total rho = {rho_v}",
+            schedule.cohorts(),
+            schedule.active_population(0)
+        );
+        let mut engine = ShardedEngine::with_schedule(
+            schedule.clone(),
+            policy,
+            rotating_cumulative_factory(seed),
+        )
+        .map_err(|e| e.to_string())?;
+        drive_rotating_cumulative(&mut engine, &schedule, &layout, &panel)?;
+        let budget = engine.budget();
+        eprintln!(
+            "released {} rounds over the rotating panel; max individual lifetime budget {} \
+             (cap {}; population level {})",
+            engine.rounds_fed(),
+            budget.max_lifetime_spend(),
+            schedule.total_budget(),
+            budget.population_spent()
+        );
+        let battery: Vec<(usize, usize)> = (0..horizon)
+            .flat_map(|t| (1..=max_b.min(t + 1)).map(move |b| (t, b)))
+            .collect();
+        let mut estimates = Vec::with_capacity(battery.len());
+        let mut truths = Vec::with_capacity(battery.len());
+        for &(t, b) in &battery {
+            estimates.push(rotating_population_estimate(&engine, &schedule, t, b)?);
+            truths.push(rotating_population_truth(&schedule, &layout, &panel, t, b));
+        }
+        let comparison = AccuracyComparison::against(
+            format!("rotating:{waves} active-set estimates"),
+            ErrorSummary::from_pairs(&estimates, &truths),
+        );
+        eprintln!("population-query error vs truth (active set per round):\n{comparison}");
+        if let Some(mut out) = open_output(flags, "estimates")? {
+            writeln!(out, "round,threshold_b,fraction_at_least_b").map_err(|e| e.to_string())?;
+            for ((t, b), estimate) in battery.iter().zip(&estimates) {
+                writeln!(out, "{},{b},{estimate}", t + 1).map_err(|e| e.to_string())?;
+            }
+            eprintln!("wrote active-set cumulative estimates to --estimates");
+        }
+        return Ok(());
+    }
     let plan = ShardPlan::new(n, shards).map_err(|e| e.to_string())?;
     let rho = Rho::new(rho_v).map_err(|e| e.to_string())?;
     let fork = RngFork::new(seed);
@@ -530,6 +753,8 @@ fn run_serve(flags: &Flags) -> Result<(), String> {
         .map(String::as_str)
         .unwrap_or("cumulative");
     let policy = parse_aggregation(flags)?;
+    let rotating = parse_panel(flags)?;
+    let eviction = parse_eviction(flags)?;
     let seed: u64 = get_parsed(flags, "seed", 42)?;
     let months_hint: usize = get_parsed(flags, "months", 12)?;
     let query_target: usize = get_parsed(flags, "queries", 1_000)?;
@@ -537,15 +762,18 @@ fn run_serve(flags: &Flags) -> Result<(), String> {
     let panel = load_input(flags, months_hint)?;
     let horizon = panel.rounds();
     let n = panel.individuals();
-    let plan = ShardPlan::new(n, shards).map_err(|e| e.to_string())?;
     let rho = Rho::new(rho_v).map_err(|e| e.to_string())?;
     let fork = RngFork::new(seed);
     let pool = std::sync::Arc::new(WorkerPool::new(pool_threads.max(1)));
-    let service = QueryService::new();
+    let service = QueryService::with_cache(
+        longsynth_serve::ReleaseStore::new(),
+        longsynth_serve::DEFAULT_CACHE_CAPACITY,
+        eviction,
+    );
     eprintln!(
         "panel: {n} individuals x {horizon} rounds; {shards} shards, \
          {} pool threads, algorithm = {algorithm}, aggregation = {policy}, \
-         total rho = {rho_v}",
+         eviction = {eviction}, total rho = {rho_v}",
         pool.threads()
     );
 
@@ -553,6 +781,54 @@ fn run_serve(flags: &Flags) -> Result<(), String> {
     // the store the moment its round completes, tagged with the policy.
     let ingest_start = std::time::Instant::now();
     let window: usize = get_parsed(flags, "window", 3)?;
+    if let Some(waves) = rotating {
+        if algorithm != "cumulative" {
+            return Err(
+                "--panel rotating requires --algorithm cumulative (fixed-window cohorts \
+                 at different buffering phases cannot merge)"
+                    .to_string(),
+            );
+        }
+        let (schedule, layout) = rotating_schedule(n, horizon, waves, rho_v, policy)?;
+        let mut engine = ShardedEngine::with_schedule_and_pool(
+            schedule.clone(),
+            policy,
+            rotating_cumulative_factory(seed),
+            std::sync::Arc::clone(&pool),
+        )
+        .map_err(|e| e.to_string())?;
+        engine.set_sink(service.column_sink());
+        drive_rotating_cumulative(&mut engine, &schedule, &layout, &panel)?;
+        let rounds = service.with_store(longsynth_serve::ReleaseStore::rounds);
+        eprintln!(
+            "ingested {rounds} rotating rounds ({} cohorts, {} waves active) in {:?}",
+            schedule.cohorts(),
+            waves,
+            ingest_start.elapsed()
+        );
+        // Dynamic read battery: merged-scope cumulative thresholds over
+        // every round, plus each cohort's covered rounds.
+        let max_b: usize = get_parsed(flags, "max-b", horizon.min(6))?;
+        let mut distinct = Vec::new();
+        for t in 0..rounds {
+            for b in 1..=max_b.min(t + 1) {
+                distinct.push(ServeQuery {
+                    scope: longsynth_serve::StoreScope::Merged,
+                    kind: longsynth_serve::QueryKind::CumulativeFraction { t, b },
+                });
+            }
+            for c in 0..schedule.cohorts() {
+                if schedule.cohort(c).is_active(t) {
+                    distinct.push(ServeQuery {
+                        scope: longsynth_serve::StoreScope::Cohort(c),
+                        kind: longsynth_serve::QueryKind::CumulativeFraction { t, b: 1 },
+                    });
+                }
+            }
+        }
+        return finish_serve(flags, &service, &pool, distinct, query_target);
+    }
+    let plan = ShardPlan::new(n, shards).map_err(|e| e.to_string())?;
     match algorithm {
         "fixed-window" => {
             let beta: f64 = get_parsed(flags, "beta", 0.05)?;
@@ -618,6 +894,19 @@ fn run_serve(flags: &Flags) -> Result<(), String> {
     // requested batch size — the read traffic a deployment sees.
     let max_b: usize = get_parsed(flags, "max-b", horizon.min(6))?;
     let distinct = longsynth_serve::mixed_battery(rounds, shards, max_b, window);
+    finish_serve(flags, &service, &pool, distinct, query_target)
+}
+
+/// The serving tail shared by static and rotating runs: drive the batch
+/// cold and cached, report throughput, and (optionally) verify a snapshot
+/// round-trip.
+fn finish_serve(
+    flags: &Flags,
+    service: &QueryService,
+    pool: &WorkerPool,
+    distinct: Vec<ServeQuery>,
+    query_target: usize,
+) -> Result<(), String> {
     if distinct.is_empty() {
         return Err("no answerable queries (panel too short?)".into());
     }
@@ -632,7 +921,7 @@ fn run_serve(flags: &Flags) -> Result<(), String> {
     // pass: same batch, all hits.
     let run_batch = |label: &str| {
         let start = std::time::Instant::now();
-        let answers = service.answer_batch(&pool, batch.clone());
+        let answers = service.answer_batch(pool, batch.clone());
         let elapsed = start.elapsed();
         let failures = answers.iter().filter(|a| a.is_err()).count();
         let qps = batch.len() as f64 / elapsed.as_secs_f64();
@@ -648,9 +937,10 @@ fn run_serve(flags: &Flags) -> Result<(), String> {
     let cold_qps = run_batch("cold  ");
     let cached_qps = run_batch("cached");
     eprintln!(
-        "cache speedup: {:.1}x ({} distinct queries memoized)",
+        "cache speedup: {:.1}x ({} distinct queries memoized, {} evictions)",
         cached_qps / cold_qps,
-        service.cache_len()
+        service.cache_len(),
+        service.cache_evictions()
     );
 
     if let Some(path) = flags.get("snapshot") {
@@ -810,7 +1100,7 @@ mod tests {
         ]))
         .unwrap();
         let json = std::fs::read_to_string(&snapshot).unwrap();
-        assert!(json.contains("longsynth-release-store/v2"));
+        assert!(json.contains("longsynth-release-store/v3"));
         assert!(json.contains("per-shard"));
 
         // Fixed-window serving run under shared-noise aggregation: the
@@ -844,6 +1134,93 @@ mod tests {
             ("rho", "0.05"),
             ("shards", "2"),
             ("algorithm", "nope"),
+        ]))
+        .is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn end_to_end_rotating_panel_run() {
+        let dir = std::env::temp_dir().join("longsynth_cli_rotating_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let panel = dir.join("panel.csv");
+        let est = dir.join("est.csv");
+        let snapshot = dir.join("store.json");
+
+        run_simulate(&flags_of(&[
+            ("households", "420"),
+            ("months", "8"),
+            ("output", panel.to_str().unwrap()),
+        ]))
+        .unwrap();
+
+        // Rotating engine run: 3 waves, cumulative estimates come out.
+        run_engine(&flags_of(&[
+            ("input", panel.to_str().unwrap()),
+            ("rho", "0.1"),
+            ("shards", "1"),
+            ("algorithm", "cumulative"),
+            ("panel", "rotating:3"),
+            ("estimates", est.to_str().unwrap()),
+        ]))
+        .unwrap();
+        let est_text = std::fs::read_to_string(&est).unwrap();
+        assert!(est_text.starts_with("round,threshold_b"));
+        assert!(est_text.lines().count() > 8);
+
+        // Rotating serve run with LRU eviction and a v3 snapshot.
+        run_serve(&flags_of(&[
+            ("input", panel.to_str().unwrap()),
+            ("rho", "0.1"),
+            ("shards", "1"),
+            ("algorithm", "cumulative"),
+            ("panel", "rotating:2"),
+            ("eviction", "lru"),
+            ("queries", "150"),
+            ("pool-threads", "2"),
+            ("snapshot", snapshot.to_str().unwrap()),
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&snapshot).unwrap();
+        assert!(json.contains("longsynth-release-store/v3"));
+        assert!(json.contains("\"dynamic\": true") || json.contains("\"dynamic\":true"));
+
+        // Guard rails: rotating needs the cumulative algorithm; --output
+        // is refused (ragged merged panel); malformed specs error.
+        assert!(run_engine(&flags_of(&[
+            ("input", panel.to_str().unwrap()),
+            ("rho", "0.1"),
+            ("shards", "1"),
+            ("panel", "rotating:3"),
+        ]))
+        .unwrap_err()
+        .contains("cumulative"));
+        assert!(run_engine(&flags_of(&[
+            ("input", panel.to_str().unwrap()),
+            ("rho", "0.1"),
+            ("shards", "1"),
+            ("algorithm", "cumulative"),
+            ("panel", "rotating:3"),
+            ("output", est.to_str().unwrap()),
+        ]))
+        .unwrap_err()
+        .contains("ragged"));
+        for bad in ["rotating:0", "rotating:x", "weekly"] {
+            assert!(run_engine(&flags_of(&[
+                ("input", panel.to_str().unwrap()),
+                ("rho", "0.1"),
+                ("shards", "1"),
+                ("algorithm", "cumulative"),
+                ("panel", bad),
+            ]))
+            .is_err());
+        }
+        assert!(run_serve(&flags_of(&[
+            ("input", panel.to_str().unwrap()),
+            ("rho", "0.1"),
+            ("shards", "1"),
+            ("eviction", "random"),
         ]))
         .is_err());
 

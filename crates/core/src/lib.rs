@@ -98,4 +98,4 @@ pub use error::SynthError;
 pub use fixed_window::{FixedWindowConfig, FixedWindowSynthesizer, Release, SelectionStrategy};
 pub use padding::PaddingPolicy;
 pub use synthetic::SyntheticDataset;
-pub use traits::ContinualSynthesizer;
+pub use traits::{ContinualSynthesizer, LifecycleStage};

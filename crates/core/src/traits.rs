@@ -50,6 +50,40 @@ use longsynth_data::categorical::CategoricalColumn;
 use longsynth_data::BitColumn;
 use longsynth_dp::budget::Rho;
 use rand::Rng;
+use std::fmt;
+
+/// Where a synthesizer stands in its continual-release lifetime.
+///
+/// The stages exist for *panel lifecycle* management (dynamic cohorts in
+/// `longsynth-engine`): a rotating panel holds synthesizers that have not
+/// started yet (late entrants, [`Fresh`](Self::Fresh)), synthesizers
+/// mid-stream ([`Streaming`](Self::Streaming)), and synthesizers whose
+/// cohort has retired ([`Sealed`](Self::Sealed)). A sealed synthesizer's
+/// released prefix stays queryable forever, but it accepts no further
+/// rounds — every implementation already enforces this by rejecting
+/// post-horizon steps with `HorizonExceeded`, and the stage makes that
+/// state inspectable without provoking the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LifecycleStage {
+    /// No rounds consumed yet: safe to treat as a brand-new entrant whose
+    /// local round 0 is still ahead.
+    Fresh,
+    /// Mid-run: some rounds consumed, at least one still accepted.
+    Streaming,
+    /// All [`horizon`](ContinualSynthesizer::horizon) rounds consumed; the
+    /// synthesizer is retired and will reject further input.
+    Sealed,
+}
+
+impl fmt::Display for LifecycleStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LifecycleStage::Fresh => write!(f, "fresh"),
+            LifecycleStage::Streaming => write!(f, "streaming"),
+            LifecycleStage::Sealed => write!(f, "sealed"),
+        }
+    }
+}
 
 /// A synthesizer that consumes one true column per round and continually
 /// releases synthetic data under a fixed total privacy budget.
@@ -106,6 +140,27 @@ pub trait ContinualSynthesizer {
     /// Rounds still accepted before the horizon is exhausted.
     fn rounds_remaining(&self) -> usize {
         self.horizon().saturating_sub(self.round())
+    }
+
+    /// Where this synthesizer stands in its lifetime — derived from
+    /// [`round`](Self::round) and [`rounds_remaining`](Self::rounds_remaining),
+    /// so every implementation gets it for free. Dynamic-panel engines use
+    /// the stage to decide which cohorts belong to a round's active set.
+    fn lifecycle(&self) -> LifecycleStage {
+        if self.rounds_remaining() == 0 {
+            LifecycleStage::Sealed
+        } else if self.round() == 0 {
+            LifecycleStage::Fresh
+        } else {
+            LifecycleStage::Streaming
+        }
+    }
+
+    /// True once the synthesizer has consumed its whole horizon: it is
+    /// retired (its cohort's releases are final) and rejects further
+    /// rounds.
+    fn is_sealed(&self) -> bool {
+        self.lifecycle() == LifecycleStage::Sealed
     }
 
     /// zCDP budget charged so far across all internal mechanisms.
@@ -436,6 +491,34 @@ mod tests {
             .unwrap();
         assert_eq!(population.true_n(), Some(100));
         assert_eq!(population.synthetic().len(), 100);
+    }
+
+    /// The derived lifecycle walks fresh → streaming → sealed, and a
+    /// sealed synthesizer rejects further rounds — the contract the
+    /// dynamic-panel engine's retirement logic leans on.
+    #[test]
+    fn lifecycle_progresses_and_seals() {
+        use crate::traits::LifecycleStage;
+        let data = iid_bernoulli(&mut rng_from_seed(41), 60, 4, 0.4);
+        let config = CumulativeConfig::new(4, Rho::new(0.1).unwrap()).unwrap();
+        let mut synth = CumulativeSynthesizer::new(config, RngFork::new(42), rng_from_seed(42));
+        assert_eq!(synth.lifecycle(), LifecycleStage::Fresh);
+        assert!(!synth.is_sealed());
+        for (t, col) in data.stream() {
+            synth.step(col).unwrap();
+            let expected = if t + 1 == 4 {
+                LifecycleStage::Sealed
+            } else {
+                LifecycleStage::Streaming
+            };
+            assert_eq!(synth.lifecycle(), expected, "after round {}", t + 1);
+        }
+        assert!(synth.is_sealed());
+        assert_eq!(synth.lifecycle().to_string(), "sealed");
+        assert!(matches!(
+            synth.step(data.column(0)),
+            Err(SynthError::HorizonExceeded { .. })
+        ));
     }
 
     #[test]

@@ -10,8 +10,16 @@
 //! history to exactly one shard, the shards compute over **disjoint** user
 //! populations. Changing one user's whole history perturbs the input of
 //! exactly one shard, and the other shards' outputs are independent of it.
-//! This is parallel composition: the user-level zCDP cost of the cohort
-//! release level is `max_s ρ_s`, not `Σ_s ρ_s`.
+//! This is parallel composition — stated in the form that survives panel
+//! churn: the user-level cost of the cohort release level is the **maximum
+//! over any individual's lifetime spend**, which, with each individual
+//! living in exactly one cohort, is `max_c spent_c` over all cohorts that
+//! ever existed — active, retired, or not yet entered. Under a lockstep
+//! panel (every cohort identical and always active) this reduces to the
+//! familiar `max_s ρ_s`; under a [`crate::shard::PanelSchedule`] the
+//! cohorts carry *different* budgets and lifetimes, and the same maximum
+//! is checked against the schedule's per-individual cap
+//! ([`EngineBudget::within_cap`]) every round.
 //!
 //! The shared-noise aggregation policy adds a second level: a
 //! population-level release computed from the *sum* of cohort aggregates.
@@ -102,6 +110,22 @@ impl EngineBudget {
     /// every user's data enters both.
     pub fn spent(&self) -> Rho {
         self.cohort_spent().compose(self.population_spent())
+    }
+
+    /// The worst-case **lifetime** spend of any single individual: their
+    /// own cohort's spend (they live in exactly one) plus the population
+    /// level their data also reaches. This is the quantity a dynamic
+    /// panel's per-individual budget cap bounds; for a lockstep panel it
+    /// coincides with [`spent`](Self::spent).
+    pub fn max_lifetime_spend(&self) -> Rho {
+        self.spent()
+    }
+
+    /// The generalized parallel-composition invariant, verified every
+    /// round by scheduled engines: no individual's lifetime spend exceeds
+    /// `cap` (up to floating-point slack).
+    pub fn within_cap(&self, cap: Rho) -> bool {
+        self.max_lifetime_spend().value() <= cap.value() + 1e-9
     }
 
     /// Total user-level zCDP guaranteed for the whole run, both levels
@@ -208,5 +232,24 @@ mod tests {
         assert!((done.spent().value() - 0.01).abs() < 1e-15);
         // Sequential-sum view counts every shard plus the population.
         assert!((done.spent_sequential().value() - 0.012).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lifetime_spend_is_the_max_over_heterogeneous_cohorts() {
+        // A rotating panel mid-run: a retired cohort that spent its full
+        // (small) budget, an active cohort mid-spend with a larger budget,
+        // and a cohort that has not entered yet. The worst individual is
+        // in the active cohort.
+        let budget = EngineBudget::from_shards(vec![
+            (rho(0.004), rho(0.004)), // retired, fully spent
+            (rho(0.006), rho(0.010)), // active
+            (rho(0.000), rho(0.008)), // not yet entered
+        ]);
+        assert!((budget.max_lifetime_spend().value() - 0.006).abs() < 1e-15);
+        assert!((budget.cohort_total().value() - 0.010).abs() < 1e-15);
+        assert!(budget.within_cap(rho(0.010)));
+        assert!(budget.within_cap(rho(0.006)));
+        assert!(!budget.within_cap(rho(0.005)));
+        assert!(!budget.exhausted());
     }
 }

@@ -33,6 +33,20 @@
 //! rounds callers can inspect any shard (e.g. per-shard estimates, clamp
 //! counters) through [`ShardedEngine::shard`] — and the population
 //! synthesizer through [`ShardedEngine::population_synthesizer`].
+//!
+//! ## Dynamic panels
+//!
+//! Constructed over a [`PanelSchedule`]
+//! ([`with_schedule`](ShardedEngine::with_schedule)), the engine runs a
+//! **rotating panel**: each global round it steps only the schedule's
+//! *active set*, late entrants start at their own local round 0, retired
+//! cohorts stay sealed (their synthesizers reject further input but remain
+//! inspectable), and the generalized parallel-composition invariant — no
+//! individual's lifetime zCDP spend exceeds the schedule's cap — is
+//! re-checked every round (debug-asserted; see
+//! [`EngineBudget::within_cap`]). The static lockstep panel is the
+//! degenerate schedule and stays bit-identical to the plan-based
+//! constructors.
 
 use longsynth::{ContinualSynthesizer, SynthError};
 use longsynth_pool::WorkerPool;
@@ -42,7 +56,7 @@ use std::sync::Arc;
 use crate::budget::EngineBudget;
 use crate::merge::{MergeAggregate, MergeRelease};
 use crate::policy::{AggregationPolicy, PolicyTag};
-use crate::shard::{ShardPlan, ShardableInput, SlotRole, SynthSlot};
+use crate::shard::{PanelSchedule, PanelSlot, ShardPlan, ShardableInput, SlotRole, SynthSlot};
 use crate::sink::ReleaseSink;
 use crate::EngineError;
 
@@ -56,13 +70,27 @@ enum DriveMode {
     FinalizeOnly,
 }
 
+/// A round started via the two-phase [`ShardedEngine::prepare`] and
+/// awaiting [`ShardedEngine::finalize`].
+struct PendingRound<A> {
+    /// Active cohort indices of the round (`None` for a legacy lockstep
+    /// round, where every shard participated).
+    active: Option<Vec<usize>>,
+    /// Per-participating-cohort aggregates, in the same order.
+    aggregates: Vec<A>,
+}
+
 /// A sharded multi-cohort streaming engine over any synthesizer family.
 ///
-/// All shards must be configured identically (same horizon, same total
-/// budget) — the engine feeds them in lockstep and aggregates their
-/// releases positionally; construction fails with
-/// [`EngineError::HeterogeneousShards`] otherwise. Constructors take a
-/// factory so per-shard RNG streams stay independent.
+/// Under the plan-based constructors all shards must be configured
+/// identically (same horizon, same total budget) — the engine feeds them
+/// in lockstep and aggregates their releases positionally; construction
+/// fails with [`EngineError::HeterogeneousShards`] otherwise.
+/// Heterogeneous panels (per-cohort entry rounds, horizons, and budgets)
+/// are supported through [`with_schedule`](Self::with_schedule), which
+/// validates each cohort against its [`CohortSchedule`](crate::CohortSchedule)
+/// instead. Constructors take a factory so per-shard RNG streams stay
+/// independent.
 ///
 /// Where the noise goes is a pluggable [`AggregationPolicy`]:
 /// [`new`](Self::new)/[`with_pool`](Self::with_pool) keep the default
@@ -72,14 +100,24 @@ enum DriveMode {
 /// population-level synthesizer carrying the population budget share.
 pub struct ShardedEngine<S: ContinualSynthesizer> {
     plan: ShardPlan,
+    /// The panel lifecycle this engine runs: `None` for the legacy static
+    /// lockstep panel (every cohort active every round), `Some` for a
+    /// dynamic panel whose cohorts join and retire per their
+    /// [`CohortSchedule`](crate::CohortSchedule)s.
+    schedule: Option<PanelSchedule>,
+    /// Cached `schedule.is_static()` (false for plan-based engines, whose
+    /// static-ness is structural): a scheduled-but-degenerate panel emits
+    /// plain lockstep sink rounds, so downstream stores treat it exactly
+    /// like a plan-based engine.
+    scheduled_static: bool,
     policy: AggregationPolicy,
     shards: Vec<S>,
     /// The finalize-only population synthesizer (shared-noise policy with
     /// more than one shard).
     population: Option<S>,
-    /// Per-shard aggregates of a round started via the two-phase
-    /// [`prepare`](Self::prepare) and awaiting [`finalize`](Self::finalize).
-    pending: Option<Vec<S::Aggregate>>,
+    /// The round started via the two-phase [`prepare`](Self::prepare) and
+    /// awaiting [`finalize`](Self::finalize), if any.
+    pending: Option<PendingRound<S::Aggregate>>,
     /// How this engine has been driven so far. `step`/`prepare` (raw-data
     /// rounds advancing the shards) and standalone `finalize` (population
     /// rounds that never touch the shards) are mutually exclusive over an
@@ -159,9 +197,58 @@ where
         Self::build(plan, policy, factory, Some(pool))
     }
 
+    /// Build a **dynamic-panel** engine over a [`PanelSchedule`]: cohorts
+    /// join and retire per their schedules, each global round steps only
+    /// the active set, and the per-individual budget invariant (max
+    /// lifetime spend ≤ the schedule's cap) is maintained every round.
+    ///
+    /// The factory is called once per [`PanelSlot`] — every cohort, in
+    /// cohort order, with its own entry round, horizon, and absolute
+    /// budget; plus, for shared noise with more than one cohort, once with
+    /// [`SlotRole::Population`] carrying the population-level budget
+    /// (`population_share ×` the schedule's cap) and the constant active
+    /// population size. Construction verifies each synthesizer honored its
+    /// slot's horizon and budget, and that no cohort's budget plus the
+    /// population budget over-commits the cap.
+    ///
+    /// A degenerate schedule (all cohorts entering at round 0 under the
+    /// global horizon) behaves bit-identically to the plan-based
+    /// constructors — the static panel is the special case, pinned by the
+    /// `panel_lifecycle` equivalence tests.
+    pub fn with_schedule(
+        schedule: PanelSchedule,
+        policy: AggregationPolicy,
+        factory: impl FnMut(PanelSlot) -> S,
+    ) -> Result<Self, EngineError> {
+        let pool = Self::own_schedule_pool(&schedule);
+        Self::build_scheduled(schedule, policy, factory, pool)
+    }
+
+    /// [`with_schedule`](Self::with_schedule) on a shared pool.
+    pub fn with_schedule_and_pool(
+        schedule: PanelSchedule,
+        policy: AggregationPolicy,
+        factory: impl FnMut(PanelSlot) -> S,
+        pool: Arc<WorkerPool>,
+    ) -> Result<Self, EngineError> {
+        Self::build_scheduled(schedule, policy, factory, Some(pool))
+    }
+
     fn own_pool(plan: &ShardPlan) -> Option<Arc<WorkerPool>> {
         if plan.shards() > 1 {
             Some(Arc::new(WorkerPool::with_capacity_hint(plan.shards())))
+        } else {
+            None
+        }
+    }
+
+    fn own_schedule_pool(schedule: &PanelSchedule) -> Option<Arc<WorkerPool>> {
+        let max_active = (0..schedule.global_horizon())
+            .map(|round| schedule.active(round).len())
+            .max()
+            .unwrap_or(0);
+        if max_active > 1 {
+            Some(Arc::new(WorkerPool::with_capacity_hint(max_active)))
         } else {
             None
         }
@@ -210,6 +297,8 @@ where
         }
         Ok(Self {
             plan,
+            schedule: None,
+            scheduled_static: false,
             policy,
             shards,
             population,
@@ -221,9 +310,125 @@ where
         })
     }
 
-    /// The cohort partition this engine runs over.
+    fn build_scheduled(
+        schedule: PanelSchedule,
+        policy: AggregationPolicy,
+        mut factory: impl FnMut(PanelSlot) -> S,
+        pool: Option<Arc<WorkerPool>>,
+    ) -> Result<Self, EngineError> {
+        policy.validate()?;
+        let total = schedule.total_budget();
+        let population_budget = policy.population_budget(schedule.cohorts(), total);
+        if let Some(rho_pop) = population_budget {
+            // The shared-noise population synthesizer maintains ONE
+            // persistent synthetic population across the whole run: its
+            // size is pinned at round 0 and its statistics (cumulative
+            // counters, monotone clamps) assume a fixed membership. Under
+            // churn the true active-set statistics are non-monotone — a
+            // retiring cohort's crossings leave the active set, which the
+            // counter pipeline cannot represent, so the population release
+            // would drift toward saturation. Shared noise therefore
+            // requires the degenerate (static) schedule; per-cohort
+            // *budgets* may still differ, which is the heterogeneity
+            // shared noise soundly supports. Rotating panels run per-shard
+            // noise, with population answers pooled over the covering
+            // cohorts downstream.
+            if !schedule.is_static() {
+                return Err(EngineError::InvalidSchedule(
+                    "the shared-noise policy needs a static schedule (every cohort \
+                     entering at round 0 under the global horizon): its single \
+                     population synthesizer cannot represent a rotating active set's \
+                     non-monotone statistics; run rotating panels under per-shard \
+                     noise and pool population answers over the covering cohorts"
+                        .to_string(),
+                ));
+            }
+            // Generalized over-commit check: an individual's lifetime
+            // spend is their cohort's budget plus the population level.
+            for cohort in 0..schedule.cohorts() {
+                let lifetime = schedule.cohort(cohort).budget.value() + rho_pop.value();
+                if lifetime > total.value() + 1e-12 {
+                    return Err(EngineError::InvalidSchedule(format!(
+                        "budget over-commit under shared noise: cohort {cohort}'s budget {} \
+                         plus the population budget {rho_pop} exceeds the per-individual \
+                         cap {total}",
+                        schedule.cohort(cohort).budget
+                    )));
+                }
+            }
+        }
+        let shards: Vec<S> = (0..schedule.cohorts())
+            .map(|c| {
+                factory(PanelSlot {
+                    role: SlotRole::Shard(c),
+                    size: schedule.cohort_size(c),
+                    entry_round: schedule.cohort(c).entry_round,
+                    horizon: schedule.cohort(c).horizon,
+                    budget: schedule.cohort(c).budget,
+                })
+            })
+            .collect();
+        for (cohort, synth) in shards.iter().enumerate() {
+            validate_slot(synth, Some(cohort), schedule.cohort(cohort).horizon, {
+                schedule.cohort(cohort).budget
+            })?;
+        }
+        let population = population_budget
+            .map(|budget| {
+                let synth = factory(PanelSlot {
+                    role: SlotRole::Population,
+                    size: schedule.active_population(0),
+                    entry_round: 0,
+                    horizon: schedule.global_horizon(),
+                    budget,
+                });
+                validate_slot(&synth, None, schedule.global_horizon(), budget)?;
+                Ok::<_, EngineError>(synth)
+            })
+            .transpose()?;
+        let plan = ShardPlan::from_sizes(
+            &(0..schedule.cohorts())
+                .map(|c| schedule.cohort_size(c))
+                .collect::<Vec<_>>(),
+        )?;
+        let scheduled_static = schedule.is_static();
+        Ok(Self {
+            plan,
+            schedule: Some(schedule),
+            scheduled_static,
+            policy,
+            shards,
+            population,
+            pending: None,
+            mode: None,
+            rounds_fed: 0,
+            pool,
+            sink: None,
+        })
+    }
+
+    /// The cohort partition this engine runs over (the full panel, active
+    /// or not).
     pub fn plan(&self) -> &ShardPlan {
         &self.plan
+    }
+
+    /// The panel lifecycle schedule, when this is a dynamic-panel engine.
+    pub fn schedule(&self) -> Option<&PanelSchedule> {
+        self.schedule.as_ref()
+    }
+
+    /// The cohorts the *next* round will step (all of them for a static
+    /// engine, the schedule's active set otherwise). Empty once the
+    /// horizon is exhausted.
+    pub fn active_cohorts(&self) -> Vec<usize> {
+        if self.rounds_fed >= self.horizon() {
+            return Vec::new();
+        }
+        match &self.schedule {
+            None => (0..self.shards.len()).collect(),
+            Some(schedule) => schedule.active(self.rounds_fed),
+        }
     }
 
     /// The aggregation policy this engine runs under.
@@ -253,9 +458,13 @@ where
         self.rounds_fed
     }
 
-    /// The configured horizon (uniform across shards).
+    /// The engine's horizon: the schedule's global horizon for a
+    /// dynamic-panel engine, the (uniform) shard horizon otherwise.
     pub fn horizon(&self) -> usize {
-        self.shards[0].horizon()
+        match &self.schedule {
+            Some(schedule) => schedule.global_horizon(),
+            None => self.shards[0].horizon(),
+        }
     }
 
     /// The worker pool driving multi-shard steps (`None` for a 1-shard
@@ -334,6 +543,38 @@ fn validate_homogeneous<S: ContinualSynthesizer>(shards: &[S]) -> Result<(), Eng
     Ok(())
 }
 
+/// A scheduled slot's synthesizer must carry exactly the horizon and total
+/// budget its [`PanelSlot`] asked for — the per-cohort generalization of
+/// [`validate_homogeneous`], producing a [`EngineError::ScheduleMismatch`]
+/// naming the slot and field instead of the blanket heterogeneity
+/// rejection.
+fn validate_slot<S: ContinualSynthesizer>(
+    synth: &S,
+    cohort: Option<usize>,
+    horizon: usize,
+    budget: longsynth_dp::budget::Rho,
+) -> Result<(), EngineError> {
+    if synth.horizon() != horizon {
+        return Err(EngineError::ScheduleMismatch {
+            cohort,
+            field: "horizon",
+            expected: horizon.to_string(),
+            actual: synth.horizon().to_string(),
+        });
+    }
+    let configured = synth.budget_total().value();
+    let scale = configured.abs().max(budget.value().abs()).max(1.0);
+    if (configured - budget.value()).abs() > 1e-9 * scale {
+        return Err(EngineError::ScheduleMismatch {
+            cohort,
+            field: "total budget",
+            expected: budget.to_string(),
+            actual: synth.budget_total().to_string(),
+        });
+    }
+    Ok(())
+}
+
 /// The population synthesizer must run the same horizon as the shards, and
 /// the factory must have honored the policy's budget split: the total ρ
 /// implied by the shard budgets (`shard_total / shard_share`) and by the
@@ -374,11 +615,23 @@ where
     /// Feed one population-level column; returns the population-level
     /// release (policy-dependent: concatenated cohort releases, or the
     /// shared-noise population synthesis).
+    ///
+    /// On a dynamic-panel engine the column covers only the round's
+    /// **active set** — the concatenation of the active cohorts' reports
+    /// in cohort order, per
+    /// [`PanelSchedule::active_layout`](crate::PanelSchedule::active_layout)
+    /// — and the release likewise covers the active population.
     pub fn step(&mut self, column: &S::Input) -> Result<S::Release, EngineError> {
         if self.pending.is_some() {
             return Err(EngineError::OutOfPhase(
                 "step during a prepared round awaiting finalize".to_string(),
             ));
+        }
+        if self.schedule.is_some() {
+            let (active, parts) = self.begin_scheduled_round(column)?;
+            let merged = self.scheduled_round(&active, parts)?;
+            self.assert_budget_invariant();
+            return Ok(merged);
         }
         if column.population() != self.plan.population() {
             return Err(EngineError::PopulationMismatch {
@@ -520,6 +773,269 @@ where
         Ok(merged)
     }
 
+    /// Validate a dynamic-panel round and split its column: global-horizon
+    /// check, active-set lookup, active-population check, word-level split
+    /// into per-active-cohort parts. Pins stepped mode. Debug builds also
+    /// assert the active cohorts are in lockstep with the global clock
+    /// (cohort `c`'s local round equals `round − entry`) and that no
+    /// sealed synthesizer is about to be stepped.
+    fn begin_scheduled_round(
+        &mut self,
+        column: &S::Input,
+    ) -> Result<(Vec<usize>, Vec<S::Input>), EngineError> {
+        let schedule = self.schedule.as_ref().expect("scheduled path");
+        let round = self.rounds_fed;
+        if round >= schedule.global_horizon() {
+            return Err(EngineError::HorizonExhausted {
+                horizon: schedule.global_horizon(),
+            });
+        }
+        // One pass over the cohorts: the active set and its sizes drive
+        // the population check and the split layout.
+        let active = schedule.active(round);
+        let sizes: Vec<usize> = active.iter().map(|&c| schedule.cohort_size(c)).collect();
+        let expected: usize = sizes.iter().sum();
+        if column.population() != expected {
+            return Err(EngineError::PopulationMismatch {
+                expected,
+                actual: column.population(),
+            });
+        }
+        let layout = ShardPlan::from_sizes(&sizes)?;
+        #[cfg(debug_assertions)]
+        for &c in &active {
+            let entry = schedule.cohort(c).entry_round;
+            debug_assert!(
+                !self.shards[c].is_sealed(),
+                "cohort {c} is sealed but scheduled active at round {round}"
+            );
+            debug_assert_eq!(
+                self.shards[c].round(),
+                round - entry,
+                "cohort {c} fell out of lockstep with the global clock"
+            );
+        }
+        self.enter_stepped_mode()?;
+        Ok((active, column.split(&layout)))
+    }
+
+    /// Notify the sink of a completed scheduled round. A degenerate
+    /// (static) schedule emits a plain lockstep round — every cohort
+    /// participated, so downstream stores treat the engine exactly like a
+    /// plan-based one (static store, rectangular merged panel); only a
+    /// genuinely rotating round carries the active set.
+    #[allow(clippy::too_many_arguments)] // the sink contract's full round context
+    fn notify_scheduled_sink(
+        sink: &mut Box<dyn ReleaseSink<S::Release>>,
+        scheduled_static: bool,
+        round: usize,
+        cohorts: usize,
+        active: &[usize],
+        releases: &[S::Release],
+        merged: &S::Release,
+        tag: PolicyTag,
+    ) {
+        if scheduled_static {
+            sink.on_round(round, releases, merged, tag);
+        } else {
+            sink.on_round_active(round, cohorts, active, releases, merged, tag);
+        }
+    }
+
+    /// Complete a dynamic-panel round on already-split parts: step the
+    /// active cohorts (pooled when possible), aggregate per the policy,
+    /// notify the sink with the active set, and advance the global clock.
+    fn scheduled_round(
+        &mut self,
+        active: &[usize],
+        parts: Vec<S::Input>,
+    ) -> Result<S::Release, EngineError> {
+        let round = self.rounds_fed;
+        let cohorts = self.shards.len();
+        let tag = self.effective_tag();
+        let scheduled_static = self.scheduled_static;
+        let merged = if self.population.is_some() {
+            // Shared noise (static schedules only — see build_scheduled):
+            // every cohort prepares + finalizes its own release; the sum
+            // of the cohorts' aggregates — aligned to the global clock —
+            // is privatized once by the population synthesizer.
+            let (aggregates, releases) = self.prepare_finalize_active(active, parts)?;
+            let merged_aggregate = S::Aggregate::merge(
+                aggregates
+                    .into_iter()
+                    .map(|aggregate| aggregate.align_to_round(round + 1))
+                    .collect(),
+            )?;
+            let population = self.population.as_mut().expect("checked population above");
+            let merged = population
+                .finalize(merged_aggregate)
+                .map_err(|source| EngineError::Population { source })?;
+            if let Some(sink) = &mut self.sink {
+                Self::notify_scheduled_sink(
+                    sink,
+                    scheduled_static,
+                    round,
+                    cohorts,
+                    active,
+                    &releases,
+                    &merged,
+                    tag,
+                );
+            }
+            merged
+        } else {
+            // Per-shard noise over the active set: the live cohorts'
+            // releases concatenate in cohort order.
+            let releases = self.step_active(active, parts)?;
+            match &mut self.sink {
+                None => S::Release::merge(releases)?,
+                Some(_) => {
+                    let merged = S::Release::merge(releases.clone())?;
+                    let sink = self.sink.as_mut().expect("checked above");
+                    Self::notify_scheduled_sink(
+                        sink,
+                        scheduled_static,
+                        round,
+                        cohorts,
+                        active,
+                        &releases,
+                        &merged,
+                        tag,
+                    );
+                    merged
+                }
+            }
+        };
+        self.rounds_fed += 1;
+        Ok(merged)
+    }
+
+    /// Step the active cohorts' synthesizers on their parts, in active
+    /// order — inline for a single cohort or a pool-less engine, else on
+    /// the worker pool (synthesizers move into jobs and back, like
+    /// [`parallel_step`](Self::parallel_step), with the same
+    /// panic-containment contract). Every cohort is driven even when an
+    /// earlier one fails, so the survivors stay in lockstep; the first
+    /// error is reported.
+    fn step_active(
+        &mut self,
+        active: &[usize],
+        parts: Vec<S::Input>,
+    ) -> Result<Vec<S::Release>, EngineError> {
+        self.drive_active(active, parts, |synth, part| synth.step(part))
+    }
+
+    /// The shared-noise variant of [`step_active`](Self::step_active):
+    /// each active cohort runs `prepare` (unnoised aggregate) and
+    /// `finalize` (its own cohort release), returning both in active
+    /// order.
+    #[allow(clippy::type_complexity)]
+    fn prepare_finalize_active(
+        &mut self,
+        active: &[usize],
+        parts: Vec<S::Input>,
+    ) -> Result<(Vec<S::Aggregate>, Vec<S::Release>), EngineError> {
+        let pairs = self.drive_active(active, parts, |synth, part| {
+            let aggregate = synth.prepare(part)?;
+            let release = synth.finalize(aggregate.clone())?;
+            Ok((aggregate, release))
+        })?;
+        Ok(pairs.into_iter().unzip())
+    }
+
+    /// The one scatter/gather skeleton behind both active-set drivers: run
+    /// `op` on each active cohort's synthesizer with its part, in active
+    /// order — inline for a single cohort or a pool-less engine, else on
+    /// the worker pool (synthesizers move into jobs and back by slot, with
+    /// the same panic-containment contract as
+    /// [`parallel_step`](Self::parallel_step)). Every cohort is driven
+    /// even when an earlier one fails, so the survivors stay in lockstep;
+    /// the first error is reported, and a panic is re-raised only after
+    /// every synthesizer is back in place.
+    fn drive_active<T: Send + 'static>(
+        &mut self,
+        active: &[usize],
+        parts: Vec<S::Input>,
+        op: impl Fn(&mut S, &S::Input) -> Result<T, SynthError> + Copy + Send + Sync + 'static,
+    ) -> Result<Vec<T>, EngineError> {
+        let mut outputs = Vec::with_capacity(active.len());
+        let mut first_error = None;
+        if self.pool.is_none() || active.len() == 1 {
+            for (&c, part) in active.iter().zip(&parts) {
+                match op(&mut self.shards[c], part) {
+                    Ok(output) => outputs.push(output),
+                    Err(source) if first_error.is_none() => {
+                        first_error = Some(EngineError::Shard { shard: c, source });
+                    }
+                    Err(_) => {}
+                }
+            }
+            return match first_error {
+                Some(error) => Err(error),
+                None => Ok(outputs),
+            };
+        }
+        let pool = Arc::clone(self.pool.as_ref().expect("checked above"));
+        let mut slots: Vec<Option<S>> = self.shards.drain(..).map(Some).collect();
+        let jobs: Vec<_> = active
+            .iter()
+            .zip(parts)
+            .map(|(&c, part)| {
+                let mut synth = slots[c].take().expect("active cohort exists once");
+                move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| op(&mut synth, &part)));
+                    (c, synth, result)
+                }
+            })
+            .collect();
+        let outcomes = pool.run_batch(jobs);
+        let mut first_panic = None;
+        for (c, synth, result) in outcomes {
+            slots[c] = Some(synth);
+            match result {
+                Ok(Ok(output)) => outputs.push(output),
+                Ok(Err(source)) if first_error.is_none() => {
+                    first_error = Some(EngineError::Shard { shard: c, source });
+                }
+                Ok(Err(_)) => {}
+                Err(payload) if first_panic.is_none() => first_panic = Some(payload),
+                Err(_) => {}
+            }
+        }
+        self.shards = slots
+            .into_iter()
+            .map(|slot| slot.expect("every cohort returned from the batch"))
+            .collect();
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        match first_error {
+            Some(error) => Err(error),
+            None => Ok(outputs),
+        }
+    }
+
+    /// The per-round active-set budget invariant, checked after every
+    /// scheduled round in debug builds (so every engine test exercises
+    /// it): no individual's lifetime zCDP spend may exceed the schedule's
+    /// per-individual cap. Release builds skip the check — it is a
+    /// correctness audit, not control flow.
+    #[inline]
+    fn assert_budget_invariant(&self) {
+        #[cfg(debug_assertions)]
+        if let Some(schedule) = &self.schedule {
+            let budget = self.budget();
+            debug_assert!(
+                budget.within_cap(schedule.total_budget()),
+                "active-set budget invariant violated at round {}: max lifetime spend {} \
+                 exceeds the per-individual cap {}",
+                self.rounds_fed,
+                budget.max_lifetime_spend(),
+                schedule.total_budget()
+            );
+        }
+    }
+
     /// Drive the whole panel stream, returning every population release.
     pub fn run<'a, I>(&mut self, columns: I) -> Result<Vec<S::Release>, EngineError>
     where
@@ -541,6 +1057,33 @@ where
                 "prepare during a prepared round awaiting finalize".to_string(),
             ));
         }
+        if self.schedule.is_some() {
+            let round = self.rounds_fed;
+            let (active, parts) = self.begin_scheduled_round(column)?;
+            let mut aggregates = Vec::with_capacity(active.len());
+            for (&c, part) in active.iter().zip(&parts) {
+                aggregates.push(
+                    self.shards[c]
+                        .prepare(part)
+                        .map_err(|source| EngineError::Shard { shard: c, source })?,
+                );
+            }
+            // The merged (population-level) aggregate lives on the global
+            // clock; the pending per-cohort aggregates stay local — each
+            // cohort's own finalize expects its local shape.
+            let merged = S::Aggregate::merge(
+                aggregates
+                    .iter()
+                    .cloned()
+                    .map(|aggregate| aggregate.align_to_round(round + 1))
+                    .collect(),
+            )?;
+            self.pending = Some(PendingRound {
+                active: Some(active),
+                aggregates,
+            });
+            return Ok(merged);
+        }
         if column.population() != self.plan.population() {
             return Err(EngineError::PopulationMismatch {
                 expected: self.plan.population(),
@@ -557,7 +1100,10 @@ where
             })?);
         }
         let merged = S::Aggregate::merge(aggregates.clone())?;
-        self.pending = Some(aggregates);
+        self.pending = Some(PendingRound {
+            active: None,
+            aggregates,
+        });
         Ok(merged)
     }
 
@@ -581,6 +1127,14 @@ where
     /// is no cohort level to observe; attach sinks to the outer engine.
     pub fn finalize(&mut self, aggregate: S::Aggregate) -> Result<S::Release, EngineError> {
         let Some(pending) = self.pending.take() else {
+            if self.schedule.is_some() {
+                return Err(EngineError::OutOfPhase(
+                    "standalone finalize on a dynamic-panel engine: a raw population \
+                     aggregate carries no active-set information, so scheduled engines \
+                     only finalize rounds they prepared"
+                        .to_string(),
+                ));
+            }
             if self.mode == Some(DriveMode::Stepped) {
                 return Err(EngineError::OutOfPhase(
                     "standalone finalize on an engine that has stepped raw data (the \
@@ -609,15 +1163,20 @@ where
             self.rounds_fed += 1;
             return Ok(merged);
         };
-        // Finalize *every* shard before reporting the first error: each
-        // shard must consume its pending aggregate to stay in phase for
-        // the next round (only a shard whose own finalize failed remains
-        // out of phase — its synthesizer rejected the round and a custom
-        // implementation owns its recovery).
-        let mut releases = Vec::with_capacity(pending.len());
+        // Finalize *every* participating shard before reporting the first
+        // error: each shard must consume its pending aggregate to stay in
+        // phase for the next round (only a shard whose own finalize failed
+        // remains out of phase — its synthesizer rejected the round and a
+        // custom implementation owns its recovery).
+        let PendingRound { active, aggregates } = pending;
+        let participants: Vec<usize> = match &active {
+            Some(active) => active.clone(),
+            None => (0..self.shards.len()).collect(),
+        };
+        let mut releases = Vec::with_capacity(aggregates.len());
         let mut first_error = None;
-        for (index, (shard, part)) in self.shards.iter_mut().zip(pending).enumerate() {
-            match shard.finalize(part) {
+        for (&index, part) in participants.iter().zip(aggregates) {
+            match self.shards[index].finalize(part) {
                 Ok(release) => releases.push(release),
                 Err(source) if first_error.is_none() => {
                     first_error = Some(EngineError::Shard {
@@ -632,13 +1191,27 @@ where
             return Err(error);
         }
         let tag = self.effective_tag();
+        let cohorts = self.shards.len();
+        let round = self.rounds_fed;
+        let scheduled_static = self.scheduled_static;
         let merged = match &mut self.population {
             Some(population) => {
                 let merged = population
                     .finalize(aggregate)
                     .map_err(|source| EngineError::Population { source })?;
-                if let Some(sink) = &mut self.sink {
-                    sink.on_round(self.rounds_fed, &releases, &merged, tag);
+                match (&mut self.sink, &active) {
+                    (Some(sink), Some(active)) => Self::notify_scheduled_sink(
+                        sink,
+                        scheduled_static,
+                        round,
+                        cohorts,
+                        active,
+                        &releases,
+                        &merged,
+                        tag,
+                    ),
+                    (Some(sink), None) => sink.on_round(round, &releases, &merged, tag),
+                    (None, _) => {}
                 }
                 merged
             }
@@ -646,12 +1219,25 @@ where
                 None => S::Release::merge(releases)?,
                 Some(sink) => {
                     let merged = S::Release::merge(releases.clone())?;
-                    sink.on_round(self.rounds_fed, &releases, &merged, tag);
+                    match &active {
+                        Some(active) => Self::notify_scheduled_sink(
+                            sink,
+                            scheduled_static,
+                            round,
+                            cohorts,
+                            active,
+                            &releases,
+                            &merged,
+                            tag,
+                        ),
+                        None => sink.on_round(round, &releases, &merged, tag),
+                    }
                     merged
                 }
             },
         };
         self.rounds_fed += 1;
+        self.assert_budget_invariant();
         Ok(merged)
     }
 

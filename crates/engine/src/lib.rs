@@ -81,7 +81,9 @@ pub use budget::EngineBudget;
 pub use driver::ShardedEngine;
 pub use merge::{MergeAggregate, MergeRelease};
 pub use policy::{AggregationPolicy, PolicyTag};
-pub use shard::{ShardPlan, ShardableInput, SlotRole, SynthSlot};
+pub use shard::{
+    CohortSchedule, PanelSchedule, PanelSlot, ShardPlan, ShardableInput, SlotRole, SynthSlot,
+};
 pub use sink::ReleaseSink;
 
 use longsynth::SynthError;
@@ -107,10 +109,13 @@ pub enum EngineError {
         /// The underlying synthesizer error.
         source: SynthError,
     },
-    /// The shard factory produced differently-configured synthesizers.
-    /// Lockstep stepping and positional merging silently require identical
-    /// per-shard configurations, so the engine names the first mismatch
-    /// instead of mis-merging later.
+    /// The shard factory produced differently-configured synthesizers for
+    /// a **static** (plan-based) engine. The lockstep constructors step
+    /// shards positionally under one shared configuration, so the engine
+    /// names the first mismatch instead of mis-merging later. To actually
+    /// run a heterogeneous panel (per-cohort horizons or budgets), build a
+    /// [`PanelSchedule`] and construct with
+    /// [`ShardedEngine::with_schedule`](crate::ShardedEngine::with_schedule).
     HeterogeneousShards {
         /// First shard whose configuration disagrees with shard 0.
         shard: usize,
@@ -120,6 +125,28 @@ pub enum EngineError {
         expected: String,
         /// The offending shard's value.
         actual: String,
+    },
+    /// A [`PanelSchedule`] failed validation: overlapping windows overrun
+    /// the run, a zero-length horizon, a coverage gap, or a budget
+    /// over-commit. The message names the offending cohort and rule.
+    InvalidSchedule(String),
+    /// A scheduled engine's factory did not honor a cohort's
+    /// [`CohortSchedule`] (wrong horizon or budget), or the population
+    /// slot's configuration.
+    ScheduleMismatch {
+        /// Which cohort disagrees (`None` for the population slot).
+        cohort: Option<usize>,
+        /// Which configuration field disagrees (e.g. `horizon`).
+        field: &'static str,
+        /// The schedule's value.
+        expected: String,
+        /// The synthesizer's value.
+        actual: String,
+    },
+    /// A scheduled engine was stepped past its global horizon.
+    HorizonExhausted {
+        /// The configured global horizon.
+        horizon: usize,
     },
     /// Per-shard releases could not be merged (shards out of lockstep).
     MergeMismatch(String),
@@ -154,8 +181,29 @@ impl fmt::Display for EngineError {
             } => write!(
                 f,
                 "shard {shard} has {field} {actual} but shard 0 has {expected}; \
-                 all shards must be configured identically (heterogeneous \
-                 per-cohort panels are not yet supported)"
+                 a plan-based engine requires all shards configured identically \
+                 (run heterogeneous per-cohort panels through a PanelSchedule)"
+            ),
+            EngineError::InvalidSchedule(msg) => write!(f, "invalid panel schedule: {msg}"),
+            EngineError::ScheduleMismatch {
+                cohort,
+                field,
+                expected,
+                actual,
+            } => {
+                match cohort {
+                    Some(c) => write!(f, "cohort {c}'s synthesizer")?,
+                    None => write!(f, "the population synthesizer")?,
+                }
+                write!(
+                    f,
+                    " has {field} {actual} but its schedule requires {expected}; \
+                     the factory must configure each slot exactly as scheduled"
+                )
+            }
+            EngineError::HorizonExhausted { horizon } => write!(
+                f,
+                "the panel's global horizon of {horizon} rounds is exhausted"
             ),
             EngineError::MergeMismatch(msg) => write!(f, "release merge failed: {msg}"),
             EngineError::InvalidPolicy(msg) => write!(f, "invalid aggregation policy: {msg}"),
@@ -177,6 +225,7 @@ impl From<EngineError> for SynthError {
                 SynthError::ColumnSizeMismatch { expected, actual }
             }
             EngineError::OutOfPhase(msg) => SynthError::OutOfPhase(msg),
+            EngineError::HorizonExhausted { horizon } => SynthError::HorizonExceeded { horizon },
             other => SynthError::InvalidConfig(other.to_string()),
         }
     }

@@ -134,6 +134,21 @@ pub trait MergeAggregate: Sized {
     /// Combine per-shard aggregates (in shard order) into one
     /// population-level aggregate.
     fn merge(parts: Vec<Self>) -> Result<Self, EngineError>;
+
+    /// Lift a cohort-local aggregate onto the global panel clock so that
+    /// aggregates of cohorts that *entered at different rounds* can sum
+    /// (the dynamic-panel shared-noise path). `round` is the 1-based
+    /// global round the summed aggregate will be finalized at.
+    ///
+    /// The default is the identity — correct for aggregates whose shape
+    /// does not depend on the round. The cumulative family overrides it:
+    /// a cohort at local round `r < round` zero-pads its threshold
+    /// increments, because none of its individuals can have crossed a
+    /// threshold above their observed history length.
+    fn align_to_round(self, round: usize) -> Self {
+        let _ = round;
+        self
+    }
 }
 
 /// Window histograms of disjoint cohorts add bin-wise (populations sum).
@@ -211,6 +226,16 @@ impl MergeAggregate for CumulativeAggregate {
             }
         }
         Ok(merged)
+    }
+
+    /// A cohort observed for `t < round` rounds has increments for
+    /// thresholds `1..=t` only; its individuals cannot have crossed any
+    /// higher threshold, so the global-round vector extends with zeros.
+    fn align_to_round(mut self, round: usize) -> Self {
+        if self.increments.len() < round {
+            self.increments.resize(round, 0);
+        }
+        self
     }
 }
 
@@ -351,6 +376,34 @@ mod tests {
             },
         ])
         .is_err());
+    }
+
+    #[test]
+    fn cumulative_aggregates_align_across_staggered_entries() {
+        // A founding cohort at global round 3 (thresholds 1..=3) and a
+        // wave that entered one round ago (threshold 1 only): alignment
+        // zero-pads the newcomer, and the sum is the active-set stream.
+        let veteran = CumulativeAggregate {
+            n: 10,
+            increments: vec![4, 2, 1],
+        };
+        let newcomer = CumulativeAggregate {
+            n: 5,
+            increments: vec![3],
+        };
+        let merged =
+            MergeAggregate::merge(vec![veteran.align_to_round(3), newcomer.align_to_round(3)])
+                .unwrap();
+        assert_eq!(merged.n, 15);
+        assert_eq!(merged.increments, vec![7, 2, 1]);
+        // Identity on already-aligned aggregates (and on histograms).
+        let aligned = CumulativeAggregate {
+            n: 2,
+            increments: vec![1, 0],
+        };
+        assert_eq!(aligned.clone().align_to_round(2), aligned);
+        let histogram = HistogramAggregate::Buffered { n: 9 };
+        assert_eq!(histogram.clone().align_to_round(5), histogram);
     }
 
     #[test]

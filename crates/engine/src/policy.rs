@@ -28,6 +28,7 @@
 //! [`EngineBudget`](crate::EngineBudget) reports and the policy tests pin
 //! down every round.
 
+use longsynth_dp::budget::Rho;
 use std::fmt;
 use std::str::FromStr;
 
@@ -97,6 +98,23 @@ impl AggregationPolicy {
                 (1.0 - population_share, Some(population_share))
             }
         }
+    }
+
+    /// The absolute population-level budget for a **scheduled**
+    /// (dynamic-panel) engine of `cohorts` cohorts whose per-individual
+    /// lifetime cap is `total`: `population_share · total` under shared
+    /// noise, `None` when no population synthesizer exists. Cohort budgets
+    /// come from the schedule itself; the engine verifies every cohort's
+    /// budget plus this population budget stays within `total`.
+    ///
+    /// Both policies are **active-set-aware** under a schedule: per-shard
+    /// noise concatenates only the live cohorts' releases, and shared
+    /// noise sums only the live cohorts' aggregates into the population
+    /// synthesizer's round.
+    pub fn population_budget(&self, cohorts: usize, total: Rho) -> Option<Rho> {
+        self.budget_shares(cohorts)
+            .1
+            .map(|share| Rho::new(total.value() * share).expect("share in (0, 1)"))
     }
 }
 

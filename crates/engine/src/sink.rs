@@ -31,6 +31,29 @@ use crate::policy::PolicyTag;
 pub trait ReleaseSink<R>: Send {
     /// Observe one completed round.
     fn on_round(&mut self, round: usize, per_shard: &[R], merged: &R, policy: PolicyTag);
+
+    /// Observe one completed **dynamic-panel** round: only the cohorts in
+    /// `active` (indices into the panel's `cohorts` cohorts, ascending)
+    /// produced releases this round, and `per_shard[i]` is the release of
+    /// cohort `active[i]`. Scheduled engines call this instead of
+    /// [`on_round`](Self::on_round).
+    ///
+    /// The default forwards to [`on_round`](Self::on_round), dropping the
+    /// active-set information — fine for sinks that only observe the
+    /// merged release. Sinks that archive per-cohort data (the serving
+    /// store) override it to index releases by cohort × round range.
+    fn on_round_active(
+        &mut self,
+        round: usize,
+        cohorts: usize,
+        active: &[usize],
+        per_shard: &[R],
+        merged: &R,
+        policy: PolicyTag,
+    ) {
+        let _ = (cohorts, active);
+        self.on_round(round, per_shard, merged, policy);
+    }
 }
 
 /// Closures are sinks:

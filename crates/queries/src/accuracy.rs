@@ -151,6 +151,33 @@ impl std::fmt::Display for AccuracyComparison {
     }
 }
 
+/// Combine per-cohort query answers into a population-level answer over a
+/// dynamic panel's **active set**: the size-weighted mean of the cohort
+/// fractions, `Σ_c aᵢ·nᵢ / Σ_c nᵢ`.
+///
+/// For fraction-valued queries (window indicators, cumulative thresholds)
+/// this equals the answer computed over the pooled records of the covering
+/// cohorts — counts add across disjoint cohorts. Rotating panels answer
+/// population queries this way because their "merged panel" is ragged:
+/// record `i` at round `t` and round `t+1` may be different individuals,
+/// so only the per-cohort panels are longitudinally meaningful.
+///
+/// Returns `None` when no cohort covers the query (empty input) or the
+/// covering cohorts are all empty.
+pub fn active_weighted_mean(parts: impl IntoIterator<Item = (f64, usize)>) -> Option<f64> {
+    let mut numerator = 0.0;
+    let mut denominator = 0usize;
+    for (answer, size) in parts {
+        numerator += answer * size as f64;
+        denominator += size;
+    }
+    if denominator == 0 {
+        None
+    } else {
+        Some(numerator / denominator as f64)
+    }
+}
+
 /// Empirical `(α, β)` check: given per-repetition worst-case errors, the
 /// fraction of repetitions exceeding `alpha` — an estimate of β.
 pub fn empirical_failure_rate(worst_case_errors: &[f64], alpha: f64) -> f64 {
@@ -245,6 +272,19 @@ mod tests {
         assert!(text.contains("x2.000 vs baseline"), "{text}");
         assert_eq!(comparison.baseline().label, "1 shard");
         assert_eq!(comparison.alternatives().len(), 2);
+    }
+
+    #[test]
+    fn weighted_mean_pools_cohort_fractions() {
+        // Cohorts of 10 and 30 with fractions 0.5 and 0.25: the pooled
+        // population fraction is (5 + 7.5) / 40.
+        let pooled = active_weighted_mean([(0.5, 10), (0.25, 30)]).unwrap();
+        assert!((pooled - 12.5 / 40.0).abs() < 1e-12);
+        // A single covering cohort passes through (up to fp rounding).
+        assert!((active_weighted_mean([(0.7, 12)]).unwrap() - 0.7).abs() < 1e-12);
+        // No covering cohorts (or only empty ones) has no answer.
+        assert!(active_weighted_mean([]).is_none());
+        assert!(active_weighted_mean([(0.3, 0)]).is_none());
     }
 
     #[test]

@@ -26,6 +26,6 @@ pub mod cumulative;
 pub mod pattern;
 pub mod window;
 
-pub use accuracy::{AccuracyComparison, ErrorSummary, LabeledAccuracy};
+pub use accuracy::{active_weighted_mean, AccuracyComparison, ErrorSummary, LabeledAccuracy};
 pub use pattern::Pattern;
 pub use window::{window_histogram, WindowQuery};

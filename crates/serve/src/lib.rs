@@ -66,7 +66,9 @@ pub mod query;
 pub mod snapshot;
 pub mod store;
 
-pub use query::{mixed_battery, QueryKind, QueryService, ServeQuery, DEFAULT_CACHE_CAPACITY};
+pub use query::{
+    mixed_battery, EvictionPolicy, QueryKind, QueryService, ServeQuery, DEFAULT_CACHE_CAPACITY,
+};
 pub use store::{ReleaseStore, ServeError, StoreScope};
 
 // Re-exported so sinks and stores can be policy-tagged without a direct

@@ -23,16 +23,18 @@
 //! [`cache_capacity`](QueryService::cache_capacity) entries live at once
 //! (default [`DEFAULT_CACHE_CAPACITY`], generous — a front-end serving
 //! adversarially varied window weights can no longer grow it without
-//! limit). Eviction is insertion-order (FIFO): entries are immutable and
-//! equally cheap to recompute, so the simplest policy that bounds memory
-//! wins; evictions are counted alongside hits and misses.
+//! limit). Eviction is pluggable ([`EvictionPolicy`]): insertion-order
+//! FIFO by default — entries are immutable and equally cheap to
+//! recompute, so the simplest policy that bounds memory wins — with LRU
+//! available for skewed traffic whose working set outlives the insertion
+//! churn. Hits, misses, and evictions are counted under both.
 
 use longsynth::Release;
 use longsynth_data::BitColumn;
 use longsynth_engine::{PolicyTag, ReleaseSink};
 use longsynth_pool::WorkerPool;
 use longsynth_queries::{Pattern, WindowQuery};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -78,6 +80,17 @@ pub enum QueryKind {
         /// Weight threshold.
         b: usize,
     },
+}
+
+impl QueryKind {
+    /// The 0-based global round the query reads at.
+    pub fn round(&self) -> usize {
+        match self {
+            QueryKind::Window { t, .. }
+            | QueryKind::Pattern { t, .. }
+            | QueryKind::CumulativeFraction { t, .. } => *t,
+        }
+    }
 }
 
 /// The standard mixed read battery over a store's released rounds: for
@@ -164,37 +177,160 @@ impl QueryKey {
     }
 }
 
-/// The bounded memo map plus its FIFO eviction order. Every map entry
-/// appears exactly once in `order`, so popping the front always names a
-/// live entry.
+/// How the memo cache picks a victim once it is full.
+///
+/// FIFO stays the default: entries are immutable and equally cheap to
+/// recompute, so insertion-order eviction is the simplest bound. LRU is
+/// the ROADMAP's "smarter eviction" option for skewed read traffic — a
+/// hot query that keeps being hit is never the victim, so a working set
+/// larger than the insertion churn survives. Both run on the same
+/// linked-list structure; the only difference is whether a cache **hit**
+/// refreshes the entry's position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict in insertion order; hits do not reorder (the default).
+    #[default]
+    Fifo,
+    /// Evict the least-recently-used entry; hits move entries to the back.
+    Lru,
+}
+
+impl std::fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvictionPolicy::Fifo => write!(f, "fifo"),
+            EvictionPolicy::Lru => write!(f, "lru"),
+        }
+    }
+}
+
+/// Sentinel index for the intrusive list.
+const NIL: usize = usize::MAX;
+
+struct CacheEntry {
+    key: QueryKey,
+    value: f64,
+    prev: usize,
+    next: usize,
+}
+
+/// The bounded memo map plus its eviction order, kept as an intrusive
+/// doubly-linked list over a slab so both FIFO and LRU run in O(1):
+/// front = next victim, back = most recently inserted (FIFO) or used
+/// (LRU). Every map entry owns exactly one slab slot.
 struct BoundedCache {
-    map: HashMap<QueryKey, f64>,
-    order: VecDeque<QueryKey>,
+    map: HashMap<QueryKey, usize>,
+    entries: Vec<Option<CacheEntry>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
     capacity: usize,
+    policy: EvictionPolicy,
 }
 
 impl BoundedCache {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, policy: EvictionPolicy) -> Self {
         Self {
             map: HashMap::new(),
-            order: VecDeque::new(),
+            entries: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
             capacity,
+            policy,
         }
     }
 
-    /// Insert a fresh answer, evicting oldest entries past the capacity;
-    /// returns how many entries were evicted.
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn unlink(&mut self, index: usize) {
+        let (prev, next) = {
+            let entry = self.entries[index].as_ref().expect("linked entry exists");
+            (entry.prev, entry.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.entries[p].as_mut().expect("prev exists").next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.entries[n].as_mut().expect("next exists").prev = prev,
+        }
+    }
+
+    fn push_back(&mut self, index: usize) {
+        {
+            let entry = self.entries[index].as_mut().expect("entry exists");
+            entry.prev = self.tail;
+            entry.next = NIL;
+        }
+        match self.tail {
+            NIL => self.head = index,
+            t => self.entries[t].as_mut().expect("tail exists").next = index,
+        }
+        self.tail = index;
+    }
+
+    /// Look up an answer; under LRU a hit refreshes the entry's position.
+    fn get(&mut self, key: &QueryKey) -> Option<f64> {
+        let &index = self.map.get(key)?;
+        let value = self.entries[index].as_ref().expect("mapped entry").value;
+        if self.policy == EvictionPolicy::Lru {
+            self.unlink(index);
+            self.push_back(index);
+        }
+        Some(value)
+    }
+
+    /// Insert a fresh answer, evicting victims past the capacity; returns
+    /// how many entries were evicted.
     fn insert(&mut self, key: QueryKey, value: f64) -> u64 {
         if self.capacity == 0 {
             return 0;
         }
-        if self.map.insert(key.clone(), value).is_none() {
-            self.order.push_back(key);
+        if let Some(&index) = self.map.get(&key) {
+            // Re-insert of a live key (two batch jobs racing to compute
+            // the same immutable answer): refresh the value; LRU also
+            // refreshes recency, FIFO keeps the original position.
+            self.entries[index].as_mut().expect("mapped entry").value = value;
+            if self.policy == EvictionPolicy::Lru {
+                self.unlink(index);
+                self.push_back(index);
+            }
+            return 0;
         }
+        let index = match self.free.pop() {
+            Some(slot) => {
+                self.entries[slot] = Some(CacheEntry {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                slot
+            }
+            None => {
+                self.entries.push(Some(CacheEntry {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                }));
+                self.entries.len() - 1
+            }
+        };
+        self.map.insert(key, index);
+        self.push_back(index);
         let mut evicted = 0;
         while self.map.len() > self.capacity {
-            let oldest = self.order.pop_front().expect("order tracks every entry");
-            self.map.remove(&oldest);
+            let victim = self.head;
+            debug_assert_ne!(victim, NIL, "non-empty cache has a head");
+            self.unlink(victim);
+            let entry = self.entries[victim].take().expect("victim exists");
+            self.map.remove(&entry.key);
+            self.free.push(victim);
             evicted += 1;
         }
         evicted
@@ -202,7 +338,10 @@ impl BoundedCache {
 
     fn clear(&mut self) {
         self.map.clear();
-        self.order.clear();
+        self.entries.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
     }
 }
 
@@ -248,12 +387,18 @@ impl QueryService {
     }
 
     /// A service whose memo cache holds at most `capacity` entries
-    /// (0 disables memoization entirely — every answer recomputes).
+    /// (0 disables memoization entirely — every answer recomputes), under
+    /// the default FIFO eviction.
     pub fn with_cache_capacity(store: ReleaseStore, capacity: usize) -> Self {
+        Self::with_cache(store, capacity, EvictionPolicy::Fifo)
+    }
+
+    /// A service with an explicit cache bound *and* [`EvictionPolicy`].
+    pub fn with_cache(store: ReleaseStore, capacity: usize, policy: EvictionPolicy) -> Self {
         Self {
             inner: Arc::new(ServiceInner {
                 store: RwLock::new(store),
-                cache: Mutex::new(BoundedCache::new(capacity)),
+                cache: Mutex::new(BoundedCache::new(capacity, policy)),
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
                 evictions: AtomicU64::new(0),
@@ -268,12 +413,11 @@ impl QueryService {
     /// round later.
     pub fn answer(&self, query: &ServeQuery) -> Result<f64, ServeError> {
         let key = QueryKey::of(query);
-        if let Some(&value) = self
+        if let Some(value) = self
             .inner
             .cache
             .lock()
             .expect("cache lock never poisoned")
-            .map
             .get(&key)
         {
             self.inner.hits.fetch_add(1, Ordering::Relaxed);
@@ -339,6 +483,15 @@ impl QueryService {
             .capacity
     }
 
+    /// The configured eviction policy.
+    pub fn eviction_policy(&self) -> EvictionPolicy {
+        self.inner
+            .cache
+            .lock()
+            .expect("cache lock never poisoned")
+            .policy
+    }
+
     /// Number of memoized answers (always ≤
     /// [`cache_capacity`](Self::cache_capacity)).
     pub fn cache_len(&self) -> usize {
@@ -346,7 +499,6 @@ impl QueryService {
             .cache
             .lock()
             .expect("cache lock never poisoned")
-            .map
             .len()
     }
 
@@ -377,23 +529,53 @@ impl QueryService {
     /// A sink for engines whose release type is a plain [`BitColumn`]
     /// (the cumulative family): every completed round lands in the store.
     ///
+    /// Handles both engine shapes: static lockstep rounds ingest as
+    /// before, and dynamic-panel rounds (a scheduled engine's
+    /// `on_round_active`) ingest by cohort × round range, so one sink
+    /// serves either engine.
+    ///
     /// # Panics
     /// The engine guarantees a stable shard count and record layout; if a
     /// round nevertheless mismatches the store shape, the sink panics
     /// rather than silently dropping released data.
     pub fn column_sink(&self) -> Box<dyn ReleaseSink<BitColumn>> {
-        let service = self.clone();
-        Box::new(
-            move |_round: usize, per_shard: &[BitColumn], merged: &BitColumn, policy: PolicyTag| {
-                service
-                    .inner
-                    .store
-                    .write()
-                    .expect("store lock never poisoned")
-                    .ingest_columns_with(policy, per_shard, merged)
+        struct ColumnSink {
+            service: QueryService,
+        }
+        impl ReleaseSink<BitColumn> for ColumnSink {
+            fn on_round(
+                &mut self,
+                _round: usize,
+                per_shard: &[BitColumn],
+                merged: &BitColumn,
+                policy: PolicyTag,
+            ) {
+                self.service
+                    .with_store_mut(|store| store.ingest_columns_with(policy, per_shard, merged))
                     .expect("engine rounds always match the store shape");
-            },
-        )
+            }
+
+            fn on_round_active(
+                &mut self,
+                round: usize,
+                cohorts: usize,
+                active: &[usize],
+                per_shard: &[BitColumn],
+                merged: &BitColumn,
+                policy: PolicyTag,
+            ) {
+                self.service
+                    .with_store_mut(|store| {
+                        store.ingest_active_columns(
+                            policy, round, cohorts, active, per_shard, merged,
+                        )
+                    })
+                    .expect("scheduled engine rounds always match the store shape");
+            }
+        }
+        Box::new(ColumnSink {
+            service: self.clone(),
+        })
     }
 
     /// A sink for fixed-window engines (release type [`Release`]).
@@ -554,6 +736,59 @@ mod tests {
         service.clear_cache();
         assert_eq!(service.cache_evictions(), 0);
         assert_eq!(service.cache_len(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_the_hot_working_set() {
+        let service = QueryService::with_cache(store_with_rounds(8), 3, EvictionPolicy::Lru);
+        assert_eq!(service.eviction_policy(), EvictionPolicy::Lru);
+        let hot = cumulative(0, 1);
+        service.answer(&hot).unwrap(); // cache: [hot]
+        service.answer(&cumulative(1, 1)).unwrap(); // [hot, 1]
+        service.answer(&cumulative(2, 1)).unwrap(); // [hot, 1, 2]
+                                                    // Touch the hot entry, then overflow: the LRU victims are the
+                                                    // untouched entries, never the hot one.
+        service.answer(&hot).unwrap(); // [1, 2, hot]
+        service.answer(&cumulative(3, 1)).unwrap(); // evicts 1
+        service.answer(&cumulative(4, 1)).unwrap(); // evicts 2
+        assert_eq!(service.cache_evictions(), 2);
+        let (hits_before, _) = service.cache_stats();
+        service.answer(&hot).unwrap(); // still resident: a hit
+        let (hits_after, misses) = service.cache_stats();
+        assert_eq!(hits_after, hits_before + 1);
+        // Under FIFO the same traffic evicts the hot entry (insertion
+        // order ignores the touch), so it recomputes as a miss.
+        let fifo = QueryService::with_cache(store_with_rounds(8), 3, EvictionPolicy::Fifo);
+        for query in [&hot, &cumulative(1, 1), &cumulative(2, 1)] {
+            fifo.answer(query).unwrap();
+        }
+        fifo.answer(&hot).unwrap(); // hit, but position unchanged
+        fifo.answer(&cumulative(3, 1)).unwrap(); // evicts hot
+        let (_, fifo_misses_before) = fifo.cache_stats();
+        fifo.answer(&hot).unwrap();
+        let (_, fifo_misses_after) = fifo.cache_stats();
+        assert_eq!(
+            fifo_misses_after,
+            fifo_misses_before + 1,
+            "FIFO evicted the hot entry"
+        );
+        // Answers stay bit-identical across either policy's evictions.
+        let direct = QueryService::from_store(store_with_rounds(8));
+        for t in 0..8 {
+            assert_eq!(
+                service.answer(&cumulative(t, 1)).unwrap().to_bits(),
+                direct.answer(&cumulative(t, 1)).unwrap().to_bits()
+            );
+        }
+        let _ = misses;
+    }
+
+    #[test]
+    fn default_policy_is_fifo() {
+        let service = QueryService::new();
+        assert_eq!(service.eviction_policy(), EvictionPolicy::Fifo);
+        assert_eq!(EvictionPolicy::Lru.to_string(), "lru");
+        assert_eq!(EvictionPolicy::Fifo.to_string(), "fifo");
     }
 
     #[test]

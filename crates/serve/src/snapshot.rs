@@ -26,13 +26,19 @@ use serde::Serialize;
 use crate::store::{GrowingPanel, ReleaseStore, ServeError};
 
 /// Format tag embedded in every full snapshot; bump on layout changes.
-/// v2 added the aggregation-policy tag; v1 documents restore as
-/// per-shard-era stores (no tag recorded).
-const FORMAT: &str = "longsynth-release-store/v2";
+/// v3 added dynamic-panel schedules (per-cohort entry rounds, ragged
+/// merged rounds); v2 added the aggregation-policy tag; v1 documents
+/// restore as per-shard-era stores (no tag recorded).
+const FORMAT: &str = "longsynth-release-store/v3";
+/// The pre-schedule format, still restorable (static stores only).
+const FORMAT_V2: &str = "longsynth-release-store/v2";
 /// The pre-policy format, still restorable.
 const FORMAT_V1: &str = "longsynth-release-store/v1";
-/// Format tag of incremental (delta) snapshots.
-const DELTA_FORMAT: &str = "longsynth-release-store-delta/v1";
+/// Format tag of incremental (delta) snapshots. v2 carries dynamic-panel
+/// rounds; v1 (static-only) deltas still apply.
+const DELTA_FORMAT: &str = "longsynth-release-store-delta/v2";
+/// The pre-schedule delta format, still applicable to static stores.
+const DELTA_FORMAT_V1: &str = "longsynth-release-store-delta/v1";
 
 #[derive(Serialize)]
 struct PanelDto {
@@ -40,24 +46,46 @@ struct PanelDto {
     columns: Vec<String>,
 }
 
+/// A cohort panel plus its dynamic-panel entry round (`None` for static
+/// stores, whose cohorts all cover every round).
+#[derive(Serialize)]
+struct CohortDto {
+    records: u64,
+    entry: Option<u64>,
+    columns: Vec<String>,
+}
+
+/// One ragged merged round of a dynamic store.
+#[derive(Serialize)]
+struct RaggedColumnDto {
+    records: u64,
+    column: String,
+}
+
 #[derive(Serialize)]
 struct SnapshotDto {
     format: String,
     policy: Option<String>,
+    /// True for dynamic (scheduled) stores: `merged` is null and
+    /// `merged_rounds`/cohort `entry` fields carry the panel lifecycle.
+    dynamic: bool,
     merged: Option<PanelDto>,
-    cohorts: Vec<Option<PanelDto>>,
+    merged_rounds: Vec<RaggedColumnDto>,
+    cohorts: Vec<Option<CohortDto>>,
 }
 
 #[derive(Serialize)]
 struct DeltaDto {
     format: String,
     policy: Option<String>,
+    dynamic: bool,
     /// Rounds the receiving store must already hold.
     base_rounds: u64,
     /// Rounds this delta appends.
     delta_rounds: u64,
     merged: Option<PanelDto>,
-    cohorts: Vec<Option<PanelDto>>,
+    merged_rounds: Vec<RaggedColumnDto>,
+    cohorts: Vec<Option<CohortDto>>,
 }
 
 fn column_to_hex(column: &BitColumn) -> String {
@@ -96,16 +124,63 @@ fn panel_to_dto(panel: &GrowingPanel) -> Option<PanelDto> {
     })
 }
 
-/// Like [`panel_to_dto`], but carrying only the columns of rounds
-/// `since..` (possibly none — the record count still travels so the
-/// receiver can validate shape).
-fn panel_to_delta_dto(panel: &GrowingPanel, since: usize) -> Option<PanelDto> {
-    panel.panel().map(|dataset| PanelDto {
+/// A cohort panel as a [`CohortDto`], carrying the columns of **local**
+/// rounds `since..` (possibly none — the record count still travels so
+/// the receiver can validate shape) plus the cohort's entry round.
+fn cohort_to_dto(panel: &GrowingPanel, entry: Option<usize>, since: usize) -> Option<CohortDto> {
+    panel.panel().map(|dataset| CohortDto {
         records: dataset.individuals() as u64,
-        columns: (since..dataset.rounds())
+        entry: entry.map(|e| e as u64),
+        columns: (since.min(dataset.rounds())..dataset.rounds())
             .map(|t| column_to_hex(dataset.column(t)))
             .collect(),
     })
+}
+
+fn ragged_to_dto(column: &BitColumn) -> RaggedColumnDto {
+    RaggedColumnDto {
+        records: column.len() as u64,
+        column: column_to_hex(column),
+    }
+}
+
+fn ragged_from_value(value: &serde_json::Value) -> Result<BitColumn, ServeError> {
+    let records = value
+        .get("records")
+        .and_then(serde_json::Value::as_usize)
+        .ok_or_else(|| ServeError::Snapshot("merged round missing `records`".to_string()))?;
+    let hex = value
+        .get("column")
+        .and_then(serde_json::Value::as_str)
+        .ok_or_else(|| ServeError::Snapshot("merged round missing `column`".to_string()))?;
+    column_from_hex(hex, records)
+}
+
+fn merged_rounds_from_value(value: &serde_json::Value) -> Result<Vec<BitColumn>, ServeError> {
+    value
+        .get("merged_rounds")
+        .and_then(serde_json::Value::as_array)
+        .ok_or_else(|| ServeError::Snapshot("missing `merged_rounds`".to_string()))?
+        .iter()
+        .map(ragged_from_value)
+        .collect()
+}
+
+/// Decode one dynamic cohort: `(entry, records, columns)`, or `None` for a
+/// cohort that has not entered the panel.
+type DynamicCohort = Option<(usize, usize, Vec<BitColumn>)>;
+
+fn dynamic_cohort_from_value(value: &serde_json::Value) -> Result<DynamicCohort, ServeError> {
+    let Some((records, columns)) = panel_columns_from_value(value, false)? else {
+        return Ok(None);
+    };
+    let entry = value
+        .get("entry")
+        .and_then(serde_json::Value::as_usize)
+        .ok_or_else(|| {
+            ServeError::Snapshot("dynamic cohort missing its `entry` round".to_string())
+        })?;
+    Ok(Some((entry, records, columns)))
 }
 
 fn policy_to_dto(policy: Option<PolicyTag>) -> Option<String> {
@@ -174,30 +249,87 @@ fn panel_from_value(value: &serde_json::Value) -> Result<GrowingPanel, ServeErro
 
 /// Render the store as a full JSON snapshot.
 pub fn snapshot_json(store: &ReleaseStore) -> String {
-    let (merged, cohorts) = store.parts();
-    let dto = SnapshotDto {
-        format: FORMAT.to_string(),
-        policy: policy_to_dto(store.policy()),
-        merged: panel_to_dto(merged),
-        cohorts: cohorts.iter().map(panel_to_dto).collect(),
+    let dto = if store.is_dynamic() {
+        let (cohorts, entries, merged_rounds) = store.dynamic_parts();
+        let entries = entries.expect("dynamic store tracks entries");
+        SnapshotDto {
+            format: FORMAT.to_string(),
+            policy: policy_to_dto(store.policy()),
+            dynamic: true,
+            merged: None,
+            merged_rounds: merged_rounds.iter().map(ragged_to_dto).collect(),
+            cohorts: cohorts
+                .iter()
+                .zip(entries)
+                .map(|(panel, entry)| cohort_to_dto(panel, *entry, 0))
+                .collect(),
+        }
+    } else {
+        let (merged, cohorts) = store.parts();
+        SnapshotDto {
+            format: FORMAT.to_string(),
+            policy: policy_to_dto(store.policy()),
+            dynamic: false,
+            merged: panel_to_dto(merged),
+            merged_rounds: Vec::new(),
+            cohorts: cohorts
+                .iter()
+                .map(|panel| cohort_to_dto(panel, None, 0))
+                .collect(),
+        }
     };
     serde_json::to_string_pretty(&dto).expect("vendored JSON writer is infallible")
 }
 
 /// Rebuild a store from a snapshot produced by [`snapshot_json`] (or by
-/// the pre-policy v1 writer, whose stores restore as untagged).
+/// the pre-schedule v2 / pre-policy v1 writers, whose stores restore as
+/// static — v1 additionally as untagged).
 pub fn restore_json(json: &str) -> Result<ReleaseStore, ServeError> {
     let value = serde_json::from_str(json).map_err(|e| ServeError::Snapshot(e.to_string()))?;
     let format = value
         .get("format")
         .and_then(serde_json::Value::as_str)
         .ok_or_else(|| ServeError::Snapshot("missing `format` tag".to_string()))?;
-    if format != FORMAT && format != FORMAT_V1 {
+    if format != FORMAT && format != FORMAT_V2 && format != FORMAT_V1 {
         return Err(ServeError::Snapshot(format!(
-            "unsupported snapshot format {format:?} (expected {FORMAT:?} or {FORMAT_V1:?})"
+            "unsupported snapshot format {format:?} (expected {FORMAT:?}, {FORMAT_V2:?}, \
+             or {FORMAT_V1:?})"
         )));
     }
     let policy = policy_from_value(&value)?;
+    let dynamic = value
+        .get("dynamic")
+        .and_then(serde_json::Value::as_bool)
+        .unwrap_or(false);
+    if dynamic {
+        if format != FORMAT {
+            return Err(ServeError::Snapshot(format!(
+                "dynamic stores need snapshot format {FORMAT:?}, got {format:?}"
+            )));
+        }
+        let mut cohorts = Vec::new();
+        let mut entries = Vec::new();
+        for cohort in value
+            .get("cohorts")
+            .and_then(serde_json::Value::as_array)
+            .ok_or_else(|| ServeError::Snapshot("missing `cohorts`".to_string()))?
+        {
+            match dynamic_cohort_from_value(cohort)? {
+                None => {
+                    cohorts.push(GrowingPanel::default());
+                    entries.push(None);
+                }
+                Some((entry, _records, columns)) => {
+                    let dataset = LongitudinalDataset::from_columns(columns)
+                        .map_err(|e| ServeError::Snapshot(format!("inconsistent panel: {e}")))?;
+                    cohorts.push(GrowingPanel::from_dataset(Some(dataset)));
+                    entries.push(Some(entry));
+                }
+            }
+        }
+        let merged_rounds = merged_rounds_from_value(&value)?;
+        return ReleaseStore::from_dynamic_parts(cohorts, entries, merged_rounds, policy);
+    }
     let merged = panel_from_value(
         value
             .get("merged")
@@ -249,6 +381,11 @@ pub fn restore_json(json: &str) -> Result<ReleaseStore, ServeError> {
 /// snapshot — O(delta), not O(store). The receiver must hold exactly
 /// `base_rounds` rounds when applying ([`apply_delta_json`]).
 ///
+/// For a dynamic store the delta carries, per cohort, the columns of the
+/// global rounds past the base (a cohort retired before the base
+/// contributes none; one entering after it contributes all of its
+/// columns), plus the ragged merged rounds.
+///
 /// Errors if the store holds fewer than `base_rounds` rounds.
 pub fn snapshot_since_json(store: &ReleaseStore, base_rounds: usize) -> Result<String, ServeError> {
     if base_rounds > store.rounds() {
@@ -257,17 +394,50 @@ pub fn snapshot_since_json(store: &ReleaseStore, base_rounds: usize) -> Result<S
             store.rounds()
         )));
     }
-    let (merged, cohorts) = store.parts();
-    let dto = DeltaDto {
-        format: DELTA_FORMAT.to_string(),
-        policy: policy_to_dto(store.policy()),
-        base_rounds: base_rounds as u64,
-        delta_rounds: (store.rounds() - base_rounds) as u64,
-        merged: panel_to_delta_dto(merged, base_rounds),
-        cohorts: cohorts
-            .iter()
-            .map(|panel| panel_to_delta_dto(panel, base_rounds))
-            .collect(),
+    let dto = if store.is_dynamic() {
+        let (cohorts, entries, merged_rounds) = store.dynamic_parts();
+        let entries = entries.expect("dynamic store tracks entries");
+        DeltaDto {
+            format: DELTA_FORMAT.to_string(),
+            policy: policy_to_dto(store.policy()),
+            dynamic: true,
+            base_rounds: base_rounds as u64,
+            delta_rounds: (store.rounds() - base_rounds) as u64,
+            merged: None,
+            merged_rounds: merged_rounds[base_rounds..]
+                .iter()
+                .map(ragged_to_dto)
+                .collect(),
+            cohorts: cohorts
+                .iter()
+                .zip(entries)
+                .map(|(panel, entry)| {
+                    // Local index of the first column at or past the base.
+                    let since = entry.map_or(0, |e| base_rounds.saturating_sub(e));
+                    cohort_to_dto(panel, *entry, since)
+                })
+                .collect(),
+        }
+    } else {
+        let (merged, cohorts) = store.parts();
+        DeltaDto {
+            format: DELTA_FORMAT.to_string(),
+            policy: policy_to_dto(store.policy()),
+            dynamic: false,
+            base_rounds: base_rounds as u64,
+            delta_rounds: (store.rounds() - base_rounds) as u64,
+            merged: merged.panel().map(|dataset| PanelDto {
+                records: dataset.individuals() as u64,
+                columns: (base_rounds..dataset.rounds())
+                    .map(|t| column_to_hex(dataset.column(t)))
+                    .collect(),
+            }),
+            merged_rounds: Vec::new(),
+            cohorts: cohorts
+                .iter()
+                .map(|panel| cohort_to_dto(panel, None, base_rounds))
+                .collect(),
+        }
     };
     Ok(serde_json::to_string_pretty(&dto).expect("vendored JSON writer is infallible"))
 }
@@ -282,9 +452,10 @@ pub fn apply_delta_json(store: &mut ReleaseStore, json: &str) -> Result<(), Serv
         .get("format")
         .and_then(serde_json::Value::as_str)
         .ok_or_else(|| ServeError::Snapshot("missing `format` tag".to_string()))?;
-    if format != DELTA_FORMAT {
+    if format != DELTA_FORMAT && format != DELTA_FORMAT_V1 {
         return Err(ServeError::Snapshot(format!(
-            "unsupported delta format {format:?} (expected {DELTA_FORMAT:?})"
+            "unsupported delta format {format:?} (expected {DELTA_FORMAT:?} or \
+             {DELTA_FORMAT_V1:?})"
         )));
     }
     let base_rounds = value
@@ -308,6 +479,13 @@ pub fn apply_delta_json(store: &mut ReleaseStore, json: &str) -> Result<(), Serv
     let policy = policy.ok_or_else(|| {
         ServeError::Snapshot("delta with rounds carries no policy tag".to_string())
     })?;
+    let dynamic = value
+        .get("dynamic")
+        .and_then(serde_json::Value::as_bool)
+        .unwrap_or(false);
+    if dynamic {
+        return apply_dynamic_delta(store, &value, base_rounds, delta_rounds, policy);
+    }
     let merged = panel_columns_from_value(
         value
             .get("merged")
@@ -344,6 +522,90 @@ pub fn apply_delta_json(store: &mut ReleaseStore, json: &str) -> Result<(), Serv
             .map(|(_, columns)| columns[round].clone())
             .collect();
         store.ingest_columns_with(policy, &parts, &merged_columns[round])?;
+    }
+    Ok(())
+}
+
+/// Apply a dynamic-panel delta by replaying each global round through the
+/// live [`ReleaseStore::ingest_active_columns`] path — same validation
+/// (entry pinning, contiguity, concatenation sums), same per-round
+/// atomicity. Each cohort's delta columns map onto global rounds
+/// `entry + already_stored + k`; a round's active set is exactly the
+/// cohorts with a column at that round.
+fn apply_dynamic_delta(
+    store: &mut ReleaseStore,
+    value: &serde_json::Value,
+    base_rounds: usize,
+    delta_rounds: usize,
+    policy: longsynth_engine::PolicyTag,
+) -> Result<(), ServeError> {
+    let merged_rounds = merged_rounds_from_value(value)?;
+    if merged_rounds.len() != delta_rounds {
+        return Err(ServeError::Snapshot(format!(
+            "delta declares {delta_rounds} rounds but carries {} merged columns",
+            merged_rounds.len()
+        )));
+    }
+    let cohorts: Vec<DynamicCohort> = value
+        .get("cohorts")
+        .and_then(serde_json::Value::as_array)
+        .ok_or_else(|| ServeError::Snapshot("missing `cohorts`".to_string()))?
+        .iter()
+        .map(dynamic_cohort_from_value)
+        .collect::<Result<_, _>>()?;
+    let cohort_count = cohorts.len();
+    // Rounds each cohort already holds — captured before the replay
+    // mutates the store. An empty (fresh) store holds none anywhere.
+    let already: Vec<usize> = (0..cohort_count)
+        .map(|c| store.cohort_window(c).map_or(0, |window| window.len()))
+        .collect();
+    // Dry pass: plan each round's active set and check, BEFORE any
+    // mutation, that every carried column lands inside the declared round
+    // range. A delta whose cohort columns spill outside it (understated
+    // `delta_rounds`, shifted `entry`) is corrupt, not silently
+    // truncatable — mirroring the static path's "panels disagree" check.
+    let mut plan: Vec<(Vec<usize>, Vec<&BitColumn>)> = Vec::with_capacity(delta_rounds);
+    let mut consumed = vec![0usize; cohort_count];
+    for round in base_rounds..base_rounds + delta_rounds {
+        let mut active = Vec::new();
+        let mut columns = Vec::new();
+        for (c, cohort) in cohorts.iter().enumerate() {
+            let Some((entry, _records, cols)) = cohort else {
+                continue;
+            };
+            let first_new = entry + already[c];
+            if round >= first_new && round - first_new < cols.len() {
+                active.push(c);
+                columns.push(&cols[round - first_new]);
+                consumed[c] += 1;
+            }
+        }
+        plan.push((active, columns));
+    }
+    for (c, cohort) in cohorts.iter().enumerate() {
+        if let Some((_, _, cols)) = cohort {
+            if consumed[c] != cols.len() {
+                return Err(ServeError::Snapshot(format!(
+                    "delta declares {delta_rounds} rounds but cohort {c} carries {} columns, \
+                     of which only {} fall inside the declared range",
+                    cols.len(),
+                    consumed[c]
+                )));
+            }
+        }
+    }
+    // Replay through the live ingestion path: same validation, same
+    // per-round atomicity, policy consistency included.
+    for (offset, (active, columns)) in plan.into_iter().enumerate() {
+        let columns: Vec<BitColumn> = columns.into_iter().cloned().collect();
+        store.ingest_active_columns(
+            policy,
+            base_rounds + offset,
+            cohort_count,
+            &active,
+            &columns,
+            &merged_rounds[offset],
+        )?;
     }
     Ok(())
 }
@@ -595,6 +857,99 @@ mod tests {
                 .unwrap();
             assert_eq!(chained, full, "shared={shared}");
         }
+    }
+
+    /// A dynamic three-round store with entry-staggered cohorts (mirrors
+    /// the rotating fixture in `store::tests`).
+    fn dynamic_store() -> ReleaseStore {
+        dynamic_store_rounds(3)
+    }
+
+    fn dynamic_store_rounds(rounds: usize) -> ReleaseStore {
+        let col = |bits: &[bool]| BitColumn::from_bools(bits);
+        let mut store = ReleaseStore::new();
+        let plan: [(&[usize], Vec<BitColumn>); 3] = [
+            (
+                &[0, 1],
+                vec![col(&[true, false]), col(&[false, true, true])],
+            ),
+            (
+                &[0, 1, 2],
+                vec![col(&[true, true]), col(&[false, false, true]), col(&[true])],
+            ),
+            (&[1, 2], vec![col(&[true, true, true]), col(&[false])]),
+        ];
+        for (round, (active, parts)) in plan.into_iter().enumerate().take(rounds) {
+            let merged = BitColumn::concat(parts.iter());
+            store
+                .ingest_active_columns(PolicyTag::PerShard, round, 3, active, &parts, &merged)
+                .unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn dynamic_store_snapshots_roundtrip_with_schedule() {
+        let store = dynamic_store();
+        let json = store.to_snapshot_json();
+        assert!(json.contains(FORMAT));
+        assert!(json.contains("\"dynamic\": true") || json.contains("\"dynamic\":true"));
+        let restored = ReleaseStore::from_snapshot_json(&json).unwrap();
+        assert_eq!(restored, store);
+        assert!(restored.is_dynamic());
+        assert_eq!(restored.cohort_window(0), Some(0..2));
+        assert_eq!(restored.cohort_window(2), Some(1..3));
+        // Canonical form: snapshot of the restore is byte-identical.
+        assert_eq!(restored.to_snapshot_json(), json);
+        // Merged-scope dynamic answers survive the round trip bit-exactly.
+        let query = crate::ServeQuery {
+            scope: crate::StoreScope::Merged,
+            kind: crate::QueryKind::CumulativeFraction { t: 2, b: 1 },
+        };
+        assert_eq!(
+            store.answer(&query).unwrap().to_bits(),
+            restored.answer(&query).unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn dynamic_deltas_replay_the_schedule() {
+        let full = dynamic_store();
+        // Base at round 1, delta 1→3: the delta carries cohort 2's entry.
+        let base = dynamic_store_rounds(1);
+        let mut chained = ReleaseStore::from_snapshot_json(&base.to_snapshot_json()).unwrap();
+        let delta = full.to_delta_json(1).unwrap();
+        assert!(delta.contains(DELTA_FORMAT));
+        chained.apply_delta_json(&delta).unwrap();
+        assert_eq!(chained, full);
+        // Empty dynamic delta is a no-op.
+        chained
+            .apply_delta_json(&full.to_delta_json(3).unwrap())
+            .unwrap();
+        assert_eq!(chained, full);
+        // A delta also boots an empty store from base 0.
+        let mut fresh = ReleaseStore::new();
+        fresh
+            .apply_delta_json(&full.to_delta_json(0).unwrap())
+            .unwrap();
+        assert_eq!(fresh, full);
+    }
+
+    #[test]
+    fn dynamic_snapshot_corruption_is_rejected() {
+        let store = dynamic_store();
+        let json = store.to_snapshot_json();
+        // A dynamic snapshot claiming a pre-schedule format is refused.
+        let bad = json.replace(FORMAT, FORMAT_V2);
+        let err = ReleaseStore::from_snapshot_json(&bad).unwrap_err();
+        assert!(err.to_string().contains("dynamic"), "{err}");
+        // Dropping a cohort's entry round is caught.
+        let bad = json.replace("\"entry\": 1", "\"entry\": null");
+        assert!(ReleaseStore::from_snapshot_json(&bad).is_err());
+        // Cohort windows beyond the stored rounds are caught.
+        let bad = json.replace("\"entry\": 1", "\"entry\": 2");
+        let err = ReleaseStore::from_snapshot_json(&bad).unwrap_err();
+        assert!(err.to_string().contains("covers rounds"), "{err}");
     }
 
     #[test]

@@ -29,13 +29,31 @@
 //! cohort sum, so that cross-check is relaxed (per-panel consistency and
 //! round lockstep still hold). The tag is recorded on first ingest, must
 //! stay constant for the store's lifetime, and travels with snapshots.
+//!
+//! ## Dynamic panels
+//!
+//! A rotating panel's cohorts cover different **round ranges**: wave `c`
+//! enters at round `e_c` and retires after its horizon. The store indexes
+//! such releases by *cohort × round range* —
+//! [`ingest_active_columns`](ReleaseStore::ingest_active_columns) records
+//! each active cohort's column at its own local round offset, and the
+//! per-round merged release (whose record count varies with the active
+//! set) is kept as a ragged column list. Cross-round queries at
+//! [`StoreScope::Merged`] are answered as the **size-weighted combination
+//! of the covering cohorts' answers** (a window query only counts cohorts
+//! that observed the whole window): the ragged merged panel is not
+//! longitudinally meaningful — record `i` of round `t` and round `t+1`
+//! may be different individuals. The two ingestion families are mutually
+//! exclusive: a store is *static* (lockstep) or *dynamic* (scheduled) for
+//! its whole lifetime, fixed by the first ingested round.
 
 use longsynth::Release;
 use longsynth_data::{BitColumn, LongitudinalDataset};
 use longsynth_engine::PolicyTag;
 use longsynth_queries::cumulative::cumulative_fraction;
-use longsynth_queries::WindowQuery;
+use longsynth_queries::{active_weighted_mean, WindowQuery};
 use std::fmt;
+use std::ops::Range;
 
 use crate::query::{QueryKind, ServeQuery};
 
@@ -85,6 +103,28 @@ pub enum ServeError {
         /// The query's window width.
         width: usize,
     },
+    /// A dynamic store was asked about a round outside a cohort's covered
+    /// range (before its entry, or after its retirement).
+    RoundNotCovered {
+        /// The scope queried.
+        scope: StoreScope,
+        /// The 0-based round asked for.
+        round: usize,
+        /// The rounds the scope actually covers.
+        covered: Range<usize>,
+    },
+    /// A merged-scope window query over a dynamic store found no cohort
+    /// observing the full window (every covering cohort entered mid-window
+    /// or retired inside it).
+    WindowNotCovered {
+        /// The 0-based round asked for.
+        round: usize,
+        /// The query's window width.
+        width: usize,
+    },
+    /// A dynamic store was asked for a rectangular panel it cannot
+    /// provide (the ragged merged release of a rotating panel).
+    ScopeNotRectangular(StoreScope),
     /// An ingested round disagreed with the store's shape.
     IngestMismatch(String),
     /// A snapshot could not be parsed or failed validation.
@@ -111,6 +151,24 @@ impl fmt::Display for ServeError {
             ServeError::WindowUnderflow { round, width } => write!(
                 f,
                 "width-{width} window query underflows at round {round} (needs t+1 >= k)"
+            ),
+            ServeError::RoundNotCovered {
+                scope,
+                round,
+                covered,
+            } => write!(
+                f,
+                "round {round} is outside {scope}'s covered range {}..{}",
+                covered.start, covered.end
+            ),
+            ServeError::WindowNotCovered { round, width } => write!(
+                f,
+                "no cohort observed the full width-{width} window ending at round {round}"
+            ),
+            ServeError::ScopeNotRectangular(scope) => write!(
+                f,
+                "scope {scope} of a dynamic store is ragged (active set changes per \
+                 round) and has no rectangular panel; query it through `answer`"
             ),
             ServeError::IngestMismatch(msg) => write!(f, "ingest mismatch: {msg}"),
             ServeError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
@@ -172,6 +230,14 @@ pub struct ReleaseStore {
     /// The aggregation policy that produced every ingested round (fixed by
     /// the first ingest; `None` while the store is empty).
     policy: Option<PolicyTag>,
+    /// Dynamic-panel state: `Some` once the first scheduled round arrives.
+    /// `entries[c]` is cohort `c`'s entry round (`None` until it enters);
+    /// the cohort's panel then covers global rounds
+    /// `entry .. entry + panel.rounds()`.
+    entries: Option<Vec<Option<usize>>>,
+    /// The per-round merged releases of a dynamic store — ragged, because
+    /// the active population changes with the schedule.
+    merged_rounds: Vec<BitColumn>,
 }
 
 impl ReleaseStore {
@@ -293,6 +359,11 @@ impl ReleaseStore {
         incoming_cohorts: usize,
         rounds: &[(&[&BitColumn], &BitColumn)],
     ) -> Result<(), ServeError> {
+        if self.is_dynamic() {
+            return Err(ServeError::IngestMismatch(
+                "store holds dynamic (scheduled) rounds; lockstep rounds cannot mix in".to_string(),
+            ));
+        }
         if let Some(existing) = self.policy {
             if existing != policy {
                 return Err(ServeError::IngestMismatch(format!(
@@ -369,6 +440,149 @@ impl ReleaseStore {
         Ok(())
     }
 
+    /// Ingest one **dynamic-panel** round: the releases of the round's
+    /// active cohorts, indexed by cohort, plus the merged active-set
+    /// release.
+    ///
+    /// `round` is the global round (must be exactly the store's next),
+    /// `cohorts` the panel's total cohort count (fixed by the first
+    /// round), `active` the ascending indices of the cohorts that stepped,
+    /// and `per_cohort[i]` the release of cohort `active[i]`. A cohort's
+    /// first appearance pins its entry round; after that its columns must
+    /// arrive contiguously (a retired cohort cannot resume). Atomic like
+    /// lockstep ingestion: everything is validated before anything lands.
+    pub fn ingest_active_columns(
+        &mut self,
+        policy: PolicyTag,
+        round: usize,
+        cohorts: usize,
+        active: &[usize],
+        per_cohort: &[BitColumn],
+        merged: &BitColumn,
+    ) -> Result<(), ServeError> {
+        let fresh = self.policy.is_none() && self.cohorts.is_empty();
+        if !fresh && !self.is_dynamic() {
+            return Err(ServeError::IngestMismatch(
+                "store holds static lockstep rounds; scheduled rounds cannot mix in".to_string(),
+            ));
+        }
+        if let Some(existing) = self.policy {
+            if existing != policy {
+                return Err(ServeError::IngestMismatch(format!(
+                    "round tagged {policy}, store holds {existing} releases"
+                )));
+            }
+        }
+        if cohorts == 0 {
+            return Err(ServeError::IngestMismatch(
+                "dynamic round declares zero cohorts".to_string(),
+            ));
+        }
+        if !fresh && self.cohorts.len() != cohorts {
+            return Err(ServeError::IngestMismatch(format!(
+                "round declares {cohorts} cohorts, store tracks {}",
+                self.cohorts.len()
+            )));
+        }
+        if round != self.merged_rounds.len() {
+            return Err(ServeError::IngestMismatch(format!(
+                "round {round} out of order: store expects round {}",
+                self.merged_rounds.len()
+            )));
+        }
+        if active.is_empty() || active.len() != per_cohort.len() {
+            return Err(ServeError::IngestMismatch(format!(
+                "{} active cohorts but {} release columns",
+                active.len(),
+                per_cohort.len()
+            )));
+        }
+        if active.windows(2).any(|pair| pair[0] >= pair[1]) || *active.last().unwrap() >= cohorts {
+            return Err(ServeError::IngestMismatch(
+                "active cohort indices must be ascending and within the panel".to_string(),
+            ));
+        }
+        // Validation pass against the (possibly empty) dynamic state.
+        let entries = self.entries.clone().unwrap_or_else(|| vec![None; cohorts]);
+        for (&c, column) in active.iter().zip(per_cohort) {
+            match entries[c] {
+                None => {
+                    // Entering now; nothing to check until commit.
+                }
+                Some(entry) => {
+                    let local = self.cohorts[c].rounds();
+                    if entry + local != round {
+                        return Err(ServeError::IngestMismatch(format!(
+                            "cohort {c} covers rounds {entry}..{} but round {round} arrived \
+                             (cohort rounds must be contiguous; retired cohorts cannot resume)",
+                            entry + local
+                        )));
+                    }
+                    if let Some(records) = self.cohorts[c].records() {
+                        if records != column.len() {
+                            return Err(ServeError::IngestMismatch(format!(
+                                "cohort {c} column has {} records, panel holds {records}",
+                                column.len()
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        if policy == PolicyTag::PerShard {
+            let total: usize = per_cohort.iter().map(BitColumn::len).sum();
+            if total != merged.len() {
+                return Err(ServeError::IngestMismatch(format!(
+                    "active cohort columns cover {total} records, merged column {}",
+                    merged.len()
+                )));
+            }
+        }
+        // Commit pass.
+        if fresh {
+            self.cohorts = vec![GrowingPanel::default(); cohorts];
+        }
+        let mut entries = entries;
+        for (&c, column) in active.iter().zip(per_cohort) {
+            if entries[c].is_none() {
+                entries[c] = Some(round);
+            }
+            self.cohorts[c]
+                .push(column)
+                .expect("validated against store shape");
+        }
+        self.entries = Some(entries);
+        self.merged_rounds.push(merged.clone());
+        self.policy = Some(policy);
+        Ok(())
+    }
+
+    /// True once the store holds dynamic (scheduled) rounds — cohort
+    /// panels then cover per-cohort round ranges and the merged release is
+    /// ragged.
+    pub fn is_dynamic(&self) -> bool {
+        self.entries.is_some()
+    }
+
+    /// The global rounds cohort `c` covers so far (`None` while the store
+    /// is static, or the cohort has not entered yet).
+    pub fn cohort_window(&self, cohort: usize) -> Option<Range<usize>> {
+        let entry = (*self.entries.as_ref()?.get(cohort)?)?;
+        Some(entry..entry + self.cohorts[cohort].rounds())
+    }
+
+    /// A dynamic store's merged release of round `t` — the active set's
+    /// release, whose record count varies with the schedule.
+    pub fn merged_round(&self, t: usize) -> Result<&BitColumn, ServeError> {
+        self.merged_rounds
+            .get(t)
+            .ok_or(ServeError::RoundNotReleased {
+                scope: StoreScope::Merged,
+                round: t,
+                available: self.merged_rounds.len(),
+            })
+    }
+
     /// The aggregation policy tag of every ingested round (`None` while
     /// the store is empty). Consumers use it to decide whether the merged
     /// panel is the cohort concatenation ([`PolicyTag::PerShard`]) or an
@@ -377,10 +591,15 @@ impl ReleaseStore {
         self.policy
     }
 
-    /// Released rounds in the merged panel (cohort panels always agree —
-    /// lockstep ingestion).
+    /// Released global rounds: the merged panel's rounds for a static
+    /// store (cohort panels always agree — lockstep ingestion), the count
+    /// of ragged merged rounds for a dynamic one.
     pub fn rounds(&self) -> usize {
-        self.merged.rounds()
+        if self.is_dynamic() {
+            self.merged_rounds.len()
+        } else {
+            self.merged.rounds()
+        }
     }
 
     /// Number of cohorts tracked (0 until the first round arrives).
@@ -388,14 +607,28 @@ impl ReleaseStore {
         self.cohorts.len()
     }
 
-    /// Records in the merged release (`None` until the first round).
+    /// Records in the merged release (`None` until the first round, and
+    /// for dynamic stores, whose merged record count varies per round —
+    /// see [`merged_round`](Self::merged_round)).
     pub fn records(&self) -> Option<usize> {
-        self.merged.records()
+        if self.is_dynamic() {
+            None
+        } else {
+            self.merged.records()
+        }
     }
 
     /// Borrow the stored panel for `scope`, if any rounds exist there.
+    ///
+    /// A dynamic store's cohort panels cover the cohort's **local**
+    /// rounds (global round = [`cohort_window`](Self::cohort_window)'s
+    /// start + local index); its merged scope is ragged and has no
+    /// rectangular panel ([`ServeError::ScopeNotRectangular`]).
     pub fn panel(&self, scope: StoreScope) -> Result<&LongitudinalDataset, ServeError> {
         let growing = match scope {
+            StoreScope::Merged if self.is_dynamic() => {
+                return Err(ServeError::ScopeNotRectangular(scope));
+            }
             StoreScope::Merged => &self.merged,
             StoreScope::Cohort(c) => self.cohorts.get(c).ok_or(ServeError::UnknownCohort {
                 cohort: c,
@@ -408,7 +641,17 @@ impl ReleaseStore {
     /// Answer one query directly from stored releases — no synthesis, no
     /// caching (the [`QueryService`](crate::QueryService) layers the cache
     /// on top of this).
+    ///
+    /// Dynamic stores answer cohort scopes at the cohort's local round
+    /// (rounds outside its window are
+    /// [`ServeError::RoundNotCovered`]) and the merged scope as the
+    /// size-weighted combination of the covering cohorts — for window and
+    /// pattern queries, only cohorts that observed the *entire* window
+    /// count.
     pub fn answer(&self, query: &ServeQuery) -> Result<f64, ServeError> {
+        if self.is_dynamic() {
+            return self.answer_dynamic(query);
+        }
         let panel = self.panel(query.scope)?;
         let check_round = |t: usize| {
             if t >= panel.rounds() {
@@ -449,6 +692,93 @@ impl ReleaseStore {
         }
     }
 
+    /// The dynamic branch of [`answer`](Self::answer).
+    fn answer_dynamic(&self, query: &ServeQuery) -> Result<f64, ServeError> {
+        // A cohort query at global round t reads the cohort's local panel.
+        if let StoreScope::Cohort(c) = query.scope {
+            if c >= self.cohorts.len() {
+                return Err(ServeError::UnknownCohort {
+                    cohort: c,
+                    cohorts: self.cohorts.len(),
+                });
+            }
+            let window = self
+                .cohort_window(c)
+                .ok_or(ServeError::NothingReleased(query.scope))?;
+            let panel = self.cohorts[c]
+                .panel()
+                .ok_or(ServeError::NothingReleased(query.scope))?;
+            let t = query.kind.round();
+            if !window.contains(&t) {
+                return Err(ServeError::RoundNotCovered {
+                    scope: query.scope,
+                    round: t,
+                    covered: window,
+                });
+            }
+            let local = t - window.start;
+            return match &query.kind {
+                QueryKind::Window { query: window, .. } => {
+                    // The cohort must have observed the whole window.
+                    if local + 1 < window.width() {
+                        return Err(ServeError::WindowUnderflow {
+                            round: t,
+                            width: window.width(),
+                        });
+                    }
+                    Ok(window.evaluate_true(panel, local))
+                }
+                QueryKind::Pattern { pattern, .. } => {
+                    if local + 1 < pattern.width() {
+                        return Err(ServeError::WindowUnderflow {
+                            round: t,
+                            width: pattern.width(),
+                        });
+                    }
+                    Ok(WindowQuery::pattern(*pattern).evaluate_true(panel, local))
+                }
+                QueryKind::CumulativeFraction { b, .. } => {
+                    Ok(cumulative_fraction(panel, local, *b))
+                }
+            };
+        }
+        // Merged scope: size-weighted combination over covering cohorts.
+        let t = query.kind.round();
+        if t >= self.rounds() {
+            return Err(ServeError::RoundNotReleased {
+                scope: query.scope,
+                round: t,
+                available: self.rounds(),
+            });
+        }
+        let width = match &query.kind {
+            QueryKind::Window { query, .. } => query.width(),
+            QueryKind::Pattern { pattern, .. } => pattern.width(),
+            QueryKind::CumulativeFraction { .. } => 1,
+        };
+        if t + 1 < width {
+            return Err(ServeError::WindowUnderflow { round: t, width });
+        }
+        let parts = (0..self.cohorts.len()).filter_map(|c| {
+            let window = self.cohort_window(c)?;
+            // The cohort must cover the query's whole span [t-width+1, t].
+            if !window.contains(&t) || t + 1 - width < window.start {
+                return None;
+            }
+            let panel = self.cohorts[c].panel()?;
+            let local = t - window.start;
+            let answer = match &query.kind {
+                QueryKind::Window { query, .. } => query.evaluate_true(panel, local),
+                QueryKind::Pattern { pattern, .. } => {
+                    WindowQuery::pattern(*pattern).evaluate_true(panel, local)
+                }
+                QueryKind::CumulativeFraction { b, .. } => cumulative_fraction(panel, local, *b),
+            };
+            Some((answer, panel.individuals()))
+        });
+        active_weighted_mean(parts).ok_or(ServeError::WindowNotCovered { round: t, width })
+    }
+
     pub(crate) fn from_parts(
         merged: GrowingPanel,
         cohorts: Vec<GrowingPanel>,
@@ -458,11 +788,93 @@ impl ReleaseStore {
             merged,
             cohorts,
             policy,
+            entries: None,
+            merged_rounds: Vec::new(),
         }
     }
 
     pub(crate) fn parts(&self) -> (&GrowingPanel, &[GrowingPanel]) {
         (&self.merged, &self.cohorts)
+    }
+
+    /// Rebuild a dynamic store from snapshot parts, re-validating the
+    /// cohort × round-range invariants.
+    pub(crate) fn from_dynamic_parts(
+        cohorts: Vec<GrowingPanel>,
+        entries: Vec<Option<usize>>,
+        merged_rounds: Vec<BitColumn>,
+        policy: Option<PolicyTag>,
+    ) -> Result<Self, ServeError> {
+        if cohorts.len() != entries.len() {
+            return Err(ServeError::Snapshot(format!(
+                "{} cohorts but {} entry rounds",
+                cohorts.len(),
+                entries.len()
+            )));
+        }
+        let rounds = merged_rounds.len();
+        for (c, (panel, entry)) in cohorts.iter().zip(&entries).enumerate() {
+            match (panel.rounds(), entry) {
+                (0, None) => {}
+                (_, None) => {
+                    return Err(ServeError::Snapshot(format!(
+                        "cohort {c} has columns but no entry round"
+                    )));
+                }
+                (local, Some(entry)) => {
+                    if local == 0 {
+                        return Err(ServeError::Snapshot(format!(
+                            "cohort {c} has an entry round but no columns"
+                        )));
+                    }
+                    if entry + local > rounds {
+                        return Err(ServeError::Snapshot(format!(
+                            "cohort {c} covers rounds {entry}..{} but the store has {rounds}",
+                            entry + local
+                        )));
+                    }
+                }
+            }
+        }
+        if policy == Some(PolicyTag::PerShard) {
+            // Per-shard merged rounds are active-set concatenations:
+            // record counts must sum per round.
+            for (t, merged) in merged_rounds.iter().enumerate() {
+                let covered: usize = cohorts
+                    .iter()
+                    .zip(&entries)
+                    .filter_map(|(panel, entry)| {
+                        let entry = (*entry)?;
+                        (entry <= t && t < entry + panel.rounds()).then(|| panel.records())?
+                    })
+                    .sum();
+                if covered != merged.len() {
+                    return Err(ServeError::Snapshot(format!(
+                        "round {t}: active cohorts cover {covered} records, merged column {}",
+                        merged.len()
+                    )));
+                }
+            }
+        }
+        if rounds > 0 && policy.is_none() {
+            return Err(ServeError::Snapshot(
+                "dynamic store with rounds carries no policy tag".to_string(),
+            ));
+        }
+        Ok(Self {
+            merged: GrowingPanel::default(),
+            cohorts,
+            policy,
+            entries: Some(entries),
+            merged_rounds,
+        })
+    }
+
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn dynamic_parts(
+        &self,
+    ) -> (&[GrowingPanel], Option<&[Option<usize>]>, &[BitColumn]) {
+        (&self.cohorts, self.entries.as_deref(), &self.merged_rounds)
     }
 }
 
@@ -657,6 +1069,231 @@ mod tests {
             },
         );
         assert!((0.0..=1.0).contains(&v));
+    }
+
+    /// A small rotating panel: cohort 0 covers rounds 0–1, cohort 1
+    /// covers 0–2, cohort 2 joins at round 1, cohort 3 at round 2.
+    fn rotating_store() -> ReleaseStore {
+        let mut store = ReleaseStore::new();
+        let c0 = [col(&[true, false]), col(&[true, true])];
+        let c1 = [
+            col(&[false, true, true]),
+            col(&[false, false, true]),
+            col(&[true, true, true]),
+        ];
+        let c2 = [col(&[true]), col(&[false])];
+        let c3 = [col(&[false, true])];
+        let rounds: [(&[usize], Vec<&BitColumn>); 3] = [
+            (&[0, 1], vec![&c0[0], &c1[0]]),
+            (&[0, 1, 2], vec![&c0[1], &c1[1], &c2[0]]),
+            (&[1, 2, 3], vec![&c1[2], &c2[1], &c3[0]]),
+        ];
+        for (round, (active, parts)) in rounds.into_iter().enumerate() {
+            let owned: Vec<BitColumn> = parts.iter().map(|c| (*c).clone()).collect();
+            let merged = BitColumn::concat(owned.iter());
+            store
+                .ingest_active_columns(PolicyTag::PerShard, round, 4, active, &owned, &merged)
+                .unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn dynamic_rounds_index_by_cohort_round_range() {
+        let store = rotating_store();
+        assert!(store.is_dynamic());
+        assert_eq!(store.rounds(), 3);
+        assert_eq!(store.cohorts(), 4);
+        assert_eq!(store.records(), None, "dynamic merged is ragged");
+        assert_eq!(store.cohort_window(0), Some(0..2));
+        assert_eq!(store.cohort_window(1), Some(0..3));
+        assert_eq!(store.cohort_window(2), Some(1..3));
+        assert_eq!(store.cohort_window(3), Some(2..3));
+        // Ragged merged rounds carry the active population per round.
+        assert_eq!(store.merged_round(0).unwrap().len(), 5);
+        assert_eq!(store.merged_round(1).unwrap().len(), 6);
+        assert_eq!(store.merged_round(2).unwrap().len(), 6);
+        assert!(store.merged_round(3).is_err());
+        // The merged scope has no rectangular panel; cohorts do.
+        assert!(matches!(
+            store.panel(StoreScope::Merged),
+            Err(ServeError::ScopeNotRectangular(StoreScope::Merged))
+        ));
+        assert_eq!(store.panel(StoreScope::Cohort(2)).unwrap().rounds(), 2);
+    }
+
+    #[test]
+    fn dynamic_cohort_queries_translate_to_local_rounds() {
+        let store = rotating_store();
+        // Cohort 2 at global round 1 is its local round 0: one record set.
+        let ask = |scope, kind| store.answer(&ServeQuery { scope, kind });
+        assert_eq!(
+            ask(
+                StoreScope::Cohort(2),
+                QueryKind::CumulativeFraction { t: 1, b: 1 }
+            )
+            .unwrap(),
+            1.0
+        );
+        // Outside the cohort's window: descriptive coverage error.
+        match ask(
+            StoreScope::Cohort(2),
+            QueryKind::CumulativeFraction { t: 0, b: 1 },
+        ) {
+            Err(ServeError::RoundNotCovered {
+                round: 0, covered, ..
+            }) => assert_eq!(covered, 1..3),
+            other => panic!("expected RoundNotCovered, got {other:?}"),
+        }
+        // A retired cohort's released rounds stay queryable forever.
+        assert!(ask(
+            StoreScope::Cohort(0),
+            QueryKind::CumulativeFraction { t: 1, b: 2 }
+        )
+        .is_ok());
+        assert!(matches!(
+            ask(
+                StoreScope::Cohort(0),
+                QueryKind::CumulativeFraction { t: 2, b: 1 }
+            ),
+            Err(ServeError::RoundNotCovered { .. })
+        ));
+    }
+
+    #[test]
+    fn dynamic_merged_answers_pool_covering_cohorts() {
+        let store = rotating_store();
+        // Round 1 cumulative b=1: cohorts 0 (2 records, both ≥1 by local
+        // round 1), 1 (3 records: r0 {0,1,1}, r1 {0,0,1} → weights 0,1,2 →
+        // fraction 2/3), 2 (1 record, weight 1 → 1.0).
+        let value = store
+            .answer(&ServeQuery {
+                scope: StoreScope::Merged,
+                kind: QueryKind::CumulativeFraction { t: 1, b: 1 },
+            })
+            .unwrap();
+        let expected = (1.0 * 2.0 + (2.0 / 3.0) * 3.0 + 1.0) / 6.0;
+        assert!((value - expected).abs() < 1e-12, "{value} vs {expected}");
+        // A width-2 window at round 2 only counts cohorts observing both
+        // rounds 1 and 2: cohorts 1 and 2 (cohort 3 entered mid-window).
+        let value = store
+            .answer(&ServeQuery {
+                scope: StoreScope::Merged,
+                kind: QueryKind::Window {
+                    t: 2,
+                    query: WindowQuery::at_least_m_ones(2, 1),
+                },
+            })
+            .unwrap();
+        assert!((0.0..=1.0).contains(&value));
+        // Cohort 1 spans all three rounds, so even the full-width window
+        // has a covering cohort.
+        assert!(store
+            .answer(&ServeQuery {
+                scope: StoreScope::Merged,
+                kind: QueryKind::Window {
+                    t: 2,
+                    query: WindowQuery::at_least_m_ones(3, 1),
+                },
+            })
+            .is_ok());
+        // In a panel where every cohort rotates, a window spanning the
+        // rotation boundary has no covering cohort — named as such.
+        let mut rotated = ReleaseStore::new();
+        let rounds: [(&[usize], BitColumn); 3] = [
+            (&[0], col(&[true, false])),
+            (&[0, 1], col(&[false, true, true])),
+            (&[1], col(&[false])),
+        ];
+        for (round, (active, merged)) in rounds.into_iter().enumerate() {
+            let parts: Vec<BitColumn> = match active.len() {
+                1 => vec![merged.clone()],
+                _ => vec![merged.slice(0..2), merged.slice(2..3)],
+            };
+            rotated
+                .ingest_active_columns(PolicyTag::PerShard, round, 2, active, &parts, &merged)
+                .unwrap();
+        }
+        // Width 3 at t=2 spans rounds 0..=2: cohort 0 retired after round
+        // 1, cohort 1 entered at round 1 — nobody saw the whole window.
+        assert!(matches!(
+            rotated.answer(&ServeQuery {
+                scope: StoreScope::Merged,
+                kind: QueryKind::Window {
+                    t: 2,
+                    query: WindowQuery::at_least_m_ones(3, 1),
+                },
+            }),
+            Err(ServeError::WindowNotCovered { round: 2, width: 3 })
+        ));
+    }
+
+    #[test]
+    fn dynamic_ingest_validation_is_strict() {
+        let mut store = rotating_store();
+        let before = store.clone();
+        // Round out of order.
+        assert!(matches!(
+            store.ingest_active_columns(
+                PolicyTag::PerShard,
+                5,
+                4,
+                &[1],
+                &[col(&[true, true, true])],
+                &col(&[true, true, true]),
+            ),
+            Err(ServeError::IngestMismatch(_))
+        ));
+        // A retired cohort cannot resume (cohort 0 stopped after round 1).
+        let err = store
+            .ingest_active_columns(
+                PolicyTag::PerShard,
+                3,
+                4,
+                &[0],
+                &[col(&[true, false])],
+                &col(&[true, false]),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("contiguous"), "{err}");
+        // Non-ascending active indices.
+        assert!(store
+            .ingest_active_columns(
+                PolicyTag::PerShard,
+                3,
+                4,
+                &[2, 1],
+                &[col(&[true]), col(&[true, false, true])],
+                &col(&[true, true, false, true]),
+            )
+            .is_err());
+        // Concatenation mismatch under per-shard.
+        assert!(store
+            .ingest_active_columns(
+                PolicyTag::PerShard,
+                3,
+                4,
+                &[1],
+                &[col(&[true, false, true])],
+                &col(&[true]),
+            )
+            .is_err());
+        assert_eq!(store, before, "failed ingests must not mutate");
+        // Static and dynamic rounds never mix, in either direction.
+        let (parts, merged) = two_cohort_round(&[true], &[false]);
+        assert!(store.ingest_columns(&parts, &merged).is_err());
+        let mut static_store = ReleaseStore::new();
+        static_store.ingest_columns(&parts, &merged).unwrap();
+        assert!(static_store
+            .ingest_active_columns(
+                PolicyTag::PerShard,
+                1,
+                2,
+                &[0],
+                &[col(&[true])],
+                &col(&[true]),
+            )
+            .is_err());
     }
 
     #[test]

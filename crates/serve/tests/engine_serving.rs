@@ -3,12 +3,16 @@
 //! deployment shape of the serving subsystem.
 
 use longsynth::{
-    CumulativeConfig, CumulativeSynthesizer, FixedWindowConfig, FixedWindowSynthesizer,
+    ContinualSynthesizer, CumulativeConfig, CumulativeSynthesizer, FixedWindowConfig,
+    FixedWindowSynthesizer,
 };
 use longsynth_data::generators::iid_bernoulli;
+use longsynth_data::BitColumn;
 use longsynth_dp::budget::Rho;
 use longsynth_dp::rng::{rng_from_seed, RngFork};
-use longsynth_engine::{AggregationPolicy, PolicyTag, ShardPlan, ShardedEngine, SlotRole};
+use longsynth_engine::{
+    AggregationPolicy, PanelSchedule, PolicyTag, ShardPlan, ShardedEngine, SlotRole,
+};
 use longsynth_pool::WorkerPool;
 use longsynth_serve::{QueryKind, QueryService, ServeQuery, StoreScope};
 use std::sync::Arc;
@@ -164,6 +168,169 @@ fn shared_noise_engine_feeds_store_with_the_shared_tag() {
     restored.with_store(|store| assert_eq!(store.policy(), Some(PolicyTag::Shared)));
     let delta = service.snapshot_since_json(horizon).unwrap();
     restored.apply_delta_json(&delta).unwrap(); // empty delta applies cleanly
+}
+
+/// The full rotating-panel deployment shape, end to end: a scheduled
+/// engine with overlapping waves (≥ 3 cohorts joining and retiring
+/// mid-stream) feeds the store through the same `column_sink`, the store
+/// indexes releases by cohort × round range, queries answer during the
+/// run at every scope, and the generalized budget invariant (max
+/// individual lifetime spend ≤ the schedule's cap) is verified every
+/// round.
+#[test]
+fn rotating_engine_feeds_store_and_queries_through_churn() {
+    let horizon = 7;
+    let waves = 3;
+    let total = Rho::new(0.3).unwrap();
+    // waves + horizon − 1 = 9 cohorts of 20 — constant active set of 60.
+    let schedule = PanelSchedule::rotating(180, horizon, waves, total, total).unwrap();
+    assert!(schedule.cohorts() >= 5);
+    let fork = RngFork::new(71);
+    let mut engine =
+        ShardedEngine::with_schedule(schedule.clone(), AggregationPolicy::PerShardNoise, |slot| {
+            let config = CumulativeConfig::new(slot.horizon, slot.budget).unwrap();
+            let SlotRole::Shard(s) = slot.role else {
+                unreachable!("per-shard noise never builds a population slot");
+            };
+            CumulativeSynthesizer::new(config, fork.subfork(s as u64), rng_from_seed(s as u64))
+        })
+        .unwrap();
+    let service = QueryService::new();
+    engine.set_sink(service.column_sink());
+
+    // Per-cohort synthetic "true" panels spanning each cohort's window.
+    let panels: Vec<_> = (0..schedule.cohorts())
+        .map(|c| {
+            iid_bernoulli(
+                &mut rng_from_seed(500 + c as u64),
+                schedule.cohort_size(c),
+                schedule.cohort(c).horizon,
+                0.3,
+            )
+        })
+        .collect();
+    for round in 0..horizon {
+        let active = schedule.active(round);
+        let columns: Vec<&BitColumn> = active
+            .iter()
+            .map(|&c| panels[c].column(round - schedule.cohort(c).entry_round))
+            .collect();
+        let column = BitColumn::concat(columns.iter().copied());
+        let release = engine.step(&column).unwrap();
+        assert_eq!(release.len(), schedule.active_population(round));
+        // Budget invariant, every round.
+        assert!(
+            engine.budget().within_cap(schedule.total_budget()),
+            "round {round}: budget invariant violated"
+        );
+        // The round is queryable the moment step returns — merged scope
+        // pools the covering cohorts.
+        service.with_store(|store| {
+            assert!(store.is_dynamic());
+            assert_eq!(store.rounds(), round + 1);
+        });
+        let merged = service
+            .answer(&ServeQuery {
+                scope: StoreScope::Merged,
+                kind: QueryKind::CumulativeFraction { t: round, b: 1 },
+            })
+            .unwrap();
+        assert!((0.0..=1.0).contains(&merged));
+        // Each active cohort answers at its global round.
+        for &c in &active {
+            let value = service
+                .answer(&ServeQuery {
+                    scope: StoreScope::Cohort(c),
+                    kind: QueryKind::CumulativeFraction { t: round, b: 1 },
+                })
+                .unwrap();
+            assert!((0.0..=1.0).contains(&value));
+        }
+    }
+
+    // After the run: cohort windows in the store match the schedule, and
+    // retired cohorts' history is still queryable (sealed, not erased).
+    service.with_store(|store| {
+        for c in 0..schedule.cohorts() {
+            assert_eq!(
+                store.cohort_window(c),
+                Some(schedule.cohort(c).window()),
+                "cohort {c} round range"
+            );
+        }
+    });
+    assert!(engine.shard(0).is_sealed());
+    let early = service
+        .answer(&ServeQuery {
+            scope: StoreScope::Cohort(0),
+            kind: QueryKind::CumulativeFraction { t: 0, b: 1 },
+        })
+        .unwrap();
+    assert!((0.0..=1.0).contains(&early));
+
+    // Snapshot (v3) → restore → bit-identical answers across scopes.
+    let restored = QueryService::restore_json(&service.snapshot_json()).unwrap();
+    for query in [
+        ServeQuery {
+            scope: StoreScope::Merged,
+            kind: QueryKind::CumulativeFraction {
+                t: horizon - 1,
+                b: 2,
+            },
+        },
+        ServeQuery {
+            scope: StoreScope::Cohort(4),
+            kind: QueryKind::CumulativeFraction {
+                t: schedule.cohort(4).entry_round,
+                b: 1,
+            },
+        },
+    ] {
+        assert_eq!(
+            service.answer(&query).unwrap().to_bits(),
+            restored.answer(&query).unwrap().to_bits()
+        );
+    }
+}
+
+/// A scheduled engine whose schedule is degenerate (static) emits plain
+/// lockstep sink rounds: the store stays static — rectangular merged
+/// panel, concatenation checks, v3-but-not-dynamic snapshots — exactly as
+/// if a plan-based engine had fed it.
+#[test]
+fn static_scheduled_engine_feeds_a_static_store() {
+    let n = 90;
+    let horizon = 4;
+    let schedule = longsynth_engine::PanelSchedule::uniform(
+        n,
+        3,
+        horizon,
+        Rho::new(0.3).unwrap(),
+        Rho::new(0.3).unwrap(),
+    )
+    .unwrap();
+    let fork = RngFork::new(13);
+    let mut engine =
+        ShardedEngine::with_schedule(schedule, AggregationPolicy::PerShardNoise, |slot| {
+            let config = CumulativeConfig::new(slot.horizon, slot.budget).unwrap();
+            let SlotRole::Shard(s) = slot.role else {
+                unreachable!("per-shard noise never builds a population slot");
+            };
+            CumulativeSynthesizer::new(config, fork.subfork(s as u64), rng_from_seed(s as u64))
+        })
+        .unwrap();
+    let service = QueryService::new();
+    engine.set_sink(service.column_sink());
+    let panel = iid_bernoulli(&mut rng_from_seed(61), n, horizon, 0.3);
+    for (_, column) in panel.stream() {
+        engine.step(column).unwrap();
+    }
+    service.with_store(|store| {
+        assert!(!store.is_dynamic(), "degenerate schedule ⇒ static store");
+        assert_eq!(store.rounds(), horizon);
+        assert_eq!(store.records(), Some(n));
+        assert!(store.panel(StoreScope::Merged).is_ok());
+    });
 }
 
 #[test]

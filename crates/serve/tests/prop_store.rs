@@ -8,6 +8,8 @@
 //! in lockstep.
 
 use longsynth_data::BitColumn;
+use longsynth_dp::budget::Rho;
+use longsynth_engine::{PanelSchedule, PolicyTag};
 use longsynth_pool::WorkerPool;
 use longsynth_queries::{Pattern, WindowQuery};
 use longsynth_serve::{QueryKind, QueryService, ReleaseStore, ServeQuery, StoreScope};
@@ -36,6 +38,83 @@ fn random_store(seed: u64, cohort_sizes: &[usize], rounds: usize) -> ReleaseStor
         store.ingest_columns(&parts, &merged).unwrap();
     }
     store
+}
+
+/// Deterministic bit stream for building release columns.
+fn bit_stream(seed: u64) -> impl FnMut() -> bool {
+    let mut state = seed | 1;
+    move || {
+        state = state
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(17)
+            .wrapping_add(0xD1B5_4A32_D192_ED03);
+        state & 4 == 0
+    }
+}
+
+/// Build a **dynamic** store from a rotating-wave schedule: the first
+/// `rounds` global rounds of the panel, each round's active cohorts fed
+/// with deterministic bits.
+fn random_rotating_store(seed: u64, waves: usize, horizon: usize, rounds: usize) -> ReleaseStore {
+    let rho = Rho::new(0.1).unwrap();
+    let schedule = PanelSchedule::rotating(24 + waves * horizon, horizon, waves, rho, rho)
+        .expect("valid rotating schedule");
+    let mut next_bit = bit_stream(seed);
+    let mut store = ReleaseStore::new();
+    for round in 0..rounds.min(horizon) {
+        let active = schedule.active(round);
+        let parts: Vec<BitColumn> = active
+            .iter()
+            .map(|&c| BitColumn::from_iter_bits((0..schedule.cohort_size(c)).map(|_| next_bit())))
+            .collect();
+        let merged = BitColumn::concat(parts.iter());
+        store
+            .ingest_active_columns(
+                PolicyTag::PerShard,
+                round,
+                schedule.cohorts(),
+                &active,
+                &parts,
+                &merged,
+            )
+            .unwrap();
+    }
+    store
+}
+
+/// Every query answerable against a dynamic store: cohort scopes over
+/// their covered rounds, merged scopes over rounds with covering cohorts.
+fn dynamic_query_battery(store: &ReleaseStore) -> Vec<ServeQuery> {
+    let mut queries = Vec::new();
+    for t in 0..store.rounds() {
+        for b in 0..=(t + 1) {
+            queries.push(ServeQuery {
+                scope: StoreScope::Merged,
+                kind: QueryKind::CumulativeFraction { t, b },
+            });
+        }
+        for c in 0..store.cohorts() {
+            let Some(window) = store.cohort_window(c) else {
+                continue;
+            };
+            if window.contains(&t) {
+                queries.push(ServeQuery {
+                    scope: StoreScope::Cohort(c),
+                    kind: QueryKind::CumulativeFraction { t, b: 1 },
+                });
+                if t > window.start {
+                    queries.push(ServeQuery {
+                        scope: StoreScope::Cohort(c),
+                        kind: QueryKind::Pattern {
+                            t,
+                            pattern: Pattern::parse("10"),
+                        },
+                    });
+                }
+            }
+        }
+    }
+    queries
 }
 
 /// Every answerable query in the store, across kinds, scopes, rounds, and
@@ -169,6 +248,64 @@ proptest! {
         }
     }
 
+    /// Under a **rotating schedule** (cohorts joining and retiring
+    /// mid-stream): a v3 full snapshot restore is bit-identical to
+    /// restoring a base snapshot and chaining deltas across random cut
+    /// points — including deltas that carry a cohort's first entry or a
+    /// retirement.
+    #[test]
+    fn rotating_full_restore_equals_chained_delta_restore(
+        seed in any::<u64>(),
+        waves in 1usize..5,
+        horizon in 2usize..9,
+        first_cut in 0usize..9,
+        second_cut in 0usize..9,
+    ) {
+        let full = random_rotating_store(seed, waves, horizon, horizon);
+        let rounds = full.rounds();
+        let mut cuts = [first_cut % (rounds + 1), second_cut % (rounds + 1)];
+        cuts.sort_unstable();
+        let [cut_a, cut_b] = cuts;
+        let base = random_rotating_store(seed, waves, horizon, cut_a);
+        let mut chained = ReleaseStore::from_snapshot_json(&base.to_snapshot_json()).unwrap();
+        let middle = random_rotating_store(seed, waves, horizon, cut_b);
+        chained.apply_delta_json(&middle.to_delta_json(cut_a).unwrap()).unwrap();
+        chained.apply_delta_json(&full.to_delta_json(cut_b).unwrap()).unwrap();
+
+        let restored_full = ReleaseStore::from_snapshot_json(&full.to_snapshot_json()).unwrap();
+        prop_assert_eq!(&chained, &restored_full);
+        prop_assert_eq!(&chained, &full);
+        for query in dynamic_query_battery(&full) {
+            prop_assert_eq!(
+                chained.answer(&query).unwrap().to_bits(),
+                full.answer(&query).unwrap().to_bits(),
+                "query {:?} diverged after chained dynamic delta restore",
+                query
+            );
+        }
+    }
+
+    /// Dynamic snapshot → restore → identical answers across every scope
+    /// and covered round.
+    #[test]
+    fn rotating_snapshot_restore_preserves_every_answer(
+        seed in any::<u64>(),
+        waves in 1usize..5,
+        horizon in 2usize..8,
+    ) {
+        let store = random_rotating_store(seed, waves, horizon, horizon);
+        let restored = ReleaseStore::from_snapshot_json(&store.to_snapshot_json()).unwrap();
+        prop_assert_eq!(&restored, &store);
+        for query in dynamic_query_battery(&store) {
+            prop_assert_eq!(
+                store.answer(&query).unwrap().to_bits(),
+                restored.answer(&query).unwrap().to_bits(),
+                "query {:?} diverged after restore",
+                query
+            );
+        }
+    }
+
     /// Ingestion keeps every scope in lockstep: rounds agree everywhere,
     /// and the merged panel is the shard-order concatenation of cohorts.
     #[test]
@@ -188,4 +325,81 @@ proptest! {
             prop_assert_eq!(&BitColumn::concat([a, b]), merged.column(t));
         }
     }
+}
+
+/// Frozen **v1** snapshot (pre-policy era): two rounds, two cohorts of 1
+/// and 2 records. The byte layout is a contract — these fixtures must
+/// restore forever, with pinned answers.
+const V1_FIXTURE: &str = r#"{
+  "format": "longsynth-release-store/v1",
+  "merged": { "records": 3, "columns": ["0000000000000005", "0000000000000003"] },
+  "cohorts": [
+    { "records": 1, "columns": ["0000000000000001", "0000000000000001"] },
+    { "records": 2, "columns": ["0000000000000002", "0000000000000001"] }
+  ]
+}"#;
+
+/// Frozen **v2** snapshot (policy-tagged, pre-schedule era): a
+/// shared-noise store whose merged panel is an independent synthesis.
+const V2_FIXTURE: &str = r#"{
+  "format": "longsynth-release-store/v2",
+  "policy": "shared",
+  "merged": { "records": 5, "columns": ["0000000000000013", "0000000000000007"] },
+  "cohorts": [
+    { "records": 1, "columns": ["0000000000000001", "0000000000000000"] },
+    { "records": 2, "columns": ["0000000000000002", "0000000000000003"] }
+  ]
+}"#;
+
+#[test]
+fn v1_fixture_restore_stays_pinned() {
+    let store = ReleaseStore::from_snapshot_json(V1_FIXTURE).unwrap();
+    assert!(!store.is_dynamic());
+    assert_eq!(store.rounds(), 2);
+    assert_eq!(store.cohorts(), 2);
+    assert_eq!(store.records(), Some(3));
+    // Pre-policy rounds restore tagged per-shard (the only shape the v1
+    // writer ever produced), so the concatenation structure is pinned.
+    assert_eq!(store.policy(), Some(PolicyTag::PerShard));
+    // Pinned answers: merged round 0 is bits 101 (records 0 and 2 set).
+    let answer = |scope, t, b| {
+        store
+            .answer(&ServeQuery {
+                scope,
+                kind: QueryKind::CumulativeFraction { t, b },
+            })
+            .unwrap()
+    };
+    assert_eq!(answer(StoreScope::Merged, 0, 1), 2.0 / 3.0);
+    assert_eq!(answer(StoreScope::Merged, 1, 2), 1.0 / 3.0);
+    assert_eq!(answer(StoreScope::Cohort(0), 1, 2), 1.0);
+    // Re-snapshotting a v1 restore produces the current (v3) format with
+    // identical answers.
+    let upgraded = ReleaseStore::from_snapshot_json(&store.to_snapshot_json()).unwrap();
+    assert_eq!(upgraded, store);
+}
+
+#[test]
+fn v2_fixture_restore_stays_pinned() {
+    let store = ReleaseStore::from_snapshot_json(V2_FIXTURE).unwrap();
+    assert!(!store.is_dynamic());
+    assert_eq!(store.policy(), Some(PolicyTag::Shared));
+    assert_eq!(store.rounds(), 2);
+    // Shared-noise merged panel keeps its independent record count.
+    assert_eq!(store.records(), Some(5));
+    let answer = |scope, t, b| {
+        store
+            .answer(&ServeQuery {
+                scope,
+                kind: QueryKind::CumulativeFraction { t, b },
+            })
+            .unwrap()
+    };
+    // Merged round 0 bits: 0x13 = 10011 → records 0, 1, 4 set.
+    assert_eq!(answer(StoreScope::Merged, 0, 1), 3.0 / 5.0);
+    // Round 1 bits 00111: weights 2,2,1,0,1 → two records reach b = 2.
+    assert_eq!(answer(StoreScope::Merged, 1, 2), 2.0 / 5.0);
+    assert_eq!(answer(StoreScope::Cohort(1), 1, 1), 1.0);
+    let upgraded = ReleaseStore::from_snapshot_json(&store.to_snapshot_json()).unwrap();
+    assert_eq!(upgraded, store);
 }
