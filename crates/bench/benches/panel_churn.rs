@@ -1,24 +1,26 @@
 //! Bench: dynamic-panel round latency and population accuracy under
-//! cohort churn.
+//! cohort churn — per-shard noise vs **windowed shared noise**.
 //!
-//! Three regimes over the same active population (cumulative family,
-//! T = 12): a static lockstep panel (0% churn), a 4-wave rotating panel
-//! (25% of the active set replaced each round), and a 2-wave rotating
-//! panel (50% per-round churn). For each, the table on stderr reports the
-//! **mean absolute error of active-set population cumulative queries**
+//! Five regimes over the same active population (cumulative family,
+//! T = 12): a static lockstep panel (0% churn), 4-wave and 2-wave
+//! rotating panels (25% / 50% of the active set replaced each round)
+//! under per-shard noise, and the same two rotating panels under the
+//! shared-noise policy — whose population slot is the **windowed
+//! population synthesizer** (one population-level noise draw per round,
+//! retiring cohorts forgotten). The table on stderr reports the **mean
+//! absolute error of active-set population cumulative queries**
 //! (thresholds 1..=3, every round, estimates vs the cohorts' true
-//! observed panels, size-weighted) relative to the static baseline;
-//! criterion times the full 12-round engine run per regime — what a
-//! round of panel churn costs in wall-clock and in accuracy.
+//! observed panels, size-weighted) relative to the static baseline, plus
+//! the windowed-shared : per-shard MAE ratio per churn level; criterion
+//! times the full 12-round engine run per regime.
 //!
 //! Expected shape: latency stays flat (the active set is the same size —
-//! churn only changes *which* cohorts step), while MAE *drops* with
-//! churn: a rotating cohort's horizon is its short membership window, so
-//! its fixed per-individual budget splits across fewer counters (less
-//! noise each) and only low thresholds are ever reachable. The flip side,
-//! not visible in this table, is scope: high-churn panels can only answer
-//! cumulative/window questions within each cohort's short window — the
-//! accuracy-vs-history-length trade of rotating panel designs.
+//! churn only changes *which* cohorts step and where the noise goes).
+//! Under per-shard noise MAE *drops* with churn (a rotating cohort's
+//! budget concentrates over its short membership window) at the cost of
+//! scope; the windowed-shared arm answers the same active-set battery
+//! from a single population draw per round at the `p = 0.8` budget
+//! share, competitive with pooling `waves` full-budget cohort draws.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use longsynth::{CumulativeConfig, CumulativeSynthesizer};
@@ -35,23 +37,75 @@ const ACTIVE: usize = 24_000;
 const RHO: f64 = 0.02;
 const MAX_B: usize = 3;
 
-/// `(label, per-round churn fraction, schedule)` for one regime.
-fn regimes() -> Vec<(&'static str, PanelSchedule)> {
+/// One benched configuration: a schedule plus the aggregation policy it
+/// runs under (`window` set for the windowed-shared arms).
+struct Regime {
+    label: &'static str,
+    id: &'static str,
+    schedule: PanelSchedule,
+    policy: AggregationPolicy,
+    window: Option<usize>,
+}
+
+fn rotating_schedule(waves: usize, cohort_share: f64) -> PanelSchedule {
+    let wave_size = ACTIVE / waves;
+    let population = wave_size * (waves + HORIZON - 1);
+    let cohort_rho = Rho::new(RHO * cohort_share).unwrap();
+    PanelSchedule::rotating(
+        population,
+        HORIZON,
+        waves,
+        cohort_rho,
+        Rho::new(RHO).unwrap(),
+    )
+    .unwrap()
+}
+
+fn regimes() -> Vec<Regime> {
     let rho = Rho::new(RHO).unwrap();
-    let static_schedule = PanelSchedule::uniform(ACTIVE, 4, HORIZON, rho, rho).unwrap();
-    let rotating = |waves: usize| {
-        let wave_size = ACTIVE / waves;
-        let population = wave_size * (waves + HORIZON - 1);
-        PanelSchedule::rotating(population, HORIZON, waves, rho, rho).unwrap()
-    };
+    let shared_cohort_share = 1.0 - AggregationPolicy::DEFAULT_POPULATION_SHARE;
     vec![
-        ("churn  0% (static, 4 cohorts)", static_schedule),
-        ("churn 25% (rotating, 4 waves)", rotating(4)),
-        ("churn 50% (rotating, 2 waves)", rotating(2)),
+        Regime {
+            label: "churn  0% per-shard (static, 4 cohorts)",
+            id: "0",
+            schedule: PanelSchedule::uniform(ACTIVE, 4, HORIZON, rho, rho).unwrap(),
+            policy: AggregationPolicy::PerShardNoise,
+            window: None,
+        },
+        Regime {
+            label: "churn 25% per-shard (rotating, 4 waves)",
+            id: "25",
+            schedule: rotating_schedule(4, 1.0),
+            policy: AggregationPolicy::PerShardNoise,
+            window: None,
+        },
+        Regime {
+            label: "churn 50% per-shard (rotating, 2 waves)",
+            id: "50",
+            schedule: rotating_schedule(2, 1.0),
+            policy: AggregationPolicy::PerShardNoise,
+            window: None,
+        },
+        Regime {
+            label: "churn 25% windowed-shared (4 waves)",
+            id: "25-shared",
+            schedule: rotating_schedule(4, shared_cohort_share),
+            policy: AggregationPolicy::shared(),
+            window: Some(4),
+        },
+        Regime {
+            label: "churn 50% windowed-shared (2 waves)",
+            id: "50-shared",
+            schedule: rotating_schedule(2, shared_cohort_share),
+            policy: AggregationPolicy::shared(),
+            window: Some(2),
+        },
     ]
 }
 
 /// One true sub-panel per cohort, spanning the cohort's own window.
+/// Depends only on the cohort sizes and horizons, so paired per-shard /
+/// windowed-shared arms at the same churn see identical data.
 fn cohort_panels(schedule: &PanelSchedule, seed: u64) -> Vec<LongitudinalDataset> {
     (0..schedule.cohorts())
         .map(|c| {
@@ -65,29 +119,33 @@ fn cohort_panels(schedule: &PanelSchedule, seed: u64) -> Vec<LongitudinalDataset
         .collect()
 }
 
-fn build_engine(schedule: &PanelSchedule, seed: u64) -> ShardedEngine<CumulativeSynthesizer> {
+fn build_engine(regime: &Regime, seed: u64) -> ShardedEngine<CumulativeSynthesizer> {
     let fork = RngFork::new(seed);
-    ShardedEngine::with_schedule(schedule.clone(), AggregationPolicy::PerShardNoise, |slot| {
+    let window = regime.window;
+    ShardedEngine::with_schedule(regime.schedule.clone(), regime.policy, move |slot| {
         let config = CumulativeConfig::new(slot.horizon, slot.budget).expect("scheduled slot");
-        let SlotRole::Shard(s) = slot.role else {
-            unreachable!("per-shard noise never builds a population slot");
+        let (config, stream) = match slot.role {
+            SlotRole::Shard(s) => (config, 1 + s as u64),
+            SlotRole::Population => (
+                config
+                    .with_window(window.expect("population slots only exist for shared arms"))
+                    .expect("wave length fits the horizon"),
+                0,
+            ),
         };
-        CumulativeSynthesizer::new(
-            config,
-            fork.subfork(s as u64),
-            rng_from_seed(seed ^ s as u64),
-        )
+        CumulativeSynthesizer::new(config, fork.subfork(stream), rng_from_seed(seed ^ stream))
     })
     .expect("schedule-validated engine")
 }
 
 /// Drive a full run; returns the engine for estimation.
 fn run(
-    schedule: &PanelSchedule,
+    regime: &Regime,
     panels: &[LongitudinalDataset],
     seed: u64,
 ) -> ShardedEngine<CumulativeSynthesizer> {
-    let mut engine = build_engine(schedule, seed);
+    let mut engine = build_engine(regime, seed);
+    let schedule = &regime.schedule;
     for round in 0..HORIZON {
         let columns: Vec<&BitColumn> = schedule
             .active(round)
@@ -104,7 +162,9 @@ fn run(
     engine
 }
 
-/// Active-set population MAE over the cumulative battery.
+/// Active-set population MAE over the cumulative battery: the windowed
+/// population synthesizer's estimates under shared noise, the
+/// size-weighted cohort pool under per-shard noise.
 fn population_error(
     schedule: &PanelSchedule,
     panels: &[LongitudinalDataset],
@@ -115,14 +175,17 @@ fn population_error(
     for t in 0..HORIZON {
         for b in 1..=MAX_B.min(t + 1) {
             let covering = (0..schedule.cohorts()).filter(|&c| schedule.cohort(c).is_active(t));
-            let estimate = active_weighted_mean(covering.clone().map(|c| {
-                let local = t - schedule.cohort(c).entry_round;
-                (
-                    engine.shard(c).estimate_fraction(local, b).unwrap(),
-                    schedule.cohort_size(c),
-                )
-            }))
-            .expect("every round has covering cohorts");
+            let estimate = match engine.population_synthesizer() {
+                Some(population) => population.estimate_fraction(t, b).unwrap(),
+                None => active_weighted_mean(covering.clone().map(|c| {
+                    let local = t - schedule.cohort(c).entry_round;
+                    (
+                        engine.shard(c).estimate_fraction(local, b).unwrap(),
+                        schedule.cohort_size(c),
+                    )
+                }))
+                .expect("every round has covering cohorts"),
+            };
             let truth = active_weighted_mean(covering.map(|c| {
                 let local = t - schedule.cohort(c).entry_round;
                 let count = cumulative_counts(&panels[c], local)
@@ -145,44 +208,64 @@ fn population_error(
 fn bench_panel_churn(c: &mut Criterion) {
     // Accuracy table, computed once outside criterion timing.
     let mut comparison: Option<AccuracyComparison> = None;
-    let prepared: Vec<(&'static str, PanelSchedule, Vec<LongitudinalDataset>)> = regimes()
+    let prepared: Vec<(Regime, Vec<LongitudinalDataset>)> = regimes()
         .into_iter()
-        .map(|(label, schedule)| {
-            let panels = cohort_panels(&schedule, 0xC0DE);
-            (label, schedule, panels)
+        .map(|regime| {
+            let panels = cohort_panels(&regime.schedule, 0xC0DE);
+            (regime, panels)
         })
         .collect();
-    for (label, schedule, panels) in &prepared {
-        let engine = run(schedule, panels, 0xBEEF);
-        let summary = population_error(schedule, panels, &engine);
+    for (regime, panels) in &prepared {
+        let engine = run(regime, panels, 0xBEEF);
+        if let Some(windowed) = engine.windowed_population() {
+            assert!(windowed.retired_cohorts() > 0, "rotation retires cohorts");
+        }
+        let summary = population_error(&regime.schedule, panels, &engine);
         match &mut comparison {
-            None => comparison = Some(AccuracyComparison::against(*label, summary)),
-            Some(comparison) => comparison.add(*label, summary),
+            None => comparison = Some(AccuracyComparison::against(regime.label, summary)),
+            Some(comparison) => comparison.add(regime.label, summary),
         }
     }
+    let comparison = comparison.expect("at least one regime");
     eprintln!(
         "panel_churn: active-set population cumulative MAE \
-         (active n = {ACTIVE}, T = {HORIZON}, b <= {MAX_B}, rho = {RHO}):\n{}",
-        comparison.expect("at least one regime")
+         (active n = {ACTIVE}, T = {HORIZON}, b <= {MAX_B}, rho = {RHO}):\n{comparison}"
     );
+    // Pair the arms by regime id ("25" vs "25-shared"), so label edits
+    // cannot desynchronize the ratio report.
+    let label_of = |id: &str| {
+        prepared
+            .iter()
+            .find(|(regime, _)| regime.id == id)
+            .map(|(regime, _)| regime.label)
+            .expect("regime ran")
+    };
+    for churn in [25, 50] {
+        let shared = comparison
+            .summary(label_of(&format!("{churn}-shared")))
+            .expect("shared arm ran");
+        let per_shard = comparison
+            .summary(label_of(&format!("{churn}")))
+            .expect("per-shard arm ran");
+        eprintln!(
+            "panel_churn: {churn}% churn windowed-shared/per-shard MAE ratio: {:.3}",
+            shared.mean / per_shard.mean
+        );
+    }
 
-    // Timed side: the full 12-round run per churn regime — the cost of a
-    // rotating active set at constant active population.
+    // Timed side: the full 12-round run per regime — what a rotating
+    // active set (and the windowed population draw) costs in wall-clock.
     let mut group = c.benchmark_group("panel_churn");
     group.sample_size(10);
-    for (label, schedule, panels) in &prepared {
-        let churn = match *label {
-            l if l.contains("50%") => "50",
-            l if l.contains("25%") => "25",
-            _ => "0",
-        };
+    for (regime, panels) in &prepared {
         group.bench_with_input(
-            BenchmarkId::new("full_run", churn),
-            &(schedule, panels),
-            |b, (schedule, panels)| {
+            BenchmarkId::new("full_run", regime.id),
+            &(regime, panels),
+            |b, (regime, panels)| {
                 b.iter_batched(
-                    || build_engine(schedule, 0xBEEF),
+                    || build_engine(regime, 0xBEEF),
                     |mut engine| {
+                        let schedule = &regime.schedule;
                         for round in 0..HORIZON {
                             let columns: Vec<&BitColumn> = schedule
                                 .active(round)

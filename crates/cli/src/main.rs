@@ -75,11 +75,13 @@ against the true panel.
 --panel rotating:W runs a **dynamic panel** instead of a static one
 (cumulative algorithm only): W overlapping waves are active at every round,
 one wave retires and a fresh one enters each round (SIPP/CPS-style
-rotation), the panel's rows are divided across the W+T-1 wave cohorts, and
-population answers pool the cohorts covering each round. The per-individual
-budget cap still holds: each individual lives in exactly one wave. Rotating
-panels run per-shard noise; --aggregation shared needs a static panel (its
-single population synthesizer cannot track a rotating membership).
+rotation), and the panel's rows are divided across the W+T-1 wave cohorts
+(W must not exceed the round count). The per-individual budget cap still
+holds: each individual lives in exactly one wave. Under per-shard noise,
+population answers pool the cohorts covering each round; under
+--aggregation shared the engine runs a **windowed population synthesizer**
+whose statistics forget each retiring wave, so the active-set release
+carries a single population-level noise draw per round.
 
 `serve` runs the engine with the release store attached, then drives a batch
 of concurrent window/cumulative queries against the stored releases through
@@ -325,6 +327,11 @@ fn parse_eviction(flags: &Flags) -> Result<EvictionPolicy, String> {
 /// Build the rotating-panel schedule for a rectangular input panel: the
 /// panel's rows are divided across the `waves + horizon − 1` wave cohorts
 /// and each cohort streams the panel's columns during its own window.
+///
+/// Shared noise needs a **constant active population** (the windowed
+/// population synthesizer's size is pinned at round 0), so shared runs
+/// trim the panel to the largest row count the wave cohorts divide
+/// evenly, with a note on stderr.
 fn rotating_schedule(
     n: usize,
     horizon: usize,
@@ -334,9 +341,25 @@ fn rotating_schedule(
 ) -> Result<(PanelSchedule, ShardPlan), String> {
     // The cohort budget share depends on whether the engine will actually
     // run a population synthesizer, which depends on the panel's cohort
-    // count — mirror the generator's arithmetic rather than guessing.
-    let cohort_count = waves.min(horizon) + horizon - 1;
-    let (cohort_share, _) = policy.budget_shares(cohort_count);
+    // count — mirror the generator's arithmetic rather than guessing
+    // (waves > horizon is rejected by the schedule generator below).
+    let cohort_count = waves + horizon - 1;
+    let (cohort_share, population_share) = policy.budget_shares(cohort_count);
+    let n = if population_share.is_some() && !n.is_multiple_of(cohort_count) {
+        let trimmed = (n / cohort_count) * cohort_count;
+        if trimmed == 0 {
+            return Err(format!(
+                "panel of {n} rows cannot cover {cohort_count} wave cohorts"
+            ));
+        }
+        eprintln!(
+            "shared noise needs equal wave cohorts: using the first {trimmed} of {n} rows \
+             ({cohort_count} cohorts)"
+        );
+        trimmed
+    } else {
+        n
+    };
     let cohort_rho = Rho::new(rho_v * cohort_share).map_err(|e| e.to_string())?;
     let total = Rho::new(rho_v).map_err(|e| e.to_string())?;
     let schedule =
@@ -364,34 +387,58 @@ fn drive_rotating_cumulative(
             .map(|c| panel.column(round).slice(layout.range(c)))
             .collect();
         let column = longsynth_data::BitColumn::concat(parts.iter());
+        // The engine verifies the per-individual budget cap every round
+        // (in every build profile) and errors before releasing to a sink.
         engine.step(&column).map_err(|e| e.to_string())?;
-        if !engine.budget().within_cap(schedule.total_budget()) {
-            return Err(format!(
-                "budget invariant violated at round {round}: {} over cap {}",
-                engine.budget().max_lifetime_spend(),
-                schedule.total_budget()
-            ));
-        }
     }
     Ok(())
 }
 
-/// The engine factory for a rotating cumulative run.
+/// The engine factory for a rotating cumulative run. Under shared noise
+/// the population slot runs the cumulative family's **windowed release
+/// mode**, bounded by the wave length (the longest membership window) —
+/// the windowed population synthesizer that makes shared noise sound
+/// under churn.
 fn rotating_cumulative_factory(
     seed: u64,
+    window: usize,
 ) -> impl FnMut(longsynth_engine::PanelSlot) -> longsynth::CumulativeSynthesizer {
     let fork = RngFork::new(seed);
     move |slot| {
         let config =
             CumulativeConfig::new(slot.horizon, slot.budget).expect("schedule-validated slot");
+        let config = match slot.role {
+            SlotRole::Population => config
+                .with_window(window)
+                .expect("wave length fits the horizon"),
+            SlotRole::Shard(_) => config,
+        };
         let stream = slot_stream(slot.role);
         CumulativeSynthesizer::new(config, fork.subfork(stream), fork.child(0x0C00 + stream))
     }
 }
 
 /// Population cumulative estimate over the active set at global round `t`:
-/// the size-weighted pool of the covering cohorts' released estimates.
+/// the windowed population synthesizer's released estimate under shared
+/// noise, else the size-weighted pool of the covering cohorts' released
+/// estimates.
 fn rotating_population_estimate(
+    engine: &ShardedEngine<longsynth::CumulativeSynthesizer>,
+    schedule: &PanelSchedule,
+    t: usize,
+    b: usize,
+) -> Result<f64, String> {
+    if let Some(population) = engine.population_synthesizer() {
+        return population
+            .estimate_fraction(t, b)
+            .map_err(|e| e.to_string());
+    }
+    rotating_cohort_pool_estimate(engine, schedule, t, b)
+}
+
+/// The per-cohort pooled estimate (the per-shard-noise population
+/// estimator, and the cohort-level comparison row under shared noise).
+fn rotating_cohort_pool_estimate(
     engine: &ShardedEngine<longsynth::CumulativeSynthesizer>,
     schedule: &PanelSchedule,
     t: usize,
@@ -486,7 +533,7 @@ fn run_engine(flags: &Flags) -> Result<(), String> {
         let mut engine = ShardedEngine::with_schedule(
             schedule.clone(),
             policy,
-            rotating_cumulative_factory(seed),
+            rotating_cumulative_factory(seed, waves),
         )
         .map_err(|e| e.to_string())?;
         drive_rotating_cumulative(&mut engine, &schedule, &layout, &panel)?;
@@ -499,6 +546,12 @@ fn run_engine(flags: &Flags) -> Result<(), String> {
             schedule.total_budget(),
             budget.population_spent()
         );
+        if let Some(windowed) = engine.windowed_population() {
+            eprintln!(
+                "windowed population synthesizer: {} cohorts retired from the window",
+                windowed.retired_cohorts()
+            );
+        }
         let battery: Vec<(usize, usize)> = (0..horizon)
             .flat_map(|t| (1..=max_b.min(t + 1)).map(move |b| (t, b)))
             .collect();
@@ -508,10 +561,22 @@ fn run_engine(flags: &Flags) -> Result<(), String> {
             estimates.push(rotating_population_estimate(&engine, &schedule, t, b)?);
             truths.push(rotating_population_truth(&schedule, &layout, &panel, t, b));
         }
-        let comparison = AccuracyComparison::against(
-            format!("rotating:{waves} active-set estimates"),
+        let mut comparison = AccuracyComparison::against(
+            format!("rotating:{waves} {policy} active-set estimates"),
             ErrorSummary::from_pairs(&estimates, &truths),
         );
+        if engine.population_synthesizer().is_some() {
+            // Under shared noise the cohort releases still exist at the
+            // cohort budget share — show both levels side by side.
+            let pooled = battery
+                .iter()
+                .map(|&(t, b)| rotating_cohort_pool_estimate(&engine, &schedule, t, b))
+                .collect::<Result<Vec<f64>, String>>()?;
+            comparison.add(
+                "per-cohort pool (cohort budget share)",
+                ErrorSummary::from_pairs(&pooled, &truths),
+            );
+        }
         eprintln!("population-query error vs truth (active set per round):\n{comparison}");
         if let Some(mut out) = open_output(flags, "estimates")? {
             writeln!(out, "round,threshold_b,fraction_at_least_b").map_err(|e| e.to_string())?;
@@ -793,7 +858,7 @@ fn run_serve(flags: &Flags) -> Result<(), String> {
         let mut engine = ShardedEngine::with_schedule_and_pool(
             schedule.clone(),
             policy,
-            rotating_cumulative_factory(seed),
+            rotating_cumulative_factory(seed, waves),
             std::sync::Arc::clone(&pool),
         )
         .map_err(|e| e.to_string())?;
@@ -1100,7 +1165,7 @@ mod tests {
         ]))
         .unwrap();
         let json = std::fs::read_to_string(&snapshot).unwrap();
-        assert!(json.contains("longsynth-release-store/v3"));
+        assert!(json.contains("longsynth-release-store/v4"));
         assert!(json.contains("per-shard"));
 
         // Fixed-window serving run under shared-noise aggregation: the
@@ -1169,6 +1234,32 @@ mod tests {
         assert!(est_text.starts_with("round,threshold_b"));
         assert!(est_text.lines().count() > 8);
 
+        // Rotating engine run under shared noise: the windowed population
+        // synthesizer serves the active-set estimates.
+        run_engine(&flags_of(&[
+            ("input", panel.to_str().unwrap()),
+            ("rho", "0.1"),
+            ("shards", "1"),
+            ("algorithm", "cumulative"),
+            ("panel", "rotating:3"),
+            ("aggregation", "shared"),
+            ("estimates", est.to_str().unwrap()),
+        ]))
+        .unwrap();
+        let est_text = std::fs::read_to_string(&est).unwrap();
+        assert!(est_text.starts_with("round,threshold_b"));
+
+        // More waves than rounds is a schedule error, not a silent clamp.
+        let err = run_engine(&flags_of(&[
+            ("input", panel.to_str().unwrap()),
+            ("rho", "0.1"),
+            ("shards", "1"),
+            ("algorithm", "cumulative"),
+            ("panel", "rotating:40"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("does not fit"), "{err}");
+
         // Rotating serve run with LRU eviction and a v3 snapshot.
         run_serve(&flags_of(&[
             ("input", panel.to_str().unwrap()),
@@ -1183,8 +1274,26 @@ mod tests {
         ]))
         .unwrap();
         let json = std::fs::read_to_string(&snapshot).unwrap();
-        assert!(json.contains("longsynth-release-store/v3"));
+        assert!(json.contains("longsynth-release-store/v4"));
         assert!(json.contains("\"dynamic\": true") || json.contains("\"dynamic\":true"));
+
+        // Rotating + shared serve run: the population releases land in
+        // the store with coverage metadata and the shared tag.
+        run_serve(&flags_of(&[
+            ("input", panel.to_str().unwrap()),
+            ("rho", "0.1"),
+            ("shards", "1"),
+            ("algorithm", "cumulative"),
+            ("panel", "rotating:2"),
+            ("aggregation", "shared"),
+            ("queries", "120"),
+            ("pool-threads", "2"),
+            ("snapshot", snapshot.to_str().unwrap()),
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&snapshot).unwrap();
+        assert!(json.contains("\"shared\""));
+        assert!(json.contains("coverage"));
 
         // Guard rails: rotating needs the cumulative algorithm; --output
         // is refused (ragged merged panel); malformed specs error.

@@ -56,6 +56,23 @@ pub struct CumulativeConfig {
     pub counter: CounterKind,
     /// Budget split across thresholds (default: Corollary B.1).
     pub split: BudgetSplit,
+    /// **Windowed release mode** (`None` = the paper's persistent
+    /// pipeline). `Some(W)` bounds every individual's membership window
+    /// to `W` rounds (a rotating panel's wave length): the synthesizer
+    /// then tracks only thresholds `1..=W`, maintains *exact* active-set
+    /// counts internally, supports [`CumulativeSynthesizer::forget_cohort`]
+    /// (retiring cohorts subtract **before** noise), and privatizes each
+    /// round's counts with fresh discrete-Gaussian draws at per-coordinate
+    /// budget `2ρ/(W(W+1))`: an individual at local round `r` can have
+    /// crossed at most `r` thresholds, so over their ≤ `W`-round window
+    /// they influence at most `1+2+…+W = W(W+1)/2` released coordinates
+    /// (each by ≤ 1), composing to a lifetime cost of exactly `ρ`. The
+    /// ledger reports a uniform `ρ/W` per round — a conservative monotone
+    /// display whose prefix is always ≥ the exact per-individual cost and
+    /// equals `ρ` from round `W` on. This is the windowed population
+    /// synthesizer's engine-side configuration; see `longsynth-engine`'s
+    /// `window` module.
+    pub window: Option<usize>,
 }
 
 impl CumulativeConfig {
@@ -75,7 +92,27 @@ impl CumulativeConfig {
             rho,
             counter: CounterKind::Tree,
             split: BudgetSplit::CorollaryB1,
+            window: None,
         })
+    }
+
+    /// Enable windowed release mode with membership windows of at most
+    /// `window` rounds (see the [`window`](Self::window) field docs).
+    /// Requires `1 ≤ window ≤ horizon`.
+    ///
+    /// Windowed mode builds **no stream counters** — each round is a
+    /// fresh release — so the [`counter`](Self::counter) and
+    /// [`split`](Self::split) knobs apply to the persistent pipeline
+    /// only and have no effect here.
+    pub fn with_window(mut self, window: usize) -> Result<Self, SynthError> {
+        if window == 0 || window > self.horizon {
+            return Err(SynthError::InvalidConfig(format!(
+                "window bound must be in 1..={}, got {window}",
+                self.horizon
+            )));
+        }
+        self.window = Some(window);
+        Ok(self)
     }
 
     /// Use a different counter family (the §1.1 "swap the counter" knob).
@@ -133,6 +170,26 @@ pub struct CumulativeSynthesizer<R: Rng = longsynth_dp::rng::StdDpRng> {
     n: Option<usize>,
     /// Previous round's monotone estimates `Ŝ_b^{t−1}` for `b = 0..=T`.
     s_prev: Vec<i64>,
+    /// Windowed-mode state ([`CumulativeConfig::with_window`]): the
+    /// **exact** active-set counts `S_b = #{active individuals with ≥ b
+    /// ones inside their membership window}` for `b = 0..=W`, maintained
+    /// by adding each round's summed increments and subtracting retired
+    /// cohorts' exact lifetime totals
+    /// ([`forget_cohort`](Self::forget_cohort)). Raw pre-noise
+    /// bookkeeping — privatized only at release, which is what makes the
+    /// exact subtraction sound (a retired individual's terms cancel
+    /// before any noise is drawn). Empty in persistent mode.
+    exact_s: Vec<i64>,
+    /// Windowed-mode per-round ledger charges: `ρ/W` each, charged for
+    /// the first `W` rounds. The mechanism's exact per-individual cost is
+    /// triangular (per-coordinate `2ρ/(W(W+1))`, at most `min(t, W)`
+    /// coordinates per round), which this uniform display dominates at
+    /// every prefix and matches exactly at round `W` — both reach `ρ`,
+    /// the lifetime cost of any ≤ `W`-round membership window.
+    per_round_rho: Vec<Rho>,
+    /// Windowed-mode per-threshold noise streams (one independent
+    /// discrete-Gaussian stream per `b = 1..=W`).
+    window_noise: Vec<longsynth_dp::rng::StdDpRng>,
     /// Estimate history: `s_history[t][b] = Ŝ_b` at 0-based round `t`.
     s_history: Vec<Vec<i64>>,
     synthetic: SyntheticDataset,
@@ -152,24 +209,58 @@ impl<R: Rng> CumulativeSynthesizer<R> {
     /// Create a synthesizer. `counter_seeds` derives one independent noise
     /// stream per threshold counter; `rng` drives record selection.
     pub fn new(config: CumulativeConfig, counter_seeds: RngFork, rng: R) -> Self {
-        let per_counter_rho = config.resolve_split();
-        let counters = per_counter_rho
-            .iter()
-            .enumerate()
-            .map(|(idx, &rho_b)| {
-                let b = idx + 1;
-                let horizon_b = config.horizon - b + 1;
-                config
-                    .counter
-                    .build(horizon_b, rho_b, counter_seeds.child(b as u64))
-            })
-            .collect();
+        let (per_counter_rho, counters, exact_s, per_round_rho, window_noise) = match config.window
+        {
+            // Persistent mode: the paper's per-threshold stream counters.
+            None => {
+                let per_counter_rho = config.resolve_split();
+                let counters = per_counter_rho
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, &rho_b)| {
+                        let b = idx + 1;
+                        let horizon_b = config.horizon - b + 1;
+                        config
+                            .counter
+                            .build(horizon_b, rho_b, counter_seeds.child(b as u64))
+                    })
+                    .collect();
+                (
+                    per_counter_rho,
+                    counters,
+                    Vec::new(),
+                    Vec::new(),
+                    Vec::new(),
+                )
+            }
+            // Windowed mode: no stream counters — exact active-set counts
+            // privatized per round with fresh draws.
+            Some(window) => {
+                let per_round_rho = config
+                    .rho
+                    .split_uniform(window)
+                    .expect("window validated positive");
+                let window_noise = (1..=window)
+                    .map(|b| counter_seeds.child(b as u64))
+                    .collect();
+                (
+                    Vec::new(),
+                    Vec::new(),
+                    vec![0i64; window + 1],
+                    per_round_rho,
+                    window_noise,
+                )
+            }
+        };
         Self {
             counters,
             per_counter_rho,
             ledger: BudgetLedger::new(config.rho),
             n: None,
             s_prev: Vec::new(),
+            exact_s,
+            per_round_rho,
+            window_noise,
             s_history: Vec::new(),
             synthetic: SyntheticDataset::empty(0),
             weight_groups: Vec::new(),
@@ -240,6 +331,9 @@ impl<R: Rng> CumulativeSynthesizer<R> {
     /// Like the fixed-window synthesizer, this works standalone on summed
     /// cross-cohort aggregates — the shared-noise population path.
     pub fn finalize(&mut self, aggregate: CumulativeAggregate) -> Result<BitColumn, SynthError> {
+        if self.config.window.is_some() {
+            return self.finalize_windowed(aggregate);
+        }
         if self.rounds_fed >= self.config.horizon {
             return Err(SynthError::HorizonExceeded {
                 horizon: self.config.horizon,
@@ -393,6 +487,13 @@ impl<R: Rng> CumulativeSynthesizer<R> {
     /// statistics — no extra privacy cost — and non-negative by the
     /// monotonization.
     pub fn estimate_crossings(&self, t1: usize, t2: usize, b: usize) -> Result<f64, SynthError> {
+        if self.config.window.is_some() {
+            return Err(SynthError::InvalidConfig(
+                "crossings estimates need the persistent pipeline: windowed-mode \
+                 releases are not monotone across membership boundaries"
+                    .to_string(),
+            ));
+        }
         if t1 >= t2 {
             return Err(SynthError::InvalidConfig(format!(
                 "crossings need t1 < t2, got {t1} >= {t2}"
@@ -404,6 +505,222 @@ impl<R: Rng> CumulativeSynthesizer<R> {
         let diff = late.get(b).copied().unwrap_or(0) - early.get(b).copied().unwrap_or(0);
         debug_assert!(diff >= 0, "monotonization guarantees non-negativity");
         Ok(diff as f64 / n as f64)
+    }
+
+    // ------------------------------------------------------------------
+    // Windowed release mode (cohort retirement under rotating panels)
+    // ------------------------------------------------------------------
+
+    /// True when this synthesizer runs in windowed release mode and can
+    /// therefore [`forget_cohort`](Self::forget_cohort).
+    pub fn supports_cohort_retirement(&self) -> bool {
+        self.config.window.is_some()
+    }
+
+    /// Remove a retired cohort's **exact** lifetime contribution from the
+    /// windowed active-set counts — the windowed population synthesizer's
+    /// retirement operation (windowed mode only).
+    ///
+    /// `view.increments[b-1]` is the cohort's exact total count of
+    /// members with ≥ `b` ones over its membership window (the engine
+    /// accumulates it from the cohort's per-round phase-1 aggregates).
+    /// Like every aggregate, the view is raw pre-noise data and flows
+    /// only *into* the privatization barrier: the subtraction happens
+    /// before any noise is drawn, so a retired individual's terms cancel
+    /// exactly and later releases are independent of their data — that
+    /// cancellation is precisely why the per-round budget composes to
+    /// `ρ` over any individual's ≤ `W`-round membership window.
+    pub fn forget_cohort(&mut self, view: CumulativeAggregate) -> Result<(), SynthError> {
+        let Some(window) = self.config.window else {
+            return Err(SynthError::InvalidConfig(
+                "forget_cohort needs windowed release mode (CumulativeConfig::with_window); \
+                 the persistent pipeline cannot soundly forget a cohort after noising"
+                    .to_string(),
+            ));
+        };
+        if self.rounds_prepared > self.rounds_fed {
+            return Err(SynthError::OutOfPhase(
+                "forget_cohort during a prepared round awaiting finalize".to_string(),
+            ));
+        }
+        if view.increments.len() > window {
+            return Err(SynthError::OutOfPhase(format!(
+                "retirement view spans {} thresholds but the window bound is {window}",
+                view.increments.len()
+            )));
+        }
+        if let Some(n) = self.n {
+            if view.n > n {
+                return Err(SynthError::ColumnSizeMismatch {
+                    expected: n,
+                    actual: view.n,
+                });
+            }
+        }
+        // Validate before mutating: the view must fit inside the exact
+        // counts (it is a true sub-sum of them), so a rejected forget
+        // leaves the state untouched.
+        for (b, &count) in view.increments.iter().enumerate() {
+            if (count as i64) > self.exact_s[b + 1] {
+                return Err(SynthError::OutOfPhase(format!(
+                    "retirement view count {count} at threshold {} exceeds the window's \
+                     exact count {} (the view must be the cohort's true lifetime sum)",
+                    b + 1,
+                    self.exact_s[b + 1]
+                )));
+            }
+        }
+        for (b, &count) in view.increments.iter().enumerate() {
+            self.exact_s[b + 1] -= count as i64;
+        }
+        Ok(())
+    }
+
+    /// Windowed-mode phase 2: fold the round's summed active-set
+    /// increments into the exact counts, privatize thresholds `1..=W`
+    /// with fresh discrete-Gaussian draws (budget `ρ/W` for each of the
+    /// first `W` rounds — the per-individual lifetime cost is `ρ`), chain
+    /// the noisy counts into a monotone-in-`b` feasible target, and
+    /// reconcile the synthetic population (promotions, plus resets to
+    /// weight 0 standing in for panel replacement).
+    fn finalize_windowed(
+        &mut self,
+        aggregate: CumulativeAggregate,
+    ) -> Result<BitColumn, SynthError> {
+        let window = self.config.window.expect("windowed mode");
+        if self.rounds_fed >= self.config.horizon {
+            return Err(SynthError::HorizonExceeded {
+                horizon: self.config.horizon,
+            });
+        }
+        // Shape checks before any state changes (mirrors the persistent
+        // path): global-clock increments, pinned population size, and no
+        // mass above the window bound — an individual active for at most
+        // `W` rounds cannot cross a higher threshold.
+        if aggregate.increments.len() != self.rounds_fed + 1 {
+            return Err(SynthError::OutOfPhase(format!(
+                "aggregate carries {} increments, round {} needs exactly {}",
+                aggregate.increments.len(),
+                self.rounds_fed + 1,
+                self.rounds_fed + 1
+            )));
+        }
+        if let Some(&bad) = aggregate.increments.iter().skip(window).find(|&&z| z != 0) {
+            return Err(SynthError::OutOfPhase(format!(
+                "increment {bad} above threshold {window} violates the window bound \
+                 (no individual is active for more than {window} rounds)"
+            )));
+        }
+        match self.n {
+            Some(n) if n != aggregate.n => {
+                return Err(SynthError::ColumnSizeMismatch {
+                    expected: n,
+                    actual: aggregate.n,
+                })
+            }
+            None => self.n = Some(aggregate.n),
+            _ => {}
+        }
+        if self.rounds_fed == 0 {
+            let n = aggregate.n;
+            self.synthetic = SyntheticDataset::empty(n);
+            self.weight_groups = vec![Vec::new(); window + 1];
+            self.weight_groups[0] = (0..n as u32).collect();
+            self.s_prev = vec![0i64; window + 1];
+            self.s_prev[0] = n as i64;
+        }
+        self.rounds_fed += 1;
+        let t = self.rounds_fed;
+        let n = self.n.expect("set above");
+
+        // Exact bookkeeping, then one fresh draw per tracked threshold.
+        for b in 1..=window.min(t) {
+            self.exact_s[b] += aggregate.increments[b - 1] as i64;
+        }
+        if t <= window {
+            self.ledger
+                .charge(self.per_round_rho[t - 1])
+                .expect("per-round charges sum to the configured budget");
+        }
+        // Per-coordinate budget 2ρ/(W(W+1)): at local round r an
+        // individual can have crossed at most r thresholds, so over their
+        // ≤ W-round window they influence at most 1+2+…+W = W(W+1)/2
+        // released coordinates, each by ≤ 1 — composing to ρ total.
+        let coords = (window * (window + 1) / 2) as f64;
+        let rho_coord = Rho::new(self.config.rho.value() / coords).expect("positive share");
+        let sigma2 = rho_coord
+            .gaussian_sigma2(1.0)
+            .expect("unit sensitivity is valid");
+        let mut targets = vec![0i64; window + 1];
+        targets[0] = n as i64;
+        for b in 1..=window {
+            let noisy = if b <= t {
+                self.exact_s[b]
+                    + longsynth_dp::discrete_gaussian::sample_discrete_gaussian(
+                        &mut self.window_noise[b - 1],
+                        sigma2,
+                    )
+            } else {
+                0
+            };
+            // Chain clamp: 0 ≤ Ŝ_W ≤ … ≤ Ŝ_1 ≤ n (post-processing with
+            // public constants only).
+            targets[b] = noisy.clamp(0, targets[b - 1]);
+        }
+
+        // Reconcile the synthetic population to the released targets.
+        // Allowed per-round moves per record: keep its weight, gain one
+        // (this round's released 1-bit), or reset to weight 0 (a rotated-
+        // out record standing in for a fresh entrant). Descending greedy:
+        // fill each final weight class from records staying at that
+        // weight, then promotions from one below; infeasible remainders
+        // shrink the released target (feasibility is part of the release).
+        let mut avail: Vec<usize> = self.weight_groups.iter().map(Vec::len).collect();
+        let mut stays = vec![0usize; window + 1];
+        let mut promotes = vec![0usize; window + 1];
+        let mut realized = vec![0i64; window + 2];
+        for b in (1..=window).rev() {
+            let want = targets[b].max(realized[b + 1]);
+            let need = (want - realized[b + 1]) as usize;
+            let stay = need.min(avail[b]);
+            avail[b] -= stay;
+            let promote = (need - stay).min(avail[b - 1]);
+            avail[b - 1] -= promote;
+            stays[b] = stay;
+            promotes[b] = promote;
+            realized[b] = realized[b + 1] + (stay + promote) as i64;
+        }
+        // Apply the plan per source class: random members promote into
+        // `w+1`, random members stay at `w`, the rest reset to weight 0.
+        let mut next_groups: Vec<Vec<u32>> = vec![Vec::new(); window + 1];
+        let mut bits = vec![false; n];
+        for w in (0..=window).rev() {
+            let mut group = std::mem::take(&mut self.weight_groups[w]);
+            let promote = if w < window { promotes[w + 1] } else { 0 };
+            let stay = if w >= 1 { stays[w] } else { 0 };
+            let len = group.len();
+            debug_assert!(promote + stay <= len, "plan fits the class");
+            for j in 0..(promote + stay) {
+                let pick = j + self.rng.gen_range(0..len - j);
+                group.swap(j, pick);
+            }
+            for &id in group.iter().take(promote) {
+                bits[id as usize] = true;
+                next_groups[w + 1].push(id);
+            }
+            next_groups[w].extend(group.iter().skip(promote).take(stay).copied());
+            // Leftovers rotate out to weight 0 (weight-0 leftovers simply
+            // remain there), standing in for the replacement entrants.
+            next_groups[0].extend(group.iter().skip(promote + stay).copied());
+        }
+        self.weight_groups = next_groups;
+        let mut row = vec![0i64; window + 1];
+        row[0] = n as i64;
+        row[1..=window].copy_from_slice(&realized[1..=window]);
+        self.synthetic.append_round(&bits);
+        self.s_history.push(row.clone());
+        self.s_prev = row;
+        Ok(self.synthetic.column(self.synthetic.rounds() - 1))
     }
 
     /// A-priori worst-case error bound (in counts) across all thresholds
@@ -616,6 +933,156 @@ mod tests {
         // Validation.
         assert!(synth.estimate_crossings(5, 5, 1).is_err());
         assert!(synth.estimate_crossings(5, 20, 1).is_err());
+    }
+
+    fn windowed(horizon: usize, window: usize, rho: f64, seed: u64) -> CumulativeSynthesizer {
+        let config = CumulativeConfig::new(horizon, Rho::new(rho).unwrap())
+            .unwrap()
+            .with_window(window)
+            .unwrap();
+        CumulativeSynthesizer::new(config, RngFork::new(seed), rng_from_seed(seed))
+    }
+
+    fn aligned(n: usize, round: usize, window: usize, per_b: u64) -> CumulativeAggregate {
+        CumulativeAggregate {
+            n,
+            increments: (0..round)
+                .map(|b| if b < window { per_b } else { 0 })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn window_bound_is_validated() {
+        let config = CumulativeConfig::new(6, Rho::new(0.1).unwrap()).unwrap();
+        assert!(config.with_window(0).is_err());
+        assert!(config.with_window(7).is_err());
+        assert!(config.with_window(6).is_ok());
+        assert!(config.with_window(1).is_ok());
+    }
+
+    #[test]
+    fn windowed_mode_tracks_the_active_set_and_spends_over_the_window() {
+        let (horizon, window, n) = (6, 2, 200);
+        let mut synth = windowed(horizon, window, 0.4, 21);
+        assert!(synth.supports_cohort_retirement());
+        for t in 1..=horizon {
+            let release = synth.finalize(aligned(n, t, window, 10)).unwrap();
+            assert_eq!(release.len(), n);
+            // The ledger charges ρ/W per round for the first W rounds —
+            // any individual's ≤ W-round window costs exactly ρ.
+            let expected = 0.4 * (t.min(window) as f64 / window as f64);
+            assert!(
+                (synth.ledger().spent().value() - expected).abs() < 1e-9,
+                "round {t}"
+            );
+            // Released rows are monotone in b and within [0, n].
+            let row = synth.threshold_estimates(t - 1).unwrap();
+            assert_eq!(row[0], n as i64);
+            for b in 1..row.len() {
+                assert!(row[b] <= row[b - 1] && row[b] >= 0, "round {t}, b={b}");
+            }
+            // The synthetic population realizes the released row exactly.
+            let est = synth.estimate_fraction(t - 1, 1).unwrap();
+            assert!((0.0..=1.0).contains(&est));
+        }
+        assert!(synth.ledger().exhausted());
+        // Windowed rows only span the tracked thresholds.
+        assert_eq!(
+            synth.threshold_estimates(horizon - 1).unwrap().len(),
+            window + 1
+        );
+        // Crossings estimates are a persistent-pipeline feature.
+        assert!(synth.estimate_crossings(0, 1, 1).is_err());
+    }
+
+    #[test]
+    fn windowed_finalize_validates_shapes() {
+        let mut synth = windowed(5, 2, 0.2, 3);
+        // Wrong increment count for the round.
+        assert!(matches!(
+            synth.finalize(CumulativeAggregate {
+                n: 50,
+                increments: vec![1, 2],
+            }),
+            Err(SynthError::OutOfPhase(_))
+        ));
+        synth.finalize(aligned(50, 1, 2, 5)).unwrap();
+        synth.finalize(aligned(50, 2, 2, 5)).unwrap();
+        // Mass above the window bound violates the membership invariant.
+        let err = synth
+            .finalize(CumulativeAggregate {
+                n: 50,
+                increments: vec![5, 5, 1],
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("window bound"), "{err}");
+        // Population size is pinned by the first round.
+        assert!(matches!(
+            synth.finalize(aligned(49, 3, 2, 5)),
+            Err(SynthError::ColumnSizeMismatch { .. })
+        ));
+        synth.finalize(aligned(50, 3, 2, 5)).unwrap();
+        assert_eq!(synth.rounds_fed(), 3);
+    }
+
+    #[test]
+    fn forget_cohort_needs_windowed_mode_and_fitting_views() {
+        // Persistent mode refuses: forgetting after noising is unsound.
+        let config = CumulativeConfig::new(4, Rho::new(0.1).unwrap()).unwrap();
+        let mut persistent = CumulativeSynthesizer::new(config, RngFork::new(1), rng_from_seed(1));
+        assert!(!persistent.supports_cohort_retirement());
+        let err = persistent
+            .forget_cohort(CumulativeAggregate {
+                n: 5,
+                increments: vec![1],
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("windowed"), "{err}");
+
+        let mut synth = windowed(5, 2, 0.2, 9);
+        synth.finalize(aligned(60, 1, 2, 12)).unwrap();
+        // A view wider than the window bound is refused.
+        assert!(synth
+            .forget_cohort(CumulativeAggregate {
+                n: 20,
+                increments: vec![1, 1, 1],
+            })
+            .is_err());
+        // A view exceeding the exact window counts is refused untouched.
+        assert!(synth
+            .forget_cohort(CumulativeAggregate {
+                n: 20,
+                increments: vec![13],
+            })
+            .is_err());
+        // A true sub-sum subtracts; the next rounds keep working and the
+        // released estimates track the shrunken active mass.
+        synth
+            .forget_cohort(CumulativeAggregate {
+                n: 20,
+                increments: vec![12],
+            })
+            .unwrap();
+        synth.finalize(aligned(60, 2, 2, 0)).unwrap();
+        let row = synth.threshold_estimates(1).unwrap();
+        // Exact S_1 is 0 after the forget; the released value can only
+        // carry noise, clamped into [0, n].
+        assert!(row[1] <= 60, "{row:?}");
+    }
+
+    #[test]
+    fn windowed_mode_is_deterministic() {
+        let run = |seed: u64| {
+            let mut synth = windowed(6, 3, 0.1, seed);
+            let mut out = Vec::new();
+            for t in 1..=6 {
+                out.push(synth.finalize(aligned(80, t, 3, 7)).unwrap());
+            }
+            out
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
     }
 
     #[test]

@@ -163,6 +163,46 @@ pub trait ContinualSynthesizer {
         self.lifecycle() == LifecycleStage::Sealed
     }
 
+    /// True when this synthesizer can act as a **windowed** population
+    /// synthesizer: its sufficient statistics can *forget* a retired
+    /// cohort's contribution ([`forget_cohort`](Self::forget_cohort)).
+    /// The default is `false`; the cumulative family's windowed release
+    /// mode (`CumulativeConfig::with_window`) opts in.
+    fn supports_cohort_retirement(&self) -> bool {
+        false
+    }
+
+    /// The membership-window bound `W` this synthesizer's retirement
+    /// support was configured with — the longest cohort lifetime its
+    /// windowed statistics can represent. `None` when
+    /// [`supports_cohort_retirement`](Self::supports_cohort_retirement)
+    /// is false. Engines validate it against the schedule's longest
+    /// cohort horizon at construction, so a too-small window fails fast
+    /// instead of mid-run.
+    fn cohort_retirement_window(&self) -> Option<usize> {
+        None
+    }
+
+    /// Remove a retired cohort's **lifetime contribution** — the
+    /// element-wise sum of its per-round phase-1 aggregates — from this
+    /// synthesizer's sufficient statistics, so later rounds describe only
+    /// the *surviving* active set. This is the windowed population
+    /// synthesizer's core operation: like every aggregate, the view is
+    /// raw pre-noise data flowing *into* the privatization barrier — the
+    /// subtraction happens before any noise is drawn, so a retired
+    /// individual's terms cancel exactly and later releases are
+    /// independent of their data.
+    ///
+    /// The default errors — most families have no meaningful subtraction.
+    fn forget_cohort(&mut self, view: Self::Aggregate) -> Result<(), SynthError> {
+        let _ = view;
+        Err(SynthError::InvalidConfig(
+            "this synthesizer family does not support cohort retirement \
+             (windowed population synthesis needs forget_cohort)"
+                .to_string(),
+        ))
+    }
+
     /// zCDP budget charged so far across all internal mechanisms.
     fn budget_spent(&self) -> Rho;
 
@@ -230,6 +270,18 @@ impl<R: Rng> ContinualSynthesizer for CumulativeSynthesizer<R> {
 
     fn step(&mut self, input: &BitColumn) -> Result<BitColumn, SynthError> {
         CumulativeSynthesizer::step(self, input)
+    }
+
+    fn supports_cohort_retirement(&self) -> bool {
+        CumulativeSynthesizer::supports_cohort_retirement(self)
+    }
+
+    fn cohort_retirement_window(&self) -> Option<usize> {
+        self.config().window
+    }
+
+    fn forget_cohort(&mut self, view: CumulativeAggregate) -> Result<(), SynthError> {
+        CumulativeSynthesizer::forget_cohort(self, view)
     }
 
     fn round(&self) -> usize {

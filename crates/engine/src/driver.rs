@@ -43,10 +43,18 @@
 //! cohorts stay sealed (their synthesizers reject further input but remain
 //! inspectable), and the generalized parallel-composition invariant — no
 //! individual's lifetime zCDP spend exceeds the schedule's cap — is
-//! re-checked every round (debug-asserted; see
-//! [`EngineBudget::within_cap`]). The static lockstep panel is the
+//! re-verified every round in every build (see
+//! [`EngineBudget::within_cap`]; a violation is an
+//! [`EngineError::BudgetCapExceeded`]). The static lockstep panel is the
 //! degenerate schedule and stays bit-identical to the plan-based
 //! constructors.
+//!
+//! Shared noise runs on rotating schedules too: the population slot is a
+//! [`WindowedPopulationSynthesizer`] whose statistics are scoped to the
+//! current active set — each cohort the schedule seals is *forgotten*
+//! (its DP-safe retirement view is subtracted), so the single per-round
+//! population noise draw keeps describing the live panel instead of
+//! saturating. See the [`crate::window`] module docs.
 
 use longsynth::{ContinualSynthesizer, SynthError};
 use longsynth_pool::WorkerPool;
@@ -58,7 +66,42 @@ use crate::merge::{MergeAggregate, MergeRelease};
 use crate::policy::{AggregationPolicy, PolicyTag};
 use crate::shard::{PanelSchedule, PanelSlot, ShardPlan, ShardableInput, SlotRole, SynthSlot};
 use crate::sink::ReleaseSink;
+use crate::window::WindowedPopulationSynthesizer;
 use crate::EngineError;
+
+/// The engine's population-level synthesizer slot (shared-noise policy).
+///
+/// A static panel keeps the bare **persistent** synthesizer — exactly the
+/// PR 3 pipeline, pinned bit-identical. A rotating schedule instead wraps
+/// it as a [`WindowedPopulationSynthesizer`], whose statistics forget each
+/// cohort the schedule seals (see the [`crate::window`] module docs).
+enum PopulationSlot<S: ContinualSynthesizer> {
+    /// Static panels: the PR 3 persistent population pipeline.
+    Persistent(S),
+    /// Rotating schedules: active-set-scoped (windowed) statistics.
+    Windowed(WindowedPopulationSynthesizer<S>),
+}
+
+impl<S: ContinualSynthesizer> PopulationSlot<S> {
+    /// The underlying synthesizer, whichever way it is driven.
+    fn synth(&self) -> &S {
+        match self {
+            PopulationSlot::Persistent(synth) => synth,
+            PopulationSlot::Windowed(windowed) => windowed.inner(),
+        }
+    }
+
+    /// Privatize one round's summed active-set aggregate.
+    fn finalize(&mut self, aggregate: S::Aggregate) -> Result<S::Release, EngineError> {
+        let result = match self {
+            PopulationSlot::Persistent(synth) => synth.finalize(aggregate),
+            PopulationSlot::Windowed(windowed) => {
+                ContinualSynthesizer::finalize(windowed, aggregate)
+            }
+        };
+        result.map_err(|source| EngineError::Population { source })
+    }
+}
 
 /// Whether an engine consumes raw data (stepped) or only summed
 /// aggregates (finalize-only, the population slot of an outer engine).
@@ -113,8 +156,19 @@ pub struct ShardedEngine<S: ContinualSynthesizer> {
     policy: AggregationPolicy,
     shards: Vec<S>,
     /// The finalize-only population synthesizer (shared-noise policy with
-    /// more than one shard).
-    population: Option<S>,
+    /// more than one shard): persistent for static panels, windowed for
+    /// rotating schedules.
+    population: Option<PopulationSlot<S>>,
+    /// Rounds whose cohort retirements have been applied to the windowed
+    /// population synthesizer (`0..retired_through`) — keeps retirement
+    /// idempotent if a failed round is retried.
+    retired_through: usize,
+    /// Per-cohort **lifetime aggregates** (windowed shared noise only):
+    /// the element-wise running sum of each cohort's per-round phase-1
+    /// aggregates, handed to the windowed population synthesizer when the
+    /// schedule seals the cohort. Raw pre-noise statistics, like every
+    /// aggregate — they only ever flow into `finalize`/`forget_cohort`.
+    lifetime: Vec<Option<S::Aggregate>>,
     /// The round started via the two-phase [`prepare`](Self::prepare) and
     /// awaiting [`finalize`](Self::finalize), if any.
     pending: Option<PendingRound<S::Aggregate>>,
@@ -301,7 +355,9 @@ where
             scheduled_static: false,
             policy,
             shards,
-            population,
+            population: population.map(PopulationSlot::Persistent),
+            retired_through: 0,
+            lifetime: Vec::new(),
             pending: None,
             mode: None,
             rounds_fed: 0,
@@ -320,26 +376,22 @@ where
         let total = schedule.total_budget();
         let population_budget = policy.population_budget(schedule.cohorts(), total);
         if let Some(rho_pop) = population_budget {
-            // The shared-noise population synthesizer maintains ONE
-            // persistent synthetic population across the whole run: its
-            // size is pinned at round 0 and its statistics (cumulative
-            // counters, monotone clamps) assume a fixed membership. Under
-            // churn the true active-set statistics are non-monotone — a
-            // retiring cohort's crossings leave the active set, which the
-            // counter pipeline cannot represent, so the population release
-            // would drift toward saturation. Shared noise therefore
-            // requires the degenerate (static) schedule; per-cohort
-            // *budgets* may still differ, which is the heterogeneity
-            // shared noise soundly supports. Rotating panels run per-shard
-            // noise, with population answers pooled over the covering
-            // cohorts downstream.
-            if !schedule.is_static() {
+            // The population synthesizer's size is pinned at round 0, so a
+            // rotating schedule must keep the active population constant
+            // (make the wave sizes divide evenly). Under churn the
+            // statistics additionally need a *windowed* pipeline — a
+            // retiring cohort's crossings leave the active set — so the
+            // population slot is wrapped as a
+            // `WindowedPopulationSynthesizer`, which requires the family
+            // to support cohort retirement (checked below, after the
+            // factory runs). Static schedules keep the bare persistent
+            // synthesizer, bit-identical to the PR 3/PR 4 engines.
+            if !schedule.is_static() && !schedule.constant_active_population() {
                 return Err(EngineError::InvalidSchedule(
-                    "the shared-noise policy needs a static schedule (every cohort \
-                     entering at round 0 under the global horizon): its single \
-                     population synthesizer cannot represent a rotating active set's \
-                     non-monotone statistics; run rotating panels under per-shard \
-                     noise and pool population answers over the covering cohorts"
+                    "the shared-noise policy needs a constant active population (its \
+                     single population synthesizer's size is pinned at round 0); make \
+                     the rotating wave sizes divide the panel evenly, or run per-shard \
+                     noise"
                         .to_string(),
                 ));
             }
@@ -383,7 +435,35 @@ where
                     budget,
                 });
                 validate_slot(&synth, None, schedule.global_horizon(), budget)?;
-                Ok::<_, EngineError>(synth)
+                // Static panels keep the persistent PR 3 pipeline; a
+                // rotating schedule needs the windowed wrapper, whose
+                // constructor verifies the family can forget retiring
+                // cohorts.
+                if schedule.is_static() {
+                    Ok::<_, EngineError>(PopulationSlot::Persistent(synth))
+                } else {
+                    // Fail fast on a too-small window bound: a cohort
+                    // living longer than the population synthesizer can
+                    // represent would otherwise die mid-run (after budget
+                    // was spent) on its first above-window crossing.
+                    let longest = (0..schedule.cohorts())
+                        .map(|c| schedule.cohort(c).horizon)
+                        .max()
+                        .expect("schedules have cohorts");
+                    if let Some(window) = synth.cohort_retirement_window() {
+                        if window < longest {
+                            return Err(EngineError::InvalidSchedule(format!(
+                                "the population synthesizer's membership-window bound \
+                                 {window} is smaller than the schedule's longest cohort \
+                                 horizon {longest}; configure it with a window of at \
+                                 least {longest}"
+                            )));
+                        }
+                    }
+                    Ok(PopulationSlot::Windowed(
+                        WindowedPopulationSynthesizer::new(synth)?,
+                    ))
+                }
             })
             .transpose()?;
         let plan = ShardPlan::from_sizes(
@@ -392,6 +472,10 @@ where
                 .collect::<Vec<_>>(),
         )?;
         let scheduled_static = schedule.is_static();
+        let lifetime = match &population {
+            Some(PopulationSlot::Windowed(_)) => (0..schedule.cohorts()).map(|_| None).collect(),
+            _ => Vec::new(),
+        };
         Ok(Self {
             plan,
             schedule: Some(schedule),
@@ -399,6 +483,8 @@ where
             policy,
             shards,
             population,
+            retired_through: 0,
+            lifetime,
             pending: None,
             mode: None,
             rounds_fed: 0,
@@ -448,9 +534,21 @@ where
 
     /// Borrow the population-level synthesizer, when the engine runs one
     /// (shared-noise policy with more than one shard). Its estimates are
-    /// the population-accuracy product the policy exists for.
+    /// the population-accuracy product the policy exists for. On a
+    /// rotating schedule this is the inner synthesizer of the windowed
+    /// population slot, whose estimates are scoped to the current active
+    /// set.
     pub fn population_synthesizer(&self) -> Option<&S> {
-        self.population.as_ref()
+        self.population.as_ref().map(PopulationSlot::synth)
+    }
+
+    /// Borrow the **windowed** population synthesizer — present exactly
+    /// when the engine runs shared noise on a rotating schedule.
+    pub fn windowed_population(&self) -> Option<&WindowedPopulationSynthesizer<S>> {
+        match &self.population {
+            Some(PopulationSlot::Windowed(windowed)) => Some(windowed),
+            _ => None,
+        }
     }
 
     /// Rounds fed so far.
@@ -493,6 +591,7 @@ where
                 .map(|s| (s.budget_spent(), s.budget_total())),
             self.population
                 .as_ref()
+                .map(PopulationSlot::synth)
                 .map(|p| (p.budget_spent(), p.budget_total())),
         )
     }
@@ -629,9 +728,7 @@ where
         }
         if self.schedule.is_some() {
             let (active, parts) = self.begin_scheduled_round(column)?;
-            let merged = self.scheduled_round(&active, parts)?;
-            self.assert_budget_invariant();
-            return Ok(merged);
+            return self.scheduled_round(&active, parts);
         }
         if column.population() != self.plan.population() {
             return Err(EngineError::PopulationMismatch {
@@ -763,9 +860,7 @@ where
             .population
             .as_mut()
             .expect("shared_step only runs with a population synthesizer");
-        let merged = population
-            .finalize(merged_aggregate)
-            .map_err(|source| EngineError::Population { source })?;
+        let merged = population.finalize(merged_aggregate)?;
         if let Some(sink) = &mut self.sink {
             sink.on_round(self.rounds_fed, &releases, &merged, PolicyTag::Shared);
         }
@@ -855,11 +950,16 @@ where
         let tag = self.effective_tag();
         let scheduled_static = self.scheduled_static;
         let merged = if self.population.is_some() {
-            // Shared noise (static schedules only — see build_scheduled):
-            // every cohort prepares + finalizes its own release; the sum
-            // of the cohorts' aggregates — aligned to the global clock —
-            // is privatized once by the population synthesizer.
+            // Shared noise: every cohort prepares + finalizes its own
+            // release; the sum of the *active* cohorts' aggregates —
+            // aligned to the global clock — is privatized once by the
+            // population synthesizer. On a rotating schedule the windowed
+            // population slot first forgets any cohort the schedule
+            // sealed at this round boundary, so its statistics keep
+            // describing the current active set.
+            self.process_retirements(round)?;
             let (aggregates, releases) = self.prepare_finalize_active(active, parts)?;
+            self.absorb_lifetimes(active, &aggregates)?;
             let merged_aggregate = S::Aggregate::merge(
                 aggregates
                     .into_iter()
@@ -867,9 +967,10 @@ where
                     .collect(),
             )?;
             let population = self.population.as_mut().expect("checked population above");
-            let merged = population
-                .finalize(merged_aggregate)
-                .map_err(|source| EngineError::Population { source })?;
+            let merged = population.finalize(merged_aggregate)?;
+            // Verify the budget cap BEFORE any sink observes the round:
+            // an over-budget release must not reach downstream stores.
+            self.verify_budget_invariant_at(round)?;
             if let Some(sink) = &mut self.sink {
                 Self::notify_scheduled_sink(
                     sink,
@@ -887,6 +988,7 @@ where
             // Per-shard noise over the active set: the live cohorts'
             // releases concatenate in cohort order.
             let releases = self.step_active(active, parts)?;
+            self.verify_budget_invariant_at(round)?;
             match &mut self.sink {
                 None => S::Release::merge(releases)?,
                 Some(_) => {
@@ -1015,25 +1117,93 @@ where
         }
     }
 
-    /// The per-round active-set budget invariant, checked after every
-    /// scheduled round in debug builds (so every engine test exercises
-    /// it): no individual's lifetime zCDP spend may exceed the schedule's
-    /// per-individual cap. Release builds skip the check — it is a
-    /// correctness audit, not control flow.
-    #[inline]
-    fn assert_budget_invariant(&self) {
-        #[cfg(debug_assertions)]
+    /// Fold this round's per-cohort phase-1 aggregates into the
+    /// per-cohort lifetime views — the exact sums the windowed population
+    /// synthesizer subtracts at retirement. A no-op unless the engine
+    /// runs a windowed population slot.
+    fn absorb_lifetimes(
+        &mut self,
+        active: &[usize],
+        aggregates: &[S::Aggregate],
+    ) -> Result<(), EngineError> {
+        if !matches!(self.population, Some(PopulationSlot::Windowed(_))) {
+            return Ok(());
+        }
+        for (&c, aggregate) in active.iter().zip(aggregates) {
+            match &mut self.lifetime[c] {
+                slot @ None => *slot = Some(aggregate.clone()),
+                Some(view) => view.absorb_round(aggregate)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Retire from the windowed population synthesizer every cohort the
+    /// schedule seals at the `round` boundary (its window ended exactly
+    /// there): the cohort's accumulated lifetime aggregate is handed to
+    /// the window's `forget_cohort`. Idempotent across retries — a
+    /// cohort's lifetime view is consumed (and `retired_through`
+    /// advanced) only **after** its retirement succeeded, so a failed
+    /// round re-attempts exactly the retirements that did not apply and
+    /// never double-subtracts one that did. A no-op for static panels
+    /// and per-shard engines.
+    fn process_retirements(&mut self, round: usize) -> Result<(), EngineError> {
+        if round < self.retired_through {
+            return Ok(());
+        }
+        let start = self.retired_through;
+        if !matches!(self.population, Some(PopulationSlot::Windowed(_))) {
+            self.retired_through = round + 1;
+            return Ok(());
+        }
+        let schedule = self.schedule.as_ref().expect("windowed implies scheduled");
+        let due: Vec<usize> = (0..schedule.cohorts())
+            .filter(|&c| {
+                let cohort = schedule.cohort(c);
+                let seal = cohort.entry_round + cohort.horizon;
+                (start.max(1)..=round).contains(&seal)
+            })
+            .collect();
+        for c in due {
+            // Already-applied retirements (a partially failed earlier
+            // attempt) have no lifetime view left — skip them; every
+            // sealed cohort stepped at least one active round, so a view
+            // always existed before its retirement was first processed.
+            let Some(view) = self.lifetime[c].clone() else {
+                continue;
+            };
+            let Some(PopulationSlot::Windowed(windowed)) = &mut self.population else {
+                unreachable!("checked windowed above");
+            };
+            windowed.retire_cohort(view)?;
+            self.lifetime[c] = None;
+        }
+        self.retired_through = round + 1;
+        Ok(())
+    }
+
+    /// The per-round active-set budget invariant, verified for every
+    /// scheduled round in **every** build (it is an O(cohorts) maximum,
+    /// cheap enough to always run — a release binary must not silently
+    /// skip budget-cap enforcement): no individual's lifetime zCDP spend
+    /// may exceed the schedule's per-individual cap. Checked after the
+    /// round's synthesis but **before any sink observes the round**, so
+    /// an over-budget release never reaches downstream stores. The
+    /// exhaustive cross-checks (lockstep clocks, sealed-cohort sweeps in
+    /// [`begin_scheduled_round`](Self::begin_scheduled_round)) stay
+    /// debug-only.
+    fn verify_budget_invariant_at(&self, round: usize) -> Result<(), EngineError> {
         if let Some(schedule) = &self.schedule {
             let budget = self.budget();
-            debug_assert!(
-                budget.within_cap(schedule.total_budget()),
-                "active-set budget invariant violated at round {}: max lifetime spend {} \
-                 exceeds the per-individual cap {}",
-                self.rounds_fed,
-                budget.max_lifetime_spend(),
-                schedule.total_budget()
-            );
+            if !budget.within_cap(schedule.total_budget()) {
+                return Err(EngineError::BudgetCapExceeded {
+                    round,
+                    spent: budget.max_lifetime_spend(),
+                    cap: schedule.total_budget(),
+                });
+            }
         }
+        Ok(())
     }
 
     /// Drive the whole panel stream, returning every population release.
@@ -1143,9 +1313,7 @@ where
                 ));
             }
             let merged = match (&mut self.population, self.shards.len()) {
-                (Some(population), _) => population
-                    .finalize(aggregate)
-                    .map_err(|source| EngineError::Population { source })?,
+                (Some(population), _) => population.finalize(aggregate)?,
                 (None, 1) => self.shards[0]
                     .finalize(aggregate)
                     .map_err(|source| EngineError::Shard { shard: 0, source })?,
@@ -1169,6 +1337,15 @@ where
         // remains out of phase — its synthesizer rejected the round and a
         // custom implementation owns its recovery).
         let PendingRound { active, aggregates } = pending;
+        // Lifetime views absorb only after every shard finalize succeeded
+        // (below) — matching the step path's ordering, so a failed round
+        // never poisons the retirement bookkeeping.
+        let pending_absorb: Option<Vec<S::Aggregate>> = match &active {
+            Some(_) if matches!(self.population, Some(PopulationSlot::Windowed(_))) => {
+                Some(aggregates.clone())
+            }
+            _ => None,
+        };
         let participants: Vec<usize> = match &active {
             Some(active) => active.clone(),
             None => (0..self.shards.len()).collect(),
@@ -1190,54 +1367,42 @@ where
         if let Some(error) = first_error {
             return Err(error);
         }
+        if let (Some(active), Some(aggregates)) = (&active, &pending_absorb) {
+            self.absorb_lifetimes(active, aggregates)?;
+        }
         let tag = self.effective_tag();
         let cohorts = self.shards.len();
         let round = self.rounds_fed;
         let scheduled_static = self.scheduled_static;
+        if active.is_some() && self.population.is_some() {
+            // Scheduled shared round: apply any retirements due at this
+            // round boundary before the population-level finalize.
+            self.process_retirements(round)?;
+        }
         let merged = match &mut self.population {
-            Some(population) => {
-                let merged = population
-                    .finalize(aggregate)
-                    .map_err(|source| EngineError::Population { source })?;
-                match (&mut self.sink, &active) {
-                    (Some(sink), Some(active)) => Self::notify_scheduled_sink(
-                        sink,
-                        scheduled_static,
-                        round,
-                        cohorts,
-                        active,
-                        &releases,
-                        &merged,
-                        tag,
-                    ),
-                    (Some(sink), None) => sink.on_round(round, &releases, &merged, tag),
-                    (None, _) => {}
-                }
-                merged
-            }
-            None => match &mut self.sink {
-                None => S::Release::merge(releases)?,
-                Some(sink) => {
-                    let merged = S::Release::merge(releases.clone())?;
-                    match &active {
-                        Some(active) => Self::notify_scheduled_sink(
-                            sink,
-                            scheduled_static,
-                            round,
-                            cohorts,
-                            active,
-                            &releases,
-                            &merged,
-                            tag,
-                        ),
-                        None => sink.on_round(round, &releases, &merged, tag),
-                    }
-                    merged
-                }
-            },
+            Some(population) => population.finalize(aggregate)?,
+            None if self.sink.is_some() => S::Release::merge(releases.clone())?,
+            None => S::Release::merge(std::mem::take(&mut releases))?,
         };
+        // Verify the budget cap BEFORE any sink observes the round: an
+        // over-budget release must not reach downstream stores.
+        self.verify_budget_invariant_at(round)?;
+        if let Some(sink) = &mut self.sink {
+            match &active {
+                Some(active) => Self::notify_scheduled_sink(
+                    sink,
+                    scheduled_static,
+                    round,
+                    cohorts,
+                    active,
+                    &releases,
+                    &merged,
+                    tag,
+                ),
+                None => sink.on_round(round, &releases, &merged, tag),
+            }
+        }
         self.rounds_fed += 1;
-        self.assert_budget_invariant();
         Ok(merged)
     }
 

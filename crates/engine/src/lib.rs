@@ -76,6 +76,7 @@ pub mod merge;
 pub mod policy;
 pub mod shard;
 pub mod sink;
+pub mod window;
 
 pub use budget::EngineBudget;
 pub use driver::ShardedEngine;
@@ -85,6 +86,7 @@ pub use shard::{
     CohortSchedule, PanelSchedule, PanelSlot, ShardPlan, ShardableInput, SlotRole, SynthSlot,
 };
 pub use sink::ReleaseSink;
+pub use window::WindowedPopulationSynthesizer;
 
 use longsynth::SynthError;
 use std::fmt;
@@ -148,6 +150,20 @@ pub enum EngineError {
         /// The configured global horizon.
         horizon: usize,
     },
+    /// The per-round lifetime-spend invariant failed: after a completed
+    /// round, some individual's lifetime zCDP spend exceeded the
+    /// schedule's per-individual cap. Checked in **every** build (release
+    /// included — it is an O(cohorts) maximum); the exhaustive
+    /// cross-checks (lockstep clocks, sealed-cohort sweeps) stay
+    /// debug-only.
+    BudgetCapExceeded {
+        /// The 0-based round that completed when the violation surfaced.
+        round: usize,
+        /// The worst individual's lifetime spend.
+        spent: longsynth_dp::budget::Rho,
+        /// The schedule's per-individual cap.
+        cap: longsynth_dp::budget::Rho,
+    },
     /// Per-shard releases could not be merged (shards out of lockstep).
     MergeMismatch(String),
     /// An aggregation policy was mis-parameterized, or the slot factory
@@ -204,6 +220,11 @@ impl fmt::Display for EngineError {
             EngineError::HorizonExhausted { horizon } => write!(
                 f,
                 "the panel's global horizon of {horizon} rounds is exhausted"
+            ),
+            EngineError::BudgetCapExceeded { round, spent, cap } => write!(
+                f,
+                "budget invariant violated after round {round}: max individual lifetime \
+                 spend {spent} exceeds the schedule's per-individual cap {cap}"
             ),
             EngineError::MergeMismatch(msg) => write!(f, "release merge failed: {msg}"),
             EngineError::InvalidPolicy(msg) => write!(f, "invalid aggregation policy: {msg}"),

@@ -149,6 +149,39 @@ pub trait MergeAggregate: Sized {
         let _ = round;
         self
     }
+
+    /// Remove one cohort's contribution from a merged view — the
+    /// **windowed** half of the aggregate algebra: when a cohort retires
+    /// from a rotating panel, its statistics leave the active set, and
+    /// `merge(all).subtract(retiree) ≡ merge(survivors)` (pinned by the
+    /// windowed-population property tests). `part` must fit inside `self`
+    /// (populations and element-wise counts); a part that does not is a
+    /// [`EngineError::MergeMismatch`].
+    ///
+    /// The default errors: concatenation-shaped aggregates (raw columns)
+    /// have no meaningful subtraction.
+    fn subtract(self, part: &Self) -> Result<Self, EngineError> {
+        let _ = part;
+        Err(EngineError::MergeMismatch(
+            "this aggregate family does not support cohort subtraction".to_string(),
+        ))
+    }
+
+    /// Fold a **later round of the same cohort** into `self`, turning a
+    /// running total into the cohort's lifetime view — what a scheduled
+    /// shared-noise engine accumulates per cohort so the windowed
+    /// population synthesizer can [`subtract`](Self::subtract) it at
+    /// retirement. Unlike [`merge`](Self::merge) (which sums *disjoint*
+    /// populations), the population stays the cohort's own.
+    ///
+    /// The default errors — only families with a windowed population
+    /// story need it.
+    fn absorb_round(&mut self, later: &Self) -> Result<(), EngineError> {
+        let _ = later;
+        Err(EngineError::MergeMismatch(
+            "this aggregate family does not support lifetime accumulation".to_string(),
+        ))
+    }
 }
 
 /// Window histograms of disjoint cohorts add bin-wise (populations sum).
@@ -199,6 +232,54 @@ impl MergeAggregate for HistogramAggregate {
             }
         }
     }
+
+    fn subtract(self, part: &Self) -> Result<Self, EngineError> {
+        match (self, part) {
+            (HistogramAggregate::Buffered { n }, HistogramAggregate::Buffered { n: part_n }) => {
+                if *part_n > n {
+                    return Err(EngineError::MergeMismatch(format!(
+                        "cannot subtract a {part_n}-individual cohort from a {n}-individual view"
+                    )));
+                }
+                Ok(HistogramAggregate::Buffered { n: n - part_n })
+            }
+            (
+                HistogramAggregate::Counts { n, mut counts },
+                HistogramAggregate::Counts {
+                    n: part_n,
+                    counts: part_counts,
+                },
+            ) => {
+                if *part_n > n {
+                    return Err(EngineError::MergeMismatch(format!(
+                        "cannot subtract a {part_n}-individual cohort from a {n}-individual view"
+                    )));
+                }
+                if part_counts.len() != counts.len() {
+                    return Err(EngineError::MergeMismatch(format!(
+                        "histogram widths disagree: {} vs {} bins",
+                        counts.len(),
+                        part_counts.len()
+                    )));
+                }
+                for (total, part) in counts.iter_mut().zip(part_counts) {
+                    if *part > *total {
+                        return Err(EngineError::MergeMismatch(format!(
+                            "cohort bin count {part} exceeds the merged view's {total}"
+                        )));
+                    }
+                    *total -= part;
+                }
+                Ok(HistogramAggregate::Counts {
+                    n: n - part_n,
+                    counts,
+                })
+            }
+            _ => Err(EngineError::MergeMismatch(
+                "mixed buffered/histogram aggregates cannot subtract".to_string(),
+            )),
+        }
+    }
 }
 
 /// Threshold increments of disjoint cohorts add element-wise: each
@@ -236,6 +317,59 @@ impl MergeAggregate for CumulativeAggregate {
             self.increments.resize(round, 0);
         }
         self
+    }
+
+    /// Element-wise checked subtraction: a retiring cohort's increments
+    /// leave the merged stream (thresholds beyond the cohort's window are
+    /// untouched — it never contributed there).
+    fn subtract(mut self, part: &Self) -> Result<Self, EngineError> {
+        if part.n > self.n {
+            return Err(EngineError::MergeMismatch(format!(
+                "cannot subtract a {}-individual cohort from a {}-individual view",
+                part.n, self.n
+            )));
+        }
+        if part.increments.len() > self.increments.len() {
+            return Err(EngineError::MergeMismatch(format!(
+                "cohort spans {} thresholds, merged view only {}",
+                part.increments.len(),
+                self.increments.len()
+            )));
+        }
+        for (total, part) in self.increments.iter_mut().zip(&part.increments) {
+            if *part > *total {
+                return Err(EngineError::MergeMismatch(format!(
+                    "cohort increment {part} exceeds the merged view's {total}"
+                )));
+            }
+            *total -= part;
+        }
+        self.n -= part.n;
+        Ok(self)
+    }
+
+    /// Lifetime accumulation for one cohort: the increment vectors add
+    /// element-wise (a later round carries one more threshold), the
+    /// population stays the cohort's own (and must not change mid-run).
+    fn absorb_round(&mut self, later: &Self) -> Result<(), EngineError> {
+        if later.n != self.n {
+            return Err(EngineError::MergeMismatch(format!(
+                "cohort size changed mid-lifetime: {} vs {}",
+                self.n, later.n
+            )));
+        }
+        if later.increments.len() < self.increments.len() {
+            return Err(EngineError::MergeMismatch(format!(
+                "later round carries {} thresholds, lifetime view already has {}",
+                later.increments.len(),
+                self.increments.len()
+            )));
+        }
+        self.increments.resize(later.increments.len(), 0);
+        for (total, part) in self.increments.iter_mut().zip(&later.increments) {
+            *total += part;
+        }
+        Ok(())
     }
 }
 

@@ -291,6 +291,10 @@ impl PanelSchedule {
     /// horizon. `population` is divided across all `waves + horizon − 1`
     /// cohorts as evenly as possible (make it divisible for an exactly
     /// constant active population, which the shared-noise policy requires).
+    ///
+    /// Requires `waves ≤ horizon` — more waves than rounds cannot all be
+    /// active at once, and is rejected as an
+    /// [`EngineError::InvalidSchedule`] rather than silently clamped.
     pub fn rotating(
         population: usize,
         horizon: usize,
@@ -308,7 +312,17 @@ impl PanelSchedule {
                 "global horizon must be positive".to_string(),
             ));
         }
-        let waves = waves.min(horizon);
+        // A wave's full membership window is `waves` rounds, so more waves
+        // than rounds cannot all be active simultaneously. This used to be
+        // silently clamped (`waves.min(horizon)`), which quietly built a
+        // different panel than requested — now it is a config error.
+        if waves > horizon {
+            return Err(EngineError::InvalidSchedule(format!(
+                "rotating panel of {waves} waves does not fit a {horizon}-round horizon \
+                 (a wave's membership window is {waves} rounds; use at most {horizon} \
+                 waves or lengthen the run)"
+            )));
+        }
         let cohort_count = waves + horizon - 1;
         let layout = ShardPlan::new(population, cohort_count)?;
         let mut cohorts = Vec::with_capacity(cohort_count);
@@ -592,6 +606,22 @@ mod tests {
         assert!(!schedule.cohort(5).is_active(2));
         assert!(schedule.cohort(5).is_active(5));
         assert!(!schedule.cohort(5).is_active(6));
+    }
+
+    /// Regression: `rotating:8` over a 4-round horizon used to silently
+    /// clamp to 4 waves, quietly building a different panel than
+    /// requested. It is now a descriptive error.
+    #[test]
+    fn rotating_rejects_more_waves_than_rounds() {
+        let err = PanelSchedule::rotating(100, 4, 8, rho(0.1), rho(0.1)).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidSchedule(_)));
+        let message = err.to_string();
+        assert!(message.contains("8 waves"), "{message}");
+        assert!(message.contains("4-round"), "{message}");
+        // The boundary case is legal: waves == horizon.
+        let schedule = PanelSchedule::rotating(70, 4, 4, rho(0.1), rho(0.1)).unwrap();
+        assert_eq!(schedule.cohorts(), 7);
+        assert!(PanelSchedule::rotating(100, 4, 0, rho(0.1), rho(0.1)).is_err());
     }
 
     #[test]

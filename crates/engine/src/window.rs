@@ -1,0 +1,294 @@
+//! The **windowed population synthesizer**: shared noise under rotating
+//! panels.
+//!
+//! PR 3's shared-noise policy privatizes the *sum* of cohort aggregates
+//! once per round with a single persistent population synthesizer. That
+//! pipeline assumes a fixed membership: its cumulative statistics are
+//! monotone over the whole run, so a rotating panel — where a retiring
+//! cohort's crossings leave the active set every round — would drift
+//! toward saturation (the retired mass never leaves the counters, and the
+//! synthetic population clamps at all-ones). PR 4 therefore rejected
+//! `SharedNoise` for any non-static schedule.
+//!
+//! [`WindowedPopulationSynthesizer`] lifts that restriction for
+//! synthesizer families that support **cohort retirement**
+//! ([`ContinualSynthesizer::supports_cohort_retirement`] — the cumulative
+//! family's windowed release mode): it wraps the finalize-only population
+//! synthesizer and, whenever the schedule seals a cohort, feeds the
+//! cohort's accumulated lifetime aggregate (the engine's element-wise sum
+//! of its per-round phase-1 aggregates) to the inner
+//! [`forget_cohort`](ContinualSynthesizer::forget_cohort). The inner
+//! sufficient statistics are thereby scoped to the **current active
+//! set**: monotone within each membership window, rebased at every
+//! retirement.
+//!
+//! Privacy: lifetime aggregates are raw pre-noise statistics, exactly
+//! like every phase-1 aggregate — they flow only *into* the inner
+//! synthesizer's privatization barrier. The subtraction happens before
+//! any noise is drawn, so a retired individual's terms cancel exactly
+//! and every later release is independent of their data; that
+//! cancellation is what lets the windowed mode budget each round at
+//! `ρ/W` and still bound any individual's lifetime cost by `ρ` (no one
+//! is active for more than `W` consecutive rounds).
+//!
+//! On a **static** schedule no cohort ever retires, so the engine keeps
+//! the bare persistent synthesizer in the population slot — pinned
+//! bit-identical to the PR 3/PR 4 engines by the `panel_lifecycle` and
+//! `windowed_population` test suites. The wrapper itself is a transparent
+//! pass-through when nothing retires.
+
+use longsynth::{ContinualSynthesizer, SynthError};
+
+use crate::EngineError;
+
+/// A finalize-only [`ContinualSynthesizer`] whose sufficient statistics
+/// are scoped to the **current active set** of a rotating panel. See the
+/// module docs.
+///
+/// Drive it exactly like the persistent population synthesizer — one
+/// [`finalize`](ContinualSynthesizer::finalize) per round with the summed
+/// (and round-aligned) active-set aggregate — plus one
+/// [`retire_cohort`](Self::retire_cohort) per cohort the schedule seals,
+/// *before* the first finalize that no longer covers that cohort.
+pub struct WindowedPopulationSynthesizer<S: ContinualSynthesizer> {
+    inner: S,
+    retired: usize,
+}
+
+impl<S: ContinualSynthesizer> std::fmt::Debug for WindowedPopulationSynthesizer<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "WindowedPopulationSynthesizer[round={}, horizon={}, retired_cohorts={}]",
+            self.inner.round(),
+            self.inner.horizon(),
+            self.retired,
+        )
+    }
+}
+
+impl<S: ContinualSynthesizer> WindowedPopulationSynthesizer<S> {
+    /// Wrap a finalize-only population synthesizer for windowed duty.
+    ///
+    /// Errors when the family cannot forget retiring cohorts
+    /// ([`supports_cohort_retirement`](ContinualSynthesizer::supports_cohort_retirement)
+    /// is false) — such families still run shared noise on static
+    /// schedules, where nothing ever retires.
+    pub fn new(inner: S) -> Result<Self, EngineError> {
+        if !inner.supports_cohort_retirement() {
+            return Err(EngineError::InvalidSchedule(
+                "this synthesizer cannot forget retiring cohorts, so it cannot serve \
+                 as a windowed population synthesizer; run rotating panels under \
+                 per-shard noise, or configure a family with cohort-retirement \
+                 support (the cumulative family's windowed release mode, \
+                 CumulativeConfig::with_window)"
+                    .to_string(),
+            ));
+        }
+        Ok(Self { inner, retired: 0 })
+    }
+
+    /// Remove a sealed cohort's lifetime contribution from the window:
+    /// pass the cohort's accumulated lifetime aggregate (the element-wise
+    /// sum of its per-round phase-1 aggregates —
+    /// `MergeAggregate::absorb_round` builds it).
+    pub fn retire_cohort(&mut self, view: S::Aggregate) -> Result<(), EngineError> {
+        ContinualSynthesizer::forget_cohort(self, view)
+            .map_err(|source| EngineError::Population { source })
+    }
+
+    /// Cohorts retired from the window so far.
+    pub fn retired_cohorts(&self) -> usize {
+        self.retired
+    }
+
+    /// Borrow the inner population synthesizer (its estimates are the
+    /// active-set accuracy product this type exists for).
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+/// Finalize-only: `prepare`/`step` are refused — the windowed population
+/// synthesizer never sees raw data, only summed active-set aggregates.
+impl<S: ContinualSynthesizer> ContinualSynthesizer for WindowedPopulationSynthesizer<S> {
+    type Input = S::Input;
+    type Release = S::Release;
+    type Aggregate = S::Aggregate;
+
+    fn prepare(&mut self, _input: &S::Input) -> Result<S::Aggregate, SynthError> {
+        Err(SynthError::OutOfPhase(
+            "the windowed population synthesizer is finalize-only: it consumes summed \
+             active-set aggregates, never raw data"
+                .to_string(),
+        ))
+    }
+
+    fn finalize(&mut self, aggregate: S::Aggregate) -> Result<S::Release, SynthError> {
+        self.inner.finalize(aggregate)
+    }
+
+    fn step(&mut self, input: &S::Input) -> Result<S::Release, SynthError> {
+        let _ = input;
+        Err(SynthError::OutOfPhase(
+            "the windowed population synthesizer is finalize-only: it consumes summed \
+             active-set aggregates, never raw data"
+                .to_string(),
+        ))
+    }
+
+    fn round(&self) -> usize {
+        self.inner.round()
+    }
+
+    fn horizon(&self) -> usize {
+        self.inner.horizon()
+    }
+
+    fn supports_cohort_retirement(&self) -> bool {
+        true
+    }
+
+    fn cohort_retirement_window(&self) -> Option<usize> {
+        self.inner.cohort_retirement_window()
+    }
+
+    fn forget_cohort(&mut self, view: S::Aggregate) -> Result<(), SynthError> {
+        let result = self.inner.forget_cohort(view);
+        if result.is_ok() {
+            self.retired += 1;
+        }
+        result
+    }
+
+    fn budget_spent(&self) -> longsynth_dp::budget::Rho {
+        self.inner.budget_spent()
+    }
+
+    fn budget_total(&self) -> longsynth_dp::budget::Rho {
+        self.inner.budget_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longsynth::{CumulativeConfig, CumulativeSynthesizer, FixedWindowConfig};
+    use longsynth_data::BitColumn;
+    use longsynth_dp::budget::Rho;
+    use longsynth_dp::rng::{rng_from_seed, RngFork};
+
+    fn windowed_cumulative(
+        horizon: usize,
+        window: usize,
+        rho: f64,
+        seed: u64,
+    ) -> CumulativeSynthesizer {
+        let config = CumulativeConfig::new(horizon, Rho::new(rho).unwrap())
+            .unwrap()
+            .with_window(window)
+            .unwrap();
+        CumulativeSynthesizer::new(config, RngFork::new(seed), rng_from_seed(seed))
+    }
+
+    #[test]
+    fn synthesizers_without_retirement_are_refused() {
+        // Fixed-window family: no retirement story at all.
+        let config = FixedWindowConfig::new(6, 2, Rho::new(0.1).unwrap()).unwrap();
+        let synth = longsynth::FixedWindowSynthesizer::new(config, rng_from_seed(1));
+        let err = WindowedPopulationSynthesizer::new(synth).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidSchedule(_)));
+        assert!(err.to_string().contains("forget"), "{err}");
+        // Cumulative family in persistent (non-windowed) mode: also
+        // refused — forgetting after noising would not be sound.
+        let config = CumulativeConfig::new(6, Rho::new(0.1).unwrap()).unwrap();
+        let persistent = CumulativeSynthesizer::new(config, RngFork::new(2), rng_from_seed(2));
+        assert!(WindowedPopulationSynthesizer::new(persistent).is_err());
+        // Windowed release mode is accepted.
+        assert!(WindowedPopulationSynthesizer::new(windowed_cumulative(6, 2, 0.1, 3)).is_ok());
+    }
+
+    /// The wrapper is a transparent pass-through around the inner
+    /// synthesizer: finalize-only driving matches the bare synthesizer
+    /// bit for bit under the same seed.
+    #[test]
+    fn wrapper_is_a_transparent_pass_through() {
+        let (horizon, window, n) = (6, 2, 40);
+        let mut bare = windowed_cumulative(horizon, window, 0.1, 7);
+        let mut wrapped =
+            WindowedPopulationSynthesizer::new(windowed_cumulative(horizon, window, 0.1, 7))
+                .unwrap();
+        for t in 0..horizon {
+            let aggregate = longsynth::CumulativeAggregate {
+                n,
+                increments: (0..=t).map(|b| if b < window { 3 } else { 0 }).collect(),
+            };
+            let via_bare = bare.finalize(aggregate.clone()).unwrap();
+            let via_wrapped = ContinualSynthesizer::finalize(&mut wrapped, aggregate).unwrap();
+            assert_eq!(via_bare, via_wrapped, "round {t}");
+        }
+        assert_eq!(wrapped.retired_cohorts(), 0);
+        assert_eq!(wrapped.round(), horizon);
+        assert_eq!(wrapped.inner().rounds_fed(), horizon);
+        assert!((wrapped.budget_spent().value() - 0.1).abs() < 1e-12);
+        assert!((wrapped.budget_total().value() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raw_data_is_refused() {
+        let mut windowed =
+            WindowedPopulationSynthesizer::new(windowed_cumulative(4, 2, 0.1, 11)).unwrap();
+        let column = BitColumn::ones(10);
+        assert!(matches!(
+            ContinualSynthesizer::prepare(&mut windowed, &column),
+            Err(SynthError::OutOfPhase(_))
+        ));
+        assert!(matches!(
+            ContinualSynthesizer::step(&mut windowed, &column),
+            Err(SynthError::OutOfPhase(_))
+        ));
+    }
+
+    #[test]
+    fn retirement_is_counted_and_validated() {
+        use longsynth::CumulativeAggregate;
+        let mut windowed =
+            WindowedPopulationSynthesizer::new(windowed_cumulative(4, 2, 0.1, 13)).unwrap();
+        // A view exceeding the window's exact counts is refused and not
+        // counted (nothing has been fed yet).
+        let err = windowed
+            .retire_cohort(CumulativeAggregate {
+                n: 5,
+                increments: vec![2],
+            })
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Population { .. }));
+        assert_eq!(windowed.retired_cohorts(), 0);
+        // After a round, a fitting exact view is forgotten and counted.
+        ContinualSynthesizer::finalize(
+            &mut windowed,
+            CumulativeAggregate {
+                n: 20,
+                increments: vec![6],
+            },
+        )
+        .unwrap();
+        windowed
+            .retire_cohort(CumulativeAggregate {
+                n: 5,
+                increments: vec![2],
+            })
+            .unwrap();
+        assert_eq!(windowed.retired_cohorts(), 1);
+        // The trait spelling counts too.
+        ContinualSynthesizer::forget_cohort(
+            &mut windowed,
+            CumulativeAggregate {
+                n: 3,
+                increments: vec![1],
+            },
+        )
+        .unwrap();
+        assert_eq!(windowed.retired_cohorts(), 2);
+    }
+}

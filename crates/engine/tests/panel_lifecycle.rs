@@ -254,27 +254,48 @@ fn rotating_panel_runs_end_to_end_with_budget_invariant() {
     ));
 }
 
-/// Shared noise refuses rotating schedules outright: the single
-/// population synthesizer's persistent records cannot represent a
-/// rotating active set's non-monotone statistics (a retiring cohort's
-/// crossings would stay in the counters and the release would saturate),
-/// even when the active population size is constant.
+/// Rotating + shared noise is accepted when the population slot runs a
+/// synthesizer with cohort-retirement support (the cumulative family's
+/// windowed release mode — behavior is pinned in
+/// `tests/windowed_population.rs`), and refused — with a message naming
+/// the missing capability — when it does not.
 #[test]
-fn shared_noise_refuses_rotating_schedules() {
+fn rotating_shared_noise_needs_cohort_retirement_support() {
     let (horizon, waves) = (6, 2);
     let total = Rho::new(0.3).unwrap();
     let cohort_rho = Rho::new(0.3 * 0.2).unwrap();
     let schedule = PanelSchedule::rotating(70, horizon, waves, cohort_rho, total).unwrap();
     assert!(schedule.constant_active_population());
     assert!(!schedule.is_static());
-    let err = ShardedEngine::<CumulativeSynthesizer>::with_schedule(
-        schedule,
-        AggregationPolicy::shared(),
-        |_| unreachable!("factory must not run for a rotating shared-noise schedule"),
-    )
+    // Windowed-mode population slot: constructs.
+    let fork = RngFork::new(9);
+    let engine =
+        ShardedEngine::with_schedule(schedule.clone(), AggregationPolicy::shared(), |slot| {
+            let config = CumulativeConfig::new(slot.horizon, slot.budget).unwrap();
+            let (config, stream) = match slot.role {
+                SlotRole::Shard(s) => (config, 1 + s as u64),
+                SlotRole::Population => (config.with_window(waves).unwrap(), 0),
+            };
+            CumulativeSynthesizer::new(config, fork.subfork(stream), rng_from_seed(stream))
+        })
+        .unwrap();
+    assert!(engine.population_synthesizer().is_some());
+    assert!(engine.windowed_population().is_some());
+    // A persistent-mode population slot cannot forget retiring cohorts:
+    // refused with a capability-naming error (after the factory ran — the
+    // capability is a property of the built synthesizer).
+    let fork = RngFork::new(10);
+    let err = ShardedEngine::with_schedule(schedule, AggregationPolicy::shared(), |slot| {
+        let config = CumulativeConfig::new(slot.horizon, slot.budget).unwrap();
+        let stream = match slot.role {
+            SlotRole::Shard(s) => 1 + s as u64,
+            SlotRole::Population => 0,
+        };
+        CumulativeSynthesizer::new(config, fork.subfork(stream), rng_from_seed(stream))
+    })
     .unwrap_err();
     assert!(matches!(err, EngineError::InvalidSchedule(_)));
-    assert!(err.to_string().contains("static schedule"), "{err}");
+    assert!(err.to_string().contains("forget"), "{err}");
     assert!(err.to_string().contains("per-shard"), "{err}");
 }
 
@@ -438,7 +459,10 @@ fn shared_noise_schedule_preconditions_are_validated() {
     )
     .unwrap_err();
     assert!(matches!(err, EngineError::InvalidSchedule(_)));
-    assert!(err.to_string().contains("static schedule"), "{err}");
+    assert!(
+        err.to_string().contains("constant active population"),
+        "{err}"
+    );
     // Over-commit: cohort budget + population budget exceeds the cap.
     let tight = PanelSchedule::new(
         vec![(10, cohort(0, 4, 0.05)), (10, cohort(0, 4, 0.05))],
@@ -453,6 +477,88 @@ fn shared_noise_schedule_preconditions_are_validated() {
     )
     .unwrap_err();
     assert!(err.to_string().contains("over-commit"), "{err}");
+}
+
+/// A synthesizer whose reported spend overruns its configured total —
+/// simulating an accounting bug the engine must catch. Used to pin the
+/// always-on budget-cap verification.
+struct Overspender {
+    horizon: usize,
+    budget: Rho,
+    rounds: usize,
+}
+
+impl ContinualSynthesizer for Overspender {
+    type Input = BitColumn;
+    type Release = BitColumn;
+    type Aggregate = BitColumn;
+
+    fn prepare(&mut self, input: &BitColumn) -> Result<BitColumn, longsynth::SynthError> {
+        Ok(input.clone())
+    }
+
+    fn finalize(&mut self, aggregate: BitColumn) -> Result<BitColumn, longsynth::SynthError> {
+        self.rounds += 1;
+        Ok(aggregate)
+    }
+
+    fn round(&self) -> usize {
+        self.rounds
+    }
+
+    fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    fn budget_spent(&self) -> Rho {
+        // Ten times the configured budget once anything has run.
+        Rho::new(self.budget.value() * 10.0 * self.rounds.min(1) as f64).unwrap()
+    }
+
+    fn budget_total(&self) -> Rho {
+        self.budget
+    }
+}
+
+/// The per-round lifetime-spend ≤ cap invariant is enforced in **every**
+/// build profile. It used to be `debug_assert!`-only, so `--release`
+/// binaries ran with no budget-cap enforcement at all — this test (which
+/// CI also runs under `--release`) pins the always-on check.
+#[test]
+fn budget_cap_violation_is_an_error_in_release_builds_too() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    let cap = Rho::new(0.1).unwrap();
+    let schedule = PanelSchedule::uniform(20, 2, 3, cap, cap).unwrap();
+    let mut engine =
+        ShardedEngine::with_schedule(schedule, AggregationPolicy::PerShardNoise, |slot| {
+            Overspender {
+                horizon: slot.horizon,
+                budget: slot.budget,
+                rounds: 0,
+            }
+        })
+        .unwrap();
+    // An over-budget round errors AND never reaches the sink: the
+    // violating release must not land in downstream stores.
+    let seen = Arc::new(AtomicUsize::new(0));
+    let handle = Arc::clone(&seen);
+    engine.set_sink(Box::new(
+        move |_: usize, _: &[BitColumn], _: &BitColumn, _: longsynth_engine::PolicyTag| {
+            handle.fetch_add(1, Ordering::SeqCst);
+        },
+    ));
+    let err = engine.step(&BitColumn::zeros(20)).unwrap_err();
+    match &err {
+        EngineError::BudgetCapExceeded { round, spent, cap } => {
+            assert_eq!(*round, 0);
+            assert!(spent.value() > cap.value());
+        }
+        other => panic!("expected BudgetCapExceeded, got {other:?}"),
+    }
+    assert!(err.to_string().contains("budget invariant"), "{err}");
+    assert!(err.to_string().contains("cap"), "{err}");
+    assert_eq!(seen.load(Ordering::SeqCst), 0, "sink saw no release");
 }
 
 /// Scheduled rounds validate their input against the *active* population.

@@ -114,6 +114,20 @@ impl AccuracyComparison {
             .map(|row| row.summary.mean / self.baseline.summary.mean)
     }
 
+    /// The error summary recorded under `label` (baseline included), or
+    /// `None` if no such row — how paired comparisons (e.g. the
+    /// `panel_churn` bench's windowed-shared vs per-shard arms at one
+    /// churn level) read back their sides.
+    pub fn summary(&self, label: &str) -> Option<&ErrorSummary> {
+        if self.baseline.label == label {
+            return Some(&self.baseline.summary);
+        }
+        self.alternatives
+            .iter()
+            .find(|row| row.label == label)
+            .map(|row| &row.summary)
+    }
+
     /// Every row as `(label, summary, mean-ratio-to-baseline)` — baseline
     /// first with ratio 1.
     pub fn rows(&self) -> Vec<(&str, &ErrorSummary, f64)> {
@@ -263,6 +277,10 @@ mod tests {
         assert!((comparison.mean_ratio("per-shard, 4 shards").unwrap() - 2.0).abs() < 1e-12);
         assert!((comparison.mean_ratio("shared, 4 shards").unwrap() - 1.1).abs() < 1e-12);
         assert!(comparison.mean_ratio("nonexistent").is_none());
+        // Summaries read back by label, baseline included.
+        assert_eq!(comparison.summary("1 shard").unwrap(), &baseline);
+        assert!((comparison.summary("shared, 4 shards").unwrap().mean - 0.022).abs() < 1e-12);
+        assert!(comparison.summary("nonexistent").is_none());
         let rows = comparison.rows();
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].0, "1 shard");

@@ -793,13 +793,49 @@ mod tests {
 
     #[test]
     fn zero_capacity_disables_memoization() {
-        let service = QueryService::with_cache_capacity(store_with_rounds(3), 0);
-        let q = cumulative(2, 1);
-        service.answer(&q).unwrap();
-        service.answer(&q).unwrap();
-        assert_eq!(service.cache_len(), 0);
-        assert_eq!(service.cache_stats(), (0, 2));
-        assert_eq!(service.cache_evictions(), 0);
+        // Both eviction policies: capacity 0 must mean "never insert" —
+        // not "insert then immediately evict the entry just added" — with
+        // all three counters staying consistent.
+        for policy in [EvictionPolicy::Fifo, EvictionPolicy::Lru] {
+            let service = QueryService::with_cache(store_with_rounds(3), 0, policy);
+            let q = cumulative(2, 1);
+            service.answer(&q).unwrap();
+            service.answer(&q).unwrap();
+            assert_eq!(service.cache_len(), 0, "{policy}");
+            assert_eq!(service.cache_stats(), (0, 2), "{policy}");
+            assert_eq!(service.cache_evictions(), 0, "{policy}");
+        }
+    }
+
+    /// Capacity 1 is the tightest real cache: the entry just inserted
+    /// must be the survivor (the *previous* resident is the victim), under
+    /// both eviction policies, with hit/miss/eviction counters exact.
+    #[test]
+    fn capacity_one_keeps_the_newest_entry() {
+        for policy in [EvictionPolicy::Fifo, EvictionPolicy::Lru] {
+            let service = QueryService::with_cache(store_with_rounds(4), 1, policy);
+            let a = cumulative(0, 1);
+            let b = cumulative(1, 1);
+            service.answer(&a).unwrap(); // miss, cache: [a]
+            service.answer(&a).unwrap(); // hit
+            assert_eq!(service.cache_stats(), (1, 1), "{policy}");
+            service.answer(&b).unwrap(); // miss, evicts a, cache: [b]
+            assert_eq!(service.cache_len(), 1, "{policy}");
+            assert_eq!(service.cache_evictions(), 1, "{policy}");
+            // The just-inserted entry is resident (insert-then-evict of
+            // the new entry would make this a miss).
+            service.answer(&b).unwrap();
+            assert_eq!(service.cache_stats(), (2, 2), "{policy}");
+            // The victim was the older entry.
+            service.answer(&a).unwrap(); // miss again, evicts b
+            assert_eq!(service.cache_stats(), (2, 3), "{policy}");
+            assert_eq!(service.cache_evictions(), 2, "{policy}");
+            assert_eq!(service.cache_len(), 1, "{policy}");
+            // Re-inserting a live key at capacity 1 must not evict it.
+            service.answer(&a).unwrap();
+            assert_eq!(service.cache_stats(), (3, 3), "{policy}");
+            assert_eq!(service.cache_evictions(), 2, "{policy}");
+        }
     }
 
     #[test]

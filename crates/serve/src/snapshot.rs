@@ -26,10 +26,15 @@ use serde::Serialize;
 use crate::store::{GrowingPanel, ReleaseStore, ServeError};
 
 /// Format tag embedded in every full snapshot; bump on layout changes.
-/// v3 added dynamic-panel schedules (per-cohort entry rounds, ragged
-/// merged rounds); v2 added the aggregation-policy tag; v1 documents
-/// restore as per-shard-era stores (no tag recorded).
-const FORMAT: &str = "longsynth-release-store/v3";
+/// v4 added cohort-coverage metadata on a dynamic store's merged rounds
+/// (the windowed shared-noise population releases); v3 added
+/// dynamic-panel schedules (per-cohort entry rounds, ragged merged
+/// rounds); v2 added the aggregation-policy tag; v1 documents restore as
+/// per-shard-era stores (no tag recorded).
+const FORMAT: &str = "longsynth-release-store/v4";
+/// The pre-coverage dynamic format, still restorable (coverage derives
+/// from the cohort windows).
+const FORMAT_V3: &str = "longsynth-release-store/v3";
 /// The pre-schedule format, still restorable (static stores only).
 const FORMAT_V2: &str = "longsynth-release-store/v2";
 /// The pre-policy format, still restorable.
@@ -71,6 +76,9 @@ struct SnapshotDto {
     dynamic: bool,
     merged: Option<PanelDto>,
     merged_rounds: Vec<RaggedColumnDto>,
+    /// Cohort coverage of each dynamic merged round (v4; empty for
+    /// static stores).
+    coverage: Vec<Vec<u64>>,
     cohorts: Vec<Option<CohortDto>>,
 }
 
@@ -250,7 +258,7 @@ fn panel_from_value(value: &serde_json::Value) -> Result<GrowingPanel, ServeErro
 /// Render the store as a full JSON snapshot.
 pub fn snapshot_json(store: &ReleaseStore) -> String {
     let dto = if store.is_dynamic() {
-        let (cohorts, entries, merged_rounds) = store.dynamic_parts();
+        let (cohorts, entries, merged_rounds, coverage) = store.dynamic_parts();
         let entries = entries.expect("dynamic store tracks entries");
         SnapshotDto {
             format: FORMAT.to_string(),
@@ -258,6 +266,10 @@ pub fn snapshot_json(store: &ReleaseStore) -> String {
             dynamic: true,
             merged: None,
             merged_rounds: merged_rounds.iter().map(ragged_to_dto).collect(),
+            coverage: coverage
+                .iter()
+                .map(|active| active.iter().map(|&c| c as u64).collect())
+                .collect(),
             cohorts: cohorts
                 .iter()
                 .zip(entries)
@@ -272,6 +284,7 @@ pub fn snapshot_json(store: &ReleaseStore) -> String {
             dynamic: false,
             merged: panel_to_dto(merged),
             merged_rounds: Vec::new(),
+            coverage: Vec::new(),
             cohorts: cohorts
                 .iter()
                 .map(|panel| cohort_to_dto(panel, None, 0))
@@ -290,10 +303,10 @@ pub fn restore_json(json: &str) -> Result<ReleaseStore, ServeError> {
         .get("format")
         .and_then(serde_json::Value::as_str)
         .ok_or_else(|| ServeError::Snapshot("missing `format` tag".to_string()))?;
-    if format != FORMAT && format != FORMAT_V2 && format != FORMAT_V1 {
+    if format != FORMAT && format != FORMAT_V3 && format != FORMAT_V2 && format != FORMAT_V1 {
         return Err(ServeError::Snapshot(format!(
-            "unsupported snapshot format {format:?} (expected {FORMAT:?}, {FORMAT_V2:?}, \
-             or {FORMAT_V1:?})"
+            "unsupported snapshot format {format:?} (expected {FORMAT:?}, {FORMAT_V3:?}, \
+             {FORMAT_V2:?}, or {FORMAT_V1:?})"
         )));
     }
     let policy = policy_from_value(&value)?;
@@ -302,9 +315,10 @@ pub fn restore_json(json: &str) -> Result<ReleaseStore, ServeError> {
         .and_then(serde_json::Value::as_bool)
         .unwrap_or(false);
     if dynamic {
-        if format != FORMAT {
+        if format != FORMAT && format != FORMAT_V3 {
             return Err(ServeError::Snapshot(format!(
-                "dynamic stores need snapshot format {FORMAT:?}, got {format:?}"
+                "dynamic stores need snapshot format {FORMAT:?} or {FORMAT_V3:?}, \
+                 got {format:?}"
             )));
         }
         let mut cohorts = Vec::new();
@@ -328,7 +342,37 @@ pub fn restore_json(json: &str) -> Result<ReleaseStore, ServeError> {
             }
         }
         let merged_rounds = merged_rounds_from_value(&value)?;
-        return ReleaseStore::from_dynamic_parts(cohorts, entries, merged_rounds, policy);
+        // v4 records coverage explicitly; v3 derives it from the windows.
+        let coverage = match value.get("coverage") {
+            None | Some(serde_json::Value::Null) => None,
+            Some(raw) => {
+                let rows = raw
+                    .as_array()
+                    .ok_or_else(|| ServeError::Snapshot("coverage is not an array".to_string()))?;
+                Some(
+                    rows.iter()
+                        .map(|row| {
+                            row.as_array()
+                                .ok_or_else(|| {
+                                    ServeError::Snapshot(
+                                        "coverage round is not an array".to_string(),
+                                    )
+                                })?
+                                .iter()
+                                .map(|c| {
+                                    c.as_usize().ok_or_else(|| {
+                                        ServeError::Snapshot(
+                                            "coverage entry is not a cohort index".to_string(),
+                                        )
+                                    })
+                                })
+                                .collect::<Result<Vec<usize>, _>>()
+                        })
+                        .collect::<Result<Vec<Vec<usize>>, _>>()?,
+                )
+            }
+        };
+        return ReleaseStore::from_dynamic_parts(cohorts, entries, merged_rounds, coverage, policy);
     }
     let merged = panel_from_value(
         value
@@ -395,7 +439,7 @@ pub fn snapshot_since_json(store: &ReleaseStore, base_rounds: usize) -> Result<S
         )));
     }
     let dto = if store.is_dynamic() {
-        let (cohorts, entries, merged_rounds) = store.dynamic_parts();
+        let (cohorts, entries, merged_rounds, _coverage) = store.dynamic_parts();
         let entries = entries.expect("dynamic store tracks entries");
         DeltaDto {
             format: DELTA_FORMAT.to_string(),
@@ -933,6 +977,28 @@ mod tests {
             .apply_delta_json(&full.to_delta_json(0).unwrap())
             .unwrap();
         assert_eq!(fresh, full);
+    }
+
+    #[test]
+    fn dynamic_snapshot_coverage_is_validated() {
+        let store = dynamic_store();
+        assert!(store.to_snapshot_json().contains("\"coverage\""));
+        // Tampered coverage that disagrees with the cohort windows is
+        // refused (the v3-restore derivation path — no coverage recorded
+        // at all — is pinned by the frozen fixture in
+        // `tests/prop_store.rs`).
+        let (cohorts, entries, merged_rounds, coverage) = store.dynamic_parts();
+        let mut tampered = coverage.to_vec();
+        tampered[0] = vec![1];
+        let err = ReleaseStore::from_dynamic_parts(
+            cohorts.to_vec(),
+            entries.expect("dynamic store").to_vec(),
+            merged_rounds.to_vec(),
+            Some(tampered),
+            store.policy(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("coverage"), "{err}");
     }
 
     #[test]

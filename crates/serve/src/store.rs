@@ -46,6 +46,17 @@
 //! may be different individuals. The two ingestion families are mutually
 //! exclusive: a store is *static* (lockstep) or *dynamic* (scheduled) for
 //! its whole lifetime, fixed by the first ingested round.
+//!
+//! Note on **shared-noise rotating** stores: merged-scope answers still
+//! pool the covering cohorts' panels. The stored merged rounds are the
+//! windowed population synthesizer's released columns, but reconstructing
+//! *within-window* weights from them would need the synthesizer's private
+//! reset bookkeeping (which record slots rotated out when) — the same
+//! limitation as the fixed-window debiased estimator above. The
+//! engine-side `population_synthesizer()` estimates remain the
+//! single-draw accuracy product; the store records the columns plus their
+//! [cohort coverage](ReleaseStore::merged_coverage) so consumers can
+//! interpret them.
 
 use longsynth::Release;
 use longsynth_data::{BitColumn, LongitudinalDataset};
@@ -238,6 +249,16 @@ pub struct ReleaseStore {
     /// The per-round merged releases of a dynamic store — ragged, because
     /// the active population changes with the schedule.
     merged_rounds: Vec<BitColumn>,
+    /// Cohort-coverage metadata of a dynamic store's merged rounds:
+    /// `merged_coverage[t]` is the ascending set of cohorts whose
+    /// individuals round `t`'s merged release covers — the interpretation
+    /// key for **shared-noise rotating** stores, whose merged rounds are
+    /// independent windowed population syntheses. The value equals the
+    /// set of cohorts whose window contains `t` (restore validates
+    /// exactly that, and pre-v4 snapshots derive it), so recording it
+    /// makes each snapshot self-describing and tamper-evident rather
+    /// than adding new information.
+    merged_coverage: Vec<Vec<usize>>,
 }
 
 impl ReleaseStore {
@@ -553,6 +574,7 @@ impl ReleaseStore {
         }
         self.entries = Some(entries);
         self.merged_rounds.push(merged.clone());
+        self.merged_coverage.push(active.to_vec());
         self.policy = Some(policy);
         Ok(())
     }
@@ -569,6 +591,23 @@ impl ReleaseStore {
     pub fn cohort_window(&self, cohort: usize) -> Option<Range<usize>> {
         let entry = (*self.entries.as_ref()?.get(cohort)?)?;
         Some(entry..entry + self.cohorts[cohort].rounds())
+    }
+
+    /// The cohorts whose individuals round `t`'s merged release covers
+    /// (dynamic stores only — a static store's merged release always
+    /// covers every cohort). Under a shared-noise rotating panel this is
+    /// the metadata consumers need to interpret a windowed population
+    /// release: which cohorts' members the synthetic active set stands
+    /// for.
+    pub fn merged_coverage(&self, t: usize) -> Result<&[usize], ServeError> {
+        self.merged_coverage
+            .get(t)
+            .map(Vec::as_slice)
+            .ok_or(ServeError::RoundNotReleased {
+                scope: StoreScope::Merged,
+                round: t,
+                available: self.merged_coverage.len(),
+            })
     }
 
     /// A dynamic store's merged release of round `t` — the active set's
@@ -790,6 +829,7 @@ impl ReleaseStore {
             policy,
             entries: None,
             merged_rounds: Vec::new(),
+            merged_coverage: Vec::new(),
         }
     }
 
@@ -798,11 +838,16 @@ impl ReleaseStore {
     }
 
     /// Rebuild a dynamic store from snapshot parts, re-validating the
-    /// cohort × round-range invariants.
+    /// cohort × round-range invariants. `coverage` is the per-round
+    /// cohort-coverage metadata (snapshot v4); `None` (pre-v4 snapshots)
+    /// derives it from the cohort windows — exactly what live ingestion
+    /// records, since a round's active set is the set of cohorts whose
+    /// window contains it.
     pub(crate) fn from_dynamic_parts(
         cohorts: Vec<GrowingPanel>,
         entries: Vec<Option<usize>>,
         merged_rounds: Vec<BitColumn>,
+        coverage: Option<Vec<Vec<usize>>>,
         policy: Option<PolicyTag>,
     ) -> Result<Self, ServeError> {
         if cohorts.len() != entries.len() {
@@ -861,20 +906,59 @@ impl ReleaseStore {
                 "dynamic store with rounds carries no policy tag".to_string(),
             ));
         }
+        // Coverage: the round's active set is exactly the cohorts whose
+        // window contains it; recorded metadata must agree, pre-v4
+        // snapshots derive it.
+        let derived: Vec<Vec<usize>> = (0..rounds)
+            .map(|t| {
+                cohorts
+                    .iter()
+                    .zip(&entries)
+                    .enumerate()
+                    .filter_map(|(c, (panel, entry))| {
+                        let entry = (*entry)?;
+                        (entry <= t && t < entry + panel.rounds()).then_some(c)
+                    })
+                    .collect()
+            })
+            .collect();
+        let merged_coverage = match coverage {
+            None => derived,
+            Some(recorded) => {
+                if recorded != derived {
+                    return Err(ServeError::Snapshot(
+                        "merged-round coverage metadata disagrees with the cohort windows"
+                            .to_string(),
+                    ));
+                }
+                recorded
+            }
+        };
         Ok(Self {
             merged: GrowingPanel::default(),
             cohorts,
             policy,
             entries: Some(entries),
             merged_rounds,
+            merged_coverage,
         })
     }
 
     #[allow(clippy::type_complexity)]
     pub(crate) fn dynamic_parts(
         &self,
-    ) -> (&[GrowingPanel], Option<&[Option<usize>]>, &[BitColumn]) {
-        (&self.cohorts, self.entries.as_deref(), &self.merged_rounds)
+    ) -> (
+        &[GrowingPanel],
+        Option<&[Option<usize>]>,
+        &[BitColumn],
+        &[Vec<usize>],
+    ) {
+        (
+            &self.cohorts,
+            self.entries.as_deref(),
+            &self.merged_rounds,
+            &self.merged_coverage,
+        )
     }
 }
 
@@ -1226,6 +1310,49 @@ mod tests {
             }),
             Err(ServeError::WindowNotCovered { round: 2, width: 3 })
         ));
+    }
+
+    /// Shared-noise rotating rounds: the merged column is an independent
+    /// windowed population synthesis (constant active size, no
+    /// concatenation constraint), and every round records which cohorts
+    /// it covers.
+    #[test]
+    fn shared_rotating_rounds_carry_coverage_metadata() {
+        let mut store = ReleaseStore::new();
+        // Two waves of 2 over 3 rounds: cohorts 0 (rounds 0), 1 (0-1),
+        // 2 (1-2), 3 (2). Active population 4 per round; the merged
+        // population release has its own constant 4 records.
+        let rounds: [(&[usize], Vec<BitColumn>); 3] = [
+            (&[0, 1], vec![col(&[true, false]), col(&[false, true])]),
+            (&[1, 2], vec![col(&[true, true]), col(&[false, false])]),
+            (&[2, 3], vec![col(&[true, false]), col(&[false, true])]),
+        ];
+        for (round, (active, parts)) in rounds.into_iter().enumerate() {
+            // Independent population synthesis: NOT the concatenation.
+            let merged = col(&[round % 2 == 0, true, false, round == 2]);
+            store
+                .ingest_active_columns(PolicyTag::Shared, round, 4, active, &parts, &merged)
+                .unwrap();
+        }
+        assert!(store.is_dynamic());
+        assert_eq!(store.policy(), Some(PolicyTag::Shared));
+        assert_eq!(store.merged_coverage(0).unwrap(), &[0, 1]);
+        assert_eq!(store.merged_coverage(1).unwrap(), &[1, 2]);
+        assert_eq!(store.merged_coverage(2).unwrap(), &[2, 3]);
+        assert!(store.merged_coverage(3).is_err());
+        assert_eq!(store.merged_round(1).unwrap().len(), 4);
+        // Merged-scope answers still pool the covering cohorts' panels.
+        let value = store
+            .answer(&ServeQuery {
+                scope: StoreScope::Merged,
+                kind: QueryKind::CumulativeFraction { t: 1, b: 1 },
+            })
+            .unwrap();
+        assert!((0.0..=1.0).contains(&value));
+        // Coverage survives the snapshot round trip.
+        let restored = ReleaseStore::from_snapshot_json(&store.to_snapshot_json()).unwrap();
+        assert_eq!(restored, store);
+        assert_eq!(restored.merged_coverage(2).unwrap(), &[2, 3]);
     }
 
     #[test]

@@ -57,6 +57,8 @@ fn bit_stream(seed: u64) -> impl FnMut() -> bool {
 /// with deterministic bits.
 fn random_rotating_store(seed: u64, waves: usize, horizon: usize, rounds: usize) -> ReleaseStore {
     let rho = Rho::new(0.1).unwrap();
+    // More waves than rounds is now a schedule error, not a silent clamp.
+    let waves = waves.min(horizon);
     let schedule = PanelSchedule::rotating(24 + waves * horizon, horizon, waves, rho, rho)
         .expect("valid rotating schedule");
     let mut next_bit = bit_stream(seed);
@@ -350,6 +352,57 @@ const V2_FIXTURE: &str = r#"{
     { "records": 2, "columns": ["0000000000000002", "0000000000000003"] }
   ]
 }"#;
+
+/// Frozen **v3** snapshot (dynamic-panel era, pre-coverage): a rotating
+/// store whose merged rounds carry no cohort-coverage metadata — the
+/// restore derives it from the cohort windows.
+const V3_FIXTURE: &str = r#"{
+  "format": "longsynth-release-store/v3",
+  "policy": "per-shard",
+  "dynamic": true,
+  "merged": null,
+  "merged_rounds": [
+    { "records": 3, "column": "0000000000000003" },
+    { "records": 3, "column": "0000000000000006" },
+    { "records": 3, "column": "0000000000000006" }
+  ],
+  "cohorts": [
+    { "records": 1, "entry": 0, "columns": ["0000000000000001", "0000000000000000"] },
+    { "records": 2, "entry": 0, "columns": ["0000000000000001", "0000000000000003", "0000000000000002"] },
+    { "records": 1, "entry": 2, "columns": ["0000000000000001"] }
+  ]
+}"#;
+
+#[test]
+fn v3_fixture_restore_stays_pinned_and_derives_coverage() {
+    let store = ReleaseStore::from_snapshot_json(V3_FIXTURE).unwrap();
+    assert!(store.is_dynamic());
+    assert_eq!(store.rounds(), 3);
+    assert_eq!(store.cohorts(), 3);
+    assert_eq!(store.cohort_window(0), Some(0..2));
+    assert_eq!(store.cohort_window(2), Some(2..3));
+    // Coverage metadata (new in v4) is derived from the windows.
+    assert_eq!(store.merged_coverage(0).unwrap(), &[0, 1]);
+    assert_eq!(store.merged_coverage(2).unwrap(), &[1, 2]);
+    // Pinned answer: round 2 pools cohorts 1 and 2 — cohort 1's weights
+    // after local rounds 0..=2 (bits 1/3/2 → records at 1+1=2 and 1+1=2
+    // ones… record 0: rounds 1,1,0 → weight 2; record 1: 0,1,1 → 2) and
+    // cohort 2's single weight-1 record.
+    let value = store
+        .answer(&ServeQuery {
+            scope: StoreScope::Merged,
+            kind: QueryKind::CumulativeFraction { t: 2, b: 2 },
+        })
+        .unwrap();
+    assert_eq!(value, 2.0 / 3.0);
+    // Re-snapshotting upgrades to the current format with recorded
+    // coverage and identical contents.
+    let json = store.to_snapshot_json();
+    assert!(json.contains("longsynth-release-store/v4"));
+    assert!(json.contains("coverage"));
+    let upgraded = ReleaseStore::from_snapshot_json(&json).unwrap();
+    assert_eq!(upgraded, store);
+}
 
 #[test]
 fn v1_fixture_restore_stays_pinned() {
