@@ -38,6 +38,19 @@ fn build_engine(
 }
 
 fn bench_engine_scaling(c: &mut Criterion) {
+    // Detect the actual core budget at runtime and say so up front: on a
+    // 1-core container every shards > 1 row measures pure overhead (the
+    // flat-to-slower shape below is then expected, not a regression), and
+    // readers comparing committed numbers across machines need the core
+    // count to interpret the sweep at all.
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    eprintln!("engine_scaling: {cores} core(s) available to this process");
+    if cores == 1 {
+        eprintln!(
+            "engine_scaling: single-core environment — shard sweeps measure \
+             split/merge overhead only, expect flat or inverted scaling"
+        );
+    }
     for population in [10_000usize, 100_000, 1_000_000] {
         let panel = bench_panel(population, HORIZON);
         let mut group = c.benchmark_group(format!("engine_full_run_n{population}"));

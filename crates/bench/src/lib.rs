@@ -28,6 +28,78 @@ pub fn bench_panel(n: usize, horizon: usize) -> LongitudinalDataset {
 /// suite runs in minutes; the shapes are unchanged).
 pub const BENCH_REPS: usize = 5;
 
+#[cfg(feature = "alloc-count")]
+mod alloc_count {
+    //! A counting wrapper over the system allocator, installed as the
+    //! global allocator only under the `alloc-count` feature so the rest
+    //! of the suite measures against the unwrapped system allocator.
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub(super) static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+    pub(super) static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    struct CountingAllocator;
+
+    // Pure pass-through to `System` plus two relaxed counters; the safety
+    // obligations are exactly those of the wrapped allocator.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(
+                new_size.saturating_sub(layout.size()) as u64,
+                Ordering::Relaxed,
+            );
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAllocator = CountingAllocator;
+}
+
+/// Cumulative (allocation count, bytes requested) since process start, or
+/// `None` when the crate was built without the `alloc-count` feature.
+///
+/// Callers diff two snapshots around a region of interest; counts are
+/// process-wide and monotone, so the diff is exact on a single thread and
+/// an upper bound when shard threads are live.
+pub fn alloc_snapshot() -> Option<(u64, u64)> {
+    #[cfg(feature = "alloc-count")]
+    {
+        use std::sync::atomic::Ordering;
+        Some((
+            alloc_count::ALLOCATIONS.load(Ordering::Relaxed),
+            alloc_count::BYTES.load(Ordering::Relaxed),
+        ))
+    }
+    #[cfg(not(feature = "alloc-count"))]
+    {
+        None
+    }
+}
+
+/// Peak resident set size of this process in kilobytes, read from
+/// `/proc/self/status` (`VmHWM`). `None` off Linux or if the field is
+/// missing. The high-water mark is monotone over the process lifetime, so
+/// sample it *after* the largest run of interest.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

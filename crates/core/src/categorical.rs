@@ -22,7 +22,7 @@ use crate::aggregate::HistogramAggregate;
 use crate::error::SynthError;
 use longsynth_data::categorical::CategoricalColumn;
 use longsynth_dp::budget::{BudgetLedger, Rho};
-use longsynth_dp::mechanisms::NoiseDistribution;
+use longsynth_dp::mechanisms::{NoiseDistribution, NoiseSampler};
 use longsynth_dp::rng::StdDpRng;
 use rand::Rng;
 use std::collections::VecDeque;
@@ -121,7 +121,9 @@ impl CategoricalConfig {
 /// Categorical fixed-window synthesizer. See module docs.
 pub struct CategoricalSynthesizer<R: Rng = StdDpRng> {
     config: CategoricalConfig,
-    noise: NoiseDistribution,
+    /// Cached sampler for the per-step Gaussian noise (constants hoisted
+    /// out of the per-bin noising loop).
+    sampler: NoiseSampler,
     npad: u64,
     ledger: BudgetLedger,
     per_step_rho: Rho,
@@ -150,7 +152,7 @@ impl<R: Rng> CategoricalSynthesizer<R> {
         let per_step_rho =
             Rho::new(config.rho.value() / config.update_steps() as f64).expect("validated rho");
         Self {
-            noise: NoiseDistribution::DiscreteGaussian { sigma2 },
+            sampler: NoiseDistribution::DiscreteGaussian { sigma2 }.sampler(),
             npad: config.npad(),
             ledger: BudgetLedger::new(config.rho),
             per_step_rho,
@@ -299,7 +301,7 @@ impl<R: Rng> CategoricalSynthesizer<R> {
             .expect("per-step charges sum to the configured budget");
         let npad = self.npad as i64;
         for c in counts.iter_mut() {
-            *c += npad + self.noise.sample(&mut self.rng);
+            *c += npad + self.sampler.sample(&mut self.rng);
         }
         counts
     }

@@ -190,6 +190,14 @@ pub struct CumulativeSynthesizer<R: Rng = longsynth_dp::rng::StdDpRng> {
     /// Windowed-mode per-threshold noise streams (one independent
     /// discrete-Gaussian stream per `b = 1..=W`).
     window_noise: Vec<longsynth_dp::rng::StdDpRng>,
+    /// Windowed-mode cached noise sampler at the per-coordinate variance
+    /// `σ²` for budget `2ρ/(W(W+1))` — at local round `r` an individual
+    /// can have crossed at most `r` thresholds, so over their ≤ W-round
+    /// window they influence at most `1+2+…+W = W(W+1)/2` released
+    /// coordinates, each by ≤ 1, composing to ρ total. The variance only
+    /// depends on the configuration, so the sampler is built once here
+    /// instead of per release. `None` in persistent mode.
+    window_sampler: Option<longsynth_dp::DiscreteGaussianSampler>,
     /// Estimate history: `s_history[t][b] = Ŝ_b` at 0-based round `t`.
     s_history: Vec<Vec<i64>>,
     synthetic: SyntheticDataset,
@@ -209,6 +217,14 @@ impl<R: Rng> CumulativeSynthesizer<R> {
     /// Create a synthesizer. `counter_seeds` derives one independent noise
     /// stream per threshold counter; `rng` drives record selection.
     pub fn new(config: CumulativeConfig, counter_seeds: RngFork, rng: R) -> Self {
+        let window_sampler = config.window.map(|window| {
+            let coords = (window * (window + 1) / 2) as f64;
+            let rho_coord = Rho::new(config.rho.value() / coords).expect("positive share");
+            let sigma2 = rho_coord
+                .gaussian_sigma2(1.0)
+                .expect("unit sensitivity is valid");
+            longsynth_dp::DiscreteGaussianSampler::new(sigma2)
+        });
         let (per_counter_rho, counters, exact_s, per_round_rho, window_noise) = match config.window
         {
             // Persistent mode: the paper's per-threshold stream counters.
@@ -261,6 +277,7 @@ impl<R: Rng> CumulativeSynthesizer<R> {
             exact_s,
             per_round_rho,
             window_noise,
+            window_sampler,
             s_history: Vec::new(),
             synthetic: SyntheticDataset::empty(0),
             weight_groups: Vec::new(),
@@ -642,24 +659,17 @@ impl<R: Rng> CumulativeSynthesizer<R> {
                 .charge(self.per_round_rho[t - 1])
                 .expect("per-round charges sum to the configured budget");
         }
-        // Per-coordinate budget 2ρ/(W(W+1)): at local round r an
-        // individual can have crossed at most r thresholds, so over their
-        // ≤ W-round window they influence at most 1+2+…+W = W(W+1)/2
-        // released coordinates, each by ≤ 1 — composing to ρ total.
-        let coords = (window * (window + 1) / 2) as f64;
-        let rho_coord = Rho::new(self.config.rho.value() / coords).expect("positive share");
-        let sigma2 = rho_coord
-            .gaussian_sigma2(1.0)
-            .expect("unit sensitivity is valid");
+        // Per-coordinate noise at `σ²` for budget 2ρ/(W(W+1)); the sampler
+        // (and the budget argument for its variance) is fixed at
+        // construction — see [`Self::new`].
+        let sampler = self
+            .window_sampler
+            .expect("windowed finalize implies a window sampler");
         let mut targets = vec![0i64; window + 1];
         targets[0] = n as i64;
         for b in 1..=window {
             let noisy = if b <= t {
-                self.exact_s[b]
-                    + longsynth_dp::discrete_gaussian::sample_discrete_gaussian(
-                        &mut self.window_noise[b - 1],
-                        sigma2,
-                    )
+                self.exact_s[b] + sampler.sample(&mut self.window_noise[b - 1])
             } else {
                 0
             };

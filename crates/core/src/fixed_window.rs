@@ -25,7 +25,7 @@ use crate::padding::PaddingPolicy;
 use crate::synthetic::SyntheticDataset;
 use longsynth_data::BitColumn;
 use longsynth_dp::budget::{BudgetLedger, Rho};
-use longsynth_dp::mechanisms::NoiseDistribution;
+use longsynth_dp::mechanisms::{NoiseDistribution, NoiseSampler};
 use longsynth_dp::rng::StdDpRng;
 use longsynth_dp::tail::FixedWindowParams;
 use longsynth_queries::pattern::Pattern;
@@ -163,7 +163,9 @@ impl FailureStats {
 /// The Algorithm 1 synthesizer. See module docs.
 pub struct FixedWindowSynthesizer<R: Rng = StdDpRng> {
     config: FixedWindowConfig,
-    noise: NoiseDistribution,
+    /// Cached sampler for the derived noise distribution (constants
+    /// hoisted out of the per-bin noising loop).
+    sampler: NoiseSampler,
     npad: u64,
     per_step_rho: Rho,
     ledger: BudgetLedger,
@@ -203,7 +205,7 @@ impl<R: Rng> FixedWindowSynthesizer<R> {
         let per_step_rho =
             Rho::new(config.rho.value() / config.update_steps() as f64).expect("validated rho");
         Self {
-            noise: config.derived_noise(),
+            sampler: config.derived_noise().sampler(),
             npad,
             per_step_rho,
             ledger: BudgetLedger::new(config.rho),
@@ -275,14 +277,14 @@ impl<R: Rng> FixedWindowSynthesizer<R> {
             return Ok(HistogramAggregate::Buffered { n });
         }
         debug_assert_eq!(self.buffer.len(), k);
-        let mut counts = vec![0i64; Pattern::count(k)];
-        for i in 0..n {
-            let mut code = 0usize;
-            for col in &self.buffer {
-                code = (code << 1) | usize::from(col.get(i));
-            }
-            counts[code] += 1;
-        }
+        // Word-sliced joint histogram: the front (oldest) column is the
+        // pattern's high bit, same fold as Pattern's encoding.
+        let cols: Vec<&BitColumn> = self.buffer.iter().collect();
+        let counts: Vec<i64> = BitColumn::pattern_counts(&cols)
+            .into_iter()
+            .map(|c| c as i64)
+            .collect();
+        debug_assert_eq!(counts.len(), Pattern::count(k));
         Ok(HistogramAggregate::Counts { n, counts })
     }
 
@@ -358,7 +360,7 @@ impl<R: Rng> FixedWindowSynthesizer<R> {
             .expect("per-step charges sum to the configured budget");
         let npad = self.npad as i64;
         for c in counts.iter_mut() {
-            *c += npad + self.noise.sample(&mut self.rng);
+            *c += npad + self.sampler.sample(&mut self.rng);
         }
         counts
     }

@@ -13,7 +13,7 @@
 
 use crate::StreamCounter;
 use longsynth_dp::budget::Rho;
-use longsynth_dp::mechanisms::NoiseDistribution;
+use longsynth_dp::mechanisms::{NoiseDistribution, NoiseSampler};
 use longsynth_dp::rng::StdDpRng;
 use rand::Rng;
 
@@ -22,6 +22,8 @@ pub struct BlockCounter<R: Rng = StdDpRng> {
     horizon: usize,
     block_len: usize,
     noise: NoiseDistribution,
+    /// Cached sampler for `noise` (stream-identical, constants hoisted).
+    sampler: NoiseSampler,
     /// Sum of noisy totals of completed blocks.
     completed_noisy: i64,
     /// Exact running total of the current partial block.
@@ -42,6 +44,7 @@ impl<R: Rng> BlockCounter<R> {
             horizon,
             block_len: (horizon as f64).sqrt().ceil() as usize,
             noise,
+            sampler: noise.sampler(),
             completed_noisy: 0,
             block_exact: 0,
             block_noisy: 0,
@@ -79,12 +82,12 @@ impl<R: Rng + Send> StreamCounter for BlockCounter<R> {
         self.steps += 1;
         self.block_steps += 1;
         self.block_exact += z;
-        self.block_noisy += z as i64 + self.noise.sample(&mut self.rng);
+        self.block_noisy += z as i64 + self.sampler.sample(&mut self.rng);
         let estimate = self.completed_noisy + self.block_noisy;
         if self.block_steps == self.block_len {
             // Close the block: release one fresh-noise total for it and
             // discard the per-increment noise.
-            self.completed_noisy += self.block_exact as i64 + self.noise.sample(&mut self.rng);
+            self.completed_noisy += self.block_exact as i64 + self.sampler.sample(&mut self.rng);
             self.block_exact = 0;
             self.block_noisy = 0;
             self.block_steps = 0;

@@ -22,7 +22,7 @@
 
 use crate::{tree_levels, StreamCounter};
 use longsynth_dp::budget::Rho;
-use longsynth_dp::mechanisms::NoiseDistribution;
+use longsynth_dp::mechanisms::{NoiseDistribution, NoiseSampler};
 use longsynth_dp::rng::StdDpRng;
 use rand::Rng;
 
@@ -31,6 +31,8 @@ pub struct HonakerCounter<R: Rng = StdDpRng> {
     horizon: usize,
     levels: usize,
     noise: NoiseDistribution,
+    /// Cached sampler for `noise` (stream-identical, constants hoisted).
+    sampler: NoiseSampler,
     /// Exact running sum of the current (incomplete) block, per level.
     partial: Vec<u64>,
     /// Improved estimates of completed blocks, per level, in block order.
@@ -60,6 +62,7 @@ impl<R: Rng> HonakerCounter<R> {
             horizon,
             levels,
             noise,
+            sampler: noise.sampler(),
             partial: vec![0; levels],
             improved: vec![Vec::new(); levels],
             var_by_level,
@@ -100,7 +103,7 @@ impl<R: Rng + Send> StreamCounter for HonakerCounter<R> {
                 break;
             }
             let exact = self.partial[level];
-            let noisy = exact as f64 + self.noise.sample(&mut self.rng) as f64;
+            let noisy = exact as f64 + self.sampler.sample(&mut self.rng) as f64;
             let est = if level == 0 || self.noise.is_none() {
                 noisy
             } else {

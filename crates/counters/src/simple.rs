@@ -8,7 +8,7 @@
 
 use crate::StreamCounter;
 use longsynth_dp::budget::Rho;
-use longsynth_dp::mechanisms::NoiseDistribution;
+use longsynth_dp::mechanisms::{NoiseDistribution, NoiseSampler};
 use longsynth_dp::rng::StdDpRng;
 use rand::Rng;
 
@@ -16,6 +16,8 @@ use rand::Rng;
 pub struct SimpleCounter<R: Rng = StdDpRng> {
     horizon: usize,
     noise: NoiseDistribution,
+    /// Cached sampler for `noise` (stream-identical, constants hoisted).
+    sampler: NoiseSampler,
     running: i64,
     steps: usize,
     rng: R,
@@ -28,6 +30,7 @@ impl<R: Rng> SimpleCounter<R> {
         Self {
             horizon,
             noise,
+            sampler: noise.sampler(),
             running: 0,
             steps: 0,
             rng,
@@ -49,7 +52,7 @@ impl<R: Rng + Send> StreamCounter for SimpleCounter<R> {
             self.horizon
         );
         self.steps += 1;
-        self.running += z as i64 + self.noise.sample(&mut self.rng);
+        self.running += z as i64 + self.sampler.sample(&mut self.rng);
         self.running
     }
 

@@ -18,7 +18,7 @@
 
 use crate::{tree_levels, StreamCounter};
 use longsynth_dp::budget::Rho;
-use longsynth_dp::mechanisms::NoiseDistribution;
+use longsynth_dp::mechanisms::{NoiseDistribution, NoiseSampler};
 use longsynth_dp::rng::StdDpRng;
 use rand::Rng;
 
@@ -39,6 +39,8 @@ pub struct TreeCounter<R: Rng = StdDpRng> {
     horizon: usize,
     levels: usize,
     noise: NoiseDistribution,
+    /// Cached sampler for `noise` (stream-identical, constants hoisted).
+    sampler: NoiseSampler,
     /// Exact register sums `α_j`.
     alpha: Vec<i64>,
     /// Noisy registers `α̃_j`.
@@ -55,6 +57,7 @@ impl<R: Rng> TreeCounter<R> {
             horizon,
             levels,
             noise,
+            sampler: noise.sampler(),
             alpha: vec![0; levels],
             alpha_noisy: vec![0; levels],
             steps: 0,
@@ -108,7 +111,7 @@ impl<R: Rng + Send> StreamCounter for TreeCounter<R> {
             self.alpha_noisy[j] = 0;
         }
         self.alpha[i] = merged;
-        self.alpha_noisy[i] = merged + self.noise.sample(&mut self.rng);
+        self.alpha_noisy[i] = merged + self.sampler.sample(&mut self.rng);
 
         // S̃ᵗ = Σ over set bits of t.
         let mut estimate = 0i64;

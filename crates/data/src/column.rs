@@ -201,6 +201,73 @@ impl BitColumn {
         }
         out
     }
+
+    /// Joint pattern histogram over `k` equal-length columns: bin
+    /// `counts[code]` is the number of individuals whose bits across the
+    /// columns spell `code`, with `cols[0]` contributing the **most**
+    /// significant bit (matching a front-to-back fold
+    /// `code = (code << 1) | bit`).
+    ///
+    /// For `k ≤ 6` (≤ 64 bins) this runs word-sliced: per 64 individuals it
+    /// does `2^k` AND/NOT combines plus popcounts instead of `64·k` bit
+    /// extractions, which is what makes the fixed-window synthesizer's
+    /// per-round aggregation memory-bound rather than shift-bound. Wider
+    /// windows fall back to the per-individual loop, where the scalar cost
+    /// (`k` per row) is already below the sliced cost (`2^k/64` per row).
+    ///
+    /// # Panics
+    /// Panics if `cols` is empty, `k > 16` (65 536 bins — far past any
+    /// window this system releases), or the columns disagree on length.
+    pub fn pattern_counts(cols: &[&Self]) -> Vec<u64> {
+        let k = cols.len();
+        assert!(k >= 1, "pattern_counts over zero columns");
+        assert!(k <= 16, "pattern width {k} out of range (max 16)");
+        let n = cols[0].len();
+        for (j, col) in cols.iter().enumerate() {
+            assert_eq!(col.len(), n, "column {j} length mismatch");
+        }
+        let bins = 1usize << k;
+        let mut counts = vec![0u64; bins];
+        if n == 0 {
+            return counts;
+        }
+        if bins <= WORD_BITS {
+            let words: Vec<&[u64]> = cols.iter().map(|c| c.as_words()).collect();
+            let n_words = n.div_ceil(WORD_BITS);
+            let tail = n % WORD_BITS;
+            for w in 0..n_words {
+                // The complement of a final partial word raises the bits
+                // beyond `len` (the zero-tail invariant covers only the
+                // uncomplemented words), so mask the lanes that exist.
+                let valid: u64 = if w + 1 == n_words && tail != 0 {
+                    (1u64 << tail) - 1
+                } else {
+                    u64::MAX
+                };
+                for (code, count) in counts.iter_mut().enumerate() {
+                    let mut m = valid;
+                    for (j, col_words) in words.iter().enumerate() {
+                        let cw = col_words[w];
+                        m &= if (code >> (k - 1 - j)) & 1 == 1 {
+                            cw
+                        } else {
+                            !cw
+                        };
+                    }
+                    *count += u64::from(m.count_ones());
+                }
+            }
+        } else {
+            for i in 0..n {
+                let mut code = 0usize;
+                for col in cols {
+                    code = (code << 1) | usize::from(col.get(i));
+                }
+                counts[code] += 1;
+            }
+        }
+        counts
+    }
 }
 
 impl fmt::Debug for BitColumn {
@@ -337,5 +404,63 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn slice_rejects_overrun() {
         BitColumn::zeros(10).slice(5..11);
+    }
+
+    fn reference_pattern_counts(cols: &[&BitColumn]) -> Vec<u64> {
+        let k = cols.len();
+        let mut counts = vec![0u64; 1 << k];
+        for i in 0..cols[0].len() {
+            let mut code = 0usize;
+            for col in cols {
+                code = (code << 1) | usize::from(col.get(i));
+            }
+            counts[code] += 1;
+        }
+        counts
+    }
+
+    fn pseudo_column(len: usize, salt: u64) -> BitColumn {
+        // Deterministic mixed bits, dense enough to hit every pattern.
+        BitColumn::from_iter_bits((0..len).map(|i| {
+            let x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+            (x >> 17) & 1 == 1
+        }))
+    }
+
+    #[test]
+    fn pattern_counts_matches_bit_reference() {
+        // Lengths straddling word boundaries; widths on both sides of the
+        // sliced/scalar split (2^6 = 64 bins sliced, 2^7 falls back).
+        for len in [1usize, 63, 64, 65, 127, 128, 200] {
+            for k in [1usize, 2, 3, 6, 7] {
+                let cols: Vec<BitColumn> =
+                    (0..k).map(|j| pseudo_column(len, j as u64 + 1)).collect();
+                let refs: Vec<&BitColumn> = cols.iter().collect();
+                let counts = BitColumn::pattern_counts(&refs);
+                assert_eq!(counts, reference_pattern_counts(&refs), "len={len} k={k}");
+                assert_eq!(counts.iter().sum::<u64>(), len as u64, "len={len} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_counts_empty_columns_and_msb_order() {
+        let zero: Vec<&BitColumn> = Vec::new();
+        let empty = BitColumn::zeros(0);
+        assert_eq!(BitColumn::pattern_counts(&[&empty, &empty]), vec![0; 4]);
+        assert!(std::panic::catch_unwind(|| BitColumn::pattern_counts(&zero)).is_err());
+        // cols[0] is the high bit: (1, 0) must land in bin 0b10.
+        let hi = BitColumn::ones(3);
+        let lo = BitColumn::zeros(3);
+        assert_eq!(BitColumn::pattern_counts(&[&hi, &lo]), vec![0, 0, 3, 0]);
+        assert_eq!(BitColumn::pattern_counts(&[&lo, &hi]), vec![0, 3, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn pattern_counts_rejects_ragged_columns() {
+        let a = BitColumn::zeros(5);
+        let b = BitColumn::zeros(6);
+        BitColumn::pattern_counts(&[&a, &b]);
     }
 }

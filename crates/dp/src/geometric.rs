@@ -15,7 +15,12 @@
 //! evaluates the Laplace density against a floating-point uniform.
 
 use crate::bernoulli::{sample_bernoulli, sample_bernoulli_exp_neg};
-use rand::Rng;
+use crate::fastcoin::{laplace_magnitude_pool, uniform_bits, BitPool};
+use rand::{Rng, RngCore};
+
+/// Denominator used to represent a real Laplace scale as the rational
+/// `t / RESOLUTION` (see [`sample_discrete_laplace`]).
+const RESOLUTION: u64 = 1 << 16;
 
 /// Sample from the discrete Laplace distribution `Pr[X = x] ∝ exp(-|x| / t)`
 /// with integer denominator `t ≥ 1` (CKS 2020, Algorithm 2 with `s = 1`).
@@ -58,33 +63,87 @@ pub fn sample_discrete_laplace_int<R: Rng + ?Sized>(rng: &mut R, t: u64) -> i64 
 /// error below `1e-9` per point — far below any statistical resolution at
 /// the paper's scales. For integer scales the sampler is exact.
 pub fn sample_discrete_laplace<R: Rng + ?Sized>(rng: &mut R, scale: f64) -> i64 {
-    assert!(
-        scale.is_finite() && scale > 0.0,
-        "discrete Laplace scale must be positive and finite, got {scale}"
-    );
-    // Represent the scale as t / s with s = RESOLUTION. If X ≥ 0 has
-    // Pr[X = x] ∝ exp(-x/t), then Y = ⌊X/s⌋ sums s consecutive geometric
-    // masses and has exactly Pr[Y = y] ∝ exp(-y·s/t) — CKS Algorithm 2's
-    // divide step, exact with plain floor division.
-    const RESOLUTION: u64 = 1 << 16;
-    let s = RESOLUTION;
-    let t = ((scale * s as f64).round() as u64).max(1);
-    loop {
-        let x = sample_magnitude_over(rng, t);
-        let y = x / s;
-        let negative = sample_bernoulli(rng, 0.5);
-        if negative && y == 0 {
-            continue;
+    DiscreteLaplaceSampler::new(scale).sample(rng)
+}
+
+/// A reusable real-scale discrete Laplace sampler with the rational scale
+/// representation `t / RESOLUTION` derived once.
+///
+/// [`sample_discrete_laplace`] re-derives the denominator on every call;
+/// counters that add Laplace noise every round should hold one of these.
+/// The stream contract mirrors
+/// [`crate::discrete_gaussian::DiscreteGaussianSampler`]:
+/// [`sample`](Self::sample) is bit-stream-identical to the free function,
+/// [`fill`](Self::fill) is the entropy-lean exact fast path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscreteLaplaceSampler {
+    scale: f64,
+    /// Numerator of the rational scale `t / RESOLUTION`.
+    t: u64,
+    /// Chunk width for the pooled uniform over `[0, t)`.
+    t_bits: u32,
+    t_f: f64,
+}
+
+impl DiscreteLaplaceSampler {
+    /// Precompute the rational-scale constants for real scale `scale`.
+    ///
+    /// # Panics
+    /// Panics if `scale` is not finite and strictly positive.
+    pub fn new(scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "discrete Laplace scale must be positive and finite, got {scale}"
+        );
+        // Represent the scale as t / s with s = RESOLUTION. If X ≥ 0 has
+        // Pr[X = x] ∝ exp(-x/t), then Y = ⌊X/s⌋ sums s consecutive
+        // geometric masses and has exactly Pr[Y = y] ∝ exp(-y·s/t) — CKS
+        // Algorithm 2's divide step, exact with plain floor division.
+        let t = ((scale * RESOLUTION as f64).round() as u64).max(1);
+        DiscreteLaplaceSampler {
+            scale,
+            t,
+            t_bits: uniform_bits(t),
+            t_f: t as f64,
         }
-        let y = i64::try_from(y).expect("discrete Laplace magnitude overflow");
-        return if negative { -y } else { y };
+    }
+
+    /// The real scale this sampler was built for.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Draw one value, bit-stream-identical to
+    /// [`sample_discrete_laplace`] at the same scale.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        loop {
+            let x = self.sample_magnitude(rng);
+            let y = x / RESOLUTION;
+            let negative = sample_bernoulli(rng, 0.5);
+            if negative && y == 0 {
+                continue;
+            }
+            let y = i64::try_from(y).expect("discrete Laplace magnitude overflow");
+            return if negative { -y } else { y };
+        }
+    }
+
+    /// Fill `out` with independent draws via the pooled fast path
+    /// (identical distribution, different RNG word consumption). One
+    /// `BitPool` is shared across the whole batch.
+    pub fn fill<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [i64]) {
+        let mut pool = BitPool::new();
+        for slot in out.iter_mut() {
+            *slot = self.sample_pooled(rng, &mut pool);
+        }
     }
 
     /// One-sided magnitude with `Pr[X = x] ∝ exp(-x/t)` on `x ≥ 0`.
-    fn sample_magnitude_over<R: Rng + ?Sized>(rng: &mut R, t: u64) -> u64 {
+    fn sample_magnitude<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         loop {
-            let u = rng.gen_range(0..t);
-            if !sample_bernoulli_exp_neg(rng, u as f64 / t as f64) {
+            let u = rng.gen_range(0..self.t);
+            if !sample_bernoulli_exp_neg(rng, u as f64 / self.t_f) {
                 continue;
             }
             let mut v: u64 = 0;
@@ -92,7 +151,23 @@ pub fn sample_discrete_laplace<R: Rng + ?Sized>(rng: &mut R, scale: f64) -> i64 
                 v += 1;
                 assert!(v < 4000, "geometric tail overflow");
             }
-            return u + t * v;
+            return u + self.t * v;
+        }
+    }
+
+    /// One draw through the pooled-coin machinery
+    /// ([`Self::sample_magnitude`] over [`laplace_magnitude_pool`]).
+    #[inline]
+    fn sample_pooled<R: RngCore + ?Sized>(&self, rng: &mut R, pool: &mut BitPool) -> i64 {
+        loop {
+            let x = laplace_magnitude_pool(rng, pool, self.t, self.t_bits, self.t_f);
+            let y = x / RESOLUTION;
+            let negative = pool.take(rng, 1) == 1;
+            if negative && y == 0 {
+                continue;
+            }
+            let y = i64::try_from(y).expect("discrete Laplace magnitude overflow");
+            return if negative { -y } else { y };
         }
     }
 }
@@ -192,5 +267,41 @@ mod tests {
     fn zero_denominator_panics() {
         let mut rng = rng_from_seed(7);
         sample_discrete_laplace_int(&mut rng, 0);
+    }
+
+    /// The cached sampler consumes the identical RNG stream as the scalar
+    /// free function, across a mix of scales sharing one RNG.
+    #[test]
+    fn laplace_sampler_is_stream_identical_to_scalar() {
+        let scales = [0.5, 1.0, 2.5, 40.0];
+        let samplers: Vec<DiscreteLaplaceSampler> = scales
+            .iter()
+            .map(|&s| DiscreteLaplaceSampler::new(s))
+            .collect();
+        let mut rng1 = rng_from_seed(8);
+        let mut rng2 = rng_from_seed(8);
+        for round in 0..200 {
+            let idx = round % scales.len();
+            let a = samplers[idx].sample(&mut rng1);
+            let b = sample_discrete_laplace(&mut rng2, scales[idx]);
+            assert_eq!(a, b, "round {round}, scale {}", scales[idx]);
+        }
+    }
+
+    #[test]
+    fn laplace_fill_moments_match_theory() {
+        let scale = 2.5;
+        let sampler = DiscreteLaplaceSampler::new(scale);
+        let mut rng = rng_from_seed(9);
+        let mut buf = vec![0i64; 120_000];
+        sampler.fill(&mut rng, &mut buf);
+        let (mean, var) = moments(&buf);
+        let theory = discrete_laplace_variance(scale);
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!(
+            (var - theory).abs() / theory < 0.10,
+            "var {var} vs theory {theory}"
+        );
+        assert!((sampler.scale() - scale).abs() < 1e-12);
     }
 }

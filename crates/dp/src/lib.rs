@@ -47,11 +47,14 @@
 pub mod bernoulli;
 pub mod budget;
 pub mod discrete_gaussian;
+mod fastcoin;
 pub mod geometric;
 pub mod mechanisms;
 pub mod rng;
 pub mod tail;
 
 pub use budget::Rho;
-pub use mechanisms::NoiseDistribution;
+pub use discrete_gaussian::DiscreteGaussianSampler;
+pub use geometric::DiscreteLaplaceSampler;
+pub use mechanisms::{NoiseDistribution, NoiseSampler};
 pub use rng::{rng_from_seed, RngFork};

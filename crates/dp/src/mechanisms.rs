@@ -9,8 +9,8 @@
 //! without touching algorithm code.
 
 use crate::budget::{BudgetError, Rho};
-use crate::discrete_gaussian::{sample_discrete_gaussian, tail_quantile};
-use crate::geometric::{discrete_laplace_variance, sample_discrete_laplace};
+use crate::discrete_gaussian::{tail_quantile, DiscreteGaussianSampler};
+use crate::geometric::{discrete_laplace_variance, DiscreteLaplaceSampler};
 use rand::Rng;
 
 /// An integer-valued, symmetric, zero-mean noise distribution.
@@ -58,11 +58,28 @@ impl NoiseDistribution {
     }
 
     /// Draw one noise value.
+    ///
+    /// Repeated draws from the same distribution should construct a
+    /// [`NoiseSampler`] via [`Self::sampler`] once instead: this
+    /// convenience form re-derives the sampling constants on every call.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        self.sampler().sample(rng)
+    }
+
+    /// Precompute a reusable sampler for this distribution.
+    ///
+    /// The returned sampler's [`NoiseSampler::sample`] is bit-stream-
+    /// identical to [`Self::sample`], so hoisting construction out of a
+    /// per-round loop never changes a seeded output.
+    pub fn sampler(&self) -> NoiseSampler {
         match *self {
-            NoiseDistribution::DiscreteGaussian { sigma2 } => sample_discrete_gaussian(rng, sigma2),
-            NoiseDistribution::DiscreteLaplace { scale } => sample_discrete_laplace(rng, scale),
-            NoiseDistribution::None => 0,
+            NoiseDistribution::DiscreteGaussian { sigma2 } => {
+                NoiseSampler::DiscreteGaussian(DiscreteGaussianSampler::new(sigma2))
+            }
+            NoiseDistribution::DiscreteLaplace { scale } => {
+                NoiseSampler::DiscreteLaplace(DiscreteLaplaceSampler::new(scale))
+            }
+            NoiseDistribution::None => NoiseSampler::None,
         }
     }
 
@@ -95,16 +112,64 @@ impl NoiseDistribution {
     }
 }
 
+/// A [`NoiseDistribution`] with its per-distribution sampling constants
+/// precomputed (one-time cold start instead of per draw).
+///
+/// Obtained from [`NoiseDistribution::sampler`]. Two draw paths:
+/// [`sample`](Self::sample) is bit-stream-identical to
+/// [`NoiseDistribution::sample`]; [`fill`](Self::fill) draws the identical
+/// distribution through the entropy-lean batched path (different RNG word
+/// consumption — not stream-interchangeable with `sample`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseSampler {
+    /// Cached discrete Gaussian sampler.
+    DiscreteGaussian(DiscreteGaussianSampler),
+    /// Cached discrete Laplace sampler.
+    DiscreteLaplace(DiscreteLaplaceSampler),
+    /// The identity mechanism: every draw is 0.
+    None,
+}
+
+impl NoiseSampler {
+    /// Draw one noise value (stream-identical to
+    /// [`NoiseDistribution::sample`]).
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        match self {
+            NoiseSampler::DiscreteGaussian(s) => s.sample(rng),
+            NoiseSampler::DiscreteLaplace(s) => s.sample(rng),
+            NoiseSampler::None => 0,
+        }
+    }
+
+    /// Fill `out` with independent draws via the fast batched path
+    /// (`None` writes zeros).
+    pub fn fill<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [i64]) {
+        match self {
+            NoiseSampler::DiscreteGaussian(s) => s.fill(rng, out),
+            NoiseSampler::DiscreteLaplace(s) => s.fill(rng, out),
+            NoiseSampler::None => out.fill(0),
+        }
+    }
+
+    /// True when this sampler injects no randomness.
+    pub fn is_none(&self) -> bool {
+        matches!(self, NoiseSampler::None)
+    }
+}
+
 /// Release a vector of sensitivity-`1` counts under independent noise: the
 /// DP histogram primitive of Algorithm 1 stage 1.
 ///
-/// Returns `counts[i] + noiseᵢ` with independent draws.
+/// Returns `counts[i] + noiseᵢ` with independent draws. The sampler is
+/// constructed once for the whole vector.
 pub fn noisy_counts<R: Rng + ?Sized>(
     rng: &mut R,
     counts: &[i64],
     noise: NoiseDistribution,
 ) -> Vec<i64> {
-    counts.iter().map(|&c| c + noise.sample(rng)).collect()
+    let sampler = noise.sampler();
+    counts.iter().map(|&c| c + sampler.sample(rng)).collect()
 }
 
 #[cfg(test)]
@@ -154,6 +219,43 @@ mod tests {
         let var: f64 = out.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / 1000.0;
         assert!(mean.abs() < 1.5, "mean {mean}");
         assert!((var - 100.0).abs() < 20.0, "var {var}");
+    }
+
+    #[test]
+    fn cached_sampler_is_stream_identical_to_distribution_sample() {
+        let dists = [
+            NoiseDistribution::DiscreteGaussian { sigma2: 9.0 },
+            NoiseDistribution::DiscreteLaplace { scale: 3.0 },
+            NoiseDistribution::None,
+        ];
+        for d in dists {
+            let sampler = d.sampler();
+            let mut rng1 = rng_from_seed(40);
+            let mut rng2 = rng_from_seed(40);
+            for i in 0..200 {
+                assert_eq!(
+                    sampler.sample(&mut rng1),
+                    d.sample(&mut rng2),
+                    "{d:?} draw {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_fill_none_is_zero_and_noise_is_not() {
+        let mut rng = rng_from_seed(41);
+        let mut buf = [7i64; 64];
+        NoiseDistribution::None.sampler().fill(&mut rng, &mut buf);
+        assert_eq!(buf, [0i64; 64]);
+        assert!(NoiseDistribution::None.sampler().is_none());
+        let g = NoiseDistribution::DiscreteGaussian { sigma2: 25.0 }.sampler();
+        assert!(!g.is_none());
+        g.fill(&mut rng, &mut buf);
+        assert!(buf.iter().any(|&x| x != 0));
+        let l = NoiseDistribution::DiscreteLaplace { scale: 4.0 }.sampler();
+        l.fill(&mut rng, &mut buf);
+        assert!(buf.iter().any(|&x| x != 0));
     }
 
     #[test]

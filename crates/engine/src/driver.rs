@@ -155,6 +155,9 @@ pub struct ShardedEngine<S: ContinualSynthesizer> {
     scheduled_static: bool,
     policy: AggregationPolicy,
     shards: Vec<S>,
+    /// Scratch for [`Self::drive_active`]'s take-by-slot scatter/gather,
+    /// kept across rounds so steady-state rounds allocate no slot vectors.
+    slot_scratch: Vec<Option<S>>,
     /// The finalize-only population synthesizer (shared-noise policy with
     /// more than one shard): persistent for static panels, windowed for
     /// rotating schedules.
@@ -355,6 +358,7 @@ where
             scheduled_static: false,
             policy,
             shards,
+            slot_scratch: Vec::new(),
             population: population.map(PopulationSlot::Persistent),
             retired_through: 0,
             lifetime: Vec::new(),
@@ -482,6 +486,7 @@ where
             scheduled_static,
             policy,
             shards,
+            slot_scratch: Vec::new(),
             population,
             retired_through: 0,
             lifetime,
@@ -796,7 +801,7 @@ where
         let merged = match &mut self.sink {
             None => S::Release::merge(releases)?,
             Some(sink) => {
-                let merged = S::Release::merge(releases.clone())?;
+                let merged = S::Release::merge_borrowed(&releases)?;
                 sink.on_round(self.rounds_fed, &releases, &merged, PolicyTag::PerShard);
                 merged
             }
@@ -960,12 +965,16 @@ where
             self.process_retirements(round)?;
             let (aggregates, releases) = self.prepare_finalize_active(active, parts)?;
             self.absorb_lifetimes(active, &aggregates)?;
-            let merged_aggregate = S::Aggregate::merge(
-                aggregates
-                    .into_iter()
-                    .map(|aggregate| aggregate.align_to_round(round + 1))
-                    .collect(),
-            )?;
+            let mut aggregates = aggregates.into_iter();
+            let Some(first) = aggregates.next() else {
+                return Err(EngineError::MergeMismatch(
+                    "no shard aggregates to merge".to_string(),
+                ));
+            };
+            let mut merged_aggregate = first.align_to_round(round + 1);
+            for aggregate in aggregates {
+                merged_aggregate.merge_into(&aggregate.align_to_round(round + 1))?;
+            }
             let population = self.population.as_mut().expect("checked population above");
             let merged = population.finalize(merged_aggregate)?;
             // Verify the budget cap BEFORE any sink observes the round:
@@ -992,7 +1001,7 @@ where
             match &mut self.sink {
                 None => S::Release::merge(releases)?,
                 Some(_) => {
-                    let merged = S::Release::merge(releases.clone())?;
+                    let merged = S::Release::merge_borrowed(&releases)?;
                     let sink = self.sink.as_mut().expect("checked above");
                     Self::notify_scheduled_sink(
                         sink,
@@ -1078,7 +1087,12 @@ where
             };
         }
         let pool = Arc::clone(self.pool.as_ref().expect("checked above"));
-        let mut slots: Vec<Option<S>> = self.shards.drain(..).map(Some).collect();
+        // Reuse the slot scratch (and `self.shards`' own buffer, which
+        // `drain` leaves allocated): steady-state rounds allocate nothing
+        // here but the job closures.
+        let mut slots = std::mem::take(&mut self.slot_scratch);
+        debug_assert!(slots.is_empty());
+        slots.extend(self.shards.drain(..).map(Some));
         let jobs: Vec<_> = active
             .iter()
             .zip(parts)
@@ -1104,10 +1118,12 @@ where
                 Err(_) => {}
             }
         }
-        self.shards = slots
-            .into_iter()
-            .map(|slot| slot.expect("every cohort returned from the batch"))
-            .collect();
+        self.shards.extend(
+            slots
+                .drain(..)
+                .map(|slot| slot.expect("every cohort returned from the batch")),
+        );
+        self.slot_scratch = slots;
         if let Some(payload) = first_panic {
             resume_unwind(payload);
         }
@@ -1241,13 +1257,16 @@ where
             // The merged (population-level) aggregate lives on the global
             // clock; the pending per-cohort aggregates stay local — each
             // cohort's own finalize expects its local shape.
-            let merged = S::Aggregate::merge(
-                aggregates
-                    .iter()
-                    .cloned()
-                    .map(|aggregate| aggregate.align_to_round(round + 1))
-                    .collect(),
-            )?;
+            let mut parts = aggregates.iter();
+            let Some(first) = parts.next() else {
+                return Err(EngineError::MergeMismatch(
+                    "no shard aggregates to merge".to_string(),
+                ));
+            };
+            let mut merged = first.clone().align_to_round(round + 1);
+            for aggregate in parts {
+                merged.merge_into(&aggregate.clone().align_to_round(round + 1))?;
+            }
             self.pending = Some(PendingRound {
                 active: Some(active),
                 aggregates,
@@ -1269,7 +1288,7 @@ where
                 source,
             })?);
         }
-        let merged = S::Aggregate::merge(aggregates.clone())?;
+        let merged = S::Aggregate::merge_borrowed(&aggregates)?;
         self.pending = Some(PendingRound {
             active: None,
             aggregates,
@@ -1381,7 +1400,7 @@ where
         }
         let merged = match &mut self.population {
             Some(population) => population.finalize(aggregate)?,
-            None if self.sink.is_some() => S::Release::merge(releases.clone())?,
+            None if self.sink.is_some() => S::Release::merge_borrowed(&releases)?,
             None => S::Release::merge(std::mem::take(&mut releases))?,
         };
         // Verify the budget cap BEFORE any sink observes the round: an

@@ -24,50 +24,54 @@ use crate::EngineError;
 
 /// A per-shard release that can be merged across shards.
 pub trait MergeRelease: Sized {
+    /// Merge borrowed per-shard parts (in shard order) into one
+    /// population-level release, leaving the parts in place.
+    ///
+    /// This is the per-round hot path when a release sink is attached: the
+    /// per-shard releases stay owned by the engine (they are handed back to
+    /// the caller) while the merged copy goes to the sink, so the merge
+    /// must not consume — and must not clone — the parts.
+    fn merge_borrowed(parts: &[Self]) -> Result<Self, EngineError>;
+
     /// Merge per-shard parts (in shard order) into one population-level
-    /// release.
-    fn merge(parts: Vec<Self>) -> Result<Self, EngineError>;
+    /// release, consuming them.
+    ///
+    /// Bit-identical to [`merge_borrowed`](Self::merge_borrowed) on the
+    /// same parts (pinned by property tests).
+    fn merge(parts: Vec<Self>) -> Result<Self, EngineError> {
+        Self::merge_borrowed(&parts)
+    }
 }
 
 /// Concatenate bit columns in shard order (word-level — 64 bits at a time).
-fn concat_columns(parts: &[BitColumn]) -> BitColumn {
-    BitColumn::concat(parts.iter())
+fn concat_columns<'a, I: IntoIterator<Item = &'a BitColumn>>(parts: I) -> BitColumn {
+    BitColumn::concat(parts)
 }
 
 impl MergeRelease for BitColumn {
-    fn merge(parts: Vec<Self>) -> Result<Self, EngineError> {
+    fn merge_borrowed(parts: &[Self]) -> Result<Self, EngineError> {
         if parts.is_empty() {
             return Err(EngineError::MergeMismatch(
                 "no shard releases to merge".to_string(),
             ));
         }
-        Ok(concat_columns(&parts))
+        Ok(concat_columns(parts))
     }
 }
 
 impl MergeRelease for Release {
-    fn merge(parts: Vec<Self>) -> Result<Self, EngineError> {
-        if parts.is_empty() {
+    fn merge_borrowed(parts: &[Self]) -> Result<Self, EngineError> {
+        // All shards run in lockstep, so the variants must agree; validate
+        // against the first part, then concatenate borrowed columns in
+        // shard order — one output allocation per merged column, no
+        // per-shard staging buffers.
+        let Some(first) = parts.first() else {
             return Err(EngineError::MergeMismatch(
                 "no shard releases to merge".to_string(),
             ));
-        }
-        // All shards run in lockstep, so the variants must agree. Tag the
-        // expected variant first, then consume `parts` — the per-shard
-        // columns move straight into the merge, no clones on this per-round
-        // hot path.
-        enum Kind {
-            Buffered,
-            Initial(usize),
-            Update,
-        }
-        let kind = match &parts[0] {
-            Release::Buffered => Kind::Buffered,
-            Release::Initial(columns) => Kind::Initial(columns.len()),
-            Release::Update(_) => Kind::Update,
         };
-        match kind {
-            Kind::Buffered => {
+        match first {
+            Release::Buffered => {
                 if parts.iter().all(|p| matches!(p, Release::Buffered)) {
                     Ok(Release::Buffered)
                 } else {
@@ -76,9 +80,9 @@ impl MergeRelease for Release {
                     ))
                 }
             }
-            Kind::Initial(k) => {
-                let shards = parts.len();
-                let mut per_round: Vec<Vec<BitColumn>> = vec![Vec::with_capacity(shards); k];
+            Release::Initial(first_columns) => {
+                let k = first_columns.len();
+                let mut per_part: Vec<&Vec<BitColumn>> = Vec::with_capacity(parts.len());
                 for part in parts {
                     let Release::Initial(columns) = part else {
                         return Err(EngineError::MergeMismatch(
@@ -91,15 +95,15 @@ impl MergeRelease for Release {
                             columns.len()
                         )));
                     }
-                    for (t, column) in columns.into_iter().enumerate() {
-                        per_round[t].push(column);
-                    }
+                    per_part.push(columns);
                 }
                 Ok(Release::Initial(
-                    per_round.iter().map(|cols| concat_columns(cols)).collect(),
+                    (0..k)
+                        .map(|t| concat_columns(per_part.iter().map(|columns| &columns[t])))
+                        .collect(),
                 ))
             }
-            Kind::Update => {
+            Release::Update(_) => {
                 let mut columns = Vec::with_capacity(parts.len());
                 for part in parts {
                     let Release::Update(column) = part else {
@@ -109,14 +113,14 @@ impl MergeRelease for Release {
                     };
                     columns.push(column);
                 }
-                Ok(Release::Update(concat_columns(&columns)))
+                Ok(Release::Update(concat_columns(columns)))
             }
         }
     }
 }
 
 impl MergeRelease for () {
-    fn merge(parts: Vec<Self>) -> Result<Self, EngineError> {
+    fn merge_borrowed(parts: &[Self]) -> Result<Self, EngineError> {
         if parts.is_empty() {
             return Err(EngineError::MergeMismatch(
                 "no shard releases to merge".to_string(),
@@ -131,9 +135,45 @@ impl MergeRelease for () {
 /// aggregate — the input to the shared-noise policy's single
 /// population-level `finalize`.
 pub trait MergeAggregate: Sized {
+    /// Fold one disjoint-cohort part into `self` in place — the primitive
+    /// the merge forms below are built from. Folding parts in shard order
+    /// is bit-identical to [`merge`](Self::merge) on the same sequence
+    /// (pinned by property tests).
+    fn merge_into(&mut self, part: &Self) -> Result<(), EngineError>;
+
     /// Combine per-shard aggregates (in shard order) into one
-    /// population-level aggregate.
-    fn merge(parts: Vec<Self>) -> Result<Self, EngineError>;
+    /// population-level aggregate, consuming them.
+    fn merge(parts: Vec<Self>) -> Result<Self, EngineError> {
+        let mut parts = parts.into_iter();
+        let Some(mut merged) = parts.next() else {
+            return Err(EngineError::MergeMismatch(
+                "no shard aggregates to merge".to_string(),
+            ));
+        };
+        for part in parts {
+            merged.merge_into(&part)?;
+        }
+        Ok(merged)
+    }
+
+    /// Combine borrowed per-shard aggregates (in shard order), cloning
+    /// only the first part — the per-round form when the engine keeps the
+    /// per-shard aggregates alive alongside the merged view.
+    fn merge_borrowed(parts: &[Self]) -> Result<Self, EngineError>
+    where
+        Self: Clone,
+    {
+        let Some((first, rest)) = parts.split_first() else {
+            return Err(EngineError::MergeMismatch(
+                "no shard aggregates to merge".to_string(),
+            ));
+        };
+        let mut merged = first.clone();
+        for part in rest {
+            merged.merge_into(part)?;
+        }
+        Ok(merged)
+    }
 
     /// Lift a cohort-local aggregate onto the global panel clock so that
     /// aggregates of cohorts that *entered at different rounds* can sum
@@ -186,50 +226,35 @@ pub trait MergeAggregate: Sized {
 
 /// Window histograms of disjoint cohorts add bin-wise (populations sum).
 impl MergeAggregate for HistogramAggregate {
-    fn merge(parts: Vec<Self>) -> Result<Self, EngineError> {
-        let mut parts = parts.into_iter();
-        let Some(first) = parts.next() else {
-            return Err(EngineError::MergeMismatch(
-                "no shard aggregates to merge".to_string(),
-            ));
-        };
-        match first {
-            HistogramAggregate::Buffered { mut n } => {
-                for part in parts {
-                    let HistogramAggregate::Buffered { n: part_n } = part else {
-                        return Err(EngineError::MergeMismatch(
-                            "mixed buffered/histogram shard aggregates".to_string(),
-                        ));
-                    };
-                    n += part_n;
-                }
-                Ok(HistogramAggregate::Buffered { n })
+    fn merge_into(&mut self, part: &Self) -> Result<(), EngineError> {
+        match (self, part) {
+            (HistogramAggregate::Buffered { n }, HistogramAggregate::Buffered { n: part_n }) => {
+                *n += *part_n;
+                Ok(())
             }
-            HistogramAggregate::Counts { mut n, mut counts } => {
-                for part in parts {
-                    let HistogramAggregate::Counts {
-                        n: part_n,
-                        counts: part_counts,
-                    } = part
-                    else {
-                        return Err(EngineError::MergeMismatch(
-                            "mixed buffered/histogram shard aggregates".to_string(),
-                        ));
-                    };
-                    if part_counts.len() != counts.len() {
-                        return Err(EngineError::MergeMismatch(format!(
-                            "histogram widths disagree: {} vs {} bins",
-                            counts.len(),
-                            part_counts.len()
-                        )));
-                    }
-                    n += part_n;
-                    for (total, part) in counts.iter_mut().zip(part_counts) {
-                        *total += part;
-                    }
+            (
+                HistogramAggregate::Counts { n, counts },
+                HistogramAggregate::Counts {
+                    n: part_n,
+                    counts: part_counts,
+                },
+            ) => {
+                if part_counts.len() != counts.len() {
+                    return Err(EngineError::MergeMismatch(format!(
+                        "histogram widths disagree: {} vs {} bins",
+                        counts.len(),
+                        part_counts.len()
+                    )));
                 }
-                Ok(HistogramAggregate::Counts { n, counts })
+                *n += *part_n;
+                for (total, part) in counts.iter_mut().zip(part_counts) {
+                    *total += *part;
+                }
+                Ok(())
             }
+            _ => Err(EngineError::MergeMismatch(
+                "mixed buffered/histogram shard aggregates".to_string(),
+            )),
         }
     }
 
@@ -286,27 +311,19 @@ impl MergeAggregate for HistogramAggregate {
 /// individual crosses threshold `b` at most once regardless of which
 /// cohort counts it, so the summed stream keeps per-counter sensitivity 1.
 impl MergeAggregate for CumulativeAggregate {
-    fn merge(parts: Vec<Self>) -> Result<Self, EngineError> {
-        let mut parts = parts.into_iter();
-        let Some(mut merged) = parts.next() else {
-            return Err(EngineError::MergeMismatch(
-                "no shard aggregates to merge".to_string(),
-            ));
-        };
-        for part in parts {
-            if part.increments.len() != merged.increments.len() {
-                return Err(EngineError::MergeMismatch(format!(
-                    "increment vectors disagree: {} vs {} thresholds",
-                    merged.increments.len(),
-                    part.increments.len()
-                )));
-            }
-            merged.n += part.n;
-            for (total, part) in merged.increments.iter_mut().zip(part.increments) {
-                *total += part;
-            }
+    fn merge_into(&mut self, part: &Self) -> Result<(), EngineError> {
+        if part.increments.len() != self.increments.len() {
+            return Err(EngineError::MergeMismatch(format!(
+                "increment vectors disagree: {} vs {} thresholds",
+                self.increments.len(),
+                part.increments.len()
+            )));
         }
-        Ok(merged)
+        self.n += part.n;
+        for (total, part) in self.increments.iter_mut().zip(&part.increments) {
+            *total += *part;
+        }
+        Ok(())
     }
 
     /// A cohort observed for `t < round` rounds has increments for
@@ -376,13 +393,24 @@ impl MergeAggregate for CumulativeAggregate {
 /// The recompute baseline's "aggregate" is the raw column; disjoint
 /// cohorts concatenate back into the population column (shard order).
 impl MergeAggregate for BitColumn {
-    fn merge(parts: Vec<Self>) -> Result<Self, EngineError> {
+    fn merge_into(&mut self, part: &Self) -> Result<(), EngineError> {
+        self.extend_bits(part);
+        Ok(())
+    }
+
+    /// Override: concatenation knows the total width up front, so one
+    /// sized allocation beats the fold's repeated extension.
+    fn merge_borrowed(parts: &[Self]) -> Result<Self, EngineError> {
         if parts.is_empty() {
             return Err(EngineError::MergeMismatch(
                 "no shard aggregates to merge".to_string(),
             ));
         }
-        Ok(concat_columns(&parts))
+        Ok(concat_columns(parts))
+    }
+
+    fn merge(parts: Vec<Self>) -> Result<Self, EngineError> {
+        <Self as MergeAggregate>::merge_borrowed(&parts)
     }
 }
 

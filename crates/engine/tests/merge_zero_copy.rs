@@ -1,0 +1,169 @@
+//! Zero-copy merge equivalence pins.
+//!
+//! The borrowing (`merge_borrowed`) and fold-in-place (`merge_into`) merge
+//! APIs exist purely as allocation/clone-avoidance refactors of the owned
+//! `merge(Vec<_>)` path; these property tests pin that all three forms are
+//! **bit-identical** — same merged value on success, an error on exactly
+//! the same (ragged, mixed-variant, or empty) inputs — so the engine's
+//! per-round hot path can pick whichever form avoids work without any
+//! behavioral risk.
+
+use longsynth::{CumulativeAggregate, HistogramAggregate, Release};
+use longsynth_data::BitColumn;
+use longsynth_engine::{MergeAggregate, MergeRelease};
+use proptest::prelude::*;
+
+/// Assert the three merge forms of a `MergeAggregate` family agree:
+/// owned `merge`, `merge_borrowed`, and a manual first-clone +
+/// `merge_into` fold.
+fn assert_aggregate_forms_agree<A>(parts: Vec<A>)
+where
+    A: MergeAggregate + Clone + PartialEq + std::fmt::Debug,
+{
+    let owned = A::merge(parts.clone());
+    let borrowed = A::merge_borrowed(&parts);
+    let folded: Option<Result<A, longsynth_engine::EngineError>> =
+        parts.split_first().map(|(first, rest)| {
+            let mut merged = first.clone();
+            for part in rest {
+                merged.merge_into(part)?;
+            }
+            Ok(merged)
+        });
+    match owned {
+        Ok(merged) => {
+            assert_eq!(borrowed.as_ref().ok(), Some(&merged), "borrowed diverged");
+            assert_eq!(
+                folded.and_then(Result::ok).as_ref(),
+                Some(&merged),
+                "merge_into fold diverged"
+            );
+        }
+        Err(_) => {
+            assert!(borrowed.is_err(), "borrowed accepted what owned rejected");
+            assert!(
+                folded.is_none() || folded.unwrap().is_err(),
+                "merge_into fold accepted what owned rejected"
+            );
+        }
+    }
+}
+
+/// Histogram part from raw generated data; `kind` mixes Buffered vs
+/// Counts so ragged widths AND mixed phases exercise the error paths.
+fn histogram_part(kind: u8, n: usize, counts: &[i64]) -> HistogramAggregate {
+    if kind.is_multiple_of(3) {
+        HistogramAggregate::Buffered { n: n % 1000 }
+    } else {
+        HistogramAggregate::Counts {
+            n: n % 1000,
+            counts: counts[..1 + (kind as usize % counts.len().max(1)).min(counts.len() - 1)]
+                .to_vec(),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_merge_forms_agree(
+        kinds in collection::vec(any::<u8>(), 0..6),
+        ns in collection::vec(0usize..1000, 6..7),
+        counts in collection::vec(-50i64..5000, 8..9),
+    ) {
+        let parts: Vec<HistogramAggregate> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| histogram_part(kind, ns[i], &counts))
+            .collect();
+        assert_aggregate_forms_agree(parts);
+    }
+
+    #[test]
+    fn cumulative_merge_forms_agree(
+        ns in collection::vec(0usize..1000, 0..6),
+        widths in collection::vec(1usize..9, 6..7),
+        increments in collection::vec(0u64..5000, 8..9),
+    ) {
+        let parts: Vec<CumulativeAggregate> = ns
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| CumulativeAggregate {
+                n,
+                increments: increments[..widths[i]].to_vec(),
+            })
+            .collect();
+        assert_aggregate_forms_agree(parts);
+    }
+
+    #[test]
+    fn bit_column_aggregate_merge_forms_agree(
+        parts_bits in collection::vec(collection::vec(any::<bool>(), 0..150), 0..6)
+    ) {
+        let parts: Vec<BitColumn> = parts_bits
+            .iter()
+            .map(|bits| BitColumn::from_bools(bits))
+            .collect();
+        assert_aggregate_forms_agree(parts);
+    }
+
+    /// `Release::merge` vs `merge_borrowed` on ragged per-shard initial
+    /// releases: per-round windows of different populations per shard
+    /// (the common case — shard cohorts never split evenly), including
+    /// shards that disagree on the window width `k` (the error path).
+    #[test]
+    fn initial_release_merge_forms_agree(
+        per_shard in collection::vec(
+            collection::vec(collection::vec(any::<bool>(), 0..80), 1..5),
+            1..5
+        )
+    ) {
+        let parts: Vec<Release> = per_shard
+            .iter()
+            .map(|columns| {
+                Release::Initial(columns.iter().map(|b| BitColumn::from_bools(b)).collect())
+            })
+            .collect();
+        let owned = Release::merge(parts.clone());
+        let borrowed = Release::merge_borrowed(&parts);
+        match owned {
+            Ok(merged) => prop_assert_eq!(borrowed.unwrap(), merged),
+            Err(_) => prop_assert!(borrowed.is_err()),
+        }
+    }
+
+    #[test]
+    fn update_release_merge_forms_agree(
+        columns in collection::vec(collection::vec(any::<bool>(), 0..200), 1..6)
+    ) {
+        let parts: Vec<Release> = columns
+            .iter()
+            .map(|b| Release::Update(BitColumn::from_bools(b)))
+            .collect();
+        let merged = Release::merge(parts.clone()).unwrap();
+        prop_assert_eq!(Release::merge_borrowed(&parts).unwrap(), merged);
+    }
+
+    /// Mixed-variant shard releases error identically through both forms.
+    #[test]
+    fn mixed_release_variants_rejected_by_both_forms(
+        bits in collection::vec(any::<bool>(), 0..40)
+    ) {
+        let parts = vec![Release::Buffered, Release::Update(BitColumn::from_bools(&bits))];
+        prop_assert!(Release::merge(parts.clone()).is_err());
+        prop_assert!(Release::merge_borrowed(&parts).is_err());
+    }
+}
+
+#[test]
+fn empty_merges_error_through_every_form() {
+    assert!(Release::merge(Vec::new()).is_err());
+    assert!(Release::merge_borrowed(&[]).is_err());
+    assert!(<BitColumn as MergeRelease>::merge_borrowed(&[]).is_err());
+    assert!(<() as MergeRelease>::merge_borrowed(&[]).is_err());
+    assert!(HistogramAggregate::merge(Vec::new()).is_err());
+    assert!(HistogramAggregate::merge_borrowed(&[]).is_err());
+    assert!(CumulativeAggregate::merge_borrowed(&[]).is_err());
+    assert!(<BitColumn as MergeAggregate>::merge_borrowed(&[]).is_err());
+}
