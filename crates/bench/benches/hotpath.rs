@@ -26,7 +26,8 @@ use longsynth_dp::budget::Rho;
 use longsynth_dp::discrete_gaussian::sample_discrete_gaussian;
 use longsynth_dp::rng::{rng_from_seed, RngFork};
 use longsynth_dp::DiscreteGaussianSampler;
-use longsynth_engine::{ShardPlan, ShardedEngine};
+use longsynth_engine::{EngineObserver, ShardPlan, ShardedEngine};
+use longsynth_obs::MetricsRegistry;
 use serde::Serialize;
 use std::hint::black_box;
 use std::time::Instant;
@@ -63,6 +64,19 @@ struct HotpathArtifact {
     engine_config: EngineConfigDto,
     engine_runs: Vec<EngineRunDto>,
     seed_comparison: Option<SeedComparisonDto>,
+    instrumented: Option<InstrumentedDto>,
+}
+
+/// The same n=1M run with the full observability layer attached
+/// (engine observer + budget ledger into a live registry), documenting
+/// the instrumentation overhead against the uninstrumented row.
+#[derive(Serialize)]
+struct InstrumentedDto {
+    n: usize,
+    reps: usize,
+    rounds: usize,
+    per_round_ms: LatencyDto,
+    mean_overhead_pct: f64,
 }
 
 #[derive(Serialize)]
@@ -154,13 +168,18 @@ fn build_engine(population: usize, seed: u64) -> ShardedEngine<FixedWindowSynthe
 
 /// One engine configuration, measured `reps` times over `horizon` rounds.
 /// Returns the artifact row; per-round wall-times pool across reps.
-fn measure_engine_run(n: usize, horizon: usize, reps: usize) -> EngineRunDto {
+/// `instrumented` attaches the full observability layer (engine observer
+/// + budget ledger in a live registry) to every rep's engine.
+fn measure_engine_run(n: usize, horizon: usize, reps: usize, instrumented: bool) -> EngineRunDto {
     let panel = bench_panel(n, horizon);
     let mut per_round_ms = Vec::with_capacity(reps * horizon);
     let mut total_ms = 0.0f64;
     let alloc_before = alloc_snapshot();
     for rep in 0..reps {
         let mut engine = build_engine(n, 0xE7611E + rep as u64);
+        if instrumented {
+            engine.set_observer(EngineObserver::new(&MetricsRegistry::new()));
+        }
         for (_, column) in panel.stream() {
             let start = Instant::now();
             engine.step(column).expect("in-horizon step");
@@ -258,13 +277,27 @@ fn cores() -> usize {
 
 fn run_default(full: bool) {
     let mut runs = vec![
-        measure_engine_run(100_000, HORIZON, 3),
-        measure_engine_run(1_000_000, HORIZON, 3),
+        measure_engine_run(100_000, HORIZON, 3, false),
+        measure_engine_run(1_000_000, HORIZON, 3, false),
     ];
     if full {
         eprintln!("hotpath: running the n=10M 12-round engine demonstration");
-        runs.push(measure_engine_run(10_000_000, HORIZON, 1));
+        runs.push(measure_engine_run(10_000_000, HORIZON, 1, false));
     }
+    eprintln!("hotpath: measuring the metrics-enabled n=1M run");
+    let instrumented_run = measure_engine_run(1_000_000, HORIZON, 3, true);
+    let instrumented = runs
+        .iter()
+        .find(|run| run.n == 1_000_000)
+        .map(|baseline| InstrumentedDto {
+            n: instrumented_run.n,
+            reps: instrumented_run.reps,
+            rounds: instrumented_run.rounds,
+            mean_overhead_pct: (instrumented_run.per_round_ms.mean / baseline.per_round_ms.mean
+                - 1.0)
+                * 100.0,
+            per_round_ms: instrumented_run.per_round_ms,
+        });
     let seed_comparison = runs
         .iter()
         .find(|run| run.n == 1_000_000)
@@ -285,6 +318,7 @@ fn run_default(full: bool) {
         },
         engine_runs: runs,
         seed_comparison,
+        instrumented,
     };
     let json = serde_json::to_string_pretty(&artifact).expect("serialize hotpath artifact");
     std::fs::write(hotpath_json_path(), json + "\n").expect("write BENCH_hotpath.json");
@@ -312,11 +346,14 @@ fn run_default(full: bool) {
 /// CI smoke: exercise every measurement path at toy sizes, assert the
 /// numbers are sane, and write nothing.
 fn run_smoke() {
-    let run = measure_engine_run(2_000, 4, 1);
+    let run = measure_engine_run(2_000, 4, 1, false);
     assert_eq!(run.rounds, 4);
     assert!(run.per_round_ms.min >= 0.0 && run.per_round_ms.max >= run.per_round_ms.p50);
     assert!(run.rows_per_s > 0.0);
     assert!(run.peak_rss_kb.is_some(), "VmHWM must parse on Linux CI");
+    let observed = measure_engine_run(2_000, 4, 1, true);
+    assert_eq!(observed.rounds, 4);
+    assert!(observed.per_round_ms.mean > 0.0);
     let samplers = measure_samplers(20_000);
     for arm in &samplers.arms {
         assert!(arm.scalar_ns_per_draw > 0.0 && arm.fill_ns_per_draw > 0.0);
@@ -334,6 +371,7 @@ fn run_smoke() {
         },
         engine_runs: vec![run],
         seed_comparison: None,
+        instrumented: None,
     };
     let json = serde_json::to_string_pretty(&artifact).expect("serialize");
     let parsed = serde_json::from_str(&json).expect("round-trip");
@@ -367,18 +405,27 @@ fn run_check() {
     let doc = serde_json::from_str(&committed).expect("committed BENCH_hotpath.json parses");
     let baseline = baseline_mean_per_round_ms(&doc, 1_000_000)
         .expect("committed baseline has an n=1M engine run");
-    let fresh = measure_engine_run(1_000_000, HORIZON, 2);
-    let measured = fresh.per_round_ms.mean;
     let limit = baseline * (1.0 + CHECK_TOLERANCE);
-    eprintln!(
-        "hotpath --check: n=1M mean per-round {measured:.2} ms vs baseline {baseline:.2} ms \
-         (limit {limit:.2} ms)"
-    );
-    if measured > limit {
+    let mut failed = false;
+    // Both arms gate against the same committed uninstrumented baseline:
+    // the instrumented run must stay inside the regression tolerance too,
+    // which is the ISSUE's "metrics on ≤ 25% over baseline" acceptance.
+    for (label, instrumented) in [("bare", false), ("metrics-enabled", true)] {
+        let fresh = measure_engine_run(1_000_000, HORIZON, 2, instrumented);
+        let measured = fresh.per_round_ms.mean;
         eprintln!(
-            "hotpath --check: FAIL — per-round latency regressed more than {:.0}%",
-            CHECK_TOLERANCE * 100.0
+            "hotpath --check: n=1M {label} mean per-round {measured:.2} ms vs baseline \
+             {baseline:.2} ms (limit {limit:.2} ms)"
         );
+        if measured > limit {
+            eprintln!(
+                "hotpath --check: FAIL — {label} per-round latency regressed more than {:.0}%",
+                CHECK_TOLERANCE * 100.0
+            );
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
     println!("hotpath --check: ok");

@@ -28,7 +28,10 @@ use longsynth_data::sipp::{load_sipp_csv, SippConfig};
 use longsynth_data::LongitudinalDataset;
 use longsynth_dp::budget::Rho;
 use longsynth_dp::rng::{rng_from_seed, RngFork};
-use longsynth_engine::{AggregationPolicy, PanelSchedule, ShardPlan, ShardedEngine, SlotRole};
+use longsynth_engine::{
+    AggregationPolicy, EngineObserver, PanelSchedule, ShardPlan, ShardedEngine, SlotRole,
+};
+use longsynth_obs::{BudgetLedger, MetricsRegistry};
 use longsynth_pool::WorkerPool;
 use longsynth_queries::cumulative::cumulative_counts;
 use longsynth_queries::window::quarterly_battery;
@@ -49,13 +52,15 @@ const USAGE: &str = "usage:
                              [--aggregation per-shard|shared|shared:P]
                              [--panel rotating:W]
                              [--output OUT.csv] [--estimates EST.csv] [--seed N]
-                             [--sipp] [--beta B] [--max-b B]
+                             [--sipp] [--beta B] [--max-b B] [--metrics M.jsonl]
   longsynth-cli serve        --input PANEL.csv --rho R --shards S
                              [--algorithm fixed-window|cumulative] [--window K]
                              [--aggregation per-shard|shared|shared:P]
                              [--panel rotating:W] [--eviction fifo|lru]
                              [--queries N] [--pool-threads P] [--snapshot OUT.json]
                              [--seed N] [--sipp] [--beta B] [--max-b B]
+                             [--metrics M.jsonl]
+  longsynth-cli stats        --metrics M.jsonl
   longsynth-cli simulate     [--households N] [--months T] [--seed N] --output PANEL.csv
 
 The panel CSV has one row per individual and one 0/1 column per round
@@ -89,7 +94,14 @@ the shared worker pool — cold (empty cache) and cached — and reports
 queries/sec for both. --eviction picks the memo-cache eviction policy
 (fifo default, lru for skewed traffic). --snapshot additionally writes the
 store as JSON, restores it, and verifies the restored answers are
-bit-identical.";
+bit-identical.
+
+--metrics M.jsonl (engine and serve) turns on the observability layer:
+round-phase latency histograms, worker-pool queue/latency/panic counters,
+serving cache and ingest counters, and the privacy-budget audit ledger. At
+the end of the run the metrics and ledger events are written as JSONL to M
+and a Prometheus text dump to M with a .prom extension. `stats` reads such
+a JSONL file back and prints a summary (exits nonzero on malformed input).";
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -107,6 +119,7 @@ fn main() -> ExitCode {
         "cumulative" => run_cumulative(&flags),
         "engine" => run_engine(&flags),
         "serve" => run_serve(&flags),
+        "stats" => run_stats(&flags),
         "simulate" => run_simulate(&flags),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     };
@@ -487,6 +500,150 @@ fn rotating_population_truth(
     active_weighted_mean(parts).expect("every round has a covering cohort")
 }
 
+/// The `--metrics` wiring shared by `engine` and `serve`: one registry
+/// collects every subsystem's metrics, and the end of the run dumps the
+/// JSONL event stream (metrics + budget ledger) to the requested path
+/// plus a Prometheus text rendering to the same path with a `.prom`
+/// extension.
+struct CliMetrics {
+    path: String,
+    registry: MetricsRegistry,
+}
+
+impl CliMetrics {
+    fn from_flags(flags: &Flags) -> Option<Self> {
+        flags.get("metrics").map(|path| Self {
+            path: path.clone(),
+            registry: MetricsRegistry::new(),
+        })
+    }
+
+    /// Attach an [`EngineObserver`] plus (when the engine runs pooled)
+    /// the worker-pool instrumentation.
+    fn observe_engine<S: longsynth::ContinualSynthesizer>(&self, engine: &mut ShardedEngine<S>) {
+        engine.set_observer(EngineObserver::new(&self.registry));
+        if let Some(pool) = engine.pool() {
+            pool.attach_metrics(&self.registry);
+        }
+    }
+
+    /// Write both exports and a one-line summary on stderr.
+    fn write(&self, ledger: Option<&BudgetLedger>) -> Result<(), String> {
+        let file = std::fs::File::create(&self.path)
+            .map_err(|e| format!("creating {}: {e}", self.path))?;
+        let mut out = std::io::BufWriter::new(file);
+        self.registry
+            .write_jsonl(&mut out)
+            .map_err(|e| format!("writing {}: {e}", self.path))?;
+        if let Some(ledger) = ledger {
+            ledger
+                .write_jsonl(&mut out)
+                .map_err(|e| format!("writing {}: {e}", self.path))?;
+        }
+        out.flush().map_err(|e| e.to_string())?;
+        let prom_path = PathBuf::from(&self.path).with_extension("prom");
+        std::fs::write(&prom_path, self.registry.prometheus_text())
+            .map_err(|e| format!("writing {}: {e}", prom_path.display()))?;
+        eprintln!(
+            "metrics: wrote JSONL ({} budget events) to {} and Prometheus text to {}",
+            ledger.map_or(0, longsynth_obs::BudgetLedger::len),
+            self.path,
+            prom_path.display()
+        );
+        Ok(())
+    }
+}
+
+/// The `stats` subcommand: parse a `--metrics` JSONL dump back and print
+/// a summary. Malformed JSON (or a line that is not an object with a
+/// known `type`) is an error — this doubles as the CI well-formedness
+/// check on the exporter.
+fn run_stats(flags: &Flags) -> Result<(), String> {
+    let path = flags.get("metrics").ok_or("--metrics is required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    let mut gauges: Vec<(String, i64)> = Vec::new();
+    let mut histograms: Vec<(String, u64, f64, f64, f64)> = Vec::new();
+    let mut budget_events = 0usize;
+    let mut last_spend: HashMap<String, f64> = HashMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let parse_err = |what: &str| format!("{path}:{}: {what}: {line:?}", lineno + 1);
+        let value: serde_json::Value =
+            serde_json::from_str(line).map_err(|e| parse_err(&format!("invalid JSON ({e})")))?;
+        let kind = value
+            .get("type")
+            .and_then(serde_json::Value::as_str)
+            .ok_or_else(|| parse_err("missing \"type\""))?
+            .to_string();
+        let name = || -> Result<String, String> {
+            Ok(value
+                .get("name")
+                .and_then(serde_json::Value::as_str)
+                .ok_or_else(|| parse_err("missing \"name\""))?
+                .to_string())
+        };
+        let num = |field: &str| -> Result<f64, String> {
+            value
+                .get(field)
+                .and_then(serde_json::Value::as_f64)
+                .ok_or_else(|| parse_err(&format!("missing numeric {field:?}")))
+        };
+        match kind.as_str() {
+            "counter" => counters.push((name()?, num("value")? as u64)),
+            "gauge" => gauges.push((name()?, num("value")? as i64)),
+            "histogram" => histograms.push((
+                name()?,
+                num("count")? as u64,
+                num("p50")?,
+                num("p95")?,
+                num("p99")?,
+            )),
+            "budget_event" => {
+                budget_events += 1;
+                let level = value
+                    .get("level")
+                    .and_then(serde_json::Value::as_str)
+                    .ok_or_else(|| parse_err("missing \"level\""))?;
+                last_spend.insert(level.to_string(), num("spent_after")?);
+            }
+            other => return Err(parse_err(&format!("unknown type {other:?}"))),
+        }
+    }
+    println!("metrics from {path}:");
+    for (name, value) in &counters {
+        println!("  counter    {name} = {value}");
+    }
+    for (name, value) in &gauges {
+        println!("  gauge      {name} = {value}");
+    }
+    for (name, count, p50, p95, p99) in &histograms {
+        println!("  histogram  {name}: count={count} p50={p50:.3}ms p95={p95:.3}ms p99={p99:.3}ms");
+    }
+    let panics = counters
+        .iter()
+        .find(|(name, _)| name == "pool_worker_panics")
+        .map_or(0, |(_, v)| *v);
+    println!("  worker panics swallowed: {panics}");
+    if budget_events > 0 {
+        let mut levels: Vec<_> = last_spend.iter().collect();
+        levels.sort_by(|a, b| a.0.cmp(b.0));
+        let spent: Vec<String> = levels
+            .iter()
+            .map(|(level, rho)| format!("{level} level {rho}"))
+            .collect();
+        println!(
+            "  budget ledger: {budget_events} events; final spend: {}",
+            spent.join(", ")
+        );
+    }
+    if panics > 0 {
+        return Err(format!(
+            "{panics} worker panic(s) were swallowed during the run"
+        ));
+    }
+    Ok(())
+}
+
 fn run_engine(flags: &Flags) -> Result<(), String> {
     let rho_v: f64 = get_parsed(flags, "rho", f64::NAN)?;
     if rho_v.is_nan() {
@@ -502,6 +659,7 @@ fn run_engine(flags: &Flags) -> Result<(), String> {
         .unwrap_or("fixed-window");
     let policy = parse_aggregation(flags)?;
     let rotating = parse_panel(flags)?;
+    let metrics = CliMetrics::from_flags(flags);
     let seed: u64 = get_parsed(flags, "seed", 42)?;
     let months_hint: usize = get_parsed(flags, "months", 12)?;
     let panel = load_input(flags, months_hint)?;
@@ -536,6 +694,9 @@ fn run_engine(flags: &Flags) -> Result<(), String> {
             rotating_cumulative_factory(seed, waves),
         )
         .map_err(|e| e.to_string())?;
+        if let Some(metrics) = &metrics {
+            metrics.observe_engine(&mut engine);
+        }
         drive_rotating_cumulative(&mut engine, &schedule, &layout, &panel)?;
         let budget = engine.budget();
         eprintln!(
@@ -585,6 +746,10 @@ fn run_engine(flags: &Flags) -> Result<(), String> {
             }
             eprintln!("wrote active-set cumulative estimates to --estimates");
         }
+        if let Some(metrics) = &metrics {
+            let observer = engine.take_observer();
+            metrics.write(observer.as_ref().map(EngineObserver::ledger))?;
+        }
         return Ok(());
     }
     let plan = ShardPlan::new(n, shards).map_err(|e| e.to_string())?;
@@ -612,6 +777,9 @@ fn run_engine(flags: &Flags) -> Result<(), String> {
                 FixedWindowSynthesizer::new(config, fork.child(slot_stream(slot.role)))
             })
             .map_err(|e| e.to_string())?;
+            if let Some(metrics) = &metrics {
+                metrics.observe_engine(&mut engine);
+            }
             let mut columns = Vec::with_capacity(horizon);
             for (_, col) in panel.stream() {
                 match engine.step(col).map_err(|e| e.to_string())? {
@@ -706,6 +874,10 @@ fn run_engine(flags: &Flags) -> Result<(), String> {
                 }
                 eprintln!("wrote merged window-query estimates to --estimates");
             }
+            if let Some(metrics) = &metrics {
+                let observer = engine.take_observer();
+                metrics.write(observer.as_ref().map(EngineObserver::ledger))?;
+            }
         }
         "cumulative" => {
             let max_b: usize = get_parsed(flags, "max-b", horizon.min(6))?;
@@ -722,6 +894,9 @@ fn run_engine(flags: &Flags) -> Result<(), String> {
                 )
             })
             .map_err(|e| e.to_string())?;
+            if let Some(metrics) = &metrics {
+                metrics.observe_engine(&mut engine);
+            }
             let mut columns = Vec::with_capacity(horizon);
             for (_, col) in panel.stream() {
                 columns.push(engine.step(col).map_err(|e| e.to_string())?);
@@ -791,6 +966,10 @@ fn run_engine(flags: &Flags) -> Result<(), String> {
                 }
                 eprintln!("wrote merged cumulative estimates to --estimates");
             }
+            if let Some(metrics) = &metrics {
+                let observer = engine.take_observer();
+                metrics.write(observer.as_ref().map(EngineObserver::ledger))?;
+            }
         }
         other => {
             return Err(format!(
@@ -830,11 +1009,25 @@ fn run_serve(flags: &Flags) -> Result<(), String> {
     let rho = Rho::new(rho_v).map_err(|e| e.to_string())?;
     let fork = RngFork::new(seed);
     let pool = std::sync::Arc::new(WorkerPool::new(pool_threads.max(1)));
-    let service = QueryService::with_cache(
-        longsynth_serve::ReleaseStore::new(),
-        longsynth_serve::DEFAULT_CACHE_CAPACITY,
-        eviction,
-    );
+    let metrics = CliMetrics::from_flags(flags);
+    // Under --metrics, one shared registry collects the engine, pool,
+    // and serving-layer metrics together.
+    let service = match &metrics {
+        Some(m) => {
+            pool.attach_metrics(&m.registry);
+            QueryService::with_cache_in_registry(
+                longsynth_serve::ReleaseStore::new(),
+                longsynth_serve::DEFAULT_CACHE_CAPACITY,
+                eviction,
+                &m.registry,
+            )
+        }
+        None => QueryService::with_cache(
+            longsynth_serve::ReleaseStore::new(),
+            longsynth_serve::DEFAULT_CACHE_CAPACITY,
+            eviction,
+        ),
+    };
     eprintln!(
         "panel: {n} individuals x {horizon} rounds; {shards} shards, \
          {} pool threads, algorithm = {algorithm}, aggregation = {policy}, \
@@ -862,6 +1055,9 @@ fn run_serve(flags: &Flags) -> Result<(), String> {
             std::sync::Arc::clone(&pool),
         )
         .map_err(|e| e.to_string())?;
+        if let Some(m) = &metrics {
+            m.observe_engine(&mut engine);
+        }
         engine.set_sink(service.column_sink());
         drive_rotating_cumulative(&mut engine, &schedule, &layout, &panel)?;
         let rounds = service.with_store(longsynth_serve::ReleaseStore::rounds);
@@ -891,10 +1087,15 @@ fn run_serve(flags: &Flags) -> Result<(), String> {
                 }
             }
         }
-        return finish_serve(flags, &service, &pool, distinct, query_target);
+        finish_serve(flags, &service, &pool, distinct, query_target)?;
+        if let Some(m) = &metrics {
+            let observer = engine.take_observer();
+            m.write(observer.as_ref().map(EngineObserver::ledger))?;
+        }
+        return Ok(());
     }
     let plan = ShardPlan::new(n, shards).map_err(|e| e.to_string())?;
-    match algorithm {
+    let observer: Option<EngineObserver> = match algorithm {
         "fixed-window" => {
             let beta: f64 = get_parsed(flags, "beta", 0.05)?;
             FixedWindowConfig::new(horizon, window, rho).map_err(|e| e.to_string())?;
@@ -911,10 +1112,14 @@ fn run_serve(flags: &Flags) -> Result<(), String> {
                 std::sync::Arc::clone(&pool),
             )
             .map_err(|e| e.to_string())?;
+            if let Some(m) = &metrics {
+                m.observe_engine(&mut engine);
+            }
             engine.set_sink(service.release_sink());
             for (_, col) in panel.stream() {
                 engine.step(col).map_err(|e| e.to_string())?;
             }
+            engine.take_observer()
         }
         "cumulative" => {
             CumulativeConfig::new(horizon, rho).map_err(|e| e.to_string())?;
@@ -935,17 +1140,21 @@ fn run_serve(flags: &Flags) -> Result<(), String> {
                 std::sync::Arc::clone(&pool),
             )
             .map_err(|e| e.to_string())?;
+            if let Some(m) = &metrics {
+                m.observe_engine(&mut engine);
+            }
             engine.set_sink(service.column_sink());
             for (_, col) in panel.stream() {
                 engine.step(col).map_err(|e| e.to_string())?;
             }
+            engine.take_observer()
         }
         other => {
             return Err(format!(
                 "--algorithm must be fixed-window or cumulative, got {other:?}"
             ))
         }
-    }
+    };
     let (rounds, records, stored_policy) =
         service.with_store(|s| (s.rounds(), s.records(), s.policy()));
     eprintln!(
@@ -959,7 +1168,11 @@ fn run_serve(flags: &Flags) -> Result<(), String> {
     // requested batch size — the read traffic a deployment sees.
     let max_b: usize = get_parsed(flags, "max-b", horizon.min(6))?;
     let distinct = longsynth_serve::mixed_battery(rounds, shards, max_b, window);
-    finish_serve(flags, &service, &pool, distinct, query_target)
+    finish_serve(flags, &service, &pool, distinct, query_target)?;
+    if let Some(m) = &metrics {
+        m.write(observer.as_ref().map(EngineObserver::ledger))?;
+    }
+    Ok(())
 }
 
 /// The serving tail shared by static and rotating runs: drive the batch
@@ -1332,6 +1545,76 @@ mod tests {
             ("eviction", "random"),
         ]))
         .is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn end_to_end_metrics_run_and_stats() {
+        let dir = std::env::temp_dir().join("longsynth_cli_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let panel = dir.join("panel.csv");
+        let metrics = dir.join("metrics.jsonl");
+
+        run_simulate(&flags_of(&[
+            ("households", "300"),
+            ("months", "6"),
+            ("output", panel.to_str().unwrap()),
+        ]))
+        .unwrap();
+
+        // Instrumented engine run: JSONL + Prometheus dumps appear.
+        run_engine(&flags_of(&[
+            ("input", panel.to_str().unwrap()),
+            ("rho", "0.05"),
+            ("shards", "2"),
+            ("algorithm", "cumulative"),
+            ("metrics", metrics.to_str().unwrap()),
+        ]))
+        .unwrap();
+        let jsonl = std::fs::read_to_string(&metrics).unwrap();
+        // Every line is a standalone JSON object the vendored parser
+        // accepts — the exporter's well-formedness contract.
+        for line in jsonl.lines() {
+            let value: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(value.get("type").is_some(), "{line}");
+        }
+        assert!(jsonl.contains("\"engine_rounds_total\""));
+        assert!(jsonl.contains("\"budget_event\""));
+        let prom = std::fs::read_to_string(metrics.with_extension("prom")).unwrap();
+        assert!(prom.contains("# TYPE engine_round_ms histogram"));
+        assert!(prom.contains("engine_rounds_total 6"));
+
+        // `stats` reads the dump back (and would exit nonzero on
+        // malformed input or swallowed panics).
+        run_stats(&flags_of(&[("metrics", metrics.to_str().unwrap())])).unwrap();
+        assert!(run_stats(&flags_of(&[("metrics", "/nonexistent/x.jsonl")])).is_err());
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(&bad, "not json\n").unwrap();
+        assert!(run_stats(&flags_of(&[("metrics", bad.to_str().unwrap())])).is_err());
+
+        // Instrumented serve run: one registry covers engine, pool, and
+        // serving-layer counters.
+        run_serve(&flags_of(&[
+            ("input", panel.to_str().unwrap()),
+            ("rho", "0.05"),
+            ("shards", "2"),
+            ("queries", "100"),
+            ("pool-threads", "2"),
+            ("metrics", metrics.to_str().unwrap()),
+        ]))
+        .unwrap();
+        let jsonl = std::fs::read_to_string(&metrics).unwrap();
+        for name in [
+            "engine_rounds_total",
+            "pool_tasks_total",
+            "pool_worker_panics",
+            "serve_cache_hits_total",
+            "serve_ingest_rounds_total",
+        ] {
+            assert!(jsonl.contains(&format!("\"{name}\"")), "{name} missing");
+        }
+        run_stats(&flags_of(&[("metrics", metrics.to_str().unwrap())])).unwrap();
 
         std::fs::remove_dir_all(&dir).ok();
     }

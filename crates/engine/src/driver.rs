@@ -63,6 +63,7 @@ use std::sync::Arc;
 
 use crate::budget::EngineBudget;
 use crate::merge::{MergeAggregate, MergeRelease};
+use crate::obs::{EngineObserver, PhaseClock};
 use crate::policy::{AggregationPolicy, PolicyTag};
 use crate::shard::{PanelSchedule, PanelSlot, ShardPlan, ShardableInput, SlotRole, SynthSlot};
 use crate::sink::ReleaseSink;
@@ -184,6 +185,10 @@ pub struct ShardedEngine<S: ContinualSynthesizer> {
     rounds_fed: usize,
     pool: Option<Arc<WorkerPool>>,
     sink: Option<Box<dyn ReleaseSink<S::Release>>>,
+    /// Round-span metrics + privacy-budget audit ledger; `None` (the
+    /// default) runs the identical uninstrumented path. See
+    /// [`crate::obs`].
+    obs: Option<EngineObserver>,
 }
 
 impl<S> ShardedEngine<S>
@@ -367,6 +372,7 @@ where
             rounds_fed: 0,
             pool,
             sink: None,
+            obs: None,
         })
     }
 
@@ -495,6 +501,7 @@ where
             rounds_fed: 0,
             pool,
             sink: None,
+            obs: None,
         })
     }
 
@@ -585,6 +592,51 @@ where
     /// Detach and return the current sink, if any.
     pub fn take_sink(&mut self) -> Option<Box<dyn ReleaseSink<S::Release>>> {
         self.sink.take()
+    }
+
+    /// Attach an [`EngineObserver`] (round-span metrics + privacy-budget
+    /// audit ledger; see [`crate::obs`]), replacing any previous one.
+    /// Without an observer the engine runs the identical uninstrumented
+    /// path.
+    pub fn set_observer(&mut self, observer: EngineObserver) {
+        self.obs = Some(observer);
+    }
+
+    /// Borrow the attached observer, if any (e.g. to read its ledger).
+    pub fn observer(&self) -> Option<&EngineObserver> {
+        self.obs.as_ref()
+    }
+
+    /// Detach and return the current observer, if any.
+    pub fn take_observer(&mut self) -> Option<EngineObserver> {
+        self.obs.take()
+    }
+
+    /// Commit one completed round to the attached observer: phase spans
+    /// plus a ledger event per budget line that moved. Called at every
+    /// round-completion point, after the sink saw the round and before
+    /// the global clock advances (so `rounds_fed` *is* the round id). A
+    /// no-op without an observer.
+    fn commit_round_observation(&mut self, clock: PhaseClock) {
+        if self.obs.is_none() {
+            return;
+        }
+        let round = self.rounds_fed;
+        let per_cohort: Vec<f64> = self
+            .shards
+            .iter()
+            .map(|s| s.budget_spent().value())
+            .collect();
+        let population = self
+            .population
+            .as_ref()
+            .map(|p| p.synth().budget_spent().value());
+        self.obs.as_mut().expect("checked above").commit_round(
+            round,
+            clock,
+            &per_cohort,
+            population,
+        );
     }
 
     /// Aggregate zCDP budget state: per-shard cohort level plus, when the
@@ -732,8 +784,10 @@ where
             ));
         }
         if self.schedule.is_some() {
+            let mut clock = PhaseClock::new(self.obs.is_some());
             let (active, parts) = self.begin_scheduled_round(column)?;
-            return self.scheduled_round(&active, parts);
+            clock.lap_prepare();
+            return self.scheduled_round(&active, parts, clock);
         }
         if column.population() != self.plan.population() {
             return Err(EngineError::PopulationMismatch {
@@ -787,7 +841,9 @@ where
     /// every shard runs a full `step`, releases concatenate. Bit-exact
     /// with the pre-policy engine.
     fn concat_step(&mut self, column: &S::Input) -> Result<S::Release, EngineError> {
+        let mut clock = PhaseClock::new(self.obs.is_some());
         let parts = column.split(&self.plan);
+        clock.lap_prepare();
         let releases = if self.shards.len() == 1 {
             let mut parts = parts;
             vec![self.shards[0]
@@ -796,16 +852,24 @@ where
         } else {
             self.parallel_step(parts)?
         };
+        clock.lap_finalize();
         // Merge consumes the per-shard releases; only a live sink pays for
         // keeping them around one call longer.
         let merged = match &mut self.sink {
-            None => S::Release::merge(releases)?,
+            None => {
+                let merged = S::Release::merge(releases)?;
+                clock.lap_merge();
+                merged
+            }
             Some(sink) => {
                 let merged = S::Release::merge_borrowed(&releases)?;
+                clock.lap_merge();
                 sink.on_round(self.rounds_fed, &releases, &merged, PolicyTag::PerShard);
+                clock.lap_sink();
                 merged
             }
         };
+        self.commit_round_observation(clock);
         self.rounds_fed += 1;
         Ok(merged)
     }
@@ -815,7 +879,9 @@ where
     /// sum into one population aggregate, privatized by the population
     /// synthesizer with a single noise draw.
     fn shared_step(&mut self, column: &S::Input) -> Result<S::Release, EngineError> {
+        let mut clock = PhaseClock::new(self.obs.is_some());
         let parts = column.split(&self.plan);
+        clock.lap_prepare();
         let pool = Arc::clone(
             self.pool
                 .as_ref()
@@ -860,15 +926,20 @@ where
         if let Some(error) = first_error {
             return Err(error);
         }
+        clock.lap_finalize();
         let merged_aggregate = S::Aggregate::merge(aggregates)?;
+        clock.lap_merge();
         let population = self
             .population
             .as_mut()
             .expect("shared_step only runs with a population synthesizer");
         let merged = population.finalize(merged_aggregate)?;
+        clock.lap_noise();
         if let Some(sink) = &mut self.sink {
             sink.on_round(self.rounds_fed, &releases, &merged, PolicyTag::Shared);
+            clock.lap_sink();
         }
+        self.commit_round_observation(clock);
         self.rounds_fed += 1;
         Ok(merged)
     }
@@ -949,6 +1020,7 @@ where
         &mut self,
         active: &[usize],
         parts: Vec<S::Input>,
+        mut clock: PhaseClock,
     ) -> Result<S::Release, EngineError> {
         let round = self.rounds_fed;
         let cohorts = self.shards.len();
@@ -963,7 +1035,9 @@ where
             // sealed at this round boundary, so its statistics keep
             // describing the current active set.
             self.process_retirements(round)?;
+            clock.lap_prepare();
             let (aggregates, releases) = self.prepare_finalize_active(active, parts)?;
+            clock.lap_finalize();
             self.absorb_lifetimes(active, &aggregates)?;
             let mut aggregates = aggregates.into_iter();
             let Some(first) = aggregates.next() else {
@@ -975,8 +1049,10 @@ where
             for aggregate in aggregates {
                 merged_aggregate.merge_into(&aggregate.align_to_round(round + 1))?;
             }
+            clock.lap_merge();
             let population = self.population.as_mut().expect("checked population above");
             let merged = population.finalize(merged_aggregate)?;
+            clock.lap_noise();
             // Verify the budget cap BEFORE any sink observes the round:
             // an over-budget release must not reach downstream stores.
             self.verify_budget_invariant_at(round)?;
@@ -991,17 +1067,24 @@ where
                     &merged,
                     tag,
                 );
+                clock.lap_sink();
             }
             merged
         } else {
             // Per-shard noise over the active set: the live cohorts'
             // releases concatenate in cohort order.
             let releases = self.step_active(active, parts)?;
+            clock.lap_finalize();
             self.verify_budget_invariant_at(round)?;
             match &mut self.sink {
-                None => S::Release::merge(releases)?,
+                None => {
+                    let merged = S::Release::merge(releases)?;
+                    clock.lap_merge();
+                    merged
+                }
                 Some(_) => {
                     let merged = S::Release::merge_borrowed(&releases)?;
+                    clock.lap_merge();
                     let sink = self.sink.as_mut().expect("checked above");
                     Self::notify_scheduled_sink(
                         sink,
@@ -1013,10 +1096,12 @@ where
                         &merged,
                         tag,
                     );
+                    clock.lap_sink();
                     merged
                 }
             }
         };
+        self.commit_round_observation(clock);
         self.rounds_fed += 1;
         Ok(merged)
     }
@@ -1315,6 +1400,10 @@ where
     /// Standalone rounds are not forwarded to this engine's sink — there
     /// is no cohort level to observe; attach sinks to the outer engine.
     pub fn finalize(&mut self, aggregate: S::Aggregate) -> Result<S::Release, EngineError> {
+        // Two-phase rounds are timed from finalize entry (the `prepare`
+        // half ran in an earlier call); the prepare span is a step-path
+        // metric.
+        let mut clock = PhaseClock::new(self.obs.is_some());
         let Some(pending) = self.pending.take() else {
             if self.schedule.is_some() {
                 return Err(EngineError::OutOfPhase(
@@ -1344,9 +1433,11 @@ where
                     ))
                 }
             };
+            clock.lap_noise();
             // Pin finalize-only mode only after a *successful* standalone
             // round (a rejected aggregate changed nothing).
             self.mode = Some(DriveMode::FinalizeOnly);
+            self.commit_round_observation(clock);
             self.rounds_fed += 1;
             return Ok(merged);
         };
@@ -1386,6 +1477,7 @@ where
         if let Some(error) = first_error {
             return Err(error);
         }
+        clock.lap_finalize();
         if let (Some(active), Some(aggregates)) = (&active, &pending_absorb) {
             self.absorb_lifetimes(active, aggregates)?;
         }
@@ -1399,9 +1491,21 @@ where
             self.process_retirements(round)?;
         }
         let merged = match &mut self.population {
-            Some(population) => population.finalize(aggregate)?,
-            None if self.sink.is_some() => S::Release::merge_borrowed(&releases)?,
-            None => S::Release::merge(std::mem::take(&mut releases))?,
+            Some(population) => {
+                let merged = population.finalize(aggregate)?;
+                clock.lap_noise();
+                merged
+            }
+            None if self.sink.is_some() => {
+                let merged = S::Release::merge_borrowed(&releases)?;
+                clock.lap_merge();
+                merged
+            }
+            None => {
+                let merged = S::Release::merge(std::mem::take(&mut releases))?;
+                clock.lap_merge();
+                merged
+            }
         };
         // Verify the budget cap BEFORE any sink observes the round: an
         // over-budget release must not reach downstream stores.
@@ -1420,7 +1524,9 @@ where
                 ),
                 None => sink.on_round(round, &releases, &merged, tag),
             }
+            clock.lap_sink();
         }
+        self.commit_round_observation(clock);
         self.rounds_fed += 1;
         Ok(merged)
     }

@@ -73,6 +73,7 @@
 pub mod budget;
 pub mod driver;
 pub mod merge;
+pub mod obs;
 pub mod policy;
 pub mod shard;
 pub mod sink;
@@ -81,6 +82,7 @@ pub mod window;
 pub use budget::EngineBudget;
 pub use driver::ShardedEngine;
 pub use merge::{MergeAggregate, MergeRelease};
+pub use obs::EngineObserver;
 pub use policy::{AggregationPolicy, PolicyTag};
 pub use shard::{
     CohortSchedule, PanelSchedule, PanelSlot, ShardPlan, ShardableInput, SlotRole, SynthSlot,

@@ -1,0 +1,265 @@
+//! Exporters: Prometheus text exposition format and a JSONL event
+//! stream — plus a small Prometheus-text parser used by the golden
+//! format tests (and by anything that wants to scrape our own dump).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+use crate::metrics::MetricsRegistry;
+
+/// Format a finite f64 as a JSON-safe number literal (Rust's `Display`
+/// for f64 never emits exponent notation, so the output is valid JSON).
+pub(crate) fn json_f64(v: f64) -> String {
+    debug_assert!(v.is_finite(), "metric values are finite");
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Render every metric in `registry` in the Prometheus text exposition
+/// format: a `# TYPE` line per metric, histogram `_bucket`/`_sum`/
+/// `_count` series with `le` labels, cumulative bucket counts.
+pub(crate) fn prometheus_text(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, value) in registry.counters() {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in registry.gauges() {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, snap) in registry.histograms() {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, &count) in snap.buckets.iter().enumerate() {
+            cumulative += count;
+            if i < snap.bounds.len() {
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                    snap.bounds[i]
+                );
+            } else {
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            }
+        }
+        let _ = writeln!(out, "{name}_sum {}", json_f64(snap.sum));
+        let _ = writeln!(out, "{name}_count {}", snap.count);
+    }
+    out
+}
+
+/// Write every metric in `registry` as one JSON object per line.
+pub(crate) fn write_metrics_jsonl<W: Write>(
+    registry: &MetricsRegistry,
+    w: &mut W,
+) -> io::Result<()> {
+    for (name, value) in registry.counters() {
+        writeln!(
+            w,
+            "{{\"type\":\"counter\",\"name\":\"{name}\",\"value\":{value}}}"
+        )?;
+    }
+    for (name, value) in registry.gauges() {
+        writeln!(
+            w,
+            "{{\"type\":\"gauge\",\"name\":\"{name}\",\"value\":{value}}}"
+        )?;
+    }
+    for (name, snap) in registry.histograms() {
+        let mut buckets = String::new();
+        for (i, &count) in snap.buckets.iter().enumerate() {
+            if i > 0 {
+                buckets.push(',');
+            }
+            let le = if i < snap.bounds.len() {
+                json_f64(snap.bounds[i])
+            } else {
+                "\"+Inf\"".to_string()
+            };
+            let _ = write!(buckets, "{{\"le\":{le},\"count\":{count}}}");
+        }
+        writeln!(
+            w,
+            "{{\"type\":\"histogram\",\"name\":\"{name}\",\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[{buckets}]}}",
+            snap.count,
+            json_f64(snap.sum),
+            json_f64(snap.p50()),
+            json_f64(snap.p95()),
+            json_f64(snap.p99()),
+        )?;
+    }
+    Ok(())
+}
+
+/// One sample line parsed out of a Prometheus text dump.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PromSample {
+    /// Metric (series) name, e.g. `engine_round_ms_bucket`.
+    pub name: String,
+    /// Raw label block without braces (empty when unlabelled), e.g.
+    /// `le="0.5"`.
+    pub labels: String,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Why a Prometheus text dump failed to parse.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PromParseError {
+    /// A line matched neither a comment nor `name[{labels}] value`.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line.
+        text: String,
+    },
+    /// The same `(name, labels)` series appeared twice.
+    Duplicate {
+        /// 1-based line number of the second occurrence.
+        line: usize,
+        /// The duplicated series.
+        series: String,
+    },
+    /// A sample appeared with no preceding `# TYPE` line declaring its
+    /// family.
+    UndeclaredType {
+        /// 1-based line number.
+        line: usize,
+        /// The sample's metric name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for PromParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PromParseError::Malformed { line, text } => {
+                write!(f, "line {line}: malformed sample {text:?}")
+            }
+            PromParseError::Duplicate { line, series } => {
+                write!(f, "line {line}: duplicate series {series:?}")
+            }
+            PromParseError::UndeclaredType { line, name } => {
+                write!(f, "line {line}: sample {name:?} has no # TYPE declaration")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PromParseError {}
+
+/// Parse (and thereby validate) a Prometheus text dump: every
+/// non-comment line must be `name[{labels}] value`, every sample must
+/// belong to a family declared by a preceding `# TYPE` line, and no
+/// `(name, labels)` series may repeat.
+pub fn parse_prometheus_text(text: &str) -> Result<Vec<PromSample>, PromParseError> {
+    let mut samples = Vec::new();
+    let mut declared: BTreeSet<String> = BTreeSet::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() == Some("TYPE") {
+                if let Some(name) = parts.next() {
+                    declared.insert(name.to_string());
+                }
+            }
+            continue;
+        }
+        let (series, value_str) =
+            trimmed
+                .rsplit_once(' ')
+                .ok_or_else(|| PromParseError::Malformed {
+                    line,
+                    text: trimmed.to_string(),
+                })?;
+        let value = value_str
+            .parse::<f64>()
+            .map_err(|_| PromParseError::Malformed {
+                line,
+                text: trimmed.to_string(),
+            })?;
+        let (name, labels) = match series.split_once('{') {
+            Some((name, rest)) => {
+                let labels = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| PromParseError::Malformed {
+                        line,
+                        text: trimmed.to_string(),
+                    })?;
+                (name.to_string(), labels.to_string())
+            }
+            None => (series.to_string(), String::new()),
+        };
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| declared.contains(*f))
+            .map(str::to_string)
+            .unwrap_or_else(|| name.clone());
+        if !declared.contains(&family) {
+            return Err(PromParseError::UndeclaredType { line, name });
+        }
+        if !seen.insert(series.to_string()) {
+            return Err(PromParseError::Duplicate {
+                line,
+                series: series.to_string(),
+            });
+        }
+        samples.push(PromSample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_rejects_malformed_duplicate_and_undeclared() {
+        assert!(matches!(
+            parse_prometheus_text("just_a_name_no_value\n"),
+            Err(PromParseError::Malformed { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_prometheus_text("# TYPE a counter\na 1\na 2\n"),
+            Err(PromParseError::Duplicate { line: 3, .. })
+        ));
+        assert!(matches!(
+            parse_prometheus_text("orphan 1\n"),
+            Err(PromParseError::UndeclaredType { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_prometheus_text("# TYPE a counter\na not_a_number\n"),
+            Err(PromParseError::Malformed { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn parser_accepts_labelled_series() {
+        let samples = parse_prometheus_text(
+            "# TYPE h histogram\nh_bucket{le=\"0.5\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1.25\nh_count 5\n",
+        )
+        .unwrap();
+        assert_eq!(samples.len(), 4);
+        assert_eq!(samples[0].name, "h_bucket");
+        assert_eq!(samples[0].labels, "le=\"0.5\"");
+        assert_eq!(samples[0].value, 3.0);
+        assert_eq!(samples[2].value, 1.25);
+    }
+}

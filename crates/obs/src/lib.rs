@@ -1,0 +1,48 @@
+//! Observability layer for the longsynth serving stack: a lock-light
+//! metrics registry, scoped span timers, and a privacy-budget audit
+//! ledger — with Prometheus-text and JSONL exporters. Zero external
+//! dependencies (std only): the workspace builds offline against vendored
+//! stand-ins, so `tracing`/`prometheus` are not available, and nothing
+//! here needs them.
+//!
+//! # Design
+//!
+//! - **Handles are cheap and shared.** [`Counter`], [`Gauge`], and
+//!   [`Histogram`] are `Arc`-backed clones of registry-owned state; the
+//!   hot path touches only atomics (relaxed ordering — metrics are
+//!   monitoring data, not synchronization). The registry's interior map
+//!   is locked only at registration and export time.
+//! - **Histograms are fixed-bucket.** Bucket upper bounds are chosen at
+//!   registration (see [`LATENCY_MS_BUCKETS`]); observation is a linear
+//!   scan over ≤ ~16 bounds plus two atomic adds. Quantiles (p50/p95/p99)
+//!   are read out by linear interpolation within the covering bucket —
+//!   the standard Prometheus-style estimate, documented as such.
+//! - **Spans are drop-guards.** [`Histogram::start_span`] returns a
+//!   [`SpanTimer`] that records elapsed milliseconds when dropped, so a
+//!   scope is timed by binding the guard.
+//! - **The audit ledger is append-only.** Every zCDP budget spend is
+//!   recorded as a [`BudgetEvent`] carrying the round, the level
+//!   (per-cohort vs population), the cohort id, the marginal ρ, and the
+//!   cumulative spend after the event. [`BudgetLedger::replay`] folds the
+//!   log back into per-cohort and population totals using *exactly* the
+//!   same composition the engine's `EngineBudget` uses (parallel max over
+//!   cohorts, sequential add of the population level), so replay equality
+//!   is bit-exact, not approximate.
+//!
+//! Everything is construction-time optional for the instrumented crates:
+//! an engine, pool, or query service without an attached registry runs
+//! the identical uninstrumented code path.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+mod export;
+mod ledger;
+mod metrics;
+
+pub use export::{parse_prometheus_text, PromParseError, PromSample};
+pub use ledger::{BudgetEvent, BudgetLedger, BudgetLevel, LedgerReplay};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, SpanTimer, LATENCY_MS_BUCKETS,
+};

@@ -1,0 +1,98 @@
+//! Golden format tests: the Prometheus text dump produced by a
+//! populated registry must parse cleanly (TYPE-declared families,
+//! `name[{labels}] value` samples, no duplicate series), and the JSONL
+//! stream must be one well-formed JSON object per line.
+
+use std::collections::BTreeSet;
+
+use longsynth_obs::{
+    parse_prometheus_text, BudgetEvent, BudgetLedger, BudgetLevel, MetricsRegistry,
+};
+
+fn populated_registry() -> MetricsRegistry {
+    let reg = MetricsRegistry::new();
+    reg.counter("engine_rounds_total").add(12);
+    reg.counter("serve_cache_hits_total").add(340);
+    reg.counter("serve_cache_misses_total").add(17);
+    reg.counter("pool_worker_panics"); // present but zero
+    reg.gauge("pool_queue_depth").set(3);
+    reg.gauge("serve_snapshot_bytes").set(18_432);
+    let h = reg.latency_histogram("engine_round_ms");
+    for v in [0.02, 0.8, 3.5, 19.0, 19.5, 21.0, 2000.0] {
+        h.observe(v);
+    }
+    reg
+}
+
+#[test]
+fn prometheus_dump_parses_with_no_duplicates() {
+    let reg = populated_registry();
+    let text = reg.prometheus_text();
+    let samples = parse_prometheus_text(&text).expect("dump must parse");
+
+    // Every registered metric surfaces at least one sample.
+    let names: BTreeSet<&str> = samples.iter().map(|s| s.name.as_str()).collect();
+    for expected in [
+        "engine_rounds_total",
+        "serve_cache_hits_total",
+        "serve_cache_misses_total",
+        "pool_worker_panics",
+        "pool_queue_depth",
+        "serve_snapshot_bytes",
+        "engine_round_ms_bucket",
+        "engine_round_ms_sum",
+        "engine_round_ms_count",
+    ] {
+        assert!(names.contains(expected), "missing series {expected}");
+    }
+
+    // Histogram buckets are cumulative and end at +Inf == _count.
+    let buckets: Vec<_> = samples
+        .iter()
+        .filter(|s| s.name == "engine_round_ms_bucket")
+        .collect();
+    assert!(buckets.windows(2).all(|w| w[0].value <= w[1].value));
+    let inf = buckets.last().expect("has +Inf bucket");
+    assert_eq!(inf.labels, "le=\"+Inf\"");
+    let count = samples
+        .iter()
+        .find(|s| s.name == "engine_round_ms_count")
+        .unwrap();
+    assert_eq!(inf.value, count.value);
+    assert_eq!(count.value, 7.0);
+}
+
+#[test]
+fn empty_registry_dump_parses_to_no_samples() {
+    let samples = parse_prometheus_text(&MetricsRegistry::new().prometheus_text()).unwrap();
+    assert!(samples.is_empty());
+}
+
+#[test]
+fn jsonl_stream_is_one_object_per_line() {
+    let reg = populated_registry();
+    let ledger = BudgetLedger::new();
+    ledger.record(BudgetEvent {
+        round: 0,
+        level: BudgetLevel::Cohort,
+        cohort: Some(0),
+        rho: 0.0005,
+        spent_after: 0.0005,
+    });
+    let mut out = Vec::new();
+    reg.write_jsonl(&mut out).unwrap();
+    ledger.write_jsonl(&mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        // Minimal structural validation without a JSON dependency: the
+        // vendored-serde_json round-trip lives in the CLI (`stats`) and
+        // its CI smoke step; here we pin the framing invariants.
+        assert!(line.starts_with('{') && line.ends_with('}'), "line: {line}");
+        assert!(line.contains("\"type\":\""), "line: {line}");
+    }
+    assert!(text
+        .lines()
+        .any(|l| l.contains("\"type\":\"budget_event\"")));
+    assert!(text.lines().any(|l| l.contains("\"type\":\"histogram\"")));
+}

@@ -23,6 +23,15 @@
 //! * A panicking job is contained: the worker survives, the panic payload
 //!   is carried back to the submitting thread, and `run_batch` resumes the
 //!   unwind there — same observable behavior as `std::thread::scope`.
+//!   Contained panics are never silent: every one increments the pool's
+//!   [`worker_panics`](WorkerPool::worker_panics) count (and the
+//!   `pool_worker_panics` metric when a registry is attached), so
+//!   fire-and-forget panics that `execute` swallows still leave a trace.
+//! * Observability is construction-time optional:
+//!   [`attach_metrics`](WorkerPool::attach_metrics) hooks the pool into a
+//!   `longsynth_obs::MetricsRegistry` (queue depth gauge, queued→done task
+//!   latency histogram, task/panic counters); a pool without one runs the
+//!   identical uninstrumented path.
 //! * The queue is a plain `std::sync::mpsc` channel behind a mutex-guarded
 //!   receiver (the classic std-only work queue). Workers block on `recv`,
 //!   so an idle pool consumes no CPU. Dropping the pool closes the channel
@@ -41,12 +50,30 @@
 #![forbid(unsafe_code)]
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use longsynth_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
 /// A queued unit of work.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Registry handles for an instrumented pool; cloned into each job so
+/// the hot path never takes the registry lock.
+#[derive(Clone)]
+struct PoolMetrics {
+    /// Jobs submitted but not yet started (`pool_queue_depth`).
+    queue_depth: Gauge,
+    /// Queued→completed latency in milliseconds (`pool_task_ms`).
+    task_ms: Histogram,
+    /// Jobs completed, panicked or not (`pool_tasks_total`).
+    tasks: Counter,
+    /// Contained worker panics (`pool_worker_panics`).
+    panics: Counter,
+}
 
 /// A fixed-size pool of persistent worker threads.
 ///
@@ -55,6 +82,10 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 pub struct WorkerPool {
     sender: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    metrics: OnceLock<PoolMetrics>,
+    /// Always-on panic count, independent of any attached registry —
+    /// `execute`'s containment must never be silent.
+    panics: Arc<AtomicU64>,
 }
 
 impl WorkerPool {
@@ -78,6 +109,8 @@ impl WorkerPool {
         Self {
             sender: Some(sender),
             workers,
+            metrics: OnceLock::new(),
+            panics: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -93,17 +126,75 @@ impl WorkerPool {
         self.workers.len()
     }
 
+    /// Hook this pool into a metrics registry: `pool_queue_depth`
+    /// (gauge, jobs submitted but not yet started), `pool_task_ms`
+    /// (histogram, queued→completed latency), `pool_tasks_total`, and
+    /// `pool_worker_panics` (counters). Only the first attachment wins;
+    /// returns `false` if metrics were already attached. Panics contained
+    /// before attachment are carried into the metric so the registry
+    /// agrees with [`worker_panics`](Self::worker_panics).
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) -> bool {
+        let metrics = PoolMetrics {
+            queue_depth: registry.gauge("pool_queue_depth"),
+            task_ms: registry.latency_histogram("pool_task_ms"),
+            tasks: registry.counter("pool_tasks_total"),
+            panics: registry.counter("pool_worker_panics"),
+        };
+        let seed = self.panics.load(Ordering::Relaxed);
+        if self.metrics.set(metrics).is_err() {
+            return false;
+        }
+        self.metrics
+            .get()
+            .expect("metrics just attached")
+            .panics
+            .add(seed);
+        true
+    }
+
+    /// Number of worker panics this pool has contained (both `execute`'s
+    /// swallow-and-survive path and `run_batch`'s carry-back path).
+    pub fn worker_panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Count one contained panic on the always-on counter and, when a
+    /// registry is attached, the `pool_worker_panics` metric.
+    fn count_panic(panics: &AtomicU64, metrics: Option<&PoolMetrics>) {
+        panics.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = metrics {
+            m.panics.inc();
+        }
+    }
+
     /// Fire-and-forget submission: queue `job` and return immediately.
     ///
     /// A panic inside `job` is swallowed after poisoning nothing — workers
-    /// stay alive. Use [`run_batch`](Self::run_batch) when the caller needs
+    /// stay alive — but it is *counted*: see
+    /// [`worker_panics`](Self::worker_panics) and the `pool_worker_panics`
+    /// metric. Use [`run_batch`](Self::run_batch) when the caller needs
     /// results or panic propagation.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        let panics = Arc::clone(&self.panics);
+        let metrics = self.metrics.get().cloned();
+        let queued_at = metrics.as_ref().map(|m| {
+            m.queue_depth.inc();
+            Instant::now()
+        });
         self.sender
             .as_ref()
             .expect("pool sender lives until drop")
             .send(Box::new(move || {
-                let _ = catch_unwind(AssertUnwindSafe(job));
+                if let Some(m) = &metrics {
+                    m.queue_depth.dec();
+                }
+                if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                    Self::count_panic(&panics, metrics.as_ref());
+                }
+                if let (Some(m), Some(queued_at)) = (&metrics, queued_at) {
+                    m.tasks.inc();
+                    m.task_ms.observe_duration(queued_at.elapsed());
+                }
             }))
             .expect("pool workers outlive the sender");
     }
@@ -130,11 +221,27 @@ impl WorkerPool {
         let mut submitted = 0usize;
         for (index, job) in jobs.into_iter().enumerate() {
             let result_tx = result_tx.clone();
+            let panics = Arc::clone(&self.panics);
+            let metrics = self.metrics.get().cloned();
+            let queued_at = metrics.as_ref().map(|m| {
+                m.queue_depth.inc();
+                Instant::now()
+            });
             self.sender
                 .as_ref()
                 .expect("pool sender lives until drop")
                 .send(Box::new(move || {
+                    if let Some(m) = &metrics {
+                        m.queue_depth.dec();
+                    }
                     let outcome = catch_unwind(AssertUnwindSafe(job));
+                    if outcome.is_err() {
+                        Self::count_panic(&panics, metrics.as_ref());
+                    }
+                    if let (Some(m), Some(queued_at)) = (&metrics, queued_at) {
+                        m.tasks.inc();
+                        m.task_ms.observe_duration(queued_at.elapsed());
+                    }
                     // The batch submitter may itself have unwound; a closed
                     // result channel is not this worker's problem.
                     let _ = result_tx.send((index, outcome));
@@ -310,5 +417,66 @@ mod tests {
     #[test]
     fn debug_shows_thread_count() {
         assert_eq!(format!("{:?}", WorkerPool::new(3)), "WorkerPool[threads=3]");
+    }
+
+    #[test]
+    fn swallowed_execute_panics_are_counted() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.worker_panics(), 0);
+        pool.execute(|| panic!("silent no more"));
+        pool.execute(|| ());
+        // Flush the queue: a blocking batch runs after queued jobs drain.
+        pool.run_batch((0..pool.threads()).map(|_| || ()));
+        for _ in 0..200 {
+            if pool.worker_panics() == 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(pool.worker_panics(), 1);
+    }
+
+    #[test]
+    fn batch_panics_are_counted_and_still_propagate() {
+        let pool = WorkerPool::new(2);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_batch(vec![
+                Box::new(|| 0u8) as Box<dyn FnOnce() -> u8 + Send>,
+                Box::new(|| panic!("a")),
+                Box::new(|| panic!("b")),
+            ])
+        }));
+        assert!(outcome.is_err());
+        assert_eq!(pool.worker_panics(), 2);
+    }
+
+    #[test]
+    fn attached_registry_sees_tasks_latency_and_panics() {
+        let registry = MetricsRegistry::new();
+        let pool = WorkerPool::new(2);
+        // Pre-attachment panics seed the metric so registry and pool agree.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_batch(vec![
+                Box::new(|| panic!("early")) as Box<dyn FnOnce() + Send>
+            ])
+        }));
+        assert!(pool.attach_metrics(&registry));
+        assert!(!pool.attach_metrics(&registry), "second attach is refused");
+        assert_eq!(registry.counter("pool_worker_panics").get(), 1);
+
+        pool.run_batch((0..8).map(|i| move || i * 2));
+        assert_eq!(registry.counter("pool_tasks_total").get(), 8);
+        assert_eq!(registry.gauge("pool_queue_depth").get(), 0);
+        let latency = registry.latency_histogram("pool_task_ms").snapshot();
+        assert_eq!(latency.count, 8);
+        assert!(latency.sum >= 0.0);
+
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_batch(vec![
+                Box::new(|| panic!("later")) as Box<dyn FnOnce() + Send>
+            ])
+        }));
+        assert_eq!(registry.counter("pool_worker_panics").get(), 2);
+        assert_eq!(pool.worker_panics(), 2);
     }
 }

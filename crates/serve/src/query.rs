@@ -28,14 +28,25 @@
 //! recompute, so the simplest policy that bounds memory wins — with LRU
 //! available for skewed traffic whose working set outlives the insertion
 //! churn. Hits, misses, and evictions are counted under both.
+//!
+//! ## Metrics
+//!
+//! Every service owns (or shares —
+//! [`QueryService::with_cache_in_registry`]) a
+//! [`MetricsRegistry`] carrying
+//! `serve_cache_{hits,misses,evictions}_total`,
+//! `serve_ingest_{rounds,records}_total` (fed by the engine-facing
+//! sinks), and the `serve_snapshot_bytes` gauge (last snapshot
+//! rendered). [`cache_stats`](QueryService::cache_stats) and friends
+//! read the same counters, so the two views can never disagree.
 
 use longsynth::Release;
 use longsynth_data::BitColumn;
 use longsynth_engine::{PolicyTag, ReleaseSink};
+use longsynth_obs::{Counter, Gauge, MetricsRegistry};
 use longsynth_pool::WorkerPool;
 use longsynth_queries::{Pattern, WindowQuery};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use crate::store::{ReleaseStore, ServeError, StoreScope};
@@ -348,9 +359,13 @@ impl BoundedCache {
 struct ServiceInner {
     store: RwLock<ReleaseStore>,
     cache: Mutex<BoundedCache>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    registry: MetricsRegistry,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    ingest_rounds: Counter,
+    ingest_records: Counter,
+    snapshot_bytes: Gauge,
 }
 
 /// The cloneable, thread-safe serving front-end.
@@ -393,17 +408,41 @@ impl QueryService {
         Self::with_cache(store, capacity, EvictionPolicy::Fifo)
     }
 
-    /// A service with an explicit cache bound *and* [`EvictionPolicy`].
+    /// A service with an explicit cache bound *and* [`EvictionPolicy`],
+    /// reporting into its own private [`MetricsRegistry`].
     pub fn with_cache(store: ReleaseStore, capacity: usize, policy: EvictionPolicy) -> Self {
+        Self::with_cache_in_registry(store, capacity, policy, &MetricsRegistry::new())
+    }
+
+    /// As [`with_cache`](Self::with_cache), but registering the serving
+    /// metrics (`serve_cache_*_total`, `serve_ingest_*_total`,
+    /// `serve_snapshot_bytes`) in a caller-provided shared registry — so
+    /// one exporter dump covers the engine, the pool, and the serving
+    /// layer together.
+    pub fn with_cache_in_registry(
+        store: ReleaseStore,
+        capacity: usize,
+        policy: EvictionPolicy,
+        registry: &MetricsRegistry,
+    ) -> Self {
         Self {
             inner: Arc::new(ServiceInner {
                 store: RwLock::new(store),
                 cache: Mutex::new(BoundedCache::new(capacity, policy)),
-                hits: AtomicU64::new(0),
-                misses: AtomicU64::new(0),
-                evictions: AtomicU64::new(0),
+                registry: registry.clone(),
+                hits: registry.counter("serve_cache_hits_total"),
+                misses: registry.counter("serve_cache_misses_total"),
+                evictions: registry.counter("serve_cache_evictions_total"),
+                ingest_rounds: registry.counter("serve_ingest_rounds_total"),
+                ingest_records: registry.counter("serve_ingest_records_total"),
+                snapshot_bytes: registry.gauge("serve_snapshot_bytes"),
             }),
         }
+    }
+
+    /// The registry this service's counters live in.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.inner.registry
     }
 
     /// Answer one query, consulting the memoizing cache first.
@@ -420,7 +459,7 @@ impl QueryService {
             .expect("cache lock never poisoned")
             .get(&key)
         {
-            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            self.inner.hits.inc();
             return Ok(value);
         }
         let value = self
@@ -429,7 +468,7 @@ impl QueryService {
             .read()
             .expect("store lock never poisoned")
             .answer(query)?;
-        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        self.inner.misses.inc();
         let evicted = self
             .inner
             .cache
@@ -437,7 +476,7 @@ impl QueryService {
             .expect("cache lock never poisoned")
             .insert(key, value);
         if evicted > 0 {
-            self.inner.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.inner.evictions.add(evicted);
         }
         Ok(value)
     }
@@ -460,18 +499,17 @@ impl QueryService {
     }
 
     /// `(hits, misses)` since construction (restores start at zero).
+    /// Reads the same `serve_cache_*_total` registry counters the
+    /// exporters dump.
     pub fn cache_stats(&self) -> (u64, u64) {
-        (
-            self.inner.hits.load(Ordering::Relaxed),
-            self.inner.misses.load(Ordering::Relaxed),
-        )
+        (self.inner.hits.get(), self.inner.misses.get())
     }
 
     /// Entries evicted to keep the cache under its capacity, since
     /// construction or the last [`clear_cache`](Self::clear_cache) (the
     /// hit/miss counters reset on the same events).
     pub fn cache_evictions(&self) -> u64 {
-        self.inner.evictions.load(Ordering::Relaxed)
+        self.inner.evictions.get()
     }
 
     /// The configured bound on memoized answers.
@@ -510,9 +548,15 @@ impl QueryService {
             .lock()
             .expect("cache lock never poisoned")
             .clear();
-        self.inner.hits.store(0, Ordering::Relaxed);
-        self.inner.misses.store(0, Ordering::Relaxed);
-        self.inner.evictions.store(0, Ordering::Relaxed);
+        self.inner.hits.reset();
+        self.inner.misses.reset();
+        self.inner.evictions.reset();
+    }
+
+    /// Record a rendered snapshot's size in the `serve_snapshot_bytes`
+    /// gauge (called by the snapshot layer).
+    pub(crate) fn note_snapshot_bytes(&self, bytes: usize) {
+        self.inner.snapshot_bytes.set(bytes as i64);
     }
 
     /// Run `f` against the underlying store (read lock held for the call).
@@ -553,6 +597,7 @@ impl QueryService {
                 self.service
                     .with_store_mut(|store| store.ingest_columns_with(policy, per_shard, merged))
                     .expect("engine rounds always match the store shape");
+                self.service.note_ingest(merged.len());
             }
 
             fn on_round_active(
@@ -571,6 +616,7 @@ impl QueryService {
                         )
                     })
                     .expect("scheduled engine rounds always match the store shape");
+                self.service.note_ingest(merged.len());
             }
         }
         Box::new(ColumnSink {
@@ -593,8 +639,21 @@ impl QueryService {
                     .expect("store lock never poisoned")
                     .ingest_releases_with(policy, per_shard, merged)
                     .expect("engine rounds always match the store shape");
+                let records = match merged {
+                    Release::Buffered => 0,
+                    Release::Initial(columns) => columns.first().map_or(0, |c| c.len()),
+                    Release::Update(column) => column.len(),
+                };
+                service.note_ingest(records);
             },
         )
+    }
+
+    /// Count one ingested round of `records` records into the
+    /// `serve_ingest_*_total` registry counters.
+    fn note_ingest(&self, records: usize) {
+        self.inner.ingest_rounds.inc();
+        self.inner.ingest_records.add(records as u64);
     }
 }
 
@@ -632,6 +691,38 @@ mod tests {
             scope: StoreScope::Merged,
             kind: QueryKind::CumulativeFraction { t, b },
         }
+    }
+
+    fn counter(registry: &MetricsRegistry, name: &str) -> u64 {
+        registry
+            .counters()
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("counter {name} not registered"))
+    }
+
+    #[test]
+    fn sinks_feed_the_ingest_counters_and_snapshots_the_gauge() {
+        let service = QueryService::new();
+        let mut sink = service.column_sink();
+        for round in 0..3 {
+            let a = BitColumn::from_bools(&[round % 2 == 0, true]);
+            let b = BitColumn::from_bools(&[false]);
+            let merged = BitColumn::concat([&a, &b]);
+            sink.on_round(round, &[a, b], &merged, PolicyTag::PerShard);
+        }
+        let registry = service.registry();
+        assert_eq!(counter(registry, "serve_ingest_rounds_total"), 3);
+        assert_eq!(counter(registry, "serve_ingest_records_total"), 9);
+        let json = service.snapshot_json();
+        let gauge = registry
+            .gauges()
+            .into_iter()
+            .find(|(n, _)| n == "serve_snapshot_bytes")
+            .map(|(_, v)| v)
+            .unwrap();
+        assert_eq!(gauge, json.len() as i64);
     }
 
     #[test]
@@ -797,13 +888,27 @@ mod tests {
         // not "insert then immediately evict the entry just added" — with
         // all three counters staying consistent.
         for policy in [EvictionPolicy::Fifo, EvictionPolicy::Lru] {
-            let service = QueryService::with_cache(store_with_rounds(3), 0, policy);
+            let registry = MetricsRegistry::new();
+            let service =
+                QueryService::with_cache_in_registry(store_with_rounds(3), 0, policy, &registry);
             let q = cumulative(2, 1);
             service.answer(&q).unwrap();
             service.answer(&q).unwrap();
             assert_eq!(service.cache_len(), 0, "{policy}");
             assert_eq!(service.cache_stats(), (0, 2), "{policy}");
             assert_eq!(service.cache_evictions(), 0, "{policy}");
+            // The shared registry exports the identical values.
+            assert_eq!(counter(&registry, "serve_cache_hits_total"), 0, "{policy}");
+            assert_eq!(
+                counter(&registry, "serve_cache_misses_total"),
+                2,
+                "{policy}"
+            );
+            assert_eq!(
+                counter(&registry, "serve_cache_evictions_total"),
+                0,
+                "{policy}"
+            );
         }
     }
 
@@ -813,7 +918,9 @@ mod tests {
     #[test]
     fn capacity_one_keeps_the_newest_entry() {
         for policy in [EvictionPolicy::Fifo, EvictionPolicy::Lru] {
-            let service = QueryService::with_cache(store_with_rounds(4), 1, policy);
+            let registry = MetricsRegistry::new();
+            let service =
+                QueryService::with_cache_in_registry(store_with_rounds(4), 1, policy, &registry);
             let a = cumulative(0, 1);
             let b = cumulative(1, 1);
             service.answer(&a).unwrap(); // miss, cache: [a]
@@ -835,6 +942,18 @@ mod tests {
             service.answer(&a).unwrap();
             assert_eq!(service.cache_stats(), (3, 3), "{policy}");
             assert_eq!(service.cache_evictions(), 2, "{policy}");
+            // Pinned registry values match the accessor views exactly.
+            assert_eq!(counter(&registry, "serve_cache_hits_total"), 3, "{policy}");
+            assert_eq!(
+                counter(&registry, "serve_cache_misses_total"),
+                3,
+                "{policy}"
+            );
+            assert_eq!(
+                counter(&registry, "serve_cache_evictions_total"),
+                2,
+                "{policy}"
+            );
         }
     }
 

@@ -679,9 +679,12 @@ impl ReleaseStore {
 
 impl crate::QueryService {
     /// Snapshot the underlying store as JSON (read lock held briefly; the
-    /// cache is derived data and deliberately not serialized).
+    /// cache is derived data and deliberately not serialized). The
+    /// rendered size lands in the `serve_snapshot_bytes` gauge.
     pub fn snapshot_json(&self) -> String {
-        self.with_store(snapshot_json)
+        let json = self.with_store(snapshot_json);
+        self.note_snapshot_bytes(json.len());
+        json
     }
 
     /// Incremental snapshot of the rounds after `base_rounds` (read lock
@@ -689,7 +692,9 @@ impl crate::QueryService {
     /// [`apply_delta_json`](Self::apply_delta_json) at restore time:
     /// O(delta) per checkpoint instead of O(store).
     pub fn snapshot_since_json(&self, base_rounds: usize) -> Result<String, ServeError> {
-        self.with_store(|store| snapshot_since_json(store, base_rounds))
+        let json = self.with_store(|store| snapshot_since_json(store, base_rounds))?;
+        self.note_snapshot_bytes(json.len());
+        Ok(json)
     }
 
     /// Apply an incremental snapshot to the underlying store (write lock
