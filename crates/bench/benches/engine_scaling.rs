@@ -11,13 +11,24 @@
 //! That makes this bench the tracking instrument for the two obvious
 //! follow-ups (word-level `BitColumn` splicing; persistent shard workers),
 //! which is exactly why it sweeps both axes.
+//!
+//! Besides the criterion groups, a full (non-`--test`) run writes
+//! `BENCH_scaling.json` at the repo root: an `Instant`-based n=1M shard
+//! sweep with per-shard speedups, plus the machine's core count. On a
+//! single-core container the artifact carries an explicit `caveat` (the
+//! sweep then measures split/merge overhead, not parallel speedup)
+//! instead of silently skipping — the day multi-core hardware appears,
+//! regeneration records the real speedup with no code change
+//! (`docs/BENCH_SCHEMA.md` documents the fields).
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BatchSize, BenchmarkId, Criterion, Throughput};
 use longsynth::{FixedWindowConfig, FixedWindowSynthesizer};
 use longsynth_bench::bench_panel;
 use longsynth_dp::budget::Rho;
 use longsynth_dp::rng::{rng_from_seed, RngFork};
 use longsynth_engine::{ShardPlan, ShardedEngine};
+use serde::Serialize;
+use std::time::Instant;
 
 const HORIZON: usize = 12;
 const WINDOW: usize = 3;
@@ -105,5 +116,92 @@ fn bench_merge_overhead(c: &mut Criterion) {
     let _ = rng_from_seed(0); // keep the shared-import surface exercised
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_scaling.json artifact (see docs/BENCH_SCHEMA.md)
+// ---------------------------------------------------------------------------
+
+#[derive(Serialize)]
+struct ScalingArtifact {
+    schema: &'static str,
+    cores: usize,
+    /// Present when `cores == 1`: the sweep below measures split/merge
+    /// overhead, not parallel speedup. `null` on multi-core hardware.
+    caveat: Option<&'static str>,
+    population: usize,
+    rounds: usize,
+    reps: usize,
+    runs: Vec<ScalingRunDto>,
+}
+
+#[derive(Serialize)]
+struct ScalingRunDto {
+    shards: usize,
+    total_ms: f64,
+    rows_per_s: f64,
+    speedup_vs_1_shard: f64,
+}
+
+fn scaling_json_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scaling.json")
+}
+
+/// Measure the n=1M full-horizon run across shard counts and write the
+/// committed scaling artifact.
+fn write_scaling_artifact() {
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let (population, reps) = (1_000_000usize, 2usize);
+    let panel = bench_panel(population, HORIZON);
+    let mut runs = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let mut total_ms = 0.0f64;
+        for rep in 0..reps {
+            let mut engine = build_engine(population, shards, 0xE7611E + rep as u64);
+            let start = Instant::now();
+            for (_, column) in panel.stream() {
+                engine.step(column).expect("in-horizon step");
+            }
+            total_ms += start.elapsed().as_secs_f64() * 1e3;
+        }
+        total_ms /= reps as f64;
+        eprintln!("engine_scaling: n=1M shards={shards}: {total_ms:.1} ms/run");
+        runs.push(ScalingRunDto {
+            shards,
+            total_ms,
+            rows_per_s: (population * HORIZON) as f64 / (total_ms / 1e3),
+            speedup_vs_1_shard: 0.0, // filled below from the shards=1 row
+        });
+    }
+    let base_ms = runs[0].total_ms;
+    for run in &mut runs {
+        run.speedup_vs_1_shard = base_ms / run.total_ms;
+    }
+    let artifact = ScalingArtifact {
+        schema: "longsynth-scaling-v1",
+        cores,
+        caveat: (cores == 1).then_some(
+            "single-core environment: shards > 1 rows measure split/merge overhead only; \
+             re-measure on multi-core hardware before reading these as parallel speedups",
+        ),
+        population,
+        rounds: HORIZON,
+        reps,
+        runs,
+    };
+    let json = serde_json::to_string_pretty(&artifact).expect("serialize scaling artifact");
+    std::fs::write(scaling_json_path(), json + "\n").expect("write BENCH_scaling.json");
+    eprintln!("engine_scaling: wrote {}", scaling_json_path().display());
+}
+
 criterion_group!(benches, bench_engine_scaling, bench_merge_overhead);
-criterion_main!(benches);
+
+fn main() {
+    // `--test` is the CI smoke mode: run the criterion groups once at
+    // their smallest shape and write nothing (the committed artifact only
+    // changes deliberately). Any other invocation refreshes the artifact
+    // before the criterion sweep.
+    let smoke = std::env::args().any(|a| a == "--test");
+    if !smoke {
+        write_scaling_artifact();
+    }
+    benches();
+}

@@ -24,10 +24,12 @@ use longsynth::{FixedWindowConfig, FixedWindowSynthesizer};
 use longsynth_bench::{alloc_snapshot, bench_panel, peak_rss_kb};
 use longsynth_dp::budget::Rho;
 use longsynth_dp::discrete_gaussian::sample_discrete_gaussian;
+use longsynth_dp::fastrange::RangePool;
 use longsynth_dp::rng::{rng_from_seed, RngFork};
 use longsynth_dp::DiscreteGaussianSampler;
 use longsynth_engine::{EngineObserver, ShardPlan, ShardedEngine};
 use longsynth_obs::MetricsRegistry;
+use rand::{Rng, RngCore};
 use serde::Serialize;
 use std::hint::black_box;
 use std::time::Instant;
@@ -77,6 +79,58 @@ struct InstrumentedDto {
     rounds: usize,
     per_round_ms: LatencyDto,
     mean_overhead_pct: f64,
+    phase_ms: PhaseMsDto,
+}
+
+/// Per-phase span histograms from the instrumented run's shared
+/// registry: the engine observer's round phases plus the synthesizer's
+/// `synth_shuffle_ms` selection span (the pooled-shuffle win, isolated).
+/// A phase the run never entered is `null`.
+#[derive(Serialize)]
+struct PhaseMsDto {
+    round: Option<PhaseStatDto>,
+    prepare: Option<PhaseStatDto>,
+    finalize: Option<PhaseStatDto>,
+    merge: Option<PhaseStatDto>,
+    noise: Option<PhaseStatDto>,
+    sink: Option<PhaseStatDto>,
+    shuffle: Option<PhaseStatDto>,
+}
+
+#[derive(Serialize)]
+struct PhaseStatDto {
+    count: u64,
+    mean: f64,
+    p50: f64,
+    p95: f64,
+}
+
+fn phase_stat(registry: &MetricsRegistry, name: &str) -> Option<PhaseStatDto> {
+    let (_, snapshot) = registry
+        .histograms()
+        .into_iter()
+        .find(|(metric, _)| metric == name)?;
+    if snapshot.count == 0 {
+        return None;
+    }
+    Some(PhaseStatDto {
+        count: snapshot.count,
+        mean: snapshot.sum / snapshot.count as f64,
+        p50: snapshot.p50(),
+        p95: snapshot.p95(),
+    })
+}
+
+fn phase_block(registry: &MetricsRegistry) -> PhaseMsDto {
+    PhaseMsDto {
+        round: phase_stat(registry, "engine_round_ms"),
+        prepare: phase_stat(registry, "engine_prepare_ms"),
+        finalize: phase_stat(registry, "engine_finalize_ms"),
+        merge: phase_stat(registry, "engine_merge_ms"),
+        noise: phase_stat(registry, "engine_noise_ms"),
+        sink: phase_stat(registry, "engine_sink_ms"),
+        shuffle: phase_stat(registry, "synth_shuffle_ms"),
+    }
 }
 
 #[derive(Serialize)]
@@ -123,6 +177,7 @@ struct SamplersArtifact {
     cores: usize,
     draws: usize,
     arms: Vec<SamplerArmDto>,
+    fastrange: Vec<FastrangeArmDto>,
 }
 
 #[derive(Serialize)]
@@ -132,6 +187,21 @@ struct SamplerArmDto {
     sampler_ns_per_draw: f64,
     fill_ns_per_draw: f64,
     fill_speedup_vs_scalar: f64,
+}
+
+/// One partial-shuffle workload arm: Fisher–Yates prefix of `k` picks
+/// over a `len`-element id slice, scalar `gen_range` loop vs the pooled
+/// `RangePool::partial_shuffle`, identical decision distribution.
+#[derive(Serialize)]
+struct FastrangeArmDto {
+    len: usize,
+    k: usize,
+    picks: usize,
+    scalar_ns_per_pick: f64,
+    pooled_ns_per_pick: f64,
+    pooled_speedup_vs_scalar: f64,
+    scalar_words_per_pick: f64,
+    pooled_words_per_pick: f64,
 }
 
 fn latency_stats(samples: &[f64]) -> LatencyDto {
@@ -155,30 +225,45 @@ fn latency_stats(samples: &[f64]) -> LatencyDto {
 // Engine measurement
 // ---------------------------------------------------------------------------
 
-fn build_engine(population: usize, seed: u64) -> ShardedEngine<FixedWindowSynthesizer> {
+fn build_engine(
+    population: usize,
+    seed: u64,
+    registry: Option<&MetricsRegistry>,
+) -> ShardedEngine<FixedWindowSynthesizer> {
     let plan = ShardPlan::new(population, SHARDS).expect("valid plan");
     let fork = RngFork::new(seed);
     ShardedEngine::new(plan, |s, _| {
         let config =
             FixedWindowConfig::new(HORIZON, WINDOW, Rho::new(RHO).unwrap()).expect("valid config");
-        FixedWindowSynthesizer::new(config, fork.child(s as u64))
+        let mut synth = FixedWindowSynthesizer::new(config, fork.child(s as u64));
+        if let Some(registry) = registry {
+            synth.attach_metrics(registry);
+        }
+        synth
     })
     .expect("uniform shards")
 }
 
 /// One engine configuration, measured `reps` times over `horizon` rounds.
 /// Returns the artifact row; per-round wall-times pool across reps.
-/// `instrumented` attaches the full observability layer (engine observer
-/// + budget ledger in a live registry) to every rep's engine.
-fn measure_engine_run(n: usize, horizon: usize, reps: usize, instrumented: bool) -> EngineRunDto {
+/// `registry` attaches the full observability layer (engine observer +
+/// budget ledger + per-synthesizer shuffle spans, all reps pooled into
+/// the one registry) — pass it to `phase_block` afterwards for the
+/// per-phase breakdown.
+fn measure_engine_run(
+    n: usize,
+    horizon: usize,
+    reps: usize,
+    registry: Option<&MetricsRegistry>,
+) -> EngineRunDto {
     let panel = bench_panel(n, horizon);
     let mut per_round_ms = Vec::with_capacity(reps * horizon);
     let mut total_ms = 0.0f64;
     let alloc_before = alloc_snapshot();
     for rep in 0..reps {
-        let mut engine = build_engine(n, 0xE7611E + rep as u64);
-        if instrumented {
-            engine.set_observer(EngineObserver::new(&MetricsRegistry::new()));
+        let mut engine = build_engine(n, 0xE7611E + rep as u64, registry);
+        if let Some(registry) = registry {
+            engine.set_observer(EngineObserver::new(registry));
         }
         for (_, column) in panel.stream() {
             let start = Instant::now();
@@ -255,6 +340,81 @@ fn measure_sampler_arm(sigma2: f64, draws: usize) -> SamplerArmDto {
     }
 }
 
+/// Counts `next_u64` calls so the artifact can report the pooled path's
+/// word economy alongside its wall-clock speedup.
+struct CountingRng<R: RngCore> {
+    inner: R,
+    words: u64,
+}
+
+impl<R: RngCore> RngCore for CountingRng<R> {
+    fn next_u32(&mut self) -> u32 {
+        self.words += 1;
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.words += 1;
+        self.inner.next_u64()
+    }
+}
+
+/// The partial-shuffle workload: repeated Fisher–Yates prefixes of `k`
+/// picks over `len` ids, fresh pool per round (mirroring the per-finalize
+/// pool in the synthesizers). `target_picks` sets the total measurement
+/// budget.
+fn measure_fastrange_arm(len: usize, k: usize, target_picks: usize) -> FastrangeArmDto {
+    let picks_per_round = k.min(len - 1);
+    let rounds = (target_picks / picks_per_round).max(1);
+    let picks = rounds * picks_per_round;
+    let base: Vec<u32> = (0..len as u32).collect();
+    let mut ids = base.clone();
+
+    // Scalar baseline: the pre-migration loop, one widening `gen_range`
+    // per pick.
+    let mut rng = CountingRng {
+        inner: rng_from_seed(0xFA57),
+        words: 0,
+    };
+    let start = Instant::now();
+    for _ in 0..rounds {
+        ids.copy_from_slice(&base);
+        for j in 0..picks_per_round {
+            let pick = j + rng.gen_range(0..len - j);
+            ids.swap(j, pick);
+        }
+        black_box(&ids);
+    }
+    let scalar_ns = start.elapsed().as_secs_f64() * 1e9 / picks as f64;
+    let scalar_words = rng.words as f64 / picks as f64;
+
+    // Pooled path: bit-masked rejection over the shared word buffer.
+    let mut rng = CountingRng {
+        inner: rng_from_seed(0xFA57),
+        words: 0,
+    };
+    let start = Instant::now();
+    for _ in 0..rounds {
+        ids.copy_from_slice(&base);
+        let mut pool = RangePool::new();
+        pool.partial_shuffle(&mut rng, &mut ids, k);
+        black_box(&ids);
+    }
+    let pooled_ns = start.elapsed().as_secs_f64() * 1e9 / picks as f64;
+    let pooled_words = rng.words as f64 / picks as f64;
+
+    FastrangeArmDto {
+        len,
+        k,
+        picks,
+        scalar_ns_per_pick: scalar_ns,
+        pooled_ns_per_pick: pooled_ns,
+        pooled_speedup_vs_scalar: scalar_ns / pooled_ns,
+        scalar_words_per_pick: scalar_words,
+        pooled_words_per_pick: pooled_words,
+    }
+}
+
 fn measure_samplers(draws: usize) -> SamplersArtifact {
     SamplersArtifact {
         schema: "longsynth-samplers-v1",
@@ -263,6 +423,13 @@ fn measure_samplers(draws: usize) -> SamplersArtifact {
         arms: [1.0f64, 100.0, 100_000.0]
             .into_iter()
             .map(|sigma2| measure_sampler_arm(sigma2, draws))
+            .collect(),
+        // The three shuffle regimes the synthesizers hit: a full-group
+        // shuffle (categorical extend), a sparse promotion prefix
+        // (cumulative), and a small class (late-round weight groups).
+        fastrange: [(4096usize, 4096usize), (4096, 512), (64, 64)]
+            .into_iter()
+            .map(|(len, k)| measure_fastrange_arm(len, k, draws))
             .collect(),
     }
 }
@@ -277,15 +444,16 @@ fn cores() -> usize {
 
 fn run_default(full: bool) {
     let mut runs = vec![
-        measure_engine_run(100_000, HORIZON, 3, false),
-        measure_engine_run(1_000_000, HORIZON, 3, false),
+        measure_engine_run(100_000, HORIZON, 3, None),
+        measure_engine_run(1_000_000, HORIZON, 3, None),
     ];
     if full {
         eprintln!("hotpath: running the n=10M 12-round engine demonstration");
-        runs.push(measure_engine_run(10_000_000, HORIZON, 1, false));
+        runs.push(measure_engine_run(10_000_000, HORIZON, 1, None));
     }
     eprintln!("hotpath: measuring the metrics-enabled n=1M run");
-    let instrumented_run = measure_engine_run(1_000_000, HORIZON, 3, true);
+    let registry = MetricsRegistry::new();
+    let instrumented_run = measure_engine_run(1_000_000, HORIZON, 3, Some(&registry));
     let instrumented = runs
         .iter()
         .find(|run| run.n == 1_000_000)
@@ -297,6 +465,7 @@ fn run_default(full: bool) {
                 - 1.0)
                 * 100.0,
             per_round_ms: instrumented_run.per_round_ms,
+            phase_ms: phase_block(&registry),
         });
     let seed_comparison = runs
         .iter()
@@ -334,6 +503,19 @@ fn run_default(full: bool) {
             arm.fill_speedup_vs_scalar
         );
     }
+    for arm in &samplers.fastrange {
+        eprintln!(
+            "hotpath: shuffle len={} k={} scalar {:.1} ns/pick ({:.2} words), \
+             pooled {:.1} ns/pick ({:.2} words) — {:.2}x",
+            arm.len,
+            arm.k,
+            arm.scalar_ns_per_pick,
+            arm.scalar_words_per_pick,
+            arm.pooled_ns_per_pick,
+            arm.pooled_words_per_pick,
+            arm.pooled_speedup_vs_scalar
+        );
+    }
     let json = serde_json::to_string_pretty(&samplers).expect("serialize samplers artifact");
     std::fs::write(samplers_json_path(), json + "\n").expect("write BENCH_samplers.json");
     eprintln!(
@@ -346,17 +528,34 @@ fn run_default(full: bool) {
 /// CI smoke: exercise every measurement path at toy sizes, assert the
 /// numbers are sane, and write nothing.
 fn run_smoke() {
-    let run = measure_engine_run(2_000, 4, 1, false);
+    let run = measure_engine_run(2_000, 4, 1, None);
     assert_eq!(run.rounds, 4);
     assert!(run.per_round_ms.min >= 0.0 && run.per_round_ms.max >= run.per_round_ms.p50);
     assert!(run.rows_per_s > 0.0);
     assert!(run.peak_rss_kb.is_some(), "VmHWM must parse on Linux CI");
-    let observed = measure_engine_run(2_000, 4, 1, true);
+    let registry = MetricsRegistry::new();
+    let observed = measure_engine_run(2_000, 4, 1, Some(&registry));
     assert_eq!(observed.rounds, 4);
     assert!(observed.per_round_ms.mean > 0.0);
+    let phases = phase_block(&registry);
+    // 4 rounds at k=3: rounds 1–2 buffer, round 3 initializes, round 4 is
+    // the one extend — every phase the path enters must have been seen.
+    assert!(phases.round.is_some_and(|p| p.count == 4));
+    assert!(phases.prepare.is_some() && phases.finalize.is_some());
+    assert!(
+        phases.shuffle.is_some_and(|p| p.count == 1),
+        "the extend round must observe exactly one shuffle span"
+    );
     let samplers = measure_samplers(20_000);
     for arm in &samplers.arms {
         assert!(arm.scalar_ns_per_draw > 0.0 && arm.fill_ns_per_draw > 0.0);
+    }
+    for arm in &samplers.fastrange {
+        assert!(arm.scalar_ns_per_pick > 0.0 && arm.pooled_ns_per_pick > 0.0);
+        assert!(
+            arm.pooled_words_per_pick < arm.scalar_words_per_pick,
+            "pooling must spend fewer words than scalar gen_range"
+        );
     }
     // The artifacts must survive a round-trip through the vendored JSON
     // parser, otherwise `--check` cannot read what default mode writes.
@@ -411,7 +610,8 @@ fn run_check() {
     // the instrumented run must stay inside the regression tolerance too,
     // which is the ISSUE's "metrics on ≤ 25% over baseline" acceptance.
     for (label, instrumented) in [("bare", false), ("metrics-enabled", true)] {
-        let fresh = measure_engine_run(1_000_000, HORIZON, 2, instrumented);
+        let registry = instrumented.then(MetricsRegistry::new);
+        let fresh = measure_engine_run(1_000_000, HORIZON, 2, registry.as_ref());
         let measured = fresh.per_round_ms.mean;
         eprintln!(
             "hotpath --check: n=1M {label} mean per-round {measured:.2} ms vs baseline \

@@ -225,7 +225,7 @@ fn run_fixed_window(flags: &Flags) -> Result<(), String> {
     );
 
     if let Some(mut out) = open_output(flags, "output")? {
-        let records: Vec<_> = synth.synthetic().iter().cloned().collect();
+        let records: Vec<_> = synth.synthetic().iter().collect();
         write_panel_csv(
             &mut out,
             records.into_iter(),
@@ -273,7 +273,7 @@ fn run_cumulative(flags: &Flags) -> Result<(), String> {
     eprintln!("released {} rounds of synthetic data", synth.rounds_fed());
 
     if let Some(mut out) = open_output(flags, "output")? {
-        let records: Vec<_> = synth.synthetic().iter().cloned().collect();
+        let records: Vec<_> = synth.synthetic().iter().collect();
         write_panel_csv(&mut out, records.into_iter(), horizon, None).map_err(|e| e.to_string())?;
         eprintln!("wrote synthetic panel to --output");
     }

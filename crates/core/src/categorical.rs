@@ -22,10 +22,10 @@ use crate::aggregate::HistogramAggregate;
 use crate::error::SynthError;
 use longsynth_data::categorical::CategoricalColumn;
 use longsynth_dp::budget::{BudgetLedger, Rho};
+use longsynth_dp::fastrange::RangePool;
 use longsynth_dp::mechanisms::{NoiseDistribution, NoiseSampler};
 use longsynth_dp::rng::StdDpRng;
 use rand::Rng;
-use std::collections::VecDeque;
 
 /// Configuration of a [`CategoricalSynthesizer`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,6 +42,11 @@ pub struct CategoricalConfig {
     pub npad_override: Option<u64>,
     /// Failure probability for the padding rule.
     pub beta: f64,
+    /// Per-bin, per-step noise. `None` derives the paper's calibration
+    /// `N_Z(0, R/(2ρ))`; overriding it (e.g. `NoiseDistribution::None` in
+    /// tests) changes the privacy guarantee accordingly — the caller owns
+    /// that analysis. Mirrors `FixedWindowConfig::noise_override`.
+    pub noise_override: Option<NoiseDistribution>,
 }
 
 impl CategoricalConfig {
@@ -78,6 +83,7 @@ impl CategoricalConfig {
             rho,
             npad_override: None,
             beta: 0.05,
+            noise_override: None,
         })
     }
 
@@ -85,6 +91,13 @@ impl CategoricalConfig {
     #[must_use]
     pub fn with_npad(mut self, npad: u64) -> Self {
         self.npad_override = Some(npad);
+        self
+    }
+
+    /// Override the per-bin noise distribution (see field docs).
+    #[must_use]
+    pub fn with_noise_override(mut self, noise: NoiseDistribution) -> Self {
+        self.noise_override = Some(noise);
         self
     }
 
@@ -128,14 +141,20 @@ pub struct CategoricalSynthesizer<R: Rng = StdDpRng> {
     ledger: BudgetLedger,
     per_step_rho: Rho,
     n: Option<usize>,
-    buffer: VecDeque<CategoricalColumn>,
+    /// Rolling base-`V` window code per true record — the last
+    /// `min(rounds_prepared, k)` observed values, big-endian. Maintained
+    /// incrementally by `prepare` (one O(n) pass per round) instead of
+    /// re-encoding a buffered k-wide window per record.
+    window_codes: Vec<u32>,
     /// Completed (finalized) rounds so far.
     rounds_fed: usize,
     /// Rounds consumed by `prepare` (see the fixed-window synthesizer's
     /// field of the same name).
     rounds_prepared: usize,
-    /// Synthetic record histories (base-V values).
-    records: Vec<Vec<u8>>,
+    /// Synthetic record values, column-major: `released_values[t][id]` is
+    /// record `id`'s base-`V` category at round `t`. Column-major so the
+    /// update step can bulk-write shuffled group segments.
+    released_values: Vec<Vec<u8>>,
     /// Record ids grouped by overlap code (base-V, width k−1).
     overlap_groups: Vec<Vec<u32>>,
     /// Released histogram targets per released round.
@@ -151,16 +170,19 @@ impl<R: Rng> CategoricalSynthesizer<R> {
         let sigma2 = config.update_steps() as f64 / (2.0 * config.rho.value());
         let per_step_rho =
             Rho::new(config.rho.value() / config.update_steps() as f64).expect("validated rho");
+        let noise = config
+            .noise_override
+            .unwrap_or(NoiseDistribution::DiscreteGaussian { sigma2 });
         Self {
-            sampler: NoiseDistribution::DiscreteGaussian { sigma2 }.sampler(),
+            sampler: noise.sampler(),
             npad: config.npad(),
             ledger: BudgetLedger::new(config.rho),
             per_step_rho,
             n: None,
-            buffer: VecDeque::with_capacity(config.window),
+            window_codes: Vec::new(),
             rounds_fed: 0,
             rounds_prepared: 0,
-            records: Vec::new(),
+            released_values: Vec::new(),
             overlap_groups: Vec::new(),
             p_history: Vec::new(),
             clamps: 0,
@@ -213,24 +235,31 @@ impl<R: Rng> CategoricalSynthesizer<R> {
             None => self.n = Some(column.len()),
             _ => {}
         }
-        if self.buffer.len() == self.config.window {
-            self.buffer.pop_front();
+        // Roll the window codes forward in one O(n) pass: append the new
+        // digit, dropping the oldest once the window is full (`code mod
+        // V^(k−1)` strips the big-endian leading digit).
+        let v = u32::from(self.config.categories);
+        let overlaps = self.config.overlaps() as u32;
+        if self.rounds_prepared == 0 {
+            self.window_codes = column.iter().map(u32::from).collect();
+        } else if self.rounds_prepared < self.config.window {
+            for (code, c) in self.window_codes.iter_mut().zip(column.iter()) {
+                *code = *code * v + u32::from(c);
+            }
+        } else {
+            for (code, c) in self.window_codes.iter_mut().zip(column.iter()) {
+                *code = (*code % overlaps) * v + u32::from(c);
+            }
         }
-        self.buffer.push_back(column.clone());
         self.rounds_prepared += 1;
 
         let n = column.len();
         if self.rounds_prepared < self.config.window {
             return Ok(HistogramAggregate::Buffered { n });
         }
-        let v = self.config.categories as usize;
         let mut counts = vec![0i64; self.config.bins()];
-        for i in 0..n {
-            let mut code = 0usize;
-            for col in &self.buffer {
-                code = code * v + col.get(i) as usize;
-            }
-            counts[code] += 1;
+        for &code in &self.window_codes {
+            counts[code as usize] += 1;
         }
         Ok(HistogramAggregate::Counts { n, counts })
     }
@@ -316,8 +345,18 @@ impl<R: Rng> CategoricalSynthesizer<R> {
             }
         }
         self.overlap_groups = vec![Vec::new(); self.config.overlaps()];
+        // Column-major seeding, one pattern segment at a time: record ids
+        // are contiguous per pattern code, so each round's column is a run
+        // of `count` repeated digits and each overlap group a contiguous
+        // id range — bulk fills, no per-record pushes.
+        let total: usize = noisy.iter().map(|&c| c as usize).sum();
+        self.released_values = (0..k).map(|_| Vec::with_capacity(total)).collect();
         let mut next_id = 0u32;
         for (code, &count) in noisy.iter().enumerate() {
+            let count = count as usize;
+            if count == 0 {
+                continue;
+            }
             // Decode base-V digits, oldest first.
             let mut digits = vec![0u8; k];
             let mut rest = code;
@@ -326,11 +365,11 @@ impl<R: Rng> CategoricalSynthesizer<R> {
                 rest /= v;
             }
             let overlap = code % self.config.overlaps();
-            for _ in 0..count {
-                self.records.push(digits.clone());
-                self.overlap_groups[overlap].push(next_id);
-                next_id += 1;
+            for (column, &digit) in self.released_values.iter_mut().zip(&digits) {
+                column.resize(column.len() + count, digit);
             }
+            self.overlap_groups[overlap].extend(next_id..next_id + count as u32);
+            next_id += count as u32;
         }
         self.p_history.push(noisy);
     }
@@ -340,6 +379,8 @@ impl<R: Rng> CategoricalSynthesizer<R> {
         let overlaps = self.config.overlaps();
         let mut new_p = vec![0i64; self.config.bins()];
         let mut new_groups: Vec<Vec<u32>> = vec![Vec::new(); overlaps];
+        let mut column = vec![0u8; self.n_star()];
+        let mut pool = RangePool::new();
 
         for z in 0..overlaps {
             let group = &mut self.overlap_groups[z];
@@ -353,13 +394,10 @@ impl<R: Rng> CategoricalSynthesizer<R> {
             let remainder = defect.rem_euclid(v as i64) as usize;
             let mut bonus = vec![0i64; v];
             // Reservoir-free selection of `remainder` distinct categories.
-            let mut chosen: Vec<usize> = (0..v).collect();
-            for j in 0..remainder {
-                let pick = j + self.rng.gen_range(0..v - j);
-                chosen.swap(j, pick);
-            }
+            let mut chosen: Vec<u32> = (0..v as u32).collect();
+            pool.partial_shuffle(&mut self.rng, &mut chosen, remainder);
             for &c in chosen.iter().take(remainder) {
-                bonus[c] = 1;
+                bonus[c as usize] = 1;
             }
 
             let mut targets: Vec<i64> = (0..v)
@@ -393,25 +431,26 @@ impl<R: Rng> CategoricalSynthesizer<R> {
 
             // Shuffle the whole group, slice into per-category segments.
             let len = group.len();
-            for j in 0..len.saturating_sub(1) {
-                let pick = j + self.rng.gen_range(0..len - j);
-                group.swap(j, pick);
-            }
+            pool.partial_shuffle(&mut self.rng, group, len);
+            // Segment-sliced bulk writes: the shuffled group's first
+            // `target` ids take category c, and the whole segment moves to
+            // its successor overlap (z extended by c, oldest digit
+            // dropped) in one slice append.
             let mut cursor = 0usize;
             for (c, &target) in targets.iter().enumerate() {
                 let target = target as usize;
-                for &id in group.iter().skip(cursor).take(target) {
-                    self.records[id as usize].push(c as u8);
-                    // New window = overlap z extended by c; next overlap is
-                    // its last k−1 digits.
-                    let next_overlap = (z * v + c) % overlaps;
-                    new_groups[next_overlap].push(id);
+                let segment = &group[cursor..cursor + target];
+                for &id in segment {
+                    column[id as usize] = c as u8;
                 }
+                let next_overlap = (z * v + c) % overlaps;
+                new_groups[next_overlap].extend_from_slice(segment);
                 new_p[base_code + c] = target as i64;
                 cursor += target;
             }
             debug_assert_eq!(cursor, len);
         }
+        self.released_values.push(column);
         self.overlap_groups = new_groups;
         self.p_history.push(new_p);
     }
@@ -464,7 +503,7 @@ impl<R: Rng> CategoricalSynthesizer<R> {
 
     /// Number of synthetic records `n*`.
     pub fn n_star(&self) -> usize {
-        self.records.len()
+        self.released_values.first().map_or(0, Vec::len)
     }
 
     /// Resolved per-bin padding.
@@ -477,9 +516,14 @@ impl<R: Rng> CategoricalSynthesizer<R> {
         self.clamps
     }
 
-    /// The synthetic record histories (base-`V` digit strings).
-    pub fn records(&self) -> &[Vec<u8>] {
-        &self.records
+    /// Synthetic record values at released (0-based) round `t`: one
+    /// base-`V` category per record, indexed by record id. The first `k`
+    /// rounds release together with the initial histogram.
+    pub fn round_values(&self, t: usize) -> Result<&[u8], SynthError> {
+        self.released_values
+            .get(t)
+            .map(Vec::as_slice)
+            .ok_or(SynthError::RoundNotReleased { round: t })
     }
 
     /// The privacy ledger.
@@ -555,9 +599,10 @@ mod tests {
         let v = 4usize;
         for t in 1..6 {
             let mut from_records = vec![0i64; 16];
-            for record in synth.records() {
-                let code = record[t - 1] as usize * v + record[t] as usize;
-                from_records[code] += 1;
+            let prev = synth.round_values(t - 1).unwrap();
+            let now = synth.round_values(t).unwrap();
+            for (&p, &c) in prev.iter().zip(now.iter()) {
+                from_records[p as usize * v + c as usize] += 1;
             }
             assert_eq!(
                 from_records.as_slice(),

@@ -30,6 +30,7 @@ use longsynth_counters::{CounterKind, StreamCounter};
 use longsynth_data::BitColumn;
 use longsynth_data::LongitudinalDataset;
 use longsynth_dp::budget::{BudgetLedger, Rho};
+use longsynth_dp::fastrange::RangePool;
 use longsynth_dp::rng::RngFork;
 use longsynth_queries::cumulative::threshold_increment;
 use rand::Rng;
@@ -411,23 +412,28 @@ impl<R: Rng> CumulativeSynthesizer<R> {
         // Selections read the previous round's weight groups (disjoint
         // across b), then all bucket moves apply together.
         let mut bits = vec![false; n];
+        let mut pool = RangePool::new();
         for b in 1..=t {
             let want = promotions[b];
             if want == 0 {
                 continue;
             }
             let group = &mut self.weight_groups[b - 1];
-            debug_assert!(
+            // Every-profile invariant (the PR 5 hardening policy): the
+            // monotone clamp Ŝ_b ≤ Ŝ_{b−1} caps promotions at the source
+            // class size. A violation would silently corrupt the weight
+            // bookkeeping in release builds, so it fails loudly in every
+            // profile, not just under debug assertions.
+            assert!(
                 want <= group.len(),
-                "upper clamp guarantees availability: want {want} of {}",
+                "promotion availability invariant violated at round {t}, threshold b={b}: \
+                 {want} promotions requested from a weight-{} class of {} records \
+                 (the upper clamp must cap promotions at the class size)",
+                b - 1,
                 group.len()
             );
             // Fisher–Yates prefix: the first `want` entries get promoted.
-            let len = group.len();
-            for j in 0..want {
-                let pick = j + self.rng.gen_range(0..len - j);
-                group.swap(j, pick);
-            }
+            pool.partial_shuffle(&mut self.rng, group, want);
             for &id in group.iter().take(want) {
                 bits[id as usize] = true;
             }
@@ -704,16 +710,13 @@ impl<R: Rng> CumulativeSynthesizer<R> {
         // `w+1`, random members stay at `w`, the rest reset to weight 0.
         let mut next_groups: Vec<Vec<u32>> = vec![Vec::new(); window + 1];
         let mut bits = vec![false; n];
+        let mut pool = RangePool::new();
         for w in (0..=window).rev() {
             let mut group = std::mem::take(&mut self.weight_groups[w]);
             let promote = if w < window { promotes[w + 1] } else { 0 };
             let stay = if w >= 1 { stays[w] } else { 0 };
-            let len = group.len();
-            debug_assert!(promote + stay <= len, "plan fits the class");
-            for j in 0..(promote + stay) {
-                let pick = j + self.rng.gen_range(0..len - j);
-                group.swap(j, pick);
-            }
+            debug_assert!(promote + stay <= group.len(), "plan fits the class");
+            pool.partial_shuffle(&mut self.rng, &mut group, promote + stay);
             for &id in group.iter().take(promote) {
                 bits[id as usize] = true;
                 next_groups[w + 1].push(id);

@@ -25,13 +25,16 @@ use crate::padding::PaddingPolicy;
 use crate::synthetic::SyntheticDataset;
 use longsynth_data::BitColumn;
 use longsynth_dp::budget::{BudgetLedger, Rho};
+use longsynth_dp::fastrange::RangePool;
 use longsynth_dp::mechanisms::{NoiseDistribution, NoiseSampler};
 use longsynth_dp::rng::StdDpRng;
 use longsynth_dp::tail::FixedWindowParams;
+use longsynth_obs::{Histogram, MetricsRegistry};
 use longsynth_queries::pattern::Pattern;
 use longsynth_queries::window::WindowQuery;
 use rand::Rng;
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// How the `p_{z1}` records to extend with a 1-bit are chosen from `I_z`.
 ///
@@ -193,7 +196,31 @@ pub struct FixedWindowSynthesizer<R: Rng = StdDpRng> {
     /// query run on the padding data").
     padding_flags: Vec<bool>,
     failures: FailureStats,
+    /// Optional `synth_shuffle_ms` histogram (see
+    /// [`attach_metrics`](Self::attach_metrics)). `None` (the default)
+    /// keeps the extend step entirely clock-free.
+    shuffle_ms: Option<Histogram>,
     rng: R,
+}
+
+/// Run one pooled prefix shuffle, accumulating its wall time into `acc`
+/// when instrumentation is attached. With `acc = None` (no metrics) the
+/// clock is never read — the uninstrumented path stays untouched.
+fn shuffle_span<R: Rng>(
+    pool: &mut RangePool,
+    rng: &mut R,
+    slice: &mut [u32],
+    k: usize,
+    acc: &mut Option<f64>,
+) {
+    match acc {
+        Some(total_ms) => {
+            let start = Instant::now();
+            pool.partial_shuffle(rng, slice, k);
+            *total_ms += start.elapsed().as_secs_f64() * 1e3;
+        }
+        None => pool.partial_shuffle(rng, slice, k),
+    }
 }
 
 impl<R: Rng> FixedWindowSynthesizer<R> {
@@ -218,9 +245,25 @@ impl<R: Rng> FixedWindowSynthesizer<R> {
             p_history: Vec::new(),
             padding_flags: Vec::new(),
             failures: FailureStats::default(),
+            shuffle_ms: None,
             rng,
             config,
         }
+    }
+
+    /// Attach the record-selection span metric: every subsequent update
+    /// step observes its total shuffle time (both selection strategies,
+    /// all overlap classes of the round pooled into one observation) into
+    /// `registry`'s `synth_shuffle_ms` latency histogram.
+    ///
+    /// Like the engine's [`EngineObserver`] this is construction-time
+    /// optional instrumentation: without it no clock is read, and with it
+    /// only wall clocks are read — the RNG streams are identical either
+    /// way.
+    ///
+    /// [`EngineObserver`]: https://docs.rs/longsynth-engine
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.shuffle_ms = Some(registry.latency_histogram("synth_shuffle_ms"));
     }
 
     /// Feed the next true column; returns what was released.
@@ -405,8 +448,13 @@ impl<R: Rng> FixedWindowSynthesizer<R> {
         let m = self.synthetic.len();
 
         let mut new_p = vec![0i64; bins];
-        let mut bits = vec![false; m];
+        // The round under construction, packed: only 1-bits need setting,
+        // and the m/8-byte column keeps the id-ordered random writes
+        // cache-resident where a bool-per-record buffer would not be.
+        let mut round = BitColumn::zeros(m);
         let mut new_groups: Vec<Vec<u32>> = vec![Vec::new(); bins >> 1];
+        let mut pool = RangePool::new();
+        let mut shuffle_ms = self.shuffle_ms.as_ref().map(|_| 0.0f64);
 
         for z in 0..(bins >> 1) {
             let group = &mut self.overlap_groups[z];
@@ -442,14 +490,12 @@ impl<R: Rng> FixedWindowSynthesizer<R> {
                 SelectionStrategy::Uniform => {
                     // Fisher–Yates prefix over the whole group: the first
                     // p1 entries get the 1-bits.
-                    let len = group.len();
-                    for j in 0..p1 {
-                        let pick = j + self.rng.gen_range(0..len - j);
-                        group.swap(j, pick);
-                    }
+                    shuffle_span(&mut pool, &mut self.rng, group, p1, &mut shuffle_ms);
                     for (j, &id) in group.iter().enumerate() {
                         let bit = j < p1;
-                        bits[id as usize] = bit;
+                        if bit {
+                            round.set(id as usize, true);
+                        }
                         let next_overlap = ((z << 1) | usize::from(bit)) & overlap_mask;
                         new_groups[next_overlap].push(id);
                     }
@@ -467,14 +513,12 @@ impl<R: Rng> FixedWindowSynthesizer<R> {
                         .max(p1.saturating_sub(reals.len()));
                     let real_ones = p1 - pad_ones;
                     for (stratum, ones) in [(&mut pads, pad_ones), (&mut reals, real_ones)] {
-                        let len = stratum.len();
-                        for j in 0..ones {
-                            let pick = j + self.rng.gen_range(0..len - j);
-                            stratum.swap(j, pick);
-                        }
+                        shuffle_span(&mut pool, &mut self.rng, stratum, ones, &mut shuffle_ms);
                         for (j, &id) in stratum.iter().enumerate() {
                             let bit = j < ones;
-                            bits[id as usize] = bit;
+                            if bit {
+                                round.set(id as usize, true);
+                            }
                             let next_overlap = ((z << 1) | usize::from(bit)) & overlap_mask;
                             new_groups[next_overlap].push(id);
                         }
@@ -485,7 +529,10 @@ impl<R: Rng> FixedWindowSynthesizer<R> {
             new_p[(z << 1) | 1] = p1 as i64;
         }
 
-        self.synthetic.append_round(&bits);
+        if let (Some(histogram), Some(ms)) = (&self.shuffle_ms, shuffle_ms) {
+            histogram.observe(ms);
+        }
+        self.synthetic.append_round_column(round);
         self.overlap_groups = new_groups;
         self.p_history.push(new_p);
         Release::Update(self.synthetic.column(self.synthetic.rounds() - 1))
@@ -588,9 +635,9 @@ impl<R: Rng> FixedWindowSynthesizer<R> {
         let weights = query.weights();
         // q(all records) − q(padding records) = q over non-padding records.
         let mut total = 0.0;
-        for (record, &is_padding) in self.synthetic.iter().zip(&self.padding_flags) {
+        for (i, &is_padding) in self.padding_flags.iter().enumerate() {
             if !is_padding {
-                total += weights[record.suffix_pattern(t, query.width()) as usize];
+                total += weights[self.synthetic.suffix_pattern(i, t, query.width()) as usize];
             }
         }
         Ok(total / n as f64)
@@ -623,8 +670,8 @@ impl<R: Rng> FixedWindowSynthesizer<R> {
             }
             let weights = query.weights();
             let mut total = 0.0;
-            for record in self.synthetic.iter() {
-                total += weights[record.suffix_pattern(t, query.width()) as usize];
+            for i in 0..self.synthetic.len() {
+                total += weights[self.synthetic.suffix_pattern(i, t, query.width()) as usize];
             }
             Ok(total)
         }

@@ -3,8 +3,19 @@
 //! This type embodies the model's defining constraint (§1, "Our model"):
 //! synthetic individuals persist over time and their records are updated
 //! *incrementally* — a released prefix is immutable. The only mutations are
-//! [`SyntheticDataset::append_round`] (one new bit per record) and the
-//! initial [`SyntheticDataset::from_pattern_counts`] seeding.
+//! [`SyntheticDataset::append_round`] /
+//! [`SyntheticDataset::append_round_column`] (one new bit per record) and
+//! the initial [`SyntheticDataset::from_pattern_counts`] seeding.
+//!
+//! Storage is column-major: one packed [`BitColumn`] per released round,
+//! mirroring the release interface itself. The update step appends a whole
+//! round at once and re-releases whole columns, so the columnar layout makes
+//! both O(m/64) word operations; a row-major `Vec<BitStream>` layout makes
+//! them m pointer chases through m separate heap allocations, which at
+//! n = 10⁶ dominated the per-round synthesis cost. Row views
+//! ([`SyntheticDataset::record`], [`SyntheticDataset::iter`]) are
+//! materialized on demand for the analyst-side estimators that genuinely
+//! need per-individual histories.
 
 use longsynth_data::{BitColumn, BitStream, LongitudinalDataset};
 use longsynth_queries::pattern::Pattern;
@@ -12,8 +23,8 @@ use longsynth_queries::pattern::Pattern;
 /// A population of `m` synthetic records, all of equal (growing) length.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SyntheticDataset {
-    records: Vec<BitStream>,
-    rounds: usize,
+    columns: Vec<BitColumn>,
+    m: usize,
 }
 
 impl SyntheticDataset {
@@ -21,8 +32,8 @@ impl SyntheticDataset {
     /// `m = n`).
     pub fn empty(m: usize) -> Self {
         Self {
-            records: (0..m).map(|_| BitStream::new()).collect(),
-            rounds: 0,
+            columns: Vec::new(),
+            m,
         }
     }
 
@@ -31,44 +42,53 @@ impl SyntheticDataset {
     /// Algorithm 1's initialization "output any dataset such that the
     /// number of people with string s equals Ĉ_s".
     ///
+    /// Records are laid out in pattern-code order, so ids are contiguous
+    /// per pattern (the fixed-window synthesizer's overlap grouping relies
+    /// on this).
+    ///
     /// # Panics
     /// Panics if `counts.len() != 2^k` or any count is negative.
     pub fn from_pattern_counts(counts: &[i64], k: usize) -> Self {
         assert_eq!(counts.len(), Pattern::count(k), "counts size mismatch");
-        let mut records = Vec::new();
-        for (code, &count) in counts.iter().enumerate() {
+        for &count in counts {
             assert!(count >= 0, "negative pattern count {count}");
-            let pattern = Pattern::new(code as u32, k);
-            for _ in 0..count {
-                let mut stream = BitStream::with_capacity(k);
-                for i in 0..k {
-                    stream.push(pattern.bit(i));
-                }
-                records.push(stream);
-            }
         }
-        Self { records, rounds: k }
+        let m: usize = counts.iter().map(|&c| c as usize).sum();
+        let columns = (0..k)
+            .map(|i| {
+                BitColumn::from_iter_bits(counts.iter().enumerate().flat_map(|(code, &count)| {
+                    let bit = Pattern::new(code as u32, k).bit(i);
+                    std::iter::repeat_n(bit, count as usize)
+                }))
+            })
+            .collect();
+        Self { columns, m }
     }
 
     /// Number of synthetic individuals `m` (the paper's `n*` for
     /// Algorithm 1).
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.m
     }
 
     /// True when the population is empty.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.m == 0
     }
 
     /// Rounds released so far.
     pub fn rounds(&self) -> usize {
-        self.rounds
+        self.columns.len()
     }
 
-    /// One synthetic individual's history.
-    pub fn record(&self, i: usize) -> &BitStream {
-        &self.records[i]
+    /// One synthetic individual's history, materialized as a row.
+    pub fn record(&self, i: usize) -> BitStream {
+        assert!(i < self.m, "record {i} out of range {}", self.m);
+        let mut stream = BitStream::with_capacity(self.columns.len());
+        for column in &self.columns {
+            stream.push(column.get(i));
+        }
+        stream
     }
 
     /// Append one round: `bits[i]` becomes record `i`'s next bit.
@@ -76,46 +96,84 @@ impl SyntheticDataset {
     /// # Panics
     /// Panics if `bits.len() != len()`.
     pub fn append_round(&mut self, bits: &[bool]) {
-        assert_eq!(bits.len(), self.records.len(), "round size mismatch");
-        for (record, &bit) in self.records.iter_mut().zip(bits) {
-            record.push(bit);
-        }
-        self.rounds += 1;
+        assert_eq!(bits.len(), self.m, "round size mismatch");
+        self.columns.push(BitColumn::from_bools(bits));
+    }
+
+    /// Append one round already packed as a column (the fixed-window
+    /// update step builds its round this way, setting only the 1-bits).
+    ///
+    /// # Panics
+    /// Panics if `column.len() != len()`.
+    pub fn append_round_column(&mut self, column: BitColumn) {
+        assert_eq!(column.len(), self.m, "round size mismatch");
+        self.columns.push(column);
     }
 
     /// The released bits of round `t` as a column (e.g. to hand to a
     /// downstream consumer of the synthetic stream).
     pub fn column(&self, t: usize) -> BitColumn {
-        assert!(t < self.rounds, "round {t} not released");
-        BitColumn::from_iter_bits(self.records.iter().map(|r| r.get(t)))
+        assert!(t < self.rounds(), "round {t} not released");
+        self.columns[t].clone()
+    }
+
+    /// The width-`k` pattern of record `i` in the window ending at round
+    /// `t` (inclusive), oldest bit most significant — the columnar
+    /// counterpart of [`BitStream::suffix_pattern`].
+    pub fn suffix_pattern(&self, i: usize, t: usize, k: usize) -> u32 {
+        assert!((1..=32).contains(&k), "pattern width {k} unsupported");
+        assert!(t < self.rounds(), "round {t} not released");
+        assert!(t + 1 >= k, "window [t+1-k, t] underflows at t={t}, k={k}");
+        let mut pattern = 0u32;
+        for column in &self.columns[t + 1 - k..=t] {
+            pattern = (pattern << 1) | u32::from(column.get(i));
+        }
+        pattern
     }
 
     /// View as a [`LongitudinalDataset`] so ground-truth query code applies
     /// verbatim to the synthetic population.
     pub fn as_panel(&self) -> LongitudinalDataset {
-        LongitudinalDataset::from_rows(&self.records)
-            .expect("records kept equal-length by construction")
+        if self.columns.is_empty() {
+            return LongitudinalDataset::empty(self.m);
+        }
+        LongitudinalDataset::from_columns(self.columns.clone())
+            .expect("columns kept equal-length by construction")
     }
 
     /// Width-`k` window histogram of the synthetic population at round `t`
-    /// (counts per pattern code) — the `p_s^t` of the paper.
+    /// (counts per pattern code) — the `p_s^t` of the paper. Runs
+    /// word-sliced via [`BitColumn::pattern_counts`], which caps the width
+    /// at `k ≤ 16` (65 536 bins — far past any window this system
+    /// releases).
     pub fn window_histogram(&self, t: usize, k: usize) -> Vec<i64> {
-        assert!(t < self.rounds, "round {t} not released");
+        assert!(t < self.rounds(), "round {t} not released");
         assert!(t + 1 >= k, "window underflows");
-        let mut histogram = vec![0i64; Pattern::count(k)];
-        for record in &self.records {
-            histogram[record.suffix_pattern(t, k) as usize] += 1;
-        }
-        histogram
+        let cols: Vec<&BitColumn> = self.columns[t + 1 - k..=t].iter().collect();
+        BitColumn::pattern_counts(&cols)
+            .into_iter()
+            .map(|c| c as i64)
+            .collect()
     }
 
     /// Threshold counts `#{records with ≥ b ones through round t}` for
     /// `b = 0..=t+1`.
     pub fn cumulative_counts(&self, t: usize) -> Vec<i64> {
-        assert!(t < self.rounds, "round {t} not released");
+        assert!(t < self.rounds(), "round {t} not released");
+        let mut weights = vec![0u32; self.m];
+        for column in &self.columns[..=t] {
+            for (w, &word) in column.as_words().iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let r = bits.trailing_zeros() as usize;
+                    weights[(w << 6) | r] += 1;
+                    bits &= bits - 1;
+                }
+            }
+        }
         let mut by_weight = vec![0i64; t + 2];
-        for record in &self.records {
-            by_weight[record.prefix_weight(t + 1)] += 1;
+        for &w in &weights {
+            by_weight[w as usize] += 1;
         }
         let mut counts = vec![0i64; t + 2];
         let mut acc = 0;
@@ -126,9 +184,9 @@ impl SyntheticDataset {
         counts
     }
 
-    /// Iterate over records.
-    pub fn iter(&self) -> impl Iterator<Item = &BitStream> {
-        self.records.iter()
+    /// Iterate over records, each materialized as an owned row.
+    pub fn iter(&self) -> impl Iterator<Item = BitStream> + '_ {
+        (0..self.m).map(move |i| self.record(i))
     }
 }
 
@@ -158,6 +216,19 @@ mod tests {
     }
 
     #[test]
+    fn append_round_column_matches_bool_append() {
+        let mut a = SyntheticDataset::from_pattern_counts(&[2, 2], 1);
+        let mut b = a.clone();
+        let bits = [true, false, true, false];
+        a.append_round(&bits);
+        let mut col = BitColumn::zeros(4);
+        col.set(0, true);
+        col.set(2, true);
+        b.append_round_column(col);
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn prefixes_are_immutable_across_appends() {
         let mut s = SyntheticDataset::from_pattern_counts(&[1, 1, 1, 1], 2);
         let before: Vec<Vec<bool>> = s.iter().map(|r| r.iter().collect()).collect();
@@ -176,6 +247,16 @@ mod tests {
         let col = s.column(1);
         assert!(col.get(0));
         assert!(!col.get(1));
+    }
+
+    #[test]
+    fn suffix_pattern_matches_row_view() {
+        let s = SyntheticDataset::from_pattern_counts(&[0, 1, 1, 0, 0, 0, 0, 2], 3);
+        for i in 0..s.len() {
+            for k in 1..=3 {
+                assert_eq!(s.suffix_pattern(i, 2, k), s.record(i).suffix_pattern(2, k));
+            }
+        }
     }
 
     #[test]

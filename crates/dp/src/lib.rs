@@ -16,6 +16,9 @@
 //! * [`geometric`] — exact discrete Laplace (two-sided geometric) sampling.
 //! * [`discrete_gaussian`] — exact discrete Gaussian `N_Z(0, σ²)` sampling
 //!   by rejection from the discrete Laplace, plus moment/tail facts.
+//! * [`fastrange`] — pooled-entropy exact bounded sampling
+//!   ([`fastrange::RangePool`]) and the batched Fisher–Yates prefix
+//!   shuffle the synthesizers' update steps run on.
 //! * [`budget`] — the [`budget::Rho`] zCDP budget type, composition,
 //!   `(ε, δ)` conversion, and the paper's budget splitters (uniform and the
 //!   Corollary B.1 weighting across cumulative-query thresholds).
@@ -48,6 +51,7 @@ pub mod bernoulli;
 pub mod budget;
 pub mod discrete_gaussian;
 mod fastcoin;
+pub mod fastrange;
 pub mod geometric;
 pub mod mechanisms;
 pub mod rng;
@@ -55,6 +59,7 @@ pub mod tail;
 
 pub use budget::Rho;
 pub use discrete_gaussian::DiscreteGaussianSampler;
+pub use fastrange::RangePool;
 pub use geometric::DiscreteLaplaceSampler;
 pub use mechanisms::{NoiseDistribution, NoiseSampler};
 pub use rng::{rng_from_seed, RngFork};
