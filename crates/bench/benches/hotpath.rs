@@ -18,7 +18,9 @@
 //!   nothing (the committed artifacts must only change deliberately).
 //! * `--check` — regression gate: measures a fresh n = 1M run and fails
 //!   (exit 1) if mean per-round latency exceeds the committed baseline in
-//!   `BENCH_hotpath.json` by more than 25%.
+//!   `BENCH_hotpath.json` by more than 25%, or (under `--features
+//!   alloc-count`, against a committed `allocations` value) if the
+//!   per-rep allocation count regresses by more than 10%.
 
 use longsynth::{FixedWindowConfig, FixedWindowSynthesizer};
 use longsynth_bench::{alloc_snapshot, bench_panel, peak_rss_kb};
@@ -40,6 +42,11 @@ const RHO: f64 = 0.005;
 const SHARDS: usize = 1;
 /// Regression tolerance for `--check`: fail above baseline × (1 + this).
 const CHECK_TOLERANCE: f64 = 0.25;
+/// Allocation-count tolerance for `--check` (needs `--features
+/// alloc-count` and a committed n=1M `allocations` value): the arena
+/// regrouping keeps the steady-state extend path allocation-free, so the
+/// per-rep count is small and any regrowth shows up immediately.
+const ALLOC_TOLERANCE: f64 = 0.10;
 /// Mean per-round n=1M latency of the growth seed (commit 4912a40),
 /// measured once on the reference container with the same harness shape
 /// (12 rounds × 3 reps). The artifact reports each regeneration's
@@ -84,8 +91,10 @@ struct InstrumentedDto {
 
 /// Per-phase span histograms from the instrumented run's shared
 /// registry: the engine observer's round phases plus the synthesizer's
-/// `synth_shuffle_ms` selection span (the pooled-shuffle win, isolated).
-/// A phase the run never entered is `null`.
+/// `synth_shuffle_ms` selection span (the pooled-shuffle win, isolated)
+/// and its `synth_regroup_ms` arena-regrouping span (the planned bulk
+/// segment copies into the successor groups). A phase the run never
+/// entered is `null`.
 #[derive(Serialize)]
 struct PhaseMsDto {
     round: Option<PhaseStatDto>,
@@ -95,6 +104,7 @@ struct PhaseMsDto {
     noise: Option<PhaseStatDto>,
     sink: Option<PhaseStatDto>,
     shuffle: Option<PhaseStatDto>,
+    regroup: Option<PhaseStatDto>,
 }
 
 #[derive(Serialize)]
@@ -130,6 +140,7 @@ fn phase_block(registry: &MetricsRegistry) -> PhaseMsDto {
         noise: phase_stat(registry, "engine_noise_ms"),
         sink: phase_stat(registry, "engine_sink_ms"),
         shuffle: phase_stat(registry, "synth_shuffle_ms"),
+        regroup: phase_stat(registry, "synth_regroup_ms"),
     }
 }
 
@@ -546,6 +557,10 @@ fn run_smoke() {
         phases.shuffle.is_some_and(|p| p.count == 1),
         "the extend round must observe exactly one shuffle span"
     );
+    assert!(
+        phases.regroup.is_some_and(|p| p.count == 1),
+        "the extend round must observe exactly one arena regroup span"
+    );
     let samplers = measure_samplers(20_000);
     for arm in &samplers.arms {
         assert!(arm.scalar_ns_per_draw > 0.0 && arm.fill_ns_per_draw > 0.0);
@@ -589,6 +604,17 @@ fn baseline_mean_per_round_ms(doc: &serde_json::Value, n: usize) -> Option<f64> 
         .as_f64()
 }
 
+/// Committed per-rep allocation count for population `n`, `None` when the
+/// artifact was regenerated without `--features alloc-count`.
+fn baseline_allocations(doc: &serde_json::Value, n: usize) -> Option<u64> {
+    doc.get("engine_runs")?
+        .as_array()?
+        .iter()
+        .find(|run| run.get("n").and_then(|v| v.as_usize()) == Some(n))?
+        .get("allocations")?
+        .as_u64()
+}
+
 fn run_check() {
     let path = hotpath_json_path();
     let committed = match std::fs::read_to_string(&path) {
@@ -606,6 +632,7 @@ fn run_check() {
         .expect("committed baseline has an n=1M engine run");
     let limit = baseline * (1.0 + CHECK_TOLERANCE);
     let mut failed = false;
+    let mut bare_allocations = None;
     // Both arms gate against the same committed uninstrumented baseline:
     // the instrumented run must stay inside the regression tolerance too,
     // which is the ISSUE's "metrics on ≤ 25% over baseline" acceptance.
@@ -613,6 +640,9 @@ fn run_check() {
         let registry = instrumented.then(MetricsRegistry::new);
         let fresh = measure_engine_run(1_000_000, HORIZON, 2, registry.as_ref());
         let measured = fresh.per_round_ms.mean;
+        if !instrumented {
+            bare_allocations = fresh.allocations;
+        }
         eprintln!(
             "hotpath --check: n=1M {label} mean per-round {measured:.2} ms vs baseline \
              {baseline:.2} ms (limit {limit:.2} ms)"
@@ -624,6 +654,29 @@ fn run_check() {
             );
             failed = true;
         }
+    }
+    // Allocation budget: only the bare arm gates (the registry arm pays
+    // for its histograms), and only when both sides were counted.
+    match (baseline_allocations(&doc, 1_000_000), bare_allocations) {
+        (Some(committed_allocs), Some(fresh_allocs)) => {
+            let alloc_limit = (committed_allocs as f64 * (1.0 + ALLOC_TOLERANCE)).ceil() as u64;
+            eprintln!(
+                "hotpath --check: n=1M allocations/rep {fresh_allocs} vs committed \
+                 {committed_allocs} (limit {alloc_limit})"
+            );
+            if fresh_allocs > alloc_limit {
+                eprintln!(
+                    "hotpath --check: FAIL — allocation count regressed more than {:.0}% \
+                     (the steady-state extend path is supposed to be allocation-free)",
+                    ALLOC_TOLERANCE * 100.0
+                );
+                failed = true;
+            }
+        }
+        _ => eprintln!(
+            "hotpath --check: allocation gate skipped (needs `--features alloc-count` \
+             and a committed n=1M `allocations` baseline)"
+        ),
     }
     if failed {
         std::process::exit(1);

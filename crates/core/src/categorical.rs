@@ -19,6 +19,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::aggregate::HistogramAggregate;
+use crate::arena::GroupArena;
 use crate::error::SynthError;
 use longsynth_data::categorical::CategoricalColumn;
 use longsynth_dp::budget::{BudgetLedger, Rho};
@@ -155,10 +156,18 @@ pub struct CategoricalSynthesizer<R: Rng = StdDpRng> {
     /// record `id`'s base-`V` category at round `t`. Column-major so the
     /// update step can bulk-write shuffled group segments.
     released_values: Vec<Vec<u8>>,
-    /// Record ids grouped by overlap code (base-V, width k−1).
-    overlap_groups: Vec<Vec<u32>>,
-    /// Released histogram targets per released round.
-    p_history: Vec<Vec<i64>>,
+    /// Record ids grouped by overlap code (base-V, width k−1), stored
+    /// flat and regrouped by planned segment moves each round (see
+    /// [`GroupArena`]).
+    groups: GroupArena,
+    /// Released histogram targets, flat with stride `V^k`: round `r`'s
+    /// targets are `p_history[r·V^k..(r+1)·V^k]`. Reserved for the full
+    /// run at initialization so extends append without allocating.
+    p_history: Vec<i64>,
+    /// Reusable successor-size scratch for [`GroupArena::plan`].
+    plan_counts: Vec<usize>,
+    /// Reusable category-id scratch for the bonus-category pick.
+    chosen: Vec<u32>,
     /// Clamp events (the β-probability failures).
     clamps: u64,
     rng: R,
@@ -183,8 +192,10 @@ impl<R: Rng> CategoricalSynthesizer<R> {
             rounds_fed: 0,
             rounds_prepared: 0,
             released_values: Vec::new(),
-            overlap_groups: Vec::new(),
+            groups: GroupArena::new(),
             p_history: Vec::new(),
+            plan_counts: Vec::new(),
+            chosen: Vec::new(),
             clamps: 0,
             rng,
             config,
@@ -344,7 +355,14 @@ impl<R: Rng> CategoricalSynthesizer<R> {
                 *c = 0;
             }
         }
-        self.overlap_groups = vec![Vec::new(); self.config.overlaps()];
+        let overlaps = self.config.overlaps();
+        self.plan_counts.clear();
+        self.plan_counts.resize(overlaps, 0);
+        for (code, &count) in noisy.iter().enumerate() {
+            self.plan_counts[code % overlaps] += count as usize;
+        }
+        self.groups.clear();
+        self.groups.plan(self.plan_counts.iter().copied());
         // Column-major seeding, one pattern segment at a time: record ids
         // are contiguous per pattern code, so each round's column is a run
         // of `count` repeated digits and each overlap group a contiguous
@@ -364,27 +382,46 @@ impl<R: Rng> CategoricalSynthesizer<R> {
                 digits[d] = (rest % v) as u8;
                 rest /= v;
             }
-            let overlap = code % self.config.overlaps();
+            let overlap = code % overlaps;
             for (column, &digit) in self.released_values.iter_mut().zip(&digits) {
                 column.resize(column.len() + count, digit);
             }
-            self.overlap_groups[overlap].extend(next_id..next_id + count as u32);
+            for id in next_id..next_id + count as u32 {
+                self.groups.push(overlap, id);
+            }
             next_id += count as u32;
         }
-        self.p_history.push(noisy);
+        self.groups.commit();
+        // One flat targets store for the whole run, reserved up front so
+        // every steady-state extend appends without reallocating.
+        self.p_history.clear();
+        self.p_history
+            .reserve(self.config.update_steps() * self.config.bins());
+        self.p_history.extend_from_slice(&noisy);
     }
 
+    /// Update step, in two phases (mirroring the fixed-window extend):
+    /// **Phase A** draws the bonus-category picks and full-group shuffles
+    /// in the exact historical order (word stream pinned by the replay
+    /// tests) and fixes the round's targets; **Phase B** regroups by
+    /// planned segment moves through the [`GroupArena`] — every
+    /// successor overlap class is a concatenation of per-category
+    /// segments of the shuffled current classes, with sizes equal to the
+    /// released targets.
     fn extend(&mut self, noisy: Vec<i64>) {
         let v = self.config.categories as usize;
         let overlaps = self.config.overlaps();
-        let mut new_p = vec![0i64; self.config.bins()];
-        let mut new_groups: Vec<Vec<u32>> = vec![Vec::new(); overlaps];
+        let bins = self.config.bins();
+        // This round's targets live at the tail of the flat history
+        // (reserved in full at initialization — no reallocation here).
+        let p_base = self.p_history.len();
+        self.p_history.resize(p_base + bins, 0);
         let mut column = vec![0u8; self.n_star()];
         let mut pool = RangePool::new();
 
+        // Phase A: bonus picks, target feasibility, full-group shuffles.
         for z in 0..overlaps {
-            let group = &mut self.overlap_groups[z];
-            let avail = group.len() as i64;
+            let avail = self.groups.group(z).len() as i64;
             let base_code = z * v;
             let c_sum: i64 = (0..v).map(|c| noisy[base_code + c]).sum();
             // Defect D_z distributed as ⌊D/V⌋ everywhere + 1 to D mod V
@@ -392,27 +429,28 @@ impl<R: Rng> CategoricalSynthesizer<R> {
             let defect = avail - c_sum;
             let share = defect.div_euclid(v as i64);
             let remainder = defect.rem_euclid(v as i64) as usize;
-            let mut bonus = vec![0i64; v];
             // Reservoir-free selection of `remainder` distinct categories.
-            let mut chosen: Vec<u32> = (0..v as u32).collect();
-            pool.partial_shuffle(&mut self.rng, &mut chosen, remainder);
-            for &c in chosen.iter().take(remainder) {
-                bonus[c as usize] = 1;
-            }
+            self.chosen.clear();
+            self.chosen.extend(0..v as u32);
+            pool.partial_shuffle(&mut self.rng, &mut self.chosen, remainder);
 
-            let mut targets: Vec<i64> = (0..v)
-                .map(|c| noisy[base_code + c] + share + bonus[c])
-                .collect();
+            let targets = &mut self.p_history[p_base + base_code..p_base + base_code + v];
+            for (c, target) in targets.iter_mut().enumerate() {
+                *target = noisy[base_code + c] + share;
+            }
+            for &c in self.chosen.iter().take(remainder) {
+                targets[c as usize] += 1;
+            }
             debug_assert_eq!(targets.iter().sum::<i64>(), avail);
 
             // Feasibility: clamp negatives to zero, absorbing the excess
             // into the largest bins (keeps the sum exactly |I_z|).
             let mut deficit = 0i64;
-            for t in targets.iter_mut() {
-                if *t < 0 {
+            for target in targets.iter_mut() {
+                if *target < 0 {
                     self.clamps += 1;
-                    deficit += -*t;
-                    *t = 0;
+                    deficit += -*target;
+                    *target = 0;
                 }
             }
             while deficit > 0 {
@@ -422,37 +460,62 @@ impl<R: Rng> CategoricalSynthesizer<R> {
                     .max_by_key(|(_, &t)| t)
                     .expect("v >= 2");
                 let take = deficit.min(targets[idx]);
+                // Absorption always terminates: the clamped targets sum to
+                // `avail + deficit ≥ deficit > 0`, so a positive target
+                // exists while any deficit remains. A stall here means the
+                // released targets no longer partition the group — fail
+                // loudly in every build profile rather than silently
+                // desynchronize the regrouping (the historical code broke
+                // out of the loop and corrupted the segment walk).
+                assert!(
+                    take > 0,
+                    "feasibility absorption stalled for overlap group {z}: residual \
+                     deficit {deficit} with every target at zero, but clamped targets \
+                     must sum to the group size ({avail}) plus the deficit"
+                );
                 targets[idx] -= take;
                 deficit -= take;
-                if take == 0 {
-                    break; // all-zero targets with avail = 0
-                }
             }
 
-            // Shuffle the whole group, slice into per-category segments.
+            // Shuffle the whole group in place; Phase B slices it into
+            // per-category segments.
+            let group = self.groups.group_mut(z);
             let len = group.len();
             pool.partial_shuffle(&mut self.rng, group, len);
-            // Segment-sliced bulk writes: the shuffled group's first
-            // `target` ids take category c, and the whole segment moves to
-            // its successor overlap (z extended by c, oldest digit
-            // dropped) in one slice append.
+        }
+
+        // Phase B: plan the successor layout (successor class `o`
+        // collects the segments of every pattern code ≡ o mod V^(k−1))
+        // and move whole segments.
+        self.plan_counts.clear();
+        self.plan_counts.resize(overlaps, 0);
+        for code in 0..bins {
+            self.plan_counts[code % overlaps] += self.p_history[p_base + code] as usize;
+        }
+        self.groups.plan(self.plan_counts.iter().copied());
+        for z in 0..overlaps {
+            let span = self.groups.group_span(z);
+            let base_code = z * v;
+            // The shuffled group's first `target` ids take category c, and
+            // the whole segment moves to its successor overlap (z extended
+            // by c, oldest digit dropped) in one bulk copy.
             let mut cursor = 0usize;
-            for (c, &target) in targets.iter().enumerate() {
-                let target = target as usize;
-                let segment = &group[cursor..cursor + target];
-                for &id in segment {
+            for c in 0..v {
+                let target = self.p_history[p_base + base_code + c] as usize;
+                for &id in &self.groups.group(z)[cursor..cursor + target] {
                     column[id as usize] = c as u8;
                 }
-                let next_overlap = (z * v + c) % overlaps;
-                new_groups[next_overlap].extend_from_slice(segment);
-                new_p[base_code + c] = target as i64;
+                let next_overlap = (base_code + c) % overlaps;
+                self.groups.carry(
+                    next_overlap,
+                    span.start + cursor..span.start + cursor + target,
+                );
                 cursor += target;
             }
-            debug_assert_eq!(cursor, len);
+            debug_assert_eq!(cursor, span.len());
         }
+        self.groups.commit();
         self.released_values.push(column);
-        self.overlap_groups = new_groups;
-        self.p_history.push(new_p);
     }
 
     // ------------------------------------------------------------------
@@ -464,7 +527,9 @@ impl<R: Rng> CategoricalSynthesizer<R> {
         if t + 1 < k || t >= self.rounds_fed {
             return Err(SynthError::RoundNotReleased { round: t });
         }
-        Ok(&self.p_history[t + 1 - k])
+        let bins = self.config.bins();
+        let base = (t + 1 - k) * bins;
+        Ok(&self.p_history[base..base + bins])
     }
 
     /// Debiased fraction of a single width-`k` pattern (base-`V` code).
@@ -638,6 +703,56 @@ mod tests {
             assert!((marginal_sum - 1.0).abs() < 0.02, "t={t}: {marginal_sum}");
         }
         assert!(synth.ledger().exhausted());
+    }
+
+    #[test]
+    fn empty_group_absorbs_all_zero_targets_without_stalling() {
+        // Regression for the feasibility-absorption edge the historical
+        // code exited via a silent `break`: an overlap group with **zero
+        // members** whose raw targets mix negative and positive entries.
+        // Clamping leaves deficit 2 over targets [0, 1, 1]; absorption
+        // must drain the deficit down to all-zero targets and terminate
+        // (the every-profile invariant asserts each absorption step makes
+        // progress).
+        let config = CategoricalConfig::new(3, 2, 3, Rho::new(1.0).unwrap())
+            .unwrap()
+            .with_npad(0)
+            .with_noise_override(NoiseDistribution::None);
+        let mut synth = CategoricalSynthesizer::new(config, rng_from_seed(9));
+        let n = 6usize;
+        // Round 1 buffers (t < k).
+        synth.finalize(HistogramAggregate::Buffered { n }).unwrap();
+        // Round 2 initializes. No mass on codes ≡ 0 (mod 3), so overlap
+        // group z = 0 starts empty; groups 1 and 2 hold 4 and 2 records.
+        let mut init = vec![0i64; 9];
+        init[1] = 2;
+        init[2] = 1;
+        init[4] = 1;
+        init[5] = 1;
+        init[7] = 1;
+        synth
+            .finalize(HistogramAggregate::Counts { n, counts: init })
+            .unwrap();
+        assert_eq!(synth.n_star(), 6);
+        // Round 3: group 0's raw targets [-2, 1, 1] sum to its size (0),
+        // clamp to [0, 1, 1] with deficit 2, and absorb to [0, 0, 0].
+        // Groups 1 and 2 release exactly their sizes, unclamped.
+        let mut counts = vec![0i64; 9];
+        counts[0] = -2;
+        counts[1] = 1;
+        counts[2] = 1;
+        counts[3] = 2;
+        counts[4] = 1;
+        counts[5] = 1;
+        counts[6] = 1;
+        counts[7] = 1;
+        synth
+            .finalize(HistogramAggregate::Counts { n, counts })
+            .unwrap();
+        assert_eq!(synth.clamps(), 1);
+        let hist = synth.histogram_estimate(2).unwrap();
+        assert_eq!(hist, &[0, 0, 0, 2, 1, 1, 1, 1, 0]);
+        assert_eq!(hist.iter().sum::<i64>(), synth.n_star() as i64);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::aggregate::CumulativeAggregate;
+use crate::arena::GroupArena;
 use crate::error::SynthError;
 use crate::synthetic::SyntheticDataset;
 use longsynth_counters::{CounterKind, StreamCounter};
@@ -202,8 +203,15 @@ pub struct CumulativeSynthesizer<R: Rng = longsynth_dp::rng::StdDpRng> {
     /// Estimate history: `s_history[t][b] = Ŝ_b` at 0-based round `t`.
     s_history: Vec<Vec<i64>>,
     synthetic: SyntheticDataset,
-    /// Record ids grouped by current Hamming weight.
-    weight_groups: Vec<Vec<u32>>,
+    /// Record ids grouped by current Hamming weight, stored flat in a
+    /// double-buffered arena (weight `w` = arena group `w`); each round's
+    /// promotion bookkeeping is planned segment moves, not per-group
+    /// reallocation.
+    weight_groups: GroupArena,
+    /// Reusable successor-size scratch for [`GroupArena::plan`].
+    plan_counts: Vec<usize>,
+    /// Reusable released-column scratch (`n` bits, cleared per round).
+    scratch_bits: Vec<bool>,
     /// True data consumed so far (needed to compute increments `z_b^t`).
     observed: LongitudinalDataset,
     /// Completed (finalized) rounds so far.
@@ -281,7 +289,9 @@ impl<R: Rng> CumulativeSynthesizer<R> {
             window_sampler,
             s_history: Vec::new(),
             synthetic: SyntheticDataset::empty(0),
-            weight_groups: Vec::new(),
+            weight_groups: GroupArena::new(),
+            plan_counts: Vec::new(),
+            scratch_bits: Vec::new(),
             observed: LongitudinalDataset::empty(0),
             rounds_fed: 0,
             rounds_prepared: 0,
@@ -383,7 +393,12 @@ impl<R: Rng> CumulativeSynthesizer<R> {
             let n = aggregate.n;
             self.synthetic = SyntheticDataset::empty(n);
             // All records start at weight 0; Ŝ_0 ≡ n, Ŝ_b = 0 for b ≥ 1.
-            self.weight_groups = vec![(0..n as u32).collect()];
+            self.weight_groups.clear();
+            self.weight_groups.plan(std::iter::once(n));
+            for id in 0..n as u32 {
+                self.weight_groups.push(0, id);
+            }
+            self.weight_groups.commit();
             self.s_prev = vec![0i64; self.config.horizon + 1];
             self.s_prev[0] = n as i64;
         }
@@ -410,15 +425,17 @@ impl<R: Rng> CumulativeSynthesizer<R> {
 
         // Phase 2: promote ẑ_b^t randomly chosen records of weight b−1.
         // Selections read the previous round's weight groups (disjoint
-        // across b), then all bucket moves apply together.
-        let mut bits = vec![false; n];
+        // across b), then all segment moves apply together through the
+        // arena's planned successor layout.
+        self.scratch_bits.clear();
+        self.scratch_bits.resize(n, false);
         let mut pool = RangePool::new();
         for b in 1..=t {
             let want = promotions[b];
             if want == 0 {
                 continue;
             }
-            let group = &mut self.weight_groups[b - 1];
+            let group = self.weight_groups.group_mut(b - 1);
             // Every-profile invariant (the PR 5 hardening policy): the
             // monotone clamp Ŝ_b ≤ Ŝ_{b−1} caps promotions at the source
             // class size. A violation would silently corrupt the weight
@@ -435,20 +452,38 @@ impl<R: Rng> CumulativeSynthesizer<R> {
             // Fisher–Yates prefix: the first `want` entries get promoted.
             pool.partial_shuffle(&mut self.rng, group, want);
             for &id in group.iter().take(want) {
-                bits[id as usize] = true;
+                self.scratch_bits[id as usize] = true;
             }
         }
-        self.weight_groups.push(Vec::new()); // weight t becomes reachable
-        for b in (1..=t).rev() {
-            let want = promotions[b];
-            if want == 0 {
-                continue;
-            }
-            let group = &mut self.weight_groups[b - 1];
-            let promoted: Vec<u32> = group.drain(..want).collect();
-            self.weight_groups[b].extend(promoted);
+        // Weight t becomes reachable this round: final class g keeps its
+        // own non-promoted suffix and gains the promoted prefix of class
+        // g−1, so every successor size is known before any id moves.
+        self.plan_counts.clear();
+        self.plan_counts.resize(t + 1, 0);
+        for g in 0..=t {
+            let keep = if g < t {
+                self.weight_groups.group(g).len() - promotions[g + 1]
+            } else {
+                0
+            };
+            let gain = if g >= 1 { promotions[g] } else { 0 };
+            self.plan_counts[g] = keep + gain;
         }
-        self.synthetic.append_round(&bits);
+        self.weight_groups.plan(self.plan_counts.iter().copied());
+        for g in 0..=t {
+            if g < t {
+                let span = self.weight_groups.group_span(g);
+                self.weight_groups
+                    .carry(g, span.start + promotions[g + 1]..span.end);
+            }
+            if g >= 1 {
+                let src = self.weight_groups.group_span(g - 1);
+                self.weight_groups
+                    .carry(g, src.start..src.start + promotions[g]);
+            }
+        }
+        self.weight_groups.commit();
+        self.synthetic.append_round(&self.scratch_bits);
         self.s_history.push(s_now.clone());
         self.s_prev = s_now;
 
@@ -647,8 +682,13 @@ impl<R: Rng> CumulativeSynthesizer<R> {
         if self.rounds_fed == 0 {
             let n = aggregate.n;
             self.synthetic = SyntheticDataset::empty(n);
-            self.weight_groups = vec![Vec::new(); window + 1];
-            self.weight_groups[0] = (0..n as u32).collect();
+            self.weight_groups.clear();
+            self.weight_groups
+                .plan(std::iter::once(n).chain(std::iter::repeat_n(0, window)));
+            for id in 0..n as u32 {
+                self.weight_groups.push(0, id);
+            }
+            self.weight_groups.commit();
             self.s_prev = vec![0i64; window + 1];
             self.s_prev[0] = n as i64;
         }
@@ -691,7 +731,9 @@ impl<R: Rng> CumulativeSynthesizer<R> {
         // fill each final weight class from records staying at that
         // weight, then promotions from one below; infeasible remainders
         // shrink the released target (feasibility is part of the release).
-        let mut avail: Vec<usize> = self.weight_groups.iter().map(Vec::len).collect();
+        let mut avail: Vec<usize> = (0..=window)
+            .map(|w| self.weight_groups.group(w).len())
+            .collect();
         let mut stays = vec![0usize; window + 1];
         let mut promotes = vec![0usize; window + 1];
         let mut realized = vec![0i64; window + 2];
@@ -708,29 +750,51 @@ impl<R: Rng> CumulativeSynthesizer<R> {
         }
         // Apply the plan per source class: random members promote into
         // `w+1`, random members stay at `w`, the rest reset to weight 0.
-        let mut next_groups: Vec<Vec<u32>> = vec![Vec::new(); window + 1];
-        let mut bits = vec![false; n];
+        // Phase A shuffles each class prefix (highest weight first, the
+        // pinned RNG order); phase B moves whole segments through the
+        // arena's planned successor layout.
+        self.scratch_bits.clear();
+        self.scratch_bits.resize(n, false);
         let mut pool = RangePool::new();
         for w in (0..=window).rev() {
-            let mut group = std::mem::take(&mut self.weight_groups[w]);
             let promote = if w < window { promotes[w + 1] } else { 0 };
             let stay = if w >= 1 { stays[w] } else { 0 };
+            let group = self.weight_groups.group_mut(w);
             debug_assert!(promote + stay <= group.len(), "plan fits the class");
-            pool.partial_shuffle(&mut self.rng, &mut group, promote + stay);
+            pool.partial_shuffle(&mut self.rng, group, promote + stay);
             for &id in group.iter().take(promote) {
-                bits[id as usize] = true;
-                next_groups[w + 1].push(id);
+                self.scratch_bits[id as usize] = true;
             }
-            next_groups[w].extend(group.iter().skip(promote).take(stay).copied());
-            // Leftovers rotate out to weight 0 (weight-0 leftovers simply
-            // remain there), standing in for the replacement entrants.
-            next_groups[0].extend(group.iter().skip(promote + stay).copied());
         }
-        self.weight_groups = next_groups;
+        // Final class g ≥ 1 keeps its stayers and gains the promoted
+        // prefix of class g−1; class 0 collects every leftover (rotated
+        // out to weight 0, standing in for the replacement entrants —
+        // weight-0 leftovers simply remain there).
+        self.plan_counts.clear();
+        self.plan_counts.resize(window + 1, 0);
+        for g in 1..=window {
+            self.plan_counts[g] = stays[g] + promotes[g];
+        }
+        self.plan_counts[0] = n - self.plan_counts[1..].iter().sum::<usize>();
+        self.weight_groups.plan(self.plan_counts.iter().copied());
+        for w in (0..=window).rev() {
+            let span = self.weight_groups.group_span(w);
+            let promote = if w < window { promotes[w + 1] } else { 0 };
+            let stay = if w >= 1 { stays[w] } else { 0 };
+            if promote > 0 {
+                self.weight_groups
+                    .carry(w + 1, span.start..span.start + promote);
+            }
+            self.weight_groups
+                .carry(w, span.start + promote..span.start + promote + stay);
+            self.weight_groups
+                .carry(0, span.start + promote + stay..span.end);
+        }
+        self.weight_groups.commit();
         let mut row = vec![0i64; window + 1];
         row[0] = n as i64;
         row[1..=window].copy_from_slice(&realized[1..=window]);
-        self.synthetic.append_round(&bits);
+        self.synthetic.append_round(&self.scratch_bits);
         self.s_history.push(row.clone());
         self.s_prev = row;
         Ok(self.synthetic.column(self.synthetic.rounds() - 1))

@@ -20,6 +20,7 @@
 //! splitting the *doubled* correction `2Δ_z` into two integer parts.
 
 use crate::aggregate::HistogramAggregate;
+use crate::arena::GroupArena;
 use crate::error::SynthError;
 use crate::padding::PaddingPolicy;
 use crate::synthetic::SyntheticDataset;
@@ -184,10 +185,22 @@ pub struct FixedWindowSynthesizer<R: Rng = StdDpRng> {
     /// synthesizer).
     rounds_prepared: usize,
     synthetic: SyntheticDataset,
-    /// Record ids grouped by current (k−1)-bit overlap code.
-    overlap_groups: Vec<Vec<u32>>,
-    /// Released histogram targets `p_s^t`, one vector per released round.
-    p_history: Vec<Vec<i64>>,
+    /// Record ids grouped by current (k−1)-bit overlap code, stored flat
+    /// and regrouped by planned segment moves each round (see [`GroupArena`]).
+    groups: GroupArena,
+    /// Released histogram targets `p_s^t`, flat with stride `2^k`: round
+    /// `r`'s targets are `p_history[r·2^k..(r+1)·2^k]`. Reserved for the
+    /// full run at initialization so extends append without allocating.
+    p_history: Vec<i64>,
+    /// Reusable successor-size scratch for [`GroupArena::plan`].
+    plan_counts: Vec<usize>,
+    /// Stratified-selection scratch: each group's ids partitioned
+    /// (pads first, then reals) in one flat reusable buffer laid out at
+    /// the same offsets as the front groups.
+    strata: Vec<u32>,
+    /// Per-overlap-class `(pads_len, pad_ones)` for the round under
+    /// construction (stratified selection only).
+    strata_meta: Vec<(usize, usize)>,
     /// `padding_flags[i]` marks record `i` as one of the `npad`-per-bin
     /// "fake people" (§3.1). The flags are public: the whole synthetic
     /// dataset, labels included, is post-processing of the released noisy
@@ -200,6 +213,9 @@ pub struct FixedWindowSynthesizer<R: Rng = StdDpRng> {
     /// [`attach_metrics`](Self::attach_metrics)). `None` (the default)
     /// keeps the extend step entirely clock-free.
     shuffle_ms: Option<Histogram>,
+    /// Optional `synth_regroup_ms` histogram: wall time of the planned
+    /// segment-move regrouping per update step (same attach semantics).
+    regroup_ms: Option<Histogram>,
     rng: R,
 }
 
@@ -241,20 +257,26 @@ impl<R: Rng> FixedWindowSynthesizer<R> {
             rounds_fed: 0,
             rounds_prepared: 0,
             synthetic: SyntheticDataset::empty(0),
-            overlap_groups: Vec::new(),
+            groups: GroupArena::new(),
             p_history: Vec::new(),
+            plan_counts: Vec::new(),
+            strata: Vec::new(),
+            strata_meta: Vec::new(),
             padding_flags: Vec::new(),
             failures: FailureStats::default(),
             shuffle_ms: None,
+            regroup_ms: None,
             rng,
             config,
         }
     }
 
-    /// Attach the record-selection span metric: every subsequent update
-    /// step observes its total shuffle time (both selection strategies,
-    /// all overlap classes of the round pooled into one observation) into
-    /// `registry`'s `synth_shuffle_ms` latency histogram.
+    /// Attach the update-step span metrics: every subsequent update step
+    /// observes its total shuffle time (both selection strategies, all
+    /// overlap classes of the round pooled into one observation) into
+    /// `registry`'s `synth_shuffle_ms` latency histogram, and its
+    /// regrouping time (the planned segment moves rebuilding the overlap
+    /// groups) into `synth_regroup_ms`.
     ///
     /// Like the engine's [`EngineObserver`] this is construction-time
     /// optional instrumentation: without it no clock is read, and with it
@@ -264,6 +286,7 @@ impl<R: Rng> FixedWindowSynthesizer<R> {
     /// [`EngineObserver`]: https://docs.rs/longsynth-engine
     pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
         self.shuffle_ms = Some(registry.latency_histogram("synth_shuffle_ms"));
+        self.regroup_ms = Some(registry.latency_histogram("synth_regroup_ms"));
     }
 
     /// Feed the next true column; returns what was released.
@@ -423,42 +446,77 @@ impl<R: Rng> FixedWindowSynthesizer<R> {
         // order, so ids are contiguous per pattern). The first
         // min(npad, count) records of each bin carry the public padding
         // flag — the bin's "fake people".
-        self.overlap_groups = vec![Vec::new(); Pattern::count(k - 1)];
+        let overlaps = Pattern::count(k - 1);
+        self.plan_counts.clear();
+        self.plan_counts.resize(overlaps, 0);
+        for (code, &count) in noisy.iter().enumerate() {
+            let overlap = Pattern::new(code as u32, k).drop_oldest().code() as usize;
+            self.plan_counts[overlap] += count as usize;
+        }
+        self.groups.clear();
+        self.groups.plan(self.plan_counts.iter().copied());
         self.padding_flags.clear();
         let mut next_id = 0u32;
         for (code, &count) in noisy.iter().enumerate() {
             let overlap = Pattern::new(code as u32, k).drop_oldest().code() as usize;
             let padded = (self.npad as i64).min(count);
             for j in 0..count {
-                self.overlap_groups[overlap].push(next_id);
+                self.groups.push(overlap, next_id);
                 self.padding_flags.push(j < padded);
                 next_id += 1;
             }
         }
-        self.p_history.push(noisy);
+        self.groups.commit();
+        // One flat targets store for the whole run, reserved up front so
+        // every steady-state extend appends without reallocating.
+        self.p_history.clear();
+        self.p_history
+            .reserve(self.config.update_steps() * Pattern::count(k));
+        self.p_history.extend_from_slice(&noisy);
         let columns = (0..k).map(|t| self.synthetic.column(t)).collect();
         Release::Initial(columns)
     }
 
     /// Update step: consistency-correct the noisy targets and extend.
+    ///
+    /// Runs in two phases. **Phase A** walks the overlap classes in
+    /// order, drawing the rounding coins and prefix shuffles exactly as
+    /// the historical per-id push loop did (the RNG word stream is
+    /// pinned by the replay tests) and setting the round's 1-bits.
+    /// **Phase B** regroups: every successor overlap class is a
+    /// concatenation of contiguous segments of the (shuffled) current
+    /// classes whose sizes are the already-released targets, so the
+    /// [`GroupArena`] plans the successor layout exactly and the ids
+    /// move by bulk segment copies — zero steady-state allocations where
+    /// the `Vec<Vec<u32>>` rebuild allocated and amortized-grew every
+    /// round.
     fn extend(&mut self, noisy: Vec<i64>) -> Release {
         let k = self.config.window;
         let bins = Pattern::count(k);
-        let overlap_mask = (bins >> 1).wrapping_sub(1); // 2^(k-1) − 1
+        let half = bins >> 1;
+        let overlap_mask = half.wrapping_sub(1); // 2^(k-1) − 1
         let m = self.synthetic.len();
 
-        let mut new_p = vec![0i64; bins];
+        // This round's targets live at the tail of the flat history
+        // (reserved in full at initialization — no reallocation here).
+        let p_base = self.p_history.len();
+        self.p_history.resize(p_base + bins, 0);
         // The round under construction, packed: only 1-bits need setting,
         // and the m/8-byte column keeps the id-ordered random writes
         // cache-resident where a bool-per-record buffer would not be.
         let mut round = BitColumn::zeros(m);
-        let mut new_groups: Vec<Vec<u32>> = vec![Vec::new(); bins >> 1];
         let mut pool = RangePool::new();
         let mut shuffle_ms = self.shuffle_ms.as_ref().map(|_| 0.0f64);
+        let stratified = self.config.selection == SelectionStrategy::Stratified;
+        if stratified {
+            self.strata.clear();
+            self.strata_meta.clear();
+        }
 
-        for z in 0..(bins >> 1) {
-            let group = &mut self.overlap_groups[z];
-            let avail = group.len() as i64;
+        // Phase A: coins, shuffles, and released 1-bits, in the exact
+        // historical order.
+        for z in 0..half {
+            let avail = self.groups.group(z).len() as i64;
             let c0 = noisy[z << 1];
             let c1 = noisy[(z << 1) | 1];
             // 2Δ_z, kept doubled so the half-integer case stays integral.
@@ -490,51 +548,98 @@ impl<R: Rng> FixedWindowSynthesizer<R> {
                 SelectionStrategy::Uniform => {
                     // Fisher–Yates prefix over the whole group: the first
                     // p1 entries get the 1-bits.
+                    let group = self.groups.group_mut(z);
                     shuffle_span(&mut pool, &mut self.rng, group, p1, &mut shuffle_ms);
-                    for (j, &id) in group.iter().enumerate() {
-                        let bit = j < p1;
-                        if bit {
-                            round.set(id as usize, true);
-                        }
-                        let next_overlap = ((z << 1) | usize::from(bit)) & overlap_mask;
-                        new_groups[next_overlap].push(id);
+                    for &id in &group[..p1] {
+                        round.set(id as usize, true);
                     }
                 }
                 SelectionStrategy::Stratified => {
                     // Steer exactly npad padding records into each
                     // successor bin (whenever feasible), selecting uniformly
-                    // within each stratum.
-                    let (mut pads, mut reals): (Vec<u32>, Vec<u32>) = group
-                        .iter()
-                        .partition(|&&id| self.padding_flags[id as usize]);
-                    let pad_ones = (self.npad as usize)
-                        .min(pads.len())
-                        .min(p1)
-                        .max(p1.saturating_sub(reals.len()));
-                    let real_ones = p1 - pad_ones;
-                    for (stratum, ones) in [(&mut pads, pad_ones), (&mut reals, real_ones)] {
-                        shuffle_span(&mut pool, &mut self.rng, stratum, ones, &mut shuffle_ms);
-                        for (j, &id) in stratum.iter().enumerate() {
-                            let bit = j < ones;
-                            if bit {
-                                round.set(id as usize, true);
-                            }
-                            let next_overlap = ((z << 1) | usize::from(bit)) & overlap_mask;
-                            new_groups[next_overlap].push(id);
+                    // within each stratum. The strata live in one reusable
+                    // flat buffer at the same offsets as the front groups
+                    // (pads first, then reals, both in group order).
+                    let start = self.strata.len();
+                    for &id in self.groups.group(z) {
+                        if self.padding_flags[id as usize] {
+                            self.strata.push(id);
                         }
                     }
+                    let pads_len = self.strata.len() - start;
+                    for &id in self.groups.group(z) {
+                        if !self.padding_flags[id as usize] {
+                            self.strata.push(id);
+                        }
+                    }
+                    let reals_len = avail as usize - pads_len;
+                    let pad_ones = (self.npad as usize)
+                        .min(pads_len)
+                        .min(p1)
+                        .max(p1.saturating_sub(reals_len));
+                    let real_ones = p1 - pad_ones;
+                    let (pads, reals) = self.strata[start..].split_at_mut(pads_len);
+                    shuffle_span(&mut pool, &mut self.rng, pads, pad_ones, &mut shuffle_ms);
+                    for &id in &pads[..pad_ones] {
+                        round.set(id as usize, true);
+                    }
+                    shuffle_span(&mut pool, &mut self.rng, reals, real_ones, &mut shuffle_ms);
+                    for &id in &reals[..real_ones] {
+                        round.set(id as usize, true);
+                    }
+                    self.strata_meta.push((pads_len, pad_ones));
                 }
             }
-            new_p[z << 1] = p0 as i64;
-            new_p[(z << 1) | 1] = p1 as i64;
+            self.p_history[p_base + (z << 1)] = p0 as i64;
+            self.p_history[p_base + ((z << 1) | 1)] = p1 as i64;
         }
 
         if let (Some(histogram), Some(ms)) = (&self.shuffle_ms, shuffle_ms) {
             histogram.observe(ms);
         }
+
+        // Phase B: plan the successor layout from the released targets
+        // (successor class `o` collects exactly the records whose new
+        // pattern is `o` or `o + 2^(k−1)`) and move whole segments.
+        let regroup_start = self.regroup_ms.as_ref().map(|_| Instant::now());
+        self.plan_counts.clear();
+        for o in 0..half {
+            let count = self.p_history[p_base + o] + self.p_history[p_base + o + half];
+            self.plan_counts.push(count as usize);
+        }
+        self.groups.plan(self.plan_counts.iter().copied());
+        for z in 0..half {
+            let span = self.groups.group_span(z);
+            let p1 = self.p_history[p_base + ((z << 1) | 1)] as usize;
+            let one = ((z << 1) | 1) & overlap_mask;
+            let zero = (z << 1) & overlap_mask;
+            if stratified {
+                // Carry order (pads¹, pads⁰, reals¹, reals⁰) matches the
+                // historical per-stratum walk, including the k = 1 case
+                // where all four segments land in the same class.
+                let (pads_len, pad_ones) = self.strata_meta[z];
+                let real_ones = p1 - pad_ones;
+                let pads = span.start..span.start + pads_len;
+                let reals = span.start + pads_len..span.end;
+                self.groups
+                    .extend(one, &self.strata[pads.start..pads.start + pad_ones]);
+                self.groups
+                    .extend(zero, &self.strata[pads.start + pad_ones..pads.end]);
+                self.groups
+                    .extend(one, &self.strata[reals.start..reals.start + real_ones]);
+                self.groups
+                    .extend(zero, &self.strata[reals.start + real_ones..reals.end]);
+            } else {
+                self.groups.carry(one, span.start..span.start + p1);
+                self.groups.carry(zero, span.start + p1..span.end);
+            }
+        }
+        self.groups.commit();
+        if let (Some(histogram), Some(start)) = (&self.regroup_ms, regroup_start) {
+            histogram.observe(start.elapsed().as_secs_f64() * 1e3);
+        }
+
         self.synthetic.append_round_column(round);
-        self.overlap_groups = new_groups;
-        self.p_history.push(new_p);
         Release::Update(self.synthetic.column(self.synthetic.rounds() - 1))
     }
 
@@ -589,7 +694,9 @@ impl<R: Rng> FixedWindowSynthesizer<R> {
         if t + 1 < k || t >= self.rounds_fed {
             return Err(SynthError::RoundNotReleased { round: t });
         }
-        Ok(&self.p_history[t + 1 - k])
+        let bins = Pattern::count(k);
+        let base = (t + 1 - k) * bins;
+        Ok(&self.p_history[base..base + bins])
     }
 
     /// Biased estimate: evaluate `query` against the synthetic population

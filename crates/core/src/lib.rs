@@ -61,6 +61,7 @@
 //! |---|---|
 //! | [`traits`]       | [`ContinualSynthesizer`] — the unified step/release contract all four synthesizers implement |
 //! | [`aggregate`]    | unnoised per-round sufficient statistics (the two-phase `prepare` outputs) |
+//! | [`arena`]        | [`GroupArena`] — double-buffered flat id-group storage behind every update-step regrouping |
 //! | [`fixed_window`] | Algorithm 1 and its consistency arithmetic |
 //! | [`cumulative`]   | Algorithm 2 over pluggable stream counters |
 //! | [`synthetic`]    | the persistent synthetic population |
@@ -81,6 +82,7 @@
 #![forbid(unsafe_code)]
 
 pub mod aggregate;
+pub mod arena;
 pub mod baseline;
 pub mod categorical;
 pub mod cumulative;
@@ -93,6 +95,7 @@ pub mod synthetic;
 pub mod traits;
 
 pub use aggregate::{CumulativeAggregate, HistogramAggregate};
+pub use arena::GroupArena;
 pub use cumulative::{BudgetSplit, CumulativeConfig, CumulativeSynthesizer};
 pub use error::SynthError;
 pub use fixed_window::{FixedWindowConfig, FixedWindowSynthesizer, Release, SelectionStrategy};

@@ -21,6 +21,12 @@
 //! 3. fixed-window extend, uniform selection (plus `gen_bool` interleave),
 //! 4. fixed-window extend, stratified selection (two strata per bin),
 //! 5. categorical extend (defect-bonus pick + full-group shuffle).
+//!
+//! The `GroupArena` regrouping rewrite replays the same five sites through
+//! the same scripts (bulk segment carries must not perturb the word
+//! stream), plus two `k = 1` tests pinning the degenerate single-class
+//! layout where **every** successor segment lands back in the one overlap
+//! class — the case most sensitive to the arena's carry order.
 
 use longsynth::categorical::{CategoricalConfig, CategoricalSynthesizer};
 use longsynth::{
@@ -473,6 +479,101 @@ fn fixed_window_stratified_extend_replays_the_scalar_loop() {
     );
 }
 
+/// `k = 1` uniform selection: one overlap class (`mask = 0`), so both the
+/// ones-prefix and zeros-suffix segments carry back into that same class.
+/// The historical id-order walk emitted the prefix entries before the
+/// suffix entries; the arena must carry them in that order or the next
+/// round's shuffle permutes different records.
+#[test]
+fn fixed_window_k1_single_class_extend_replays_the_scalar_loop() {
+    let rounds: Vec<(Vec<i64>, Option<bool>)> = vec![
+        // avail is always 10. diff 0 (even), diff 3 (odd, heads), diff 3
+        // (odd, tails): both coin directions and a coin-free round.
+        (vec![5, 5], None),
+        (vec![4, 3], Some(true)),
+        (vec![3, 4], Some(false)),
+    ];
+    let horizon = 1 + rounds.len();
+    let config = FixedWindowConfig::new(horizon, 1, Rho::new(0.5).unwrap())
+        .unwrap()
+        .with_padding(PaddingPolicy::None)
+        .with_selection(SelectionStrategy::Uniform)
+        .with_noise_override(NoiseDistribution::None);
+    let init_counts = vec![6i64, 4];
+    let n = 10usize;
+
+    // Old-loop simulation: ids contiguous per pattern code, all in the
+    // single overlap class; each round shuffles a p1-prefix and reassigns
+    // in id-walk order (prefix → 1-bit, suffix → 0-bit, both staying in
+    // class 0 with the prefix first).
+    let mut group: Vec<u32> = (0..n as u32).collect();
+    let init_column: Vec<bool> = (0..n).map(|i| i >= 6).collect();
+    let mut meta = rng_from_seed(0xB0B);
+    let mut packer = PoolPacker::new();
+    let expected: Vec<Vec<bool>> = rounds
+        .iter()
+        .map(|(raw, coin)| {
+            packer.reset_pool();
+            let avail = group.len() as i64;
+            let total_diff = avail - (raw[0] + raw[1]);
+            let d1 = if total_diff % 2 == 0 {
+                assert!(coin.is_none(), "even split must not script a coin");
+                total_diff / 2
+            } else {
+                let heads = coin.expect("odd split needs a scripted coin");
+                pack_coin(&mut packer, heads);
+                if heads {
+                    (total_diff + 1) / 2
+                } else {
+                    (total_diff - 1) / 2
+                }
+            };
+            let p1 = (raw[1] + d1) as usize;
+            scripted_shuffle(&mut group, p1, &mut meta, &mut packer);
+            let mut bits = vec![false; n];
+            for &id in group.iter().take(p1) {
+                bits[id as usize] = true;
+            }
+            bits
+        })
+        .collect();
+
+    // Replay through the real synthesizer (k = 1 releases immediately).
+    let mut synth = FixedWindowSynthesizer::new(config, packer.into_script());
+    match synth
+        .finalize(HistogramAggregate::Counts {
+            n,
+            counts: init_counts,
+        })
+        .unwrap()
+    {
+        Release::Initial(cols) => {
+            assert_eq!(cols.len(), 1);
+            for (i, &bit) in init_column.iter().enumerate() {
+                assert_eq!(cols[0].get(i), bit, "init record {i}");
+            }
+        }
+        other => panic!("expected initial release, got {other:?}"),
+    }
+    for (r, (raw, _)) in rounds.iter().enumerate() {
+        match synth
+            .finalize(HistogramAggregate::Counts {
+                n,
+                counts: raw.clone(),
+            })
+            .unwrap()
+        {
+            Release::Update(col) => {
+                for (i, &bit) in expected[r].iter().enumerate() {
+                    assert_eq!(col.get(i), bit, "update {r}, record {i}");
+                }
+            }
+            other => panic!("expected update release, got {other:?}"),
+        }
+    }
+    assert_eq!(synth.failures().clamped_extensions, 0);
+}
+
 // ---------------------------------------------------------------------
 // Site 5: categorical extend
 // ---------------------------------------------------------------------
@@ -581,6 +682,95 @@ fn categorical_extend_replays_the_scalar_loop() {
     }
     assert_eq!(synth.clamps(), 0, "replay must be clamp-free too");
     assert_eq!(synth.n_star(), n);
+    for (t, expected) in columns.iter().enumerate() {
+        assert_eq!(
+            synth.round_values(t).unwrap(),
+            expected.as_slice(),
+            "round {t}"
+        );
+    }
+}
+
+/// Categorical `k = 1` (`V = 3`): a single overlap class receiving all
+/// `V` per-category segments — the arena must carry them in ascending
+/// category order (the historical push order) for the next round's
+/// full-group shuffle to permute the same sequence.
+#[test]
+fn categorical_k1_single_class_extend_replays_the_scalar_loop() {
+    let (v, horizon) = (3usize, 3usize);
+    let config = CategoricalConfig::new(horizon, 1, v as u8, Rho::new(0.5).unwrap())
+        .unwrap()
+        .with_npad(0)
+        .with_noise_override(NoiseDistribution::None);
+    let init_counts: Vec<i64> = vec![4, 3, 3];
+    let n = init_counts.iter().sum::<i64>() as usize;
+    let update_counts: Vec<Vec<i64>> = vec![
+        vec![3, 3, 3], // defect 1 → remainder 1: bonus pick draws
+        vec![4, 2, 4], // defect 0 → no bonus draw
+    ];
+
+    // Old-loop simulation: one class holding every id; per round the
+    // bonus pick, the full-group shuffle, then category segments sliced
+    // in ascending order (all staying in the one class).
+    let mut group: Vec<u32> = (0..n as u32).collect();
+    let mut columns: Vec<Vec<u8>> = vec![Vec::new()];
+    for (code, &count) in init_counts.iter().enumerate() {
+        for _ in 0..count {
+            columns[0].push(code as u8);
+        }
+    }
+    let mut meta = rng_from_seed(0xD06);
+    let mut packer = PoolPacker::new();
+    for raw in &update_counts {
+        packer.reset_pool();
+        let avail = group.len() as i64;
+        let c_sum: i64 = raw.iter().sum();
+        let defect = avail - c_sum;
+        let share = defect.div_euclid(v as i64);
+        let remainder = defect.rem_euclid(v as i64) as usize;
+        let mut bonus = vec![0i64; v];
+        let mut chosen: Vec<u32> = (0..v as u32).collect();
+        scripted_shuffle(&mut chosen, remainder, &mut meta, &mut packer);
+        for &c in chosen.iter().take(remainder) {
+            bonus[c as usize] = 1;
+        }
+        let targets: Vec<i64> = (0..v).map(|c| raw[c] + share + bonus[c]).collect();
+        assert_eq!(targets.iter().sum::<i64>(), avail);
+        assert!(targets.iter().all(|&t| t >= 0), "scenario stays clamp-free");
+        let len = group.len();
+        scripted_shuffle(&mut group, len, &mut meta, &mut packer);
+        let mut column = vec![0u8; n];
+        let mut cursor = 0usize;
+        for (c, &target) in targets.iter().enumerate() {
+            for &id in &group[cursor..cursor + target as usize] {
+                column[id as usize] = c as u8;
+            }
+            cursor += target as usize;
+        }
+        assert_eq!(cursor, len);
+        columns.push(column);
+        // All segments stay in the single class, ascending-c order — the
+        // concatenation is the shuffled group itself, so `group` already
+        // holds next round's class order.
+    }
+
+    // Replay through the real synthesizer (k = 1 releases immediately).
+    let mut synth = CategoricalSynthesizer::new(config, packer.into_script());
+    synth
+        .finalize(HistogramAggregate::Counts {
+            n,
+            counts: init_counts,
+        })
+        .unwrap();
+    for raw in &update_counts {
+        synth
+            .finalize(HistogramAggregate::Counts {
+                n,
+                counts: raw.clone(),
+            })
+            .unwrap();
+    }
+    assert_eq!(synth.clamps(), 0, "replay must be clamp-free too");
     for (t, expected) in columns.iter().enumerate() {
         assert_eq!(
             synth.round_values(t).unwrap(),

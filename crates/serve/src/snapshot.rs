@@ -152,11 +152,32 @@ fn ragged_to_dto(column: &BitColumn) -> RaggedColumnDto {
     }
 }
 
+/// Interprets one JSON value as a non-negative integer index, naming the
+/// offending value when it is a number of the wrong shape (negative,
+/// fractional, or too large for a 64-bit index) rather than absent.
+fn index_from_value(raw: &serde_json::Value, what: &str) -> Result<usize, ServeError> {
+    raw.as_usize().ok_or_else(|| {
+        let detail = match raw.as_f64() {
+            Some(n) if n < 0.0 => format!("{n} is negative"),
+            Some(n) if n.fract() != 0.0 => format!("{n} is fractional"),
+            Some(n) => format!("{n} overflows a 64-bit index"),
+            None => format!("expected a number, found {raw:?}"),
+        };
+        ServeError::Snapshot(format!("{what} must be a non-negative integer: {detail}"))
+    })
+}
+
+/// Reads a required non-negative integer field, distinguishing an absent
+/// key from a present-but-invalid number so restore failures say which.
+fn index_field(value: &serde_json::Value, key: &str, context: &str) -> Result<usize, ServeError> {
+    let raw = value
+        .get(key)
+        .ok_or_else(|| ServeError::Snapshot(format!("{context} missing `{key}`")))?;
+    index_from_value(raw, &format!("{context} `{key}`"))
+}
+
 fn ragged_from_value(value: &serde_json::Value) -> Result<BitColumn, ServeError> {
-    let records = value
-        .get("records")
-        .and_then(serde_json::Value::as_usize)
-        .ok_or_else(|| ServeError::Snapshot("merged round missing `records`".to_string()))?;
+    let records = index_field(value, "records", "merged round")?;
     let hex = value
         .get("column")
         .and_then(serde_json::Value::as_str)
@@ -182,12 +203,7 @@ fn dynamic_cohort_from_value(value: &serde_json::Value) -> Result<DynamicCohort,
     let Some((records, columns)) = panel_columns_from_value(value, false)? else {
         return Ok(None);
     };
-    let entry = value
-        .get("entry")
-        .and_then(serde_json::Value::as_usize)
-        .ok_or_else(|| {
-            ServeError::Snapshot("dynamic cohort missing its `entry` round".to_string())
-        })?;
+    let entry = index_field(value, "entry", "dynamic cohort")?;
     Ok(Some((entry, records, columns)))
 }
 
@@ -220,10 +236,7 @@ fn panel_columns_from_value(
     if *value == serde_json::Value::Null {
         return Ok(None);
     }
-    let records = value
-        .get("records")
-        .and_then(serde_json::Value::as_usize)
-        .ok_or_else(|| ServeError::Snapshot("panel missing `records`".to_string()))?;
+    let records = index_field(value, "records", "panel")?;
     let columns = value
         .get("columns")
         .and_then(serde_json::Value::as_array)
@@ -359,13 +372,7 @@ pub fn restore_json(json: &str) -> Result<ReleaseStore, ServeError> {
                                     )
                                 })?
                                 .iter()
-                                .map(|c| {
-                                    c.as_usize().ok_or_else(|| {
-                                        ServeError::Snapshot(
-                                            "coverage entry is not a cohort index".to_string(),
-                                        )
-                                    })
-                                })
+                                .map(|c| index_from_value(c, "coverage entry"))
                                 .collect::<Result<Vec<usize>, _>>()
                         })
                         .collect::<Result<Vec<Vec<usize>>, _>>()?,
@@ -502,10 +509,7 @@ pub fn apply_delta_json(store: &mut ReleaseStore, json: &str) -> Result<(), Serv
              {DELTA_FORMAT_V1:?})"
         )));
     }
-    let base_rounds = value
-        .get("base_rounds")
-        .and_then(serde_json::Value::as_usize)
-        .ok_or_else(|| ServeError::Snapshot("missing `base_rounds`".to_string()))?;
+    let base_rounds = index_field(&value, "base_rounds", "delta")?;
     if store.rounds() != base_rounds {
         return Err(ServeError::Snapshot(format!(
             "delta expects a store at {base_rounds} rounds, this one holds {}",
@@ -513,10 +517,7 @@ pub fn apply_delta_json(store: &mut ReleaseStore, json: &str) -> Result<(), Serv
         )));
     }
     let policy = policy_from_value(&value)?;
-    let delta_rounds = value
-        .get("delta_rounds")
-        .and_then(serde_json::Value::as_usize)
-        .ok_or_else(|| ServeError::Snapshot("missing `delta_rounds`".to_string()))?;
+    let delta_rounds = index_field(&value, "delta_rounds", "delta")?;
     if delta_rounds == 0 {
         return Ok(());
     }
@@ -1021,6 +1022,76 @@ mod tests {
         let bad = json.replace("\"entry\": 1", "\"entry\": 2");
         let err = ReleaseStore::from_snapshot_json(&bad).unwrap_err();
         assert!(err.to_string().contains("covers rounds"), "{err}");
+    }
+
+    #[test]
+    fn restore_names_invalid_integer_fields() {
+        // A present-but-negative record count is reported as negative, not
+        // as an absent field (the two used to share one "missing" message).
+        let json = format!(
+            r#"{{
+  "format": "{FORMAT}",
+  "policy": "per-shard",
+  "merged": {{ "records": -3, "columns": ["0000000000000007"] }},
+  "cohorts": [ {{ "records": 3, "columns": ["0000000000000007"] }} ]
+}}"#
+        );
+        let err = ReleaseStore::from_snapshot_json(&json).unwrap_err();
+        assert!(err.to_string().contains("`records`"), "{err}");
+        assert!(err.to_string().contains("negative"), "{err}");
+        // A genuinely absent field still says so.
+        let json = format!(
+            r#"{{
+  "format": "{FORMAT}",
+  "policy": "per-shard",
+  "merged": {{ "columns": ["0000000000000007"] }},
+  "cohorts": [ {{ "records": 3, "columns": ["0000000000000007"] }} ]
+}}"#
+        );
+        let err = ReleaseStore::from_snapshot_json(&json).unwrap_err();
+        assert!(err.to_string().contains("missing `records`"), "{err}");
+
+        let dynamic = dynamic_store().to_snapshot_json();
+        // A fractional cohort entry round is named as fractional.
+        let bad = dynamic.replace("\"entry\": 1", "\"entry\": 1.25");
+        let err = ReleaseStore::from_snapshot_json(&bad).unwrap_err();
+        assert!(err.to_string().contains("`entry`"), "{err}");
+        assert!(err.to_string().contains("fractional"), "{err}");
+        // A negative ragged merged-round count is named as negative.
+        let bad = dynamic.replacen("\"records\": 5", "\"records\": -5", 1);
+        let err = ReleaseStore::from_snapshot_json(&bad).unwrap_err();
+        assert!(err.to_string().contains("merged round `records`"), "{err}");
+        assert!(err.to_string().contains("negative"), "{err}");
+        // A fractional coverage entry is named (the first bare "0," in the
+        // document sits inside the coverage rows).
+        let bad = dynamic.replacen("0,", "0.75,", 1);
+        let err = ReleaseStore::from_snapshot_json(&bad).unwrap_err();
+        assert!(err.to_string().contains("coverage entry"), "{err}");
+        assert!(err.to_string().contains("fractional"), "{err}");
+    }
+
+    #[test]
+    fn delta_rejects_invalid_round_counts() {
+        let full = sample_store();
+        let delta = full.to_delta_json(3).unwrap();
+        // `base_rounds` beyond what a 64-bit index can hold is reported as
+        // overflow before any base comparison happens.
+        let bad = delta.replace(
+            "\"base_rounds\": 3",
+            "\"base_rounds\": 1000000000000000000000000000000",
+        );
+        let mut store = sample_store_rounds(3);
+        let err = store.apply_delta_json(&bad).unwrap_err();
+        assert!(err.to_string().contains("`base_rounds`"), "{err}");
+        assert!(err.to_string().contains("overflows"), "{err}");
+        // A negative `delta_rounds` is named as negative.
+        let bad = delta.replace("\"delta_rounds\": 2", "\"delta_rounds\": -2");
+        let err = store.apply_delta_json(&bad).unwrap_err();
+        assert!(err.to_string().contains("`delta_rounds`"), "{err}");
+        assert!(err.to_string().contains("negative"), "{err}");
+        // The untampered delta still applies cleanly afterwards.
+        store.apply_delta_json(&delta).unwrap();
+        assert_eq!(store, full);
     }
 
     #[test]
