@@ -24,12 +24,17 @@ use longsynth::{
     CumulativeConfig, CumulativeSynthesizer, FixedWindowConfig, FixedWindowSynthesizer,
 };
 use longsynth_data::csvio::{read_panel_csv, write_panel_csv};
+use longsynth_data::generators::iid_bernoulli;
 use longsynth_data::sipp::{load_sipp_csv, SippConfig};
 use longsynth_data::LongitudinalDataset;
 use longsynth_dp::budget::Rho;
 use longsynth_dp::rng::{rng_from_seed, RngFork};
 use longsynth_engine::{
-    AggregationPolicy, EngineObserver, PanelSchedule, ShardPlan, ShardedEngine, SlotRole,
+    AggregationPolicy, EngineObserver, IngestDriver, PanelSchedule, ShardPlan, ShardedEngine,
+    SlotRole,
+};
+use longsynth_ingest::{
+    BitRoundAssembler, Event, IngestConfig, IngestTier, LatePolicy, WindowSpec,
 };
 use longsynth_obs::{BudgetLedger, MetricsRegistry};
 use longsynth_pool::WorkerPool;
@@ -60,7 +65,13 @@ const USAGE: &str = "usage:
                              [--queries N] [--pool-threads P] [--snapshot OUT.json]
                              [--seed N] [--sipp] [--beta B] [--max-b B]
                              [--metrics M.jsonl]
-  longsynth-cli stats        --metrics M.jsonl
+  longsynth-cli ingest       --rho R [--individuals N] [--rounds T] [--shards S]
+                             [--window W:S] [--t0 MS] [--late-policy drop|grace:G]
+                             [--queue-cap N] [--producers P] [--rate F]
+                             [--aggregation per-shard|shared|shared:P]
+                             [--queries N] [--pool-threads P] [--seed N]
+                             [--metrics M.jsonl]
+  longsynth-cli stats        --metrics M.jsonl [--fail-on-late]
   longsynth-cli simulate     [--households N] [--months T] [--seed N] --output PANEL.csv
 
 The panel CSV has one row per individual and one 0/1 column per round
@@ -96,12 +107,26 @@ queries/sec for both. --eviction picks the memo-cache eviction policy
 store as JSON, restores it, and verifies the restored answers are
 bit-identical.
 
---metrics M.jsonl (engine and serve) turns on the observability layer:
+`ingest` runs the event-time pipeline end to end: a synthetic timestamped
+event stream (N individuals over T rounds at activity rate F, event times
+jittered inside each round's window starting at epoch --t0 ms) flows from P
+concurrent producers through a --queue-cap-bounded queue with backpressure,
+is watermark-sealed into rounds by the event-time window spec --window
+(width:slide in ms; one value means tumbling), stepped through the sharded
+cumulative engine as each round seals, and served through the query layer.
+--late-policy drop (default) drops-and-counts events that miss a sealed
+window; grace:G holds every seal back G ms of event time. See
+docs/INGEST.md for the semantics.
+
+--metrics M.jsonl (engine, serve, and ingest) turns on the observability
+layer:
 round-phase latency histograms, worker-pool queue/latency/panic counters,
 serving cache and ingest counters, and the privacy-budget audit ledger. At
 the end of the run the metrics and ledger events are written as JSONL to M
 and a Prometheus text dump to M with a .prom extension. `stats` reads such
-a JSONL file back and prints a summary (exits nonzero on malformed input).";
+a JSONL file back and prints a summary (exits nonzero on malformed input);
+with --fail-on-late it also exits nonzero when ingest_late_events_total > 0,
+catching silent event loss in CI smoke runs.";
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -119,6 +144,7 @@ fn main() -> ExitCode {
         "cumulative" => run_cumulative(&flags),
         "engine" => run_engine(&flags),
         "serve" => run_serve(&flags),
+        "ingest" => run_ingest(&flags),
         "stats" => run_stats(&flags),
         "simulate" => run_simulate(&flags),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
@@ -144,7 +170,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             return Err(format!("unexpected positional argument {arg:?}"));
         };
         // Boolean flags take no value.
-        if name == "sipp" {
+        if name == "sipp" || name == "fail-on-late" {
             flags.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -619,10 +645,30 @@ fn run_stats(flags: &Flags) -> Result<(), String> {
     for (name, count, p50, p95, p99) in &histograms {
         println!("  histogram  {name}: count={count} p50={p50:.3}ms p95={p95:.3}ms p99={p99:.3}ms");
     }
-    let panics = counters
-        .iter()
-        .find(|(name, _)| name == "pool_worker_panics")
-        .map_or(0, |(_, v)| *v);
+    let counter_of = |target: &str| {
+        counters
+            .iter()
+            .find(|(name, _)| name == target)
+            .map(|(_, v)| *v)
+    };
+    let gauge_of = |target: &str| {
+        gauges
+            .iter()
+            .find(|(name, _)| name == target)
+            .map(|(_, v)| *v)
+    };
+    let late_events = counter_of("ingest_late_events_total");
+    if let Some(events) = counter_of("ingest_events_total") {
+        println!(
+            "  ingest: {events} events ({} late), {} rounds sealed; \
+             peak queue depth {}, watermark lag {} ms",
+            late_events.unwrap_or(0),
+            counter_of("ingest_rounds_sealed_total").unwrap_or(0),
+            gauge_of("ingest_queue_peak_depth").unwrap_or(0),
+            gauge_of("ingest_watermark_lag_ms").unwrap_or(0),
+        );
+    }
+    let panics = counter_of("pool_worker_panics").unwrap_or(0);
     println!("  worker panics swallowed: {panics}");
     if budget_events > 0 {
         let mut levels: Vec<_> = last_spend.iter().collect();
@@ -640,6 +686,18 @@ fn run_stats(flags: &Flags) -> Result<(), String> {
         return Err(format!(
             "{panics} worker panic(s) were swallowed during the run"
         ));
+    }
+    // CI smoke contract: a drop-policy ingest run must lose nothing, so
+    // any late-dropped event fails the check loudly instead of silently
+    // shrinking the released counts.
+    if flags.contains_key("fail-on-late") {
+        let late = late_events.unwrap_or(0);
+        if late > 0 {
+            return Err(format!(
+                "{late} late event(s) were dropped during the run \
+                 (ingest_late_events_total > 0)"
+            ));
+        }
     }
     Ok(())
 }
@@ -980,6 +1038,187 @@ fn run_engine(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse the ingest subcommand's `--window`: `W` (tumbling) or `W:S`
+/// (sliding), both in event-time milliseconds, anchored at `--t0`.
+fn parse_ingest_window(flags: &Flags, t0: i64) -> Result<WindowSpec, String> {
+    let raw = flags.get("window").map(String::as_str).unwrap_or("60000");
+    let (width, slide) = match raw.split_once(':') {
+        Some((w, s)) => (w, s),
+        None => (raw, raw),
+    };
+    let width: i64 = width
+        .parse()
+        .map_err(|_| format!("--window: cannot parse width {width:?} (ms)"))?;
+    let slide: i64 = slide
+        .parse()
+        .map_err(|_| format!("--window: cannot parse slide {slide:?} (ms)"))?;
+    WindowSpec::new(width, slide, t0).map_err(|e| e.to_string())
+}
+
+/// The `ingest` subcommand: the event-time pipeline end to end. A
+/// synthetic timestamped stream flows from concurrent producers through
+/// the bounded queue, is watermark-sealed into rounds, stepped through
+/// the sharded cumulative engine as each round seals, and served through
+/// the query layer — the engine's round clock driven by event time
+/// instead of a pre-binned panel.
+fn run_ingest(flags: &Flags) -> Result<(), String> {
+    let rho_v: f64 = get_parsed(flags, "rho", f64::NAN)?;
+    if rho_v.is_nan() {
+        return Err("--rho is required".into());
+    }
+    let n: usize = get_parsed(flags, "individuals", 2_000)?;
+    let horizon: usize = get_parsed(flags, "rounds", 12)?;
+    if n == 0 || horizon == 0 {
+        return Err("--individuals and --rounds must be positive".into());
+    }
+    let shards: usize = get_parsed(flags, "shards", 1)?;
+    let producers: usize = get_parsed::<usize>(flags, "producers", 2)?.max(1);
+    let queue_cap: usize = get_parsed(flags, "queue-cap", 65_536)?;
+    let rate: f64 = get_parsed(flags, "rate", 0.3)?;
+    let seed: u64 = get_parsed(flags, "seed", 42)?;
+    // Default origin ≈ late 2025 in Unix ms: the boundary math runs at
+    // real epoch magnitudes, not toy offsets (see docs/INGEST.md).
+    let t0: i64 = get_parsed(flags, "t0", 1_760_000_000_000_i64)?;
+    let window = parse_ingest_window(flags, t0)?;
+    let late = match flags.get("late-policy") {
+        None => LatePolicy::Drop,
+        Some(raw) => LatePolicy::parse(raw).map_err(|e| e.to_string())?,
+    };
+    let policy = parse_aggregation(flags)?;
+    let eviction = parse_eviction(flags)?;
+    let query_target: usize = get_parsed(flags, "queries", 500)?;
+    let pool_threads: usize = get_parsed(flags, "pool-threads", 2)?;
+    let metrics = CliMetrics::from_flags(flags);
+
+    let plan = ShardPlan::new(n, shards).map_err(|e| e.to_string())?;
+    let rho = Rho::new(rho_v).map_err(|e| e.to_string())?;
+    CumulativeConfig::new(horizon, rho).map_err(|e| e.to_string())?;
+    let fork = RngFork::new(seed);
+    let mut engine = ShardedEngine::with_aggregation(plan, policy, |slot| {
+        let slot_rho = Rho::new(rho_v * slot.budget_share).expect("positive share");
+        let config = CumulativeConfig::new(horizon, slot_rho).expect("parameters validated above");
+        let stream = slot_stream(slot.role);
+        CumulativeSynthesizer::new(config, fork.subfork(stream), fork.child(0x0C00 + stream))
+    })
+    .map_err(|e| e.to_string())?;
+    if let Some(m) = &metrics {
+        m.observe_engine(&mut engine);
+    }
+    let pool = std::sync::Arc::new(WorkerPool::new(pool_threads.max(1)));
+    let service = match &metrics {
+        Some(m) => {
+            pool.attach_metrics(&m.registry);
+            QueryService::with_cache_in_registry(
+                longsynth_serve::ReleaseStore::new(),
+                longsynth_serve::DEFAULT_CACHE_CAPACITY,
+                eviction,
+                &m.registry,
+            )
+        }
+        None => QueryService::with_cache(
+            longsynth_serve::ReleaseStore::new(),
+            longsynth_serve::DEFAULT_CACHE_CAPACITY,
+            eviction,
+        ),
+    };
+    engine.set_sink(service.column_sink());
+
+    eprintln!(
+        "stream: {n} individuals x {horizon} rounds at rate {rate}; window {}ms/{}ms \
+         from t0 = {t0}, late policy {late}, {producers} producers, queue cap {queue_cap}; \
+         {shards} shards, aggregation = {policy}, total rho = {rho_v}",
+        window.width(),
+        window.slide(),
+    );
+
+    let mut config = IngestConfig::new(window);
+    config.late = late;
+    config.queue_cap = queue_cap;
+    let tier = match &metrics {
+        Some(m) => IngestTier::with_metrics(config, BitRoundAssembler::new(n), &m.registry),
+        None => IngestTier::new(config, BitRoundAssembler::new(n)),
+    };
+
+    // Synthetic timestamped stream: a Bernoulli panel's set bits become
+    // events, deterministically jittered inside each round's slide span —
+    // a tumbling run seals with zero late events, while an overlapping
+    // W:S spec genuinely exercises the late path.
+    let data = iid_bernoulli(&mut rng_from_seed(seed ^ 0x1A6E57), n, horizon, rate);
+    let columns: std::sync::Arc<Vec<longsynth_data::BitColumn>> =
+        std::sync::Arc::new((0..horizon).map(|r| data.column(r).clone()).collect());
+    let start = std::time::Instant::now();
+    let base = tier.producer();
+    let chunk = n.div_ceil(producers);
+    let mut handles = Vec::with_capacity(producers);
+    for p in 0..producers {
+        let producer = base.clone();
+        let columns = std::sync::Arc::clone(&columns);
+        let (lo, hi) = (p * chunk, ((p + 1) * chunk).min(n));
+        handles.push(std::thread::spawn(move || {
+            for round in 0..horizon {
+                let instance = window.window(round as u64);
+                let span = window.slide();
+                let batch: Vec<Event<bool>> = (lo..hi)
+                    .filter(|&i| columns[round].get(i))
+                    .map(|i| {
+                        let jitter = ((i as u64).wrapping_mul(7_919)
+                            ^ (round as u64).wrapping_mul(104_729))
+                            % span as u64;
+                        Event {
+                            time_ms: instance.open + jitter as i64,
+                            individual: i as u32,
+                            payload: true,
+                        }
+                    })
+                    .collect();
+                if !batch.is_empty() && producer.send_batch(batch).is_err() {
+                    return; // consumer gone: nothing left to feed
+                }
+                // Zero-event rounds still advance this producer's
+                // watermark slot, so an idle slice cannot stall sealing.
+                producer.heartbeat(instance.open + span - 1);
+            }
+        }));
+    }
+    drop(base);
+
+    let mut sealed_rounds = tier.into_rounds().with_min_rounds(horizon as u64);
+    {
+        let mut driver = IngestDriver::new(&mut engine);
+        for sealed in sealed_rounds.by_ref() {
+            driver.on_sealed(&sealed).map_err(|e| e.to_string())?;
+        }
+    }
+    for handle in handles {
+        handle
+            .join()
+            .map_err(|_| "a producer thread panicked".to_string())?;
+    }
+    let stats = sealed_rounds.stats();
+    let budget = engine.budget();
+    eprintln!(
+        "sealed {} rounds from {} events ({} late, {} rejected; peak queue depth {}) \
+         in {:?}; user-level budget {}",
+        stats.rounds_sealed,
+        stats.events,
+        stats.late_events,
+        stats.rejected_events,
+        stats.peak_queue_depth,
+        start.elapsed(),
+        budget.spent(),
+    );
+
+    let rounds = service.with_store(longsynth_serve::ReleaseStore::rounds);
+    let max_b: usize = get_parsed(flags, "max-b", horizon.min(6))?;
+    let distinct = longsynth_serve::mixed_battery(rounds, shards, max_b, horizon.min(3));
+    finish_serve(flags, &service, &pool, distinct, query_target)?;
+    if let Some(m) = &metrics {
+        let observer = engine.take_observer();
+        m.write(observer.as_ref().map(EngineObserver::ledger))?;
+    }
+    Ok(())
+}
+
 /// The serve subcommand: engine run with the release store attached, then
 /// a concurrent query batch over the stored releases — the whole serving
 /// subsystem end to end, with throughput numbers on stderr.
@@ -1275,13 +1514,14 @@ mod tests {
 
     #[test]
     fn flag_parsing() {
-        let args: Vec<String> = ["--rho", "0.01", "--sipp", "--seed", "7"]
+        let args: Vec<String> = ["--rho", "0.01", "--sipp", "--fail-on-late", "--seed", "7"]
             .iter()
             .map(|s| s.to_string())
             .collect();
         let flags = parse_flags(&args).unwrap();
         assert_eq!(flags["rho"], "0.01");
         assert_eq!(flags["sipp"], "true");
+        assert_eq!(flags["fail-on-late"], "true");
         assert_eq!(flags["seed"], "7");
         // Errors.
         assert!(parse_flags(&["positional".to_string()]).is_err());
@@ -1615,6 +1855,102 @@ mod tests {
             assert!(jsonl.contains(&format!("\"{name}\"")), "{name} missing");
         }
         run_stats(&flags_of(&[("metrics", metrics.to_str().unwrap())])).unwrap();
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn end_to_end_ingest_run_and_stats() {
+        let dir = std::env::temp_dir().join("longsynth_cli_ingest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("metrics.jsonl");
+
+        run_ingest(&flags_of(&[
+            ("rho", "0.05"),
+            ("individuals", "400"),
+            ("rounds", "6"),
+            ("shards", "2"),
+            ("producers", "2"),
+            ("queue-cap", "128"),
+            ("queries", "100"),
+            ("pool-threads", "2"),
+            ("metrics", metrics.to_str().unwrap()),
+        ]))
+        .unwrap();
+        let jsonl = std::fs::read_to_string(&metrics).unwrap();
+        for name in [
+            "ingest_events_total",
+            "ingest_late_events_total",
+            "ingest_rounds_sealed_total",
+            "ingest_queue_depth",
+            "ingest_queue_peak_depth",
+            "ingest_watermark_lag_ms",
+            "ingest_seal_ms",
+            "engine_rounds_total",
+            "serve_ingest_rounds_total",
+        ] {
+            assert!(jsonl.contains(&format!("\"{name}\"")), "{name} missing");
+        }
+        // The backpressure bound is visible in the dump: the queue's
+        // high-water mark never exceeded the configured cap.
+        let peak_line = jsonl
+            .lines()
+            .find(|line| line.contains("ingest_queue_peak_depth"))
+            .unwrap();
+        let peak: serde_json::Value = serde_json::from_str(peak_line).unwrap();
+        let peak = peak
+            .get("value")
+            .and_then(serde_json::Value::as_f64)
+            .unwrap();
+        assert!((0.0..=128.0).contains(&peak), "peak {peak} exceeds cap");
+
+        // Drop-policy smoke: nothing was lost, --fail-on-late passes.
+        run_stats(&flags_of(&[
+            ("metrics", metrics.to_str().unwrap()),
+            ("fail-on-late", "true"),
+        ]))
+        .unwrap();
+
+        // A dump recording late drops fails the check — and only the
+        // check (plain stats still succeeds).
+        let late = dir.join("late.jsonl");
+        std::fs::write(
+            &late,
+            "{\"type\": \"counter\", \"name\": \"ingest_late_events_total\", \"value\": 3}\n",
+        )
+        .unwrap();
+        run_stats(&flags_of(&[("metrics", late.to_str().unwrap())])).unwrap();
+        let err = run_stats(&flags_of(&[
+            ("metrics", late.to_str().unwrap()),
+            ("fail-on-late", "true"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("late event"), "{err}");
+
+        // Sliding windows and a grace period run end to end too.
+        run_ingest(&flags_of(&[
+            ("rho", "0.05"),
+            ("individuals", "200"),
+            ("rounds", "4"),
+            ("window", "120000:60000"),
+            ("late-policy", "grace:5000"),
+            ("queries", "50"),
+        ]))
+        .unwrap();
+
+        // Malformed specs error cleanly.
+        assert!(run_ingest(&Flags::new()).is_err());
+        for (key, value) in [
+            ("window", "0"),
+            ("window", "60000:x"),
+            ("late-policy", "sometimes"),
+            ("late-policy", "grace:-1"),
+        ] {
+            assert!(
+                run_ingest(&flags_of(&[("rho", "0.05"), (key, value)])).is_err(),
+                "{key}={value} should be rejected"
+            );
+        }
 
         std::fs::remove_dir_all(&dir).ok();
     }

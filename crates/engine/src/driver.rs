@@ -57,6 +57,7 @@
 //! saturating. See the [`crate::window`] module docs.
 
 use longsynth::{ContinualSynthesizer, SynthError};
+use longsynth_ingest::SealedRound;
 use longsynth_pool::WorkerPool;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -1316,6 +1317,38 @@ where
         columns.into_iter().map(|c| self.step(c)).collect()
     }
 
+    /// Drive the engine from watermark-sealed event-time rounds instead
+    /// of a pre-binned column sequence — the streaming counterpart of
+    /// [`run`](Self::run).
+    ///
+    /// `rounds` is typically a blocking `longsynth_ingest::SealedRounds`
+    /// iterator: the engine steps each round **as the watermark seals
+    /// it**, so releases flow while producers are still sending. Each
+    /// sealed round's index is validated against the engine's own round
+    /// clock ([`EngineError::IngestOutOfOrder`] on any gap or reorder) —
+    /// the binner seals contiguously from round 0, so a mismatch means
+    /// the stream was tampered with in between.
+    ///
+    /// Replay guarantee (property-pinned in
+    /// `tests/ingest_equivalence.rs`): binning a pre-binned round
+    /// sequence through the ingest tier and feeding the sealed rounds
+    /// here produces **bit-identical** releases to calling
+    /// [`run`](Self::run) on the original sequence.
+    ///
+    /// Pass `&mut sealed_rounds` to keep the iterator (and its
+    /// end-of-run `stats()`) alive after the run completes.
+    pub fn run_from_ingest<I>(&mut self, rounds: I) -> Result<Vec<S::Release>, EngineError>
+    where
+        I: IntoIterator<Item = SealedRound<S::Input>>,
+    {
+        let mut driver = IngestDriver::new(self);
+        let mut releases = Vec::new();
+        for sealed in rounds {
+            releases.push(driver.on_sealed(&sealed)?);
+        }
+        Ok(releases)
+    }
+
     /// Phase 1 of the engine as a two-phase synthesizer: split the column,
     /// run every shard's `prepare` inline, stash the per-shard aggregates
     /// for [`finalize`](Self::finalize), and return their population-level
@@ -1579,6 +1612,66 @@ where
             Some(error) => Err(error),
             None => Ok(releases),
         }
+    }
+}
+
+/// Incremental event-time driver: validates and steps one watermark-sealed
+/// round at a time.
+///
+/// [`ShardedEngine::run_from_ingest`] is the batch wrapper; hold an
+/// `IngestDriver` directly when releases must be dispatched as they are
+/// produced (e.g. pushing each release to a serving tier while the ingest
+/// stream is still live) instead of collected into a `Vec` at the end.
+///
+/// The driver enforces the engine/ingest clock contract: sealed rounds
+/// arrive contiguously from the engine's current `rounds_fed`, which is
+/// exactly what the binner's monotone seal cursor emits. Any gap or
+/// reorder is an [`EngineError::IngestOutOfOrder`] *before* the engine
+/// consumes budget on the round.
+pub struct IngestDriver<'a, S>
+where
+    S: ContinualSynthesizer + Send + 'static,
+    S::Input: ShardableInput + Send + 'static,
+    S::Release: MergeRelease + Clone + Send + 'static,
+    S::Aggregate: MergeAggregate + Clone + Send + 'static,
+{
+    engine: &'a mut ShardedEngine<S>,
+    rounds_driven: usize,
+}
+
+impl<'a, S> IngestDriver<'a, S>
+where
+    S: ContinualSynthesizer + Send + 'static,
+    S::Input: ShardableInput + Send + 'static,
+    S::Release: MergeRelease + Clone + Send + 'static,
+    S::Aggregate: MergeAggregate + Clone + Send + 'static,
+{
+    /// Wraps an engine. The engine may have already stepped rounds; the
+    /// next sealed round must match its current clock.
+    pub fn new(engine: &'a mut ShardedEngine<S>) -> Self {
+        Self {
+            engine,
+            rounds_driven: 0,
+        }
+    }
+
+    /// Validates the sealed round against the engine clock and steps it.
+    pub fn on_sealed(&mut self, sealed: &SealedRound<S::Input>) -> Result<S::Release, EngineError> {
+        let expected = self.engine.rounds_fed;
+        if sealed.round != expected as u64 {
+            return Err(EngineError::IngestOutOfOrder {
+                expected,
+                actual: sealed.round,
+            });
+        }
+        let release = self.engine.step(&sealed.input)?;
+        self.rounds_driven += 1;
+        Ok(release)
+    }
+
+    /// Sealed rounds successfully stepped through this driver.
+    pub fn rounds_driven(&self) -> usize {
+        self.rounds_driven
     }
 }
 

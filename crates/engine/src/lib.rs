@@ -80,7 +80,7 @@ pub mod sink;
 pub mod window;
 
 pub use budget::EngineBudget;
-pub use driver::ShardedEngine;
+pub use driver::{IngestDriver, ShardedEngine};
 pub use merge::{MergeAggregate, MergeRelease};
 pub use obs::EngineObserver;
 pub use policy::{AggregationPolicy, PolicyTag};
@@ -180,6 +180,17 @@ pub enum EngineError {
     /// Two-phase misuse at the engine level (`prepare`/`finalize`/`step`
     /// interleaved out of order).
     OutOfPhase(String),
+    /// An ingest-sealed round arrived out of order: the engine's round
+    /// clock is strictly contiguous, and the ingest tier's watermark
+    /// sealing guarantees in-order rounds, so a gap means the sealed
+    /// stream was filtered, reordered, or spliced before reaching the
+    /// engine.
+    IngestOutOfOrder {
+        /// The round the engine expected next (its `rounds_fed` clock).
+        expected: usize,
+        /// The round the sealed stream delivered.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -234,6 +245,11 @@ impl fmt::Display for EngineError {
                 write!(f, "population-level synthesizer: {source}")
             }
             EngineError::OutOfPhase(msg) => write!(f, "two-phase step out of order: {msg}"),
+            EngineError::IngestOutOfOrder { expected, actual } => write!(
+                f,
+                "ingest stream sealed round {actual} but the engine expected round \
+                 {expected}; sealed rounds must arrive contiguously from round 0"
+            ),
         }
     }
 }

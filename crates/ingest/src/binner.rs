@@ -1,0 +1,574 @@
+//! Window binning: turning a timestamped event stream into sealed
+//! per-round synthesizer inputs.
+//!
+//! The binner keeps the CSPARQL-style *active-window map* — every window
+//! that has opened but not yet sealed — and absorbs each event into all
+//! covering windows (`WindowSpec::rounds_covering`). Because rounds seal
+//! strictly in order, the map is stored dense: a `VecDeque` of slots
+//! indexed by `round − next_seal`, so the per-event hot path is an index,
+//! not a tree lookup (this is what makes the ≥ 1M events/sec seal
+//! throughput in `BENCH_ingest.json` cheap on one core).
+//!
+//! Sealing is watermark-driven: [`WindowBinner::advance`] seals every
+//! round whose window closes (plus any grace) at or below the watermark,
+//! including windows that received no events — an empty round is real
+//! data (nobody reported), so it seals as the assembler's empty value and
+//! keeps the round clock contiguous for the engine.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use longsynth_data::BitColumn;
+use longsynth_obs::IngestMetrics;
+
+use crate::window::{WindowInstance, WindowSpec};
+use crate::IngestError;
+
+/// What happens to events that arrive after their window sealed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatePolicy {
+    /// Seal as soon as the watermark passes a window's close; events for
+    /// sealed windows are dropped and counted (`ingest_late_events_total`).
+    /// This is the default: it keeps seal latency minimal and makes loss
+    /// observable instead of silent.
+    Drop,
+    /// Hold each window open for `grace_ms` of event time past its close
+    /// before sealing, absorbing stragglers at the cost of seal latency.
+    /// Events later than the grace period are still dropped and counted.
+    Grace {
+        /// Extra event-time milliseconds a window stays open past close.
+        grace_ms: i64,
+    },
+}
+
+impl LatePolicy {
+    /// The event-time grace in ms (0 under [`LatePolicy::Drop`]).
+    pub fn grace_ms(&self) -> i64 {
+        match self {
+            LatePolicy::Drop => 0,
+            LatePolicy::Grace { grace_ms } => *grace_ms,
+        }
+    }
+
+    /// Parses the CLI surface syntax: `drop` or `grace:<ms>`.
+    pub fn parse(s: &str) -> Result<Self, IngestError> {
+        if s == "drop" {
+            return Ok(LatePolicy::Drop);
+        }
+        if let Some(ms) = s.strip_prefix("grace:") {
+            let grace_ms: i64 = ms.parse().map_err(|_| {
+                IngestError::InvalidConfig(format!("invalid grace milliseconds: {ms:?}"))
+            })?;
+            if grace_ms < 0 {
+                return Err(IngestError::InvalidConfig(
+                    "grace period must be non-negative".into(),
+                ));
+            }
+            return Ok(LatePolicy::Grace { grace_ms });
+        }
+        Err(IngestError::InvalidConfig(format!(
+            "unknown late policy {s:?} (expected `drop` or `grace:<ms>`)"
+        )))
+    }
+}
+
+impl std::fmt::Display for LatePolicy {
+    /// Renders the [`LatePolicy::parse`] surface syntax back.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LatePolicy::Drop => write!(f, "drop"),
+            LatePolicy::Grace { grace_ms } => write!(f, "grace:{grace_ms}"),
+        }
+    }
+}
+
+/// Folds the events of one window into the per-round input shape the
+/// synthesizers already take (`S::Input`).
+///
+/// `begin` must produce the *empty round* — the value a round with zero
+/// events seals to. That choice is what makes ingest replay equivalent to
+/// the pre-binned lockstep path: a lockstep round whose column is all
+/// zeros and an ingest round that saw no events are the same input.
+pub trait RoundAssembler {
+    /// Per-event payload carried by [`crate::Event`].
+    type Payload;
+    /// In-progress accumulator for one open window.
+    type Acc;
+    /// Sealed per-round input handed to the engine.
+    type Round;
+
+    /// A fresh, empty accumulator for the given round. Most assemblers
+    /// ignore `round`; schedule-aware ones use it to shape the round's
+    /// input (a rotating panel's active set varies per round).
+    fn begin(&self, round: u64) -> Self::Acc;
+    /// Folds one event into the accumulator. Errors reject the event
+    /// (counted, not fatal): a malformed producer must not poison the
+    /// stream.
+    fn absorb(
+        &self,
+        acc: &mut Self::Acc,
+        individual: u32,
+        payload: &Self::Payload,
+    ) -> Result<(), IngestError>;
+    /// Finishes the accumulator into the engine-facing round input.
+    fn seal(&self, acc: Self::Acc) -> Self::Round;
+}
+
+/// Assembles boolean events into the engine's `BitColumn` round input:
+/// individual `i` reporting `payload` sets bit `i`. Re-reports within one
+/// window overwrite (last write wins); unreported individuals stay 0.
+#[derive(Debug, Clone)]
+pub struct BitRoundAssembler {
+    population: usize,
+}
+
+impl BitRoundAssembler {
+    /// `population` is the column length every sealed round will have.
+    pub fn new(population: usize) -> Self {
+        Self { population }
+    }
+
+    /// Column length of every sealed round.
+    pub fn population(&self) -> usize {
+        self.population
+    }
+}
+
+impl RoundAssembler for BitRoundAssembler {
+    type Payload = bool;
+    type Acc = BitColumn;
+    type Round = BitColumn;
+
+    fn begin(&self, _round: u64) -> BitColumn {
+        BitColumn::zeros(self.population)
+    }
+
+    fn absorb(
+        &self,
+        acc: &mut BitColumn,
+        individual: u32,
+        payload: &bool,
+    ) -> Result<(), IngestError> {
+        let idx = individual as usize;
+        if idx >= self.population {
+            return Err(IngestError::IndividualOutOfRange {
+                individual,
+                population: self.population,
+            });
+        }
+        acc.set(idx, *payload);
+        Ok(())
+    }
+
+    fn seal(&self, acc: BitColumn) -> BitColumn {
+        acc
+    }
+}
+
+/// Schedule-aware variant of [`BitRoundAssembler`] for rotating panels:
+/// round `r`'s column length is the schedule's active-set size at `r`
+/// (`PanelSchedule::active_population`), and an event's `individual` is
+/// its position within that round's active layout
+/// (`PanelSchedule::active_layout`). Rounds past the schedule's horizon
+/// assemble as empty columns — the engine rejects them anyway.
+#[derive(Debug, Clone)]
+pub struct ScheduledBitRoundAssembler {
+    sizes: Vec<usize>,
+}
+
+impl ScheduledBitRoundAssembler {
+    /// `sizes[r]` is the active-set column length of round `r`.
+    pub fn new(sizes: Vec<usize>) -> Self {
+        Self { sizes }
+    }
+}
+
+impl RoundAssembler for ScheduledBitRoundAssembler {
+    type Payload = bool;
+    type Acc = BitColumn;
+    type Round = BitColumn;
+
+    fn begin(&self, round: u64) -> BitColumn {
+        let size = usize::try_from(round)
+            .ok()
+            .and_then(|r| self.sizes.get(r).copied())
+            .unwrap_or(0);
+        BitColumn::zeros(size)
+    }
+
+    fn absorb(
+        &self,
+        acc: &mut BitColumn,
+        individual: u32,
+        payload: &bool,
+    ) -> Result<(), IngestError> {
+        let idx = individual as usize;
+        if idx >= acc.len() {
+            return Err(IngestError::IndividualOutOfRange {
+                individual,
+                population: acc.len(),
+            });
+        }
+        acc.set(idx, *payload);
+        Ok(())
+    }
+
+    fn seal(&self, acc: BitColumn) -> BitColumn {
+        acc
+    }
+}
+
+/// One watermark-sealed round, ready for `ShardedEngine::run_from_ingest`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedRound<R> {
+    /// Engine round index (0-based, contiguous).
+    pub round: u64,
+    /// The event-time window this round covers.
+    pub window: WindowInstance,
+    /// Events absorbed into this window (re-reports counted each time).
+    pub events: u64,
+    /// The assembled per-round input.
+    pub input: R,
+}
+
+struct Slot<Acc> {
+    acc: Option<Acc>,
+    events: u64,
+    first_seen: Option<Instant>,
+}
+
+impl<Acc> Slot<Acc> {
+    fn empty() -> Self {
+        Slot {
+            acc: None,
+            events: 0,
+            first_seen: None,
+        }
+    }
+}
+
+/// The active-window map plus the monotone seal cursor.
+pub struct WindowBinner<A: RoundAssembler> {
+    spec: WindowSpec,
+    policy: LatePolicy,
+    assembler: A,
+    /// Dense open-window slots; index `i` is round `next_seal + i`.
+    slots: VecDeque<Slot<A::Acc>>,
+    next_seal: u64,
+    max_round_touched: Option<u64>,
+    events_total: u64,
+    late_events: u64,
+    rejected_events: u64,
+    metrics: Option<IngestMetrics>,
+}
+
+impl<A: RoundAssembler> WindowBinner<A> {
+    /// Creates a binner over `spec` with the given late-event policy.
+    pub fn new(spec: WindowSpec, policy: LatePolicy, assembler: A) -> Self {
+        Self {
+            spec,
+            policy,
+            assembler,
+            slots: VecDeque::new(),
+            next_seal: 0,
+            max_round_touched: None,
+            events_total: 0,
+            late_events: 0,
+            rejected_events: 0,
+            metrics: None,
+        }
+    }
+
+    /// Attaches the `ingest_*` metric handles.
+    pub fn with_metrics(mut self, metrics: IngestMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Absorbs one event into every covering open window.
+    ///
+    /// Returns `true` when the event was late — it missed at least one
+    /// covering window that had already sealed (with overlapping windows
+    /// it may still have been absorbed into the rest), arrived before the
+    /// stream origin, or fell into an inter-window gap (`width < slide`).
+    pub fn push(&mut self, time_ms: i64, individual: u32, payload: &A::Payload) -> bool {
+        self.events_total += 1;
+        if let Some(m) = &self.metrics {
+            m.events_total.inc();
+        }
+        let Some((lo, hi)) = self.spec.rounds_covering(time_ms) else {
+            return self.count_late();
+        };
+        if hi < self.next_seal {
+            return self.count_late();
+        }
+        let late = lo < self.next_seal;
+        if late {
+            self.count_late();
+        }
+        let lo = lo.max(self.next_seal);
+        let base = self.next_seal;
+        let need = (hi - base + 1) as usize;
+        while self.slots.len() < need {
+            self.slots.push_back(Slot::empty());
+        }
+        for round in lo..=hi {
+            let slot = &mut self.slots[(round - base) as usize];
+            let acc = slot.acc.get_or_insert_with(|| self.assembler.begin(round));
+            match self.assembler.absorb(acc, individual, payload) {
+                Ok(()) => {
+                    slot.events += 1;
+                    if slot.first_seen.is_none() {
+                        slot.first_seen = Some(Instant::now());
+                    }
+                }
+                Err(_) => {
+                    self.rejected_events += 1;
+                    // A malformed event is rejected from every covering
+                    // window identically, so counting once is enough.
+                    break;
+                }
+            }
+        }
+        self.max_round_touched = Some(self.max_round_touched.map_or(hi, |m| m.max(hi)));
+        late
+    }
+
+    fn count_late(&mut self) -> bool {
+        self.late_events += 1;
+        if let Some(m) = &self.metrics {
+            m.late_events_total.inc();
+        }
+        true
+    }
+
+    /// Seals every round whose window close (+ grace) is at or below
+    /// `watermark`, in round order, appending to `out`.
+    pub fn advance(&mut self, watermark: i64, out: &mut VecDeque<SealedRound<A::Round>>) {
+        if let Some(target) = self
+            .spec
+            .last_sealable_round(watermark, self.policy.grace_ms())
+        {
+            self.seal_through(target, out);
+        }
+    }
+
+    /// Seals every round up to and including `round` (windows that never
+    /// saw an event seal empty). The cursor is monotone: already-sealed
+    /// rounds are skipped.
+    pub fn seal_through(&mut self, round: u64, out: &mut VecDeque<SealedRound<A::Round>>) {
+        while self.next_seal <= round {
+            let slot = self.slots.pop_front().unwrap_or_else(Slot::empty);
+            let acc = slot
+                .acc
+                .unwrap_or_else(|| self.assembler.begin(self.next_seal));
+            let input = self.assembler.seal(acc);
+            if let Some(m) = &self.metrics {
+                m.rounds_sealed_total.inc();
+                if let Some(first) = slot.first_seen {
+                    m.seal_ms.observe(first.elapsed().as_secs_f64() * 1_000.0);
+                }
+            }
+            out.push_back(SealedRound {
+                round: self.next_seal,
+                window: self.spec.window(self.next_seal),
+                events: slot.events,
+                input,
+            });
+            self.next_seal += 1;
+        }
+    }
+
+    /// End-of-stream flush: seals every window that ever saw an event
+    /// (plus any earlier empty ones), regardless of the watermark.
+    pub fn finish(&mut self, out: &mut VecDeque<SealedRound<A::Round>>) {
+        if let Some(max) = self.max_round_touched {
+            self.seal_through(max, out);
+        }
+    }
+
+    /// The currently open windows: `(round, window, events absorbed)`.
+    pub fn active_windows(&self) -> Vec<(u64, WindowInstance, u64)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                let round = self.next_seal + i as u64;
+                (round, self.spec.window(round), slot.events)
+            })
+            .collect()
+    }
+
+    /// Next round index the seal cursor will emit.
+    pub fn next_seal(&self) -> u64 {
+        self.next_seal
+    }
+
+    /// Total events pushed (late and rejected included).
+    pub fn events_total(&self) -> u64 {
+        self.events_total
+    }
+
+    /// Events that missed at least one sealed covering window, arrived
+    /// pre-origin, or fell into a gap.
+    pub fn late_events(&self) -> u64 {
+        self.late_events
+    }
+
+    /// Events rejected by the assembler (e.g. individual out of range).
+    pub fn rejected_events(&self) -> u64 {
+        self.rejected_events
+    }
+
+    /// The window geometry this binner runs.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// The configured late-event policy.
+    pub fn policy(&self) -> LatePolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(sealed: &SealedRound<BitColumn>) -> Vec<bool> {
+        (0..sealed.input.len())
+            .map(|i| sealed.input.get(i))
+            .collect()
+    }
+
+    #[test]
+    fn tumbling_binning_with_watermark_seals_in_order() {
+        let spec = WindowSpec::tumbling(100, 0).unwrap();
+        let mut binner = WindowBinner::new(spec, LatePolicy::Drop, BitRoundAssembler::new(3));
+        let mut out = VecDeque::new();
+
+        assert!(!binner.push(10, 0, &true));
+        assert!(!binner.push(150, 2, &true));
+        binner.advance(100, &mut out);
+        assert_eq!(out.len(), 1);
+        let r0 = out.pop_front().unwrap();
+        assert_eq!(r0.round, 0);
+        assert_eq!(r0.events, 1);
+        assert_eq!(bits(&r0), vec![true, false, false]);
+
+        binner.advance(199, &mut out);
+        assert!(out.is_empty(), "round 1 closes at 200, watermark 199");
+        binner.advance(200, &mut out);
+        let r1 = out.pop_front().unwrap();
+        assert_eq!(r1.round, 1);
+        assert_eq!(bits(&r1), vec![false, false, true]);
+    }
+
+    #[test]
+    fn empty_windows_seal_as_zero_rounds() {
+        let spec = WindowSpec::tumbling(100, 0).unwrap();
+        let mut binner = WindowBinner::new(spec, LatePolicy::Drop, BitRoundAssembler::new(2));
+        let mut out = VecDeque::new();
+        binner.push(350, 1, &true); // only round 3 sees an event
+        binner.advance(400, &mut out);
+        let rounds: Vec<u64> = out.iter().map(|r| r.round).collect();
+        assert_eq!(rounds, vec![0, 1, 2, 3]);
+        assert!(out.iter().take(3).all(|r| r.events == 0));
+        assert_eq!(out[3].events, 1);
+        assert!(bits(&out[3])[1]);
+    }
+
+    #[test]
+    fn drop_policy_counts_and_drops_late_events() {
+        let spec = WindowSpec::tumbling(100, 0).unwrap();
+        let mut binner = WindowBinner::new(spec, LatePolicy::Drop, BitRoundAssembler::new(2));
+        let mut out = VecDeque::new();
+        binner.push(10, 0, &true);
+        binner.advance(100, &mut out); // round 0 sealed
+        assert!(binner.push(50, 1, &true), "event for sealed round is late");
+        assert_eq!(binner.late_events(), 1);
+        binner.push(110, 1, &true);
+        binner.advance(200, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(bits(&out[1]), vec![false, true], "late event must not leak");
+    }
+
+    #[test]
+    fn grace_policy_holds_windows_open_for_stragglers() {
+        let spec = WindowSpec::tumbling(100, 0).unwrap();
+        let policy = LatePolicy::Grace { grace_ms: 50 };
+        let mut binner = WindowBinner::new(spec, policy, BitRoundAssembler::new(2));
+        let mut out = VecDeque::new();
+        binner.push(10, 0, &true);
+        binner.advance(100, &mut out);
+        assert!(out.is_empty(), "grace holds round 0 until watermark 150");
+        assert!(!binner.push(90, 1, &true), "straggler lands inside grace");
+        binner.advance(150, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(bits(&out[0]), vec![true, true]);
+        assert_eq!(binner.late_events(), 0);
+    }
+
+    #[test]
+    fn overlapping_windows_absorb_into_every_cover() {
+        // width 200, slide 100: event at t=150 covers rounds 0 and 1.
+        let spec = WindowSpec::new(200, 100, 0).unwrap();
+        let mut binner = WindowBinner::new(spec, LatePolicy::Drop, BitRoundAssembler::new(1));
+        let mut out = VecDeque::new();
+        binner.push(150, 0, &true);
+        let active = binner.active_windows();
+        assert_eq!(active.len(), 2);
+        assert_eq!((active[0].0, active[0].2), (0, 1));
+        assert_eq!((active[1].0, active[1].2), (1, 1));
+        binner.finish(&mut out);
+        assert_eq!(out.len(), 2);
+        assert!(bits(&out[0])[0] && bits(&out[1])[0]);
+    }
+
+    #[test]
+    fn partially_sealed_overlap_counts_late_but_keeps_open_covers() {
+        let spec = WindowSpec::new(200, 100, 0).unwrap();
+        let mut binner = WindowBinner::new(spec, LatePolicy::Drop, BitRoundAssembler::new(1));
+        let mut out = VecDeque::new();
+        binner.push(10, 0, &false);
+        binner.advance(250, &mut out); // seals round 0 only ([0,200))
+        assert_eq!(out.len(), 1);
+        // t=150 covers rounds 0 (sealed — missed) and 1 (still open).
+        assert!(binner.push(150, 0, &true));
+        assert_eq!(binner.late_events(), 1);
+        binner.finish(&mut out);
+        assert!(bits(&out[1])[0], "open cover must still absorb the event");
+    }
+
+    #[test]
+    fn pre_origin_events_are_late() {
+        let spec = WindowSpec::tumbling(100, 1_000).unwrap();
+        let mut binner = WindowBinner::new(spec, LatePolicy::Drop, BitRoundAssembler::new(1));
+        assert!(binner.push(999, 0, &true));
+        assert_eq!(binner.late_events(), 1);
+        assert_eq!(binner.events_total(), 1);
+    }
+
+    #[test]
+    fn out_of_range_individuals_are_rejected_not_fatal() {
+        let spec = WindowSpec::tumbling(100, 0).unwrap();
+        let mut binner = WindowBinner::new(spec, LatePolicy::Drop, BitRoundAssembler::new(2));
+        let mut out = VecDeque::new();
+        binner.push(10, 7, &true);
+        binner.push(20, 1, &true);
+        assert_eq!(binner.rejected_events(), 1);
+        binner.finish(&mut out);
+        assert_eq!(bits(&out[0]), vec![false, true]);
+    }
+
+    #[test]
+    fn late_policy_parse_round_trips() {
+        assert_eq!(LatePolicy::parse("drop").unwrap(), LatePolicy::Drop);
+        assert_eq!(
+            LatePolicy::parse("grace:250").unwrap(),
+            LatePolicy::Grace { grace_ms: 250 }
+        );
+        assert!(LatePolicy::parse("grace:-1").is_err());
+        assert!(LatePolicy::parse("hold").is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Large-timestamp regression suite: the exact rsp-rs failure class.
+//!
+//! rsp-rs computed window boundaries as
+//! `((t − t0).abs() as f64 / slide as f64).ceil() as i64 * slide`; at
+//! Unix-ms magnitudes (~1.76e12) the `f64` rounding collapses adjacent
+//! boundaries and events silently vanish. This suite pins the integer
+//! arithmetic at those magnitudes, near `i64::MAX / 2`, with negative
+//! origins/offsets, and with width not dividing slide — every boundary
+//! must be *exact*, not approximately right.
+
+use std::collections::VecDeque;
+
+use longsynth_ingest::{BitRoundAssembler, LatePolicy, WindowBinner, WindowInstance, WindowSpec};
+
+/// Realistic stream origin: 2025-10-09 in Unix ms.
+const UNIX_MS_T0: i64 = 1_760_000_000_000;
+
+#[test]
+fn unix_ms_tumbling_boundaries_are_exact() {
+    // Hourly tumbling windows over Unix-ms timestamps.
+    let spec = WindowSpec::tumbling(3_600_000, UNIX_MS_T0).unwrap();
+    for r in [0u64, 1, 2, 1_000, 100_000] {
+        let w = spec.window(r);
+        assert_eq!(w.open, UNIX_MS_T0 + r as i64 * 3_600_000);
+        assert_eq!(w.close, w.open + 3_600_000);
+        // Half-open membership at the exact boundaries.
+        assert_eq!(spec.rounds_covering(w.open), Some((r, r)));
+        assert_eq!(spec.rounds_covering(w.close - 1), Some((r, r)));
+        assert_eq!(spec.rounds_covering(w.close), Some((r + 1, r + 1)));
+    }
+}
+
+#[test]
+fn unix_ms_sliding_boundaries_are_exact() {
+    // 1-hour windows sliding every 15 minutes: each event belongs to
+    // exactly 4 windows (away from the origin ramp-up).
+    let width = 3_600_000;
+    let slide = 900_000;
+    let spec = WindowSpec::new(width, slide, UNIX_MS_T0).unwrap();
+    let t = UNIX_MS_T0 + 10 * slide + 1; // just after round 10 opens
+    let (lo, hi) = spec.rounds_covering(t).unwrap();
+    assert_eq!((lo, hi), (7, 10));
+    for r in lo..=hi {
+        assert!(spec.window(r).contains(t), "round {r} must contain t");
+    }
+    assert!(!spec.window(lo - 1).contains(t));
+    assert!(!spec.window(hi + 1).contains(t));
+}
+
+#[test]
+fn width_not_dividing_slide_stays_exact_at_unix_ms() {
+    // width 700 ms, slide 300 ms — the awkward ratio where float math
+    // drifts. Check every ms over several windows against the definition.
+    let spec = WindowSpec::new(700, 300, UNIX_MS_T0).unwrap();
+    for offset in 0..3_000i64 {
+        let t = UNIX_MS_T0 + offset;
+        let covered = spec.rounds_covering(t);
+        // Ground truth by direct interval membership.
+        let expect: Vec<u64> = (0..12u64).filter(|&r| spec.window(r).contains(t)).collect();
+        match covered {
+            Some((lo, hi)) => {
+                assert_eq!(
+                    (expect.first(), expect.last()),
+                    (Some(&lo), Some(&hi)),
+                    "mismatch at offset {offset}"
+                );
+                assert_eq!(expect.len() as u64, hi - lo + 1, "cover must be contiguous");
+            }
+            None => assert!(expect.is_empty(), "missed cover at offset {offset}"),
+        }
+    }
+}
+
+#[test]
+fn near_i64_max_half_boundaries_are_exact() {
+    // t0 near i64::MAX / 2: f64 has 52 mantissa bits, so at 2^62 the
+    // representable spacing is 512 ms — float boundary math is off by
+    // hundreds of ms here. Integer math must be exact to the ms.
+    let t0 = i64::MAX / 2; // 4611686018427387903
+    let spec = WindowSpec::tumbling(1_000, t0).unwrap();
+    assert_eq!(spec.rounds_covering(t0), Some((0, 0)));
+    assert_eq!(spec.rounds_covering(t0 + 999), Some((0, 0)));
+    assert_eq!(spec.rounds_covering(t0 + 1_000), Some((1, 1)));
+    assert_eq!(spec.rounds_covering(t0 - 1), None);
+    let w = spec.window(7);
+    assert_eq!(
+        w,
+        WindowInstance {
+            open: t0 + 7_000,
+            close: t0 + 8_000
+        }
+    );
+    assert_eq!(spec.last_sealable_round(t0 + 8_000, 0), Some(7));
+    assert_eq!(spec.last_sealable_round(t0 + 7_999, 0), Some(6));
+}
+
+#[test]
+fn negative_origin_and_offsets_floor_correctly() {
+    // Stream origin before the epoch; events straddle zero. Truncating
+    // division would mis-assign every negative-delta event.
+    let spec = WindowSpec::tumbling(1_000, -5_000).unwrap();
+    assert_eq!(spec.rounds_covering(-5_000), Some((0, 0)));
+    assert_eq!(spec.rounds_covering(-4_001), Some((0, 0)));
+    assert_eq!(spec.rounds_covering(-4_000), Some((1, 1)));
+    assert_eq!(spec.rounds_covering(-1), Some((4, 4)));
+    assert_eq!(spec.rounds_covering(0), Some((5, 5)));
+    assert_eq!(
+        spec.rounds_covering(-5_001),
+        None,
+        "pre-origin is uncovered"
+    );
+
+    // Sliding + negative origin + width not dividing slide, all at once.
+    let spec = WindowSpec::new(700, 300, -1_000_000).unwrap();
+    for offset in 0..2_100i64 {
+        let t = -1_000_000 + offset;
+        let expect: Vec<u64> = (0..10u64).filter(|&r| spec.window(r).contains(t)).collect();
+        match spec.rounds_covering(t) {
+            Some((lo, hi)) => {
+                assert_eq!((expect.first(), expect.last()), (Some(&lo), Some(&hi)));
+            }
+            None => assert!(expect.is_empty()),
+        }
+    }
+}
+
+#[test]
+fn float_boundary_math_actually_fails_where_integer_math_holds() {
+    // Demonstrate the bug class being defended against: the f64 version
+    // of the round assignment disagrees with the integer version at
+    // large magnitudes. (This is the only f64 near a timestamp in the
+    // whole crate — quarantined in a test that proves it wrong.)
+    let t0 = i64::MAX / 2;
+    let slide = 1_000i64;
+    let mut disagreements = 0u32;
+    for offset in 0..10_000i64 {
+        let t = t0 + offset;
+        let exact = (t - t0) / slide;
+        let float = ((t as f64 - t0 as f64) / slide as f64).floor() as i64;
+        if float != exact {
+            disagreements += 1;
+        }
+    }
+    assert!(
+        disagreements > 0,
+        "f64 math must demonstrably fail at this magnitude, else this guard is vacuous"
+    );
+}
+
+#[test]
+fn binner_loses_no_events_at_unix_ms_magnitudes() {
+    // End-to-end: 5 000 events over 10 tumbling windows at a 2025 Unix-ms
+    // origin; every event must land (the rsp-rs bug dropped them
+    // silently, with no error and no count).
+    let spec = WindowSpec::tumbling(60_000, UNIX_MS_T0).unwrap();
+    let n = 500usize;
+    let rounds = 10u64;
+    let mut binner = WindowBinner::new(spec, LatePolicy::Drop, BitRoundAssembler::new(n));
+    for r in 0..rounds {
+        let open = spec.window(r).open;
+        for i in 0..n {
+            // Deterministic in-window offsets, including both boundaries'
+            // neighbourhoods.
+            let offset = (i as i64 * 7_919) % 60_000;
+            binner.push(open + offset, i as u32, &(i % 3 == 0));
+        }
+    }
+    let mut out = VecDeque::new();
+    binner.finish(&mut out);
+    assert_eq!(out.len(), rounds as usize);
+    assert_eq!(binner.events_total(), rounds * n as u64);
+    assert_eq!(binner.late_events(), 0, "silent loss — the exact bug class");
+    assert_eq!(binner.rejected_events(), 0);
+    for sealed in &out {
+        assert_eq!(sealed.events, n as u64);
+        assert_eq!(sealed.input.count_ones(), n / 3 + 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Ingest-tier instrumentation: one pre-registered handle bundle for the
+//! event-time ingestion pipeline (`crates/ingest`).
+//!
+//! The ingest crate depends on `longsynth-obs` (not the other way
+//! around), so the metric *names* and handle wiring live here next to the
+//! registry while the update sites live in the queue/binner hot paths.
+//! Everything follows the workspace's construction-time-optional
+//! convention: an ingest tier without an attached [`IngestMetrics`] runs
+//! the identical uninstrumented code path.
+//!
+//! Metric inventory (all exported through the usual JSONL / Prometheus
+//! paths; see `docs/OBSERVABILITY.md`):
+//!
+//! | name | kind | meaning |
+//! |---|---|---|
+//! | `ingest_events_total` | counter | events accepted by the binner (late events included) |
+//! | `ingest_late_events_total` | counter | events that missed ≥ 1 already-sealed window |
+//! | `ingest_rounds_sealed_total` | counter | windows sealed into per-round inputs |
+//! | `ingest_queue_depth` | gauge | current bounded-queue depth (events) |
+//! | `ingest_queue_peak_depth` | gauge | high-water mark of the queue depth — the backpressure witness |
+//! | `ingest_watermark_lag_ms` | gauge | max event time seen − low watermark, at last seal sweep |
+//! | `ingest_seal_ms` | histogram | wall time from a window's first absorbed event to its seal |
+
+use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// Cheap, cloneable bundle of the ingest tier's metric handles.
+///
+/// Construct once per pipeline with [`IngestMetrics::new`] and hand clones
+/// to the queue and the binner; every handle is an `Arc`-backed atomic, so
+/// updates from producer threads and the sealing consumer never contend on
+/// the registry lock.
+#[derive(Clone)]
+pub struct IngestMetrics {
+    /// Events accepted by the binner, including ones counted late.
+    pub events_total: Counter,
+    /// Events that arrived after at least one of their covering windows
+    /// had already sealed (or before the stream origin `t0`).
+    pub late_events_total: Counter,
+    /// Windows sealed into per-round synthesizer inputs.
+    pub rounds_sealed_total: Counter,
+    /// Current depth of the bounded ingest queue.
+    pub queue_depth: Gauge,
+    /// High-water mark of [`IngestMetrics::queue_depth`]; never exceeds
+    /// the configured queue capacity while backpressure holds.
+    pub queue_peak_depth: Gauge,
+    /// `max event time seen − low watermark` (ms) at the last seal sweep.
+    pub watermark_lag_ms: Gauge,
+    /// Seal latency: wall milliseconds from a window's first absorbed
+    /// event to its seal, on the shared [`crate::LATENCY_MS_BUCKETS`].
+    pub seal_ms: Histogram,
+}
+
+impl IngestMetrics {
+    /// Registers (or re-attaches to) the `ingest_*` family in `registry`.
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        Self {
+            events_total: registry.counter("ingest_events_total"),
+            late_events_total: registry.counter("ingest_late_events_total"),
+            rounds_sealed_total: registry.counter("ingest_rounds_sealed_total"),
+            queue_depth: registry.gauge("ingest_queue_depth"),
+            queue_peak_depth: registry.gauge("ingest_queue_peak_depth"),
+            watermark_lag_ms: registry.gauge("ingest_watermark_lag_ms"),
+            seal_ms: registry.latency_histogram("ingest_seal_ms"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_full_ingest_family() {
+        let registry = MetricsRegistry::new();
+        let m = IngestMetrics::new(&registry);
+        m.events_total.add(10);
+        m.late_events_total.inc();
+        m.rounds_sealed_total.inc();
+        m.queue_depth.set(3);
+        m.queue_peak_depth.set(7);
+        m.watermark_lag_ms.set(1500);
+        m.seal_ms.observe(0.2);
+
+        let counters = registry.counters();
+        let get = |name: &str| {
+            counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("ingest_events_total"), 10);
+        assert_eq!(get("ingest_late_events_total"), 1);
+        assert_eq!(get("ingest_rounds_sealed_total"), 1);
+
+        let gauges = registry.gauges();
+        assert!(gauges
+            .iter()
+            .any(|(n, v)| n == "ingest_queue_peak_depth" && *v == 7));
+        assert!(gauges
+            .iter()
+            .any(|(n, v)| n == "ingest_watermark_lag_ms" && *v == 1500));
+
+        let histograms = registry.histograms();
+        let (_, snap) = histograms
+            .iter()
+            .find(|(n, _)| n == "ingest_seal_ms")
+            .unwrap();
+        assert_eq!(snap.count, 1);
+    }
+
+    #[test]
+    fn new_twice_shares_handles() {
+        let registry = MetricsRegistry::new();
+        let a = IngestMetrics::new(&registry);
+        let b = IngestMetrics::new(&registry);
+        a.events_total.add(2);
+        b.events_total.add(3);
+        assert_eq!(a.events_total.get(), 5);
+    }
+}

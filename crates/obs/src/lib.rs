@@ -38,10 +38,12 @@
 #![forbid(unsafe_code)]
 
 mod export;
+mod ingest;
 mod ledger;
 mod metrics;
 
 pub use export::{parse_prometheus_text, PromParseError, PromSample};
+pub use ingest::IngestMetrics;
 pub use ledger::{BudgetEvent, BudgetLedger, BudgetLevel, LedgerReplay};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, SpanTimer, LATENCY_MS_BUCKETS,
