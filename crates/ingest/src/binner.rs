@@ -312,6 +312,7 @@ impl<A: RoundAssembler> WindowBinner<A> {
         while self.slots.len() < need {
             self.slots.push_back(Slot::empty());
         }
+        let mut rejected = false;
         for round in lo..=hi {
             let slot = &mut self.slots[(round - base) as usize];
             let acc = slot.acc.get_or_insert_with(|| self.assembler.begin(round));
@@ -322,11 +323,16 @@ impl<A: RoundAssembler> WindowBinner<A> {
                         slot.first_seen = Some(Instant::now());
                     }
                 }
+                // Keep offering the event to the remaining covers:
+                // schedule-aware assemblers size each round differently,
+                // so an individual out of range for one covering round
+                // can still be valid for a later one. One rejection is
+                // counted per event, however many covers refuse it.
                 Err(_) => {
-                    self.rejected_events += 1;
-                    // A malformed event is rejected from every covering
-                    // window identically, so counting once is enough.
-                    break;
+                    if !rejected {
+                        self.rejected_events += 1;
+                        rejected = true;
+                    }
                 }
             }
         }
@@ -559,6 +565,26 @@ mod tests {
         assert_eq!(binner.rejected_events(), 1);
         binner.finish(&mut out);
         assert_eq!(bits(&out[0]), vec![false, true]);
+    }
+
+    #[test]
+    fn rejection_by_one_cover_does_not_starve_larger_covers() {
+        // width 200, slide 100: t=150 covers rounds 0 and 1. The rotating
+        // panel sizes round 0 at 1 individual and round 1 at 2, so
+        // individual 1 is out of range for round 0 but valid for round 1
+        // — the round-0 rejection must not stop the event reaching
+        // round 1, and counts once.
+        let spec = WindowSpec::new(200, 100, 0).unwrap();
+        let assembler = ScheduledBitRoundAssembler::new(vec![1, 2]);
+        let mut binner = WindowBinner::new(spec, LatePolicy::Drop, assembler);
+        let mut out = VecDeque::new();
+        binner.push(150, 1, &true);
+        assert_eq!(binner.rejected_events(), 1);
+        binner.finish(&mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].events, 0, "round 0 cannot hold individual 1");
+        assert_eq!(out[1].events, 1);
+        assert_eq!(bits(&out[1]), vec![false, true]);
     }
 
     #[test]

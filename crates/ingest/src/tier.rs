@@ -67,9 +67,13 @@ impl IngestConfig {
     }
 }
 
-/// Cloneable producer handle: timestamps flow into the watermark slot
-/// *before* the event is enqueued, so sealing can never race ahead of an
-/// in-flight event (its windows close strictly after its timestamp).
+/// Cloneable producer handle. The invariant every send path maintains:
+/// the watermark slot never runs ahead of any event this handle has yet
+/// to enqueue. Single sends advance the slot to their own timestamp
+/// before enqueueing (safe: that event's windows close strictly after
+/// its timestamp); batch sends advance to the batch min before and the
+/// batch max only after the whole batch is enqueued. Sealing therefore
+/// can never race ahead of an in-flight in-order event.
 pub struct EventProducer<P> {
     queue: Producer<Event<P>>,
     slot: WatermarkSlot,
@@ -102,13 +106,32 @@ impl<P> EventProducer<P> {
         self.queue.try_send(event)
     }
 
-    /// Blocking batched send; one watermark update and a few lock
+    /// Blocking batched send; two watermark updates and a few lock
     /// acquisitions for the whole batch.
+    ///
+    /// The slot advances to the batch **minimum** before enqueueing and
+    /// to the batch **maximum** only after the whole batch is in the
+    /// queue. Advancing to the max up front would be wrong: if the batch
+    /// exceeds the queue's remaining capacity, `send_batch` blocks
+    /// mid-batch, and a watermark already at the batch max would let the
+    /// consumer seal windows that the still-unsent suffix belongs to —
+    /// late-dropping events sent in order through the blocking path. The
+    /// min is safe while blocked (every event of this and later batches
+    /// is ≥ it, so its windows close strictly later) and still counts as
+    /// activity for [`IdlePolicy::ExcludeAfter`].
     pub fn send_batch(&self, batch: Vec<Event<P>>) -> Result<(), SendError<Vec<Event<P>>>> {
-        if let Some(max_ts) = batch.iter().map(|e| e.time_ms).max() {
+        let mut bounds = None;
+        for ts in batch.iter().map(|e| e.time_ms) {
+            bounds = Some(bounds.map_or((ts, ts), |(lo, hi): (i64, i64)| (lo.min(ts), hi.max(ts))));
+        }
+        if let Some((min_ts, _)) = bounds {
+            self.slot.advance(min_ts);
+        }
+        self.queue.send_batch(batch)?;
+        if let Some((_, max_ts)) = bounds {
             self.slot.advance(max_ts);
         }
-        self.queue.send_batch(batch)
+        Ok(())
     }
 
     /// Advances this producer's watermark without sending an event — an
@@ -292,11 +315,13 @@ impl<A: RoundAssembler> Iterator for SealedRounds<A> {
             // absorb every event that was already enqueued at snapshot
             // time before sealing with it. The two-sided safety argument:
             //
-            //  * events enqueued AFTER the snapshot: an in-order producer
-            //    advances its slot before enqueueing, so such an event
-            //    has `time_ms ≥ its producer's max at snapshot ≥
-            //    snapshot` — a seal at `close ≤ snapshot` can never
-            //    outrun it;
+            //  * events enqueued AFTER the snapshot: a producer's slot
+            //    never runs ahead of an event it has yet to enqueue
+            //    (see `EventProducer` — batch sends in particular only
+            //    advance to the batch max once the whole batch is in the
+            //    queue), so such an event has `time_ms ≥ its producer's
+            //    slot at snapshot ≥ snapshot` — a seal at `close ≤
+            //    snapshot` can never outrun it;
             //  * events enqueued BEFORE the snapshot may be arbitrarily
             //    older than it (their producer has since raced ahead
             //    inside the queue's capacity), so the whole backlog must
@@ -429,6 +454,46 @@ mod tests {
         assert_eq!(stats.events, 20 * 500);
         assert_eq!(stats.late_events, 0);
         assert_eq!(stats.rounds_sealed, 20);
+    }
+
+    #[test]
+    fn blocked_batch_send_never_outruns_its_own_tail() {
+        // Regression: `send_batch` used to advance the watermark to the
+        // batch max BEFORE enqueueing. With a queue cap smaller than the
+        // batch, the send blocks mid-batch; the consumer would snapshot
+        // the already-maxed watermark, drain only the enqueued prefix,
+        // and seal windows the blocked suffix still belongs to — late-
+        // dropping in-order events. Cap 1 against a 300-event batch
+        // spanning 30 windows forces that interleaving on every push.
+        let mut config = IngestConfig::new(spec(100, 0));
+        config.queue_cap = 1;
+        config.poll = Duration::from_millis(1);
+        let tier = IngestTier::new(config, BitRoundAssembler::new(10));
+        let producer = tier.producer();
+        let mut rounds = tier.into_rounds();
+
+        let feeder = thread::spawn(move || {
+            let batch: Vec<Event<bool>> = (0..300u32)
+                .map(|i| Event {
+                    time_ms: i64::from(i) * 10,
+                    individual: i % 10,
+                    payload: true,
+                })
+                .collect();
+            producer.send_batch(batch).unwrap();
+        });
+
+        let sealed: Vec<_> = rounds.by_ref().collect();
+        feeder.join().unwrap();
+        assert_eq!(sealed.len(), 30);
+        assert!(
+            sealed.iter().all(|r| r.events == 10),
+            "every window keeps all 10 of its events"
+        );
+        let stats = rounds.stats();
+        assert_eq!(stats.events, 300);
+        assert_eq!(stats.late_events, 0, "blocking send path must be lossless");
+        assert_eq!(stats.peak_queue_depth, 1);
     }
 
     #[test]

@@ -135,10 +135,12 @@ impl WatermarkTracker {
 
 impl WatermarkSlot {
     /// Records an event time (monotone max) and refreshes the activity
-    /// clock. Called *before* the event is enqueued: the watermark may
-    /// then momentarily equal `ts`, but the windows containing `ts`
-    /// close strictly after it, so they cannot seal ahead of the
-    /// in-flight event.
+    /// clock. Callers must keep the slot at or below every event they
+    /// have yet to enqueue: the watermark may then momentarily equal
+    /// `ts`, but the windows containing any still-unsent event close
+    /// strictly after it, so they cannot seal ahead of in-flight
+    /// in-order traffic (see `EventProducer` in `tier.rs` for the
+    /// per-path argument).
     pub fn advance(&self, ts: i64) {
         let mut state = self
             .tracker
